@@ -1,0 +1,1 @@
+"""Benchmark suite: one module per reproduced table/figure plus ablations."""

@@ -1,0 +1,94 @@
+"""Section 5 complexity claims: 2^(n-1) recombinations and B&B pruning.
+
+The paper argues exhaustive recombination is O(2^(n-1)) but "in practice a
+path has rarely a length greater than 7" and branch and bound "reduced the
+number of evaluations considerably". This benchmark sweeps path lengths on
+cost matrices computed from synthetic statistics and reports configurations
+evaluated by B&B versus the exhaustive count.
+"""
+
+import random
+
+from benchmarks.conftest import write_report
+from repro.core.cost_matrix import CostMatrix
+from repro.core.optimizer import optimize
+from repro.costmodel.params import ClassStats, PathStatistics
+from repro.reporting.tables import ascii_table
+from repro.synth import LevelSpec, linear_path_schema
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+LENGTHS = [3, 4, 5, 6, 7, 8]
+
+
+def make_matrix(length: int, seed: int) -> CostMatrix:
+    rng = random.Random(seed)
+    levels = [LevelSpec(f"L{i}", multi_valued=i % 2 == 0) for i in range(length)]
+    _schema, path = linear_path_schema(levels)
+    per_class = {}
+    objects = 100_000
+    for position in range(1, length + 1):
+        name = path.class_at(position)
+        distinct = max(10, objects // rng.randint(2, 12))
+        per_class[name] = ClassStats(
+            objects=objects, distinct=distinct, fanout=rng.choice([1, 1, 2, 3])
+        )
+        objects = max(50, objects // rng.randint(2, 10))
+    stats = PathStatistics(path, per_class)
+    load = LoadDistribution(
+        path,
+        {
+            name: LoadTriplet(
+                query=rng.uniform(0, 0.4),
+                insert=rng.uniform(0, 0.15),
+                delete=rng.uniform(0, 0.15),
+            )
+            for name in path.scope
+        },
+    )
+    return CostMatrix.compute(stats, load)
+
+
+def sweep() -> list[list[object]]:
+    rows = []
+    for length in LENGTHS:
+        evaluated = []
+        pruned = []
+        for seed in range(5):
+            matrix = make_matrix(length, seed)
+            result = optimize(matrix)
+            evaluated.append(result.evaluated)
+            pruned.append(result.pruned)
+        exhaustive = 2 ** (length - 1)
+        mean_evaluated = sum(evaluated) / len(evaluated)
+        rows.append(
+            [
+                length,
+                exhaustive,
+                f"{mean_evaluated:.1f}",
+                f"{sum(pruned) / len(pruned):.1f}",
+                f"{mean_evaluated / exhaustive:.2f}",
+            ]
+        )
+    return rows
+
+
+def test_bnb_pruning_sweep(benchmark):
+    rows = benchmark(sweep)
+
+    # Shape: B&B never exceeds the exhaustive count, and prunes
+    # meaningfully on longer paths.
+    for row in rows:
+        length, exhaustive = row[0], row[1]
+        assert float(row[2]) <= exhaustive
+    longest = rows[-1]
+    assert float(longest[4]) < 1.0  # strict pruning at n = 8
+
+    report = ascii_table(
+        ["path length", "2^(n-1)", "B&B evaluated (mean)", "pruned (mean)", "fraction"],
+        rows,
+        title=(
+            "Branch-and-bound pruning vs exhaustive recombination\n"
+            "(5 random statistics/workloads per length; paper: 4 of 8 at n=4)"
+        ),
+    )
+    write_report("bnb_pruning", report)

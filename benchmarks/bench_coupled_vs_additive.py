@@ -1,0 +1,84 @@
+"""Ablation: the paper's additive decomposition vs exact coupled evaluation.
+
+The cost-matrix decomposition prices each subpath independently, routing
+upstream query mass through the Section 3.2 workload derivation with the
+oid fan-in as probe count. The exact (coupled) evaluator instead chains
+the query through the concrete configuration. This ablation quantifies the
+approximation error over random workloads and verifies it does not change
+the winner on the Figure 7 experiment.
+"""
+
+from benchmarks.conftest import write_report
+from repro.core.cost_matrix import CostMatrix
+from repro.core.evaluation import configuration_cost, coupled_configuration_cost
+from repro.core.exhaustive import exhaustive_search
+from repro.paper import figure7_statistics
+from repro.reporting.tables import ascii_table
+from repro.workload.generator import WorkloadGenerator
+
+
+def sweep():
+    stats = figure7_statistics()
+    rows = []
+    errors = []
+    generator = WorkloadGenerator(seed=17)
+    for index in range(8):
+        load = generator.mixed(
+            stats.path, query_weight=3.0, update_weight=1.0, total=1.0
+        )
+        matrix = CostMatrix.compute(stats, load)
+        result = exhaustive_search(matrix, keep_all=True)
+        # Rank all 8 partitions under both evaluations.
+        additive = {
+            config.partition(): cost for config, cost in result.all_costs
+        }
+        coupled = {
+            config.partition(): coupled_configuration_cost(
+                stats, load, config
+            ).total
+            for config, _ in result.all_costs
+        }
+        best_additive = min(additive, key=additive.get)
+        best_coupled = min(coupled, key=coupled.get)
+        relative_error = abs(
+            additive[best_additive] - coupled[best_additive]
+        ) / max(coupled[best_additive], 1e-9)
+        errors.append(relative_error)
+        rows.append(
+            [
+                index,
+                str(best_additive),
+                str(best_coupled),
+                f"{additive[best_additive]:.2f}",
+                f"{coupled[best_additive]:.2f}",
+                f"{100 * relative_error:.1f}%",
+                "yes" if best_additive == best_coupled else "no",
+            ]
+        )
+    return rows, errors
+
+
+def test_coupled_vs_additive(benchmark):
+    rows, errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    agreement = sum(1 for row in rows if row[-1] == "yes")
+    # The additive approximation must pick the coupled-optimal partition
+    # most of the time and stay within a bounded relative error.
+    assert agreement >= len(rows) - 2
+    assert max(errors) < 0.6
+    report = ascii_table(
+        [
+            "workload",
+            "additive winner",
+            "coupled winner",
+            "additive cost",
+            "coupled cost",
+            "rel. error",
+            "agree",
+        ],
+        rows,
+        title=(
+            "Additive (paper) vs coupled (exact) configuration evaluation\n"
+            "on Figure 7 statistics with random workloads"
+        ),
+    )
+    write_report("coupled_vs_additive", report)

@@ -1,0 +1,105 @@
+"""Extension ablation: the full organization arsenal (MX/MIX/NIX/PX/NX).
+
+Section 6: "The incorporation of path and nested indices [6, 2] can be
+done straightforward since ... the maintenance and retrieval costs on a
+subpath indexed by these types can be estimated independently of other
+subpaths." This ablation adds both to the optimizer's choice set and
+reports where they win on the Figure 7 statistics:
+
+* PX (path index) — one structure, instantiation tuples: strong when
+  queries hit many classes and maintenance matters;
+* NX (nested index) — root oids only: unbeatable for root-class-only
+  query workloads, pathological when intermediate classes are queried.
+"""
+
+from benchmarks.conftest import write_report
+from repro.core.advisor import advise
+from repro.core.cost_matrix import CostMatrix
+from repro.organizations import (
+    ALL_ORGANIZATIONS,
+    CONFIGURABLE_ORGANIZATIONS,
+    IndexOrganization,
+)
+from repro.paper import figure7_load, figure7_statistics
+from repro.reporting.tables import ascii_table
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+PX = IndexOrganization.PX
+NX = IndexOrganization.NX
+
+
+def sweep():
+    stats = figure7_statistics()
+    path = stats.path
+    rows = []
+
+    scenarios = {
+        "paper workload (Figure 7)": figure7_load(),
+        "root-class queries only": LoadDistribution(
+            path, {"Person": LoadTriplet(query=0.5)}
+        ),
+        "root queries + updates": LoadDistribution(
+            path,
+            {
+                "Person": LoadTriplet(query=0.5, insert=0.05, delete=0.05),
+                "Company": LoadTriplet(insert=0.05, delete=0.05),
+                "Division": LoadTriplet(insert=0.1, delete=0.05),
+            },
+        ),
+    }
+    results = {}
+    for label, load in scenarios.items():
+        base = advise(stats, load, organizations=CONFIGURABLE_ORGANIZATIONS,
+                      run_baselines=False)
+        extended = advise(stats, load, organizations=ALL_ORGANIZATIONS,
+                          run_baselines=False)
+        gain = base.optimal.cost / max(extended.optimal.cost, 1e-12)
+        rows.append(
+            [
+                label,
+                f"{base.optimal.cost:.2f}",
+                f"{extended.optimal.cost:.2f}",
+                f"{gain:.2f}x",
+                extended.optimal.configuration.render(path),
+            ]
+        )
+        results[label] = (base, extended)
+    return rows, results, stats
+
+
+def test_five_organizations(benchmark):
+    rows, results, stats = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Root-only query workloads must exploit NX or PX (one narrow lookup).
+    _base, extended = results["root-class queries only"]
+    used = {
+        assignment.organization
+        for assignment in extended.optimal.configuration.assignments
+    }
+    assert used & {NX, PX}
+    # Adding organizations can only improve the optimum.
+    for label, (base, ext) in results.items():
+        assert ext.optimal.cost <= base.optimal.cost + 1e-9
+
+    matrix = CostMatrix.compute(
+        stats, figure7_load(), organizations=ALL_ORGANIZATIONS
+    )
+    report = "\n".join(
+        [
+            ascii_table(
+                [
+                    "workload",
+                    "MX/MIX/NIX optimum",
+                    "with PX+NX",
+                    "gain",
+                    "configuration",
+                ],
+                rows,
+                title="Optimizer with the extended organization set",
+            ),
+            "",
+            "extended cost matrix (Figure 7 workload):",
+            matrix.render(stats.path),
+        ]
+    )
+    write_report("five_organizations", report)

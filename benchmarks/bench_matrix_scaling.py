@@ -1,0 +1,60 @@
+"""Section 5 size claim: the cost matrix has ``3 · n(n+1)/2`` entries.
+
+"Because in practice a path has rarely a length greater than 7 the
+complexity is determined by the expression 3 * O(n(n+1)/2) which is the
+size of the matrix." The benchmark measures Cost_Matrix computation time
+across path lengths and verifies the entry-count formula.
+"""
+
+from benchmarks.conftest import write_report
+from repro.core.cost_matrix import CostMatrix
+from repro.costmodel.params import ClassStats, PathStatistics
+from repro.reporting.tables import ascii_table
+from repro.synth import LevelSpec, linear_path_schema
+from repro.workload.load import LoadDistribution
+
+LENGTHS = [2, 3, 4, 5, 6, 7, 8, 10, 12]
+
+
+def make_inputs(length: int):
+    levels = [LevelSpec(f"L{i}") for i in range(length)]
+    _schema, path = linear_path_schema(levels)
+    per_class = {}
+    objects = 50_000
+    for position in range(1, length + 1):
+        name = path.class_at(position)
+        per_class[name] = ClassStats(
+            objects=objects, distinct=max(10, objects // 5), fanout=1
+        )
+        objects = max(100, objects // 4)
+    stats = PathStatistics(path, per_class)
+    load = LoadDistribution.uniform(path, query=0.2, insert=0.05, delete=0.05)
+    return stats, load
+
+
+def test_matrix_entry_count_and_time(benchmark):
+    import time
+
+    rows = []
+
+    def sweep():
+        local_rows = []
+        for length in LENGTHS:
+            stats, load = make_inputs(length)
+            started = time.perf_counter()
+            matrix = CostMatrix.compute(stats, load)
+            elapsed = (time.perf_counter() - started) * 1000
+            expected_entries = 3 * length * (length + 1) // 2
+            assert matrix.entry_count() == expected_entries
+            local_rows.append(
+                [length, matrix.row_count(), expected_entries, f"{elapsed:.1f}"]
+            )
+        return local_rows
+
+    rows = benchmark(sweep)
+    report = ascii_table(
+        ["path length", "rows n(n+1)/2", "entries 3*n(n+1)/2", "compute ms"],
+        rows,
+        title="Cost_Matrix size and computation time (Section 5 complexity claim)",
+    )
+    write_report("matrix_scaling", report)

@@ -1,0 +1,83 @@
+"""Section 6 extension: allowing unindexed subpaths.
+
+"Furthermore, we will incorporate in the algorithm the possibility that no
+index will be allocated on a subpath." This ablation sweeps the update
+intensity on the Figure 7 statistics and reports when the optimizer starts
+leaving subpaths unindexed, and how much that saves.
+"""
+
+from benchmarks.conftest import write_report
+from repro.core.advisor import advise
+from repro.organizations import EXTENDED_ORGANIZATIONS, IndexOrganization
+from repro.paper import figure7_statistics
+from repro.reporting.tables import ascii_table
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+UPDATE_INTENSITIES = [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0]
+
+
+def sweep():
+    stats = figure7_statistics()
+    path = stats.path
+    rows = []
+    gains = []
+    for intensity in UPDATE_INTENSITIES:
+        load = LoadDistribution(
+            path,
+            {
+                name: LoadTriplet(
+                    query=0.05, insert=0.1 * intensity, delete=0.1 * intensity
+                )
+                for name in path.scope
+            },
+        )
+        base = advise(stats, load, run_baselines=False)
+        extended = advise(
+            stats,
+            load,
+            organizations=EXTENDED_ORGANIZATIONS,
+            run_baselines=False,
+        )
+        unindexed = sum(
+            1
+            for assignment in extended.optimal.configuration.assignments
+            if assignment.organization is IndexOrganization.NONE
+        )
+        gain = base.optimal.cost / max(extended.optimal.cost, 1e-12)
+        gains.append((intensity, gain, unindexed))
+        rows.append(
+            [
+                f"{intensity:.1f}",
+                f"{base.optimal.cost:.2f}",
+                f"{extended.optimal.cost:.2f}",
+                f"{gain:.2f}x",
+                unindexed,
+                extended.optimal.configuration.render(path),
+            ]
+        )
+    return rows, gains
+
+
+def test_noindex_extension(benchmark):
+    rows, gains = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Query-only end: no subpath should drop its index.
+    assert gains[0][2] == 0
+    # Update-heavy end: at least one subpath goes unindexed and wins.
+    assert gains[-1][2] >= 1
+    assert gains[-1][1] > 1.0
+    report = ascii_table(
+        [
+            "update intensity",
+            "MX/MIX/NIX only",
+            "with NONE",
+            "gain",
+            "#unindexed",
+            "optimal configuration",
+        ],
+        rows,
+        title=(
+            "No-index extension (Section 6): optimizer cost with and without\n"
+            "the option to leave subpaths unindexed, by update intensity"
+        ),
+    )
+    write_report("noindex_extension", report)

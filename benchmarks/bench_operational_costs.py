@@ -1,0 +1,102 @@
+"""Operational microbenchmark: measured page accesses per organization.
+
+The operational counterpart of the Figure 8 comparison: the same database,
+the same operations, three whole-path organizations plus the paper's
+optimal split — measured page accesses per operation type, plus wall-clock
+timing of the query path through the simulator.
+"""
+
+from benchmarks.conftest import write_report
+from repro.core.configuration import IndexConfiguration
+from repro.costmodel.params import ClassStats
+from repro.indexes.executor import PathQueryExecutor
+from repro.indexes.manager import ConfigurationIndexSet
+from repro.organizations import IndexOrganization
+from repro.reporting.tables import ascii_table
+from repro.synth import LevelSpec, linear_path_schema, populate_path_database
+
+MX = IndexOrganization.MX
+MIX = IndexOrganization.MIX
+NIX = IndexOrganization.NIX
+
+CONFIGS = {
+    "whole-path MX": IndexConfiguration.whole_path(4, MX),
+    "whole-path MIX": IndexConfiguration.whole_path(4, MIX),
+    "whole-path NIX": IndexConfiguration.whole_path(4, NIX),
+    "split NIX|MX": IndexConfiguration.of((1, 2, NIX), (3, 4, MX)),
+}
+
+SPECS = {
+    "P": ClassStats(objects=4000, distinct=800, fanout=1),
+    "V": ClassStats(objects=400, distinct=150, fanout=2),
+    "VSub1": ClassStats(objects=200, distinct=100, fanout=2),
+    "VSub2": ClassStats(objects=200, distinct=100, fanout=2),
+    "C": ClassStats(objects=200, distinct=80, fanout=2),
+    "D": ClassStats(objects=100, distinct=40, fanout=1),
+}
+
+
+def build_world():
+    schema, path = linear_path_schema(
+        [
+            LevelSpec("P", multi_valued=False),
+            LevelSpec("V", subclasses=2, multi_valued=True),
+            LevelSpec("C", multi_valued=True),
+            LevelSpec("D"),
+        ]
+    )
+    return schema, path, populate_path_database(schema, path, SPECS, seed=21)
+
+
+def measure_all():
+    rows = []
+    for label, config in CONFIGS.items():
+        _schema, path, database = build_world()
+        indexes = ConfigurationIndexSet(database, path, config)
+        executor = PathQueryExecutor(indexes)
+        values = sorted(
+            {v for d in database.extent("D") for v in d.value_list("label")},
+            key=repr,
+        )[:10]
+        query_cost = sum(
+            executor.query(value, "P").stats.total for value in values
+        ) / len(values)
+        d_extent = [i.oid for i in list(database.extent("D"))[:5]]
+        delete_cost = sum(
+            executor.delete(oid).stats.total for oid in d_extent
+        ) / len(d_extent)
+        supplier = next(database.extent("D")).oid
+        insert_cost = (
+            executor.insert("C", ref3=[supplier], payload=0).stats.total
+        )
+        rows.append(
+            [
+                label,
+                f"{query_cost:.1f}",
+                f"{insert_cost:.1f}",
+                f"{delete_cost:.1f}",
+            ]
+        )
+    return rows
+
+
+def test_operational_page_costs(benchmark):
+    rows = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    by_label = {row[0]: row for row in rows}
+    # NIX answers queries in the fewest pages; MX pays the full chain.
+    assert float(by_label["whole-path NIX"][1]) <= float(
+        by_label["whole-path MX"][1]
+    )
+    # NIX deletion of an ending-class object costs the most maintenance.
+    assert float(by_label["whole-path NIX"][3]) >= float(
+        by_label["whole-path MIX"][3]
+    )
+    report = ascii_table(
+        ["configuration", "query pages", "insert pages", "delete pages"],
+        rows,
+        title=(
+            "Measured page accesses per operation (operational simulator,\n"
+            "4-level synthetic path, mean over 10 queries / 5 deletes)"
+        ),
+    )
+    write_report("operational_costs", report)

@@ -1,0 +1,62 @@
+"""Storage-budget ablation: the cost of fitting a page budget.
+
+Sweeps the storage budget on the Figure 7 setup and reports the cheapest
+configuration that fits, exposing the cost/storage trade-off curve — the
+question a database administrator asks right after reading the paper.
+"""
+
+from benchmarks.conftest import write_report
+from repro.core.budget import optimize_with_budget
+from repro.core.cost_matrix import CostMatrix
+from repro.organizations import EXTENDED_ORGANIZATIONS
+from repro.paper import figure7_load, figure7_statistics
+from repro.reporting.tables import ascii_table
+
+
+def sweep():
+    stats = figure7_statistics()
+    matrix = CostMatrix.compute(
+        stats, figure7_load(), organizations=EXTENDED_ORGANIZATIONS
+    )
+    generous = optimize_with_budget(matrix, budget_pages=10**12)
+    budgets = [
+        0.0,
+        generous.unconstrained_storage * 0.1,
+        generous.unconstrained_storage * 0.25,
+        generous.unconstrained_storage * 0.5,
+        generous.unconstrained_storage * 0.75,
+        generous.unconstrained_storage * 1.0,
+    ]
+    rows = []
+    results = []
+    for budget in budgets:
+        result = optimize_with_budget(matrix, budget_pages=budget)
+        results.append(result)
+        rows.append(
+            [
+                f"{budget:.0f}",
+                f"{result.storage_pages:.0f}",
+                f"{result.cost:.2f}",
+                f"+{result.cost_of_constraint:.2f}",
+                result.configuration.render(stats.path),
+            ]
+        )
+    return rows, results
+
+
+def test_storage_budget(benchmark):
+    rows, results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    costs = [result.cost for result in results]
+    # Processing cost decreases (weakly) as the budget grows.
+    assert costs == sorted(costs, reverse=True)
+    # The zero budget forces a fully unindexed path.
+    assert results[0].storage_pages == 0.0
+    report = ascii_table(
+        ["budget pages", "used pages", "cost", "vs unconstrained", "configuration"],
+        rows,
+        title=(
+            "Storage-budget-constrained selection on Figure 7 statistics\n"
+            "(organizations include NONE so a zero-storage fallback exists)"
+        ),
+    )
+    write_report("storage_budget", report)

@@ -1,0 +1,88 @@
+"""Workload-sensitivity ablation: where configurations cross over.
+
+The paper's motivation is that the best indexing depends on the workload
+mix. This ablation sweeps the query:update ratio on the Figure 7 database
+and reports, per mix, the costs of the three whole-path single indexes and
+of the optimal configuration — exposing the crossovers and the regime
+where splitting pays the most.
+"""
+
+from benchmarks.conftest import write_report
+from repro.core.advisor import advise
+from repro.organizations import IndexOrganization
+from repro.paper import figure7_statistics, pexa_path
+from repro.reporting.tables import ascii_table
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+MX = IndexOrganization.MX
+MIX = IndexOrganization.MIX
+NIX = IndexOrganization.NIX
+
+#: query share of the total per-class frequency mass.
+QUERY_SHARES = [0.0, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0]
+
+
+def make_load(path, query_share: float) -> LoadDistribution:
+    update_share = (1.0 - query_share) / 2.0
+    triplet = LoadTriplet(
+        query=0.3 * query_share,
+        insert=0.3 * update_share,
+        delete=0.3 * update_share,
+    )
+    return LoadDistribution(path, {name: triplet for name in path.scope})
+
+
+def sweep():
+    stats = figure7_statistics()
+    path = stats.path
+    rows = []
+    optima = []
+    for share in QUERY_SHARES:
+        load = make_load(path, share)
+        report = advise(stats, load)
+        rows.append(
+            [
+                f"{share:.2f}",
+                f"{report.single_index_costs[MX]:.2f}",
+                f"{report.single_index_costs[MIX]:.2f}",
+                f"{report.single_index_costs[NIX]:.2f}",
+                f"{report.optimal.cost:.2f}",
+                report.optimal.configuration.render(path),
+            ]
+        )
+        optima.append((share, report))
+    return rows, optima
+
+
+def test_workload_sensitivity(benchmark):
+    rows, optima = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Shape assertions:
+    # 1. the optimal configuration is never worse than any single index;
+    for (share, report) in optima:
+        best_single = min(report.single_index_costs.values())
+        assert report.optimal.cost <= best_single + 1e-9
+    # 2. under pure queries, whole-path NIX is the best single index
+    #    (single record lookup — the paper's motivation for NIX);
+    pure_query = optima[-1][1]
+    assert (
+        pure_query.single_index_costs[NIX]
+        <= min(pure_query.single_index_costs.values()) + 1e-9
+    )
+    # 3. under pure updates NIX is the *worst* single index (its
+    #    maintenance propagates through primary + auxiliary structures).
+    pure_update = optima[0][1]
+    assert pure_update.single_index_costs[NIX] == max(
+        pure_update.single_index_costs.values()
+    )
+
+    report_text = ascii_table(
+        ["query share", "MX", "MIX", "NIX", "optimal", "optimal configuration"],
+        rows,
+        title=(
+            "Workload sensitivity on Figure 7 statistics\n"
+            "(whole-path single-index costs vs the optimal configuration;\n"
+            " uniform per-class frequency 0.3 split query/update by share)"
+        ),
+    )
+    write_report("workload_sensitivity", report_text)

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+ablation) and writes a plain-text report to ``benchmarks/results/`` so the
+artifacts survive the run. Shape assertions — who wins, by what factor —
+are made inside the benchmarks; absolute numbers are expected to differ
+from the paper (physical constants are not stated there).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a benchmark's table to ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    # Also echo for `pytest -s` runs.
+    print(f"\n=== {name} ===\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def fig7_inputs():
+    """Figure 7 statistics and workload (session-scoped)."""
+    from repro.paper import figure7_load, figure7_statistics
+
+    return figure7_statistics(), figure7_load()

@@ -1,0 +1,27 @@
+"""Quickstart: select the optimal index configuration for the paper's path.
+
+Runs the complete Section 5 pipeline — Cost_Matrix, Min_Cost, Opt_Ind_Con
+— on the paper's Example 5.1 inputs (Figure 7) and prints the report.
+
+    python examples/quickstart.py
+"""
+
+from repro import advise
+from repro.paper import figure7_load, figure7_statistics
+
+
+def main() -> None:
+    stats = figure7_statistics()  # Figure 7: n, d, nin per scope class
+    load = figure7_load()  # Figure 7: (query, insert, delete) per class
+
+    report = advise(stats, load, keep_trace=True)
+
+    print(report.render())
+    print()
+    print("branch-and-bound decisions:")
+    for line in report.optimal.trace:
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

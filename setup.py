@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build the editable
+wheel. This shim enables the legacy path::
+
+    python setup.py develop
+
+Metadata lives in ``pyproject.toml``; this file only triggers setup().
+"""
+
+from setuptools import setup
+
+setup()

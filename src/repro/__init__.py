@@ -1,0 +1,78 @@
+"""repro — optimal index configuration selection for OO databases.
+
+A complete reproduction of *"On the Selection of Optimal Index
+Configuration in OO Databases"* (Choenni, Bertino, Blanken & Chang,
+ICDE 1994): the object-oriented data model, the page-level storage
+simulator with operational SIX/IIX/MX/MIX/NIX indexes, the analytic cost
+models of Section 3, the workload model of Section 3.2, and the
+``Cost_Matrix`` / ``Min_Cost`` / ``Opt_Ind_Con`` selection algorithm of
+Section 5 with exhaustive and dynamic-programming baselines.
+
+Quickstart::
+
+    from repro import advise
+    from repro.paper import figure7_load, figure7_statistics
+
+    report = advise(figure7_statistics(), figure7_load())
+    print(report.render())
+"""
+
+from repro.core.advisor import AdvisorReport, advise
+from repro.core.budget import BudgetedResult, optimize_with_budget
+from repro.core.configuration import IndexConfiguration, IndexedSubpath
+from repro.core.cost_matrix import CostMatrix
+from repro.core.dynprog import dynamic_program
+from repro.core.exhaustive import enumerate_partitions, exhaustive_search
+from repro.core.optimizer import OptimizationResult, optimize
+from repro.core.planner import Plan, explain_query, explain_update
+from repro.costmodel.params import ClassStats, CostModelConfig, PathStatistics
+from repro.costmodel.subpath import build_model, subpath_processing_cost
+from repro.errors import ReproError
+from repro.model.attribute import AtomicType, Attribute
+from repro.model.objects import OID, OODatabase, ObjectInstance
+from repro.model.path import Path
+from repro.model.schema import ClassDef, Schema
+from repro.organizations import CONFIGURABLE_ORGANIZATIONS, IndexOrganization
+from repro.storage.sizes import SizeModel
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdvisorReport",
+    "AtomicType",
+    "Attribute",
+    "BudgetedResult",
+    "CONFIGURABLE_ORGANIZATIONS",
+    "ClassDef",
+    "ClassStats",
+    "CostMatrix",
+    "CostModelConfig",
+    "IndexConfiguration",
+    "IndexOrganization",
+    "IndexedSubpath",
+    "LoadDistribution",
+    "LoadTriplet",
+    "OID",
+    "OODatabase",
+    "ObjectInstance",
+    "OptimizationResult",
+    "Path",
+    "PathStatistics",
+    "Plan",
+    "ReproError",
+    "Schema",
+    "SizeModel",
+    "WorkloadGenerator",
+    "advise",
+    "build_model",
+    "dynamic_program",
+    "enumerate_partitions",
+    "exhaustive_search",
+    "explain_query",
+    "explain_update",
+    "optimize",
+    "optimize_with_budget",
+    "subpath_processing_cost",
+]

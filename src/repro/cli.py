@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+::
+
+    python -m repro advise  SPEC.json [--trace] [--json] [--noindex]
+    python -m repro matrix  SPEC.json
+    python -m repro example                # print a template spec
+    python -m repro paper   [--trace]      # reproduce Example 5.1
+
+``SPEC.json`` is the advisor-spec document described in :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.advisor import advise
+from repro.core.cost_matrix import CostMatrix
+from repro.errors import ReproError
+from repro.io import load_spec, spec_to_dict
+from repro.organizations import CONFIGURABLE_ORGANIZATIONS
+
+
+def _cmd_advise(arguments: argparse.Namespace) -> int:
+    spec = load_spec(arguments.spec)
+    report = advise(
+        spec.stats,
+        spec.load,
+        organizations=spec.organizations or CONFIGURABLE_ORGANIZATIONS,
+        include_noindex=spec.include_noindex or arguments.noindex,
+        keep_trace=arguments.trace,
+        range_selectivity=spec.range_selectivity,
+    )
+    if arguments.json:
+        path = spec.stats.path
+        payload = {
+            "path": str(path),
+            "optimal": {
+                "configuration": [
+                    {
+                        "subpath": str(path.subpath(a.start, a.end)),
+                        "start": a.start,
+                        "end": a.end,
+                        "organization": str(a.organization),
+                    }
+                    for a in report.optimal.configuration.assignments
+                ],
+                "cost": report.optimal.cost,
+                "evaluated": report.optimal.evaluated,
+                "pruned": report.optimal.pruned,
+            },
+            "single_index_costs": {
+                str(org): cost for org, cost in report.single_index_costs.items()
+            },
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+        if arguments.trace:
+            print()
+            for line in report.optimal.trace:
+                print("  " + line)
+    return 0
+
+
+def _cmd_matrix(arguments: argparse.Namespace) -> int:
+    spec = load_spec(arguments.spec)
+    matrix = CostMatrix.compute(
+        spec.stats,
+        spec.load,
+        organizations=spec.organizations or CONFIGURABLE_ORGANIZATIONS,
+        include_noindex=spec.include_noindex,
+        range_selectivity=spec.range_selectivity,
+    )
+    print(matrix.render(spec.stats.path))
+    return 0
+
+
+def _cmd_example(arguments: argparse.Namespace) -> int:
+    from repro.paper import figure7_load, figure7_statistics
+
+    document = spec_to_dict(figure7_statistics(), figure7_load())
+    print(json.dumps(document, indent=2))
+    return 0
+
+
+def _cmd_paper(arguments: argparse.Namespace) -> int:
+    from repro.paper import figure7_load, figure7_statistics
+
+    report = advise(
+        figure7_statistics(), figure7_load(), keep_trace=arguments.trace
+    )
+    print(report.render())
+    if arguments.trace:
+        print()
+        for line in report.optimal.trace:
+            print("  " + line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Optimal index configuration selection for OO databases "
+            "(Choenni, Bertino, Blanken & Chang, ICDE 1994)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    advise_parser = commands.add_parser(
+        "advise", help="select the optimal configuration for a spec"
+    )
+    advise_parser.add_argument("spec", help="advisor spec JSON file")
+    advise_parser.add_argument(
+        "--trace", action="store_true", help="show branch-and-bound decisions"
+    )
+    advise_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    advise_parser.add_argument(
+        "--noindex",
+        action="store_true",
+        help="also consider leaving subpaths unindexed",
+    )
+    advise_parser.set_defaults(handler=_cmd_advise)
+
+    matrix_parser = commands.add_parser(
+        "matrix", help="print the subpath x organization cost matrix"
+    )
+    matrix_parser.add_argument("spec", help="advisor spec JSON file")
+    matrix_parser.set_defaults(handler=_cmd_matrix)
+
+    example_parser = commands.add_parser(
+        "example", help="print a template spec (the paper's Figure 7)"
+    )
+    example_parser.set_defaults(handler=_cmd_example)
+
+    paper_parser = commands.add_parser(
+        "paper", help="reproduce the paper's Example 5.1"
+    )
+    paper_parser.add_argument("--trace", action="store_true")
+    paper_parser.set_defaults(handler=_cmd_paper)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like a good
+        # Unix citizen.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0

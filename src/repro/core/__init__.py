@@ -1,0 +1,43 @@
+"""The paper's primary contribution: index-configuration selection.
+
+* :mod:`~repro.core.configuration` — index configurations (Definition 4.1);
+* :mod:`~repro.core.cost_matrix` — the ``Cost_Matrix`` and ``Min_Cost``
+  procedures of Section 5;
+* :mod:`~repro.core.optimizer` — ``Opt_Ind_Con``: branch-and-bound over
+  the ``2^(n-1)`` recombinations;
+* :mod:`~repro.core.exhaustive` / :mod:`~repro.core.dynprog` — baselines
+  (full enumeration; an O(n²) dynamic program that is exact for the same
+  additive objective);
+* :mod:`~repro.core.evaluation` — configuration cost evaluation, including
+  the exact "coupled" evaluator extension;
+* :mod:`~repro.core.advisor` — the one-call high-level API;
+* :mod:`~repro.core.multipath` — the Section 6 multi-path extension.
+"""
+
+from repro.core.advisor import AdvisorReport, advise
+from repro.core.budget import BudgetedResult, optimize_with_budget
+from repro.core.configuration import IndexConfiguration, IndexedSubpath
+from repro.core.cost_matrix import CostMatrix
+from repro.core.dynprog import dynamic_program
+from repro.core.exhaustive import enumerate_partitions, exhaustive_search
+from repro.core.optimizer import OptimizationResult, optimize
+from repro.core.planner import Plan, PlanStep, explain_query, explain_update
+
+__all__ = [
+    "AdvisorReport",
+    "BudgetedResult",
+    "CostMatrix",
+    "IndexConfiguration",
+    "IndexedSubpath",
+    "OptimizationResult",
+    "Plan",
+    "PlanStep",
+    "advise",
+    "dynamic_program",
+    "enumerate_partitions",
+    "exhaustive_search",
+    "explain_query",
+    "explain_update",
+    "optimize",
+    "optimize_with_budget",
+]

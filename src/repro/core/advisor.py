@@ -1,0 +1,144 @@
+"""The high-level advisor API: one call from statistics to configuration.
+
+:func:`advise` runs the complete pipeline of Section 5 — ``Cost_Matrix``,
+``Min_Cost``, ``Opt_Ind_Con`` — plus the baselines the paper compares
+against (single-index whole-path configurations, exhaustive enumeration)
+and packages everything in an :class:`AdvisorReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cost_matrix import CostMatrix
+from repro.core.dynprog import DynamicProgramResult, dynamic_program
+from repro.core.exhaustive import ExhaustiveResult, exhaustive_search
+from repro.core.optimizer import OptimizationResult, optimize
+from repro.costmodel.params import PathStatistics
+from repro.organizations import CONFIGURABLE_ORGANIZATIONS, IndexOrganization
+from repro.workload.load import LoadDistribution
+
+
+@dataclass
+class AdvisorReport:
+    """Everything the advisor computed for one path and workload."""
+
+    stats: PathStatistics
+    load: LoadDistribution
+    matrix: CostMatrix
+    optimal: OptimizationResult
+    exhaustive: ExhaustiveResult | None = None
+    dynprog: DynamicProgramResult | None = None
+    single_index_costs: dict[IndexOrganization, float] = field(default_factory=dict)
+
+    @property
+    def best_single_index(self) -> tuple[IndexOrganization, float]:
+        """The cheapest whole-path single-index configuration."""
+        organization = min(self.single_index_costs, key=self.single_index_costs.get)
+        return organization, self.single_index_costs[organization]
+
+    @property
+    def improvement_factor(self) -> float:
+        """Best single-index cost divided by the optimal configuration cost.
+
+        The paper's headline: splitting ``P_exa`` "decreases the processing
+        cost of a path by a factor 2.7" against the whole-path NIX.
+        """
+        if self.optimal.cost <= 0:
+            return float("inf")
+        return self.best_single_index[1] / self.optimal.cost
+
+    def render(self) -> str:
+        """Multi-line, human-readable report."""
+        path = self.stats.path
+        lines = [
+            f"path: {path}",
+            "",
+            self.matrix.render(path),
+            "",
+            f"optimal: {self.optimal.render(path)}",
+        ]
+        breakdown_lines = []
+        for assignment in self.optimal.configuration.assignments:
+            breakdown = self.matrix.breakdown(
+                assignment.start, assignment.end, assignment.organization
+            )
+            if breakdown is None:
+                continue
+            breakdown_lines.append(
+                f"  {assignment.render(path)}: query={breakdown.query:.2f} "
+                f"insert={breakdown.insert:.2f} delete={breakdown.delete:.2f} "
+                f"cmd={breakdown.cmd:.2f}"
+            )
+        if breakdown_lines:
+            lines.append("cost breakdown per subpath:")
+            lines.extend(breakdown_lines)
+        if self.single_index_costs:
+            lines.append("single-index baselines:")
+            for organization, cost in sorted(
+                self.single_index_costs.items(), key=lambda item: item[1]
+            ):
+                lines.append(f"  {{({path}, {organization})}}: {cost:.2f}")
+            lines.append(
+                f"improvement over best single index: {self.improvement_factor:.2f}x"
+            )
+        if self.exhaustive is not None:
+            lines.append(
+                f"exhaustive: cost {self.exhaustive.cost:.2f} over "
+                f"{self.exhaustive.evaluated} configurations"
+            )
+        if self.dynprog is not None:
+            lines.append(
+                f"dynamic program: cost {self.dynprog.cost:.2f} "
+                f"({self.dynprog.rows_inspected} row lookups)"
+            )
+        return "\n".join(lines)
+
+
+def advise(
+    stats: PathStatistics,
+    load: LoadDistribution,
+    organizations: tuple[IndexOrganization, ...] = CONFIGURABLE_ORGANIZATIONS,
+    include_noindex: bool = False,
+    run_baselines: bool = True,
+    keep_trace: bool = False,
+    range_selectivity: float | None = None,
+) -> AdvisorReport:
+    """Select the optimal index configuration for a path.
+
+    Parameters
+    ----------
+    stats:
+        Path statistics (the Figure 7 inputs).
+    load:
+        The workload distribution over the path's scope.
+    organizations:
+        Candidate organizations per subpath (default: MX, MIX, NIX).
+    include_noindex:
+        Also consider leaving subpaths unindexed (Section 6 extension).
+    run_baselines:
+        Compute exhaustive enumeration, the DP optimum and the
+        single-index whole-path baselines alongside.
+    keep_trace:
+        Record the branch-and-bound decision trace.
+    range_selectivity:
+        Treat the workload's queries as range predicates covering this
+        fraction of the distinct ending values.
+    """
+    matrix = CostMatrix.compute(
+        stats,
+        load,
+        organizations=organizations,
+        include_noindex=include_noindex,
+        range_selectivity=range_selectivity,
+    )
+    optimal = optimize(matrix, keep_trace=keep_trace)
+    report = AdvisorReport(stats=stats, load=load, matrix=matrix, optimal=optimal)
+    if run_baselines:
+        report.exhaustive = exhaustive_search(matrix)
+        report.dynprog = dynamic_program(matrix)
+        report.single_index_costs = {
+            organization: matrix.cost(1, stats.length, organization)
+            for organization in matrix.organizations
+        }
+    return report

@@ -1,0 +1,102 @@
+"""Index configurations (Definition 4.1).
+
+An index configuration of degree ``m`` for a path of length ``n`` is a
+sequence of ``m`` pairs ``(S_i, X_i)`` whose subpaths concatenate to the
+original path — i.e. a partition of positions ``1..n`` into contiguous
+blocks, each assigned an index organization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OptimizerError
+from repro.model.path import Path
+from repro.organizations import IndexOrganization
+
+
+@dataclass(frozen=True, order=True)
+class IndexedSubpath:
+    """One pair ``(S_i, X_i)``: a subpath plus its index organization."""
+
+    start: int
+    end: int
+    organization: IndexOrganization
+
+    def __post_init__(self) -> None:
+        if self.start < 1 or self.end < self.start:
+            raise OptimizerError(
+                f"invalid subpath bounds {self.start}..{self.end}"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of classes covered by the subpath."""
+        return self.end - self.start + 1
+
+    def render(self, path: Path | None = None) -> str:
+        """``(Per.owns.man, NIX)`` when a path is given, positional otherwise."""
+        if path is None:
+            return f"(S[{self.start},{self.end}], {self.organization})"
+        return f"({path.subpath(self.start, self.end)}, {self.organization})"
+
+
+@dataclass(frozen=True)
+class IndexConfiguration:
+    """A complete configuration: contiguous subpaths covering ``1..n``."""
+
+    assignments: tuple[IndexedSubpath, ...]
+
+    def __post_init__(self) -> None:
+        if not self.assignments:
+            raise OptimizerError("a configuration needs at least one subpath")
+        ordered = sorted(self.assignments, key=lambda a: a.start)
+        object.__setattr__(self, "assignments", tuple(ordered))
+        expected = 1
+        for assignment in self.assignments:
+            if assignment.start != expected:
+                raise OptimizerError(
+                    "subpaths do not form a contiguous partition: expected "
+                    f"start {expected}, got {assignment.start}"
+                )
+            expected = assignment.end + 1
+
+    @classmethod
+    def whole_path(
+        cls, length: int, organization: IndexOrganization
+    ) -> "IndexConfiguration":
+        """The degree-1 configuration: one index on the entire path."""
+        return cls((IndexedSubpath(1, length, organization),))
+
+    @classmethod
+    def of(
+        cls, *parts: tuple[int, int, IndexOrganization]
+    ) -> "IndexConfiguration":
+        """Build from ``(start, end, organization)`` triples."""
+        return cls(tuple(IndexedSubpath(s, e, o) for s, e, o in parts))
+
+    @property
+    def degree(self) -> int:
+        """``m``: the number of subpaths."""
+        return len(self.assignments)
+
+    @property
+    def length(self) -> int:
+        """``n``: the number of positions covered."""
+        return self.assignments[-1].end
+
+    def partition(self) -> tuple[tuple[int, int], ...]:
+        """The bare ``(start, end)`` blocks."""
+        return tuple((a.start, a.end) for a in self.assignments)
+
+    def organization_at(self, position: int) -> IndexOrganization:
+        """The organization indexing the subpath that covers ``position``."""
+        for assignment in self.assignments:
+            if assignment.start <= position <= assignment.end:
+                return assignment.organization
+        raise OptimizerError(f"position {position} outside configuration")
+
+    def render(self, path: Path | None = None) -> str:
+        """Paper-style rendering: ``{(Per.owns.man, NIX), (Comp..., MX)}``."""
+        inner = ", ".join(a.render(path) for a in self.assignments)
+        return "{" + inner + "}"

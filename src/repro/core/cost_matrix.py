@@ -1,0 +1,196 @@
+"""The ``Cost_Matrix`` and ``Min_Cost`` procedures (Section 5).
+
+``Cost_Matrix`` computes the processing cost of every one of the
+``n(n+1)/2`` contiguous subpaths with every index organization and stores
+them in a matrix whose rows are subpaths and whose columns are
+organizations (Figure 6). ``Min_Cost`` underlines the minimum of each row
+— the best organization for each subpath in isolation.
+
+A matrix can also be constructed from literal values
+(:meth:`CostMatrix.from_values`), which is how the Figure 6 hypothetical
+matrix and its walkthrough are reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.params import PathStatistics
+from repro.costmodel.subpath import SubpathCost, subpath_processing_cost
+from repro.errors import OptimizerError
+from repro.organizations import (
+    CONFIGURABLE_ORGANIZATIONS,
+    EXTENDED_ORGANIZATIONS,
+    IndexOrganization,
+)
+from repro.workload.load import LoadDistribution
+
+
+@dataclass(frozen=True)
+class RowMinimum:
+    """The underlined entry of one matrix row."""
+
+    cost: float
+    organization: IndexOrganization
+
+
+class CostMatrix:
+    """Subpath × organization processing costs.
+
+    Rows are addressed by 1-based inclusive bounds ``(start, end)``; the
+    row order of :meth:`rows` matches Figure 6 (by start, then end).
+    """
+
+    def __init__(
+        self,
+        length: int,
+        organizations: tuple[IndexOrganization, ...],
+        entries: dict[tuple[int, int], dict[IndexOrganization, float]],
+        breakdowns: dict[tuple[int, int], dict[IndexOrganization, SubpathCost]]
+        | None = None,
+    ) -> None:
+        if length < 1:
+            raise OptimizerError("path length must be at least 1")
+        if not organizations:
+            raise OptimizerError("at least one organization is required")
+        self.length = length
+        self.organizations = tuple(organizations)
+        self._entries = entries
+        self._breakdowns = breakdowns or {}
+        for start in range(1, length + 1):
+            for end in range(start, length + 1):
+                row = entries.get((start, end))
+                if row is None:
+                    raise OptimizerError(f"missing matrix row ({start},{end})")
+                for organization in organizations:
+                    if organization not in row:
+                        raise OptimizerError(
+                            f"row ({start},{end}) missing {organization}"
+                        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def compute(
+        cls,
+        stats: PathStatistics,
+        load: LoadDistribution,
+        organizations: tuple[IndexOrganization, ...] = CONFIGURABLE_ORGANIZATIONS,
+        include_noindex: bool = False,
+        range_selectivity: float | None = None,
+    ) -> "CostMatrix":
+        """The ``Cost_Matrix`` procedure over the analytic cost model.
+
+        ``range_selectivity`` switches the workload's queries from
+        equality to range predicates with the given selectivity.
+        """
+        if include_noindex and IndexOrganization.NONE not in organizations:
+            organizations = tuple(EXTENDED_ORGANIZATIONS)
+        entries: dict[tuple[int, int], dict[IndexOrganization, float]] = {}
+        breakdowns: dict[tuple[int, int], dict[IndexOrganization, SubpathCost]] = {}
+        length = stats.length
+        for start in range(1, length + 1):
+            for end in range(start, length + 1):
+                row: dict[IndexOrganization, float] = {}
+                row_breakdown: dict[IndexOrganization, SubpathCost] = {}
+                for organization in organizations:
+                    cost = subpath_processing_cost(
+                        stats,
+                        load,
+                        start,
+                        end,
+                        organization,
+                        range_selectivity=range_selectivity,
+                    )
+                    row[organization] = cost.total
+                    row_breakdown[organization] = cost
+                entries[(start, end)] = row
+                breakdowns[(start, end)] = row_breakdown
+        return cls(length, organizations, entries, breakdowns)
+
+    @classmethod
+    def from_values(
+        cls,
+        length: int,
+        values: dict[tuple[int, int], dict[IndexOrganization, float]],
+    ) -> "CostMatrix":
+        """A matrix from literal costs (e.g. the Figure 6 hypothetical)."""
+        organizations = tuple(next(iter(values.values())).keys())
+        return cls(length, organizations, values)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def cost(self, start: int, end: int, organization: IndexOrganization) -> float:
+        """The processing cost of one subpath with one organization."""
+        self._check_bounds(start, end)
+        try:
+            return self._entries[(start, end)][organization]
+        except KeyError:
+            raise OptimizerError(
+                f"no entry for ({start},{end}) with {organization}"
+            ) from None
+
+    def breakdown(
+        self, start: int, end: int, organization: IndexOrganization
+    ) -> SubpathCost | None:
+        """The component breakdown, when the matrix was computed (not literal)."""
+        return self._breakdowns.get((start, end), {}).get(organization)
+
+    def min_cost(self, start: int, end: int) -> RowMinimum:
+        """``Min_Cost``: the underlined (minimal) entry of one row."""
+        self._check_bounds(start, end)
+        row = self._entries[(start, end)]
+        best = min(self.organizations, key=lambda org: row[org])
+        return RowMinimum(cost=row[best], organization=best)
+
+    def rows(self) -> list[tuple[int, int]]:
+        """Row coordinates in Figure 6 order."""
+        return [
+            (start, end)
+            for start in range(1, self.length + 1)
+            for end in range(start, self.length + 1)
+        ]
+
+    def row_count(self) -> int:
+        """``n(n+1)/2``."""
+        return self.length * (self.length + 1) // 2
+
+    def entry_count(self) -> int:
+        """The matrix size the paper quotes: ``|organizations| · n(n+1)/2``."""
+        return len(self.organizations) * self.row_count()
+
+    def _check_bounds(self, start: int, end: int) -> None:
+        if not 1 <= start <= end <= self.length:
+            raise OptimizerError(
+                f"subpath ({start},{end}) out of range for length {self.length}"
+            )
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self, path=None, precision: int = 2) -> str:
+        """Figure 6 / Figure 8 style ASCII rendering with minima marked."""
+        header = ["subpath"] + [str(org) for org in self.organizations]
+        lines = []
+        for start, end in self.rows():
+            label = (
+                str(path.subpath(start, end)) if path is not None else f"S[{start},{end}]"
+            )
+            minimum = self.min_cost(start, end)
+            cells = [label]
+            for organization in self.organizations:
+                value = self._entries[(start, end)][organization]
+                text = f"{value:.{precision}f}"
+                if organization is minimum.organization:
+                    text = f"*{text}*"
+                cells.append(text)
+            lines.append(cells)
+        widths = [
+            max(len(row[i]) for row in [header, *lines]) for i in range(len(header))
+        ]
+        def fmt(row: list[str]) -> str:
+            return "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        return "\n".join([fmt(header), separator, *(fmt(row) for row in lines)])

@@ -1,0 +1,147 @@
+"""Configuration cost evaluation.
+
+Two evaluators:
+
+* :func:`configuration_cost` — the paper's additive evaluation: the sum of
+  the matrix entries of the configuration's subpaths (Proposition 4.2).
+* :func:`coupled_configuration_cost` — an *exact* extension: query costs
+  are chained across subpaths with the true oid fan-in (Corollary 4.1),
+  instead of the one-probe-per-subpath approximation that makes the matrix
+  decomposition possible. The benchmarks use it to quantify how tight the
+  paper's approximation is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.configuration import IndexConfiguration
+from repro.core.cost_matrix import CostMatrix
+from repro.costmodel.params import PathStatistics
+from repro.costmodel.subpath import build_model
+from repro.workload.load import LoadDistribution
+
+
+def configuration_cost(
+    matrix: CostMatrix, configuration: IndexConfiguration
+) -> float:
+    """Additive cost: the sum of the configuration's matrix entries."""
+    return sum(
+        matrix.cost(part.start, part.end, part.organization)
+        for part in configuration.assignments
+    )
+
+
+@dataclass(frozen=True)
+class CoupledCost:
+    """Breakdown of the exact (coupled) configuration evaluation."""
+
+    query: float
+    insert: float
+    delete: float
+    cmd: float
+
+    @property
+    def total(self) -> float:
+        """Sum of all components."""
+        return self.query + self.insert + self.delete + self.cmd
+
+
+def per_class_analytic_costs(
+    stats: PathStatistics,
+    configuration: IndexConfiguration,
+) -> dict[tuple[int, str], dict[str, float]]:
+    """Expected per-operation page accesses for every scope class.
+
+    For each ``(position, class)`` the returned mapping holds the exact
+    (coupled) expected cost of one ``query`` targeting the class, one
+    ``insert`` of an object of the class, and one ``delete`` (including
+    the ``CMD`` charge on the preceding subpath when the class starts a
+    subpath). This is what the validation harness compares against
+    measured page counts.
+    """
+    parts = configuration.assignments
+    models = [
+        build_model(stats, part.start, part.end, part.organization)
+        for part in parts
+    ]
+    probes = [1.0] * len(parts)
+    for g in range(len(parts) - 2, -1, -1):
+        probes[g] = models[g + 1].emitted_oids(probes[g + 1])
+    tail_cost = [0.0] * (len(parts) + 1)
+    for g in range(len(parts) - 1, -1, -1):
+        tail_cost[g] = tail_cost[g + 1] + models[g].hierarchy_query_cost(
+            parts[g].start, probes[g]
+        )
+
+    results: dict[tuple[int, str], dict[str, float]] = {}
+    for g, (part, model) in enumerate(zip(parts, models)):
+        for position in range(part.start, part.end + 1):
+            for member in stats.members(position):
+                query = model.query_cost(position, member, probes[g]) + tail_cost[g + 1]
+                insert = model.insert_cost(position, member)
+                delete = model.delete_cost(position, member)
+                if position == part.start and g > 0:
+                    delete += models[g - 1].cmd_cost()
+                results[(position, member)] = {
+                    "query": query,
+                    "insert": insert,
+                    "delete": delete,
+                }
+    return results
+
+
+def coupled_configuration_cost(
+    stats: PathStatistics,
+    load: LoadDistribution,
+    configuration: IndexConfiguration,
+) -> CoupledCost:
+    """Exact configuration cost with cross-subpath probe chaining.
+
+    A query with respect to class ``C_{l,x}`` in subpath ``S_g`` performs:
+    the full lookup on every later subpath (each fed the oid fan-in of the
+    subpath after it) plus the partial lookup within ``S_g`` starting at
+    position ``l``. Maintenance costs are the same as in the additive
+    evaluation (they are exactly decomposable).
+    """
+    parts = configuration.assignments
+    models = [
+        build_model(stats, part.start, part.end, part.organization)
+        for part in parts
+    ]
+    # probes[g]: equality values fed to subpath g's ending attribute.
+    probes = [1.0] * len(parts)
+    for g in range(len(parts) - 2, -1, -1):
+        probes[g] = models[g + 1].emitted_oids(probes[g + 1])
+
+    # Cost of the "tail" lookups: subpaths strictly after g, probed fully.
+    tail_cost = [0.0] * (len(parts) + 1)
+    for g in range(len(parts) - 1, -1, -1):
+        tail_cost[g] = tail_cost[g + 1] + models[g].hierarchy_query_cost(
+            parts[g].start, probes[g]
+        )
+
+    query = 0.0
+    insert = 0.0
+    delete = 0.0
+    cmd = 0.0
+    for g, (part, model) in enumerate(zip(parts, models)):
+        for position in range(part.start, part.end + 1):
+            for member in stats.members(position):
+                triplet = load.triplet(member)
+                if triplet.query:
+                    own = model.query_cost(position, member, probes[g])
+                    query += triplet.query * (own + tail_cost[g + 1])
+                if triplet.insert:
+                    insert += triplet.insert * model.insert_cost(position, member)
+                if triplet.delete:
+                    delete += triplet.delete * model.delete_cost(position, member)
+        if part.end < stats.length:
+            per_deletion = model.cmd_cost()
+            if per_deletion:
+                following = sum(
+                    load.triplet(member).delete
+                    for member in stats.members(part.end + 1)
+                )
+                cmd += following * per_deletion
+    return CoupledCost(query=query, insert=insert, delete=delete, cmd=cmd)

@@ -1,0 +1,241 @@
+"""Multi-path configuration selection — the Section 6 extension.
+
+The paper's further-research list opens with "the extension of the
+algorithm such that it may generate index configurations for n paths",
+noting that "a path may be a subpath of another path or paths may overlap
+each other".
+
+This module implements the extension for the practically relevant case:
+a set of paths over one schema, each with its own statistics and workload.
+Two paths that select the *identical* physical subpath (the same sequence
+of ``(class, attribute)`` steps) with the same organization share one
+physical index, so its maintenance cost (inserts, deletes, CMD) is paid
+once rather than per path. Query costs are always per path.
+
+The optimizer enumerates, per path, the partitions with per-subpath best
+organizations (plus the runner-up organizations, so sharing can win even
+when it is not locally optimal), then searches the cross product exactly
+when small and greedily otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.configuration import IndexConfiguration, IndexedSubpath
+from repro.core.cost_matrix import CostMatrix
+from repro.core.exhaustive import enumerate_partitions
+from repro.costmodel.params import PathStatistics
+from repro.errors import OptimizerError
+from repro.organizations import IndexOrganization
+from repro.workload.load import LoadDistribution
+
+#: Above this many combinations the search switches to coordinate descent.
+_EXACT_LIMIT = 200_000
+
+
+@dataclass(frozen=True)
+class PathWorkload:
+    """One path's inputs: statistics plus load distribution."""
+
+    stats: PathStatistics
+    load: LoadDistribution
+
+
+@dataclass(frozen=True)
+class SharedIndexKey:
+    """Identity of a physical index: the steps it covers plus organization."""
+
+    steps: tuple[tuple[str, str], ...]
+    organization: IndexOrganization
+
+
+@dataclass
+class MultiPathResult:
+    """Joint configuration selection outcome."""
+
+    configurations: list[IndexConfiguration]
+    total_cost: float
+    shared_savings: float
+    independent_cost: float
+    exact: bool
+
+    def render(self, workloads: list[PathWorkload]) -> str:
+        """Readable multi-path report."""
+        lines = []
+        for workload, configuration in zip(workloads, self.configurations):
+            lines.append(
+                f"  {workload.stats.path}: {configuration.render(workload.stats.path)}"
+            )
+        lines.append(
+            f"joint cost {self.total_cost:.2f} "
+            f"(independent {self.independent_cost:.2f}, "
+            f"shared savings {self.shared_savings:.2f}, "
+            f"{'exact' if self.exact else 'greedy'} search)"
+        )
+        return "\n".join(lines)
+
+
+def _subpath_key(
+    stats: PathStatistics, start: int, end: int, organization: IndexOrganization
+) -> SharedIndexKey:
+    path = stats.path
+    steps = tuple(
+        (path.class_at(position), path.attribute_at(position))
+        for position in range(start, end + 1)
+    )
+    return SharedIndexKey(steps=steps, organization=organization)
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """One candidate configuration of one path, with cost split."""
+
+    configuration: IndexConfiguration
+    query_cost: float
+    maintenance: dict[SharedIndexKey, float]
+
+    @property
+    def total(self) -> float:
+        return self.query_cost + sum(self.maintenance.values())
+
+
+def _candidates_for(
+    workload: PathWorkload, matrix: CostMatrix, per_row_organizations: int
+) -> list[_Candidate]:
+    """All partitions, each with its best few organizations per subpath."""
+    stats = workload.stats
+    candidates: list[_Candidate] = []
+    for blocks in enumerate_partitions(matrix.length):
+        # Per block: the best `per_row_organizations` organizations.
+        options: list[list[IndexedSubpath]] = []
+        for start, end in blocks:
+            ranked = sorted(
+                matrix.organizations,
+                key=lambda org: matrix.cost(start, end, org),
+            )[:per_row_organizations]
+            options.append(
+                [IndexedSubpath(start, end, org) for org in ranked]
+            )
+        for assignment in itertools.product(*options):
+            query_cost = 0.0
+            maintenance: dict[SharedIndexKey, float] = {}
+            for part in assignment:
+                breakdown = matrix.breakdown(part.start, part.end, part.organization)
+                if breakdown is None:
+                    raise OptimizerError(
+                        "multi-path selection requires a computed cost matrix"
+                    )
+                query_cost += breakdown.query
+                key = _subpath_key(stats, part.start, part.end, part.organization)
+                maintenance[key] = (
+                    maintenance.get(key, 0.0)
+                    + breakdown.insert
+                    + breakdown.delete
+                    + breakdown.cmd
+                )
+            candidates.append(
+                _Candidate(
+                    configuration=IndexConfiguration(tuple(assignment)),
+                    query_cost=query_cost,
+                    maintenance=maintenance,
+                )
+            )
+    return candidates
+
+
+def _joint_cost(selection: tuple[_Candidate, ...]) -> tuple[float, float]:
+    """Total joint cost and the sharing savings of one selection."""
+    query = sum(candidate.query_cost for candidate in selection)
+    merged: dict[SharedIndexKey, float] = {}
+    raw = 0.0
+    for candidate in selection:
+        for key, cost in candidate.maintenance.items():
+            raw += cost
+            # A shared physical index is maintained once; the paths may
+            # estimate its maintenance slightly differently (different
+            # ending attributes), so charge the most expensive estimate.
+            merged[key] = max(merged.get(key, 0.0), cost)
+    maintenance = sum(merged.values())
+    return query + maintenance, raw - maintenance
+
+
+def optimize_multipath(
+    workloads: list[PathWorkload],
+    per_row_organizations: int = 2,
+) -> MultiPathResult:
+    """Jointly select configurations for several related paths.
+
+    Parameters
+    ----------
+    workloads:
+        One :class:`PathWorkload` per path (same schema assumed).
+    per_row_organizations:
+        How many of each subpath's best organizations to consider; 1 makes
+        sharing only possible when locally optimal, 2 (default) lets a
+        slightly worse organization win through sharing.
+    """
+    if not workloads:
+        raise OptimizerError("at least one path is required")
+    matrices = [
+        CostMatrix.compute(w.stats, w.load) for w in workloads
+    ]
+    candidate_sets = [
+        _candidates_for(workload, matrix, per_row_organizations)
+        for workload, matrix in zip(workloads, matrices)
+    ]
+    independent = 0.0
+    for candidates in candidate_sets:
+        independent += min(candidate.total for candidate in candidates)
+
+    combinations = 1
+    for candidates in candidate_sets:
+        combinations *= len(candidates)
+
+    if combinations <= _EXACT_LIMIT:
+        best_cost = float("inf")
+        best_savings = 0.0
+        best_selection: tuple[_Candidate, ...] | None = None
+        for selection in itertools.product(*candidate_sets):
+            cost, savings = _joint_cost(selection)
+            if cost < best_cost:
+                best_cost = cost
+                best_savings = savings
+                best_selection = selection
+        assert best_selection is not None
+        return MultiPathResult(
+            configurations=[c.configuration for c in best_selection],
+            total_cost=best_cost,
+            shared_savings=best_savings,
+            independent_cost=independent,
+            exact=True,
+        )
+
+    # Greedy coordinate descent: start from each path's independent best,
+    # then re-optimize one path at a time against the others until stable.
+    selection = [
+        min(candidates, key=lambda candidate: candidate.total)
+        for candidates in candidate_sets
+    ]
+    improved = True
+    while improved:
+        improved = False
+        for index, candidates in enumerate(candidate_sets):
+            current_cost, _ = _joint_cost(tuple(selection))
+            for candidate in candidates:
+                trial = list(selection)
+                trial[index] = candidate
+                cost, _ = _joint_cost(tuple(trial))
+                if cost < current_cost - 1e-12:
+                    selection = trial
+                    current_cost = cost
+                    improved = True
+    cost, savings = _joint_cost(tuple(selection))
+    return MultiPathResult(
+        configurations=[c.configuration for c in selection],
+        total_cost=cost,
+        shared_savings=savings,
+        independent_cost=independent,
+        exact=False,
+    )

@@ -1,0 +1,197 @@
+"""Query and update planning: EXPLAIN for index configurations.
+
+Given a configuration and a target operation, the planner produces the
+sequence of physical steps the executor will take — which index is probed
+with how many keys, what it emits, what maintenance a deletion triggers —
+each annotated with its analytic page-access estimate. The estimates are
+exactly the coupled-evaluation quantities, so ``EXPLAIN`` totals agree
+with :func:`repro.core.evaluation.per_class_analytic_costs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.configuration import IndexConfiguration
+from repro.costmodel.params import PathStatistics
+from repro.costmodel.subpath import build_model
+from repro.errors import OptimizerError
+from repro.organizations import IndexOrganization
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One physical step of a plan."""
+
+    action: str
+    structure: str
+    detail: str
+    estimated_pages: float
+
+
+@dataclass
+class Plan:
+    """An ordered sequence of steps with their total estimate."""
+
+    operation: str
+    target: str
+    steps: list[PlanStep] = field(default_factory=list)
+
+    @property
+    def estimated_pages(self) -> float:
+        """Sum of the step estimates."""
+        return sum(step.estimated_pages for step in self.steps)
+
+    def render(self) -> str:
+        """EXPLAIN-style text rendering."""
+        lines = [f"plan: {self.operation} -> {self.target}"]
+        for index, step in enumerate(self.steps, start=1):
+            lines.append(
+                f"  {index}. {step.action} {step.structure}"
+                f" — {step.detail} (~{step.estimated_pages:.2f} pages)"
+            )
+        lines.append(f"estimated total: {self.estimated_pages:.2f} page accesses")
+        return "\n".join(lines)
+
+
+def _find_position(stats: PathStatistics, class_name: str) -> int:
+    for position in range(1, stats.length + 1):
+        if class_name in stats.members(position):
+            return position
+    raise OptimizerError(f"class {class_name!r} not in scope of {stats.path}")
+
+
+def _structure_label(
+    stats: PathStatistics, start: int, end: int, organization: IndexOrganization
+) -> str:
+    return f"{organization}({stats.path.subpath(start, end)})"
+
+
+def explain_query(
+    stats: PathStatistics,
+    configuration: IndexConfiguration,
+    target_class: str,
+    range_selectivity: float | None = None,
+) -> Plan:
+    """Plan an (equality or range) query for one target class.
+
+    The plan chains backwards from the ending attribute, one step per
+    subpath, reporting per step the number of probe keys, the emitted
+    oids, and the page estimate.
+    """
+    position = _find_position(stats, target_class)
+    parts = configuration.assignments
+    models = [
+        build_model(stats, part.start, part.end, part.organization)
+        for part in parts
+    ]
+    target_part = next(
+        i
+        for i, part in enumerate(parts)
+        if part.start <= position <= part.end
+    )
+    predicate = (
+        "equality value"
+        if range_selectivity is None
+        else f"range (selectivity {range_selectivity:g})"
+    )
+    plan = Plan(operation=f"query[{predicate}]", target=target_class)
+
+    probes = 1.0
+    if range_selectivity is not None:
+        probes = max(1.0, range_selectivity * stats.distinct_union(stats.length))
+    for i in range(len(parts) - 1, target_part, -1):
+        part, model = parts[i], models[i]
+        root = stats.path.class_at(part.start)
+        if i == len(parts) - 1 and range_selectivity is not None:
+            pages = model.range_query_cost(part.start, root, range_selectivity)
+        else:
+            pages = model.hierarchy_query_cost(part.start, probes)
+        emitted = model.emitted_oids(probes)
+        plan.steps.append(
+            PlanStep(
+                action="probe",
+                structure=_structure_label(
+                    stats, part.start, part.end, part.organization
+                ),
+                detail=(
+                    f"{probes:.0f} key(s) -> ~{emitted:.0f} {root} oid(s)"
+                ),
+                estimated_pages=pages,
+            )
+        )
+        probes = emitted
+    part, model = parts[target_part], models[target_part]
+    if target_part == len(parts) - 1 and range_selectivity is not None:
+        pages = model.range_query_cost(position, target_class, range_selectivity)
+    else:
+        pages = model.query_cost(position, target_class, probes)
+    plan.steps.append(
+        PlanStep(
+            action="retrieve",
+            structure=_structure_label(
+                stats, part.start, part.end, part.organization
+            ),
+            detail=f"{probes:.0f} key(s) -> {target_class} oids",
+            estimated_pages=pages,
+        )
+    )
+    return plan
+
+
+def explain_update(
+    stats: PathStatistics,
+    configuration: IndexConfiguration,
+    class_name: str,
+    kind: str,
+) -> Plan:
+    """Plan an object insertion or deletion for one class.
+
+    ``kind`` is ``"insert"`` or ``"delete"``. Deletions on a subpath's
+    starting class include the preceding subpath's ``CMD`` step.
+    """
+    if kind not in ("insert", "delete"):
+        raise OptimizerError(f"unknown update kind: {kind!r}")
+    position = _find_position(stats, class_name)
+    parts = configuration.assignments
+    plan = Plan(operation=kind, target=class_name)
+    for i, part in enumerate(parts):
+        if not part.start <= position <= part.end:
+            continue
+        model = build_model(stats, part.start, part.end, part.organization)
+        if kind == "insert":
+            pages = model.insert_cost(position, class_name)
+            detail = "add the object's values to the subpath index"
+        else:
+            pages = model.delete_cost(position, class_name)
+            detail = "remove the object from the subpath index"
+        plan.steps.append(
+            PlanStep(
+                action="maintain",
+                structure=_structure_label(
+                    stats, part.start, part.end, part.organization
+                ),
+                detail=detail,
+                estimated_pages=pages,
+            )
+        )
+        if kind == "delete" and position == part.start and i > 0:
+            previous = parts[i - 1]
+            previous_model = build_model(
+                stats, previous.start, previous.end, previous.organization
+            )
+            plan.steps.append(
+                PlanStep(
+                    action="maintain",
+                    structure=_structure_label(
+                        stats, previous.start, previous.end, previous.organization
+                    ),
+                    detail=(
+                        "CMD: drop the record keyed by the deleted oid "
+                        "from the preceding subpath's index"
+                    ),
+                    estimated_pages=previous_model.cmd_cost(),
+                )
+            )
+        break
+    return plan

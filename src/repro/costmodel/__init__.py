@@ -1,0 +1,34 @@
+"""Analytic cost models (Sections 3 and 4 of the paper).
+
+The package decomposes exactly like the paper does:
+
+* :mod:`~repro.costmodel.yao` — Yao's block-access estimate ``npa`` [12];
+* :mod:`~repro.costmodel.params` — the Table 2 symbols: per-class
+  statistics (``n``, ``d``, ``nin``), derived quantities (``k``, ``par``,
+  ``nin-bar``) and :class:`~repro.costmodel.params.CostModelConfig`;
+* :mod:`~repro.costmodel.btree_shape` — index heights, leaf pages and
+  level profiles (the role of companion report [7]);
+* :mod:`~repro.costmodel.primitives` — ``CRL``, ``CML``, ``CRT``, ``CMT``
+  and ``CRR``;
+* :mod:`~repro.costmodel.mx` / :mod:`~repro.costmodel.mix` /
+  :mod:`~repro.costmodel.nix` — retrieval and maintenance costs per
+  organization;
+* :mod:`~repro.costmodel.cmd` — the cross-subpath deletion cost
+  ``CMD_X(A_t)`` of Section 4;
+* :mod:`~repro.costmodel.noindex` — naive traversal cost for unindexed
+  subpaths (the Section 6 extension);
+* :mod:`~repro.costmodel.subpath` — the processing cost ``PC(S, X)`` of a
+  subpath under a workload (Definition 4.2, Propositions 4.1/4.2).
+"""
+
+from repro.costmodel.params import ClassStats, CostModelConfig, PathStatistics
+from repro.costmodel.subpath import subpath_processing_cost
+from repro.costmodel.yao import npa
+
+__all__ = [
+    "ClassStats",
+    "CostModelConfig",
+    "PathStatistics",
+    "npa",
+    "subpath_processing_cost",
+]

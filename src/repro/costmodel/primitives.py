@@ -1,0 +1,106 @@
+"""The paper's cost primitives: CRL, CML, CRT, CMT and CRR.
+
+All functions take an :class:`~repro.costmodel.btree_shape.IndexShape` and
+return expected page accesses.
+
+* ``CRL(h, pr)`` — retrieve one index record: ``h`` when the record fits
+  in a page, else ``h - 1 + pr``.
+* ``CML(h, pm)`` — maintain one index record: ``h + 1`` when it fits (the
+  extra access rewrites the page), else ``h - 1 + 2·pm`` (the modified
+  record pages are fetched and rewritten).
+* ``CRT(h, t, pr)`` — retrieve ``t`` records: level-by-level Yao sums with
+  ``t_h = t`` and ``t_{k-1} = npa(t_k, n_k, p_k)``; for oversized records
+  the record level contributes ``t · pr`` instead of a Yao term.
+* ``CMT(h, t, pm)`` — maintain ``t`` records: the retrieval sums plus one
+  rewrite pass over the touched leaf pages ("a page will be rewritten if
+  the maintenance of all index records on the page is completed"), or
+  ``2·t·pm`` for oversized records.
+* ``CRR(m)`` — rewrite ``m`` (auxiliary) records:
+  ``npa(m, n_az, pl_az)`` when a record fits in a page, else ``m · pm``.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.btree_shape import IndexShape
+from repro.costmodel.yao import npa
+from repro.errors import CostModelError
+
+
+def _clamp_records(shape: IndexShape, t: float) -> float:
+    if t < 0:
+        raise CostModelError(f"negative record request: {t}")
+    return min(t, shape.record_count)
+
+
+def crl(shape: IndexShape, pr: float | None = None) -> float:
+    """Retrieval cost of one specified index record."""
+    if shape.empty:
+        return 0.0
+    if not shape.oversized:
+        return float(shape.height)
+    pages = pr if pr is not None else float(shape.record_pages)
+    return float(shape.height - 1) + pages
+
+
+def cml(shape: IndexShape, pm: float | None = None) -> float:
+    """Maintenance cost of one specified index record."""
+    if shape.empty:
+        return 0.0
+    if not shape.oversized:
+        return float(shape.height + 1)
+    pages = pm if pm is not None else float(shape.record_pages)
+    return float(shape.height - 1) + 2.0 * pages
+
+
+def _descend_sum(shape: IndexShape, t: float) -> tuple[float, float]:
+    """Yao sums over the structural levels, leaf upward.
+
+    Returns ``(total, leaf_touched)`` where ``leaf_touched`` is the Yao
+    estimate for the structural leaf level (needed by CMT's rewrite pass).
+    """
+    total = 0.0
+    leaf_touched = 0.0
+    t_current = t
+    for index, level in enumerate(shape.levels):
+        touched = npa(t_current, level.records, level.pages)
+        if index == 0:
+            leaf_touched = touched
+        total += touched
+        t_current = touched
+    return total, leaf_touched
+
+
+def crt(shape: IndexShape, t: float, pr: float | None = None) -> float:
+    """Retrieval cost of ``t`` index records."""
+    t = _clamp_records(shape, t)
+    if shape.empty or t == 0:
+        return 0.0
+    structural, _ = _descend_sum(shape, t)
+    if not shape.oversized:
+        return structural
+    pages = pr if pr is not None else float(shape.record_pages)
+    return structural + t * pages
+
+
+def cmt(shape: IndexShape, t: float, pm: float | None = None) -> float:
+    """Maintenance cost of ``t`` index records."""
+    t = _clamp_records(shape, t)
+    if shape.empty or t == 0:
+        return 0.0
+    structural, leaf_touched = _descend_sum(shape, t)
+    if not shape.oversized:
+        return structural + leaf_touched
+    pages = pm if pm is not None else float(shape.record_pages)
+    return structural + 2.0 * t * pages
+
+
+def crr(aux_shape: IndexShape, records: float, pm: float | None = None) -> float:
+    """Rewrite cost of ``records`` auxiliary index records (``CRR``)."""
+    records = _clamp_records(aux_shape, records)
+    if aux_shape.empty or records == 0:
+        return 0.0
+    if not aux_shape.oversized:
+        leaf = aux_shape.levels[0]
+        return npa(records, leaf.records, leaf.pages)
+    pages = pm if pm is not None else float(aux_shape.record_pages)
+    return records * pages

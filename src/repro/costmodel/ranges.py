@@ -1,0 +1,47 @@
+"""Range-predicate cost extension (Section 3: "the extension to range
+predicates is straightforward").
+
+A range predicate ``lo <= A_n <= hi`` with selectivity ``s`` (the fraction
+of distinct ending values covered) hits ``s·d`` index records. Because
+leaf nodes are chained, those records are retrieved with one descent plus
+a contiguous leaf walk rather than ``s·d`` separate descents:
+
+.. math::
+
+    range(h, s) = h + \\max(0, \\lceil s · np \\rceil - 1)
+
+(for record-per-page organizations the record pages are added per touched
+record). Below the ending level the matched values fan out into oid
+*sets*, which are probed with the ordinary equality machinery — oids are
+not contiguous in the upstream indexes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.costmodel.btree_shape import IndexShape
+from repro.errors import CostModelError
+
+
+def range_scan_cost(
+    shape: IndexShape, selectivity: float, pr: float | None = None
+) -> float:
+    """Pages to retrieve the records of a contiguous key range.
+
+    ``selectivity`` is the fraction of the index's records covered.
+    """
+    if not 0.0 <= selectivity <= 1.0:
+        raise CostModelError(f"selectivity out of [0,1]: {selectivity}")
+    if shape.empty or selectivity == 0.0:
+        return 0.0
+    # A non-empty range retrieves at least one record.
+    touched_records = max(1.0, selectivity * shape.record_count)
+    leaf = shape.levels[0]
+    touched_leaves = max(1.0, math.ceil(selectivity * leaf.pages))
+    descent = float(shape.height if not shape.oversized else shape.height - 1)
+    cost = descent + (touched_leaves - 1.0)
+    if shape.oversized:
+        pages = pr if pr is not None else float(shape.record_pages)
+        cost += touched_records * pages
+    return cost

@@ -1,0 +1,78 @@
+"""Yao's block-access estimate [Yao 1977].
+
+``npa(t, n, m)`` estimates the number of pages touched when retrieving
+``t`` records out of ``n`` records uniformly distributed over ``m`` pages:
+
+.. math::
+
+    npa(t, n, m) = m \\cdot \\left[ 1 - \\prod_{i=1}^{t}
+        \\frac{n - n/m - i + 1}{n - i + 1} \\right]
+
+The cost model calls this with *expected* (fractional) record counts, so
+the implementation interpolates linearly between the neighbouring integer
+``t`` values, and falls back to the Cardenas approximation
+``m (1 - (1 - 1/m)^t)`` when the exact product would be numerically
+unreasonable (very large ``t``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import CostModelError
+
+#: Above this many factors the exact product is replaced by Cardenas.
+_EXACT_LIMIT = 100_000
+
+
+def npa(t: float, n: float, m: float) -> float:
+    """Expected pages accessed fetching ``t`` of ``n`` records on ``m`` pages.
+
+    Degenerate inputs are handled the way the formulas need them:
+    ``t <= 0`` costs nothing; ``t >= n`` touches all ``m`` pages; fewer
+    records than pages means every record sits alone (cost ``t``).
+    """
+    if any(math.isnan(v) or math.isinf(v) for v in (t, n, m)):
+        raise CostModelError(f"npa: non-finite input ({t}, {n}, {m})")
+    if t < 0 or n < 0 or m < 0:
+        raise CostModelError(f"npa: negative input ({t}, {n}, {m})")
+    if t == 0 or n == 0 or m == 0:
+        return 0.0
+    if m >= n:
+        # At most one record per page: each retrieved record is one page.
+        return float(min(t, n))
+    if t >= n:
+        return float(m)
+
+    lower = math.floor(t)
+    upper = math.ceil(t)
+    if lower == upper:
+        return _npa_integer(int(t), n, m)
+    fraction = t - lower
+    low_value = _npa_integer(lower, n, m) if lower > 0 else 0.0
+    high_value = _npa_integer(upper, n, m)
+    return (1.0 - fraction) * low_value + fraction * high_value
+
+
+def _npa_integer(t: int, n: float, m: float) -> float:
+    if t <= 0:
+        return 0.0
+    if t > _EXACT_LIMIT:
+        return _cardenas(float(t), m)
+    records_per_page = n / m
+    # Product in log space for numerical robustness.
+    log_product = 0.0
+    for i in range(1, t + 1):
+        numerator = n - records_per_page - i + 1
+        denominator = n - i + 1
+        if numerator <= 0 or denominator <= 0:
+            return float(m)
+        log_product += math.log(numerator) - math.log(denominator)
+    value = m * (1.0 - math.exp(log_product))
+    return float(min(max(value, 0.0), m))
+
+
+def _cardenas(t: float, m: float) -> float:
+    """Cardenas' approximation, exact in the records→∞ limit."""
+    value = m * (1.0 - (1.0 - 1.0 / m) ** t)
+    return float(min(max(value, 0.0), m))

@@ -1,0 +1,45 @@
+"""Operational index organizations over the storage simulator.
+
+These are *working* index structures — not cost formulas — implementing
+the five organizations of Section 2.2 on top of
+:class:`~repro.storage.btree.BPlusTree`, with every page access counted by
+the shared :class:`~repro.storage.pager.Pager`:
+
+* :class:`~repro.indexes.simple.SimpleIndex` (SIX) — one class, one
+  attribute;
+* :class:`~repro.indexes.inherited.InheritedIndex` (IIX) — an attribute of
+  a whole class hierarchy;
+* :class:`~repro.indexes.multi.MultiIndex` (MX) — a SIX on every class in
+  the scope of a subpath;
+* :class:`~repro.indexes.multi_inherited.MultiInheritedIndex` (MIX) — an
+  IIX per class level;
+* :class:`~repro.indexes.nested_inherited.NestedInheritedIndex` (NIX) —
+  primary + auxiliary index with the paper's full insertion/deletion
+  algorithms (numchild counters, parent-list propagation).
+
+:class:`~repro.indexes.manager.ConfigurationIndexSet` materializes a
+complete :class:`~repro.core.configuration.IndexConfiguration` and
+:class:`~repro.indexes.executor.PathQueryExecutor` runs path queries and
+updates through it, returning measured page-access counts.
+"""
+
+from repro.indexes.base import IndexContext, OperationalIndex
+from repro.indexes.executor import PathQueryExecutor
+from repro.indexes.inherited import InheritedIndex
+from repro.indexes.manager import ConfigurationIndexSet
+from repro.indexes.multi import MultiIndex
+from repro.indexes.multi_inherited import MultiInheritedIndex
+from repro.indexes.nested_inherited import NestedInheritedIndex
+from repro.indexes.simple import SimpleIndex
+
+__all__ = [
+    "ConfigurationIndexSet",
+    "IndexContext",
+    "InheritedIndex",
+    "MultiIndex",
+    "MultiInheritedIndex",
+    "NestedInheritedIndex",
+    "OperationalIndex",
+    "PathQueryExecutor",
+    "SimpleIndex",
+]

@@ -1,0 +1,191 @@
+"""Shared context and interface for the operational indexes.
+
+An operational index is bound to a *subpath* of a path over a populated
+:class:`~repro.model.objects.OODatabase`. It supports equality lookups
+against the subpath's ending attribute and is maintained on object
+insertion and deletion. All page accesses flow through the shared
+:class:`~repro.storage.pager.Pager`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import IndexError_
+from repro.model.objects import OID, ObjectInstance, OODatabase
+from repro.model.path import Path
+from repro.storage.pager import Pager
+from repro.storage.sizes import SizeModel
+
+
+@dataclass
+class IndexContext:
+    """Everything an operational index needs to exist.
+
+    Attributes
+    ----------
+    database:
+        The populated object store.
+    path:
+        The **full** path; the index covers ``positions start..end`` of it.
+    start, end:
+        1-based inclusive subpath bounds.
+    pager:
+        The accounting pager shared by all structures of an experiment.
+    sizes:
+        Physical constants (must match the pager's page size).
+    """
+
+    database: OODatabase
+    path: Path
+    start: int
+    end: int
+    pager: Pager
+    sizes: SizeModel
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.start <= self.end <= self.path.length:
+            raise IndexError_(
+                f"subpath {self.start}..{self.end} out of range for {self.path}"
+            )
+        if self.pager.page_size != self.sizes.page_size:
+            raise IndexError_("pager and size model disagree on page size")
+
+    @cached_property
+    def subpath(self) -> Path:
+        """The covered subpath as a :class:`~repro.model.path.Path`."""
+        return self.path.subpath(self.start, self.end)
+
+    def members(self, position: int) -> list[str]:
+        """Hierarchy members of the class at a (full-path) position."""
+        return self.path.hierarchy_at(position)
+
+    def position_of_class(self, class_name: str) -> int | None:
+        """The covered position whose hierarchy contains ``class_name``."""
+        for position in range(self.start, self.end + 1):
+            if class_name in self.members(position):
+                return position
+        return None
+
+    def attribute_at(self, position: int) -> str:
+        """``A_position`` of the full path."""
+        return self.path.attribute_at(position)
+
+    def ending_attribute(self) -> str:
+        """The subpath's ending attribute ``A_end``."""
+        return self.path.attribute_at(self.end)
+
+    def key_of_value(self, value: object) -> object:
+        """Normalize an attribute value into an index key.
+
+        Oids key by themselves (they are ordered); atomic values must be
+        mutually comparable, which the schema's typed domains guarantee.
+        """
+        return value
+
+    def nested_values(self, instance: ObjectInstance, position: int) -> list[object]:
+        """Values of the subpath's ending attribute reachable from an object.
+
+        For an object at ``position`` this follows the forward references
+        down to ``A_end`` and returns the reached values *with multiplicity*
+        (the multiplicities are exactly the ``numchild`` counts).
+        """
+        frontier: list[ObjectInstance] = [instance]
+        for level in range(position, self.end):
+            attribute = self.attribute_at(level)
+            next_frontier: list[ObjectInstance] = []
+            for obj in frontier:
+                for value in obj.value_list(attribute):
+                    if isinstance(value, OID) and self.database.contains(value):
+                        next_frontier.append(self.database.get(value))
+            frontier = next_frontier
+        ending = self.ending_attribute()
+        values: list[object] = []
+        for obj in frontier:
+            for value in obj.value_list(ending):
+                # Dangling reference values are dead keys.
+                if isinstance(value, OID) and not self.database.contains(value):
+                    continue
+                values.append(value)
+        return values
+
+
+class OperationalIndex(abc.ABC):
+    """Interface of a working index on one subpath."""
+
+    def __init__(self, context: IndexContext) -> None:
+        self.context = context
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def lookup(
+        self, value: object, target_class: str, include_subclasses: bool = False
+    ) -> set[OID]:
+        """Oids of ``target_class`` objects whose nested attribute holds
+        ``value``.
+
+        ``target_class`` must belong to a hierarchy covered by the subpath.
+        """
+
+    def lookup_many(
+        self, values: list[object], target_class: str, include_subclasses: bool = False
+    ) -> set[OID]:
+        """Union of lookups over several probe values."""
+        result: set[OID] = set()
+        for value in values:
+            result |= self.lookup(value, target_class, include_subclasses)
+        return result
+
+    def range_lookup(
+        self,
+        low: object,
+        high: object,
+        target_class: str,
+        include_subclasses: bool = False,
+    ) -> set[OID]:
+        """Oids whose nested attribute falls in ``[low, high]``.
+
+        The default raises; organizations with a chained ending structure
+        override it with a contiguous leaf walk.
+        """
+        raise IndexError_(
+            f"{type(self).__name__} does not support range predicates"
+        )
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def on_insert(self, instance: ObjectInstance) -> None:
+        """Maintain the index after ``instance`` was added to the database."""
+
+    @abc.abstractmethod
+    def on_delete(self, instance: ObjectInstance) -> None:
+        """Maintain the index before ``instance`` is removed from the database."""
+
+    # ------------------------------------------------------------------
+    # verification (uncounted)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def check_consistency(self) -> None:
+        """Verify the index contents against the database; raise on mismatch."""
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def covers_class(self, class_name: str) -> bool:
+        """Whether maintenance events of this class concern the index."""
+        return self.context.position_of_class(class_name) is not None
+
+    def _require_position(self, class_name: str) -> int:
+        position = self.context.position_of_class(class_name)
+        if position is None:
+            raise IndexError_(
+                f"class {class_name!r} is not covered by subpath "
+                f"{self.context.subpath}"
+            )
+        return position

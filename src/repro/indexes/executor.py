@@ -1,0 +1,88 @@
+"""Measured execution of path operations.
+
+:class:`PathQueryExecutor` wraps a
+:class:`~repro.indexes.manager.ConfigurationIndexSet` and measures the
+page accesses of individual operations — the *measured* counterpart of the
+paper's analytic expected costs, used by the validation harness and the
+validation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.indexes.manager import ConfigurationIndexSet
+from repro.model.objects import OID
+from repro.storage.pager import AccessStats
+
+
+@dataclass(frozen=True)
+class MeasuredQuery:
+    """Result and cost of one measured query."""
+
+    oids: frozenset[OID]
+    stats: AccessStats
+
+
+@dataclass(frozen=True)
+class MeasuredUpdate:
+    """Cost of one measured insert/delete (the affected oid included)."""
+
+    oid: OID
+    stats: AccessStats
+
+
+class PathQueryExecutor:
+    """Run path operations and report their page-access costs."""
+
+    def __init__(self, indexes: ConfigurationIndexSet) -> None:
+        self.indexes = indexes
+
+    def query(
+        self,
+        value: object,
+        target_class: str,
+        include_subclasses: bool = False,
+        fetch_objects: bool = False,
+        buffered: bool = True,
+    ) -> MeasuredQuery:
+        """Measure an equality query against the path's ending attribute."""
+        with self.indexes.pager.measure(buffered=buffered) as measurement:
+            oids = self.indexes.query(
+                value,
+                target_class,
+                include_subclasses=include_subclasses,
+                fetch_objects=fetch_objects,
+            )
+        assert measurement.result is not None
+        return MeasuredQuery(oids=frozenset(oids), stats=measurement.result)
+
+    def range_query(
+        self,
+        low: object,
+        high: object,
+        target_class: str,
+        include_subclasses: bool = False,
+        buffered: bool = True,
+    ) -> MeasuredQuery:
+        """Measure a range predicate against the path's ending attribute."""
+        with self.indexes.pager.measure(buffered=buffered) as measurement:
+            oids = self.indexes.range_query(
+                low, high, target_class, include_subclasses=include_subclasses
+            )
+        assert measurement.result is not None
+        return MeasuredQuery(oids=frozenset(oids), stats=measurement.result)
+
+    def insert(self, class_name: str, buffered: bool = True, **values: object) -> MeasuredUpdate:
+        """Measure an object insertion (index maintenance included)."""
+        with self.indexes.pager.measure(buffered=buffered) as measurement:
+            oid = self.indexes.insert(class_name, **values)
+        assert measurement.result is not None
+        return MeasuredUpdate(oid=oid, stats=measurement.result)
+
+    def delete(self, oid: OID, buffered: bool = True) -> MeasuredUpdate:
+        """Measure an object deletion (index maintenance included)."""
+        with self.indexes.pager.measure(buffered=buffered) as measurement:
+            self.indexes.delete(oid)
+        assert measurement.result is not None
+        return MeasuredUpdate(oid=oid, stats=measurement.result)

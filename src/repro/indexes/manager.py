@@ -1,0 +1,252 @@
+"""Materializing a full index configuration over a database.
+
+:class:`ConfigurationIndexSet` builds one operational index per
+``(subpath, organization)`` pair of an
+:class:`~repro.core.configuration.IndexConfiguration`, wires maintenance
+routing (including the cross-subpath ``CMD`` action: deleting an object of
+a subpath's starting class removes the record keyed by its oid from the
+*preceding* subpath's index), and answers full-path queries by chaining
+subpath lookups from the ending attribute backwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.configuration import IndexConfiguration, IndexedSubpath
+from repro.errors import IndexError_
+from repro.indexes.base import IndexContext, OperationalIndex
+from repro.indexes.inherited import InheritedIndex
+from repro.indexes.multi import MultiIndex
+from repro.indexes.multi_inherited import MultiInheritedIndex
+from repro.indexes.nested_index import NestedIndex
+from repro.indexes.nested_inherited import NestedInheritedIndex
+from repro.indexes.path_index import PathIndex
+from repro.indexes.scan import ScanIndex
+from repro.indexes.simple import SimpleIndex
+from repro.model.objects import OID, OODatabase
+from repro.model.path import Path
+from repro.organizations import IndexOrganization
+from repro.storage.heap import ClassExtent
+from repro.storage.pager import Pager
+from repro.storage.sizes import SizeModel
+
+
+@dataclass
+class _Part:
+    """A configuration part with its materialized index."""
+
+    assignment: IndexedSubpath
+    index: OperationalIndex
+
+
+class ConfigurationIndexSet:
+    """All operational structures of one configuration on one database."""
+
+    def __init__(
+        self,
+        database: OODatabase,
+        path: Path,
+        configuration: IndexConfiguration,
+        sizes: SizeModel | None = None,
+        pager: Pager | None = None,
+    ) -> None:
+        if configuration.length != path.length:
+            raise IndexError_(
+                f"configuration covers {configuration.length} positions but "
+                f"{path} has length {path.length}"
+            )
+        self.database = database
+        self.path = path
+        self.configuration = configuration
+        self.sizes = sizes or SizeModel()
+        self.pager = pager or Pager(page_size=self.sizes.page_size)
+
+        # Heap extents: a page contains objects of only one class.
+        self.extents: dict[str, ClassExtent] = {}
+        for class_name in path.scope:
+            extent = ClassExtent(
+                self.pager, self.sizes, class_name, self.sizes.object_size
+            )
+            for instance in database.extent(class_name):
+                extent.place(instance.oid)
+            self.extents[class_name] = extent
+
+        self._parts: list[_Part] = []
+        for assignment in configuration.assignments:
+            context = IndexContext(
+                database=database,
+                path=path,
+                start=assignment.start,
+                end=assignment.end,
+                pager=self.pager,
+                sizes=self.sizes,
+            )
+            self._parts.append(
+                _Part(assignment=assignment, index=self._build(context, assignment))
+            )
+
+    def _build(
+        self, context: IndexContext, assignment: IndexedSubpath
+    ) -> OperationalIndex:
+        organization = assignment.organization
+        if organization is IndexOrganization.SIX:
+            return SimpleIndex(context)
+        if organization is IndexOrganization.IIX:
+            return InheritedIndex(context)
+        if organization is IndexOrganization.MX:
+            return MultiIndex(context)
+        if organization is IndexOrganization.MIX:
+            return MultiInheritedIndex(context)
+        if organization is IndexOrganization.NIX:
+            return NestedInheritedIndex(context)
+        if organization is IndexOrganization.PX:
+            return PathIndex(context)
+        if organization is IndexOrganization.NX:
+            return NestedIndex(context, self.extents)
+        if organization is IndexOrganization.NONE:
+            return ScanIndex(context, self.extents)
+        raise IndexError_(f"no operational index for {organization}")
+
+    # ------------------------------------------------------------------
+    # structure access
+    # ------------------------------------------------------------------
+    def parts(self) -> list[tuple[IndexedSubpath, OperationalIndex]]:
+        """The configuration's parts with their indexes, in path order."""
+        return [(part.assignment, part.index) for part in self._parts]
+
+    def part_for_position(self, position: int) -> tuple[IndexedSubpath, OperationalIndex]:
+        """The part whose subpath covers a (full-path) position."""
+        for part in self._parts:
+            if part.assignment.start <= position <= part.assignment.end:
+                return part.assignment, part.index
+        raise IndexError_(f"position {position} not covered")
+
+    def _position_of_class(self, class_name: str) -> int:
+        for position in range(1, self.path.length + 1):
+            if class_name in self.path.hierarchy_at(position):
+                return position
+        raise IndexError_(f"class {class_name!r} not in scope of {self.path}")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        value: object,
+        target_class: str,
+        include_subclasses: bool = False,
+        fetch_objects: bool = False,
+    ) -> set[OID]:
+        """Objects of ``target_class`` whose nested ``A_n`` equals ``value``.
+
+        Chains the subpath indexes from the last subpath backwards, exactly
+        like the evaluation Section 4 describes. With ``fetch_objects`` the
+        qualifying objects' heap pages are also charged.
+        """
+        position = self._position_of_class(target_class)
+        part_index = None
+        for i, part in enumerate(self._parts):
+            if part.assignment.start <= position <= part.assignment.end:
+                part_index = i
+                break
+        assert part_index is not None
+
+        probes: list[object] = [value]
+        for i in range(len(self._parts) - 1, part_index, -1):
+            part = self._parts[i]
+            root = self.path.class_at(part.assignment.start)
+            oids = part.index.lookup_many(probes, root, include_subclasses=True)
+            probes = sorted(oids)
+            if not probes:
+                return set()
+        target_part = self._parts[part_index]
+        result = target_part.index.lookup_many(
+            probes, target_class, include_subclasses=include_subclasses
+        )
+        if fetch_objects and result:
+            by_class: dict[str, list[OID]] = {}
+            for oid in result:
+                by_class.setdefault(oid.class_name, []).append(oid)
+            for class_name, oids in by_class.items():
+                self.extents[class_name].fetch_many(oids)
+        return result
+
+    def range_query(
+        self,
+        low: object,
+        high: object,
+        target_class: str,
+        include_subclasses: bool = False,
+    ) -> set[OID]:
+        """Objects whose nested ``A_n`` falls in ``[low, high]``.
+
+        The final subpath performs a contiguous leaf walk; earlier
+        subpaths are probed with the resulting oid sets.
+        """
+        position = self._position_of_class(target_class)
+        part_index = None
+        for i, part in enumerate(self._parts):
+            if part.assignment.start <= position <= part.assignment.end:
+                part_index = i
+                break
+        assert part_index is not None
+        last = self._parts[-1]
+        if part_index == len(self._parts) - 1:
+            return last.index.range_lookup(
+                low, high, target_class, include_subclasses
+            )
+        root = self.path.class_at(last.assignment.start)
+        oids = last.index.range_lookup(low, high, root, include_subclasses=True)
+        probes: list[object] = sorted(oids)
+        for i in range(len(self._parts) - 2, part_index, -1):
+            part = self._parts[i]
+            part_root = self.path.class_at(part.assignment.start)
+            oids = part.index.lookup_many(probes, part_root, include_subclasses=True)
+            probes = sorted(oids)
+            if not probes:
+                return set()
+        target_part = self._parts[part_index]
+        return target_part.index.lookup_many(
+            probes, target_class, include_subclasses=include_subclasses
+        )
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def insert(self, class_name: str, **values: object) -> OID:
+        """Create an object and maintain every affected structure."""
+        oid = self.database.create(class_name, **values)
+        instance = self.database.get(oid)
+        self.extents[class_name].place(oid)
+        for part in self._parts:
+            if part.index.covers_class(class_name):
+                part.index.on_insert(instance)
+        return oid
+
+    def delete(self, oid: OID) -> None:
+        """Delete an object, maintaining indexes and the CMD dependency."""
+        instance = self.database.get(oid)
+        position = self._position_of_class(oid.class_name)
+        for i, part in enumerate(self._parts):
+            if part.assignment.start <= position <= part.assignment.end:
+                part.index.on_delete(instance)
+                # CMD: if the object belongs to the starting class level of
+                # this subpath, the preceding subpath's index holds records
+                # keyed by its oid.
+                if position == part.assignment.start and i > 0:
+                    previous = self._parts[i - 1].index
+                    remove = getattr(previous, "remove_key", None)
+                    if remove is not None:
+                        remove(oid)
+                break
+        self.extents[oid.class_name].remove(oid)
+        self.database.delete(oid)
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Verify every index against the database."""
+        for part in self._parts:
+            part.index.check_consistency()

@@ -1,0 +1,159 @@
+"""Multi-index (MX): a simple index on every class in the subpath's scope.
+
+"A multi-index allocates an index on each class in the scope of a path.
+The indexed attributes are the ones specified in the path" (Section 2.2).
+A lookup against the ending attribute chains backwards: the ending-level
+indexes map the probe value to oids, which become the probe keys of the
+previous level's indexes, and so on up to the target class.
+
+Deleting an object of class ``C_l`` also removes the record keyed by its
+oid from the indexes of the previous class and all its subclasses — the
+maintenance dependency Section 3.1 describes with the ``Bus[i]`` example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import IndexError_
+from repro.indexes.base import IndexContext, OperationalIndex
+from repro.indexes.simple import SimpleIndex
+from repro.model.objects import OID, ObjectInstance
+
+
+class MultiIndex(OperationalIndex):
+    """MX over a subpath: one :class:`SimpleIndex` per scope class."""
+
+    def __init__(self, context: IndexContext) -> None:
+        super().__init__(context)
+        self._components: dict[tuple[int, str], SimpleIndex] = {}
+        for position in range(context.start, context.end + 1):
+            level_context = replace(context, start=position, end=position)
+            for member in context.members(position):
+                self._components[(position, member)] = SimpleIndex(
+                    level_context, class_name=member
+                )
+
+    def component(self, position: int, class_name: str) -> SimpleIndex:
+        """The SIX on ``A_position`` of one class."""
+        try:
+            return self._components[(position, class_name)]
+        except KeyError:
+            raise IndexError_(
+                f"MX has no component for ({position}, {class_name!r})"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def lookup(
+        self, value: object, target_class: str, include_subclasses: bool = False
+    ) -> set[OID]:
+        position = self._require_position(target_class)
+        targets = [target_class]
+        if include_subclasses:
+            targets = [
+                name
+                for name in self.context.database.schema.hierarchy(target_class)
+                if name in self.context.members(position)
+            ]
+        keys: set[object] = {self.context.key_of_value(value)}
+        for level in range(self.context.end, position, -1):
+            next_keys: set[object] = set()
+            for member in self.context.members(level):
+                component = self._components[(level, member)]
+                for key in keys:
+                    next_keys.update(component.lookup(key, member))
+            keys = next_keys
+            if not keys:
+                return set()
+        result: set[OID] = set()
+        for member in targets:
+            component = self._components[(position, member)]
+            for key in keys:
+                result.update(component.lookup(key, member))
+        return result
+
+    def range_lookup(
+        self,
+        low: object,
+        high: object,
+        target_class: str,
+        include_subclasses: bool = False,
+    ) -> set[OID]:
+        position = self._require_position(target_class)
+        # Contiguous scans of the ending-level indexes seed the oid chain.
+        keys: set[object] = set()
+        if position == self.context.end:
+            return self._components[
+                (position, target_class)
+            ].range_lookup(low, high, target_class)
+        for member in self.context.members(self.context.end):
+            keys.update(
+                self._components[(self.context.end, member)].range_lookup(
+                    low, high, member
+                )
+            )
+        return self._chain_to(position, target_class, include_subclasses, keys)
+
+    def _chain_to(
+        self,
+        position: int,
+        target_class: str,
+        include_subclasses: bool,
+        keys: set[object],
+    ) -> set[OID]:
+        targets = [target_class]
+        if include_subclasses:
+            targets = [
+                name
+                for name in self.context.database.schema.hierarchy(target_class)
+                if name in self.context.members(position)
+            ]
+        for level in range(self.context.end - 1, position, -1):
+            next_keys: set[object] = set()
+            for member in self.context.members(level):
+                component = self._components[(level, member)]
+                for key in keys:
+                    next_keys.update(component.lookup(key, member))
+            keys = next_keys
+            if not keys:
+                return set()
+        result: set[OID] = set()
+        for member in targets:
+            component = self._components[(position, member)]
+            for key in keys:
+                result.update(component.lookup(key, member))
+        return result
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def on_insert(self, instance: ObjectInstance) -> None:
+        position = self.context.position_of_class(instance.oid.class_name)
+        if position is None:
+            return
+        self._components[(position, instance.oid.class_name)].on_insert(instance)
+
+    def on_delete(self, instance: ObjectInstance) -> None:
+        position = self.context.position_of_class(instance.oid.class_name)
+        if position is None:
+            return
+        self._components[(position, instance.oid.class_name)].on_delete(instance)
+        if position > self.context.start:
+            # The deleted oid keys one record in the index of the previous
+            # class and each of its subclasses.
+            for member in self.context.members(position - 1):
+                self._components[(position - 1, member)].remove_key(instance.oid)
+
+    def remove_key(self, key: object) -> None:
+        """Cross-subpath CMD: drop the ending-level records keyed by ``key``."""
+        for member in self.context.members(self.context.end):
+            self._components[(self.context.end, member)].remove_key(key)
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        for component in self._components.values():
+            component.check_consistency()

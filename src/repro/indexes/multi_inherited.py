@@ -1,0 +1,115 @@
+"""Multi-inherited index (MIX): an inherited index per class level.
+
+"A multi-inherited index differs from a multi-index in the sense that [it]
+allocates an index on all classes ∈ class(P) while the multi-index
+allocates an index on all classes ∈ scope(P)" (Section 2.2): one index per
+*level*, covering the level's whole inheritance hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import IndexError_
+from repro.indexes.base import IndexContext, OperationalIndex
+from repro.indexes.inherited import InheritedIndex
+from repro.model.objects import OID, ObjectInstance
+
+
+class MultiInheritedIndex(OperationalIndex):
+    """MIX over a subpath: one :class:`InheritedIndex` per class level."""
+
+    def __init__(self, context: IndexContext) -> None:
+        super().__init__(context)
+        self._components: dict[int, InheritedIndex] = {}
+        for position in range(context.start, context.end + 1):
+            level_context = replace(context, start=position, end=position)
+            self._components[position] = InheritedIndex(level_context)
+
+    def component(self, position: int) -> InheritedIndex:
+        """The inherited index at one level."""
+        try:
+            return self._components[position]
+        except KeyError:
+            raise IndexError_(f"MIX has no component at position {position}") from None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def lookup(
+        self, value: object, target_class: str, include_subclasses: bool = False
+    ) -> set[OID]:
+        position = self._require_position(target_class)
+        keys: set[object] = {self.context.key_of_value(value)}
+        for level in range(self.context.end, position, -1):
+            next_keys: set[object] = set()
+            component = self._components[level]
+            for key in keys:
+                next_keys.update(component.lookup_hierarchy(key))
+            keys = next_keys
+            if not keys:
+                return set()
+        result: set[OID] = set()
+        component = self._components[position]
+        for key in keys:
+            result.update(
+                component.lookup(key, target_class, include_subclasses)
+            )
+        return result
+
+    def range_lookup(
+        self,
+        low: object,
+        high: object,
+        target_class: str,
+        include_subclasses: bool = False,
+    ) -> set[OID]:
+        position = self._require_position(target_class)
+        if position == self.context.end:
+            return self._components[position].range_lookup(
+                low, high, target_class, include_subclasses
+            )
+        keys: set[object] = set(
+            self._components[self.context.end].range_lookup_hierarchy(low, high)
+        )
+        for level in range(self.context.end - 1, position, -1):
+            next_keys: set[object] = set()
+            component = self._components[level]
+            for key in keys:
+                next_keys.update(component.lookup_hierarchy(key))
+            keys = next_keys
+            if not keys:
+                return set()
+        result: set[OID] = set()
+        component = self._components[position]
+        for key in keys:
+            result.update(component.lookup(key, target_class, include_subclasses))
+        return result
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def on_insert(self, instance: ObjectInstance) -> None:
+        position = self.context.position_of_class(instance.oid.class_name)
+        if position is None:
+            return
+        self._components[position].on_insert(instance)
+
+    def on_delete(self, instance: ObjectInstance) -> None:
+        position = self.context.position_of_class(instance.oid.class_name)
+        if position is None:
+            return
+        self._components[position].on_delete(instance)
+        if position > self.context.start:
+            self._components[position - 1].remove_key(instance.oid)
+
+    def remove_key(self, key: object) -> None:
+        """Cross-subpath CMD: drop the ending-level record keyed by ``key``."""
+        self._components[self.context.end].remove_key(key)
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        for component in self._components.values():
+            component.check_consistency()

@@ -1,0 +1,294 @@
+"""Operational nested index (NX) — the Section 6 extension from [1, 2].
+
+One B+-tree keyed by the subpath's ending values; each record maps
+**starting-hierarchy** oids to the number of instantiation paths through
+which they reach the value. Only starting-class queries are index-served;
+intermediate-class queries fall back to extent scans. Maintenance of
+intermediate objects performs the reverse-closure walk through the heap
+(fetching parent objects), which is exactly the expense the paper's NIX
+auxiliary index exists to avoid.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import IndexError_
+from repro.indexes.base import IndexContext, OperationalIndex
+from repro.model.objects import OID, ObjectInstance
+from repro.storage.btree import BPlusTree
+from repro.storage.heap import ClassExtent
+
+
+class NestedIndex(OperationalIndex):
+    """Operational NX over one subpath."""
+
+    def __init__(
+        self, context: IndexContext, extents: dict[str, ClassExtent]
+    ) -> None:
+        super().__init__(context)
+        self._extents = extents
+        ending_atomic = context.path.attribute_def_at(context.end).is_atomic
+        self._tree = BPlusTree(
+            context.pager,
+            context.sizes,
+            atomic_keys=ending_atomic,
+            name=f"NX({context.subpath})",
+        )
+        self._build()
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def _record_size(self, record: dict[OID, int]) -> int:
+        sizes = self.context.sizes
+        return (
+            sizes.record_header_size
+            + sizes.key_size(
+                atomic=self.context.path.attribute_def_at(
+                    self.context.end
+                ).is_atomic
+            )
+            + len(record) * sizes.oid_size
+        )
+
+    # ------------------------------------------------------------------
+    # path counting
+    # ------------------------------------------------------------------
+    def _path_counts(self, instance: ObjectInstance, position: int) -> Counter:
+        """Instantiation paths from an object to each ending value."""
+        context = self.context
+        attribute = context.attribute_at(position)
+        database = context.database
+        counts: Counter = Counter()
+        if position == context.end:
+            for value in instance.value_list(attribute):
+                if isinstance(value, OID) and not database.contains(value):
+                    continue
+                counts[context.key_of_value(value)] += 1
+            return counts
+        for value in instance.value_list(attribute):
+            if not isinstance(value, OID) or not database.contains(value):
+                continue
+            child_position = context.position_of_class(value.class_name)
+            if child_position is None:
+                continue
+            child_counts = self._path_counts(database.get(value), child_position)
+            for key, count in child_counts.items():
+                counts[key] += count
+        return counts
+
+    def _root_paths(self, oid: OID, position: int, charge: bool) -> Counter:
+        """Paths from every starting-hierarchy object down to ``oid``.
+
+        Walks the reverse references up to the starting level; when
+        ``charge`` is set, each visited parent object costs a heap fetch —
+        the operational price of having no auxiliary index.
+        """
+        counts: Counter = Counter({oid: 1})
+        level = position
+        while level > self.context.start:
+            attribute = self.context.attribute_at(level - 1)
+            allowed = set(self.context.members(level - 1))
+            next_counts: Counter = Counter()
+            for current, multiplicity in counts.items():
+                for parent in self.context.database.parents_of(current, attribute):
+                    if parent.class_name not in allowed:
+                        continue
+                    occurrences = sum(
+                        1
+                        for v in self.context.database.get(parent).value_list(
+                            attribute
+                        )
+                        if v == current
+                    )
+                    if charge:
+                        self._extents[parent.class_name].fetch(parent)
+                    next_counts[parent] += multiplicity * occurrences
+            counts = next_counts
+            level -= 1
+        return counts
+
+    def _build(self) -> None:
+        records: dict[object, dict[OID, int]] = {}
+        for member in self.context.members(self.context.start):
+            for instance in self.context.database.extent(member):
+                for key, count in self._path_counts(
+                    instance, self.context.start
+                ).items():
+                    records.setdefault(key, {})[instance.oid] = count
+        for key in sorted(records, key=repr):
+            record = records[key]
+            self._tree.insert(key, record, self._record_size(record))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def lookup(
+        self, value: object, target_class: str, include_subclasses: bool = False
+    ) -> set[OID]:
+        position = self._require_position(target_class)
+        key = self.context.key_of_value(value)
+        if position == self.context.start:
+            wanted = {target_class}
+            if include_subclasses:
+                wanted.update(
+                    name
+                    for name in self.context.database.schema.hierarchy(target_class)
+                    if name in self.context.members(position)
+                )
+            record = self._tree.search(key)
+            if record is None:
+                return set()
+            return {
+                oid for oid in record if oid.class_name in wanted  # type: ignore[union-attr]
+            }
+        # Intermediate class: fall back to scanning (the nested index holds
+        # no intermediate oids).
+        targets = {target_class}
+        if include_subclasses:
+            targets.update(
+                name
+                for name in self.context.database.schema.hierarchy(target_class)
+                if name in self.context.members(position)
+            )
+        for member in targets:
+            self._extents[member].scan()
+        for level in range(position + 1, self.context.end + 1):
+            for member in self.context.members(level):
+                self._extents[member].scan()
+        result: set[OID] = set()
+        for member in targets:
+            for instance in self.context.database.extent(member):
+                values = self.context.nested_values(instance, position)
+                if any(self.context.key_of_value(v) == key for v in values):
+                    result.add(instance.oid)
+        return result
+
+    def range_lookup(
+        self,
+        low: object,
+        high: object,
+        target_class: str,
+        include_subclasses: bool = False,
+    ) -> set[OID]:
+        position = self._require_position(target_class)
+        low_key = self.context.key_of_value(low)
+        high_key = self.context.key_of_value(high)
+        if position == self.context.start:
+            wanted = {target_class}
+            if include_subclasses:
+                wanted.update(
+                    name
+                    for name in self.context.database.schema.hierarchy(target_class)
+                    if name in self.context.members(position)
+                )
+            result: set[OID] = set()
+            for _key, record in self._tree.range_scan(low_key, high_key):
+                result.update(
+                    oid for oid in record if oid.class_name in wanted  # type: ignore[union-attr]
+                )
+            return result
+        # Intermediate class: scan and filter in memory (charged scans).
+        targets = {target_class}
+        if include_subclasses:
+            targets.update(
+                name
+                for name in self.context.database.schema.hierarchy(target_class)
+                if name in self.context.members(position)
+            )
+        for member in targets:
+            self._extents[member].scan()
+        for level in range(position + 1, self.context.end + 1):
+            for member in self.context.members(level):
+                self._extents[member].scan()
+        result = set()
+        for member in targets:
+            for instance in self.context.database.extent(member):
+                values = self.context.nested_values(instance, position)
+                if any(
+                    low_key <= self.context.key_of_value(v) <= high_key  # type: ignore[operator]
+                    for v in values
+                ):
+                    result.add(instance.oid)
+        return result
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def on_insert(self, instance: ObjectInstance) -> None:
+        context = self.context
+        position = context.position_of_class(instance.oid.class_name)
+        if position is None:
+            return
+        if position != context.start:
+            return  # no root reaches through a freshly created object
+        for key, count in sorted(
+            self._path_counts(instance, position).items(), key=lambda kv: repr(kv[0])
+        ):
+            record = self._tree.get(key)
+            record = dict(record) if record is not None else {}  # type: ignore[arg-type]
+            record[instance.oid] = record.get(instance.oid, 0) + count
+            self._tree.upsert(key, record, self._record_size(record))
+
+    def on_delete(self, instance: ObjectInstance) -> None:
+        context = self.context
+        position = context.position_of_class(instance.oid.class_name)
+        if position is None:
+            return
+        path_counts = self._path_counts(instance, position)
+        if not path_counts:
+            return
+        if position == context.start:
+            deltas = {key: {instance.oid: count} for key, count in path_counts.items()}
+        else:
+            # Reverse-closure walk (charged): which roots reach through us?
+            root_paths = self._root_paths(instance.oid, position, charge=True)
+            deltas = {}
+            for key, count in path_counts.items():
+                deltas[key] = {
+                    root: multiplicity * count
+                    for root, multiplicity in root_paths.items()
+                    if root.class_name in set(context.members(context.start))
+                }
+        for key in sorted(deltas, key=repr):
+            record = self._tree.get(key)
+            if record is None:
+                continue
+            record = dict(record)  # type: ignore[arg-type]
+            for root, amount in deltas[key].items():
+                if root not in record:
+                    continue
+                record[root] -= amount
+                if record[root] <= 0:
+                    del record[root]
+            if record:
+                self._tree.update(key, record, self._record_size(record))
+            else:
+                self._tree.delete(key)
+
+    def remove_key(self, key: object) -> bool:
+        """Cross-subpath CMD: drop the record for a deleted key oid."""
+        if self._tree.contains(key):
+            self._tree.delete(key)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        context = self.context
+        expected: dict[object, dict[OID, int]] = {}
+        for member in context.members(context.start):
+            for instance in context.database.extent(member):
+                for key, count in self._path_counts(
+                    instance, context.start
+                ).items():
+                    expected.setdefault(key, {})[instance.oid] = count
+        actual = {
+            key: dict(record)  # type: ignore[arg-type]
+            for key, record in self._tree.items()
+        }
+        if expected != actual:
+            raise IndexError_(f"NX({context.subpath}): root counts inconsistent")

@@ -1,0 +1,483 @@
+"""Nested inherited index (NIX): primary + auxiliary index, operational.
+
+Implements Figures 3–5 and the Section 3.1 algorithms:
+
+* The **primary index** maps each value of the subpath's ending attribute
+  to a record listing, per scope class, ``(oid, numchild)`` pairs —
+  ``numchild`` being the number of the object's children that (still)
+  reach the value. An object is removed from a record when its count
+  drops to zero.
+* The **auxiliary index** maps each oid of a non-starting-class object to
+  its 3-tuple: pointers to the primary records containing it plus the
+  list of its aggregation parents. Pointer-array accesses are *direct*
+  (no tree descent), as in the paper's architecture.
+* **Deletion** follows the five-step algorithm: update the children's
+  3-tuples, seed the parent list, then walk the ancestor levels upward —
+  decrementing ``numchild`` counters, removing exhausted ancestors from
+  the primary records and stripping the dangling pointers from their
+  3-tuples.
+* **Insertion** mirrors it: the new object joins its children's primary
+  records with the correct ``numchild`` and receives its own 3-tuple.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import IndexError_
+from repro.indexes.base import IndexContext, OperationalIndex
+from repro.model.objects import OID, ObjectInstance
+from repro.storage.btree import BPlusTree
+
+#: A primary record: class name -> {oid: numchild}.
+PrimaryRecord = dict[str, dict[OID, int]]
+
+
+@dataclass
+class ThreeTuple:
+    """An auxiliary record (Figure 4): pointers plus parent list."""
+
+    pointers: set[object] = field(default_factory=set)
+    parents: set[OID] = field(default_factory=set)
+
+
+class NestedInheritedIndex(OperationalIndex):
+    """Operational NIX over one subpath."""
+
+    def __init__(self, context: IndexContext) -> None:
+        super().__init__(context)
+        sizes = context.sizes
+        ending_atomic = context.path.attribute_def_at(context.end).is_atomic
+        self._primary = BPlusTree(
+            context.pager,
+            sizes,
+            atomic_keys=ending_atomic,
+            name=f"NIX-primary({context.subpath})",
+        )
+        self._auxiliary = BPlusTree(
+            context.pager,
+            sizes,
+            atomic_keys=False,
+            name=f"NIX-auxiliary({context.subpath})",
+        )
+        self._build()
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def _entry_size(self, position: int) -> int:
+        attribute = self.context.path.attribute_def_at(position)
+        if attribute.multi_valued:
+            return self.context.sizes.oid_size + self.context.sizes.numchild_size
+        return self.context.sizes.oid_size
+
+    def _primary_size(self, record: PrimaryRecord) -> int:
+        sizes = self.context.sizes
+        total = sizes.record_header_size + sizes.key_size(
+            atomic=self.context.path.attribute_def_at(self.context.end).is_atomic
+        )
+        for class_name, entries in record.items():
+            position = self.context.position_of_class(class_name)
+            assert position is not None
+            total += sizes.class_directory_entry_size
+            total += len(entries) * self._entry_size(position)
+        return total
+
+    def _aux_size(self, record: ThreeTuple) -> int:
+        sizes = self.context.sizes
+        return (
+            sizes.record_header_size
+            + sizes.oid_size
+            + len(record.pointers) * sizes.pointer_size
+            + len(record.parents) * sizes.oid_size
+        )
+
+    # ------------------------------------------------------------------
+    # bulk construction
+    # ------------------------------------------------------------------
+    def _reach_counts(self, instance: ObjectInstance, position: int) -> Counter:
+        """``numchild`` per ending value, under the paper's semantics.
+
+        For an ending-class object: the multiplicity of each value in its
+        attribute list. For earlier classes: the number of *distinct
+        children* through which each value is reachable.
+        """
+        attribute = self.context.attribute_at(position)
+        if position == self.context.end:
+            # Values referencing deleted objects are dead keys: their
+            # primary records were dropped by the CMD maintenance.
+            return Counter(
+                self.context.key_of_value(v)
+                for v in instance.value_list(attribute)
+                if not (
+                    isinstance(v, OID)
+                    and not self.context.database.contains(v)
+                )
+            )
+        database = self.context.database
+        counts: Counter = Counter()
+        children = {
+            v for v in instance.value_list(attribute) if isinstance(v, OID)
+        }
+        for child in children:
+            if not database.contains(child):
+                continue
+            child_position = self.context.position_of_class(child.class_name)
+            if child_position is None:
+                continue
+            child_reach = self._reach_counts(database.get(child), child_position)
+            for key in child_reach:
+                counts[key] += 1
+        return counts
+
+    def _parents_of(self, oid: OID, position: int) -> set[OID]:
+        if position <= self.context.start:
+            return set()
+        attribute = self.context.attribute_at(position - 1)
+        parents = self.context.database.parents_of(oid, attribute)
+        allowed = set(self.context.members(position - 1))
+        return {parent for parent in parents if parent.class_name in allowed}
+
+    def _build(self) -> None:
+        primary: dict[object, PrimaryRecord] = {}
+        tuples: dict[OID, ThreeTuple] = {}
+        context = self.context
+        for position in range(context.start, context.end + 1):
+            for member in context.members(position):
+                for instance in context.database.extent(member):
+                    counts = self._reach_counts(instance, position)
+                    for key, count in counts.items():
+                        record = primary.setdefault(key, {})
+                        record.setdefault(member, {})[instance.oid] = count
+                    if position > context.start:
+                        tuples[instance.oid] = ThreeTuple(
+                            pointers=set(counts),
+                            parents=self._parents_of(instance.oid, position),
+                        )
+        for key in sorted(primary, key=repr):
+            record = primary[key]
+            self._primary.insert(key, record, self._primary_size(record))
+        for oid in sorted(tuples):
+            record = tuples[oid]
+            self._auxiliary.insert(oid, record, self._aux_size(record))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def lookup(
+        self, value: object, target_class: str, include_subclasses: bool = False
+    ) -> set[OID]:
+        position = self._require_position(target_class)
+        wanted = {target_class}
+        if include_subclasses:
+            wanted.update(
+                name
+                for name in self.context.database.schema.hierarchy(target_class)
+                if name in self.context.members(position)
+            )
+        key = self.context.key_of_value(value)
+        partial = self._partial_pages(key, wanted)
+        record = self._primary.search(key, partial_pages=partial)
+        if record is None:
+            return set()
+        result: set[OID] = set()
+        for class_name, entries in record.items():  # type: ignore[union-attr]
+            if class_name in wanted:
+                result.update(entries)
+        return result
+
+    def _partial_pages(self, key: object, wanted: set[str]) -> int | None:
+        record = self._primary.get(key)
+        if record is None:
+            return None
+        full = self._primary_size(record)  # type: ignore[arg-type]
+        if full <= self.context.sizes.page_size:
+            return None
+        import math
+
+        sizes = self.context.sizes
+        share = sizes.record_header_size + sizes.class_directory_entry_size * len(
+            record  # type: ignore[arg-type]
+        )
+        for class_name, entries in record.items():  # type: ignore[union-attr]
+            if class_name in wanted:
+                position = self.context.position_of_class(class_name)
+                assert position is not None
+                share += len(entries) * self._entry_size(position)
+        return max(1, math.ceil(share / sizes.page_size))
+
+    def range_lookup(
+        self,
+        low: object,
+        high: object,
+        target_class: str,
+        include_subclasses: bool = False,
+    ) -> set[OID]:
+        position = self._require_position(target_class)
+        wanted = {target_class}
+        if include_subclasses:
+            wanted.update(
+                name
+                for name in self.context.database.schema.hierarchy(target_class)
+                if name in self.context.members(position)
+            )
+        result: set[OID] = set()
+        for _key, record in self._primary.range_scan(
+            self.context.key_of_value(low), self.context.key_of_value(high)
+        ):
+            for class_name, entries in record.items():  # type: ignore[union-attr]
+                if class_name in wanted:
+                    result.update(entries)
+        return result
+
+    # ------------------------------------------------------------------
+    # insertion (Section 3.1, insertion steps 1-4)
+    # ------------------------------------------------------------------
+    def on_insert(self, instance: ObjectInstance) -> None:
+        context = self.context
+        position = context.position_of_class(instance.oid.class_name)
+        if position is None:
+            return
+        attribute = context.attribute_at(position)
+        database = context.database
+
+        if position == context.end:
+            # The object's own values are primary keys (dangling oid
+            # values cannot occur on insert, but guard uniformly).
+            counts = self._reach_counts(instance, position)
+            for key, count in counts.items():
+                self._primary_add(key, instance.oid, count, create=True)
+            pointers = set(counts)
+        else:
+            # Step 2: children 3-tuples gain the new parent; their pointer
+            # arrays identify the primary records to join.
+            children = {
+                v
+                for v in instance.value_list(attribute)
+                if isinstance(v, OID) and database.contains(v)
+            }
+            pointers = set()
+            child_pointers: dict[OID, set[object]] = {}
+            for child in sorted(children):
+                three_tuple = self._auxiliary.search(child)
+                if three_tuple is None:
+                    raise IndexError_(
+                        f"NIX: child {child} has no 3-tuple "
+                        "(insert children before parents)"
+                    )
+                assert isinstance(three_tuple, ThreeTuple)
+                three_tuple.parents.add(instance.oid)
+                self._auxiliary.update(
+                    child, three_tuple, self._aux_size(three_tuple)
+                )
+                child_pointers[child] = set(three_tuple.pointers)
+                pointers |= three_tuple.pointers
+            # Step 3: join each reachable primary record with the correct
+            # numchild (= number of distinct children reaching the value).
+            for key in sorted(pointers, key=repr):
+                record = self._primary.search_direct(key)
+                assert record is not None
+                count = sum(
+                    1 for child in children if key in child_pointers.get(child, ())
+                )
+                record.setdefault(instance.oid.class_name, {})[instance.oid] = count  # type: ignore[union-attr]
+                self._primary.update_direct(
+                    key, record, self._primary_size(record)  # type: ignore[arg-type]
+                )
+        # Step 4: the object's own 3-tuple (non-starting classes only).
+        if position > context.start:
+            three_tuple = ThreeTuple(
+                pointers=pointers,
+                parents=self._parents_of(instance.oid, position),
+            )
+            self._auxiliary.insert(
+                instance.oid, three_tuple, self._aux_size(three_tuple)
+            )
+
+    def _primary_add(
+        self, key: object, oid: OID, count: int, create: bool
+    ) -> None:
+        record = self._primary.get(key)
+        if record is None:
+            if not create:
+                raise IndexError_(f"NIX: missing primary record for {key!r}")
+            new_record: PrimaryRecord = {oid.class_name: {oid: count}}
+            self._primary.insert(key, new_record, self._primary_size(new_record))
+            return
+        record.setdefault(oid.class_name, {})[oid] = count  # type: ignore[union-attr]
+        self._primary.update(key, record, self._primary_size(record))  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # deletion (Section 3.1, deletion steps 1-3)
+    # ------------------------------------------------------------------
+    def on_delete(self, instance: ObjectInstance) -> None:
+        context = self.context
+        oid = instance.oid
+        position = context.position_of_class(oid.class_name)
+        if position is None:
+            return
+        attribute = context.attribute_at(position)
+        database = context.database
+
+        # --- step 2: children's 3-tuples lose this parent; collect S.
+        if position < context.end:
+            children = {
+                v
+                for v in instance.value_list(attribute)
+                if isinstance(v, OID) and database.contains(v)
+            }
+            for child in sorted(children):
+                three_tuple = self._auxiliary.search(child)
+                if three_tuple is None:
+                    continue
+                assert isinstance(three_tuple, ThreeTuple)
+                three_tuple.parents.discard(oid)
+                self._auxiliary.update(
+                    child, three_tuple, self._aux_size(three_tuple)
+                )
+        # The object's own pointer set S and its removal from the auxiliary.
+        if position > context.start:
+            own = self._auxiliary.search(oid)
+            if own is None:
+                raise IndexError_(f"NIX: {oid} has no 3-tuple")
+            assert isinstance(own, ThreeTuple)
+            pointer_set = set(own.pointers)
+            self._auxiliary.delete(oid)
+        else:
+            pointer_set = {
+                context.key_of_value(v)
+                for v in self._reach_counts(instance, position)
+            }
+
+        # --- step 3: remove from the primary records, walking ancestors.
+        for key in sorted(pointer_set, key=repr):
+            self._remove_from_record(key, oid, position)
+
+    def _remove_from_record(self, key: object, oid: OID, position: int) -> None:
+        """Remove one object from one primary record and propagate upward."""
+        context = self.context
+        record = self._primary.search_direct(key)
+        if record is None:
+            raise IndexError_(f"NIX: dangling pointer to primary record {key!r}")
+        entries = record.get(oid.class_name, {})  # type: ignore[union-attr]
+        if oid not in entries:
+            raise IndexError_(f"NIX: {oid} not in primary record {key!r}")
+        del entries[oid]
+        if not entries:
+            record.pop(oid.class_name)  # type: ignore[union-attr]
+
+        removed: list[tuple[OID, int]] = [(oid, position)]
+        level = position
+        while removed and level > context.start:
+            decrements: Counter = Counter()
+            parent_level = level - 1
+            for removed_oid, removed_position in removed:
+                for parent in self._parents_of(removed_oid, removed_position):
+                    decrements[parent] += 1
+            removed = []
+            for parent, amount in sorted(decrements.items()):
+                parent_entries = record.get(parent.class_name, {})  # type: ignore[union-attr]
+                if parent not in parent_entries:
+                    continue
+                parent_entries[parent] -= amount
+                if parent_entries[parent] <= 0:
+                    del parent_entries[parent]
+                    if not parent_entries:
+                        record.pop(parent.class_name)  # type: ignore[union-attr]
+                    removed.append((parent, parent_level))
+                    # Steps 3b/3c: strip the pointer from the 3-tuple of a
+                    # non-starting-class ancestor.
+                    if parent_level > context.start:
+                        three_tuple = self._auxiliary.search(parent)
+                        if three_tuple is not None:
+                            assert isinstance(three_tuple, ThreeTuple)
+                            three_tuple.pointers.discard(key)
+                            self._auxiliary.update(
+                                parent, three_tuple, self._aux_size(three_tuple)
+                            )
+            level = parent_level
+
+        if record:  # type: ignore[truthy-bool]
+            self._primary.update_direct(
+                key, record, self._primary_size(record)  # type: ignore[arg-type]
+            )
+        else:
+            self._primary.delete(key)
+
+    # ------------------------------------------------------------------
+    # cross-subpath CMD
+    # ------------------------------------------------------------------
+    def remove_key(self, key: object) -> bool:
+        """Drop a whole primary record (the following class's object died).
+
+        Strips the pointers to the record from the 3-tuples of every object
+        it listed (``delpoint``), then deletes the record.
+        """
+        record = self._primary.get(key)
+        if record is None:
+            return False
+        for class_name, entries in record.items():  # type: ignore[union-attr]
+            position = self.context.position_of_class(class_name)
+            if position is None or position <= self.context.start:
+                continue
+            for member_oid in sorted(entries):
+                three_tuple = self._auxiliary.search(member_oid)
+                if three_tuple is None:
+                    continue
+                assert isinstance(three_tuple, ThreeTuple)
+                three_tuple.pointers.discard(key)
+                self._auxiliary.update(
+                    member_oid, three_tuple, self._aux_size(three_tuple)
+                )
+        self._primary.delete(key)
+        return True
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        context = self.context
+        expected_primary: dict[object, PrimaryRecord] = {}
+        expected_tuples: dict[OID, ThreeTuple] = {}
+        for position in range(context.start, context.end + 1):
+            for member in context.members(position):
+                for instance in context.database.extent(member):
+                    counts = self._reach_counts(instance, position)
+                    live = {
+                        key: count
+                        for key, count in counts.items()
+                        if not (
+                            isinstance(key, OID)
+                            and not context.database.contains(key)
+                        )
+                    }
+                    for key, count in live.items():
+                        expected_primary.setdefault(key, {}).setdefault(
+                            member, {}
+                        )[instance.oid] = count
+                    if position > context.start:
+                        expected_tuples[instance.oid] = ThreeTuple(
+                            pointers=set(live),
+                            parents=self._parents_of(instance.oid, position),
+                        )
+        actual_primary = {
+            key: {name: dict(entries) for name, entries in record.items()}  # type: ignore[union-attr]
+            for key, record in self._primary.items()
+        }
+        normalized_expected = {
+            key: {name: dict(entries) for name, entries in record.items()}
+            for key, record in expected_primary.items()
+        }
+        if actual_primary != normalized_expected:
+            raise IndexError_(f"NIX({context.subpath}): primary index inconsistent")
+        actual_tuples = {
+            oid: (set(t.pointers), set(t.parents))  # type: ignore[union-attr]
+            for oid, t in self._auxiliary.items()
+        }
+        normalized_tuples = {
+            oid: (set(t.pointers), set(t.parents))
+            for oid, t in expected_tuples.items()
+        }
+        if actual_tuples != normalized_tuples:
+            raise IndexError_(f"NIX({context.subpath}): auxiliary index inconsistent")

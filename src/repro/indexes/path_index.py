@@ -1,0 +1,239 @@
+"""Operational path index (PX) — the Section 6 extension from [6].
+
+One B+-tree keyed by the subpath's ending-attribute values; each record
+holds the *maximal path instantiations* reaching the value: oid tuples
+``(o_i, ..., o_t)`` following forward references, where the head ``o_i``
+has no in-path parent (so the tuple cannot be extended upward). Every
+class of the subpath is queryable by projecting its position out of the
+tuples; maintenance is self-contained because each instantiation lists all
+its members explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IndexError_
+from repro.indexes.base import IndexContext, OperationalIndex
+from repro.model.objects import OID, ObjectInstance
+from repro.storage.btree import BPlusTree
+
+#: A stored record: a sorted tuple of instantiation tuples.
+Instantiation = tuple[OID, ...]
+
+
+class PathIndex(OperationalIndex):
+    """Operational PX over one subpath."""
+
+    def __init__(self, context: IndexContext) -> None:
+        super().__init__(context)
+        ending_atomic = context.path.attribute_def_at(context.end).is_atomic
+        self._tree = BPlusTree(
+            context.pager,
+            context.sizes,
+            atomic_keys=ending_atomic,
+            name=f"PX({context.subpath})",
+        )
+        self._build()
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def _record_size(self, record: dict[Instantiation, bool]) -> int:
+        sizes = self.context.sizes
+        total = sizes.record_header_size + sizes.key_size(
+            atomic=self.context.path.attribute_def_at(self.context.end).is_atomic
+        )
+        for instantiation in record:
+            total += len(instantiation) * sizes.oid_size
+        return total
+
+    # ------------------------------------------------------------------
+    # chain enumeration
+    # ------------------------------------------------------------------
+    def _chains_from(
+        self, instance: ObjectInstance, position: int
+    ) -> list[tuple[Instantiation, object]]:
+        """All forward chains ``(oid tuple, ending value)`` from an object."""
+        context = self.context
+        attribute = context.attribute_at(position)
+        database = context.database
+        if position == context.end:
+            results = []
+            for value in instance.value_list(attribute):
+                if isinstance(value, OID) and not database.contains(value):
+                    continue
+                results.append(((instance.oid,), context.key_of_value(value)))
+            return results
+        chains: list[tuple[Instantiation, object]] = []
+        for value in instance.value_list(attribute):
+            if not isinstance(value, OID) or not database.contains(value):
+                continue
+            child_position = context.position_of_class(value.class_name)
+            if child_position is None:
+                continue
+            for suffix, key in self._chains_from(database.get(value), child_position):
+                chains.append(((instance.oid, *suffix), key))
+        return chains
+
+    def _has_in_path_parent(self, oid: OID, position: int) -> bool:
+        if position <= self.context.start:
+            return False
+        attribute = self.context.attribute_at(position - 1)
+        allowed = set(self.context.members(position - 1))
+        return any(
+            parent.class_name in allowed
+            for parent in self.context.database.parents_of(oid, attribute)
+        )
+
+    def _build(self) -> None:
+        records: dict[object, dict[Instantiation, bool]] = {}
+        context = self.context
+        for position in range(context.start, context.end + 1):
+            for member in context.members(position):
+                for instance in context.database.extent(member):
+                    if self._has_in_path_parent(instance.oid, position):
+                        continue  # not a maximal head
+                    for chain, key in self._chains_from(instance, position):
+                        records.setdefault(key, {})[chain] = True
+        for key in sorted(records, key=repr):
+            record = records[key]
+            self._tree.insert(key, record, self._record_size(record))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def lookup(
+        self, value: object, target_class: str, include_subclasses: bool = False
+    ) -> set[OID]:
+        position = self._require_position(target_class)
+        wanted = {target_class}
+        if include_subclasses:
+            wanted.update(
+                name
+                for name in self.context.database.schema.hierarchy(target_class)
+                if name in self.context.members(position)
+            )
+        record = self._tree.search(self.context.key_of_value(value))
+        if record is None:
+            return set()
+        result: set[OID] = set()
+        for instantiation in record:  # type: ignore[union-attr]
+            for oid in instantiation:
+                if oid.class_name in wanted:
+                    result.add(oid)
+        return result
+
+    def range_lookup(
+        self,
+        low: object,
+        high: object,
+        target_class: str,
+        include_subclasses: bool = False,
+    ) -> set[OID]:
+        position = self._require_position(target_class)
+        wanted = {target_class}
+        if include_subclasses:
+            wanted.update(
+                name
+                for name in self.context.database.schema.hierarchy(target_class)
+                if name in self.context.members(position)
+            )
+        result: set[OID] = set()
+        for _key, record in self._tree.range_scan(
+            self.context.key_of_value(low), self.context.key_of_value(high)
+        ):
+            for instantiation in record:  # type: ignore[union-attr]
+                for oid in instantiation:
+                    if oid.class_name in wanted:
+                        result.add(oid)
+        return result
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def on_insert(self, instance: ObjectInstance) -> None:
+        context = self.context
+        position = context.position_of_class(instance.oid.class_name)
+        if position is None:
+            return
+        # The new object has no parents yet: it heads maximal chains.
+        chains = self._chains_from(instance, position)
+        by_key: dict[object, list[Instantiation]] = {}
+        for chain, key in chains:
+            by_key.setdefault(key, []).append(chain)
+        # Its direct children stop being maximal heads.
+        demoted: set[OID] = set()
+        if position < context.end:
+            attribute = context.attribute_at(position)
+            for value in instance.value_list(attribute):
+                if isinstance(value, OID) and context.database.contains(value):
+                    demoted.add(value)
+        for key in sorted(by_key, key=repr):
+            record = self._tree.get(key)
+            record = dict(record) if record is not None else {}  # type: ignore[arg-type]
+            for chain in by_key[key]:
+                record[chain] = True
+            for instantiation in list(record):
+                if instantiation[0] in demoted:
+                    del record[instantiation]
+            self._tree.upsert(key, record, self._record_size(record))
+
+    def on_delete(self, instance: ObjectInstance) -> None:
+        context = self.context
+        position = context.position_of_class(instance.oid.class_name)
+        if position is None:
+            return
+        oid = instance.oid
+        affected_keys = {key for _, key in self._chains_from(instance, position)}
+        for key in sorted(affected_keys, key=repr):
+            record = self._tree.get(key)
+            if record is None:
+                continue
+            record = dict(record)  # type: ignore[arg-type]
+            removed: list[Instantiation] = []
+            for instantiation in list(record):
+                if oid in instantiation:
+                    del record[instantiation]
+                    removed.append(instantiation)
+            # Re-insert orphaned maximal suffixes: the element right after
+            # the deleted object survives iff it appears in no remaining
+            # instantiation of this record.
+            surviving = {m for inst in record for m in inst}
+            for instantiation in removed:
+                index = instantiation.index(oid)
+                if index + 1 < len(instantiation):
+                    successor = instantiation[index + 1]
+                    if successor not in surviving:
+                        suffix = instantiation[index + 1 :]
+                        record[suffix] = True
+                        surviving.update(suffix)
+            if record:
+                self._tree.update(key, record, self._record_size(record))
+            else:
+                self._tree.delete(key)
+
+    def remove_key(self, key: object) -> bool:
+        """Cross-subpath CMD: drop the whole record for a deleted key oid."""
+        if self._tree.contains(key):
+            self._tree.delete(key)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        context = self.context
+        expected: dict[object, set[Instantiation]] = {}
+        for position in range(context.start, context.end + 1):
+            for member in context.members(position):
+                for instance in context.database.extent(member):
+                    if self._has_in_path_parent(instance.oid, position):
+                        continue
+                    for chain, key in self._chains_from(instance, position):
+                        expected.setdefault(key, set()).add(chain)
+        actual = {
+            key: set(record)  # type: ignore[arg-type]
+            for key, record in self._tree.items()
+        }
+        if expected != actual:
+            raise IndexError_(f"PX({context.subpath}): instantiations inconsistent")

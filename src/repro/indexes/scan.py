@@ -1,0 +1,100 @@
+"""Operational no-index evaluation: full extent scans.
+
+The operational counterpart of
+:class:`~repro.costmodel.noindex.NoIndexCostModel`: with no index on a
+subpath, an equality query against its ending attribute scans the class
+extents of the subpath bottom-up (references are forward-only, so the
+evaluator builds the reachable-value sets level by level in memory).
+Maintenance costs nothing.
+"""
+
+from __future__ import annotations
+
+from repro.indexes.base import IndexContext, OperationalIndex
+from repro.model.objects import OID, ObjectInstance
+from repro.storage.heap import ClassExtent
+
+
+class ScanIndex(OperationalIndex):
+    """Evaluate subpath predicates by scanning extents (no index)."""
+
+    def __init__(
+        self, context: IndexContext, extents: dict[str, ClassExtent]
+    ) -> None:
+        super().__init__(context)
+        self._extents = extents
+
+    def lookup(
+        self, value: object, target_class: str, include_subclasses: bool = False
+    ) -> set[OID]:
+        position = self._require_position(target_class)
+        context = self.context
+        key = context.key_of_value(value)
+        # Charge sequential scans of every extent from the target level down.
+        targets = {target_class}
+        if include_subclasses:
+            targets.update(
+                name
+                for name in context.database.schema.hierarchy(target_class)
+                if name in context.members(position)
+            )
+        for member in targets:
+            self._extents[member].scan()
+        for level in range(position + 1, context.end + 1):
+            for member in context.members(level):
+                self._extents[member].scan()
+        # Evaluate in memory (the scans already paid the page accesses).
+        result: set[OID] = set()
+        for member in targets:
+            for instance in context.database.extent(member):
+                values = context.nested_values(instance, position)
+                if any(context.key_of_value(v) == key for v in values):
+                    result.add(instance.oid)
+        return result
+
+    def range_lookup(
+        self,
+        low: object,
+        high: object,
+        target_class: str,
+        include_subclasses: bool = False,
+    ) -> set[OID]:
+        position = self._require_position(target_class)
+        context = self.context
+        low_key = context.key_of_value(low)
+        high_key = context.key_of_value(high)
+        targets = {target_class}
+        if include_subclasses:
+            targets.update(
+                name
+                for name in context.database.schema.hierarchy(target_class)
+                if name in context.members(position)
+            )
+        for member in targets:
+            self._extents[member].scan()
+        for level in range(position + 1, context.end + 1):
+            for member in context.members(level):
+                self._extents[member].scan()
+        result: set[OID] = set()
+        for member in targets:
+            for instance in context.database.extent(member):
+                values = context.nested_values(instance, position)
+                if any(
+                    low_key <= context.key_of_value(v) <= high_key  # type: ignore[operator]
+                    for v in values
+                ):
+                    result.add(instance.oid)
+        return result
+
+    def on_insert(self, instance: ObjectInstance) -> None:
+        """No index structure to maintain."""
+
+    def on_delete(self, instance: ObjectInstance) -> None:
+        """No index structure to maintain."""
+
+    def remove_key(self, key: object) -> bool:
+        """Nothing to remove; reported for interface symmetry."""
+        return False
+
+    def check_consistency(self) -> None:
+        """Scans have no materialized state; always consistent."""

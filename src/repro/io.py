@@ -1,0 +1,200 @@
+"""JSON serialization of advisor inputs.
+
+An *advisor spec* is a single JSON document carrying everything the
+selection algorithm needs — schema, path, statistics, workload, options —
+so the advisor can run as a standalone tool (see :mod:`repro.cli`):
+
+.. code-block:: json
+
+    {
+      "schema": {"classes": [
+        {"name": "Person", "attributes": [
+            {"name": "owns", "domain": "Vehicle", "multi_valued": true}]},
+        {"name": "Vehicle", "attributes": [
+            {"name": "name", "domain": "string"}]}
+      ]},
+      "path": "Person.owns.name",
+      "statistics": {"Person": {"objects": 1000, "distinct": 100, "fanout": 2},
+                      "Vehicle": {"objects": 100, "distinct": 50, "fanout": 1}},
+      "workload": {"Person": {"query": 0.5, "insert": 0.1, "delete": 0.1}},
+      "options": {"include_noindex": true, "page_size": 4096}
+    }
+
+Atomic domains are the strings ``integer``, ``real``, ``string`` and
+``boolean``; any other domain string names a class.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.costmodel.params import ClassStats, CostModelConfig, PathStatistics
+from repro.errors import ReproError
+from repro.model.attribute import AtomicType, Attribute
+from repro.model.path import Path
+from repro.model.schema import Schema
+from repro.organizations import IndexOrganization
+from repro.storage.sizes import SizeModel
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+_ATOMIC_NAMES = {atomic.value: atomic for atomic in AtomicType}
+
+
+@dataclass(frozen=True)
+class AdvisorSpec:
+    """Deserialized advisor inputs."""
+
+    stats: PathStatistics
+    load: LoadDistribution
+    organizations: tuple[IndexOrganization, ...] | None
+    include_noindex: bool
+    range_selectivity: float | None
+
+
+# ---------------------------------------------------------------------------
+# serialization
+# ---------------------------------------------------------------------------
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    """Schema → JSON-compatible dict."""
+    classes = []
+    for class_def in schema:
+        attributes = [
+            {
+                "name": attribute.name,
+                "domain": attribute.domain.value
+                if isinstance(attribute.domain, AtomicType)
+                else attribute.domain,
+                "multi_valued": attribute.multi_valued,
+            }
+            for attribute in class_def.attributes.values()
+        ]
+        entry: dict[str, Any] = {"name": class_def.name, "attributes": attributes}
+        if class_def.superclass:
+            entry["superclass"] = class_def.superclass
+        classes.append(entry)
+    return {"classes": classes}
+
+
+def schema_from_dict(data: dict[str, Any]) -> Schema:
+    """JSON dict → frozen Schema."""
+    try:
+        classes = data["classes"]
+    except (KeyError, TypeError):
+        raise ReproError("schema document needs a 'classes' list") from None
+    schema = Schema()
+    for entry in classes:
+        attributes = []
+        for raw in entry.get("attributes", []):
+            domain_name = raw["domain"]
+            domain: AtomicType | str = _ATOMIC_NAMES.get(domain_name, domain_name)
+            attributes.append(
+                Attribute(
+                    name=raw["name"],
+                    domain=domain,
+                    multi_valued=bool(raw.get("multi_valued", False)),
+                )
+            )
+        schema.define(
+            entry["name"], attributes, superclass=entry.get("superclass")
+        )
+    return schema.freeze()
+
+
+def spec_to_dict(
+    stats: PathStatistics,
+    load: LoadDistribution,
+    include_noindex: bool = False,
+    range_selectivity: float | None = None,
+) -> dict[str, Any]:
+    """Advisor inputs → JSON-compatible spec document."""
+    path = stats.path
+    statistics = {}
+    workload = {}
+    for position in range(1, path.length + 1):
+        for member in path.hierarchy_at(position):
+            entry = stats.stats_of(member)
+            statistics[member] = {
+                "objects": entry.objects,
+                "distinct": entry.distinct,
+                "fanout": entry.fanout,
+            }
+            triplet = load.triplet(member)
+            workload[member] = {
+                "query": triplet.query,
+                "insert": triplet.insert,
+                "delete": triplet.delete,
+            }
+    options: dict[str, Any] = {
+        "page_size": stats.config.sizes.page_size,
+        "include_noindex": include_noindex,
+    }
+    if range_selectivity is not None:
+        options["range_selectivity"] = range_selectivity
+    return {
+        "schema": schema_to_dict(path.schema),
+        "path": str(path),
+        "statistics": statistics,
+        "workload": workload,
+        "options": options,
+    }
+
+
+def spec_from_dict(data: dict[str, Any]) -> AdvisorSpec:
+    """JSON spec document → advisor inputs."""
+    for key in ("schema", "path", "statistics"):
+        if key not in data:
+            raise ReproError(f"advisor spec is missing {key!r}")
+    schema = schema_from_dict(data["schema"])
+    path = Path.parse(schema, data["path"])
+
+    options = data.get("options", {})
+    sizes = SizeModel(page_size=int(options.get("page_size", 4096)))
+    config = CostModelConfig(sizes=sizes)
+
+    per_class = {}
+    for name, raw in data["statistics"].items():
+        per_class[name] = ClassStats(
+            objects=float(raw["objects"]),
+            distinct=float(raw["distinct"]),
+            fanout=float(raw.get("fanout", 1.0)),
+        )
+    stats = PathStatistics(path, per_class, config=config)
+
+    triplets = {}
+    for name, raw in data.get("workload", {}).items():
+        triplets[name] = LoadTriplet(
+            query=float(raw.get("query", 0.0)),
+            insert=float(raw.get("insert", 0.0)),
+            delete=float(raw.get("delete", 0.0)),
+        )
+    load = LoadDistribution(path, triplets)
+
+    organizations: tuple[IndexOrganization, ...] | None = None
+    if "organizations" in options:
+        try:
+            organizations = tuple(
+                IndexOrganization(name) for name in options["organizations"]
+            )
+        except ValueError as error:
+            raise ReproError(f"unknown organization in spec: {error}") from None
+
+    selectivity = options.get("range_selectivity")
+    return AdvisorSpec(
+        stats=stats,
+        load=load,
+        organizations=organizations,
+        include_noindex=bool(options.get("include_noindex", False)),
+        range_selectivity=float(selectivity) if selectivity is not None else None,
+    )
+
+
+def load_spec(path: str) -> AdvisorSpec:
+    """Read and parse a spec JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"invalid JSON in {path}: {error}") from None
+    return spec_from_dict(data)

@@ -1,0 +1,33 @@
+"""Object-oriented data model substrate.
+
+This package implements the data-model concepts of Section 1 and the
+path/scope machinery of Section 2.1 of the paper:
+
+* :class:`~repro.model.attribute.Attribute` — typed attributes whose domain
+  is either an atomic type or another class (part-of relationship), possibly
+  multi-valued (marked ``+`` in the paper's figures).
+* :class:`~repro.model.schema.ClassDef` / :class:`~repro.model.schema.Schema`
+  — classes organized in aggregation and inheritance hierarchies.
+* :class:`~repro.model.path.Path` — a path ``C1.A1.A2.....An`` with
+  ``len(P)``, ``class(P)`` and ``scope(P)`` exactly as Definition 2.1.
+* :class:`~repro.model.objects.OODatabase` — an in-memory object store with
+  oids and forward references, mirroring Figure 2.
+* :mod:`~repro.model.examples` — the paper's Figure 1 schema, Figure 2
+  instances and Figure 7 statistics.
+"""
+
+from repro.model.attribute import AtomicType, Attribute
+from repro.model.objects import OID, ObjectInstance, OODatabase
+from repro.model.path import Path
+from repro.model.schema import ClassDef, Schema
+
+__all__ = [
+    "AtomicType",
+    "Attribute",
+    "ClassDef",
+    "OID",
+    "OODatabase",
+    "ObjectInstance",
+    "Path",
+    "Schema",
+]

@@ -1,0 +1,91 @@
+"""Attribute and domain definitions.
+
+An attribute's domain is either *atomic* (integer, string, ...) or a class
+of the schema, in which case the attribute establishes a part-of
+relationship between its owner class and the domain class (Section 1 of the
+paper). Multi-valued attributes are the ones marked with ``+`` in Figure 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+
+
+class AtomicType(enum.Enum):
+    """Atomic domains supported by the data model."""
+
+    INTEGER = "integer"
+    REAL = "real"
+    STRING = "string"
+    BOOLEAN = "boolean"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Python types accepted as values for each atomic domain.
+_PYTHON_TYPES = {
+    AtomicType.INTEGER: (int,),
+    AtomicType.REAL: (int, float),
+    AtomicType.STRING: (str,),
+    AtomicType.BOOLEAN: (bool,),
+}
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named attribute of a class.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, e.g. ``"owns"``.
+    domain:
+        Either an :class:`AtomicType` or the *name* of a class in the same
+        schema (a part-of relationship). Class domains are stored by name so
+        schemas can be declared in any class order.
+    multi_valued:
+        ``True`` for set-valued attributes (``+`` in the paper's figures).
+    """
+
+    name: str
+    domain: AtomicType | str
+    multi_valued: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid attribute name: {self.name!r}")
+        if isinstance(self.domain, str) and not self.domain:
+            raise SchemaError(f"attribute {self.name!r} has an empty domain")
+
+    @property
+    def is_atomic(self) -> bool:
+        """Whether the domain is an atomic type."""
+        return isinstance(self.domain, AtomicType)
+
+    @property
+    def is_reference(self) -> bool:
+        """Whether the domain is a class (part-of relationship)."""
+        return isinstance(self.domain, str)
+
+    def accepts_atomic_value(self, value: object) -> bool:
+        """Check a Python value against an atomic domain.
+
+        Returns ``False`` for reference attributes; oid checking is the
+        responsibility of :class:`~repro.model.objects.OODatabase`.
+        """
+        if not self.is_atomic:
+            return False
+        assert isinstance(self.domain, AtomicType)
+        # bool is a subclass of int; keep INTEGER strict about it.
+        if self.domain is AtomicType.INTEGER and isinstance(value, bool):
+            return False
+        return isinstance(value, _PYTHON_TYPES[self.domain])
+
+    def __str__(self) -> str:
+        marker = "+" if self.multi_valued else ""
+        domain = self.domain if isinstance(self.domain, str) else str(self.domain)
+        return f"{self.name}{marker}: {domain}"

@@ -1,0 +1,166 @@
+"""The paper's running example: Figure 1 schema and Figure 2 instances.
+
+The aggregation hierarchy (Figure 1):
+
+* ``Person`` (name, age) —``owns+``→ ``Vehicle``
+* ``Vehicle`` (vid, color, max_speed) —``man``→ ``Company``, with subclasses
+  ``Bus`` (height, seats) and ``Truck`` (weight, availability)
+* ``Company`` (name, location) —``divisions+``→ ``Division``
+* ``Division`` (name, budget)
+
+The two paths used throughout the paper:
+
+* ``P_e   = Person.owns.man.name``            (Example 2.1, length 3)
+* ``P_exa = Person.owns.man.divisions.name``  (Example 5.1, length 4)
+
+Class and attribute names follow the paper's abbreviations where they are
+unambiguous (``man`` for manufacturer, ``owns``); ``divisions`` is spelled
+out because ``divs`` is only the paper's abbreviation.
+"""
+
+from __future__ import annotations
+
+from repro.model.attribute import AtomicType
+from repro.model.objects import OID, OODatabase
+from repro.model.path import Path
+from repro.model.schema import Schema, atomic, reference
+
+#: Path expressions from the paper.
+PE_EXPRESSION = "Person.owns.man.name"
+PEXA_EXPRESSION = "Person.owns.man.divisions.name"
+
+
+def build_vehicle_schema() -> Schema:
+    """Construct and freeze the Figure 1 schema."""
+    schema = Schema()
+    schema.define(
+        "Division",
+        [
+            atomic("name", AtomicType.STRING),
+            atomic("budget", AtomicType.INTEGER),
+        ],
+    )
+    schema.define(
+        "Company",
+        [
+            atomic("name", AtomicType.STRING),
+            atomic("location", AtomicType.STRING),
+            reference("divisions", "Division", multi_valued=True),
+        ],
+    )
+    schema.define(
+        "Vehicle",
+        [
+            atomic("vid", AtomicType.INTEGER),
+            atomic("color", AtomicType.STRING),
+            atomic("max_speed", AtomicType.INTEGER),
+            reference("man", "Company"),
+        ],
+    )
+    schema.define(
+        "Bus",
+        [
+            atomic("height", AtomicType.INTEGER),
+            atomic("seats", AtomicType.INTEGER),
+        ],
+        superclass="Vehicle",
+    )
+    schema.define(
+        "Truck",
+        [
+            atomic("weight", AtomicType.INTEGER),
+            atomic("availability", AtomicType.STRING),
+        ],
+        superclass="Vehicle",
+    )
+    schema.define(
+        "Person",
+        [
+            atomic("name", AtomicType.STRING),
+            atomic("age", AtomicType.INTEGER),
+            reference("owns", "Vehicle", multi_valued=True),
+        ],
+    )
+    return schema.freeze()
+
+
+def pe_path(schema: Schema | None = None) -> Path:
+    """The Example 2.1 path ``Person.owns.man.name``."""
+    return Path.parse(schema or build_vehicle_schema(), PE_EXPRESSION)
+
+
+def pexa_path(schema: Schema | None = None) -> Path:
+    """The Example 5.1 path ``Person.owns.man.divisions.name``."""
+    return Path.parse(schema or build_vehicle_schema(), PEXA_EXPRESSION)
+
+
+def populate_vehicle_database(schema: Schema | None = None) -> OODatabase:
+    """Create the Figure 2 instances.
+
+    The population reproduces the object graph that the paper's index
+    examples enumerate (the MIX entries of Section 2.2):
+
+    * ``man``:  ``(Company[i], {Vehicle[i], Vehicle[j]})``,
+      ``(Company[j], {Vehicle[k], Bus[i], Truck[i]})``,
+      ``(Company[k], {Bus[j]})``
+    * ``owns``: ``(Vehicle[i], {Person[o]})``, ``(Vehicle[j], {Person[p]})``,
+      ``(Vehicle[k], {Person[q]})``, ``(Truck[i], {Person[r]})``,
+      ``(Bus[i], {Person[p]})``
+
+    Serial numbers stand in for the paper's letter subscripts
+    (``i, j, k → 0, 1, 2`` and ``o, p, q, r → 0, 1, 2, 3``).
+    """
+    schema = schema or build_vehicle_schema()
+    database = OODatabase(schema)
+
+    divisions: dict[str, list[OID]] = {}
+    for company, names in {
+        "Renault": ["engines", "chassis"],
+        "Fiat": ["movings", "design"],
+        "Daf": ["cabs", "logistics"],
+    }.items():
+        divisions[company] = [
+            database.create("Division", name=f"{company}-{name}", budget=100 + 10 * i)
+            for i, name in enumerate(names)
+        ]
+
+    renault = database.create(
+        "Company", name="Renault", location="Torino", divisions=divisions["Renault"]
+    )
+    fiat = database.create(
+        "Company", name="Fiat", location="Milano", divisions=divisions["Fiat"]
+    )
+    daf = database.create(
+        "Company", name="Daf", location="Eindhoven", divisions=divisions["Daf"]
+    )
+
+    vehicle_i = database.create(
+        "Vehicle", vid=1, color="White", max_speed=160, man=renault
+    )
+    vehicle_j = database.create(
+        "Vehicle", vid=2, color="Red", max_speed=150, man=renault
+    )
+    vehicle_k = database.create(
+        "Vehicle", vid=3, color="Red", max_speed=170, man=fiat
+    )
+    bus_i = database.create(
+        "Bus", vid=4, color="Blue", max_speed=120, man=fiat, height=3, seats=50
+    )
+    database.create(  # Bus[j]: manufactured by Daf, not owned by anyone.
+        "Bus", vid=5, color="Green", max_speed=110, man=daf, height=4, seats=60
+    )
+    truck_i = database.create(
+        "Truck",
+        vid=6,
+        color="Grey",
+        max_speed=130,
+        man=fiat,
+        weight=12000,
+        availability="weekdays",
+    )
+
+    database.create("Person", name="Rossi", age=45, owns=[vehicle_i])
+    database.create("Person", name="Piet", age=38, owns=[vehicle_j, bus_i])
+    database.create("Person", name="Sonia", age=29, owns=[vehicle_k])
+    database.create("Person", name="Henk", age=52, owns=[truck_i])
+    return database

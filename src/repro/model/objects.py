@@ -1,0 +1,255 @@
+"""In-memory object store: oids, instances, class extents.
+
+The store mirrors the paper's assumptions: every object carries a
+system-generated oid; references between objects are *forward* only (an
+object knows its children, not its parents); attributes never hold NULL.
+A reverse-reference map is maintained on the side because the NIX auxiliary
+index and the synthetic data generator both need parent lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.model.attribute import Attribute
+from repro.model.schema import Schema
+
+
+@dataclass(frozen=True, order=True)
+class OID:
+    """A system-generated object identifier.
+
+    Ordered and hashable so oids can be B+-tree keys. The textual form
+    matches the paper's ``Class[serial]`` convention, e.g. ``Vehicle[3]``.
+    """
+
+    class_name: str
+    serial: int
+
+    def __str__(self) -> str:
+        return f"{self.class_name}[{self.serial}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return str(self)
+
+
+@dataclass
+class ObjectInstance:
+    """An object: an oid plus a value for every attribute of its class.
+
+    Values are atomic Python values, :class:`OID` references, or lists
+    thereof for multi-valued attributes.
+    """
+
+    oid: OID
+    values: dict[str, object] = field(default_factory=dict)
+
+    def value_list(self, attribute: str) -> list[object]:
+        """The attribute's values as a list (singletons for single-valued)."""
+        value = self.values[attribute]
+        if isinstance(value, list):
+            return list(value)
+        return [value]
+
+
+class OODatabase:
+    """A populated database over a frozen :class:`Schema`.
+
+    Provides object creation with domain checking, deletion with
+    referential bookkeeping, extent iteration, and parent lookup (the
+    reverse of the forward references, needed by the NIX auxiliary index).
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        schema.freeze()
+        self.schema = schema
+        self._extents: dict[str, dict[int, ObjectInstance]] = {
+            name: {} for name in schema.class_names()
+        }
+        self._serials: dict[str, int] = {name: 0 for name in schema.class_names()}
+        # (child oid, attribute) -> set of parent oids referencing it.
+        self._parents: dict[OID, dict[str, set[OID]]] = {}
+
+    # ------------------------------------------------------------------
+    # creation / deletion
+    # ------------------------------------------------------------------
+    def create(self, class_name: str, **values: object) -> OID:
+        """Create an object of ``class_name`` with the given attribute values.
+
+        Every attribute of the class (own and inherited) must receive a
+        value — the paper assumes attributes are never NULL. Reference
+        values must be oids of the domain class or one of its subclasses.
+        """
+        class_def = self.schema.get(class_name)
+        if self.schema.direct_subclasses(class_name) and values.get("__abstract_ok__"):
+            values.pop("__abstract_ok__")
+        attributes = self.schema.all_attributes(class_name)
+        unknown = set(values) - set(attributes)
+        if unknown:
+            raise SchemaError(
+                f"unknown attributes for {class_name!r}: {sorted(unknown)}"
+            )
+        missing = set(attributes) - set(values)
+        if missing:
+            raise SchemaError(
+                f"missing values for {class_name!r}: {sorted(missing)} "
+                "(attributes may not be NULL)"
+            )
+        serial = self._serials[class_name]
+        self._serials[class_name] = serial + 1
+        oid = OID(class_name=class_def.name, serial=serial)
+        checked: dict[str, object] = {}
+        for name, attribute in attributes.items():
+            checked[name] = self._check_value(class_name, attribute, values[name])
+        instance = ObjectInstance(oid=oid, values=checked)
+        self._extents[class_name][serial] = instance
+        self._register_references(instance)
+        return oid
+
+    def _check_value(
+        self, class_name: str, attribute: Attribute, value: object
+    ) -> object:
+        if attribute.multi_valued:
+            if not isinstance(value, (list, tuple, set)):
+                raise SchemaError(
+                    f"{class_name}.{attribute.name} is multi-valued; "
+                    f"got scalar {value!r}"
+                )
+            return [
+                self._check_single(class_name, attribute, item) for item in value
+            ]
+        if isinstance(value, (list, tuple, set)):
+            raise SchemaError(
+                f"{class_name}.{attribute.name} is single-valued; "
+                f"got collection {value!r}"
+            )
+        return self._check_single(class_name, attribute, value)
+
+    def _check_single(
+        self, class_name: str, attribute: Attribute, value: object
+    ) -> object:
+        if attribute.is_atomic:
+            if not attribute.accepts_atomic_value(value):
+                raise SchemaError(
+                    f"{class_name}.{attribute.name}: value {value!r} not in "
+                    f"domain {attribute.domain}"
+                )
+            return value
+        if not isinstance(value, OID):
+            raise SchemaError(
+                f"{class_name}.{attribute.name}: expected an OID, got {value!r}"
+            )
+        domain = str(attribute.domain)
+        if not self.schema.is_subclass_of(value.class_name, domain):
+            raise SchemaError(
+                f"{class_name}.{attribute.name}: oid {value} is not in the "
+                f"hierarchy rooted at {domain!r}"
+            )
+        if not self.contains(value):
+            raise SchemaError(
+                f"{class_name}.{attribute.name}: dangling reference {value} "
+                "(only forward references to existing objects are allowed)"
+            )
+        return value
+
+    def _register_references(self, instance: ObjectInstance) -> None:
+        for attribute_name, value in instance.values.items():
+            for item in _as_list(value):
+                if isinstance(item, OID):
+                    slots = self._parents.setdefault(item, {})
+                    slots.setdefault(attribute_name, set()).add(instance.oid)
+
+    def _unregister_references(self, instance: ObjectInstance) -> None:
+        for attribute_name, value in instance.values.items():
+            for item in _as_list(value):
+                if isinstance(item, OID):
+                    slots = self._parents.get(item)
+                    if slots and attribute_name in slots:
+                        slots[attribute_name].discard(instance.oid)
+
+    def delete(self, oid: OID) -> ObjectInstance:
+        """Delete an object and unregister its outgoing references.
+
+        Incoming references from parents are left in place: the paper's
+        delete algorithms (Section 3.1) operate on the *indexes*; the
+        operational index layer is responsible for maintaining them and the
+        caller for cascading or forbidding dangles as it sees fit.
+        """
+        instance = self.get(oid)
+        del self._extents[oid.class_name][oid.serial]
+        self._unregister_references(instance)
+        return instance
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def contains(self, oid: OID) -> bool:
+        """Whether the oid refers to a live object."""
+        extent = self._extents.get(oid.class_name)
+        return extent is not None and oid.serial in extent
+
+    def get(self, oid: OID) -> ObjectInstance:
+        """Fetch an object by oid, raising :class:`SchemaError` if absent."""
+        if not self.contains(oid):
+            raise SchemaError(f"no such object: {oid}")
+        return self._extents[oid.class_name][oid.serial]
+
+    def extent(self, class_name: str) -> Iterator[ObjectInstance]:
+        """Objects of exactly ``class_name`` (no subclasses)."""
+        self.schema.get(class_name)
+        return iter(list(self._extents[class_name].values()))
+
+    def extent_size(self, class_name: str) -> int:
+        """``n_{l,x}``: number of objects of exactly ``class_name``."""
+        self.schema.get(class_name)
+        return len(self._extents[class_name])
+
+    def hierarchy_extent(self, class_name: str) -> Iterator[ObjectInstance]:
+        """Objects of the class and all its subclasses."""
+        for member in self.schema.hierarchy(class_name):
+            yield from self.extent(member)
+
+    def parents_of(self, oid: OID, attribute: str | None = None) -> set[OID]:
+        """Objects referencing ``oid`` (optionally through one attribute).
+
+        This is the information the NIX auxiliary index materializes.
+        """
+        slots = self._parents.get(oid, {})
+        if attribute is not None:
+            return set(slots.get(attribute, set()))
+        merged: set[OID] = set()
+        for group in slots.values():
+            merged |= group
+        return merged
+
+    def total_objects(self) -> int:
+        """Number of live objects across all classes."""
+        return sum(len(extent) for extent in self._extents.values())
+
+    # ------------------------------------------------------------------
+    # statistics helpers (used by repro.synth.stats)
+    # ------------------------------------------------------------------
+    def distinct_values(self, class_name: str, attribute: str) -> int:
+        """``d_{l,x}``: distinct values of an attribute within one class."""
+        seen: set[object] = set()
+        for instance in self.extent(class_name):
+            for item in instance.value_list(attribute):
+                seen.add(item)
+        return len(seen)
+
+    def average_fanout(self, class_name: str, attribute: str) -> float:
+        """``nin_{l,x}``: average number of values per object."""
+        sizes = [
+            len(instance.value_list(attribute)) for instance in self.extent(class_name)
+        ]
+        if not sizes:
+            return 0.0
+        return sum(sizes) / len(sizes)
+
+
+def _as_list(value: object) -> Iterable[object]:
+    if isinstance(value, list):
+        return value
+    return [value]

@@ -1,0 +1,210 @@
+"""Paths through the aggregation hierarchy (Definition 2.1).
+
+A path ``P = C1.A1.A2.....An`` is a starting class followed by a chain of
+attributes in which the domain of ``A_{l-1}`` is the class ``C_l`` that
+declares (or inherits) ``A_l``. The paper's derived notions are implemented
+verbatim:
+
+* ``len(P)``  — number of classes along the path (:attr:`Path.length`);
+* ``class(P)`` — the classes along the path (:meth:`Path.classes`);
+* ``scope(P)`` — ``class(P)`` plus all their subclasses
+  (:meth:`Path.scope`);
+* the *ending attribute* ``A_n`` and *starting class* ``C_1``.
+
+Positions are **1-based** to match the paper's subscripts: ``C_l`` is
+``path.class_at(l)`` and ``A_l`` is ``path.attribute_at(l)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator
+
+from repro.errors import PathError, SchemaError
+from repro.model.attribute import Attribute
+from repro.model.schema import Schema
+
+
+@dataclass(frozen=True)
+class Path:
+    """A navigation path ``C1.A1.A2.....An`` over a frozen schema.
+
+    Instances are immutable and hashable so they can serve as dictionary
+    keys in cost matrices.
+    """
+
+    schema: Schema
+    starting_class: str
+    attribute_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.schema.frozen:
+            raise PathError("paths require a frozen schema")
+        if not self.attribute_names:
+            raise PathError("a path needs at least one attribute")
+        # Walk the chain to validate Definition 2.1 and cache the classes.
+        classes = [self.starting_class]
+        if self.starting_class not in self.schema:
+            raise PathError(f"unknown starting class {self.starting_class!r}")
+        current = self.starting_class
+        for position, attribute_name in enumerate(self.attribute_names, start=1):
+            try:
+                attribute = self.schema.resolve_attribute(current, attribute_name)
+            except SchemaError as error:
+                raise PathError(str(error)) from error
+            is_last = position == len(self.attribute_names)
+            if not is_last:
+                if not attribute.is_reference:
+                    raise PathError(
+                        f"attribute {current}.{attribute_name} is atomic but "
+                        "is not the ending attribute of the path"
+                    )
+                current = str(attribute.domain)
+                if current in classes:
+                    raise PathError(
+                        f"class {current!r} appears twice in the path "
+                        "(Definition 2.1 forbids repetition)"
+                    )
+                classes.append(current)
+        object.__setattr__(self, "_classes", tuple(classes))
+
+    # ------------------------------------------------------------------
+    # parsing / rendering
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, schema: Schema, expression: str) -> "Path":
+        """Parse ``"Per.owns.man.name"`` into a :class:`Path`.
+
+        The first dotted component is the starting class; the rest are
+        attribute names.
+        """
+        parts = [part for part in expression.split(".") if part]
+        if len(parts) < 2:
+            raise PathError(f"path expression too short: {expression!r}")
+        return cls(
+            schema=schema,
+            starting_class=parts[0],
+            attribute_names=tuple(parts[1:]),
+        )
+
+    def __str__(self) -> str:
+        return ".".join((self.starting_class, *self.attribute_names))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Path({str(self)!r})"
+
+    # ------------------------------------------------------------------
+    # Definition 2.1 derived notions
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """``len(P)``: the number of classes along the path."""
+        return len(self.attribute_names)
+
+    @cached_property
+    def classes(self) -> tuple[str, ...]:
+        """``class(P)``: the classes ``C_1 .. C_n`` along the path."""
+        return self._classes  # type: ignore[attr-defined]
+
+    @cached_property
+    def scope(self) -> tuple[str, ...]:
+        """``scope(P)``: ``class(P)`` plus all their subclasses."""
+        result: list[str] = []
+        for name in self.classes:
+            for member in self.schema.hierarchy(name):
+                if member not in result:
+                    result.append(member)
+        return tuple(result)
+
+    @property
+    def ending_attribute(self) -> str:
+        """``A_n``: the last attribute of the path."""
+        return self.attribute_names[-1]
+
+    def class_at(self, position: int) -> str:
+        """``C_l`` for 1-based ``position``."""
+        self._check_position(position)
+        return self.classes[position - 1]
+
+    def attribute_at(self, position: int) -> str:
+        """``A_l`` for 1-based ``position``."""
+        self._check_position(position)
+        return self.attribute_names[position - 1]
+
+    def attribute_def_at(self, position: int) -> Attribute:
+        """The resolved :class:`Attribute` for ``A_l``."""
+        return self.schema.resolve_attribute(
+            self.class_at(position), self.attribute_at(position)
+        )
+
+    def hierarchy_at(self, position: int) -> list[str]:
+        """``C-hat_l``: class ``C_l`` plus its subclasses."""
+        return self.schema.hierarchy(self.class_at(position))
+
+    def hierarchy_size_at(self, position: int) -> int:
+        """``nc_l``: number of classes in the hierarchy rooted at ``C_l``."""
+        return self.schema.hierarchy_size(self.class_at(position))
+
+    def domain_class_after(self, position: int) -> str | None:
+        """The class ``C_{l+1}`` that is the domain of ``A_l``.
+
+        Returns ``None`` when ``A_l`` is the ending attribute with an atomic
+        domain (there is no following class).
+        """
+        attribute = self.attribute_def_at(position)
+        if attribute.is_atomic:
+            return None
+        return str(attribute.domain)
+
+    def _check_position(self, position: int) -> None:
+        if not 1 <= position <= self.length:
+            raise PathError(
+                f"position {position} out of range 1..{self.length} for {self}"
+            )
+
+    # ------------------------------------------------------------------
+    # subpaths (Section 4)
+    # ------------------------------------------------------------------
+    def subpath(self, start: int, end: int) -> "Path":
+        """The subpath ``S_{start,end} = C_start.A_start.....A_end``.
+
+        ``start`` and ``end`` are 1-based positions into this path,
+        inclusive on both sides, matching the paper's ``S_{i,j}`` notation.
+        """
+        self._check_position(start)
+        self._check_position(end)
+        if start > end:
+            raise PathError(f"subpath start {start} after end {end}")
+        return Path(
+            schema=self.schema,
+            starting_class=self.class_at(start),
+            attribute_names=self.attribute_names[start - 1 : end],
+        )
+
+    def subpaths(self) -> Iterator[tuple[int, int, "Path"]]:
+        """All ``n(n+1)/2`` contiguous subpaths as ``(start, end, path)``.
+
+        Enumeration order is by increasing start, then increasing end — the
+        row order of the paper's cost matrix (Figure 6).
+        """
+        for start in range(1, self.length + 1):
+            for end in range(start, self.length + 1):
+                yield start, end, self.subpath(start, end)
+
+    def subpath_count(self) -> int:
+        """``n(n+1)/2``: how many contiguous subpaths exist."""
+        return self.length * (self.length + 1) // 2
+
+    def is_prefix_of(self, other: "Path") -> bool:
+        """Whether this path is a prefix of ``other`` (same start class)."""
+        return (
+            self.starting_class == other.starting_class
+            and self.attribute_names == other.attribute_names[: self.length]
+        )
+
+    def overlaps(self, other: "Path") -> bool:
+        """Whether the two paths share at least one (class, attribute) step."""
+        mine = set(zip(self.classes, self.attribute_names))
+        theirs = set(zip(other.classes, other.attribute_names))
+        return bool(mine & theirs)

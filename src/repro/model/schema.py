@@ -1,0 +1,284 @@
+"""Class definitions and schemas (aggregation + inheritance hierarchies).
+
+A :class:`Schema` holds a set of :class:`ClassDef` objects. Two hierarchies
+emerge from the definitions, exactly as in Section 1 of the paper:
+
+* the **aggregation hierarchy**: class ``C`` has an attribute whose domain
+  is class ``C'`` (part-of relationship);
+* the **inheritance hierarchy**: a subclass inherits the attributes of its
+  superclass and may add its own.
+
+The paper's notation ``C-hat_{l,x}`` (the class together with all its
+subclasses) is exposed as :meth:`Schema.hierarchy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.model.attribute import AtomicType, Attribute
+
+
+@dataclass
+class ClassDef:
+    """A class of the object-oriented schema.
+
+    Parameters
+    ----------
+    name:
+        Class name, unique within the schema.
+    attributes:
+        The attributes *declared* by this class (inherited ones are resolved
+        through the schema).
+    superclass:
+        Name of the direct superclass, or ``None`` for a hierarchy root.
+        Single inheritance suffices for the paper's model.
+    """
+
+    name: str
+    attributes: dict[str, Attribute] = field(default_factory=dict)
+    superclass: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid class name: {self.name!r}")
+        for key, attribute in self.attributes.items():
+            if key != attribute.name:
+                raise SchemaError(
+                    f"attribute dict key {key!r} does not match "
+                    f"attribute name {attribute.name!r}"
+                )
+
+    def declare(self, attribute: Attribute) -> None:
+        """Add a declared attribute, refusing duplicates."""
+        if attribute.name in self.attributes:
+            raise SchemaError(
+                f"class {self.name!r} already declares {attribute.name!r}"
+            )
+        self.attributes[attribute.name] = attribute
+
+    def __str__(self) -> str:
+        parent = f"({self.superclass})" if self.superclass else ""
+        attrs = ", ".join(str(a) for a in self.attributes.values())
+        return f"{self.name}{parent}[{attrs}]"
+
+
+class Schema:
+    """A collection of classes with aggregation and inheritance hierarchies.
+
+    The schema is the single source of truth for class lookup, attribute
+    resolution through inheritance, and subclass enumeration. It validates
+    referential integrity on :meth:`freeze` (called automatically by
+    consumers that need a consistent schema).
+    """
+
+    def __init__(self, classes: Iterable[ClassDef] = ()) -> None:
+        self._classes: dict[str, ClassDef] = {}
+        self._direct_subclasses: dict[str, list[str]] = {}
+        self._frozen = False
+        for class_def in classes:
+            self.add_class(class_def)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_class(self, class_def: ClassDef) -> ClassDef:
+        """Register a class definition."""
+        if self._frozen:
+            raise SchemaError("cannot add classes to a frozen schema")
+        if class_def.name in self._classes:
+            raise SchemaError(f"duplicate class name: {class_def.name!r}")
+        self._classes[class_def.name] = class_def
+        self._direct_subclasses.setdefault(class_def.name, [])
+        return class_def
+
+    def define(
+        self,
+        name: str,
+        attributes: Iterable[Attribute] = (),
+        superclass: str | None = None,
+    ) -> ClassDef:
+        """Convenience constructor: define and register a class."""
+        class_def = ClassDef(name=name, superclass=superclass)
+        for attribute in attributes:
+            class_def.declare(attribute)
+        return self.add_class(class_def)
+
+    def freeze(self) -> "Schema":
+        """Validate the schema and make it immutable.
+
+        Checks performed:
+
+        * every superclass exists and inheritance is acyclic;
+        * every reference attribute points to an existing class;
+        * no subclass redeclares an inherited attribute name.
+        """
+        if self._frozen:
+            return self
+        for class_def in self._classes.values():
+            if class_def.superclass is not None:
+                if class_def.superclass not in self._classes:
+                    raise SchemaError(
+                        f"class {class_def.name!r} inherits from unknown "
+                        f"class {class_def.superclass!r}"
+                    )
+                self._direct_subclasses[class_def.superclass].append(class_def.name)
+            for attribute in class_def.attributes.values():
+                if attribute.is_reference and attribute.domain not in self._classes:
+                    raise SchemaError(
+                        f"attribute {class_def.name}.{attribute.name} has "
+                        f"unknown domain class {attribute.domain!r}"
+                    )
+        self._check_acyclic_inheritance()
+        self._check_no_redeclaration()
+        for subclasses in self._direct_subclasses.values():
+            subclasses.sort()
+        self._frozen = True
+        return self
+
+    def _check_acyclic_inheritance(self) -> None:
+        for name in self._classes:
+            seen = {name}
+            cursor = self._classes[name].superclass
+            while cursor is not None:
+                if cursor in seen:
+                    raise SchemaError(f"inheritance cycle through {cursor!r}")
+                seen.add(cursor)
+                cursor = self._classes[cursor].superclass
+
+    def _check_no_redeclaration(self) -> None:
+        for name, class_def in self._classes.items():
+            cursor = class_def.superclass
+            while cursor is not None:
+                parent = self._classes[cursor]
+                overlap = set(class_def.attributes) & set(parent.attributes)
+                if overlap:
+                    raise SchemaError(
+                        f"class {name!r} redeclares inherited attributes "
+                        f"{sorted(overlap)} of {cursor!r}"
+                    )
+                cursor = parent.superclass
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`freeze` has completed."""
+        return self._frozen
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __iter__(self) -> Iterator[ClassDef]:
+        return iter(self._classes.values())
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def class_names(self) -> list[str]:
+        """All class names in declaration order."""
+        return list(self._classes)
+
+    def get(self, name: str) -> ClassDef:
+        """Look up a class by name, raising :class:`SchemaError` if absent."""
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise SchemaError(f"unknown class: {name!r}") from None
+
+    def direct_subclasses(self, name: str) -> list[str]:
+        """Names of the direct subclasses of ``name``."""
+        self._require_frozen()
+        self.get(name)
+        return list(self._direct_subclasses[name])
+
+    def hierarchy(self, name: str) -> list[str]:
+        """``C-hat``: the class and all its (transitive) subclasses.
+
+        The root comes first; the remainder is in depth-first order. This is
+        the paper's ``C-hat_{l,x}`` notation and the basis of ``scope(P)``.
+        """
+        self._require_frozen()
+        result: list[str] = []
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            result.append(current)
+            stack.extend(reversed(self._direct_subclasses[current]))
+        return result
+
+    def hierarchy_size(self, name: str) -> int:
+        """``nc_l``: number of classes in the hierarchy rooted at ``name``."""
+        return len(self.hierarchy(name))
+
+    def superclasses(self, name: str) -> list[str]:
+        """Chain of superclasses from direct parent to the hierarchy root."""
+        chain: list[str] = []
+        cursor = self.get(name).superclass
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = self.get(cursor).superclass
+        return chain
+
+    def root_of(self, name: str) -> str:
+        """The root class of the inheritance hierarchy containing ``name``."""
+        chain = self.superclasses(name)
+        return chain[-1] if chain else name
+
+    def is_subclass_of(self, name: str, ancestor: str) -> bool:
+        """Whether ``name`` equals or transitively specializes ``ancestor``."""
+        return name == ancestor or ancestor in self.superclasses(name)
+
+    def resolve_attribute(self, class_name: str, attribute_name: str) -> Attribute:
+        """Resolve an attribute on a class, walking up the inheritance chain."""
+        cursor: str | None = class_name
+        while cursor is not None:
+            class_def = self.get(cursor)
+            if attribute_name in class_def.attributes:
+                return class_def.attributes[attribute_name]
+            cursor = class_def.superclass
+        raise SchemaError(
+            f"class {class_name!r} has no attribute {attribute_name!r} "
+            "(own or inherited)"
+        )
+
+    def all_attributes(self, class_name: str) -> dict[str, Attribute]:
+        """Own plus inherited attributes of a class (inherited first)."""
+        chain = [class_name, *self.superclasses(class_name)]
+        merged: dict[str, Attribute] = {}
+        for name in reversed(chain):
+            merged.update(self.get(name).attributes)
+        return merged
+
+    def aggregation_edges(self) -> list[tuple[str, str, str]]:
+        """All part-of edges as ``(owner class, attribute, domain class)``."""
+        edges = []
+        for class_def in self._classes.values():
+            for attribute in class_def.attributes.values():
+                if attribute.is_reference:
+                    edges.append((class_def.name, attribute.name, str(attribute.domain)))
+        return edges
+
+    def _require_frozen(self) -> None:
+        if not self._frozen:
+            raise SchemaError("schema must be frozen before hierarchy queries")
+
+    def describe(self) -> str:
+        """Human-readable multi-line schema description."""
+        lines = []
+        for class_def in self._classes.values():
+            lines.append(str(class_def))
+        return "\n".join(lines)
+
+
+def atomic(name: str, domain: AtomicType, multi_valued: bool = False) -> Attribute:
+    """Shorthand for an atomic attribute."""
+    return Attribute(name=name, domain=domain, multi_valued=multi_valued)
+
+
+def reference(name: str, domain: str, multi_valued: bool = False) -> Attribute:
+    """Shorthand for a reference (part-of) attribute."""
+    return Attribute(name=name, domain=domain, multi_valued=multi_valued)

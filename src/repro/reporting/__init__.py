@@ -1,0 +1,5 @@
+"""Rendering helpers for experiment reports."""
+
+from repro.reporting.tables import ascii_table, comparison_table
+
+__all__ = ["ascii_table", "comparison_table"]

@@ -1,0 +1,61 @@
+"""Plain ASCII tables for benchmark output.
+
+The benchmarks print the rows and series the paper reports; these helpers
+keep that output uniform without pulling in any dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a right-aligned ASCII table (first column left-aligned)."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(
+            len(str(headers[i])),
+            *(len(row[i]) for row in rendered_rows),
+        )
+        if rendered_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt([str(h) for h in headers]))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    lines.extend(fmt(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def comparison_table(
+    label: str,
+    paper_value: object,
+    measured_value: object,
+    note: str = "",
+) -> str:
+    """One paper-vs-measured line for EXPERIMENTS.md-style output."""
+    suffix = f"  ({note})" if note else ""
+    return f"{label}: paper={_cell(paper_value)} measured={_cell(measured_value)}{suffix}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,24 @@
+"""Page-level storage simulator.
+
+The paper counts *page accesses* as the only cost factor and assumes
+indexes are B+-trees with chained leaf nodes (Section 3.1). This package
+provides:
+
+* :class:`~repro.storage.sizes.SizeModel` — the physical constants (page
+  size, oid/pointer/key lengths) that the paper leaves as inputs;
+* :class:`~repro.storage.pager.Pager` — page allocation plus read/write
+  accounting;
+* :class:`~repro.storage.btree.BPlusTree` — an operational B+-tree whose
+  every node occupies one page, with overflow chains for index records
+  longer than a page;
+* :class:`~repro.storage.heap.ClassExtent` — heap files packing the objects
+  of a single class (the paper assumes a page contains objects of only one
+  class).
+"""
+
+from repro.storage.btree import BPlusTree
+from repro.storage.heap import ClassExtent
+from repro.storage.pager import AccessStats, Pager
+from repro.storage.sizes import SizeModel
+
+__all__ = ["AccessStats", "BPlusTree", "ClassExtent", "Pager", "SizeModel"]

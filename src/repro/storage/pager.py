@@ -1,0 +1,137 @@
+"""Page allocation and access accounting.
+
+Every node of an operational index and every heap block occupies exactly
+one page. The :class:`Pager` hands out page ids and counts reads and
+writes; :class:`AccessStats` snapshots let callers measure the page
+accesses of a single operation, which is how the validation harness
+compares measured costs against the paper's analytic formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class AccessStats:
+    """An immutable snapshot of page-access counters."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        """Reads plus writes — the paper's single cost metric."""
+        return self.reads + self.writes
+
+    def __sub__(self, other: "AccessStats") -> "AccessStats":
+        return AccessStats(reads=self.reads - other.reads, writes=self.writes - other.writes)
+
+    def __add__(self, other: "AccessStats") -> "AccessStats":
+        return AccessStats(reads=self.reads + other.reads, writes=self.writes + other.writes)
+
+
+class Pager:
+    """Allocates page ids and counts page reads/writes.
+
+    The pager does not store page *contents* — operational structures keep
+    their own in-memory state — it is purely the accounting substrate.
+    A tiny optional "buffer" models the paper's note that a page is fetched
+    only once while maintaining all its records: repeated accesses to the
+    same page inside one :meth:`measure` block can be deduplicated.
+    """
+
+    def __init__(self, page_size: int = 4096) -> None:
+        if page_size <= 0:
+            raise StorageError("page size must be positive")
+        self.page_size = page_size
+        self._next_page = 0
+        self._reads = 0
+        self._writes = 0
+        self._live: set[int] = set()
+        self._pinned: set[int] | None = None
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(self) -> int:
+        """Allocate a fresh page and return its id."""
+        page_id = self._next_page
+        self._next_page += 1
+        self._live.add(page_id)
+        return page_id
+
+    def allocate_many(self, count: int) -> list[int]:
+        """Allocate ``count`` pages."""
+        if count < 0:
+            raise StorageError("cannot allocate a negative number of pages")
+        return [self.allocate() for _ in range(count)]
+
+    def free(self, page_id: int) -> None:
+        """Release a page."""
+        if page_id not in self._live:
+            raise StorageError(f"double free or unknown page: {page_id}")
+        self._live.discard(page_id)
+
+    @property
+    def live_pages(self) -> int:
+        """Number of currently allocated pages."""
+        return len(self._live)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def read(self, page_id: int) -> None:
+        """Record a page read."""
+        self._check_live(page_id)
+        if self._pinned is not None and page_id in self._pinned:
+            return
+        self._reads += 1
+        if self._pinned is not None:
+            self._pinned.add(page_id)
+
+    def write(self, page_id: int) -> None:
+        """Record a page write."""
+        self._check_live(page_id)
+        self._writes += 1
+
+    def _check_live(self, page_id: int) -> None:
+        if page_id not in self._live:
+            raise StorageError(f"access to unallocated page: {page_id}")
+
+    def stats(self) -> AccessStats:
+        """Current cumulative counters."""
+        return AccessStats(reads=self._reads, writes=self._writes)
+
+    def reset(self) -> None:
+        """Zero the counters (allocations are kept)."""
+        self._reads = 0
+        self._writes = 0
+
+    class _Measure:
+        def __init__(self, pager: "Pager", buffered: bool) -> None:
+            self._pager = pager
+            self._buffered = buffered
+            self._before = pager.stats()
+            self.result: AccessStats | None = None
+
+        def __enter__(self) -> "Pager._Measure":
+            if self._buffered:
+                self._pager._pinned = set()
+            return self
+
+        def __exit__(self, *exc_info: object) -> None:
+            self.result = self._pager.stats() - self._before
+            if self._buffered:
+                self._pager._pinned = None
+
+    def measure(self, buffered: bool = False) -> "Pager._Measure":
+        """Context manager measuring the accesses of one operation.
+
+        With ``buffered=True`` repeated reads of one page inside the block
+        count once, modeling the paper's "a page will be fetched only once"
+        assumption for batched maintenance.
+        """
+        return Pager._Measure(self, buffered)

@@ -1,0 +1,115 @@
+"""Physical size constants.
+
+The paper treats page size, key/oid/pointer lengths and the derived
+``pr``/``pm`` parameters as inputs ("we consider the values for pr_X and
+pm_X as input parameters"). :class:`SizeModel` centralizes them so the
+analytic cost model and the operational simulator use identical numbers.
+
+Defaults are chosen to be era-plausible (4 KiB pages, 8-byte oids) but
+every field can be overridden.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class SizeModel:
+    """Physical constants, all in bytes unless stated otherwise.
+
+    Attributes
+    ----------
+    page_size:
+        ``p`` in the paper's formulas.
+    oid_size:
+        Length of an object identifier.
+    pointer_size:
+        Length of a physical page pointer inside index nodes.
+    atomic_key_size:
+        Length of an atomic key value (the ending attribute ``A_n``).
+    numchild_size:
+        Length of the ``numchild`` counter stored next to oids in NIX
+        primary records for multi-valued attributes.
+    record_header_size:
+        Fixed overhead of one index record (key-length field, counts).
+    class_directory_entry_size:
+        Per-class entry in the directory of a NIX primary record (class id
+        plus offset, Figure 3).
+    object_overhead_size:
+        Per-object overhead in heap pages.
+    object_size:
+        Default payload size of one stored object (used by heap extents
+        and the no-index traversal model when no per-class size is given).
+    """
+
+    page_size: int = 4096
+    oid_size: int = 8
+    pointer_size: int = 8
+    atomic_key_size: int = 16
+    numchild_size: int = 4
+    record_header_size: int = 8
+    class_directory_entry_size: int = 12
+    object_overhead_size: int = 16
+    object_size: int = 128
+
+    def __post_init__(self) -> None:
+        for name in (
+            "page_size",
+            "oid_size",
+            "pointer_size",
+            "atomic_key_size",
+            "numchild_size",
+            "record_header_size",
+            "class_directory_entry_size",
+            "object_overhead_size",
+            "object_size",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise StorageError(f"{name} must be a positive integer, got {value!r}")
+        if self.page_size < self.oid_size + self.pointer_size + self.atomic_key_size:
+            raise StorageError("page too small to hold a single index entry")
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def key_size(self, atomic: bool) -> int:
+        """Key length: atomic ending-attribute value or an oid key."""
+        return self.atomic_key_size if atomic else self.oid_size
+
+    def nonleaf_entry_size(self, atomic_key: bool) -> int:
+        """Size of a ``(attribute value, pointer)`` non-leaf pair."""
+        return self.key_size(atomic_key) + self.pointer_size
+
+    def nonleaf_fanout(self, atomic_key: bool) -> int:
+        """How many children a non-leaf node can address."""
+        fanout = self.page_size // self.nonleaf_entry_size(atomic_key)
+        return max(fanout, 2)
+
+    def pages_for(self, record_length: float) -> int:
+        """``ceil(ln / p)``: pages occupied by a record of the given length."""
+        if record_length <= 0:
+            return 0
+        return max(1, math.ceil(record_length / self.page_size))
+
+    def records_per_page(self, record_length: float) -> int:
+        """How many records of a given length fit in one page (min 1)."""
+        if record_length <= 0:
+            raise StorageError("record length must be positive")
+        return max(1, int(self.page_size // max(record_length, 1.0)))
+
+    def leaf_pages(self, record_count: float, record_length: float) -> float:
+        """``np``: leaf pages needed for ``record_count`` records.
+
+        Records longer than a page each occupy ``ceil(ln/p)`` pages;
+        shorter records are packed ``floor(p/ln)`` per page.
+        """
+        if record_count <= 0:
+            return 0.0
+        if record_length > self.page_size:
+            return record_count * self.pages_for(record_length)
+        return max(1.0, record_count / self.records_per_page(record_length))

@@ -1,0 +1,19 @@
+"""Synthetic schema, database and statistics generation.
+
+Used by the validation harness (build a database matching target
+statistics, then check the analytic model against measured page counts)
+and by the sweep benchmarks (random paths of varying length, fan-out and
+inheritance shape).
+"""
+
+from repro.synth.data_gen import populate_path_database
+from repro.synth.schema_gen import LevelSpec, linear_path_schema
+from repro.synth.stats import derive_class_stats, derive_path_statistics
+
+__all__ = [
+    "LevelSpec",
+    "derive_class_stats",
+    "derive_path_statistics",
+    "linear_path_schema",
+    "populate_path_database",
+]

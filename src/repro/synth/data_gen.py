@@ -1,0 +1,136 @@
+"""Populating a path schema to match target statistics.
+
+Objects are created bottom-up (ending class first) so forward references
+always point at existing objects. Attribute values are drawn to hit the
+target ``(n, d, nin)`` statistics of each class: exactly ``d`` distinct
+values are used, each object holds ``nin`` of them (multi-valued levels),
+and values are assigned round-robin so every distinct value is populated.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.costmodel.params import ClassStats
+from repro.errors import SchemaError
+from repro.model.objects import OID, OODatabase
+from repro.model.path import Path
+from repro.model.schema import Schema
+
+
+def populate_path_database(
+    schema: Schema,
+    path: Path,
+    specs: dict[str, ClassStats],
+    seed: int = 0,
+) -> OODatabase:
+    """Create a database matching per-class ``(n, d, nin)`` targets.
+
+    Parameters
+    ----------
+    schema, path:
+        The synthetic (or hand-built) schema and the path through it.
+    specs:
+        Target statistics per scope class. ``objects`` and ``distinct``
+        must be integers for an operational database; ``fanout`` values
+        are rounded per object so the mean approaches the target.
+    seed:
+        PRNG seed (value assignment shuffling).
+    """
+    rng = random.Random(seed)
+    missing = [name for name in path.scope if name not in specs]
+    if missing:
+        raise SchemaError(f"missing population specs for: {missing}")
+    database = OODatabase(schema)
+
+    # Build levels from the ending class backwards.
+    created: dict[int, list[OID]] = {}
+    for position in range(path.length, 0, -1):
+        level_oids: list[OID] = []
+        pool = created.get(position + 1, [])
+        for member in path.hierarchy_at(position):
+            spec = specs[member]
+            count = int(spec.objects)
+            distinct = max(1, min(int(spec.distinct), _value_space(path, position, pool)))
+            if count == 0:
+                continue
+            values = _value_pool(path, position, member, distinct, pool, rng)
+            attribute = path.attribute_def_at(position)
+            for index in range(count):
+                chosen = _draw_values(values, spec.fanout, index, rng)
+                attributes = schema.all_attributes(member)
+                kwargs: dict[str, object] = {}
+                for name, definition in attributes.items():
+                    if name == attribute.name:
+                        if definition.multi_valued:
+                            kwargs[name] = chosen
+                        else:
+                            kwargs[name] = chosen[0]
+                    elif definition.is_atomic:
+                        kwargs[name] = _atomic_default(definition)
+                    else:
+                        raise SchemaError(
+                            f"class {member!r} has a non-path reference "
+                            f"attribute {name!r}; synthetic population only "
+                            "supports path references"
+                        )
+                oid = database.create(member, **kwargs)
+                level_oids.append(oid)
+        if not level_oids:
+            raise SchemaError(f"no objects created at position {position}")
+        created[position] = level_oids
+    return database
+
+
+def _value_space(path: Path, position: int, pool: list[OID]) -> int:
+    attribute = path.attribute_def_at(position)
+    if attribute.is_atomic:
+        return 10**9
+    return max(1, len(pool))
+
+
+def _value_pool(
+    path: Path,
+    position: int,
+    member: str,
+    distinct: int,
+    pool: list[OID],
+    rng: random.Random,
+) -> list[object]:
+    attribute = path.attribute_def_at(position)
+    if attribute.is_atomic:
+        return [f"{member}-v{i}" for i in range(distinct)]
+    if distinct > len(pool):
+        raise SchemaError(
+            f"class {member!r} wants {distinct} distinct references but only "
+            f"{len(pool)} targets exist"
+        )
+    chosen = list(pool)
+    rng.shuffle(chosen)
+    return chosen[:distinct]
+
+
+def _draw_values(
+    values: list[object], fanout: float, index: int, rng: random.Random
+) -> list[object]:
+    """Pick ``~fanout`` values for one object, covering all values in turn."""
+    count = max(1, int(round(fanout)))
+    count = min(count, len(values))
+    start = (index * count) % len(values)
+    chosen = [(values[(start + i) % len(values)]) for i in range(count)]
+    return chosen
+
+
+def _atomic_default(definition: object) -> object:
+    from repro.model.attribute import AtomicType, Attribute
+
+    assert isinstance(definition, Attribute)
+    domain = definition.domain
+    assert isinstance(domain, AtomicType)
+    if domain is AtomicType.INTEGER:
+        return 0
+    if domain is AtomicType.REAL:
+        return 0.0
+    if domain is AtomicType.BOOLEAN:
+        return False
+    return "x"

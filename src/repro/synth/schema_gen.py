@@ -1,0 +1,90 @@
+"""Synthetic linear-path schemas.
+
+Generates schemas shaped like the paper's evaluation path: a chain of
+classes ``L1 → L2 → ... → Ln`` connected by reference attributes, with an
+atomic ending attribute on the last class and an optional number of
+subclasses per level (to exercise the inheritance machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+from repro.model.attribute import AtomicType
+from repro.model.path import Path
+from repro.model.schema import Schema, atomic, reference
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """Shape of one level of a synthetic path schema.
+
+    Attributes
+    ----------
+    name:
+        Class name for the level's hierarchy root.
+    subclasses:
+        Number of direct subclasses (0 for a plain class).
+    multi_valued:
+        Whether the level's path attribute is set-valued.
+    """
+
+    name: str
+    subclasses: int = 0
+    multi_valued: bool = False
+
+    def __post_init__(self) -> None:
+        if self.subclasses < 0:
+            raise SchemaError("subclass count cannot be negative")
+
+
+def linear_path_schema(
+    levels: list[LevelSpec], ending_attribute: str = "label"
+) -> tuple[Schema, Path]:
+    """Build a frozen schema and the path through it.
+
+    Level ``i``'s path attribute is named ``ref{i}`` (referencing level
+    ``i+1``'s root class); the last level carries the atomic
+    ``ending_attribute``. Every class also gets a ``payload`` attribute so
+    objects have some width.
+    """
+    if not levels:
+        raise SchemaError("at least one level is required")
+    schema = Schema()
+    names = [spec.name for spec in levels]
+    if len(set(names)) != len(names):
+        raise SchemaError(f"duplicate level names: {names}")
+
+    for position, spec in enumerate(levels):
+        is_last = position == len(levels) - 1
+        if is_last:
+            path_attribute = atomic(
+                ending_attribute, AtomicType.STRING, multi_valued=spec.multi_valued
+            )
+        else:
+            path_attribute = reference(
+                f"ref{position + 1}",
+                levels[position + 1].name,
+                multi_valued=spec.multi_valued,
+            )
+        schema.define(
+            spec.name,
+            [path_attribute, atomic("payload", AtomicType.INTEGER)],
+        )
+        for index in range(spec.subclasses):
+            schema.define(
+                f"{spec.name}Sub{index + 1}",
+                [atomic(f"extra{index + 1}", AtomicType.INTEGER)],
+                superclass=spec.name,
+            )
+    schema.freeze()
+    attributes = [
+        f"ref{i + 1}" for i in range(len(levels) - 1)
+    ] + [ending_attribute]
+    path = Path(
+        schema=schema,
+        starting_class=levels[0].name,
+        attribute_names=tuple(attributes),
+    )
+    return schema, path

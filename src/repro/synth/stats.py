@@ -1,0 +1,39 @@
+"""Deriving cost-model statistics from a populated database.
+
+The inverse of :mod:`repro.synth.data_gen`: measure the actual
+``(n, d, nin)`` of every scope class of a path — what a database
+administrator's statistics collector would report — and package them as
+:class:`~repro.costmodel.params.PathStatistics` for the analytic model.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.params import ClassStats, CostModelConfig, PathStatistics
+from repro.model.objects import OODatabase
+from repro.model.path import Path
+
+
+def derive_class_stats(
+    database: OODatabase, path: Path, class_name: str, position: int
+) -> ClassStats:
+    """Measure ``(n, d, nin)`` of one scope class for its path attribute."""
+    attribute = path.attribute_at(position)
+    objects = database.extent_size(class_name)
+    if objects == 0:
+        return ClassStats(objects=0, distinct=0, fanout=0.0)
+    distinct = database.distinct_values(class_name, attribute)
+    fanout = database.average_fanout(class_name, attribute)
+    return ClassStats(objects=objects, distinct=distinct, fanout=fanout)
+
+
+def derive_path_statistics(
+    database: OODatabase,
+    path: Path,
+    config: CostModelConfig | None = None,
+) -> PathStatistics:
+    """Measure statistics for every class in ``scope(path)``."""
+    per_class: dict[str, ClassStats] = {}
+    for position in range(1, path.length + 1):
+        for member in path.hierarchy_at(position):
+            per_class[member] = derive_class_stats(database, path, member, position)
+    return PathStatistics(path, per_class, config=config)

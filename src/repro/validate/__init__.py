@@ -1,0 +1,12 @@
+"""Analytic-model validation against the operational simulator.
+
+The paper's evaluation is purely analytic. This package adds the check the
+paper could not run: build a database whose statistics match the model
+inputs, execute real queries/inserts/deletes through the operational
+indexes, count actual page accesses, and compare against the Section 3
+formulas.
+"""
+
+from repro.validate.compare import ValidationRow, validate_configuration
+
+__all__ = ["ValidationRow", "validate_configuration"]

@@ -1,0 +1,209 @@
+"""Measured-vs-analytic comparison harness.
+
+:func:`validate_configuration` executes sampled operations through the
+operational indexes of a configuration and reports, per
+``(operation, class)``, the measured mean page accesses next to the
+analytic expectation from the Section 3 cost models.
+
+Both sides count logical page fetches and rewrites; the analytic side is
+an *expectation* over uniformly distributed values while the measured side
+samples concrete ones, so ratios within a small factor — not equality —
+are the success criterion (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.configuration import IndexConfiguration
+from repro.core.evaluation import per_class_analytic_costs
+from repro.costmodel.params import CostModelConfig, PathStatistics
+from repro.errors import ReproError
+from repro.indexes.executor import PathQueryExecutor
+from repro.indexes.manager import ConfigurationIndexSet
+from repro.model.objects import OID, OODatabase
+from repro.model.path import Path
+from repro.synth.stats import derive_path_statistics
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One measured-vs-analytic comparison."""
+
+    operation: str
+    class_name: str
+    analytic: float
+    measured: float
+    samples: int
+
+    @property
+    def ratio(self) -> float:
+        """measured / analytic (``inf`` when the analytic cost is zero)."""
+        if self.analytic == 0:
+            return float("inf") if self.measured else 1.0
+        return self.measured / self.analytic
+
+
+def _ending_values(database: OODatabase, path: Path) -> list[object]:
+    values: set[object] = set()
+    ending = path.attribute_at(path.length)
+    for member in path.hierarchy_at(path.length):
+        for instance in database.extent(member):
+            values.update(instance.value_list(ending))
+    return sorted(values, key=repr)
+
+
+def validate_configuration(
+    database: OODatabase,
+    path: Path,
+    configuration: IndexConfiguration,
+    samples: int = 10,
+    seed: int = 0,
+    config: CostModelConfig | None = None,
+    stats: PathStatistics | None = None,
+    include_updates: bool = True,
+) -> list[ValidationRow]:
+    """Compare analytic and measured page accesses for one configuration.
+
+    Parameters
+    ----------
+    database:
+        A populated database (the operational side mutates it for the
+        update samples; pass a copy if that matters).
+    path, configuration:
+        What to index and how.
+    samples:
+        Operations sampled per (operation, class) pair.
+    config:
+        Physical constants (shared by both sides).
+    stats:
+        Analytic statistics; derived from the database when omitted —
+        which is the honest comparison.
+    include_updates:
+        Also validate inserts and deletes (mutates the database).
+    """
+    config = config or CostModelConfig()
+    stats = stats or derive_path_statistics(database, path, config=config)
+    analytic = per_class_analytic_costs(stats, configuration)
+    indexes = ConfigurationIndexSet(
+        database, path, configuration, sizes=config.sizes
+    )
+    executor = PathQueryExecutor(indexes)
+    rng = random.Random(seed)
+    values = _ending_values(database, path)
+    if not values:
+        raise ReproError("database has no ending-attribute values to probe")
+
+    rows: list[ValidationRow] = []
+    for position in range(1, path.length + 1):
+        for member in path.hierarchy_at(position):
+            if database.extent_size(member) == 0:
+                continue
+            probe_values = [values[rng.randrange(len(values))] for _ in range(samples)]
+            total = 0
+            for value in probe_values:
+                total += executor.query(value, member).stats.total
+            rows.append(
+                ValidationRow(
+                    operation="query",
+                    class_name=member,
+                    analytic=analytic[(position, member)]["query"],
+                    measured=total / samples,
+                    samples=samples,
+                )
+            )
+    if include_updates:
+        rows.extend(
+            _validate_updates(
+                database, path, executor, analytic, rng, samples
+            )
+        )
+    return rows
+
+
+def _validate_updates(
+    database: OODatabase,
+    path: Path,
+    executor: PathQueryExecutor,
+    analytic: dict[tuple[int, str], dict[str, float]],
+    rng: random.Random,
+    samples: int,
+) -> list[ValidationRow]:
+    rows: list[ValidationRow] = []
+    schema = database.schema
+    for position in range(1, path.length + 1):
+        for member in path.hierarchy_at(position):
+            extent = list(database.extent(member))
+            if len(extent) <= samples:
+                continue
+            # --- deletes: random existing objects (measured first so the
+            # inserts below do not skew the sample towards fresh objects).
+            delete_total = 0
+            delete_count = 0
+            for _ in range(samples):
+                extent = list(database.extent(member))
+                victim = extent[rng.randrange(len(extent))]
+                delete_total += executor.delete(victim.oid).stats.total
+                delete_count += 1
+            rows.append(
+                ValidationRow(
+                    operation="delete",
+                    class_name=member,
+                    analytic=analytic[(position, member)]["delete"],
+                    measured=delete_total / max(delete_count, 1),
+                    samples=delete_count,
+                )
+            )
+            # --- inserts: clones of random surviving objects.
+            insert_total = 0
+            insert_count = 0
+            for _ in range(samples):
+                survivors = list(database.extent(member))
+                template = survivors[rng.randrange(len(survivors))]
+                kwargs: dict[str, object] = {}
+                usable = True
+                for name, definition in schema.all_attributes(member).items():
+                    value = template.values[name]
+                    if isinstance(value, list):
+                        live = [
+                            v
+                            for v in value
+                            if not isinstance(v, OID) or database.contains(v)
+                        ]
+                        if not live:
+                            usable = False
+                            break
+                        kwargs[name] = live
+                    elif isinstance(value, OID) and not database.contains(value):
+                        usable = False
+                        break
+                    else:
+                        kwargs[name] = value
+                if not usable:
+                    continue
+                insert_total += executor.insert(member, **kwargs).stats.total
+                insert_count += 1
+            if insert_count:
+                rows.append(
+                    ValidationRow(
+                        operation="insert",
+                        class_name=member,
+                        analytic=analytic[(position, member)]["insert"],
+                        measured=insert_total / insert_count,
+                        samples=insert_count,
+                    )
+                )
+    return rows
+
+
+def render_validation(rows: list[ValidationRow]) -> str:
+    """ASCII table of the comparison."""
+    header = f"{'operation':<10} {'class':<16} {'analytic':>10} {'measured':>10} {'ratio':>7}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.operation:<10} {row.class_name:<16} "
+            f"{row.analytic:>10.2f} {row.measured:>10.2f} {row.ratio:>7.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Workload models (Section 3.2 of the paper).
+
+The load on a path is a distribution over the classes of its scope: for
+every class a triplet ``(alpha, beta, gamma)`` of query, insert and delete
+frequencies. :mod:`~repro.workload.load` implements the distribution and
+the paper's subpath-derivation rule; :mod:`~repro.workload.generator`
+produces random workloads for the sweep benchmarks.
+"""
+
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+__all__ = ["LoadDistribution", "LoadTriplet", "WorkloadGenerator"]

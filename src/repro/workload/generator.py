@@ -1,0 +1,92 @@
+"""Random workload generation for sweeps and property tests.
+
+The generator draws per-class frequency triplets with a controllable
+query/update mix. All randomness flows through a seeded
+:class:`random.Random` so every benchmark run is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+from repro.model.path import Path
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+
+class WorkloadGenerator:
+    """Draws reproducible random workloads for a path.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the internal PRNG.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def mixed(
+        self,
+        path: Path,
+        query_weight: float = 1.0,
+        update_weight: float = 1.0,
+        total: float = 1.0,
+    ) -> LoadDistribution:
+        """A random workload with a given query-to-update weight ratio.
+
+        The ``total`` frequency mass is split across scope classes with
+        random proportions; within a class, the query share follows
+        ``query_weight : update_weight`` (updates split evenly between
+        inserts and deletes, perturbed ±20%).
+        """
+        if query_weight < 0 or update_weight < 0:
+            raise WorkloadError("weights must be non-negative")
+        if query_weight + update_weight == 0:
+            raise WorkloadError("at least one weight must be positive")
+        scope = path.scope
+        raw = [self._rng.random() + 0.05 for _ in scope]
+        norm = sum(raw)
+        triplets: dict[str, LoadTriplet] = {}
+        for name, weight in zip(scope, raw):
+            mass = total * weight / norm
+            query_share = query_weight / (query_weight + update_weight)
+            queries = mass * query_share
+            updates = mass - queries
+            split = 0.5 * (1.0 + self._rng.uniform(-0.2, 0.2))
+            triplets[name] = LoadTriplet(
+                query=queries,
+                insert=updates * split,
+                delete=updates * (1.0 - split),
+            )
+        return LoadDistribution(path, triplets)
+
+    def query_only(self, path: Path, total: float = 1.0) -> LoadDistribution:
+        """A pure-query workload (no maintenance)."""
+        return self.mixed(path, query_weight=1.0, update_weight=0.0, total=total)
+
+    def update_only(self, path: Path, total: float = 1.0) -> LoadDistribution:
+        """A pure-update workload (no queries)."""
+        return self.mixed(path, query_weight=0.0, update_weight=1.0, total=total)
+
+    def skewed_to_start(self, path: Path, total: float = 1.0) -> LoadDistribution:
+        """Queries concentrated on the starting class (the common case).
+
+        The paper's motivating query — "retrieve the persons who own a bus
+        manufactured by Fiat" — targets the starting class; this generator
+        puts 80% of the query mass there and spreads the rest.
+        """
+        scope = path.scope
+        start = path.starting_class
+        triplets: dict[str, LoadTriplet] = {}
+        others = [name for name in scope if name != start]
+        for name in scope:
+            if name == start:
+                queries = 0.8 * total
+            else:
+                queries = 0.2 * total / max(len(others), 1)
+            updates = queries * self._rng.uniform(0.0, 0.3)
+            triplets[name] = LoadTriplet(
+                query=queries, insert=updates / 2, delete=updates / 2
+            )
+        return LoadDistribution(path, triplets)

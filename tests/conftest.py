@@ -1,0 +1,110 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel.params import ClassStats, CostModelConfig, PathStatistics
+from repro.model.examples import (
+    build_vehicle_schema,
+    pe_path,
+    pexa_path,
+    populate_vehicle_database,
+)
+from repro.paper import figure6_matrix, figure7_load, figure7_statistics
+from repro.storage.pager import Pager
+from repro.storage.sizes import SizeModel
+from repro.synth import LevelSpec, linear_path_schema, populate_path_database
+
+
+@pytest.fixture(scope="session")
+def vehicle_schema():
+    """The Figure 1 schema (immutable; session-scoped)."""
+    return build_vehicle_schema()
+
+
+@pytest.fixture()
+def vehicle_db(vehicle_schema):
+    """A fresh Figure 2 database per test."""
+    return populate_vehicle_database(vehicle_schema)
+
+
+@pytest.fixture(scope="session")
+def pexa(vehicle_schema):
+    """The Example 5.1 path ``Person.owns.man.divisions.name``."""
+    return pexa_path(vehicle_schema)
+
+
+@pytest.fixture(scope="session")
+def pe(vehicle_schema):
+    """The Example 2.1 path ``Person.owns.man.name``."""
+    return pe_path(vehicle_schema)
+
+
+@pytest.fixture(scope="session")
+def fig7_stats():
+    """Figure 7 statistics."""
+    return figure7_statistics()
+
+
+@pytest.fixture(scope="session")
+def fig7_load():
+    """Figure 7 workload."""
+    return figure7_load()
+
+
+@pytest.fixture(scope="session")
+def fig6():
+    """The Figure 6 hypothetical cost matrix."""
+    return figure6_matrix()
+
+
+@pytest.fixture()
+def pager():
+    """A fresh 4 KiB pager."""
+    return Pager(page_size=4096)
+
+
+@pytest.fixture()
+def sizes():
+    """Default physical constants."""
+    return SizeModel()
+
+
+@pytest.fixture(scope="session")
+def small_synth():
+    """A small synthetic 3-level schema/database with inheritance.
+
+    Session-scoped for read-only use; tests that mutate must build their
+    own via ``make_small_synth``.
+    """
+    return make_small_synth()
+
+
+def make_small_synth(seed: int = 1):
+    """Build the standard small synthetic world (schema, path, db, specs)."""
+    schema, path = linear_path_schema(
+        [
+            LevelSpec("A", subclasses=0, multi_valued=True),
+            LevelSpec("B", subclasses=2, multi_valued=False),
+            LevelSpec("C", subclasses=0, multi_valued=True),
+        ]
+    )
+    specs = {
+        "A": ClassStats(objects=400, distinct=150, fanout=2),
+        "B": ClassStats(objects=120, distinct=50, fanout=1),
+        "BSub1": ClassStats(objects=40, distinct=25, fanout=1),
+        "BSub2": ClassStats(objects=40, distinct=25, fanout=1),
+        "C": ClassStats(objects=80, distinct=30, fanout=2),
+    }
+    database = populate_path_database(schema, path, specs, seed=seed)
+    return schema, path, database, specs
+
+
+@pytest.fixture(scope="session")
+def small_synth_stats(small_synth):
+    """Derived statistics of the small synthetic database."""
+    from repro.synth.stats import derive_path_statistics
+
+    _schema, path, database, _specs = small_synth
+    return derive_path_statistics(database, path)

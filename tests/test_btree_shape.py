@@ -1,0 +1,123 @@
+"""Tests for the analytic B+-tree shape model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel.btree_shape import build_shape
+from repro.errors import CostModelError
+from repro.storage.btree import BPlusTree
+from repro.storage.pager import Pager
+from repro.storage.sizes import SizeModel
+
+SIZES = SizeModel()
+
+
+class TestSmallRecords:
+    def test_single_record_single_level(self):
+        shape = build_shape(1, 100, 16, SIZES)
+        assert shape.height == 1
+        assert shape.leaf_pages == 1.0
+        assert not shape.oversized
+
+    def test_empty_index(self):
+        shape = build_shape(0, 100, 16, SIZES)
+        assert shape.empty
+        assert shape.height == 1
+        assert shape.levels == ()
+
+    def test_two_levels(self):
+        # 4096/100 = 40 records/page; 1000 records -> 25 leaves -> root.
+        shape = build_shape(1000, 100, 16, SIZES)
+        assert shape.height == 2
+        assert shape.leaf_pages == pytest.approx(25.0)
+
+    def test_three_levels(self):
+        # 100k records of 100B: 2500 leaves; fanout 170 -> 15 internal -> root.
+        shape = build_shape(100_000, 100, 16, SIZES)
+        assert shape.height == 3
+
+    def test_levels_leaf_first(self):
+        shape = build_shape(1000, 100, 16, SIZES)
+        assert shape.levels[0].records == 1000
+        assert shape.levels[-1].pages == 1.0
+
+    def test_record_pages_is_one(self):
+        shape = build_shape(1000, 100, 16, SIZES)
+        assert shape.record_pages == 1
+
+
+class TestOversizedRecords:
+    def test_record_pages(self):
+        shape = build_shape(100, 10_000, 16, SIZES)
+        assert shape.oversized
+        assert shape.record_pages == math.ceil(10_000 / 4096)
+
+    def test_height_counts_record_level(self):
+        shape = build_shape(100, 10_000, 16, SIZES)
+        # 100 stubs of 24B fit in one page -> stub tree height 1, +1 records.
+        assert shape.height == 2
+
+    def test_big_index_grows_stub_tree(self):
+        shape = build_shape(100_000, 10_000, 16, SIZES)
+        stub_only = build_shape(100_000, 24, 16, SIZES)
+        assert shape.height == stub_only.height + 1
+
+
+class TestValidation:
+    def test_negative_count_rejected(self):
+        with pytest.raises(CostModelError):
+            build_shape(-1, 100, 16, SIZES)
+
+    def test_zero_length_with_records_rejected(self):
+        with pytest.raises(CostModelError):
+            build_shape(10, 0, 16, SIZES)
+
+    def test_zero_key_rejected(self):
+        with pytest.raises(CostModelError):
+            build_shape(10, 100, 0, SIZES)
+
+
+class TestAgainstOperationalTree:
+    @pytest.mark.parametrize("count", [1, 50, 500, 5000])
+    def test_height_matches_operational_btree(self, count):
+        """The shape model predicts the real tree's height (±1 level).
+
+        The operational tree splits at half-full nodes, so its occupancy
+        is lower than the shape model's full packing; heights may differ
+        by one level but never more.
+        """
+        record_size = 64
+        sizes = SizeModel(page_size=1024, atomic_key_size=16)
+        pager = Pager(page_size=1024)
+        tree = BPlusTree(pager, sizes, atomic_keys=True)
+        for i in range(count):
+            tree.insert(f"key{i:06d}", i, record_size)
+        shape = build_shape(count, record_size, 16, sizes)
+        assert abs(tree.height - shape.height) <= 1
+
+
+class TestShapeProperties:
+    @given(
+        count=st.integers(min_value=1, max_value=1_000_000),
+        length=st.integers(min_value=8, max_value=20_000),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_invariants(self, count, length):
+        shape = build_shape(count, length, 16, SIZES)
+        assert shape.height >= 1
+        assert shape.record_pages >= 1
+        assert shape.oversized == (length > SIZES.page_size)
+        assert shape.levels[-1].pages == 1.0  # single root page
+        # Monotone page counts up the tree.
+        pages = [level.pages for level in shape.levels]
+        assert all(a >= b for a, b in zip(pages, pages[1:]))
+
+    @given(count=st.integers(min_value=1, max_value=100_000))
+    @settings(max_examples=60, deadline=None)
+    def test_height_monotone_in_count(self, count):
+        small = build_shape(count, 100, 16, SIZES)
+        bigger = build_shape(count * 2, 100, 16, SIZES)
+        assert bigger.height >= small.height

@@ -1,0 +1,72 @@
+"""Tests for the pr/pm input-parameter overrides.
+
+The paper: "we consider the values for pr_X and pm_X as input parameters"
+(and distinguishes pmd/pmi for deletions vs insertions). Each override
+must actually reach the corresponding formulas.
+"""
+
+import pytest
+
+from repro.costmodel.params import ClassStats, CostModelConfig, PathStatistics
+from repro.costmodel.subpath import build_model
+from repro.organizations import IndexOrganization
+from repro.paper import FIGURE7_ROWS, pexa_path
+
+
+def stats_with_config(config: CostModelConfig) -> PathStatistics:
+    per_class = {
+        name: ClassStats(objects=n, distinct=d, fanout=nin)
+        for name, (n, d, nin, _l) in FIGURE7_ROWS.items()
+    }
+    return PathStatistics(pexa_path(), per_class, config=config)
+
+
+BASE = stats_with_config(CostModelConfig())
+
+
+class TestOverrides:
+    def test_pr_nix_changes_query_cost(self):
+        # The NIX primary records span pages on the full path, so pr binds.
+        cheap = stats_with_config(CostModelConfig(pr_nix=1.0))
+        costly = stats_with_config(CostModelConfig(pr_nix=50.0))
+        nix_cheap = build_model(cheap, 1, 4, IndexOrganization.NIX)
+        nix_costly = build_model(costly, 1, 4, IndexOrganization.NIX)
+        assert nix_costly.query_cost(1, "Person") > nix_cheap.query_cost(
+            1, "Person"
+        )
+
+    def test_pmd_and_pmi_nix_are_independent(self):
+        config = CostModelConfig(pmd_nix=40.0, pmi_nix=1.0)
+        stats = stats_with_config(config)
+        nix = build_model(stats, 1, 4, IndexOrganization.NIX)
+        # Deletion uses pmd (expensive), insertion pmi (cheap): the gap
+        # must widen against the symmetric default.
+        default = build_model(BASE, 1, 4, IndexOrganization.NIX)
+        override_gap = nix.delete_cost(1, "Person") - nix.insert_cost(1, "Person")
+        default_gap = default.delete_cost(1, "Person") - default.insert_cost(
+            1, "Person"
+        )
+        assert override_gap > default_gap
+
+    def test_pm_mx_changes_maintenance(self):
+        # Make Person's index records oversized so pm binds: tiny pages.
+        from repro.storage.sizes import SizeModel
+
+        sizes = SizeModel(page_size=64, atomic_key_size=8, oid_size=8, pointer_size=8)
+        cheap = stats_with_config(CostModelConfig(sizes=sizes, pm_mx=1.0))
+        costly = stats_with_config(CostModelConfig(sizes=sizes, pm_mx=20.0))
+        mx_cheap = build_model(cheap, 1, 1, IndexOrganization.MX)
+        mx_costly = build_model(costly, 1, 1, IndexOrganization.MX)
+        assert mx_costly.insert_cost(1, "Person") > mx_cheap.insert_cost(
+            1, "Person"
+        )
+
+    def test_ending_domain_distinct_caps_union(self):
+        config = CostModelConfig(ending_domain_distinct=10.0)
+        stats = stats_with_config(config)
+        assert stats.distinct_union(4) == 10.0
+
+    def test_overrides_do_not_leak_between_configs(self):
+        overridden = stats_with_config(CostModelConfig(pr_nix=99.0))
+        assert BASE.config.pr_nix is None
+        assert overridden.config.pr_nix == 99.0

@@ -1,0 +1,75 @@
+"""Tests for index configurations (Definition 4.1)."""
+
+import pytest
+
+from repro.core.configuration import IndexConfiguration, IndexedSubpath
+from repro.errors import OptimizerError
+from repro.organizations import IndexOrganization
+
+MX = IndexOrganization.MX
+NIX = IndexOrganization.NIX
+
+
+class TestIndexedSubpath:
+    def test_length(self):
+        assert IndexedSubpath(2, 4, MX).length == 3
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(OptimizerError):
+            IndexedSubpath(0, 2, MX)
+        with pytest.raises(OptimizerError):
+            IndexedSubpath(3, 2, MX)
+
+    def test_render_positional(self):
+        assert IndexedSubpath(1, 2, NIX).render() == "(S[1,2], NIX)"
+
+    def test_render_with_path(self, pexa):
+        assert IndexedSubpath(1, 2, NIX).render(pexa) == "(Person.owns.man, NIX)"
+
+
+class TestIndexConfiguration:
+    def test_whole_path(self):
+        config = IndexConfiguration.whole_path(4, NIX)
+        assert config.degree == 1
+        assert config.length == 4
+        assert config.partition() == ((1, 4),)
+
+    def test_of_builder(self):
+        config = IndexConfiguration.of((1, 2, NIX), (3, 4, MX))
+        assert config.degree == 2
+        assert config.partition() == ((1, 2), (3, 4))
+
+    def test_assignments_sorted_by_start(self):
+        config = IndexConfiguration.of((3, 4, MX), (1, 2, NIX))
+        assert config.partition() == ((1, 2), (3, 4))
+
+    def test_gap_rejected(self):
+        with pytest.raises(OptimizerError):
+            IndexConfiguration.of((1, 1, MX), (3, 4, NIX))
+
+    def test_overlap_rejected(self):
+        with pytest.raises(OptimizerError):
+            IndexConfiguration.of((1, 2, MX), (2, 4, NIX))
+
+    def test_not_starting_at_one_rejected(self):
+        with pytest.raises(OptimizerError):
+            IndexConfiguration.of((2, 4, MX))
+
+    def test_empty_rejected(self):
+        with pytest.raises(OptimizerError):
+            IndexConfiguration(())
+
+    def test_organization_at(self):
+        config = IndexConfiguration.of((1, 2, NIX), (3, 4, MX))
+        assert config.organization_at(1) is NIX
+        assert config.organization_at(2) is NIX
+        assert config.organization_at(3) is MX
+        with pytest.raises(OptimizerError):
+            config.organization_at(5)
+
+    def test_render_matches_paper_style(self, pexa):
+        config = IndexConfiguration.of((1, 2, NIX), (3, 4, MX))
+        assert (
+            config.render(pexa)
+            == "{(Person.owns.man, NIX), (Company.divisions.name, MX)}"
+        )

@@ -1,0 +1,112 @@
+"""Tests for the Cost_Matrix and Min_Cost procedures."""
+
+import pytest
+
+from repro.core.cost_matrix import CostMatrix
+from repro.errors import OptimizerError
+from repro.organizations import CONFIGURABLE_ORGANIZATIONS, IndexOrganization
+
+MX = IndexOrganization.MX
+MIX = IndexOrganization.MIX
+NIX = IndexOrganization.NIX
+
+
+class TestFigure6Matrix:
+    def test_row_count_formula(self, fig6):
+        # n(n+1)/2 rows for n = 4.
+        assert fig6.row_count() == 10
+        assert len(fig6.rows()) == 10
+
+    def test_entry_count_formula(self, fig6):
+        # "the size of the matrix will be 3 to n(n+1)/2".
+        assert fig6.entry_count() == 30
+
+    def test_known_entries(self, fig6):
+        # The legible Figure 6 rows.
+        assert fig6.cost(1, 1, MX) == 3.0
+        assert fig6.cost(1, 1, MIX) == 4.0
+        assert fig6.cost(1, 1, NIX) == 6.0
+        assert fig6.cost(2, 2, MX) == 4.0
+        assert fig6.cost(3, 3, MX) == 2.0
+
+    def test_row_minima_match_walkthrough(self, fig6):
+        # The minima quoted in the Section 5 prose.
+        expected = {
+            (1, 1): 3.0,
+            (1, 2): 6.0,
+            (1, 3): 8.0,
+            (1, 4): 9.0,
+            (2, 2): 4.0,
+            (2, 3): 5.0,
+            (2, 4): 5.0,
+            (3, 3): 2.0,
+            (3, 4): 6.0,
+            (4, 4): 4.0,
+        }
+        for (start, end), cost in expected.items():
+            assert fig6.min_cost(start, end).cost == cost
+
+    def test_min_cost_organizations(self, fig6):
+        assert fig6.min_cost(1, 1).organization is MX
+        assert fig6.min_cost(1, 4).organization is NIX
+        assert fig6.min_cost(2, 4).organization is NIX
+        assert fig6.min_cost(4, 4).organization is MX
+
+    def test_bounds_checked(self, fig6):
+        with pytest.raises(OptimizerError):
+            fig6.cost(0, 1, MX)
+        with pytest.raises(OptimizerError):
+            fig6.cost(2, 5, MX)
+        with pytest.raises(OptimizerError):
+            fig6.min_cost(3, 2)
+
+    def test_render_marks_minima(self, fig6):
+        text = fig6.render()
+        assert "*3.00*" in text
+        assert "S[1,1]" in text
+
+
+class TestComputedMatrix:
+    def test_compute_covers_all_rows(self, fig7_stats, fig7_load):
+        matrix = CostMatrix.compute(fig7_stats, fig7_load)
+        assert matrix.length == 4
+        for start, end in matrix.rows():
+            for organization in CONFIGURABLE_ORGANIZATIONS:
+                assert matrix.cost(start, end, organization) > 0
+
+    def test_breakdowns_available_for_computed(self, fig7_stats, fig7_load):
+        matrix = CostMatrix.compute(fig7_stats, fig7_load)
+        breakdown = matrix.breakdown(1, 2, NIX)
+        assert breakdown is not None
+        assert breakdown.total == pytest.approx(matrix.cost(1, 2, NIX))
+
+    def test_breakdown_missing_for_literal(self, fig6):
+        assert fig6.breakdown(1, 1, MX) is None
+
+    def test_include_noindex_adds_column(self, fig7_stats, fig7_load):
+        matrix = CostMatrix.compute(fig7_stats, fig7_load, include_noindex=True)
+        assert IndexOrganization.NONE in matrix.organizations
+        assert matrix.cost(1, 1, IndexOrganization.NONE) > 0
+
+    def test_render_with_path(self, fig7_stats, fig7_load):
+        matrix = CostMatrix.compute(fig7_stats, fig7_load)
+        text = matrix.render(fig7_stats.path)
+        assert "Person.owns.man" in text
+        assert "Division.name" in text
+
+    def test_missing_row_rejected(self):
+        with pytest.raises(OptimizerError):
+            CostMatrix(2, (MX,), {(1, 1): {MX: 1.0}, (2, 2): {MX: 1.0}})
+
+    def test_missing_organization_rejected(self):
+        entries = {
+            (1, 1): {MX: 1.0},
+            (1, 2): {MX: 1.0},
+            (2, 2): {},
+        }
+        with pytest.raises(OptimizerError):
+            CostMatrix(2, (MX,), entries)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(OptimizerError):
+            CostMatrix(0, (MX,), {})

@@ -1,0 +1,120 @@
+"""Property-based tests on cost-model invariants across random statistics.
+
+These are the global sanity properties that make the optimizer's output
+trustworthy: costs are finite, non-negative, monotone in workload
+frequencies, and the additive decomposition never loses to itself.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_matrix import CostMatrix
+from repro.core.dynprog import dynamic_program
+from repro.core.exhaustive import exhaustive_search
+from repro.core.optimizer import optimize
+from repro.costmodel.params import ClassStats, PathStatistics
+from repro.costmodel.subpath import subpath_processing_cost
+from repro.organizations import CONFIGURABLE_ORGANIZATIONS, IndexOrganization
+from repro.synth import LevelSpec, linear_path_schema
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+
+@st.composite
+def random_world(draw):
+    """A random path (length 2-5), statistics, and workload."""
+    length = draw(st.integers(min_value=2, max_value=5))
+    subclass_flags = [
+        draw(st.integers(min_value=0, max_value=2)) for _ in range(length)
+    ]
+    levels = [
+        LevelSpec(f"L{i}", subclasses=subclass_flags[i], multi_valued=bool(i % 2))
+        for i in range(length)
+    ]
+    _schema, path = linear_path_schema(levels)
+    per_class = {}
+    objects = draw(st.integers(min_value=1_000, max_value=500_000))
+    for position in range(1, length + 1):
+        for member in path.hierarchy_at(position):
+            member_objects = max(
+                10, objects // max(1, len(path.hierarchy_at(position)))
+            )
+            distinct = max(1, member_objects // draw(st.integers(2, 20)))
+            fanout = draw(st.sampled_from([1.0, 1.0, 2.0, 3.0]))
+            per_class[member] = ClassStats(
+                objects=member_objects, distinct=distinct, fanout=fanout
+            )
+        objects = max(20, objects // draw(st.integers(2, 12)))
+    stats = PathStatistics(path, per_class)
+    triplets = {
+        name: LoadTriplet(
+            query=draw(st.floats(min_value=0, max_value=1)),
+            insert=draw(st.floats(min_value=0, max_value=0.5)),
+            delete=draw(st.floats(min_value=0, max_value=0.5)),
+        )
+        for name in path.scope
+    }
+    load = LoadDistribution(path, triplets)
+    return stats, load
+
+
+class TestGlobalCostProperties:
+    @given(world=random_world())
+    @settings(max_examples=25, deadline=None)
+    def test_all_matrix_entries_finite_nonnegative(self, world):
+        stats, load = world
+        matrix = CostMatrix.compute(stats, load)
+        for start, end in matrix.rows():
+            for organization in matrix.organizations:
+                value = matrix.cost(start, end, organization)
+                assert value >= 0.0
+                assert value < float("inf")
+
+    @given(world=random_world())
+    @settings(max_examples=25, deadline=None)
+    def test_optimizers_agree_on_random_statistics(self, world):
+        stats, load = world
+        matrix = CostMatrix.compute(stats, load)
+        bnb = optimize(matrix)
+        assert bnb.cost == pytest.approx(exhaustive_search(matrix).cost)
+        assert bnb.cost == pytest.approx(dynamic_program(matrix).cost)
+
+    @given(world=random_world(), factor=st.floats(min_value=1.1, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_costs_monotone_in_workload(self, world, factor):
+        stats, load = world
+        for organization in CONFIGURABLE_ORGANIZATIONS:
+            base = subpath_processing_cost(
+                stats, load, 1, stats.length, organization
+            )
+            scaled = subpath_processing_cost(
+                stats, load.scaled(factor), 1, stats.length, organization
+            )
+            assert scaled.total >= base.total - 1e-9
+
+    @given(world=random_world())
+    @settings(max_examples=20, deadline=None)
+    def test_optimal_never_worse_than_any_single_index(self, world):
+        stats, load = world
+        matrix = CostMatrix.compute(stats, load)
+        best = optimize(matrix).cost
+        for organization in matrix.organizations:
+            assert best <= matrix.cost(1, stats.length, organization) + 1e-9
+
+    @given(world=random_world(), selectivity=st.floats(min_value=0.01, max_value=0.9))
+    @settings(max_examples=15, deadline=None)
+    def test_range_workloads_cost_at_least_equality(self, world, selectivity):
+        stats, load = world
+        for organization in (IndexOrganization.NIX, IndexOrganization.MX):
+            equality = subpath_processing_cost(
+                stats, load, 1, stats.length, organization
+            )
+            ranged = subpath_processing_cost(
+                stats,
+                load,
+                1,
+                stats.length,
+                organization,
+                range_selectivity=selectivity,
+            )
+            assert ranged.total >= equality.total * 0.99

@@ -1,0 +1,243 @@
+"""Tests for the per-organization analytic cost models (MX, MIX, NIX, NONE)."""
+
+import pytest
+
+from repro.costmodel.mix import MIXCostModel
+from repro.costmodel.mx import MXCostModel
+from repro.costmodel.nix import NIXCostModel
+from repro.costmodel.noindex import NoIndexCostModel
+from repro.costmodel.subpath import build_model
+from repro.errors import CostModelError
+from repro.organizations import IndexOrganization
+
+
+class TestFactory:
+    def test_builds_each_organization(self, fig7_stats):
+        assert isinstance(
+            build_model(fig7_stats, 1, 4, IndexOrganization.MX), MXCostModel
+        )
+        assert isinstance(
+            build_model(fig7_stats, 1, 4, IndexOrganization.MIX), MIXCostModel
+        )
+        assert isinstance(
+            build_model(fig7_stats, 1, 4, IndexOrganization.NIX), NIXCostModel
+        )
+        assert isinstance(
+            build_model(fig7_stats, 1, 4, IndexOrganization.NONE), NoIndexCostModel
+        )
+
+    def test_six_maps_to_mx(self, fig7_stats):
+        model = build_model(fig7_stats, 4, 4, IndexOrganization.SIX)
+        assert model.organization is IndexOrganization.MX
+
+    def test_iix_maps_to_mix(self, fig7_stats):
+        model = build_model(fig7_stats, 2, 2, IndexOrganization.IIX)
+        assert model.organization is IndexOrganization.MIX
+
+    def test_invalid_bounds_rejected(self, fig7_stats):
+        with pytest.raises(CostModelError):
+            build_model(fig7_stats, 0, 2, IndexOrganization.MX)
+        with pytest.raises(CostModelError):
+            build_model(fig7_stats, 3, 2, IndexOrganization.MX)
+        with pytest.raises(CostModelError):
+            build_model(fig7_stats, 1, 9, IndexOrganization.MX)
+
+
+class TestMXModel:
+    def test_query_cost_positive_and_grows_upstream(self, fig7_stats):
+        model = MXCostModel(fig7_stats, 1, 4)
+        division = model.query_cost(4, "Division")
+        person = model.query_cost(1, "Person")
+        assert 0 < division < person
+
+    def test_query_against_covered_classes_only(self, fig7_stats):
+        model = MXCostModel(fig7_stats, 3, 4)
+        with pytest.raises(CostModelError):
+            model.query_cost(1, "Person")
+        with pytest.raises(CostModelError):
+            model.query_cost(3, "Vehicle")
+
+    def test_probe_count_increases_cost(self, fig7_stats):
+        model = MXCostModel(fig7_stats, 1, 2)
+        assert model.query_cost(1, "Person", 10.0) > model.query_cost(
+            1, "Person", 1.0
+        )
+
+    def test_hierarchy_query_at_least_single_class(self, fig7_stats):
+        model = MXCostModel(fig7_stats, 1, 4)
+        assert model.hierarchy_query_cost(2) >= model.query_cost(2, "Vehicle")
+
+    def test_delete_includes_previous_level_within_subpath(self, fig7_stats):
+        whole = MXCostModel(fig7_stats, 1, 4)
+        # Vehicle at position 2 > start: deletion touches Person's index too.
+        tail = MXCostModel(fig7_stats, 2, 4)
+        # Vehicle at position 2 == start of the tail subpath: no previous.
+        assert whole.delete_cost(2, "Vehicle") > tail.delete_cost(2, "Vehicle")
+
+    def test_insert_cheaper_than_delete_at_non_start(self, fig7_stats):
+        model = MXCostModel(fig7_stats, 1, 4)
+        assert model.insert_cost(3, "Company") < model.delete_cost(3, "Company")
+
+    def test_cmd_sums_ending_hierarchy(self, fig7_stats):
+        # Subpath ending at level 2 (three member classes) has a larger CMD
+        # than one ending at level 3 (single class), all heights equal-ish.
+        ending_at_1 = MXCostModel(fig7_stats, 1, 1)
+        assert ending_at_1.cmd_cost() > 0
+
+    def test_storage_positive(self, fig7_stats):
+        assert MXCostModel(fig7_stats, 1, 4).storage_pages() > 0
+
+    def test_emitted_oids_matches_stats_chain(self, fig7_stats):
+        model = MXCostModel(fig7_stats, 3, 4)
+        assert model.emitted_oids() == pytest.approx(
+            fig7_stats.noid_hierarchy(3, 4, 1.0)
+        )
+
+
+class TestMIXModel:
+    def test_one_index_per_level(self, fig7_stats):
+        model = MIXCostModel(fig7_stats, 1, 4)
+        for position in range(1, 5):
+            assert model.shape(position).record_count > 0
+
+    def test_query_cheaper_than_mx_with_inheritance(self, fig7_stats):
+        # At the Vehicle level MX probes three separate indexes, MIX one.
+        mx = MXCostModel(fig7_stats, 2, 2)
+        mix = MIXCostModel(fig7_stats, 2, 2)
+        assert mix.query_cost(2, "Vehicle", 4.0) <= mx.query_cost(
+            2, "Vehicle", 4.0
+        ) + 1e-9
+
+    def test_hierarchy_query_equals_single_class(self, fig7_stats):
+        model = MIXCostModel(fig7_stats, 1, 4)
+        assert model.hierarchy_query_cost(2) == model.query_cost(2, "Vehicle")
+
+    def test_delete_adds_single_previous_record(self, fig7_stats):
+        whole = MIXCostModel(fig7_stats, 1, 4)
+        tail = MIXCostModel(fig7_stats, 2, 4)
+        assert whole.delete_cost(2, "Bus") > tail.delete_cost(2, "Bus")
+
+    def test_cmd_positive(self, fig7_stats):
+        assert MIXCostModel(fig7_stats, 1, 2).cmd_cost() > 0
+
+
+class TestNIXModel:
+    def test_query_is_single_record_lookup(self, fig7_stats):
+        model = NIXCostModel(fig7_stats, 1, 4)
+        # One probe costs at most height + record pages.
+        cost = model.query_cost(1, "Person")
+        assert cost <= model.primary_shape.height + model.primary_shape.record_pages
+
+    def test_query_independent_of_chain_length(self, fig7_stats):
+        # Unlike MX/MIX, the NIX query does not accumulate per-level lookups.
+        long_model = NIXCostModel(fig7_stats, 1, 4)
+        assert long_model.query_cost(1, "Person") < MXCostModel(
+            fig7_stats, 1, 4
+        ).query_cost(1, "Person")
+
+    def test_auxiliary_absent_for_single_class_subpath(self, fig7_stats):
+        model = NIXCostModel(fig7_stats, 4, 4)
+        assert model.auxiliary_shape.empty
+
+    def test_auxiliary_present_for_longer_subpaths(self, fig7_stats):
+        model = NIXCostModel(fig7_stats, 1, 2)
+        assert model.auxiliary_shape.record_count == pytest.approx(20_000)
+
+    def test_single_class_maintenance_skips_auxiliary(self, fig7_stats):
+        model = NIXCostModel(fig7_stats, 4, 4)
+        # Division: primary maintenance only.
+        assert model.insert_cost(4, "Division") > 0
+        assert model.delete_cost(4, "Division") > 0
+
+    def test_start_class_has_no_own_3tuple(self, fig7_stats):
+        long_model = NIXCostModel(fig7_stats, 1, 4)
+        # Person deletion: no own 3-tuple, but children 3-tuples + walk.
+        assert long_model.delete_cost(1, "Person") > 0
+
+    def test_delete_usually_heavier_than_insert(self, fig7_stats):
+        model = NIXCostModel(fig7_stats, 1, 4)
+        assert model.delete_cost(3, "Company") >= model.insert_cost(3, "Company")
+
+    def test_cmd_includes_delpoint(self, fig7_stats):
+        with_aux = NIXCostModel(fig7_stats, 1, 2)
+        no_aux = NIXCostModel(fig7_stats, 2, 2)
+        from repro.costmodel.primitives import cml
+
+        base_with = cml(
+            with_aux.primary_shape, float(with_aux.primary_shape.record_pages)
+        )
+        assert with_aux.cmd_cost() > base_with  # delpoint added
+        base_without = cml(
+            no_aux.primary_shape, float(no_aux.primary_shape.record_pages)
+        )
+        assert no_aux.cmd_cost() == pytest.approx(base_without)
+
+    def test_storage_counts_primary_and_auxiliary(self, fig7_stats):
+        assert NIXCostModel(fig7_stats, 1, 4).storage_pages() > NIXCostModel(
+            fig7_stats, 4, 4
+        ).storage_pages()
+
+
+class TestNoIndexModel:
+    def test_query_scans_extents(self, fig7_stats):
+        model = NoIndexCostModel(fig7_stats, 1, 4)
+        assert model.query_cost(1, "Person") > 0
+
+    def test_query_cost_independent_of_probes(self, fig7_stats):
+        model = NoIndexCostModel(fig7_stats, 1, 4)
+        assert model.query_cost(1, "Person", 100.0) == model.query_cost(
+            1, "Person", 1.0
+        )
+
+    def test_maintenance_free(self, fig7_stats):
+        model = NoIndexCostModel(fig7_stats, 1, 4)
+        assert model.insert_cost(2, "Bus") == 0.0
+        assert model.delete_cost(2, "Bus") == 0.0
+        assert model.cmd_cost() == 0.0
+        assert model.storage_pages() == 0.0
+
+    def test_scan_grows_with_subpath_length(self, fig7_stats):
+        short = NoIndexCostModel(fig7_stats, 3, 3)
+        long_ = NoIndexCostModel(fig7_stats, 3, 4)
+        assert long_.query_cost(3, "Company") > short.query_cost(3, "Company")
+
+    def test_hierarchy_query_adds_sibling_extents(self, fig7_stats):
+        model = NoIndexCostModel(fig7_stats, 2, 4)
+        assert model.hierarchy_query_cost(2) > model.query_cost(2, "Vehicle")
+
+
+class TestCrossOrganizationShape:
+    """The qualitative relationships the paper's discussion relies on."""
+
+    def test_nix_queries_beat_chains_on_long_paths(self, fig7_stats):
+        for start, end in [(1, 3), (1, 4), (2, 4)]:
+            nix = NIXCostModel(fig7_stats, start, end)
+            mx = MXCostModel(fig7_stats, start, end)
+            root = fig7_stats.members(start)[0]
+            assert nix.query_cost(start, root) < mx.query_cost(start, root)
+
+    def test_nix_maintenance_loses_on_long_paths(self, fig7_stats):
+        nix = NIXCostModel(fig7_stats, 1, 4)
+        mix = MIXCostModel(fig7_stats, 1, 4)
+        assert nix.delete_cost(1, "Person") > mix.delete_cost(1, "Person")
+
+    def test_all_costs_finite(self, fig7_stats):
+        for organization in (
+            IndexOrganization.MX,
+            IndexOrganization.MIX,
+            IndexOrganization.NIX,
+            IndexOrganization.NONE,
+        ):
+            for start in range(1, 5):
+                for end in range(start, 5):
+                    model = build_model(fig7_stats, start, end, organization)
+                    for position in range(start, end + 1):
+                        for member in fig7_stats.members(position):
+                            for value in (
+                                model.query_cost(position, member),
+                                model.insert_cost(position, member),
+                                model.delete_cost(position, member),
+                            ):
+                                assert value >= 0.0
+                                assert value < float("inf")
+                    assert model.cmd_cost() >= 0.0

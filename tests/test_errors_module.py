@@ -1,0 +1,46 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CostModelError,
+    IndexError_,
+    OptimizerError,
+    PathError,
+    ReproError,
+    SchemaError,
+    StorageError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            SchemaError,
+            PathError,
+            StorageError,
+            IndexError_,
+            CostModelError,
+            WorkloadError,
+            OptimizerError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+        with pytest.raises(ReproError):
+            raise exception_type("boom")
+
+    def test_index_error_does_not_shadow_builtin(self):
+        assert IndexError_ is not IndexError
+        assert not issubclass(IndexError_, IndexError)
+
+    def test_single_except_catches_everything(self):
+        caught = []
+        for exception_type in (SchemaError, StorageError, OptimizerError):
+            try:
+                raise exception_type("x")
+            except ReproError as error:
+                caught.append(type(error))
+        assert caught == [SchemaError, StorageError, OptimizerError]

@@ -1,0 +1,146 @@
+"""Tests for the chained operational indexes: MX and MIX."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.indexes.base import IndexContext
+from repro.indexes.multi import MultiIndex
+from repro.indexes.multi_inherited import MultiInheritedIndex
+from repro.storage.pager import Pager
+from repro.storage.sizes import SizeModel
+
+
+def make_context(vehicle_db, pexa, start=1, end=4):
+    sizes = SizeModel()
+    return IndexContext(
+        database=vehicle_db,
+        path=pexa,
+        start=start,
+        end=end,
+        pager=Pager(page_size=sizes.page_size),
+        sizes=sizes,
+    )
+
+
+def division_named(db, name):
+    return next(
+        d for d in db.extent("Division") if d.values["name"] == name
+    )
+
+
+@pytest.fixture(params=[MultiIndex, MultiInheritedIndex], ids=["MX", "MIX"])
+def chained_index(request, vehicle_db, pexa):
+    context = make_context(vehicle_db, pexa)
+    return request.param(context), vehicle_db, context
+
+
+class TestChainedLookup:
+    def test_full_path_query(self, chained_index):
+        index, db, _ = chained_index
+        # Persons reaching division 'Fiat-movings' through owns.man.divisions.
+        result = index.lookup("Fiat-movings", "Person")
+        names = {db.get(oid).values["name"] for oid in result}
+        assert names == {"Piet", "Sonia", "Henk"}
+
+    def test_intermediate_class_query(self, chained_index):
+        index, db, _ = chained_index
+        companies = index.lookup("Fiat-movings", "Company")
+        assert {db.get(oid).values["name"] for oid in companies} == {"Fiat"}
+
+    def test_hierarchy_member_query(self, chained_index):
+        index, db, _ = chained_index
+        buses = index.lookup("Fiat-movings", "Bus")
+        assert all(oid.class_name == "Bus" for oid in buses)
+        assert len(buses) == 1
+
+    def test_include_subclasses(self, chained_index):
+        index, _, _ = chained_index
+        vehicles = index.lookup("Fiat-movings", "Vehicle", include_subclasses=True)
+        assert {oid.class_name for oid in vehicles} == {"Vehicle", "Bus", "Truck"}
+
+    def test_missing_value_empty(self, chained_index):
+        index, _, _ = chained_index
+        assert index.lookup("nothing", "Person") == set()
+
+    def test_uncovered_class_rejected(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa, start=3, end=4)
+        index = MultiIndex(context)
+        with pytest.raises(IndexError_):
+            index.lookup("x", "Person")
+
+    def test_lookup_many_unions(self, chained_index):
+        index, _, _ = chained_index
+        merged = index.lookup_many(
+            ["Fiat-movings", "Renault-engines"], "Person"
+        )
+        assert len(merged) >= 3
+
+
+class TestChainedMaintenance:
+    def test_insert_visible(self, chained_index):
+        index, db, _ = chained_index
+        fiat = next(
+            c.oid for c in db.extent("Company") if c.values["name"] == "Fiat"
+        )
+        oid = db.create("Vehicle", vid=50, color="Gold", max_speed=180, man=fiat)
+        index.on_insert(db.get(oid))
+        index.check_consistency()
+        assert oid in index.lookup("Fiat-movings", "Vehicle")
+
+    def test_delete_hides(self, chained_index):
+        index, db, _ = chained_index
+        victim = next(
+            v for v in db.extent("Vehicle")
+            if db.get(v.values["man"]).values["name"] == "Fiat"  # type: ignore[arg-type]
+        )
+        index.on_delete(victim)
+        db.delete(victim.oid)
+        index.check_consistency()
+        assert victim.oid not in index.lookup("Fiat-movings", "Vehicle")
+
+    def test_delete_middle_object_cuts_chain(self, chained_index):
+        """Deleting a company disconnects its vehicles from its divisions."""
+        index, db, _ = chained_index
+        fiat = next(
+            c for c in db.extent("Company") if c.values["name"] == "Fiat"
+        )
+        before = index.lookup("Fiat-movings", "Person")
+        assert before
+        index.on_delete(fiat)
+        db.delete(fiat.oid)
+        index.check_consistency()
+        assert index.lookup("Fiat-movings", "Person") == set()
+
+    def test_foreign_class_events_ignored(self, chained_index):
+        index, db, context = chained_index
+        # An event for a class outside the subpath is a no-op; simulate by
+        # narrowing to positions 3..4 and feeding a Person event.
+        narrow = type(index)(make_context(db, context.path, start=3, end=4))
+        person = next(db.extent("Person"))
+        narrow.on_insert(person)
+        narrow.on_delete(person)
+        narrow.check_consistency()
+
+    def test_covers_class(self, chained_index):
+        index, _, _ = chained_index
+        assert index.covers_class("Bus")
+        assert not index.covers_class("Nothing")
+
+
+class TestComponents:
+    def test_mx_has_component_per_scope_class(self, vehicle_db, pexa):
+        index = MultiIndex(make_context(vehicle_db, pexa))
+        assert index.component(2, "Bus").class_name == "Bus"
+        with pytest.raises(IndexError_):
+            index.component(2, "Person")
+
+    def test_mix_has_component_per_level(self, vehicle_db, pexa):
+        index = MultiInheritedIndex(make_context(vehicle_db, pexa))
+        assert index.component(2).root_class == "Vehicle"
+        with pytest.raises(IndexError_):
+            index.component(9)
+
+    def test_mx_remove_key_clears_ending_records(self, vehicle_db, pexa):
+        index = MultiIndex(make_context(vehicle_db, pexa))
+        index.remove_key("Fiat-movings")
+        assert index.lookup("Fiat-movings", "Person") == set()

@@ -1,0 +1,229 @@
+"""Tests for the operational NIX (primary + auxiliary index)."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.indexes.base import IndexContext
+from repro.indexes.nested_inherited import NestedInheritedIndex
+from repro.storage.pager import Pager
+from repro.storage.sizes import SizeModel
+
+
+def make_nix(vehicle_db, pexa, start=1, end=4):
+    sizes = SizeModel()
+    context = IndexContext(
+        database=vehicle_db,
+        path=pexa,
+        start=start,
+        end=end,
+        pager=Pager(page_size=sizes.page_size),
+        sizes=sizes,
+    )
+    return NestedInheritedIndex(context)
+
+
+def company_named(db, name):
+    return next(c for c in db.extent("Company") if c.values["name"] == name)
+
+
+class TestLookup:
+    def test_primary_record_answers_all_classes(self, vehicle_db, pexa):
+        nix = make_nix(vehicle_db, pexa)
+        for target, expected_count in [
+            ("Person", 3),
+            ("Vehicle", 1),
+            ("Bus", 1),
+            ("Truck", 1),
+            ("Company", 1),
+            ("Division", 1),
+        ]:
+            assert len(nix.lookup("Fiat-movings", target)) == expected_count
+
+    def test_paper_nix_example_on_pe(self, vehicle_db, vehicle_schema):
+        """Section 2.2's NIX example: key 'Fiat' lists the scope objects."""
+        from repro.model.examples import pe_path
+
+        pe = pe_path(vehicle_schema)
+        nix = make_nix(vehicle_db, pe, 1, 3)
+        companies = nix.lookup("Fiat", "Company")
+        trucks = nix.lookup("Fiat", "Truck")
+        persons = nix.lookup("Fiat", "Person")
+        assert len(companies) == 1
+        assert len(trucks) == 1
+        assert len(persons) == 3  # Piet (bus), Sonia (vehicle), Henk (truck)
+
+    def test_missing_value(self, vehicle_db, pexa):
+        nix = make_nix(vehicle_db, pexa)
+        assert nix.lookup("nothing", "Person") == set()
+
+    def test_include_subclasses(self, vehicle_db, pexa):
+        nix = make_nix(vehicle_db, pexa)
+        vehicles = nix.lookup("Fiat-movings", "Vehicle", include_subclasses=True)
+        assert {oid.class_name for oid in vehicles} == {"Vehicle", "Bus", "Truck"}
+
+    def test_single_lookup_is_one_descent(self, vehicle_db, pexa):
+        nix = make_nix(vehicle_db, pexa)
+        pager = nix.context.pager
+        before = pager.stats()
+        nix.lookup("Fiat-movings", "Person")
+        delta = pager.stats() - before
+        # One primary descent: height reads, no auxiliary access.
+        assert delta.reads <= 3
+        assert delta.writes == 0
+
+
+class TestNumchildSemantics:
+    def test_numchild_counts_children_reaching_value(self, vehicle_db, pexa):
+        nix = make_nix(vehicle_db, pexa)
+        fiat = company_named(vehicle_db, "Fiat")
+        record = nix._primary.get("Fiat-movings")
+        assert record is not None
+        # Fiat reaches 'Fiat-movings' through exactly one division.
+        assert record["Company"][fiat.oid] == 1
+
+    def test_person_with_two_qualifying_vehicles(self, vehicle_db, pexa):
+        """Piet owns Vehicle[j] (Renault) and Bus[i] (Fiat): numchild per key."""
+        nix = make_nix(vehicle_db, pexa)
+        piet = next(
+            p for p in vehicle_db.extent("Person") if p.values["name"] == "Piet"
+        )
+        fiat_record = nix._primary.get("Fiat-movings")
+        renault_record = nix._primary.get("Renault-engines")
+        assert fiat_record["Person"][piet.oid] == 1
+        assert renault_record["Person"][piet.oid] == 1
+
+    def test_partial_deletion_decrements_numchild(self, vehicle_db, pexa):
+        """Deleting one of two children decrements, not removes."""
+        nix = make_nix(vehicle_db, pexa)
+        fiat = company_named(vehicle_db, "Fiat")
+        # Give Fiat a second division whose name collides after... instead:
+        # delete one of Piet's two vehicles and check he survives under the
+        # other key.
+        piet = next(
+            p for p in vehicle_db.extent("Person") if p.values["name"] == "Piet"
+        )
+        bus = next(v for v in piet.value_list("owns") if v.class_name == "Bus")
+        nix.on_delete(vehicle_db.get(bus))
+        vehicle_db.delete(bus)
+        nix.check_consistency()
+        # Piet no longer reaches Fiat divisions, still reaches Renault's.
+        assert piet.oid not in nix.lookup("Fiat-movings", "Person")
+        assert piet.oid in nix.lookup("Renault-engines", "Person")
+        assert fiat.oid in nix.lookup("Fiat-movings", "Company")
+
+
+class TestMaintenance:
+    def test_insert_chain_bottom_up(self, vehicle_db, pexa):
+        nix = make_nix(vehicle_db, pexa)
+        d = vehicle_db.create("Division", name="VW-motors", budget=9)
+        nix.on_insert(vehicle_db.get(d))
+        c = vehicle_db.create(
+            "Company", name="VW", location="Wolfsburg", divisions=[d]
+        )
+        nix.on_insert(vehicle_db.get(c))
+        v = vehicle_db.create("Vehicle", vid=60, color="Grey", max_speed=150, man=c)
+        nix.on_insert(vehicle_db.get(v))
+        p = vehicle_db.create("Person", name="Max", age=40, owns=[v])
+        nix.on_insert(vehicle_db.get(p))
+        nix.check_consistency()
+        assert nix.lookup("VW-motors", "Person") == {p}
+
+    def test_insert_parent_before_child_rejected(self, vehicle_db, pexa):
+        nix = make_nix(vehicle_db, pexa)
+        d = vehicle_db.create("Division", name="X-div", budget=1)
+        # Skip indexing the division, then index its parent: must fail fast.
+        c = vehicle_db.create("Company", name="X", location="Y", divisions=[d])
+        with pytest.raises(IndexError_):
+            nix.on_insert(vehicle_db.get(c))
+
+    def test_delete_ending_object_removes_record_when_empty(self, vehicle_db, pexa):
+        nix = make_nix(vehicle_db, pexa)
+        division = next(
+            d for d in vehicle_db.extent("Division")
+            if d.values["name"] == "Daf-cabs"
+        )
+        nix.on_delete(division)
+        vehicle_db.delete(division.oid)
+        nix.check_consistency()
+        assert nix._primary.get("Daf-cabs") is None
+
+    def test_delete_starting_object(self, vehicle_db, pexa):
+        nix = make_nix(vehicle_db, pexa)
+        person = next(vehicle_db.extent("Person"))
+        nix.on_delete(person)
+        vehicle_db.delete(person.oid)
+        nix.check_consistency()
+        for record in [r for _, r in nix._primary.items()]:
+            assert person.oid not in record.get("Person", {})
+
+    def test_delete_middle_object_propagates_up(self, vehicle_db, pexa):
+        """Deleting Fiat must remove Fiat's vehicles' owners from Fiat keys."""
+        nix = make_nix(vehicle_db, pexa)
+        fiat = company_named(vehicle_db, "Fiat")
+        nix.on_delete(fiat)
+        vehicle_db.delete(fiat.oid)
+        nix.check_consistency()
+        assert nix.lookup("Fiat-movings", "Person") == set()
+        assert nix.lookup("Fiat-movings", "Vehicle") == set()
+        # The divisions themselves still hold their names.
+        assert len(nix.lookup("Fiat-movings", "Division")) == 1
+
+    def test_delete_unindexed_class_is_noop(self, vehicle_db, pexa):
+        nix = make_nix(vehicle_db, pexa, start=3, end=4)
+        person = next(vehicle_db.extent("Person"))
+        nix.on_delete(person)  # Person not covered by Comp.divisions.name
+        nix.check_consistency()
+
+    def test_single_class_subpath_has_no_auxiliary(self, vehicle_db, pexa):
+        nix = make_nix(vehicle_db, pexa, start=4, end=4)
+        assert nix._auxiliary.record_count == 0
+        division = next(vehicle_db.extent("Division"))
+        nix.on_delete(division)
+        vehicle_db.delete(division.oid)
+        nix.check_consistency()
+
+    def test_remove_key_strips_pointers(self, vehicle_db, pexa):
+        """Cross-subpath CMD: dropping a whole record cleans 3-tuples."""
+        nix = make_nix(vehicle_db, pexa, start=1, end=2)
+        fiat = company_named(vehicle_db, "Fiat")
+        assert nix.remove_key(fiat.oid) is True
+        for oid, three_tuple in nix._auxiliary.items():
+            assert fiat.oid not in three_tuple.pointers
+        assert nix.remove_key(fiat.oid) is False
+
+
+class TestAuxiliaryStructure:
+    def test_three_tuples_exist_for_non_start_classes(self, vehicle_db, pexa):
+        nix = make_nix(vehicle_db, pexa)
+        expected = (
+            vehicle_db.extent_size("Vehicle")
+            + vehicle_db.extent_size("Bus")
+            + vehicle_db.extent_size("Truck")
+            + vehicle_db.extent_size("Company")
+            + vehicle_db.extent_size("Division")
+        )
+        assert nix._auxiliary.record_count == expected
+
+    def test_parents_recorded(self, vehicle_db, pexa):
+        nix = make_nix(vehicle_db, pexa)
+        fiat = company_named(vehicle_db, "Fiat")
+        three_tuple = nix._auxiliary.get(fiat.oid)
+        assert three_tuple is not None
+        parent_classes = {p.class_name for p in three_tuple.parents}
+        assert parent_classes <= {"Vehicle", "Bus", "Truck"}
+        assert len(three_tuple.parents) == 3  # Vehicle[k], Bus[i], Truck[i]
+
+    def test_pointers_match_reachable_keys(self, vehicle_db, pexa):
+        nix = make_nix(vehicle_db, pexa)
+        fiat = company_named(vehicle_db, "Fiat")
+        three_tuple = nix._auxiliary.get(fiat.oid)
+        assert three_tuple.pointers == {"Fiat-movings", "Fiat-design"}
+
+    def test_consistency_detects_primary_corruption(self, vehicle_db, pexa):
+        nix = make_nix(vehicle_db, pexa)
+        record = nix._primary.get("Fiat-movings")
+        fake = dict(record)
+        fake.pop("Person")
+        nix._primary.update("Fiat-movings", fake, 100)
+        with pytest.raises(IndexError_):
+            nix.check_consistency()

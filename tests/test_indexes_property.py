@@ -1,0 +1,149 @@
+"""Property-based stress tests: random operation sequences keep every
+organization consistent and mutually agreeing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configuration import IndexConfiguration
+from repro.costmodel.params import ClassStats
+from repro.indexes.manager import ConfigurationIndexSet
+from repro.organizations import IndexOrganization
+from repro.synth import LevelSpec, linear_path_schema, populate_path_database
+
+MX = IndexOrganization.MX
+MIX = IndexOrganization.MIX
+NIX = IndexOrganization.NIX
+PX = IndexOrganization.PX
+NX = IndexOrganization.NX
+
+CONFIGS = [
+    IndexConfiguration.whole_path(3, NIX),
+    IndexConfiguration.whole_path(3, MX),
+    IndexConfiguration.whole_path(3, MIX),
+    IndexConfiguration.whole_path(3, PX),
+    IndexConfiguration.whole_path(3, NX),
+    IndexConfiguration.of((1, 1, MX), (2, 3, NIX)),
+    IndexConfiguration.of((1, 2, NIX), (3, 3, MIX)),
+    IndexConfiguration.of((1, 2, PX), (3, 3, MX)),
+]
+
+
+def build_world(seed: int):
+    schema, path = linear_path_schema(
+        [
+            LevelSpec("P", multi_valued=True),
+            LevelSpec("V", subclasses=1, multi_valued=False),
+            LevelSpec("D", multi_valued=True),
+        ]
+    )
+    specs = {
+        "P": ClassStats(objects=30, distinct=15, fanout=2),
+        "V": ClassStats(objects=20, distinct=8, fanout=1),
+        "VSub1": ClassStats(objects=10, distinct=6, fanout=1),
+        "D": ClassStats(objects=12, distinct=5, fanout=2),
+    }
+    database = populate_path_database(schema, path, specs, seed=seed)
+    return schema, path, database
+
+
+operation_list = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["delete_P", "delete_V", "delete_D", "insert_P", "query", "range"]
+        ),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(seed=st.integers(min_value=0, max_value=50), ops=operation_list)
+@settings(max_examples=25, deadline=None)
+def test_random_operations_keep_all_organizations_consistent(seed, ops):
+    """After any operation sequence every configuration stays consistent
+    and all configurations answer queries identically."""
+    worlds = []
+    for config in CONFIGS:
+        schema, path, database = build_world(seed)
+        worlds.append(ConfigurationIndexSet(database, path, config))
+
+    reference = worlds[0]
+
+    def pick(extent, number):
+        items = sorted(extent, key=lambda i: i.oid)
+        if not items:
+            return None
+        return items[number % len(items)].oid
+
+    for action, number in ops:
+        if action in ("query", "range"):
+            values = sorted(
+                {
+                    v
+                    for d in reference.database.extent("D")
+                    for v in d.value_list("label")
+                },
+                key=repr,
+            )
+            if not values:
+                continue
+            if action == "query":
+                value = values[number % len(values)]
+                results = [w.query(value, "P") for w in worlds]
+            else:
+                low = values[number % len(values)]
+                high = values[min(len(values) - 1, number % len(values) + 2)]
+                if high < low:  # type: ignore[operator]
+                    low, high = high, low
+                results = [w.range_query(low, high, "P") for w in worlds]
+            serialized = [
+                sorted((o.class_name, o.serial) for o in r) for r in results
+            ]
+            assert all(s == serialized[0] for s in serialized)
+            continue
+        if action == "insert_P":
+            target_pool = sorted(
+                (i.oid for i in reference.database.hierarchy_extent("V")),
+            )
+            if not target_pool:
+                continue
+            chosen = [target_pool[number % len(target_pool)]]
+            for world in worlds:
+                local = [
+                    type(chosen[0])(o.class_name, o.serial) for o in chosen
+                ]
+                world.insert("P", ref1=local, payload=number)
+            continue
+        class_name = action.split("_")[1]
+        victim = pick(reference.database.extent(class_name), number)
+        if victim is None:
+            continue
+        for world in worlds:
+            if world.database.contains(victim):
+                world.delete(victim)
+
+    for world in worlds:
+        world.check_consistency()
+
+
+@given(seed=st.integers(min_value=0, max_value=200))
+@settings(max_examples=20, deadline=None)
+def test_fresh_indexes_agree_on_every_value(seed):
+    """All organizations return identical answers on a fresh database."""
+    schema, path, database = build_world(seed)
+    worlds = [
+        ConfigurationIndexSet(database, path, config) for config in CONFIGS[:3]
+    ]
+    values = sorted(
+        {v for d in database.extent("D") for v in d.value_list("label")},
+        key=repr,
+    )
+    for value in values:
+        for target in ("P", "V", "VSub1", "D"):
+            answers = [
+                sorted(w.query(value, target), key=lambda o: (o.class_name, o.serial))
+                for w in worlds
+            ]
+            assert all(a == answers[0] for a in answers)

@@ -1,0 +1,151 @@
+"""Tests for SIX and IIX (the single-level operational indexes)."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.indexes.base import IndexContext
+from repro.indexes.inherited import InheritedIndex
+from repro.indexes.simple import SimpleIndex
+from repro.model.examples import populate_vehicle_database
+from repro.storage.pager import Pager
+from repro.storage.sizes import SizeModel
+
+
+def make_context(vehicle_db, pexa, start, end):
+    sizes = SizeModel()
+    return IndexContext(
+        database=vehicle_db,
+        path=pexa,
+        start=start,
+        end=end,
+        pager=Pager(page_size=sizes.page_size),
+        sizes=sizes,
+    )
+
+
+class TestSimpleIndex:
+    def test_six_indexes_only_its_class(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa, 2, 2)
+        six = SimpleIndex(context, class_name="Vehicle")
+        fiat = next(
+            c.oid for c in vehicle_db.extent("Company")
+            if c.values["name"] == "Fiat"
+        )
+        oids = six.lookup(fiat, "Vehicle")
+        # Only Vehicle[k] references Fiat directly in class Vehicle (not Bus).
+        assert all(oid.class_name == "Vehicle" for oid in oids)
+        assert len(oids) == 1
+
+    def test_six_rejects_foreign_target(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa, 2, 2)
+        six = SimpleIndex(context, class_name="Vehicle")
+        with pytest.raises(IndexError_):
+            six.lookup("x", "Bus")
+
+    def test_six_requires_length_one_subpath(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa, 1, 2)
+        with pytest.raises(IndexError_):
+            SimpleIndex(context)
+
+    def test_six_maintenance_round_trip(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa, 1, 1)
+        six = SimpleIndex(context)  # Person.owns
+        vehicle = next(vehicle_db.extent("Vehicle")).oid
+        oid = vehicle_db.create("Person", name="N", age=1, owns=[vehicle])
+        six.on_insert(vehicle_db.get(oid))
+        assert oid in six.lookup(vehicle, "Person")
+        six.on_delete(vehicle_db.get(oid))
+        vehicle_db.delete(oid)
+        assert oid not in six.lookup(vehicle, "Person")
+        six.check_consistency()
+
+    def test_six_ignores_other_classes(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa, 2, 2)
+        six = SimpleIndex(context, class_name="Vehicle")
+        bus = next(vehicle_db.extent("Bus"))
+        six.on_insert(bus)  # no-op: Bus is not Vehicle's own extent
+        six.check_consistency()
+
+    def test_remove_key(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa, 2, 2)
+        six = SimpleIndex(context, class_name="Vehicle")
+        fiat = next(
+            c.oid for c in vehicle_db.extent("Company")
+            if c.values["name"] == "Fiat"
+        )
+        assert six.remove_key(fiat) is True
+        assert six.lookup(fiat, "Vehicle") == set()
+        assert six.remove_key(fiat) is False
+
+
+class TestInheritedIndex:
+    def test_iix_covers_whole_hierarchy(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa, 2, 2)
+        iix = InheritedIndex(context)
+        fiat = next(
+            c.oid for c in vehicle_db.extent("Company")
+            if c.values["name"] == "Fiat"
+        )
+        # MIX example in the paper: (Company[j]=Fiat, {Vehicle[k], Bus[i], Truck[i]}).
+        oids = iix.lookup_hierarchy(fiat)
+        assert {oid.class_name for oid in oids} == {"Vehicle", "Bus", "Truck"}
+        assert len(oids) == 3
+
+    def test_iix_class_scoped_lookup(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa, 2, 2)
+        iix = InheritedIndex(context)
+        fiat = next(
+            c.oid for c in vehicle_db.extent("Company")
+            if c.values["name"] == "Fiat"
+        )
+        buses = iix.lookup(fiat, "Bus")
+        assert all(oid.class_name == "Bus" for oid in buses)
+        assert len(buses) == 1
+
+    def test_iix_subclass_inclusive_lookup(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa, 2, 2)
+        iix = InheritedIndex(context)
+        fiat = next(
+            c.oid for c in vehicle_db.extent("Company")
+            if c.values["name"] == "Fiat"
+        )
+        everything = iix.lookup(fiat, "Vehicle", include_subclasses=True)
+        assert len(everything) == 3
+
+    def test_iix_rejects_foreign_class(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa, 2, 2)
+        iix = InheritedIndex(context)
+        with pytest.raises(IndexError_):
+            iix.lookup("x", "Person")
+
+    def test_iix_maintenance_round_trip(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa, 2, 2)
+        iix = InheritedIndex(context)
+        daf = next(
+            c.oid for c in vehicle_db.extent("Company")
+            if c.values["name"] == "Daf"
+        )
+        oid = vehicle_db.create(
+            "Truck",
+            vid=77,
+            color="Silver",
+            max_speed=140,
+            man=daf,
+            weight=9000,
+            availability="always",
+        )
+        iix.on_insert(vehicle_db.get(oid))
+        assert oid in iix.lookup(daf, "Truck")
+        iix.check_consistency()
+        iix.on_delete(vehicle_db.get(oid))
+        vehicle_db.delete(oid)
+        assert oid not in iix.lookup(daf, "Truck")
+        iix.check_consistency()
+
+    def test_consistency_detects_corruption(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa, 2, 2)
+        iix = InheritedIndex(context)
+        vehicle = next(vehicle_db.extent("Vehicle"))
+        iix.on_delete(vehicle)  # remove from index but not from database
+        with pytest.raises(IndexError_):
+            iix.check_consistency()

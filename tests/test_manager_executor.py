@@ -1,0 +1,145 @@
+"""Tests for ConfigurationIndexSet and PathQueryExecutor."""
+
+import pytest
+
+from repro.core.configuration import IndexConfiguration
+from repro.errors import IndexError_
+from repro.indexes.executor import PathQueryExecutor
+from repro.indexes.manager import ConfigurationIndexSet
+from repro.model.examples import populate_vehicle_database
+from repro.organizations import IndexOrganization
+
+MX = IndexOrganization.MX
+MIX = IndexOrganization.MIX
+NIX = IndexOrganization.NIX
+NONE = IndexOrganization.NONE
+
+ALL_CONFIGS = [
+    IndexConfiguration.whole_path(4, NIX),
+    IndexConfiguration.whole_path(4, MX),
+    IndexConfiguration.whole_path(4, MIX),
+    IndexConfiguration.of((1, 2, NIX), (3, 4, MX)),
+    IndexConfiguration.of((1, 1, MX), (2, 2, MIX), (3, 4, NIX)),
+    IndexConfiguration.of((1, 2, MIX), (3, 4, NONE)),
+]
+
+
+def build(vehicle_schema, config, path):
+    database = populate_vehicle_database(vehicle_schema)
+    return ConfigurationIndexSet(database, path, config)
+
+
+class TestQueryEquivalence:
+    """Every configuration answers every query identically."""
+
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.render())
+    def test_person_query(self, vehicle_schema, pexa, config):
+        indexes = build(vehicle_schema, config, pexa)
+        result = indexes.query("Fiat-movings", "Person")
+        names = {indexes.database.get(oid).values["name"] for oid in result}
+        assert names == {"Piet", "Sonia", "Henk"}
+
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.render())
+    def test_vehicle_hierarchy_query(self, vehicle_schema, pexa, config):
+        indexes = build(vehicle_schema, config, pexa)
+        result = indexes.query(
+            "Fiat-movings", "Vehicle", include_subclasses=True
+        )
+        assert {oid.class_name for oid in result} == {"Vehicle", "Bus", "Truck"}
+
+    @pytest.mark.parametrize("config", ALL_CONFIGS[:4], ids=lambda c: c.render())
+    def test_empty_result(self, vehicle_schema, pexa, config):
+        indexes = build(vehicle_schema, config, pexa)
+        assert indexes.query("no-such-division", "Person") == set()
+
+    def test_query_with_object_fetch_charges_heap_pages(self, vehicle_schema, pexa):
+        indexes = build(vehicle_schema, ALL_CONFIGS[0], pexa)
+        executor = PathQueryExecutor(indexes)
+        plain = executor.query("Fiat-movings", "Person")
+        fetched = executor.query("Fiat-movings", "Person", fetch_objects=True)
+        assert fetched.stats.total > plain.stats.total
+
+
+class TestMaintenanceRouting:
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.render())
+    def test_insert_delete_chain(self, vehicle_schema, pexa, config):
+        indexes = build(vehicle_schema, config, pexa)
+        d = indexes.insert("Division", name="BMW-works", budget=3)
+        c = indexes.insert("Company", name="BMW", location="Munich", divisions=[d])
+        v = indexes.insert("Vehicle", vid=61, color="Blue", max_speed=220, man=c)
+        p = indexes.insert("Person", name="Jo", age=33, owns=[v])
+        indexes.check_consistency()
+        assert indexes.query("BMW-works", "Person") == {p}
+        # Delete in reverse order.
+        for oid in (p, v, c, d):
+            indexes.delete(oid)
+            indexes.check_consistency()
+        assert indexes.query("BMW-works", "Person") == set()
+
+    def test_cmd_routing_on_subpath_boundary(self, vehicle_schema, pexa):
+        """Deleting a Company must clean the preceding subpath's index."""
+        config = IndexConfiguration.of((1, 2, NIX), (3, 4, MX))
+        indexes = build(vehicle_schema, config, pexa)
+        fiat = next(
+            c.oid
+            for c in indexes.database.extent("Company")
+            if c.values["name"] == "Fiat"
+        )
+        indexes.delete(fiat)
+        indexes.check_consistency()
+        assert indexes.query("Fiat-movings", "Person") == set()
+
+    def test_length_mismatch_rejected(self, vehicle_schema, pexa):
+        database = populate_vehicle_database(vehicle_schema)
+        with pytest.raises(IndexError_):
+            ConfigurationIndexSet(
+                database, pexa, IndexConfiguration.whole_path(3, NIX)
+            )
+
+    def test_extents_maintained(self, vehicle_schema, pexa):
+        indexes = build(vehicle_schema, ALL_CONFIGS[0], pexa)
+        before = indexes.extents["Person"].object_count()
+        vehicle = next(indexes.database.extent("Vehicle")).oid
+        oid = indexes.insert("Person", name="Q", age=9, owns=[vehicle])
+        assert indexes.extents["Person"].object_count() == before + 1
+        indexes.delete(oid)
+        assert indexes.extents["Person"].object_count() == before
+
+    def test_parts_accessors(self, vehicle_schema, pexa):
+        config = IndexConfiguration.of((1, 2, NIX), (3, 4, MX))
+        indexes = build(vehicle_schema, config, pexa)
+        assert len(indexes.parts()) == 2
+        assignment, _ = indexes.part_for_position(3)
+        assert (assignment.start, assignment.end) == (3, 4)
+        with pytest.raises(IndexError_):
+            indexes.part_for_position(9)
+
+
+class TestExecutorMeasurement:
+    def test_query_stats_positive(self, vehicle_schema, pexa):
+        indexes = build(vehicle_schema, ALL_CONFIGS[0], pexa)
+        executor = PathQueryExecutor(indexes)
+        measured = executor.query("Fiat-movings", "Person")
+        assert measured.stats.total >= 1
+        assert measured.oids
+
+    def test_nix_query_cheaper_than_mx(self, vehicle_schema, pexa):
+        nix_executor = PathQueryExecutor(build(vehicle_schema, ALL_CONFIGS[0], pexa))
+        mx_executor = PathQueryExecutor(build(vehicle_schema, ALL_CONFIGS[1], pexa))
+        nix_cost = nix_executor.query("Fiat-movings", "Person").stats.total
+        mx_cost = mx_executor.query("Fiat-movings", "Person").stats.total
+        assert nix_cost < mx_cost
+
+    def test_insert_measured(self, vehicle_schema, pexa):
+        indexes = build(vehicle_schema, ALL_CONFIGS[0], pexa)
+        executor = PathQueryExecutor(indexes)
+        division = executor.insert("Division", name="New-div", budget=1)
+        assert division.stats.total >= 1
+
+    def test_delete_measured(self, vehicle_schema, pexa):
+        indexes = build(vehicle_schema, ALL_CONFIGS[0], pexa)
+        executor = PathQueryExecutor(indexes)
+        person = next(indexes.database.extent("Person")).oid
+        measured = executor.delete(person)
+        assert measured.stats.total >= 1
+        assert not indexes.database.contains(person)

@@ -1,0 +1,70 @@
+"""Tests for repro.model.attribute."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.attribute import AtomicType, Attribute
+
+
+class TestAttributeConstruction:
+    def test_atomic_attribute(self):
+        attribute = Attribute("age", AtomicType.INTEGER)
+        assert attribute.is_atomic
+        assert not attribute.is_reference
+        assert not attribute.multi_valued
+
+    def test_reference_attribute(self):
+        attribute = Attribute("owns", "Vehicle", multi_valued=True)
+        assert attribute.is_reference
+        assert not attribute.is_atomic
+        assert attribute.multi_valued
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", AtomicType.STRING)
+
+    def test_non_identifier_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("has space", AtomicType.STRING)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("ref", "")
+
+    def test_frozen(self):
+        attribute = Attribute("age", AtomicType.INTEGER)
+        with pytest.raises(AttributeError):
+            attribute.name = "other"  # type: ignore[misc]
+
+
+class TestAtomicValueChecking:
+    def test_integer_accepts_int(self):
+        assert Attribute("a", AtomicType.INTEGER).accepts_atomic_value(42)
+
+    def test_integer_rejects_bool(self):
+        assert not Attribute("a", AtomicType.INTEGER).accepts_atomic_value(True)
+
+    def test_integer_rejects_string(self):
+        assert not Attribute("a", AtomicType.INTEGER).accepts_atomic_value("42")
+
+    def test_real_accepts_float_and_int(self):
+        attribute = Attribute("a", AtomicType.REAL)
+        assert attribute.accepts_atomic_value(1.5)
+        assert attribute.accepts_atomic_value(2)
+
+    def test_string_accepts_str(self):
+        assert Attribute("a", AtomicType.STRING).accepts_atomic_value("hi")
+
+    def test_boolean_accepts_bool(self):
+        assert Attribute("a", AtomicType.BOOLEAN).accepts_atomic_value(False)
+
+    def test_reference_attribute_never_accepts_atomic(self):
+        assert not Attribute("r", "C").accepts_atomic_value("anything")
+
+
+class TestRendering:
+    def test_multi_valued_marker(self):
+        assert str(Attribute("owns", "Vehicle", multi_valued=True)) == "owns+: Vehicle"
+
+    def test_atomic_rendering(self):
+        assert str(Attribute("age", AtomicType.INTEGER)) == "age: integer"

@@ -1,0 +1,148 @@
+"""Tests for repro.model.objects (the object store)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.objects import OID, OODatabase
+
+
+class TestOID:
+    def test_ordering_by_class_then_serial(self):
+        assert OID("A", 1) < OID("A", 2) < OID("B", 0)
+
+    def test_str_matches_paper_convention(self):
+        assert str(OID("Vehicle", 3)) == "Vehicle[3]"
+
+    def test_hashable(self):
+        assert len({OID("A", 1), OID("A", 1), OID("A", 2)}) == 2
+
+
+class TestCreation:
+    def test_create_assigns_sequential_serials(self, vehicle_schema):
+        database = OODatabase(vehicle_schema)
+        first = database.create("Division", name="d0", budget=1)
+        second = database.create("Division", name="d1", budget=2)
+        assert (first.serial, second.serial) == (0, 1)
+
+    def test_missing_attribute_rejected_no_nulls(self, vehicle_schema):
+        database = OODatabase(vehicle_schema)
+        with pytest.raises(SchemaError, match="NULL"):
+            database.create("Division", name="d0")
+
+    def test_unknown_attribute_rejected(self, vehicle_schema):
+        database = OODatabase(vehicle_schema)
+        with pytest.raises(SchemaError):
+            database.create("Division", name="d0", budget=1, bogus=2)
+
+    def test_atomic_domain_checked(self, vehicle_schema):
+        database = OODatabase(vehicle_schema)
+        with pytest.raises(SchemaError):
+            database.create("Division", name=42, budget=1)
+
+    def test_scalar_for_multi_valued_rejected(self, vehicle_db):
+        vehicle = next(vehicle_db.extent("Vehicle")).oid
+        with pytest.raises(SchemaError):
+            vehicle_db.create("Person", name="X", age=1, owns=vehicle)
+
+    def test_collection_for_single_valued_rejected(self, vehicle_db):
+        company = next(vehicle_db.extent("Company")).oid
+        with pytest.raises(SchemaError):
+            vehicle_db.create(
+                "Vehicle", vid=1, color="c", max_speed=1, man=[company]
+            )
+
+    def test_dangling_forward_reference_rejected(self, vehicle_schema):
+        database = OODatabase(vehicle_schema)
+        with pytest.raises(SchemaError, match="dangling"):
+            database.create(
+                "Vehicle", vid=1, color="c", max_speed=1, man=OID("Company", 99)
+            )
+
+    def test_reference_must_match_domain_hierarchy(self, vehicle_db):
+        division = next(vehicle_db.extent("Division")).oid
+        with pytest.raises(SchemaError):
+            vehicle_db.create(
+                "Vehicle", vid=9, color="c", max_speed=1, man=division
+            )
+
+    def test_subclass_reference_accepted(self, vehicle_db):
+        bus = next(vehicle_db.extent("Bus")).oid
+        person = vehicle_db.create("Person", name="Y", age=2, owns=[bus])
+        assert vehicle_db.get(person).value_list("owns") == [bus]
+
+    def test_inherited_attributes_required(self, vehicle_db):
+        company = next(vehicle_db.extent("Company")).oid
+        with pytest.raises(SchemaError, match="missing"):
+            vehicle_db.create("Bus", height=3, seats=10, man=company)
+
+
+class TestLookupAndExtents:
+    def test_extent_counts(self, vehicle_db):
+        assert vehicle_db.extent_size("Vehicle") == 3
+        assert vehicle_db.extent_size("Bus") == 2
+        assert vehicle_db.extent_size("Truck") == 1
+
+    def test_hierarchy_extent(self, vehicle_db):
+        oids = [i.oid for i in vehicle_db.hierarchy_extent("Vehicle")]
+        assert len(oids) == 6
+        assert {oid.class_name for oid in oids} == {"Vehicle", "Bus", "Truck"}
+
+    def test_get_missing_raises(self, vehicle_db):
+        with pytest.raises(SchemaError):
+            vehicle_db.get(OID("Person", 999))
+
+    def test_total_objects(self, vehicle_db):
+        assert vehicle_db.total_objects() == 6 + 3 + 6 + 4  # div+comp+veh+per
+
+    def test_value_list_wraps_scalars(self, vehicle_db):
+        vehicle = next(vehicle_db.extent("Vehicle"))
+        assert isinstance(vehicle.value_list("man"), list)
+
+
+class TestDeletionAndParents:
+    def test_delete_removes_from_extent(self, vehicle_db):
+        person = next(vehicle_db.extent("Person")).oid
+        vehicle_db.delete(person)
+        assert not vehicle_db.contains(person)
+
+    def test_delete_missing_raises(self, vehicle_db):
+        with pytest.raises(SchemaError):
+            vehicle_db.delete(OID("Person", 999))
+
+    def test_parents_of_tracks_references(self, vehicle_db):
+        vehicle = next(vehicle_db.extent("Vehicle")).oid
+        parents = vehicle_db.parents_of(vehicle, "owns")
+        assert all(p.class_name == "Person" for p in parents)
+        assert len(parents) == 1
+
+    def test_parents_of_all_attributes(self, vehicle_db):
+        company = next(vehicle_db.extent("Company")).oid
+        assert vehicle_db.parents_of(company) == vehicle_db.parents_of(company, "man")
+
+    def test_delete_unregisters_outgoing_references(self, vehicle_db):
+        person = next(vehicle_db.extent("Person"))
+        owned = [v for v in person.value_list("owns")]
+        vehicle_db.delete(person.oid)
+        for vehicle in owned:
+            assert person.oid not in vehicle_db.parents_of(vehicle, "owns")
+
+    def test_parents_reflect_multiple_referrers(self, vehicle_db):
+        bus = next(vehicle_db.extent("Bus")).oid
+        extra = vehicle_db.create("Person", name="Z", age=3, owns=[bus])
+        assert extra in vehicle_db.parents_of(bus, "owns")
+
+
+class TestStatisticsHelpers:
+    def test_distinct_values(self, vehicle_db):
+        # Figure 2: vehicles reference Renault and Fiat (2 distinct).
+        assert vehicle_db.distinct_values("Vehicle", "man") == 2
+
+    def test_average_fanout_single_valued(self, vehicle_db):
+        assert vehicle_db.average_fanout("Vehicle", "man") == 1.0
+
+    def test_average_fanout_multi_valued(self, vehicle_db):
+        assert vehicle_db.average_fanout("Company", "divisions") == 2.0
+
+    def test_average_fanout_empty_extent(self, vehicle_schema):
+        database = OODatabase(vehicle_schema)
+        assert database.average_fanout("Person", "owns") == 0.0

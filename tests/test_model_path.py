@@ -1,0 +1,155 @@
+"""Tests for repro.model.path (Definition 2.1 and subpath machinery)."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.model.attribute import AtomicType
+from repro.model.path import Path
+from repro.model.schema import Schema, atomic, reference
+
+
+class TestPexaPath:
+    def test_length_is_class_count(self, pexa):
+        assert pexa.length == 4
+
+    def test_classes_along_path(self, pexa):
+        assert pexa.classes == ("Person", "Vehicle", "Company", "Division")
+
+    def test_scope_includes_subclasses(self, pexa):
+        assert set(pexa.scope) == {
+            "Person",
+            "Vehicle",
+            "Bus",
+            "Truck",
+            "Company",
+            "Division",
+        }
+
+    def test_example_2_1_scope(self, pe):
+        # Ex 2.1: len(Pe) = 3, class(Pe) = (Per, Veh, Comp),
+        # scope(Pe) = (Per, Veh, Bus, Truck, Comp).
+        assert pe.length == 3
+        assert pe.classes == ("Person", "Vehicle", "Company")
+        assert set(pe.scope) == {"Person", "Vehicle", "Bus", "Truck", "Company"}
+
+    def test_ending_attribute(self, pexa):
+        assert pexa.ending_attribute == "name"
+
+    def test_class_at_is_one_based(self, pexa):
+        assert pexa.class_at(1) == "Person"
+        assert pexa.class_at(4) == "Division"
+
+    def test_attribute_at(self, pexa):
+        assert pexa.attribute_at(1) == "owns"
+        assert pexa.attribute_at(4) == "name"
+
+    def test_position_bounds_checked(self, pexa):
+        with pytest.raises(PathError):
+            pexa.class_at(0)
+        with pytest.raises(PathError):
+            pexa.class_at(5)
+
+    def test_hierarchy_at(self, pexa):
+        assert pexa.hierarchy_at(2) == ["Vehicle", "Bus", "Truck"]
+        assert pexa.hierarchy_size_at(2) == 3
+
+    def test_domain_class_after(self, pexa):
+        assert pexa.domain_class_after(1) == "Vehicle"
+        assert pexa.domain_class_after(4) is None  # atomic ending attribute
+
+    def test_str_round_trips_through_parse(self, pexa, vehicle_schema):
+        assert str(Path.parse(vehicle_schema, str(pexa))) == str(pexa)
+
+
+class TestPathValidation:
+    def test_unknown_starting_class(self, vehicle_schema):
+        with pytest.raises(PathError):
+            Path.parse(vehicle_schema, "Nope.owns")
+
+    def test_unknown_attribute(self, vehicle_schema):
+        with pytest.raises(PathError):
+            Path.parse(vehicle_schema, "Person.nothing")
+
+    def test_atomic_attribute_must_be_last(self, vehicle_schema):
+        with pytest.raises(PathError):
+            Path.parse(vehicle_schema, "Person.name.owns")
+
+    def test_too_short_expression(self, vehicle_schema):
+        with pytest.raises(PathError):
+            Path.parse(vehicle_schema, "Person")
+
+    def test_empty_attribute_list(self, vehicle_schema):
+        with pytest.raises(PathError):
+            Path(schema=vehicle_schema, starting_class="Person", attribute_names=())
+
+    def test_repeated_class_rejected(self):
+        schema = Schema()
+        schema.define(
+            "A",
+            [reference("b", "B"), atomic("x", AtomicType.STRING)],
+        )
+        schema.define(
+            "B",
+            [reference("a", "A"), atomic("y", AtomicType.STRING)],
+        )
+        schema.freeze()
+        # A.b.a would revisit class A (Definition 2.1 forbids repetition).
+        with pytest.raises(PathError):
+            Path.parse(schema, "A.b.a.x")
+
+    def test_unfrozen_schema_rejected(self):
+        schema = Schema()
+        schema.define("A", [atomic("x", AtomicType.STRING)])
+        with pytest.raises(PathError):
+            Path(schema=schema, starting_class="A", attribute_names=("x",))
+
+    def test_inherited_attribute_usable_in_path(self, vehicle_schema):
+        # Bus inherits man from Vehicle.
+        path = Path.parse(vehicle_schema, "Bus.man.name")
+        assert path.classes == ("Bus", "Company")
+
+
+class TestSubpaths:
+    def test_subpath_bounds(self, pexa):
+        subpath = pexa.subpath(2, 3)
+        assert str(subpath) == "Vehicle.man.divisions"
+        assert subpath.length == 2
+
+    def test_subpath_full_is_same_expression(self, pexa):
+        assert str(pexa.subpath(1, 4)) == str(pexa)
+
+    def test_subpath_invalid_order(self, pexa):
+        with pytest.raises(PathError):
+            pexa.subpath(3, 2)
+
+    def test_subpath_count_formula(self, pexa):
+        # n(n+1)/2 for n = 4.
+        assert pexa.subpath_count() == 10
+        assert len(list(pexa.subpaths())) == 10
+
+    def test_subpaths_enumeration_order(self, pexa):
+        coordinates = [(s, e) for s, e, _ in pexa.subpaths()]
+        assert coordinates == [
+            (1, 1), (1, 2), (1, 3), (1, 4),
+            (2, 2), (2, 3), (2, 4),
+            (3, 3), (3, 4),
+            (4, 4),
+        ]
+
+    def test_single_class_subpath(self, pexa):
+        subpath = pexa.subpath(4, 4)
+        assert subpath.length == 1
+        assert subpath.starting_class == "Division"
+
+    def test_is_prefix_of(self, pexa):
+        assert pexa.subpath(1, 2).is_prefix_of(pexa)
+        assert not pexa.subpath(2, 3).is_prefix_of(pexa)
+
+    def test_overlaps(self, pexa, pe):
+        assert pexa.subpath(1, 2).overlaps(pexa)
+        assert pexa.overlaps(pe)  # share Person.owns and Vehicle.man
+        assert not pexa.subpath(3, 4).overlaps(pexa.subpath(1, 2))
+
+    def test_paths_are_hashable(self, pexa):
+        assert hash(pexa.subpath(1, 2)) == hash(pexa.subpath(1, 2))
+        assert len({pexa.subpath(1, 2), pexa.subpath(1, 2)}) == 1

@@ -1,0 +1,177 @@
+"""Tests for repro.model.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.attribute import AtomicType
+from repro.model.schema import ClassDef, Schema, atomic, reference
+
+
+def make_hierarchy_schema() -> Schema:
+    schema = Schema()
+    schema.define("Company", [atomic("name", AtomicType.STRING)])
+    schema.define("Vehicle", [reference("man", "Company")])
+    schema.define("Bus", [atomic("height", AtomicType.INTEGER)], superclass="Vehicle")
+    schema.define("Minibus", [atomic("seats", AtomicType.INTEGER)], superclass="Bus")
+    schema.define("Truck", [atomic("weight", AtomicType.INTEGER)], superclass="Vehicle")
+    return schema.freeze()
+
+
+class TestClassDef:
+    def test_declare_duplicate_attribute_rejected(self):
+        class_def = ClassDef("C")
+        class_def.declare(atomic("a", AtomicType.INTEGER))
+        with pytest.raises(SchemaError):
+            class_def.declare(atomic("a", AtomicType.STRING))
+
+    def test_mismatched_dict_key_rejected(self):
+        with pytest.raises(SchemaError):
+            ClassDef("C", attributes={"x": atomic("y", AtomicType.INTEGER)})
+
+    def test_invalid_class_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ClassDef("not a name")
+
+    def test_str_includes_superclass(self):
+        class_def = ClassDef("Bus", superclass="Vehicle")
+        assert "(Vehicle)" in str(class_def)
+
+
+class TestSchemaConstruction:
+    def test_duplicate_class_rejected(self):
+        schema = Schema()
+        schema.define("C")
+        with pytest.raises(SchemaError):
+            schema.define("C")
+
+    def test_unknown_superclass_rejected_at_freeze(self):
+        schema = Schema()
+        schema.define("Bus", superclass="Vehicle")
+        with pytest.raises(SchemaError):
+            schema.freeze()
+
+    def test_unknown_reference_domain_rejected_at_freeze(self):
+        schema = Schema()
+        schema.define("Person", [reference("owns", "Vehicle")])
+        with pytest.raises(SchemaError):
+            schema.freeze()
+
+    def test_inheritance_cycle_rejected(self):
+        schema = Schema()
+        schema.add_class(ClassDef("A", superclass="B"))
+        schema.add_class(ClassDef("B", superclass="A"))
+        with pytest.raises(SchemaError):
+            schema.freeze()
+
+    def test_redeclared_inherited_attribute_rejected(self):
+        schema = Schema()
+        schema.define("Vehicle", [atomic("color", AtomicType.STRING)])
+        schema.define("Bus", [atomic("color", AtomicType.STRING)], superclass="Vehicle")
+        with pytest.raises(SchemaError):
+            schema.freeze()
+
+    def test_add_after_freeze_rejected(self):
+        schema = Schema()
+        schema.define("C")
+        schema.freeze()
+        with pytest.raises(SchemaError):
+            schema.define("D")
+
+    def test_freeze_is_idempotent(self):
+        schema = Schema()
+        schema.define("C")
+        assert schema.freeze() is schema.freeze()
+
+    def test_hierarchy_queries_require_freeze(self):
+        schema = Schema()
+        schema.define("C")
+        with pytest.raises(SchemaError):
+            schema.hierarchy("C")
+
+
+class TestHierarchyQueries:
+    def test_direct_subclasses(self):
+        schema = make_hierarchy_schema()
+        assert schema.direct_subclasses("Vehicle") == ["Bus", "Truck"]
+
+    def test_hierarchy_is_transitive_with_root_first(self):
+        schema = make_hierarchy_schema()
+        hierarchy = schema.hierarchy("Vehicle")
+        assert hierarchy[0] == "Vehicle"
+        assert set(hierarchy) == {"Vehicle", "Bus", "Minibus", "Truck"}
+
+    def test_hierarchy_of_leaf_is_singleton(self):
+        schema = make_hierarchy_schema()
+        assert schema.hierarchy("Truck") == ["Truck"]
+
+    def test_hierarchy_size(self):
+        schema = make_hierarchy_schema()
+        assert schema.hierarchy_size("Vehicle") == 4
+        assert schema.hierarchy_size("Bus") == 2
+
+    def test_superclasses_chain(self):
+        schema = make_hierarchy_schema()
+        assert schema.superclasses("Minibus") == ["Bus", "Vehicle"]
+        assert schema.superclasses("Vehicle") == []
+
+    def test_root_of(self):
+        schema = make_hierarchy_schema()
+        assert schema.root_of("Minibus") == "Vehicle"
+        assert schema.root_of("Company") == "Company"
+
+    def test_is_subclass_of(self):
+        schema = make_hierarchy_schema()
+        assert schema.is_subclass_of("Minibus", "Vehicle")
+        assert schema.is_subclass_of("Vehicle", "Vehicle")
+        assert not schema.is_subclass_of("Vehicle", "Minibus")
+        assert not schema.is_subclass_of("Company", "Vehicle")
+
+
+class TestAttributeResolution:
+    def test_inherited_attribute_resolves(self):
+        schema = make_hierarchy_schema()
+        attribute = schema.resolve_attribute("Minibus", "man")
+        assert attribute.domain == "Company"
+
+    def test_own_attribute_resolves(self):
+        schema = make_hierarchy_schema()
+        assert schema.resolve_attribute("Bus", "height").name == "height"
+
+    def test_missing_attribute_raises(self):
+        schema = make_hierarchy_schema()
+        with pytest.raises(SchemaError):
+            schema.resolve_attribute("Company", "man")
+
+    def test_all_attributes_merges_chain(self):
+        schema = make_hierarchy_schema()
+        merged = schema.all_attributes("Minibus")
+        assert set(merged) == {"man", "height", "seats"}
+
+    def test_unknown_class_raises(self):
+        schema = make_hierarchy_schema()
+        with pytest.raises(SchemaError):
+            schema.get("Nope")
+
+
+class TestAggregationEdges:
+    def test_edges_listed(self):
+        schema = make_hierarchy_schema()
+        assert ("Vehicle", "man", "Company") in schema.aggregation_edges()
+
+    def test_len_iter_contains(self):
+        schema = make_hierarchy_schema()
+        assert len(schema) == 5
+        assert "Bus" in schema
+        assert {c.name for c in schema} == {
+            "Company",
+            "Vehicle",
+            "Bus",
+            "Minibus",
+            "Truck",
+        }
+
+    def test_describe_mentions_every_class(self):
+        schema = make_hierarchy_schema()
+        text = schema.describe()
+        for name in schema.class_names():
+            assert name in text

@@ -1,0 +1,89 @@
+"""Tests for the multi-path extension (Section 6)."""
+
+import pytest
+
+from repro.core.multipath import (
+    MultiPathResult,
+    PathWorkload,
+    optimize_multipath,
+)
+from repro.errors import OptimizerError
+from repro.paper import figure7_load, figure7_statistics, pe_path, pexa_path
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+
+def pe_workload(schema=None):
+    """Statistics and workload for the shorter path Pe (shares Per.owns.man)."""
+    from repro.costmodel.params import ClassStats, PathStatistics
+    from repro.paper import FIGURE7_ROWS
+
+    path = pe_path()
+    per_class = {
+        name: ClassStats(objects=n, distinct=d, fanout=nin)
+        for name, (n, d, nin, _) in FIGURE7_ROWS.items()
+        if name in path.scope
+    }
+    stats = PathStatistics(path, per_class)
+    load = LoadDistribution(
+        path,
+        {
+            name: LoadTriplet(*FIGURE7_ROWS[name][3])
+            for name in path.scope
+        },
+    )
+    return PathWorkload(stats=stats, load=load)
+
+
+def pexa_workload():
+    return PathWorkload(stats=figure7_statistics(), load=figure7_load())
+
+
+class TestSinglePath:
+    def test_degenerates_to_single_path_optimum(self):
+        workload = pexa_workload()
+        result = optimize_multipath([workload])
+        from repro.core.advisor import advise
+
+        single = advise(workload.stats, workload.load)
+        assert result.total_cost <= single.optimal.cost + 1e-6
+        assert result.exact
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(OptimizerError):
+            optimize_multipath([])
+
+
+class TestTwoOverlappingPaths:
+    def test_joint_cost_at_most_independent(self):
+        result = optimize_multipath([pexa_workload(), pe_workload()])
+        assert result.total_cost <= result.independent_cost + 1e-6
+        assert result.shared_savings >= 0.0
+
+    def test_configurations_cover_both_paths(self):
+        workloads = [pexa_workload(), pe_workload()]
+        result = optimize_multipath(workloads)
+        assert len(result.configurations) == 2
+        assert result.configurations[0].length == 4
+        assert result.configurations[1].length == 3
+
+    def test_render(self):
+        workloads = [pexa_workload(), pe_workload()]
+        result = optimize_multipath(workloads)
+        text = result.render(workloads)
+        assert "joint cost" in text
+        assert "Person.owns.man" in text
+
+    def test_sharing_reported_when_identical_subpath_chosen(self):
+        """Two identical paths must share everything."""
+        workloads = [pexa_workload(), pexa_workload()]
+        result = optimize_multipath(workloads)
+        assert result.shared_savings > 0.0
+        assert result.configurations[0].partition() == result.configurations[
+            1
+        ].partition()
+
+    def test_per_row_organizations_widens_search(self):
+        workloads = [pexa_workload(), pe_workload()]
+        narrow = optimize_multipath(workloads, per_row_organizations=1)
+        wide = optimize_multipath(workloads, per_row_organizations=2)
+        assert wide.total_cost <= narrow.total_cost + 1e-6

@@ -1,0 +1,177 @@
+"""Tests for Opt_Ind_Con: the Figure 6 walkthrough and B&B properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_matrix import CostMatrix
+from repro.core.dynprog import dynamic_program
+from repro.core.exhaustive import enumerate_partitions, exhaustive_search
+from repro.core.optimizer import optimize
+from repro.organizations import IndexOrganization
+
+MX = IndexOrganization.MX
+MIX = IndexOrganization.MIX
+NIX = IndexOrganization.NIX
+
+
+class TestFigure6Walkthrough:
+    """The branch-and-bound trace of Section 5, step by step."""
+
+    def test_optimal_configuration(self, fig6):
+        result = optimize(fig6)
+        assert result.configuration.partition() == ((1, 1), (2, 4))
+        assert result.configuration.assignments[0].organization is MX
+        assert result.configuration.assignments[1].organization is NIX
+        assert result.cost == 8.0
+
+    def test_candidates_in_paper_order(self, fig6):
+        result = optimize(fig6, keep_trace=True)
+        candidates = [line for line in result.trace if line.startswith("candidate")]
+        assert candidates[0].startswith("candidate {S[1,4]} cost 9")
+        assert candidates[1].startswith("candidate {S[1,3], S[4,4]} cost 12")
+        assert candidates[2].startswith("candidate {S[1,2], S[3,4]} cost 12")
+        assert candidates[3].startswith(
+            "candidate {S[1,2], S[3,3], S[4,4]} cost 12"
+        )
+        assert candidates[4].startswith("candidate {S[1,1], S[2,4]} cost 8")
+        assert candidates[5].startswith(
+            "candidate {S[1,1], S[2,2], S[3,4]} cost 13"
+        )
+
+    def test_paper_prune_points(self, fig6):
+        result = optimize(fig6, keep_trace=True)
+        prunes = [line for line in result.trace if line.startswith("prune")]
+        # "PC(S1,1) + PC(S2,3) = 8 >= 8": configurations with S1,1 + S2,3 cut.
+        assert any("S[2,3]" in line for line in prunes)
+        # "PC(S1,1) + PC(S2,2) + PC(S3,3) = 9 > 8": cut as well.
+        assert any("S[3,3]" in line for line in prunes)
+        assert result.pruned == 2
+
+    def test_evaluation_count(self, fig6):
+        result = optimize(fig6)
+        # 6 of the 8 recombinations are costed; 2 branches are pruned.
+        assert result.evaluated == 6
+        assert result.pruned == 2
+
+    def test_pc_min_evolution(self, fig6):
+        result = optimize(fig6, keep_trace=True)
+        bests = [line for line in result.trace if line.endswith("new best")]
+        assert len(bests) == 2  # 9 then 8
+        assert "cost 9" in bests[0]
+        assert "cost 8" in bests[1]
+
+    def test_render(self, fig6):
+        text = optimize(fig6).render()
+        assert "processing cost 8.00" in text
+        assert "6 configurations evaluated" in text
+
+
+def random_matrix(length: int, seed: int) -> CostMatrix:
+    rng = random.Random(seed)
+    values = {}
+    for start in range(1, length + 1):
+        for end in range(start, length + 1):
+            values[(start, end)] = {
+                MX: rng.uniform(1, 20),
+                MIX: rng.uniform(1, 20),
+                NIX: rng.uniform(1, 20),
+            }
+    return CostMatrix.from_values(length, values)
+
+
+class TestOptimalityProperties:
+    @given(
+        length=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bnb_matches_exhaustive_and_dp(self, length, seed):
+        matrix = random_matrix(length, seed)
+        bnb = optimize(matrix)
+        full = exhaustive_search(matrix)
+        dp = dynamic_program(matrix)
+        assert bnb.cost == pytest.approx(full.cost)
+        assert dp.cost == pytest.approx(full.cost)
+        # All three must produce valid partitions of the same cost; the
+        # partition itself may differ only under exact ties.
+        assert bnb.configuration.length == length
+
+    @given(
+        length=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bnb_never_evaluates_more_than_exhaustive(self, length, seed):
+        matrix = random_matrix(length, seed)
+        bnb = optimize(matrix)
+        assert bnb.evaluated <= 2 ** (length - 1)
+
+    @given(seed=st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=50, deadline=None)
+    def test_configuration_cost_equals_sum_of_entries(self, seed):
+        matrix = random_matrix(5, seed)
+        from repro.core.evaluation import configuration_cost
+
+        result = optimize(matrix)
+        assert configuration_cost(matrix, result.configuration) == pytest.approx(
+            result.cost
+        )
+
+    def test_single_class_path(self):
+        matrix = random_matrix(1, 7)
+        result = optimize(matrix)
+        assert result.configuration.partition() == ((1, 1),)
+        assert result.evaluated == 1
+        assert result.pruned == 0
+
+
+class TestExhaustive:
+    def test_partition_count_is_two_to_n_minus_one(self):
+        # Section 5: "the number of possible recombinations ... is 2^{n-1}".
+        for length in range(1, 9):
+            assert len(list(enumerate_partitions(length))) == 2 ** (length - 1)
+
+    def test_partitions_are_valid_covers(self):
+        for blocks in enumerate_partitions(5):
+            expected_start = 1
+            for start, end in blocks:
+                assert start == expected_start
+                assert end >= start
+                expected_start = end + 1
+            assert expected_start == 6
+
+    def test_partitions_unique(self):
+        partitions = list(enumerate_partitions(6))
+        assert len(set(partitions)) == len(partitions)
+
+    def test_invalid_length_rejected(self):
+        from repro.errors import OptimizerError
+
+        with pytest.raises(OptimizerError):
+            list(enumerate_partitions(0))
+
+    def test_keep_all_returns_every_configuration(self, fig6):
+        result = exhaustive_search(fig6, keep_all=True)
+        assert len(result.all_costs) == 8
+        assert result.evaluated == 8
+        costs = sorted(cost for _, cost in result.all_costs)
+        assert costs[0] == result.cost == 8.0
+
+
+class TestDynamicProgram:
+    def test_figure6_optimum(self, fig6):
+        result = dynamic_program(fig6)
+        assert result.cost == 8.0
+        assert result.configuration.partition() == ((1, 1), (2, 4))
+
+    def test_rows_inspected_is_quadratic(self, fig6):
+        result = dynamic_program(fig6)
+        assert result.rows_inspected == 10  # n(n+1)/2 for n=4
+
+    def test_dp_on_longer_path_is_cheap(self):
+        matrix = random_matrix(8, 3)
+        result = dynamic_program(matrix)
+        assert result.rows_inspected == 36

@@ -1,0 +1,117 @@
+"""Tests for repro.paper (figure data) and repro.model.examples."""
+
+import pytest
+
+from repro.model.examples import populate_vehicle_database
+from repro.paper import (
+    EX51_EXPECTED,
+    FIGURE7_ROWS,
+    build_vehicle_schema,
+    figure6_matrix,
+    figure7_load,
+    figure7_statistics,
+    pe_path,
+    pexa_path,
+)
+
+
+class TestVehicleSchema:
+    def test_inheritance_hierarchy(self):
+        schema = build_vehicle_schema()
+        assert schema.direct_subclasses("Vehicle") == ["Bus", "Truck"]
+
+    def test_aggregation_edges(self):
+        schema = build_vehicle_schema()
+        edges = set(schema.aggregation_edges())
+        assert ("Person", "owns", "Vehicle") in edges
+        assert ("Vehicle", "man", "Company") in edges
+        assert ("Company", "divisions", "Division") in edges
+
+    def test_paths_parse(self):
+        assert str(pe_path()) == "Person.owns.man.name"
+        assert str(pexa_path()) == "Person.owns.man.divisions.name"
+
+
+class TestFigure2Database:
+    def test_mix_example_entries(self, vehicle_db):
+        """Section 2.2's MIX entries: man values per company."""
+        by_name = {
+            c.values["name"]: c.oid for c in vehicle_db.extent("Company")
+        }
+        referencing = {
+            name: vehicle_db.parents_of(oid, "man") for name, oid in by_name.items()
+        }
+        assert len(referencing["Renault"]) == 2  # Vehicle[i], Vehicle[j]
+        assert len(referencing["Fiat"]) == 3  # Vehicle[k], Bus[i], Truck[i]
+        assert len(referencing["Daf"]) == 1  # Bus[j]
+
+    def test_owns_entries(self, vehicle_db):
+        persons = list(vehicle_db.extent("Person"))
+        owned = [v for p in persons for v in p.value_list("owns")]
+        assert len(owned) == 5
+        assert len({str(v) for v in owned}) == 5
+
+    def test_every_company_has_two_divisions(self, vehicle_db):
+        for company in vehicle_db.extent("Company"):
+            assert len(company.value_list("divisions")) == 2
+
+
+class TestFigure7:
+    def test_rows_cover_scope(self):
+        assert set(FIGURE7_ROWS) == set(pexa_path().scope)
+
+    def test_statistics_verbatim(self):
+        stats = figure7_statistics()
+        assert stats.n(1, "Person") == 200_000
+        assert stats.d(1, "Person") == 20_000
+        assert stats.nin(2, "Vehicle") == 3
+        assert stats.n(4, "Division") == 1_000
+
+    def test_load_verbatim(self):
+        load = figure7_load()
+        assert load.triplet("Person").query == pytest.approx(0.3)
+        assert load.triplet("Vehicle").delete == pytest.approx(0.05)
+        assert load.triplet("Truck").insert == pytest.approx(0.1)
+        assert load.triplet("Division").query == pytest.approx(0.2)
+
+    def test_expected_constants(self):
+        assert EX51_EXPECTED["optimal_cost"] == pytest.approx(16.03)
+        assert EX51_EXPECTED["whole_path_nix_cost"] == pytest.approx(42.84)
+        assert EX51_EXPECTED["total_configurations"] == 8
+
+
+class TestFigure6:
+    def test_matrix_dimensions(self):
+        matrix = figure6_matrix()
+        assert matrix.length == 4
+        assert matrix.entry_count() == 30
+
+    def test_legible_rows_verbatim(self):
+        from repro.organizations import IndexOrganization
+
+        matrix = figure6_matrix()
+        # "C1.A1: 3 4 6", "C2.A2: 4 4 4", "C3.A3: 2 3 4" from the scan.
+        assert [
+            matrix.cost(1, 1, org)
+            for org in (
+                IndexOrganization.MX,
+                IndexOrganization.MIX,
+                IndexOrganization.NIX,
+            )
+        ] == [3.0, 4.0, 6.0]
+        assert [
+            matrix.cost(2, 2, org)
+            for org in (
+                IndexOrganization.MX,
+                IndexOrganization.MIX,
+                IndexOrganization.NIX,
+            )
+        ] == [4.0, 4.0, 4.0]
+        assert [
+            matrix.cost(3, 3, org)
+            for org in (
+                IndexOrganization.MX,
+                IndexOrganization.MIX,
+                IndexOrganization.NIX,
+            )
+        ] == [2.0, 3.0, 4.0]

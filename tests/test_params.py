@@ -1,0 +1,185 @@
+"""Tests for repro.costmodel.params (Table 2 statistics)."""
+
+import pytest
+
+from repro.costmodel.params import ClassStats, CostModelConfig, PathStatistics
+from repro.errors import CostModelError
+from repro.storage.sizes import SizeModel
+
+
+class TestClassStats:
+    def test_k_formula(self):
+        # k = n * nin / d (Table 2).
+        stats = ClassStats(objects=10_000, distinct=5_000, fanout=3)
+        assert stats.k == pytest.approx(6.0)
+
+    def test_k_single_valued(self):
+        assert ClassStats(objects=200_000, distinct=20_000, fanout=1).k == 10.0
+
+    def test_zero_distinct_only_for_empty_class(self):
+        assert ClassStats(objects=0, distinct=0).k == 0.0
+        with pytest.raises(CostModelError):
+            ClassStats(objects=10, distinct=0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CostModelError):
+            ClassStats(objects=-1, distinct=1)
+        with pytest.raises(CostModelError):
+            ClassStats(objects=1, distinct=-1)
+        with pytest.raises(CostModelError):
+            ClassStats(objects=1, distinct=1, fanout=-1)
+
+    def test_distinct_cannot_exceed_incidences(self):
+        with pytest.raises(CostModelError):
+            ClassStats(objects=10, distinct=100, fanout=2)
+
+
+class TestFigure7Statistics(object):
+    """The Figure 7 numbers exercised through PathStatistics."""
+
+    def test_members_per_position(self, fig7_stats):
+        assert fig7_stats.members(1) == ("Person",)
+        assert fig7_stats.members(2) == ("Vehicle", "Bus", "Truck")
+        assert fig7_stats.nc(2) == 3
+
+    def test_k_values(self, fig7_stats):
+        assert fig7_stats.k(1, "Person") == pytest.approx(10.0)
+        assert fig7_stats.k(2, "Vehicle") == pytest.approx(6.0)
+        assert fig7_stats.k(2, "Bus") == pytest.approx(4.0)
+        assert fig7_stats.k(3, "Company") == pytest.approx(4.0)
+        assert fig7_stats.k(4, "Division") == pytest.approx(1.0)
+
+    def test_sum_k(self, fig7_stats):
+        assert fig7_stats.sum_k(2) == pytest.approx(14.0)
+
+    def test_total_objects(self, fig7_stats):
+        assert fig7_stats.total_objects(2) == 20_000
+
+    def test_par_is_previous_level_fanin(self, fig7_stats):
+        # par_{l} = Σ_j k_{l-1,j}.
+        assert fig7_stats.par(2) == pytest.approx(10.0)
+        assert fig7_stats.par(3) == pytest.approx(14.0)
+        assert fig7_stats.par(1) == 0.0
+
+    def test_mean_fanout_weighted(self, fig7_stats):
+        # (10000*3 + 5000*2 + 5000*2) / 20000 = 2.5
+        assert fig7_stats.mean_fanout(2) == pytest.approx(2.5)
+
+    def test_distinct_union_capped_by_next_population(self, fig7_stats):
+        # Level 2 distinct union: 5000+2500+2500 = 10000, but only 1000
+        # companies exist.
+        assert fig7_stats.distinct_union(2) == pytest.approx(1_000)
+
+    def test_distinct_union_at_ending_level(self, fig7_stats):
+        assert fig7_stats.distinct_union(4) == pytest.approx(1_000)
+
+    def test_unknown_class_raises(self, fig7_stats):
+        with pytest.raises(CostModelError):
+            fig7_stats.n(1, "Vehicle")
+        with pytest.raises(CostModelError):
+            fig7_stats.stats_of("Nope")
+
+    def test_missing_scope_class_rejected(self, pexa):
+        with pytest.raises(CostModelError):
+            PathStatistics(pexa, {"Person": ClassStats(10, 5)})
+
+    def test_describe_mentions_classes(self, fig7_stats):
+        text = fig7_stats.describe()
+        for name in ("Person", "Vehicle", "Bus", "Truck", "Company", "Division"):
+            assert name in text
+
+
+class TestDerivedChains:
+    def test_ninbar_at_own_level(self, fig7_stats):
+        # nin-bar at the ending level is the class's own fanout.
+        assert fig7_stats.ninbar(4, "Division", 4) == pytest.approx(1.0)
+
+    def test_ninbar_chains_mean_fanouts(self, fig7_stats):
+        # Person -> Vehicle level (mean 2.5): 1 * 2.5
+        assert fig7_stats.ninbar(1, "Person", 2) == pytest.approx(2.5)
+        # ... -> divisions (4) -> name (1): 1 * 2.5 * 4 * 1 = 10.
+        assert fig7_stats.ninbar(1, "Person", 4) == pytest.approx(10.0)
+
+    def test_ninbar_capped_by_distinct_values(self, pexa):
+        per_class = {
+            "Person": ClassStats(1000, 10, 50),
+            "Vehicle": ClassStats(100, 10, 50),
+            "Bus": ClassStats(0, 0, 0),
+            "Truck": ClassStats(0, 0, 0),
+            "Company": ClassStats(50, 10, 50),
+            "Division": ClassStats(10, 5, 1),
+        }
+        stats = PathStatistics(pexa, per_class)
+        # Chain would be 50*50*50 but only 5 distinct names exist.
+        assert stats.ninbar(1, "Person", 4) == pytest.approx(5.0)
+
+    def test_ninbar_position_bounds(self, fig7_stats):
+        with pytest.raises(CostModelError):
+            fig7_stats.ninbar(3, "Company", 2)
+
+    def test_probe_keys_chain(self, fig7_stats):
+        # Probing level 3 from the ending attribute: sum_k(4) = 1.
+        assert fig7_stats.probe_keys(3, 4) == pytest.approx(1.0)
+        # Level 2: sum_k(3) * sum_k(4) = 4.
+        assert fig7_stats.probe_keys(2, 4) == pytest.approx(4.0)
+        # Level 1: 14 * 4 * 1 = 56.
+        assert fig7_stats.probe_keys(1, 4) == pytest.approx(56.0)
+
+    def test_probe_keys_scales_with_probes(self, fig7_stats):
+        assert fig7_stats.probe_keys(2, 4, probes=2.0) == pytest.approx(8.0)
+
+    def test_noid_multiplies_k(self, fig7_stats):
+        # noid at Person for the full path: k_Per * 56 = 560.
+        assert fig7_stats.noid(1, "Person", 4) == pytest.approx(560.0)
+
+    def test_noid_clamped_by_population(self, fig7_stats):
+        assert fig7_stats.noid(4, "Division", 4, probes=10_000) <= 1_000
+
+    def test_noid_hierarchy_sums_members(self, fig7_stats):
+        total = sum(
+            fig7_stats.noid(2, name, 4) for name in fig7_stats.members(2)
+        )
+        assert fig7_stats.noid_hierarchy(2, 4) == pytest.approx(total)
+
+    def test_clamping_can_be_disabled(self, pexa):
+        from repro.paper import FIGURE7_ROWS
+
+        per_class = {
+            name: ClassStats(objects=n, distinct=d, fanout=nin)
+            for name, (n, d, nin, _l) in FIGURE7_ROWS.items()
+        }
+        config = CostModelConfig(clamp_cardinalities=False)
+        stats = PathStatistics(pexa, per_class, config=config)
+        assert stats.probe_keys(1, 4) == pytest.approx(56.0)
+
+
+class TestOccupiedMembers:
+    def test_single_member_hierarchy(self, fig7_stats):
+        assert fig7_stats.occupied_members(3, 5.0) == pytest.approx(1.0)
+
+    def test_zero_values(self, fig7_stats):
+        assert fig7_stats.occupied_members(2, 0.0) == 0.0
+
+    def test_bounded_by_member_count_and_values(self, fig7_stats):
+        assert fig7_stats.occupied_members(2, 100.0) <= 3.0
+        assert fig7_stats.occupied_members(2, 0.5) <= 0.5
+
+    def test_grows_with_values(self, fig7_stats):
+        small = fig7_stats.occupied_members(2, 1.0)
+        large = fig7_stats.occupied_members(2, 10.0)
+        assert large > small
+
+
+class TestCostModelConfig:
+    def test_with_sizes_copies(self):
+        config = CostModelConfig()
+        other = config.with_sizes(SizeModel(page_size=8192))
+        assert other.sizes.page_size == 8192
+        assert config.sizes.page_size == 4096
+
+    def test_subpath_positions_validated(self, fig7_stats):
+        assert list(fig7_stats.subpath_positions(2, 3)) == [2, 3]
+        with pytest.raises(CostModelError):
+            fig7_stats.subpath_positions(0, 3)
+        with pytest.raises(CostModelError):
+            fig7_stats.subpath_positions(3, 9)

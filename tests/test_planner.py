@@ -1,0 +1,89 @@
+"""Tests for the EXPLAIN-style planner."""
+
+import pytest
+
+from repro.core.configuration import IndexConfiguration
+from repro.core.evaluation import per_class_analytic_costs
+from repro.core.planner import explain_query, explain_update
+from repro.errors import OptimizerError
+from repro.organizations import IndexOrganization
+
+MX = IndexOrganization.MX
+NIX = IndexOrganization.NIX
+
+SPLIT = IndexConfiguration.of((1, 2, NIX), (3, 4, MX))
+WHOLE = IndexConfiguration.whole_path(4, NIX)
+
+
+class TestQueryPlans:
+    def test_one_step_per_relevant_subpath(self, fig7_stats):
+        plan = explain_query(fig7_stats, SPLIT, "Person")
+        assert len(plan.steps) == 2  # probe tail subpath, retrieve prefix
+        assert plan.steps[0].action == "probe"
+        assert plan.steps[-1].action == "retrieve"
+
+    def test_target_in_last_subpath_is_single_step(self, fig7_stats):
+        plan = explain_query(fig7_stats, SPLIT, "Division")
+        assert len(plan.steps) == 1
+        assert plan.steps[0].action == "retrieve"
+
+    def test_totals_match_per_class_costs(self, fig7_stats):
+        costs = per_class_analytic_costs(fig7_stats, SPLIT)
+        for position, member in [(1, "Person"), (2, "Bus"), (4, "Division")]:
+            plan = explain_query(fig7_stats, SPLIT, member)
+            assert plan.estimated_pages == pytest.approx(
+                costs[(position, member)]["query"], rel=0.35
+            )
+
+    def test_whole_path_single_lookup(self, fig7_stats):
+        plan = explain_query(fig7_stats, WHOLE, "Person")
+        assert len(plan.steps) == 1
+        assert "NIX" in plan.steps[0].structure
+
+    def test_range_plan(self, fig7_stats):
+        equality = explain_query(fig7_stats, SPLIT, "Person")
+        ranged = explain_query(
+            fig7_stats, SPLIT, "Person", range_selectivity=0.2
+        )
+        assert ranged.estimated_pages > equality.estimated_pages
+        assert "range" in ranged.operation
+
+    def test_unknown_class_rejected(self, fig7_stats):
+        with pytest.raises(OptimizerError):
+            explain_query(fig7_stats, SPLIT, "Nothing")
+
+    def test_render(self, fig7_stats):
+        text = explain_query(fig7_stats, SPLIT, "Person").render()
+        assert "plan: query" in text
+        assert "estimated total" in text
+        assert "MX(Company.divisions.name)" in text
+        assert "NIX(Person.owns.man)" in text
+
+
+class TestUpdatePlans:
+    def test_insert_single_step(self, fig7_stats):
+        plan = explain_update(fig7_stats, SPLIT, "Vehicle", "insert")
+        assert len(plan.steps) == 1
+        assert plan.estimated_pages > 0
+
+    def test_delete_on_boundary_adds_cmd_step(self, fig7_stats):
+        plan = explain_update(fig7_stats, SPLIT, "Company", "delete")
+        assert len(plan.steps) == 2
+        assert "CMD" in plan.steps[1].detail
+
+    def test_delete_inside_subpath_no_cmd(self, fig7_stats):
+        plan = explain_update(fig7_stats, SPLIT, "Vehicle", "delete")
+        assert len(plan.steps) == 1
+
+    def test_totals_match_per_class_costs(self, fig7_stats):
+        costs = per_class_analytic_costs(fig7_stats, SPLIT)
+        for member, position in [("Company", 3), ("Person", 1)]:
+            for kind in ("insert", "delete"):
+                plan = explain_update(fig7_stats, SPLIT, member, kind)
+                assert plan.estimated_pages == pytest.approx(
+                    costs[(position, member)][kind]
+                )
+
+    def test_unknown_kind_rejected(self, fig7_stats):
+        with pytest.raises(OptimizerError):
+            explain_update(fig7_stats, SPLIT, "Person", "upsert")

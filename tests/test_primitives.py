@@ -1,0 +1,145 @@
+"""Tests for the CRL/CML/CRT/CMT/CRR cost primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel.btree_shape import build_shape
+from repro.costmodel.primitives import cml, cmt, crl, crr, crt
+from repro.errors import CostModelError
+from repro.storage.sizes import SizeModel
+
+SIZES = SizeModel()
+
+SMALL = build_shape(10_000, 100, 16, SIZES)  # fits in page
+BIG = build_shape(1_000, 10_000, 16, SIZES)  # oversized (3 pages/record)
+
+
+class TestCRL:
+    def test_record_fits_costs_height(self):
+        assert crl(SMALL) == float(SMALL.height)
+
+    def test_oversized_costs_height_minus_one_plus_pr(self):
+        assert crl(BIG) == float(BIG.height - 1 + BIG.record_pages)
+
+    def test_oversized_with_explicit_pr(self):
+        assert crl(BIG, pr=1.5) == float(BIG.height - 1) + 1.5
+
+    def test_empty_index_costs_nothing(self):
+        empty = build_shape(0, 100, 16, SIZES)
+        assert crl(empty) == 0.0
+
+
+class TestCML:
+    def test_record_fits_costs_height_plus_rewrite(self):
+        assert cml(SMALL) == float(SMALL.height + 1)
+
+    def test_oversized_fetch_and_rewrite_modified_pages(self):
+        assert cml(BIG) == float(BIG.height - 1 + 2 * BIG.record_pages)
+
+    def test_explicit_pm(self):
+        assert cml(BIG, pm=2.0) == float(BIG.height - 1) + 4.0
+
+    def test_empty_index(self):
+        empty = build_shape(0, 100, 16, SIZES)
+        assert cml(empty) == 0.0
+
+
+class TestCRT:
+    def test_single_record_equals_crl(self):
+        assert crt(SMALL, 1) == pytest.approx(crl(SMALL))
+        assert crt(BIG, 1) == pytest.approx(crl(BIG))
+
+    def test_zero_records(self):
+        assert crt(SMALL, 0) == 0.0
+
+    def test_request_clamped_to_record_count(self):
+        assert crt(SMALL, 10**9) == crt(SMALL, SMALL.record_count)
+
+    def test_negative_request_rejected(self):
+        with pytest.raises(CostModelError):
+            crt(SMALL, -1)
+
+    def test_monotone_in_t(self):
+        values = [crt(SMALL, t) for t in [1, 10, 100, 1000, 10_000]]
+        assert values == sorted(values)
+
+    def test_oversized_adds_t_times_pr(self):
+        t = 10
+        structural = crt(BIG, t) - t * BIG.record_pages
+        assert structural > 0
+        assert crt(BIG, t, pr=1.0) == pytest.approx(structural + t)
+
+    def test_upper_bound_total_pages(self):
+        total_pages = sum(level.pages for level in SMALL.levels)
+        assert crt(SMALL, SMALL.record_count) <= total_pages + 1e-6
+
+
+class TestCMT:
+    def test_maintenance_exceeds_retrieval(self):
+        for t in [1, 5, 50]:
+            assert cmt(SMALL, t) > crt(SMALL, t)
+
+    def test_record_fits_adds_leaf_rewrite_pass(self):
+        t = 10
+        leaf = SMALL.levels[0]
+        from repro.costmodel.yao import npa
+
+        expected = crt(SMALL, t) + npa(t, leaf.records, leaf.pages)
+        assert cmt(SMALL, t) == pytest.approx(expected)
+
+    def test_oversized_fetches_and_rewrites(self):
+        t = 4
+        structural = crt(BIG, t) - t * BIG.record_pages
+        assert cmt(BIG, t) == pytest.approx(structural + 2 * t * BIG.record_pages)
+
+    def test_zero(self):
+        assert cmt(SMALL, 0) == 0.0
+
+
+class TestCRR:
+    def test_small_records_use_yao(self):
+        aux = build_shape(5_000, 60, 8, SIZES)
+        from repro.costmodel.yao import npa
+
+        leaf = aux.levels[0]
+        assert crr(aux, 10) == pytest.approx(npa(10, leaf.records, leaf.pages))
+
+    def test_oversized_records_pay_per_record(self):
+        aux = build_shape(100, 9_000, 8, SIZES)
+        assert crr(aux, 5) == 5 * aux.record_pages
+
+    def test_oversized_with_explicit_pm(self):
+        aux = build_shape(100, 9_000, 8, SIZES)
+        assert crr(aux, 5, pm=1.0) == 5.0
+
+    def test_zero_records(self):
+        aux = build_shape(5_000, 60, 8, SIZES)
+        assert crr(aux, 0) == 0.0
+
+    def test_empty_aux(self):
+        empty = build_shape(0, 60, 8, SIZES)
+        assert crr(empty, 3) == 0.0
+
+
+class TestCrossPrimitiveProperties:
+    @given(
+        count=st.integers(min_value=1, max_value=100_000),
+        length=st.integers(min_value=10, max_value=8_000),
+        t=st.floats(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_all_costs_finite_and_nonnegative(self, count, length, t):
+        shape = build_shape(count, length, 16, SIZES)
+        for value in (crl(shape), cml(shape), crt(shape, t), cmt(shape, t)):
+            assert value >= 0.0
+            assert value < float("inf")
+
+    @given(
+        count=st.integers(min_value=10, max_value=50_000),
+        t=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_cmt_at_least_crt(self, count, t):
+        shape = build_shape(count, 120, 16, SIZES)
+        assert cmt(shape, t) >= crt(shape, t)

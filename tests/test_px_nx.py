@@ -1,0 +1,272 @@
+"""Tests for the path index (PX) and nested index (NX) extensions."""
+
+import pytest
+
+from repro.core.configuration import IndexConfiguration
+from repro.core.cost_matrix import CostMatrix
+from repro.costmodel.nested_index import NXCostModel
+from repro.costmodel.path_index import PXCostModel
+from repro.costmodel.subpath import build_model
+from repro.indexes.base import IndexContext
+from repro.indexes.manager import ConfigurationIndexSet
+from repro.indexes.nested_index import NestedIndex
+from repro.indexes.path_index import PathIndex
+from repro.model.examples import populate_vehicle_database
+from repro.organizations import ALL_ORGANIZATIONS, IndexOrganization
+from repro.storage.heap import ClassExtent
+from repro.storage.pager import Pager
+from repro.storage.sizes import SizeModel
+
+PX = IndexOrganization.PX
+NX = IndexOrganization.NX
+NIX = IndexOrganization.NIX
+
+
+def make_context(vehicle_db, pexa, start=1, end=4):
+    sizes = SizeModel()
+    return IndexContext(
+        database=vehicle_db,
+        path=pexa,
+        start=start,
+        end=end,
+        pager=Pager(page_size=sizes.page_size),
+        sizes=sizes,
+    )
+
+
+def make_extents(context):
+    extents = {}
+    for class_name in context.path.scope:
+        extent = ClassExtent(
+            context.pager, context.sizes, class_name, context.sizes.object_size
+        )
+        for instance in context.database.extent(class_name):
+            extent.place(instance.oid)
+        extents[class_name] = extent
+    return extents
+
+
+class TestPXAnalytic:
+    def test_factory_builds_px(self, fig7_stats):
+        assert isinstance(build_model(fig7_stats, 1, 4, PX), PXCostModel)
+
+    def test_query_single_lookup(self, fig7_stats):
+        model = PXCostModel(fig7_stats, 1, 4)
+        cost = model.query_cost(1, "Person")
+        assert cost <= model.shape.height + model.shape.record_pages
+
+    def test_query_same_for_all_classes(self, fig7_stats):
+        model = PXCostModel(fig7_stats, 1, 4)
+        assert model.query_cost(1, "Person") == model.query_cost(4, "Division")
+
+    def test_maintenance_no_auxiliary_walk(self, fig7_stats):
+        """PX deletion of a deep-class object is cheaper than NIX's
+        auxiliary-index walk for the same statistics."""
+        px = PXCostModel(fig7_stats, 1, 4)
+        nix = build_model(fig7_stats, 1, 4, NIX)
+        assert px.delete_cost(3, "Company") < nix.delete_cost(3, "Company")
+
+    def test_records_wider_than_nested_index(self, fig7_stats):
+        """PX tuples (span × oid each) are wider than NX's bare root lists."""
+        px = PXCostModel(fig7_stats, 1, 4)
+        nx = NXCostModel(fig7_stats, 1, 4)
+        assert px.shape.record_length > nx.shape.record_length
+
+    def test_cmd_positive(self, fig7_stats):
+        assert PXCostModel(fig7_stats, 1, 2).cmd_cost() > 0
+
+    def test_storage_positive(self, fig7_stats):
+        assert PXCostModel(fig7_stats, 1, 4).storage_pages() > 0
+
+
+class TestNXAnalytic:
+    def test_factory_builds_nx(self, fig7_stats):
+        assert isinstance(build_model(fig7_stats, 1, 4, NX), NXCostModel)
+
+    def test_root_query_cheapest_of_all(self, fig7_stats):
+        """For starting-class queries the NX is at least as cheap as every
+        other organization (narrowest records, one lookup)."""
+        nx = NXCostModel(fig7_stats, 1, 4)
+        for organization in (IndexOrganization.MX, IndexOrganization.MIX, NIX, PX):
+            other = build_model(fig7_stats, 1, 4, organization)
+            assert nx.query_cost(1, "Person") <= other.query_cost(1, "Person") + 1e-9
+
+    def test_intermediate_query_needs_scans(self, fig7_stats):
+        nx = NXCostModel(fig7_stats, 1, 4)
+        assert nx.query_cost(2, "Vehicle") > 20 * nx.query_cost(1, "Person")
+
+    def test_intermediate_delete_pays_revalidation(self, fig7_stats):
+        nx = NXCostModel(fig7_stats, 1, 4)
+        root_only = NXCostModel(fig7_stats, 1, 4).delete_cost(1, "Person")
+        assert nx.delete_cost(3, "Company") > 0
+        # Revalidation makes the intermediate delete cost exceed the pure
+        # record maintenance of the same class.
+        from repro.costmodel.primitives import cmt
+
+        base = cmt(nx.shape, fig7_stats.ninbar(3, "Company", 4))
+        assert nx.delete_cost(3, "Company") > base
+
+    def test_single_class_subpath_degenerates_to_six(self, fig7_stats):
+        from repro.costmodel.mx import MXCostModel
+
+        nx = NXCostModel(fig7_stats, 1, 1)
+        mx = MXCostModel(fig7_stats, 1, 1)
+        assert nx.query_cost(1, "Person") == pytest.approx(
+            mx.query_cost(1, "Person"), rel=0.1
+        )
+
+
+class TestPXOperational:
+    def test_lookup_all_classes(self, vehicle_db, pexa):
+        px = PathIndex(make_context(vehicle_db, pexa))
+        assert len(px.lookup("Fiat-movings", "Person")) == 3
+        assert len(px.lookup("Fiat-movings", "Company")) == 1
+        assert len(px.lookup("Fiat-movings", "Bus")) == 1
+
+    def test_maximal_instantiations_only(self, vehicle_db, pexa):
+        px = PathIndex(make_context(vehicle_db, pexa))
+        record = px._tree.get("Fiat-movings")
+        heads = {inst[0].class_name for inst in record}
+        # Bus[j] (Daf) is not here; all Fiat chains start at Persons.
+        assert heads == {"Person"}
+
+    def test_unreferenced_middle_object_heads_partial_chain(
+        self, vehicle_db, pexa
+    ):
+        px = PathIndex(make_context(vehicle_db, pexa))
+        record = px._tree.get("Daf-cabs")
+        heads = {inst[0].class_name for inst in record}
+        # Bus[j] is manufactured by Daf but owned by nobody: it heads a
+        # partial instantiation.
+        assert "Bus" in heads
+
+    def test_insert_demotes_child_head(self, vehicle_db, pexa):
+        px = PathIndex(make_context(vehicle_db, pexa))
+        bus_j = next(
+            b
+            for b in vehicle_db.extent("Bus")
+            if not vehicle_db.parents_of(b.oid, "owns")
+        )
+        oid = vehicle_db.create("Person", name="New", age=20, owns=[bus_j.oid])
+        px.on_insert(vehicle_db.get(oid))
+        px.check_consistency()
+        record = px._tree.get("Daf-cabs")
+        heads = {inst[0] for inst in record}
+        assert bus_j.oid not in heads
+        assert oid in heads
+
+    def test_delete_reinserts_orphan_suffix(self, vehicle_db, pexa):
+        px = PathIndex(make_context(vehicle_db, pexa))
+        # Henk owns Truck[i] (Fiat). Deleting Henk orphans the truck chain.
+        henk = next(
+            p for p in vehicle_db.extent("Person") if p.values["name"] == "Henk"
+        )
+        px.on_delete(henk)
+        vehicle_db.delete(henk.oid)
+        px.check_consistency()
+        record = px._tree.get("Fiat-movings")
+        heads = {inst[0].class_name for inst in record}
+        assert "Truck" in heads  # the orphaned suffix survives
+
+    def test_delete_middle_object(self, vehicle_db, pexa):
+        px = PathIndex(make_context(vehicle_db, pexa))
+        fiat = next(
+            c for c in vehicle_db.extent("Company") if c.values["name"] == "Fiat"
+        )
+        px.on_delete(fiat)
+        vehicle_db.delete(fiat.oid)
+        px.check_consistency()
+        assert px.lookup("Fiat-movings", "Person") == set()
+        assert len(px.lookup("Fiat-movings", "Division")) == 1
+
+    def test_remove_key(self, vehicle_db, pexa):
+        px = PathIndex(make_context(vehicle_db, pexa, 1, 2))
+        fiat = next(
+            c.oid for c in vehicle_db.extent("Company")
+            if c.values["name"] == "Fiat"
+        )
+        assert px.remove_key(fiat) is True
+        assert px.remove_key(fiat) is False
+
+
+class TestNXOperational:
+    def test_root_lookup(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa)
+        nx = NestedIndex(context, make_extents(context))
+        persons = nx.lookup("Fiat-movings", "Person")
+        names = {vehicle_db.get(o).values["name"] for o in persons}
+        assert names == {"Piet", "Sonia", "Henk"}
+
+    def test_intermediate_lookup_falls_back_to_scan(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa)
+        nx = NestedIndex(context, make_extents(context))
+        before = context.pager.stats()
+        companies = nx.lookup("Fiat-movings", "Company")
+        delta = context.pager.stats() - before
+        assert len(companies) == 1
+        assert delta.reads >= 2  # extent scans charged
+
+    def test_path_counts_multiplicity(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa)
+        nx = NestedIndex(context, make_extents(context))
+        record = nx._tree.get("Fiat-movings")
+        piet = next(
+            p for p in vehicle_db.extent("Person") if p.values["name"] == "Piet"
+        )
+        # Piet reaches Fiat-movings through exactly one path (via Bus[i]).
+        assert record[piet.oid] == 1
+
+    def test_delete_middle_decrements_roots(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa)
+        nx = NestedIndex(context, make_extents(context))
+        fiat = next(
+            c for c in vehicle_db.extent("Company") if c.values["name"] == "Fiat"
+        )
+        nx.on_delete(fiat)
+        vehicle_db.delete(fiat.oid)
+        nx.check_consistency()
+        assert nx.lookup("Fiat-movings", "Person") == set()
+
+    def test_delete_root(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa)
+        nx = NestedIndex(context, make_extents(context))
+        piet = next(
+            p for p in vehicle_db.extent("Person") if p.values["name"] == "Piet"
+        )
+        nx.on_delete(piet)
+        vehicle_db.delete(piet.oid)
+        nx.check_consistency()
+        assert piet.oid not in nx.lookup("Fiat-movings", "Person")
+
+    def test_reverse_walk_charges_heap_fetches(self, vehicle_db, pexa):
+        context = make_context(vehicle_db, pexa)
+        nx = NestedIndex(context, make_extents(context))
+        fiat = next(
+            c for c in vehicle_db.extent("Company") if c.values["name"] == "Fiat"
+        )
+        before = context.pager.stats()
+        nx.on_delete(fiat)
+        delta = context.pager.stats() - before
+        vehicle_db.delete(fiat.oid)
+        assert delta.reads > 0  # parent fetches during the reverse walk
+
+
+class TestExtendedMatrix:
+    def test_all_organizations_matrix(self, fig7_stats, fig7_load):
+        matrix = CostMatrix.compute(
+            fig7_stats, fig7_load, organizations=ALL_ORGANIZATIONS
+        )
+        assert set(matrix.organizations) == set(ALL_ORGANIZATIONS)
+        # NX must never win a row whose subpath spans multiple classes with
+        # intermediate query load (Figure 7 has α > 0 on Vehicle).
+        assert matrix.min_cost(1, 4).organization is not NX
+
+    def test_manager_supports_px_nx(self, vehicle_schema, pexa):
+        for organization in (PX, NX):
+            database = populate_vehicle_database(vehicle_schema)
+            indexes = ConfigurationIndexSet(
+                database, pexa, IndexConfiguration.whole_path(4, organization)
+            )
+            indexes.check_consistency()
+            result = indexes.query("Fiat-movings", "Person")
+            assert len(result) == 3

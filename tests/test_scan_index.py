@@ -1,0 +1,66 @@
+"""Tests for the operational no-index (scan) evaluation."""
+
+import pytest
+
+from repro.core.configuration import IndexConfiguration
+from repro.indexes.manager import ConfigurationIndexSet
+from repro.model.examples import populate_vehicle_database
+from repro.organizations import IndexOrganization
+
+NIX = IndexOrganization.NIX
+NONE = IndexOrganization.NONE
+
+
+def build(vehicle_schema, pexa, config):
+    database = populate_vehicle_database(vehicle_schema)
+    return ConfigurationIndexSet(database, pexa, config)
+
+
+class TestScanIndex:
+    def test_scan_answers_match_indexed(self, vehicle_schema, pexa):
+        scanned = build(vehicle_schema, pexa, IndexConfiguration.whole_path(4, NONE))
+        indexed = build(vehicle_schema, pexa, IndexConfiguration.whole_path(4, NIX))
+        for target in ("Person", "Vehicle", "Bus", "Company", "Division"):
+            assert {
+                (o.class_name, o.serial)
+                for o in scanned.query("Fiat-movings", target)
+            } == {
+                (o.class_name, o.serial)
+                for o in indexed.query("Fiat-movings", target)
+            }
+
+    def test_scan_charges_extent_pages(self, vehicle_schema, pexa):
+        indexes = build(
+            vehicle_schema, pexa, IndexConfiguration.whole_path(4, NONE)
+        )
+        with indexes.pager.measure() as measurement:
+            indexes.query("Fiat-movings", "Person")
+        assert measurement.result.reads >= 1
+
+    def test_scan_maintenance_free(self, vehicle_schema, pexa):
+        indexes = build(
+            vehicle_schema, pexa, IndexConfiguration.whole_path(4, NONE)
+        )
+        vehicle = next(indexes.database.extent("Vehicle")).oid
+        with indexes.pager.measure() as measurement:
+            indexes.insert("Person", name="S", age=1, owns=[vehicle])
+        # Only the heap placement (no page traffic in our model).
+        assert measurement.result.total == 0
+
+    def test_mixed_scan_and_index_configuration(self, vehicle_schema, pexa):
+        config = IndexConfiguration.of((1, 2, NIX), (3, 4, NONE))
+        indexes = build(vehicle_schema, pexa, config)
+        result = indexes.query("Fiat-movings", "Person")
+        names = {indexes.database.get(oid).values["name"] for oid in result}
+        assert names == {"Piet", "Sonia", "Henk"}
+        indexes.check_consistency()
+
+    def test_scan_respects_subclass_flag(self, vehicle_schema, pexa):
+        indexes = build(
+            vehicle_schema, pexa, IndexConfiguration.whole_path(4, NONE)
+        )
+        with_subs = indexes.query(
+            "Fiat-movings", "Vehicle", include_subclasses=True
+        )
+        without = indexes.query("Fiat-movings", "Vehicle")
+        assert len(with_subs) > len(without)

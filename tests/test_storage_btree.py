@@ -1,0 +1,286 @@
+"""Tests for the operational B+-tree, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.btree import BPlusTree
+from repro.storage.pager import Pager
+from repro.storage.sizes import SizeModel
+
+SMALL = SizeModel(page_size=256, atomic_key_size=16, record_header_size=8)
+
+
+def make_tree(page_size: int = 256) -> BPlusTree:
+    sizes = SizeModel(page_size=page_size, atomic_key_size=16)
+    pager = Pager(page_size=page_size)
+    return BPlusTree(pager, sizes, atomic_keys=True, name="t")
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        tree = make_tree()
+        assert tree.height == 1
+        assert tree.record_count == 0
+        assert tree.search("missing") is None
+
+    def test_insert_and_search(self):
+        tree = make_tree()
+        tree.insert("k", {"v": 1}, 20)
+        assert tree.search("k") == {"v": 1}
+        assert tree.record_count == 1
+
+    def test_duplicate_insert_rejected(self):
+        tree = make_tree()
+        tree.insert("k", 1, 20)
+        with pytest.raises(StorageError):
+            tree.insert("k", 2, 20)
+
+    def test_update_replaces_value(self):
+        tree = make_tree()
+        tree.insert("k", 1, 20)
+        tree.update("k", 2, 30)
+        assert tree.search("k") == 2
+
+    def test_update_missing_rejected(self):
+        tree = make_tree()
+        with pytest.raises(StorageError):
+            tree.update("k", 1, 20)
+
+    def test_upsert(self):
+        tree = make_tree()
+        tree.upsert("k", 1, 20)
+        tree.upsert("k", 2, 20)
+        assert tree.search("k") == 2
+        assert tree.record_count == 1
+
+    def test_delete_returns_value(self):
+        tree = make_tree()
+        tree.insert("k", 7, 20)
+        assert tree.delete("k") == 7
+        assert tree.search("k") is None
+
+    def test_delete_missing_rejected(self):
+        tree = make_tree()
+        with pytest.raises(StorageError):
+            tree.delete("k")
+
+    def test_zero_size_record_rejected(self):
+        tree = make_tree()
+        with pytest.raises(StorageError):
+            tree.insert("k", 1, 0)
+
+    def test_items_in_key_order(self):
+        tree = make_tree()
+        for key in ["d", "a", "c", "b"]:
+            tree.insert(key, key.upper(), 20)
+        assert [k for k, _ in tree.items()] == ["a", "b", "c", "d"]
+
+
+class TestGrowthAndShrink:
+    def test_splits_grow_height(self):
+        tree = make_tree(page_size=256)
+        for i in range(200):
+            tree.insert(f"key{i:04d}", i, 40)
+        assert tree.height >= 2
+        tree.check_invariants()
+        assert tree.record_count == 200
+        for i in range(0, 200, 17):
+            assert tree.search(f"key{i:04d}") == i
+
+    def test_range_scan(self):
+        tree = make_tree()
+        for i in range(100):
+            tree.insert(f"{i:03d}", i, 30)
+        result = tree.range_scan("010", "020")
+        assert [value for _, value in result] == list(range(10, 21))
+
+    def test_range_scan_empty_range(self):
+        tree = make_tree()
+        for i in range(10):
+            tree.insert(f"{i:03d}", i, 30)
+        assert tree.range_scan("900", "999") == []
+
+    def test_deletes_shrink_to_empty(self):
+        tree = make_tree(page_size=256)
+        keys = [f"key{i:04d}" for i in range(150)]
+        for i, key in enumerate(keys):
+            tree.insert(key, i, 40)
+        for key in keys:
+            tree.delete(key)
+        assert tree.record_count == 0
+        assert list(tree.items()) == []
+        tree.check_invariants()
+
+    def test_leaf_page_count_tracks_chain(self):
+        tree = make_tree(page_size=256)
+        for i in range(120):
+            tree.insert(f"key{i:04d}", i, 40)
+        # The chain must contain every leaf reachable from the root.
+        tree.check_invariants()
+        assert tree.leaf_page_count() >= 120 * 40 // 256
+
+
+class TestOversizedRecords:
+    def test_oversized_record_round_trip(self):
+        tree = make_tree(page_size=256)
+        tree.insert("big", list(range(100)), 2000)
+        assert tree.search("big") == list(range(100))
+
+    def test_oversized_record_charges_overflow_pages(self):
+        sizes = SizeModel(page_size=256, atomic_key_size=16)
+        pager = Pager(page_size=256)
+        tree = BPlusTree(pager, sizes, atomic_keys=True)
+        tree.insert("big", "x", 1024)  # 4 overflow pages
+        before = pager.stats()
+        tree.search("big")
+        delta = pager.stats() - before
+        assert delta.reads == tree.height - 1 + 4 + 1  # descent + stub leaf math
+        # Partial retrieval reads fewer pages.
+        before = pager.stats()
+        tree.search("big", partial_pages=1)
+        partial = pager.stats() - before
+        assert partial.reads < delta.reads
+
+    def test_oversized_then_shrunk_record_frees_overflow(self):
+        sizes = SizeModel(page_size=256, atomic_key_size=16)
+        pager = Pager(page_size=256)
+        tree = BPlusTree(pager, sizes, atomic_keys=True)
+        tree.insert("big", "x", 1024)
+        live_before = pager.live_pages
+        tree.update("big", "y", 20)
+        assert pager.live_pages < live_before
+
+    def test_delete_frees_overflow_pages(self):
+        sizes = SizeModel(page_size=256, atomic_key_size=16)
+        pager = Pager(page_size=256)
+        tree = BPlusTree(pager, sizes, atomic_keys=True)
+        baseline = pager.live_pages
+        tree.insert("big", "x", 5000)
+        tree.delete("big")
+        assert pager.live_pages == baseline
+
+
+class TestDirectAccess:
+    def test_search_direct_charges_no_descent(self):
+        sizes = SizeModel(page_size=4096)
+        pager = Pager(page_size=4096)
+        tree = BPlusTree(pager, sizes, atomic_keys=True)
+        for i in range(500):
+            tree.insert(f"key{i:04d}", i, 60)
+        before = pager.stats()
+        assert tree.search_direct("key0100") == 100
+        delta = pager.stats() - before
+        assert delta.reads == 1  # just the leaf page
+
+    def test_search_direct_missing_returns_none(self):
+        tree = make_tree()
+        assert tree.search_direct("missing") is None
+
+    def test_update_direct_rewrites_without_descent_reads(self):
+        sizes = SizeModel(page_size=4096)
+        pager = Pager(page_size=4096)
+        tree = BPlusTree(pager, sizes, atomic_keys=True)
+        for i in range(100):
+            tree.insert(f"key{i:04d}", i, 60)
+        before = pager.stats()
+        tree.update_direct("key0050", -50, 60)
+        delta = pager.stats() - before
+        assert delta.reads == 0
+        assert delta.writes == 1
+        assert tree.get("key0050") == -50
+
+    def test_update_direct_missing_rejected(self):
+        tree = make_tree()
+        with pytest.raises(StorageError):
+            tree.update_direct("missing", 1, 20)
+
+
+class TestAccessCounting:
+    def test_search_costs_height_reads(self):
+        sizes = SizeModel(page_size=256, atomic_key_size=16)
+        pager = Pager(page_size=256)
+        tree = BPlusTree(pager, sizes, atomic_keys=True)
+        for i in range(200):
+            tree.insert(f"key{i:04d}", i, 40)
+        before = pager.stats()
+        tree.search("key0123")
+        delta = pager.stats() - before
+        assert delta.reads == tree.height
+
+    def test_insert_charges_descent_and_leaf_write(self):
+        sizes = SizeModel(page_size=4096)
+        pager = Pager(page_size=4096)
+        tree = BPlusTree(pager, sizes, atomic_keys=True)
+        tree.insert("a", 1, 60)
+        before = pager.stats()
+        tree.insert("b", 2, 60)
+        delta = pager.stats() - before
+        assert delta == type(delta)(reads=1, writes=1)
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "update"]),
+        st.integers(min_value=0, max_value=60),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_btree_matches_dict_model(ops):
+    """The tree behaves exactly like a sorted dict under random workloads."""
+    tree = make_tree(page_size=256)
+    model: dict[str, int] = {}
+    for action, number in ops:
+        key = f"k{number:03d}"
+        if action == "insert" and key not in model:
+            tree.insert(key, number, 30 + number)
+            model[key] = number
+        elif action == "delete" and key in model:
+            tree.delete(key)
+            del model[key]
+        elif action == "update" and key in model:
+            tree.update(key, number + 1000, 30 + number)
+            model[key] = number + 1000
+    assert dict(tree.items()) == model
+    assert tree.record_count == len(model)
+    tree.check_invariants()
+
+
+@given(
+    keys=st.sets(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=300),
+    sizes_choice=st.sampled_from([20, 40, 80, 300]),
+)
+@settings(max_examples=40, deadline=None)
+def test_btree_bulk_insert_sorted_iteration(keys, sizes_choice):
+    """All inserted keys come back in sorted order, at uniform leaf depth."""
+    tree = make_tree(page_size=256)
+    for key in keys:
+        tree.insert(key, key, sizes_choice)
+    assert [k for k, _ in tree.items()] == sorted(keys)
+    tree.check_invariants()
+
+
+@given(keys=st.sets(st.integers(min_value=0, max_value=500), min_size=2, max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_btree_range_scan_matches_filter(keys):
+    tree = make_tree(page_size=256)
+    for key in keys:
+        tree.insert(key, -key, 30)
+    ordered = sorted(keys)
+    low, high = ordered[0], ordered[-1]
+    middle_low = ordered[len(ordered) // 3]
+    middle_high = ordered[2 * len(ordered) // 3]
+    expected = [k for k in ordered if middle_low <= k <= middle_high]
+    result = [k for k, _ in tree.range_scan(middle_low, middle_high)]
+    assert result == expected
+    assert [k for k, _ in tree.range_scan(low, high)] == ordered

@@ -1,0 +1,98 @@
+"""Tests for repro.storage.heap (class extents)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.model.objects import OID
+from repro.storage.heap import ClassExtent
+from repro.storage.pager import Pager
+from repro.storage.sizes import SizeModel
+
+
+def make_extent(object_size: int = 100, page_size: int = 4096):
+    sizes = SizeModel(page_size=page_size)
+    pager = Pager(page_size=page_size)
+    return pager, ClassExtent(pager, sizes, "C", object_size)
+
+
+class TestPlacement:
+    def test_objects_pack_into_pages(self):
+        pager, extent = make_extent(object_size=100, page_size=4096)
+        # 100 + 16 overhead = 116 bytes -> 35 per page.
+        assert extent.objects_per_page == 35
+        for i in range(70):
+            extent.place(OID("C", i))
+        assert extent.page_count() == 2
+
+    def test_double_placement_rejected(self):
+        _, extent = make_extent()
+        extent.place(OID("C", 1))
+        with pytest.raises(StorageError):
+            extent.place(OID("C", 1))
+
+    def test_remove_frees_emptied_page(self):
+        pager, extent = make_extent(object_size=4000)
+        for i in range(3):
+            extent.place(OID("C", i))
+        pages_before = extent.page_count()
+        extent.remove(OID("C", 0))
+        assert extent.page_count() == pages_before - 1
+
+    def test_remove_unplaced_rejected(self):
+        _, extent = make_extent()
+        with pytest.raises(StorageError):
+            extent.remove(OID("C", 9))
+
+    def test_zero_object_size_rejected(self):
+        sizes = SizeModel()
+        pager = Pager()
+        with pytest.raises(StorageError):
+            ClassExtent(pager, sizes, "C", 0)
+
+
+class TestAccessCounting:
+    def test_fetch_charges_one_read(self):
+        pager, extent = make_extent()
+        oid = OID("C", 1)
+        extent.place(oid)
+        before = pager.stats()
+        extent.fetch(oid)
+        assert (pager.stats() - before).reads == 1
+
+    def test_fetch_unplaced_rejected(self):
+        _, extent = make_extent()
+        with pytest.raises(StorageError):
+            extent.fetch(OID("C", 5))
+
+    def test_fetch_many_counts_distinct_pages(self):
+        pager, extent = make_extent(object_size=100)
+        oids = [OID("C", i) for i in range(40)]
+        for oid in oids:
+            extent.place(oid)
+        before = pager.stats()
+        pages = extent.fetch_many(oids)
+        delta = pager.stats() - before
+        assert pages == delta.reads
+        assert pages == extent.page_count()
+
+    def test_fetch_many_with_unplaced_rejected(self):
+        _, extent = make_extent()
+        extent.place(OID("C", 0))
+        with pytest.raises(StorageError):
+            extent.fetch_many([OID("C", 0), OID("C", 9)])
+
+    def test_scan_reads_every_populated_page(self):
+        pager, extent = make_extent(object_size=2000)
+        for i in range(5):
+            extent.place(OID("C", i))
+        before = pager.stats()
+        pages = extent.scan()
+        assert pages == extent.page_count()
+        assert (pager.stats() - before).reads == pages
+
+    def test_object_count(self):
+        _, extent = make_extent()
+        for i in range(7):
+            extent.place(OID("C", i))
+        extent.remove(OID("C", 3))
+        assert extent.object_count() == 6

@@ -1,0 +1,98 @@
+"""Tests for repro.storage.pager."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.pager import AccessStats, Pager
+
+
+class TestAllocation:
+    def test_allocate_returns_distinct_ids(self, pager):
+        ids = pager.allocate_many(10)
+        assert len(set(ids)) == 10
+
+    def test_free_makes_page_inaccessible(self, pager):
+        page = pager.allocate()
+        pager.free(page)
+        with pytest.raises(StorageError):
+            pager.read(page)
+
+    def test_double_free_rejected(self, pager):
+        page = pager.allocate()
+        pager.free(page)
+        with pytest.raises(StorageError):
+            pager.free(page)
+
+    def test_negative_allocation_rejected(self, pager):
+        with pytest.raises(StorageError):
+            pager.allocate_many(-1)
+
+    def test_live_pages(self, pager):
+        pages = pager.allocate_many(5)
+        pager.free(pages[0])
+        assert pager.live_pages == 4
+
+    def test_zero_page_size_rejected(self):
+        with pytest.raises(StorageError):
+            Pager(page_size=0)
+
+
+class TestAccounting:
+    def test_read_write_counters(self, pager):
+        page = pager.allocate()
+        pager.read(page)
+        pager.read(page)
+        pager.write(page)
+        stats = pager.stats()
+        assert (stats.reads, stats.writes, stats.total) == (2, 1, 3)
+
+    def test_access_to_unallocated_page_rejected(self, pager):
+        with pytest.raises(StorageError):
+            pager.read(123)
+
+    def test_reset_zeroes_counters_keeps_pages(self, pager):
+        page = pager.allocate()
+        pager.read(page)
+        pager.reset()
+        assert pager.stats().total == 0
+        pager.read(page)  # still allocated
+
+    def test_stats_arithmetic(self):
+        a = AccessStats(reads=5, writes=2)
+        b = AccessStats(reads=1, writes=1)
+        assert (a - b) == AccessStats(reads=4, writes=1)
+        assert (a + b) == AccessStats(reads=6, writes=3)
+
+
+class TestMeasurement:
+    def test_measure_captures_delta(self, pager):
+        page = pager.allocate()
+        pager.read(page)
+        with pager.measure() as measurement:
+            pager.read(page)
+            pager.write(page)
+        assert measurement.result == AccessStats(reads=1, writes=1)
+
+    def test_buffered_measure_dedupes_reads(self, pager):
+        pages = pager.allocate_many(2)
+        with pager.measure(buffered=True) as measurement:
+            pager.read(pages[0])
+            pager.read(pages[0])
+            pager.read(pages[1])
+        assert measurement.result.reads == 2
+
+    def test_buffered_measure_does_not_dedupe_writes(self, pager):
+        page = pager.allocate()
+        with pager.measure(buffered=True) as measurement:
+            pager.write(page)
+            pager.write(page)
+        assert measurement.result.writes == 2
+
+    def test_nested_measurements_unsupported_state_is_restored(self, pager):
+        page = pager.allocate()
+        with pager.measure(buffered=True):
+            pager.read(page)
+        # After the block, reads count normally again.
+        pager.read(page)
+        pager.read(page)
+        assert pager.stats().reads == 3

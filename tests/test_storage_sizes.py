@@ -1,0 +1,70 @@
+"""Tests for repro.storage.sizes."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.sizes import SizeModel
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        SizeModel()
+
+    def test_zero_page_size_rejected(self):
+        with pytest.raises(StorageError):
+            SizeModel(page_size=0)
+
+    def test_negative_oid_size_rejected(self):
+        with pytest.raises(StorageError):
+            SizeModel(oid_size=-1)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(StorageError):
+            SizeModel(page_size=4096.5)  # type: ignore[arg-type]
+
+    def test_tiny_page_rejected(self):
+        with pytest.raises(StorageError):
+            SizeModel(page_size=16)
+
+
+class TestDerivedQuantities:
+    def test_key_size_for_atomic_and_oid(self):
+        sizes = SizeModel(atomic_key_size=16, oid_size=8)
+        assert sizes.key_size(atomic=True) == 16
+        assert sizes.key_size(atomic=False) == 8
+
+    def test_nonleaf_fanout(self):
+        sizes = SizeModel(page_size=4096, atomic_key_size=16, pointer_size=8)
+        assert sizes.nonleaf_fanout(atomic_key=True) == 4096 // 24
+        assert sizes.nonleaf_fanout(atomic_key=False) == 4096 // 16
+
+    def test_fanout_is_at_least_two(self):
+        sizes = SizeModel(page_size=80, atomic_key_size=48, pointer_size=24, oid_size=8)
+        assert sizes.nonleaf_fanout(atomic_key=True) == 2
+
+    def test_pages_for(self):
+        sizes = SizeModel(page_size=4096)
+        assert sizes.pages_for(0) == 0
+        assert sizes.pages_for(1) == 1
+        assert sizes.pages_for(4096) == 1
+        assert sizes.pages_for(4097) == 2
+        assert sizes.pages_for(3 * 4096) == 3
+
+    def test_records_per_page(self):
+        sizes = SizeModel(page_size=4096)
+        assert sizes.records_per_page(100) == 40
+        assert sizes.records_per_page(5000) == 1
+
+    def test_records_per_page_rejects_zero(self):
+        with pytest.raises(StorageError):
+            SizeModel().records_per_page(0)
+
+    def test_leaf_pages_small_records(self):
+        sizes = SizeModel(page_size=4096)
+        assert sizes.leaf_pages(400, 100) == pytest.approx(10.0)
+        assert sizes.leaf_pages(1, 100) == 1.0
+        assert sizes.leaf_pages(0, 100) == 0.0
+
+    def test_leaf_pages_oversized_records(self):
+        sizes = SizeModel(page_size=4096)
+        assert sizes.leaf_pages(10, 8192) == pytest.approx(20.0)

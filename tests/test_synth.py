@@ -1,0 +1,143 @@
+"""Tests for the synthetic schema/data generators and stats derivation."""
+
+import pytest
+
+from repro.costmodel.params import ClassStats
+from repro.errors import SchemaError
+from repro.synth import (
+    LevelSpec,
+    derive_path_statistics,
+    linear_path_schema,
+    populate_path_database,
+)
+
+
+class TestSchemaGeneration:
+    def test_linear_schema_shape(self):
+        schema, path = linear_path_schema(
+            [LevelSpec("X"), LevelSpec("Y", subclasses=2), LevelSpec("Z")]
+        )
+        assert path.length == 3
+        assert path.classes == ("X", "Y", "Z")
+        assert set(path.scope) == {"X", "Y", "YSub1", "YSub2", "Z"}
+
+    def test_attribute_names(self):
+        _, path = linear_path_schema([LevelSpec("X"), LevelSpec("Y")])
+        assert path.attribute_names == ("ref1", "label")
+
+    def test_multi_valued_marker(self):
+        schema, path = linear_path_schema(
+            [LevelSpec("X", multi_valued=True), LevelSpec("Y")]
+        )
+        assert path.attribute_def_at(1).multi_valued
+
+    def test_custom_ending_attribute(self):
+        _, path = linear_path_schema(
+            [LevelSpec("X"), LevelSpec("Y")], ending_attribute="title"
+        )
+        assert path.ending_attribute == "title"
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(SchemaError):
+            linear_path_schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            linear_path_schema([LevelSpec("X"), LevelSpec("X")])
+
+    def test_negative_subclasses_rejected(self):
+        with pytest.raises(SchemaError):
+            LevelSpec("X", subclasses=-1)
+
+
+class TestPopulation:
+    def test_population_counts(self, small_synth):
+        _schema, path, database, specs = small_synth
+        for name, spec in specs.items():
+            assert database.extent_size(name) == spec.objects
+
+    def test_distinct_targets_hit(self, small_synth):
+        _schema, path, database, specs = small_synth
+        assert database.distinct_values("A", "ref1") == specs["A"].distinct
+        assert database.distinct_values("C", "label") == specs["C"].distinct
+
+    def test_fanout_targets_hit(self, small_synth):
+        _schema, path, database, specs = small_synth
+        assert database.average_fanout("A", "ref1") == pytest.approx(
+            specs["A"].fanout, rel=0.01
+        )
+
+    def test_missing_spec_rejected(self):
+        schema, path = linear_path_schema([LevelSpec("X"), LevelSpec("Y")])
+        with pytest.raises(SchemaError):
+            populate_path_database(schema, path, {"X": ClassStats(10, 5)})
+
+    def test_references_point_to_next_level(self, small_synth):
+        _schema, path, database, _specs = small_synth
+        for instance in database.extent("A"):
+            for value in instance.value_list("ref1"):
+                assert value.class_name in {"B", "BSub1", "BSub2"}
+                assert database.contains(value)
+
+    def test_too_many_distinct_references_rejected(self):
+        schema, path = linear_path_schema([LevelSpec("X"), LevelSpec("Y")])
+        specs = {
+            "X": ClassStats(objects=10, distinct=8, fanout=1),
+            "Y": ClassStats(objects=4, distinct=4, fanout=1),
+        }
+        # X wants 8 distinct Y references but only 4 Y objects exist:
+        # the pool clamp reduces it, so this should succeed with d=4.
+        database = populate_path_database(schema, path, specs)
+        assert database.distinct_values("X", "ref1") <= 4
+
+    def test_deterministic_for_seed(self):
+        schema, path = linear_path_schema([LevelSpec("X"), LevelSpec("Y")])
+        specs = {
+            "X": ClassStats(objects=20, distinct=10, fanout=1),
+            "Y": ClassStats(objects=10, distinct=5, fanout=1),
+        }
+        first = populate_path_database(schema, path, specs, seed=3)
+        second = populate_path_database(schema, path, specs, seed=3)
+        values_first = [
+            i.values["ref1"] for i in first.extent("X")
+        ]
+        values_second = [
+            i.values["ref1"] for i in second.extent("X")
+        ]
+        assert values_first == values_second
+
+
+class TestStatsDerivation:
+    def test_derived_stats_match_specs(self, small_synth):
+        _schema, path, database, specs = small_synth
+        stats = derive_path_statistics(database, path)
+        for position in range(1, path.length + 1):
+            for member in path.hierarchy_at(position):
+                spec = specs[member]
+                assert stats.n(position, member) == spec.objects
+                assert stats.nin(position, member) == pytest.approx(
+                    spec.fanout, rel=0.01
+                )
+
+    def test_derived_stats_usable_by_advisor(self, small_synth):
+        from repro.core.advisor import advise
+        from repro.workload.load import LoadDistribution
+
+        _schema, path, database, _specs = small_synth
+        stats = derive_path_statistics(database, path)
+        load = LoadDistribution.uniform(path, query=0.3, insert=0.05, delete=0.05)
+        report = advise(stats, load)
+        assert report.optimal.cost > 0
+
+    def test_empty_class_stats(self):
+        schema, path = linear_path_schema(
+            [LevelSpec("X"), LevelSpec("Y", subclasses=1)]
+        )
+        specs = {
+            "X": ClassStats(objects=10, distinct=5, fanout=1),
+            "Y": ClassStats(objects=5, distinct=3, fanout=1),
+            "YSub1": ClassStats(objects=0, distinct=0, fanout=0),
+        }
+        database = populate_path_database(schema, path, specs)
+        stats = derive_path_statistics(database, path)
+        assert stats.n(2, "YSub1") == 0

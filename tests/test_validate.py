@@ -1,0 +1,91 @@
+"""Tests for the measured-vs-analytic validation harness."""
+
+import pytest
+
+from repro.core.configuration import IndexConfiguration
+from repro.organizations import IndexOrganization
+from repro.validate.compare import (
+    ValidationRow,
+    render_validation,
+    validate_configuration,
+)
+from tests.conftest import make_small_synth
+
+MX = IndexOrganization.MX
+MIX = IndexOrganization.MIX
+NIX = IndexOrganization.NIX
+
+
+class TestValidationRows:
+    def test_ratio(self):
+        row = ValidationRow("query", "A", analytic=2.0, measured=3.0, samples=5)
+        assert row.ratio == pytest.approx(1.5)
+
+    def test_zero_analytic_zero_measured(self):
+        row = ValidationRow("query", "A", analytic=0.0, measured=0.0, samples=5)
+        assert row.ratio == 1.0
+
+    def test_zero_analytic_nonzero_measured(self):
+        row = ValidationRow("query", "A", analytic=0.0, measured=2.0, samples=5)
+        assert row.ratio == float("inf")
+
+    def test_render(self):
+        text = render_validation(
+            [ValidationRow("query", "A", 2.0, 2.2, 5)]
+        )
+        assert "query" in text and "1.10" in text
+
+
+@pytest.mark.parametrize(
+    "configuration",
+    [
+        IndexConfiguration.whole_path(3, NIX),
+        IndexConfiguration.whole_path(3, MIX),
+        IndexConfiguration.of((1, 1, MX), (2, 3, NIX)),
+    ],
+    ids=lambda c: c.render(),
+)
+class TestQueryValidationAccuracy:
+    def test_query_predictions_within_factor_two(self, configuration):
+        _schema, path, database, _specs = make_small_synth(seed=5)
+        rows = validate_configuration(
+            database, path, configuration, samples=8, seed=11, include_updates=False
+        )
+        assert rows
+        for row in rows:
+            assert row.operation == "query"
+            assert row.measured > 0
+            assert row.analytic > 0
+            assert 0.4 <= row.ratio <= 2.5, f"{row.class_name}: {row.ratio}"
+
+
+class TestUpdateValidation:
+    def test_update_rows_produced_and_sane(self):
+        _schema, path, database, _specs = make_small_synth(seed=9)
+        rows = validate_configuration(
+            database,
+            path,
+            IndexConfiguration.whole_path(3, NIX),
+            samples=4,
+            seed=2,
+            include_updates=True,
+        )
+        operations = {row.operation for row in rows}
+        assert operations == {"query", "insert", "delete"}
+        for row in rows:
+            if row.operation in ("insert", "delete"):
+                assert 0.2 <= row.ratio <= 5.0, (
+                    f"{row.operation}/{row.class_name}: {row.ratio}"
+                )
+
+    def test_empty_database_rejected(self):
+        from repro.errors import ReproError
+        from repro.model.objects import OODatabase
+        from repro.synth import LevelSpec, linear_path_schema
+
+        schema, path = linear_path_schema([LevelSpec("X"), LevelSpec("Y")])
+        database = OODatabase(schema)
+        with pytest.raises(ReproError):
+            validate_configuration(
+                database, path, IndexConfiguration.whole_path(2, NIX)
+            )

@@ -1,0 +1,160 @@
+"""Tests for the workload model (Section 3.2)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+
+class TestLoadTriplet:
+    def test_total(self):
+        assert LoadTriplet(0.3, 0.1, 0.1).total == pytest.approx(0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            LoadTriplet(query=-0.1)
+        with pytest.raises(WorkloadError):
+            LoadTriplet(insert=-0.1)
+        with pytest.raises(WorkloadError):
+            LoadTriplet(delete=-0.1)
+
+    def test_scaled(self):
+        triplet = LoadTriplet(0.3, 0.1, 0.2).scaled(2.0)
+        assert (triplet.query, triplet.insert, triplet.delete) == (0.6, 0.2, 0.4)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            LoadTriplet(0.1, 0.1, 0.1).scaled(-1)
+
+    def test_with_query(self):
+        triplet = LoadTriplet(0.3, 0.1, 0.2).with_query(0.9)
+        assert triplet.query == 0.9
+        assert triplet.insert == 0.1
+
+
+class TestLoadDistribution:
+    def test_missing_classes_default_to_zero(self, pexa):
+        load = LoadDistribution(pexa, {"Person": LoadTriplet(0.5)})
+        assert load.triplet("Vehicle").total == 0.0
+
+    def test_class_outside_scope_rejected(self, pexa):
+        with pytest.raises(WorkloadError):
+            LoadDistribution(pexa, {"Nope": LoadTriplet(0.5)})
+
+    def test_triplet_lookup_outside_scope_rejected(self, pexa):
+        load = LoadDistribution.uniform(pexa)
+        with pytest.raises(WorkloadError):
+            load.triplet("Nope")
+
+    def test_uniform(self, pexa):
+        load = LoadDistribution.uniform(pexa, query=0.2, insert=0.1)
+        assert load.triplet("Bus").query == 0.2
+        assert load.triplet("Division").insert == 0.1
+
+    def test_total_frequency(self, pexa):
+        load = LoadDistribution.uniform(pexa, query=1.0)
+        assert load.total_frequency() == pytest.approx(len(pexa.scope))
+
+    def test_scaled(self, pexa):
+        load = LoadDistribution.uniform(pexa, query=1.0).scaled(0.5)
+        assert load.triplet("Person").query == 0.5
+
+    def test_items_in_scope_order(self, pexa):
+        load = LoadDistribution.uniform(pexa)
+        assert [name for name, _ in load.items()] == list(pexa.scope)
+
+    def test_describe(self, fig7_load):
+        text = fig7_load.describe()
+        assert "Person" in text and "0.3" in text
+
+
+class TestSubpathDerivation:
+    """Section 3.2: the subpath load derivation rule."""
+
+    def test_prefix_subpath_keeps_load(self, fig7_load):
+        derived = fig7_load.derived_for_subpath(1, 2)
+        assert derived["Person"].query == pytest.approx(0.3)
+        assert derived["Vehicle"].query == pytest.approx(0.3)
+        assert set(derived) == {"Person", "Vehicle", "Bus", "Truck"}
+
+    def test_non_prefix_subpath_accumulates_upstream_queries(self, fig7_load):
+        derived = fig7_load.derived_for_subpath(3, 4)
+        # Upstream queries: Person 0.3 + Vehicle 0.3 + Bus 0.05 + Truck 0.0.
+        assert derived["Company"].query == pytest.approx(0.1 + 0.65)
+        # Insert/delete frequencies are untouched.
+        assert derived["Company"].insert == pytest.approx(0.1)
+        assert derived["Company"].delete == pytest.approx(0.1)
+        assert derived["Division"].query == pytest.approx(0.2)
+
+    def test_upstream_mass_lands_on_root_member(self, fig7_load):
+        derived = fig7_load.derived_for_subpath(2, 4)
+        # Root member Vehicle gets Person's 0.3; Bus/Truck keep their own.
+        assert derived["Vehicle"].query == pytest.approx(0.3 + 0.3)
+        assert derived["Bus"].query == pytest.approx(0.05)
+        assert derived["Truck"].query == pytest.approx(0.0)
+
+    def test_subpath_scope_only(self, fig7_load):
+        derived = fig7_load.derived_for_subpath(4, 4)
+        assert set(derived) == {"Division"}
+
+    def test_invalid_bounds_rejected(self, fig7_load):
+        with pytest.raises(WorkloadError):
+            fig7_load.derived_for_subpath(0, 2)
+        with pytest.raises(WorkloadError):
+            fig7_load.derived_for_subpath(2, 9)
+
+    def test_query_mass_conservation(self, fig7_load):
+        """Derived query mass = upstream mass + own subpath mass."""
+        for start in range(1, 5):
+            for end in range(start, 5):
+                derived = fig7_load.derived_for_subpath(start, end)
+                derived_mass = sum(t.query for t in derived.values())
+                own = sum(
+                    fig7_load.triplet(member).query
+                    for position in range(start, end + 1)
+                    for member in fig7_load.path.hierarchy_at(position)
+                )
+                upstream = sum(
+                    fig7_load.triplet(member).query
+                    for position in range(1, start)
+                    for member in fig7_load.path.hierarchy_at(position)
+                )
+                assert derived_mass == pytest.approx(own + upstream)
+
+
+class TestWorkloadGenerator:
+    def test_deterministic_with_seed(self, pexa):
+        first = WorkloadGenerator(seed=42).mixed(pexa)
+        second = WorkloadGenerator(seed=42).mixed(pexa)
+        for name, triplet in first.items():
+            other = second.triplet(name)
+            assert triplet.query == pytest.approx(other.query)
+            assert triplet.insert == pytest.approx(other.insert)
+
+    def test_total_mass_respected(self, pexa):
+        load = WorkloadGenerator(seed=1).mixed(pexa, total=2.0)
+        assert load.total_frequency() == pytest.approx(2.0)
+
+    def test_query_only(self, pexa):
+        load = WorkloadGenerator(seed=1).query_only(pexa)
+        assert all(t.insert == 0 and t.delete == 0 for _, t in load.items())
+        assert load.total_frequency() > 0
+
+    def test_update_only(self, pexa):
+        load = WorkloadGenerator(seed=1).update_only(pexa)
+        assert all(t.query == 0 for _, t in load.items())
+
+    def test_invalid_weights_rejected(self, pexa):
+        generator = WorkloadGenerator()
+        with pytest.raises(WorkloadError):
+            generator.mixed(pexa, query_weight=-1)
+        with pytest.raises(WorkloadError):
+            generator.mixed(pexa, query_weight=0, update_weight=0)
+
+    def test_skewed_to_start(self, pexa):
+        load = WorkloadGenerator(seed=3).skewed_to_start(pexa)
+        start_queries = load.triplet("Person").query
+        for name, triplet in load.items():
+            if name != "Person":
+                assert triplet.query < start_queries

@@ -1,0 +1,113 @@
+"""Tests for Yao's formula, including the published reference behaviour."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel.yao import npa
+from repro.errors import CostModelError
+
+
+class TestDegenerateCases:
+    def test_zero_requests_cost_nothing(self):
+        assert npa(0, 100, 10) == 0.0
+
+    def test_zero_records(self):
+        assert npa(5, 0, 10) == 0.0
+
+    def test_zero_pages(self):
+        assert npa(5, 100, 0) == 0.0
+
+    def test_all_records_touch_all_pages(self):
+        assert npa(100, 100, 10) == 10.0
+
+    def test_more_requests_than_records_clamped(self):
+        assert npa(500, 100, 10) == 10.0
+
+    def test_one_record_per_page_costs_t(self):
+        assert npa(3, 10, 10) == 3.0
+        assert npa(3, 10, 20) == 3.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(CostModelError):
+            npa(-1, 10, 5)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(CostModelError):
+            npa(float("nan"), 10, 5)
+        with pytest.raises(CostModelError):
+            npa(1, float("inf"), 5)
+
+
+class TestKnownValues:
+    def test_single_record(self):
+        # npa(1, n, m) = 1 exactly: one record lives on one page.
+        assert npa(1, 1000, 100) == pytest.approx(1.0)
+
+    def test_half_records_leave_few_pages_untouched(self):
+        # With 10 records/page, fetching half the records leaves the
+        # probability of an untouched page tiny but positive.
+        value = npa(500, 1000, 100)
+        assert 99.0 < value < 100.0
+
+    def test_agrees_with_direct_product_formula(self):
+        n, m, t = 100, 10, 7
+        records_per_page = n / m
+        product = 1.0
+        for i in range(1, t + 1):
+            product *= (n - records_per_page - i + 1) / (n - i + 1)
+        assert npa(t, n, m) == pytest.approx(m * (1 - product))
+
+    def test_fractional_t_interpolates(self):
+        low = npa(3, 100, 10)
+        high = npa(4, 100, 10)
+        mid = npa(3.5, 100, 10)
+        assert mid == pytest.approx((low + high) / 2)
+
+    def test_large_t_falls_back_to_cardenas(self):
+        # 200k requested from 1M records: approximation must stay bounded.
+        value = npa(200_000, 1_000_000, 50_000)
+        assert 0 < value <= 50_000
+
+
+class TestProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=5_000),
+        m=st.integers(min_value=1, max_value=500),
+        t=st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bounds(self, n, m, t):
+        value = npa(t, n, m)
+        assert 0.0 <= value <= m
+        assert value <= min(t, n) + 1e-9 or value <= m
+
+    @given(
+        n=st.integers(min_value=10, max_value=2_000),
+        m=st.integers(min_value=2, max_value=100),
+        t=st.integers(min_value=1, max_value=400),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_t(self, n, m, t):
+        assert npa(t, n, m) <= npa(t + 1, n, m) + 1e-9
+
+    @given(
+        n=st.integers(min_value=10, max_value=2_000),
+        m=st.integers(min_value=2, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fetching_everything_touches_every_occupied_page(self, n, m):
+        # With fewer records than pages only `n` pages can be occupied.
+        assert npa(n, n, m) == pytest.approx(min(n, m))
+
+    @given(
+        n=st.integers(min_value=100, max_value=2_000),
+        m=st.integers(min_value=10, max_value=100),
+        t=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_at_most_t_pages(self, n, m, t):
+        # Fetching t records can never touch more than t pages.
+        assert npa(t, n, m) <= t + 1e-9
