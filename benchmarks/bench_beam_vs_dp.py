@@ -1,0 +1,109 @@
+"""Greedy beam search vs the exact dynamic program on long paths.
+
+The paper's regime stops at length ~7, where exhaustive recombination is
+trivial. At lengths 20–40 the ``2^(n-1)`` space explodes, the DP stays
+exact in O(n²) row lookups, and the beam trades a bounded optimality gap
+for an anytime frontier. This benchmark sweeps long synthetic paths and
+several beam widths and reports the cost ratio against the DP optimum —
+the gap must shrink as the width grows and stay within a small factor
+even at width 1 (pure greedy).
+"""
+
+import random
+
+from benchmarks.conftest import write_report
+from repro.core.cost_matrix import CostMatrix
+from repro.costmodel.params import ClassStats, PathStatistics
+from repro.reporting.tables import ascii_table, strategy_comparison_table
+from repro.search import get_strategy
+from repro.synth import LevelSpec, linear_path_schema
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+LENGTHS = [12, 20, 30]
+WIDTHS = [1, 4, 16]
+
+
+def make_matrix(length: int, seed: int) -> CostMatrix:
+    rng = random.Random(seed)
+    levels = [LevelSpec(f"L{i}", multi_valued=i % 3 == 0) for i in range(length)]
+    _schema, path = linear_path_schema(levels)
+    per_class = {}
+    objects = 80_000
+    for position in range(1, length + 1):
+        name = path.class_at(position)
+        distinct = max(10, objects // rng.randint(2, 10))
+        per_class[name] = ClassStats(
+            objects=objects, distinct=distinct, fanout=rng.choice([1, 1, 2])
+        )
+        objects = max(50, objects // rng.randint(2, 6))
+    stats = PathStatistics(path, per_class)
+    load = LoadDistribution(
+        path,
+        {
+            name: LoadTriplet(
+                query=rng.uniform(0, 0.4),
+                insert=rng.uniform(0, 0.1),
+                delete=rng.uniform(0, 0.1),
+            )
+            for name in path.scope
+        },
+    )
+    return CostMatrix.compute(stats, load)
+
+
+def sweep() -> tuple[list[list[object]], list[str]]:
+    dp = get_strategy("dynamic_program")
+    rows: list[list[object]] = []
+    examples: list[str] = []
+    for length in LENGTHS:
+        for width in WIDTHS:
+            beam = get_strategy("greedy_beam", width=width)
+            ratios = []
+            for seed in range(3):
+                matrix = make_matrix(length, seed)
+                exact = dp.search(matrix)
+                approx = beam.search(matrix)
+                assert approx.cost >= exact.cost - 1e-9
+                ratios.append(approx.cost / exact.cost)
+                if seed == 0 and width == WIDTHS[-1]:
+                    examples.append(
+                        strategy_comparison_table(
+                            [exact, approx],
+                            title=f"length {length}, width {width}, seed 0",
+                            reference_cost=exact.cost,
+                        )
+                    )
+            rows.append(
+                [
+                    length,
+                    width,
+                    f"{max(ratios):.4f}",
+                    f"{sum(ratios) / len(ratios):.4f}",
+                ]
+            )
+    return rows, examples
+
+
+def test_beam_tracks_dp_optimum(benchmark):
+    rows, examples = benchmark(sweep)
+
+    # Shape: the beam never beats the optimum (asserted inside the sweep)
+    # and never strays far at any width. Width-monotonicity is NOT
+    # asserted — beam search ranks its frontier by a lower bound, so a
+    # wider beam is not guaranteed no-worse on every input; the table
+    # reports the trend instead.
+    for row in rows:
+        assert float(row[2]) < 1.5
+    for length in LENGTHS:
+        widest_mean = [float(r[3]) for r in rows if r[0] == length][-1]
+        assert widest_mean < 1.2
+
+    report = ascii_table(
+        ["path length", "beam width", "worst cost ratio", "mean cost ratio"],
+        rows,
+        title=(
+            "Greedy beam search vs exact DP optimum\n"
+            "(3 random statistics/workloads per length; ratio = beam/DP)"
+        ),
+    )
+    write_report("beam_vs_dp", report + "\n\n" + "\n\n".join(examples))

@@ -11,9 +11,9 @@ import random
 
 from benchmarks.conftest import write_report
 from repro.core.cost_matrix import CostMatrix
-from repro.core.optimizer import optimize
 from repro.costmodel.params import ClassStats, PathStatistics
 from repro.reporting.tables import ascii_table
+from repro.search import get_strategy
 from repro.synth import LevelSpec, linear_path_schema
 from repro.workload.load import LoadDistribution, LoadTriplet
 
@@ -49,13 +49,14 @@ def make_matrix(length: int, seed: int) -> CostMatrix:
 
 
 def sweep() -> list[list[object]]:
+    bnb = get_strategy("branch_and_bound")
     rows = []
     for length in LENGTHS:
         evaluated = []
         pruned = []
         for seed in range(5):
             matrix = make_matrix(length, seed)
-            result = optimize(matrix)
+            result = bnb.search(matrix)
             evaluated.append(result.evaluated)
             pruned.append(result.pruned)
         exhaustive = 2 ** (length - 1)

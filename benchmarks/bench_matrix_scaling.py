@@ -3,13 +3,16 @@
 "Because in practice a path has rarely a length greater than 7 the
 complexity is determined by the expression 3 * O(n(n+1)/2) which is the
 size of the matrix." The benchmark measures Cost_Matrix computation time
-across path lengths and verifies the entry-count formula.
+across path lengths, verifies the entry-count formula, and times a
+dynamic-program search over the array-backed matrix (every ``min_cost``
+is an O(1) read of the precomputed row minima).
 """
 
 from benchmarks.conftest import write_report
 from repro.core.cost_matrix import CostMatrix
 from repro.costmodel.params import ClassStats, PathStatistics
 from repro.reporting.tables import ascii_table
+from repro.search import get_strategy
 from repro.synth import LevelSpec, linear_path_schema
 from repro.workload.load import LoadDistribution
 
@@ -37,6 +40,8 @@ def test_matrix_entry_count_and_time(benchmark):
 
     rows = []
 
+    dp = get_strategy("dynamic_program")
+
     def sweep():
         local_rows = []
         for length in LENGTHS:
@@ -46,14 +51,30 @@ def test_matrix_entry_count_and_time(benchmark):
             elapsed = (time.perf_counter() - started) * 1000
             expected_entries = 3 * length * (length + 1) // 2
             assert matrix.entry_count() == expected_entries
+            started = time.perf_counter()
+            result = dp.search(matrix)
+            search_elapsed = (time.perf_counter() - started) * 1000
+            assert result.extras["rows_inspected"] == matrix.row_count()
             local_rows.append(
-                [length, matrix.row_count(), expected_entries, f"{elapsed:.1f}"]
+                [
+                    length,
+                    matrix.row_count(),
+                    expected_entries,
+                    f"{elapsed:.1f}",
+                    f"{search_elapsed:.2f}",
+                ]
             )
         return local_rows
 
     rows = benchmark(sweep)
     report = ascii_table(
-        ["path length", "rows n(n+1)/2", "entries 3*n(n+1)/2", "compute ms"],
+        [
+            "path length",
+            "rows n(n+1)/2",
+            "entries 3*n(n+1)/2",
+            "compute ms",
+            "dp search ms",
+        ],
         rows,
         title="Cost_Matrix size and computation time (Section 5 complexity claim)",
     )

@@ -17,7 +17,7 @@ Quickstart::
     print(report.render())
 """
 
-from repro.core.advisor import AdvisorReport, advise
+from repro.core.advisor import DEFAULT_STRATEGY, AdvisorReport, advise
 from repro.core.budget import BudgetedResult, optimize_with_budget
 from repro.core.configuration import IndexConfiguration, IndexedSubpath
 from repro.core.cost_matrix import CostMatrix
@@ -33,6 +33,12 @@ from repro.model.objects import OID, OODatabase, ObjectInstance
 from repro.model.path import Path
 from repro.model.schema import ClassDef, Schema
 from repro.organizations import CONFIGURABLE_ORGANIZATIONS, IndexOrganization
+from repro.search import (
+    SearchResult,
+    SearchStrategy,
+    available_strategies,
+    get_strategy,
+)
 from repro.storage.sizes import SizeModel
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.load import LoadDistribution, LoadTriplet
@@ -45,6 +51,7 @@ __all__ = [
     "Attribute",
     "BudgetedResult",
     "CONFIGURABLE_ORGANIZATIONS",
+    "DEFAULT_STRATEGY",
     "ClassDef",
     "ClassStats",
     "CostMatrix",
@@ -63,15 +70,19 @@ __all__ = [
     "Plan",
     "ReproError",
     "Schema",
+    "SearchResult",
+    "SearchStrategy",
     "SizeModel",
     "WorkloadGenerator",
     "advise",
+    "available_strategies",
     "build_model",
     "dynamic_program",
     "enumerate_partitions",
     "exhaustive_search",
     "explain_query",
     "explain_update",
+    "get_strategy",
     "optimize",
     "optimize_with_budget",
     "subpath_processing_cost",

@@ -3,6 +3,7 @@
 ::
 
     python -m repro advise  SPEC.json [--trace] [--json] [--noindex]
+                            [--strategy NAME] [--beam-width N]
     python -m repro matrix  SPEC.json
     python -m repro example                # print a template spec
     python -m repro paper   [--trace]      # reproduce Example 5.1
@@ -16,15 +17,25 @@ import argparse
 import json
 import sys
 
-from repro.core.advisor import advise
+from repro.core.advisor import DEFAULT_STRATEGY, advise
 from repro.core.cost_matrix import CostMatrix
 from repro.errors import ReproError
 from repro.io import load_spec, spec_to_dict
 from repro.organizations import CONFIGURABLE_ORGANIZATIONS
+from repro.search import available_strategies
 
 
 def _cmd_advise(arguments: argparse.Namespace) -> int:
     spec = load_spec(arguments.spec)
+    strategy_options = {}
+    if arguments.beam_width is not None:
+        if arguments.strategy != "greedy_beam":
+            print(
+                "error: --beam-width requires --strategy greedy_beam",
+                file=sys.stderr,
+            )
+            return 1
+        strategy_options["width"] = arguments.beam_width
     report = advise(
         spec.stats,
         spec.load,
@@ -32,11 +43,14 @@ def _cmd_advise(arguments: argparse.Namespace) -> int:
         include_noindex=spec.include_noindex or arguments.noindex,
         keep_trace=arguments.trace,
         range_selectivity=spec.range_selectivity,
+        strategy=arguments.strategy,
+        **strategy_options,
     )
     if arguments.json:
         path = spec.stats.path
         payload = {
             "path": str(path),
+            "strategy": report.optimal.strategy,
             "optimal": {
                 "configuration": [
                     {
@@ -125,6 +139,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--noindex",
         action="store_true",
         help="also consider leaving subpaths unindexed",
+    )
+    advise_parser.add_argument(
+        "--strategy",
+        choices=available_strategies(),
+        default=DEFAULT_STRATEGY,
+        help="search strategy (default: the paper's branch and bound)",
+    )
+    advise_parser.add_argument(
+        "--beam-width",
+        type=int,
+        default=None,
+        metavar="N",
+        help="beam width (only valid with --strategy greedy_beam)",
     )
     advise_parser.set_defaults(handler=_cmd_advise)
 

@@ -3,18 +3,18 @@
 * :mod:`~repro.core.configuration` — index configurations (Definition 4.1);
 * :mod:`~repro.core.cost_matrix` — the ``Cost_Matrix`` and ``Min_Cost``
   procedures of Section 5;
-* :mod:`~repro.core.optimizer` — ``Opt_Ind_Con``: branch-and-bound over
-  the ``2^(n-1)`` recombinations;
-* :mod:`~repro.core.exhaustive` / :mod:`~repro.core.dynprog` — baselines
-  (full enumeration; an O(n²) dynamic program that is exact for the same
-  additive objective);
+* :mod:`repro.search` — the pluggable search strategies over the matrix
+  (branch and bound, exhaustive, dynamic program, greedy beam);
+* :mod:`~repro.core.optimizer` / :mod:`~repro.core.exhaustive` /
+  :mod:`~repro.core.dynprog` — deprecated shims kept for the historical
+  import paths of the searchers now living in :mod:`repro.search`;
 * :mod:`~repro.core.evaluation` — configuration cost evaluation, including
   the exact "coupled" evaluator extension;
 * :mod:`~repro.core.advisor` — the one-call high-level API;
 * :mod:`~repro.core.multipath` — the Section 6 multi-path extension.
 """
 
-from repro.core.advisor import AdvisorReport, advise
+from repro.core.advisor import DEFAULT_STRATEGY, AdvisorReport, advise
 from repro.core.budget import BudgetedResult, optimize_with_budget
 from repro.core.configuration import IndexConfiguration, IndexedSubpath
 from repro.core.cost_matrix import CostMatrix
@@ -27,6 +27,7 @@ __all__ = [
     "AdvisorReport",
     "BudgetedResult",
     "CostMatrix",
+    "DEFAULT_STRATEGY",
     "IndexConfiguration",
     "IndexedSubpath",
     "OptimizationResult",

@@ -1,9 +1,11 @@
 """The high-level advisor API: one call from statistics to configuration.
 
 :func:`advise` runs the complete pipeline of Section 5 — ``Cost_Matrix``,
-``Min_Cost``, ``Opt_Ind_Con`` — plus the baselines the paper compares
-against (single-index whole-path configurations, exhaustive enumeration)
-and packages everything in an :class:`AdvisorReport`.
+``Min_Cost``, then a pluggable search strategy from :mod:`repro.search`
+(``Opt_Ind_Con`` branch and bound by default) — plus the baselines the
+paper compares against (single-index whole-path configurations,
+exhaustive enumeration, the DP optimum) and packages everything in an
+:class:`AdvisorReport`.
 """
 
 from __future__ import annotations
@@ -11,29 +13,54 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.cost_matrix import CostMatrix
-from repro.core.dynprog import DynamicProgramResult, dynamic_program
-from repro.core.exhaustive import ExhaustiveResult, exhaustive_search
-from repro.core.optimizer import OptimizationResult, optimize
 from repro.costmodel.params import PathStatistics
+from repro.errors import OptimizerError
 from repro.organizations import CONFIGURABLE_ORGANIZATIONS, IndexOrganization
+from repro.search import SearchResult, get_strategy
 from repro.workload.load import LoadDistribution
+
+#: The default search strategy: the paper's ``Opt_Ind_Con``.
+DEFAULT_STRATEGY = "branch_and_bound"
+
+#: Longest path for which the exhaustive baseline is run alongside the
+#: chosen strategy: 2^(n-1) partitions stay under ~64k. Beyond it only
+#: the O(n²) dynamic program serves as the exact baseline, so anytime
+#: strategies remain usable on the long paths they were built for.
+EXHAUSTIVE_BASELINE_MAX_LENGTH = 17
 
 
 @dataclass
 class AdvisorReport:
-    """Everything the advisor computed for one path and workload."""
+    """Everything the advisor computed for one path and workload.
+
+    The search outcomes (``optimal``, ``exhaustive``, ``dynprog``) are
+    unified :class:`~repro.search.SearchResult` objects; strategy-specific
+    payloads such as the DP's ``rows_inspected`` live in their ``extras``
+    (before the ``repro.search`` extraction these fields were per-searcher
+    dataclasses). ``exhaustive`` is only populated for paths up to
+    :data:`EXHAUSTIVE_BASELINE_MAX_LENGTH`.
+    """
 
     stats: PathStatistics
     load: LoadDistribution
     matrix: CostMatrix
-    optimal: OptimizationResult
-    exhaustive: ExhaustiveResult | None = None
-    dynprog: DynamicProgramResult | None = None
+    optimal: SearchResult
+    exhaustive: SearchResult | None = None
+    dynprog: SearchResult | None = None
     single_index_costs: dict[IndexOrganization, float] = field(default_factory=dict)
 
     @property
     def best_single_index(self) -> tuple[IndexOrganization, float]:
-        """The cheapest whole-path single-index configuration."""
+        """The cheapest whole-path single-index configuration.
+
+        Raises :class:`~repro.errors.OptimizerError` when no single-index
+        baselines were computed (``advise(..., run_baselines=False)``).
+        """
+        if not self.single_index_costs:
+            raise OptimizerError(
+                "no single-index baselines were computed; call "
+                "advise(..., run_baselines=True) to populate them"
+            )
         organization = min(self.single_index_costs, key=self.single_index_costs.get)
         return organization, self.single_index_costs[organization]
 
@@ -43,10 +70,13 @@ class AdvisorReport:
 
         The paper's headline: splitting ``P_exa`` "decreases the processing
         cost of a path by a factor 2.7" against the whole-path NIX.
+        Raises :class:`~repro.errors.OptimizerError` when no single-index
+        baselines were computed (``advise(..., run_baselines=False)``).
         """
+        best = self.best_single_index[1]
         if self.optimal.cost <= 0:
             return float("inf")
-        return self.best_single_index[1] / self.optimal.cost
+        return best / self.optimal.cost
 
     def render(self) -> str:
         """Multi-line, human-readable report."""
@@ -58,6 +88,8 @@ class AdvisorReport:
             "",
             f"optimal: {self.optimal.render(path)}",
         ]
+        if self.optimal.strategy and self.optimal.strategy != DEFAULT_STRATEGY:
+            lines.append(f"strategy: {self.optimal.strategy}")
         breakdown_lines = []
         for assignment in self.optimal.configuration.assignments:
             breakdown = self.matrix.breakdown(
@@ -90,7 +122,7 @@ class AdvisorReport:
         if self.dynprog is not None:
             lines.append(
                 f"dynamic program: cost {self.dynprog.cost:.2f} "
-                f"({self.dynprog.rows_inspected} row lookups)"
+                f"({self.dynprog.extras['rows_inspected']} row lookups)"
             )
         return "\n".join(lines)
 
@@ -103,6 +135,8 @@ def advise(
     run_baselines: bool = True,
     keep_trace: bool = False,
     range_selectivity: float | None = None,
+    strategy: str = DEFAULT_STRATEGY,
+    **strategy_options,
 ) -> AdvisorReport:
     """Select the optimal index configuration for a path.
 
@@ -117,14 +151,27 @@ def advise(
     include_noindex:
         Also consider leaving subpaths unindexed (Section 6 extension).
     run_baselines:
-        Compute exhaustive enumeration, the DP optimum and the
+        Compute exhaustive enumeration (paths up to
+        :data:`EXHAUSTIVE_BASELINE_MAX_LENGTH` only — beyond that the
+        2^(n-1) sweep is infeasible), the DP optimum and the
         single-index whole-path baselines alongside.
     keep_trace:
-        Record the branch-and-bound decision trace.
+        Record the search strategy's decision trace.
     range_selectivity:
         Treat the workload's queries as range predicates covering this
         fraction of the distinct ending values.
+    strategy:
+        Registered search strategy name (see
+        :func:`repro.search.available_strategies`); defaults to the
+        paper's branch and bound. ``"greedy_beam"`` gives anytime
+        near-optimal answers on long paths.
+    strategy_options:
+        Extra keyword options for the strategy constructor (e.g.
+        ``width=4`` for ``greedy_beam``).
     """
+    # Resolve the strategy first: a bad name or option must fail before
+    # the expensive cost-model run, not after.
+    searcher = get_strategy(strategy, **strategy_options)
     matrix = CostMatrix.compute(
         stats,
         load,
@@ -132,11 +179,18 @@ def advise(
         include_noindex=include_noindex,
         range_selectivity=range_selectivity,
     )
-    optimal = optimize(matrix, keep_trace=keep_trace)
+    optimal = searcher.search(matrix, keep_trace=keep_trace)
     report = AdvisorReport(stats=stats, load=load, matrix=matrix, optimal=optimal)
     if run_baselines:
-        report.exhaustive = exhaustive_search(matrix)
-        report.dynprog = dynamic_program(matrix)
+        # A baseline that *is* the chosen strategy was already computed.
+        if strategy == "exhaustive":
+            report.exhaustive = optimal
+        elif stats.length <= EXHAUSTIVE_BASELINE_MAX_LENGTH:
+            report.exhaustive = get_strategy("exhaustive").search(matrix)
+        report.dynprog = (
+            optimal if strategy == "dynamic_program" else
+            get_strategy("dynamic_program").search(matrix)
+        )
         report.single_index_costs = {
             organization: matrix.cost(1, stats.length, organization)
             for organization in matrix.organizations

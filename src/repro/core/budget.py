@@ -20,8 +20,8 @@ from dataclasses import dataclass
 
 from repro.core.configuration import IndexConfiguration, IndexedSubpath
 from repro.core.cost_matrix import CostMatrix
-from repro.core.exhaustive import enumerate_partitions
 from repro.errors import OptimizerError
+from repro.search.partitions import enumerate_partitions
 
 
 @dataclass

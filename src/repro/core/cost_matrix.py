@@ -6,6 +6,11 @@ them in a matrix whose rows are subpaths and whose columns are
 organizations (Figure 6). ``Min_Cost`` underlines the minimum of each row
 — the best organization for each subpath in isolation.
 
+Storage is a flat dense array indexed by ``(row_index(start, end),
+org_index)`` with the row minima precomputed at construction, so every
+search strategy's inner loop (``min_cost``) is an O(1) array read instead
+of a dict-of-dicts walk plus a ``min()`` scan.
+
 A matrix can also be constructed from literal values
 (:meth:`CostMatrix.from_values`), which is how the Figure 6 hypothetical
 matrix and its walkthrough are reproduced.
@@ -34,6 +39,16 @@ class RowMinimum:
     organization: IndexOrganization
 
 
+#: Relative tolerance for row-minimum ties. The analytic cost formulas for
+#: different organizations can coincide mathematically (e.g. MX and MIX on
+#: a class without subclasses) while differing in the last few ulps
+#: depending on evaluation order; ties within this tolerance resolve to
+#: the earliest organization in column order, matching the paper's
+#: preference and keeping the selected configuration stable under
+#: numerically equivalent reformulations of the cost model.
+_TIE_RELATIVE_TOLERANCE = 1e-9
+
+
 class CostMatrix:
     """Subpath × organization processing costs.
 
@@ -55,18 +70,56 @@ class CostMatrix:
             raise OptimizerError("at least one organization is required")
         self.length = length
         self.organizations = tuple(organizations)
-        self._entries = entries
         self._breakdowns = breakdowns or {}
+        self._org_index = {
+            organization: index
+            for index, organization in enumerate(self.organizations)
+        }
+        width = len(self.organizations)
+        row_count = length * (length + 1) // 2
+        # Flat dense storage: value of (row, org) at row * width + org_index.
+        self._values = [0.0] * (row_count * width)
+        # Precomputed Min_Cost per row: cost and organization column.
+        self._row_min_cost = [0.0] * row_count
+        self._row_min_org = [0] * row_count
         for start in range(1, length + 1):
             for end in range(start, length + 1):
                 row = entries.get((start, end))
                 if row is None:
                     raise OptimizerError(f"missing matrix row ({start},{end})")
-                for organization in organizations:
+                row_position = self.row_index(start, end)
+                base = row_position * width
+                minimum_cost = float("inf")
+                minimum_org = 0
+                for column, organization in enumerate(self.organizations):
                     if organization not in row:
                         raise OptimizerError(
                             f"row ({start},{end}) missing {organization}"
                         )
+                    value = row[organization]
+                    self._values[base + column] = value
+                    if minimum_cost == float("inf"):
+                        take = column == 0 or value < minimum_cost
+                    else:
+                        # Strictly smaller beyond the tie tolerance; the
+                        # symmetric absolute form keeps the comparison
+                        # direction correct for costs of any sign.
+                        take = (
+                            minimum_cost - value
+                            > _TIE_RELATIVE_TOLERANCE
+                            * max(abs(value), abs(minimum_cost))
+                        )
+                    if take:
+                        minimum_cost = value
+                        minimum_org = column
+                self._row_min_cost[row_position] = minimum_cost
+                self._row_min_org[row_position] = minimum_org
+        extra = set(entries) - set(self.rows())
+        if extra:
+            raise OptimizerError(
+                f"rows outside the 1..{length} subpath triangle: "
+                f"{sorted(extra)}"
+            )
 
     # ------------------------------------------------------------------
     # construction
@@ -115,22 +168,49 @@ class CostMatrix:
         length: int,
         values: dict[tuple[int, int], dict[IndexOrganization, float]],
     ) -> "CostMatrix":
-        """A matrix from literal costs (e.g. the Figure 6 hypothetical)."""
+        """A matrix from literal costs (e.g. the Figure 6 hypothetical).
+
+        The organization set is taken from the first row; every other row
+        must provide exactly the same organizations, otherwise an
+        :class:`OptimizerError` is raised (a partially-specified matrix
+        would silently mis-rank subpaths).
+        """
+        if not values:
+            raise OptimizerError("at least one matrix row is required")
         organizations = tuple(next(iter(values.values())).keys())
+        expected = set(organizations)
+        for coordinates, row in values.items():
+            if set(row.keys()) != expected:
+                raise OptimizerError(
+                    f"row {coordinates} defines organizations "
+                    f"{sorted(str(org) for org in row)} but the matrix uses "
+                    f"{sorted(str(org) for org in expected)}"
+                )
         return cls(length, organizations, values)
 
     # ------------------------------------------------------------------
     # access
     # ------------------------------------------------------------------
+    def row_index(self, start: int, end: int) -> int:
+        """The dense row position of subpath ``(start, end)``.
+
+        Rows are laid out in Figure 6 order (by start, then end): all rows
+        starting at 1 first, then those starting at 2, and so on.
+        """
+        offset = (start - 1) * (2 * self.length - start + 2) // 2
+        return offset + (end - start)
+
     def cost(self, start: int, end: int, organization: IndexOrganization) -> float:
         """The processing cost of one subpath with one organization."""
         self._check_bounds(start, end)
-        try:
-            return self._entries[(start, end)][organization]
-        except KeyError:
+        column = self._org_index.get(organization)
+        if column is None:
             raise OptimizerError(
                 f"no entry for ({start},{end}) with {organization}"
-            ) from None
+            )
+        return self._values[
+            self.row_index(start, end) * len(self.organizations) + column
+        ]
 
     def breakdown(
         self, start: int, end: int, organization: IndexOrganization
@@ -139,11 +219,16 @@ class CostMatrix:
         return self._breakdowns.get((start, end), {}).get(organization)
 
     def min_cost(self, start: int, end: int) -> RowMinimum:
-        """``Min_Cost``: the underlined (minimal) entry of one row."""
+        """``Min_Cost``: the underlined (minimal) entry of one row.
+
+        O(1): the minima are precomputed at construction.
+        """
         self._check_bounds(start, end)
-        row = self._entries[(start, end)]
-        best = min(self.organizations, key=lambda org: row[org])
-        return RowMinimum(cost=row[best], organization=best)
+        row = self.row_index(start, end)
+        return RowMinimum(
+            cost=self._row_min_cost[row],
+            organization=self.organizations[self._row_min_org[row]],
+        )
 
     def rows(self) -> list[tuple[int, int]]:
         """Row coordinates in Figure 6 order."""
@@ -181,7 +266,7 @@ class CostMatrix:
             minimum = self.min_cost(start, end)
             cells = [label]
             for organization in self.organizations:
-                value = self._entries[(start, end)][organization]
+                value = self.cost(start, end, organization)
                 text = f"{value:.{precision}f}"
                 if organization is minimum.organization:
                     text = f"*{text}*"

@@ -1,30 +1,30 @@
-"""Dynamic-programming baseline: exact optimum in O(n²) row lookups.
+"""Deprecated shim: the DP baseline now lives in :mod:`repro.search`.
 
-The objective is additive over contiguous blocks (Proposition 4.2), so the
-classic interval-partition recurrence
+The interval-partition dynamic program moved to
+:mod:`repro.search.dynamic_program` behind the
+:class:`~repro.search.SearchStrategy` protocol. This module keeps the
+historical entry points — :func:`dynamic_program` and
+:class:`DynamicProgramResult` — working unchanged; new code should use::
 
-.. math::
+    from repro.search import get_strategy
 
-    best(i) = \\min_{j \\ge i} \\; rowmin(i, j) + best(j + 1)
-
-yields the same optimum as exhaustive enumeration while inspecting each of
-the ``n(n+1)/2`` matrix rows exactly once. The paper proposes branch and
-bound instead; this module exists as a correctness oracle and as the
-natural "what modern treatment would do" comparison point for the scaling
-benchmarks.
+    result = get_strategy("dynamic_program").search(matrix)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.configuration import IndexConfiguration, IndexedSubpath
+from repro.core.configuration import IndexConfiguration
 from repro.core.cost_matrix import CostMatrix
+from repro.search.dynamic_program import DynamicProgramStrategy
+
+__all__ = ["DynamicProgramResult", "dynamic_program"]
 
 
 @dataclass
 class DynamicProgramResult:
-    """Outcome of the DP optimum computation."""
+    """Outcome of the DP optimum computation (legacy result shape)."""
 
     configuration: IndexConfiguration
     cost: float
@@ -32,32 +32,13 @@ class DynamicProgramResult:
 
 
 def dynamic_program(matrix: CostMatrix) -> DynamicProgramResult:
-    """Compute the optimal configuration by interval-partition DP."""
-    length = matrix.length
-    # best[i] = minimal cost of covering positions i..length; best[length+1] = 0.
-    best: list[float] = [0.0] * (length + 2)
-    choice: list[int] = [0] * (length + 2)
-    rows = 0
-    for start in range(length, 0, -1):
-        best_cost = float("inf")
-        best_end = start
-        for end in range(start, length + 1):
-            rows += 1
-            candidate = matrix.min_cost(start, end).cost + best[end + 1]
-            if candidate < best_cost:
-                best_cost = candidate
-                best_end = end
-        best[start] = best_cost
-        choice[start] = best_end
-    parts: list[IndexedSubpath] = []
-    cursor = 1
-    while cursor <= length:
-        end = choice[cursor]
-        minimum = matrix.min_cost(cursor, end)
-        parts.append(IndexedSubpath(cursor, end, minimum.organization))
-        cursor = end + 1
+    """Compute the optimal configuration by interval-partition DP.
+
+    Deprecated alias for the ``dynamic_program`` strategy.
+    """
+    result = DynamicProgramStrategy().search(matrix)
     return DynamicProgramResult(
-        configuration=IndexConfiguration(tuple(parts)),
-        cost=best[1],
-        rows_inspected=rows,
+        configuration=result.configuration,
+        cost=result.cost,
+        rows_inspected=result.extras["rows_inspected"],
     )

@@ -1,43 +1,32 @@
-"""Exhaustive baseline: enumerate all ``2^(n-1)`` recombinations.
+"""Deprecated shim: exhaustive search now lives in :mod:`repro.search`.
 
-Section 5 derives the count: each of the ``n-1`` gaps between consecutive
-classes is either a subpath boundary or not. The exhaustive search is the
-correctness oracle for the branch-and-bound procedure and the baseline of
-the pruning benchmarks.
+The ``2^(n-1)`` full enumeration moved to
+:mod:`repro.search.exhaustive`, and the shared partition enumeration it
+pioneered moved to :mod:`repro.search.partitions`. This module keeps the
+historical entry points — :func:`enumerate_partitions`,
+:func:`exhaustive_search` and :class:`ExhaustiveResult` — working
+unchanged; new code should use::
+
+    from repro.search import enumerate_partitions, get_strategy
+
+    result = get_strategy("exhaustive").search(matrix)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
 
-from repro.core.configuration import IndexConfiguration, IndexedSubpath
+from repro.core.configuration import IndexConfiguration
 from repro.core.cost_matrix import CostMatrix
-from repro.errors import OptimizerError
+from repro.search.exhaustive import ExhaustiveStrategy
+from repro.search.partitions import enumerate_partitions
 
-
-def enumerate_partitions(length: int) -> Iterator[tuple[tuple[int, int], ...]]:
-    """All contiguous partitions of positions ``1..length``.
-
-    Yields ``2^(length-1)`` tuples of ``(start, end)`` blocks, in the
-    order induced by the binary boundary masks.
-    """
-    if length < 1:
-        raise OptimizerError("path length must be at least 1")
-    for mask in range(2 ** (length - 1)):
-        blocks: list[tuple[int, int]] = []
-        start = 1
-        for gap in range(1, length):
-            if mask & (1 << (gap - 1)):
-                blocks.append((start, gap))
-                start = gap + 1
-        blocks.append((start, length))
-        yield tuple(blocks)
+__all__ = ["ExhaustiveResult", "enumerate_partitions", "exhaustive_search"]
 
 
 @dataclass
 class ExhaustiveResult:
-    """Outcome of the exhaustive enumeration."""
+    """Outcome of the exhaustive enumeration (legacy result shape)."""
 
     configuration: IndexConfiguration
     cost: float
@@ -48,29 +37,14 @@ class ExhaustiveResult:
 def exhaustive_search(
     matrix: CostMatrix, keep_all: bool = False
 ) -> ExhaustiveResult:
-    """Evaluate every partition with per-subpath best organizations."""
-    best_cost = float("inf")
-    best: IndexConfiguration | None = None
-    evaluated = 0
-    all_costs: list[tuple[IndexConfiguration, float]] = []
-    for blocks in enumerate_partitions(matrix.length):
-        evaluated += 1
-        parts = []
-        total = 0.0
-        for start, end in blocks:
-            minimum = matrix.min_cost(start, end)
-            parts.append(IndexedSubpath(start, end, minimum.organization))
-            total += minimum.cost
-        configuration = IndexConfiguration(tuple(parts))
-        if keep_all:
-            all_costs.append((configuration, total))
-        if total < best_cost:
-            best_cost = total
-            best = configuration
-    assert best is not None
+    """Evaluate every partition with per-subpath best organizations.
+
+    Deprecated alias for the ``exhaustive`` strategy.
+    """
+    result = ExhaustiveStrategy(keep_all=keep_all).search(matrix)
     return ExhaustiveResult(
-        configuration=best,
-        cost=best_cost,
-        evaluated=evaluated,
-        all_costs=all_costs,
+        configuration=result.configuration,
+        cost=result.cost,
+        evaluated=result.evaluated,
+        all_costs=result.extras["all_costs"],
     )

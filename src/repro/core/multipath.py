@@ -25,10 +25,10 @@ from dataclasses import dataclass
 
 from repro.core.configuration import IndexConfiguration, IndexedSubpath
 from repro.core.cost_matrix import CostMatrix
-from repro.core.exhaustive import enumerate_partitions
 from repro.costmodel.params import PathStatistics
 from repro.errors import OptimizerError
 from repro.organizations import IndexOrganization
+from repro.search.partitions import enumerate_partitions
 from repro.workload.load import LoadDistribution
 
 #: Above this many combinations the search switches to coordinate descent.

@@ -1,119 +1,31 @@
-"""``Opt_Ind_Con``: branch-and-bound configuration selection (Section 5).
+"""Deprecated shim: ``Opt_Ind_Con`` now lives in :mod:`repro.search`.
 
-The procedure recombines the original path from subpaths. Starting from
-the degree-1 configuration, the path is repeatedly split into a first
-piece and a remainder; a branch is cut as soon as the accumulated cost of
-the chosen pieces reaches the best complete configuration seen so far
-(``PC >= PC_min``). The recursion order matches the paper's worked
-example exactly — first pieces are tried longest-first — so the Figure 6
-walkthrough can be replayed step by step (see
-``benchmarks/bench_fig6_walkthrough.py``).
+The branch-and-bound procedure of Section 5 moved to
+:mod:`repro.search.branch_and_bound` behind the
+:class:`~repro.search.SearchStrategy` protocol. This module keeps the
+historical entry points — :func:`optimize` and ``OptimizationResult`` —
+working unchanged; new code should use::
+
+    from repro.search import get_strategy
+
+    result = get_strategy("branch_and_bound").search(matrix)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.core.configuration import IndexConfiguration, IndexedSubpath
 from repro.core.cost_matrix import CostMatrix
-from repro.model.path import Path
+from repro.search.base import SearchResult
+from repro.search.branch_and_bound import BranchAndBoundStrategy
+
+#: Deprecated alias: the unified result type of :mod:`repro.search`.
+OptimizationResult = SearchResult
 
 
-@dataclass
-class OptimizationResult:
-    """Outcome of ``Opt_Ind_Con``.
-
-    ``evaluated`` counts the complete candidate configurations whose total
-    cost was computed (the quantity the paper reports: "the procedure
-    found the optimal configuration by exploring 4 index configurations
-    instead of all 8"); ``pruned`` counts the branch cuts.
-    """
-
-    configuration: IndexConfiguration
-    cost: float
-    evaluated: int
-    pruned: int
-    trace: list[str] = field(default_factory=list)
-
-    def render(self, path: Path | None = None) -> str:
-        """One-line summary in the paper's notation."""
-        return (
-            f"{self.configuration.render(path)} with processing cost "
-            f"{self.cost:.2f} ({self.evaluated} configurations evaluated, "
-            f"{self.pruned} branches pruned)"
-        )
-
-
-def optimize(matrix: CostMatrix, keep_trace: bool = False) -> OptimizationResult:
+def optimize(matrix: CostMatrix, keep_trace: bool = False) -> SearchResult:
     """Select the optimal index configuration from a cost matrix.
 
-    Parameters
-    ----------
-    matrix:
-        A :class:`~repro.core.cost_matrix.CostMatrix` whose row minima are
-        the per-subpath best organizations (``Min_Cost`` is applied here).
-    keep_trace:
-        Record a human-readable line per candidate and per prune, enabling
-        the Figure 6 walkthrough reproduction.
+    Deprecated alias for the ``branch_and_bound`` strategy; the trace and
+    the evaluated/pruned counters match the paper's Figure 6 walkthrough
+    exactly.
     """
-    length = matrix.length
-    trace: list[str] = []
-
-    state = {
-        "best_cost": float("inf"),
-        "best_parts": None,
-        "evaluated": 0,
-        "pruned": 0,
-    }
-
-    def note(message: str) -> None:
-        if keep_trace:
-            trace.append(message)
-
-    def parts_label(parts: list[IndexedSubpath]) -> str:
-        return "{" + ", ".join(f"S[{p.start},{p.end}]" for p in parts) + "}"
-
-    def evaluate_candidate(parts: list[IndexedSubpath], cost: float) -> None:
-        state["evaluated"] += 1
-        if cost < state["best_cost"]:
-            state["best_cost"] = cost
-            state["best_parts"] = list(parts)
-            note(f"candidate {parts_label(parts)} cost {cost:g} -> new best")
-        else:
-            note(f"candidate {parts_label(parts)} cost {cost:g}")
-
-    def explore(start: int, prefix: list[IndexedSubpath], prefix_cost: float) -> None:
-        # Complete candidate: the prefix plus the unsplit remainder.
-        remainder = matrix.min_cost(start, length)
-        candidate = prefix + [
-            IndexedSubpath(start, length, remainder.organization)
-        ]
-        evaluate_candidate(candidate, prefix_cost + remainder.cost)
-        # Split points: first piece start..k, longest first (the paper
-        # splits off S_{1,n-1} before S_{1,n-2} and so on).
-        for k in range(length - 1, start - 1, -1):
-            piece = matrix.min_cost(start, k)
-            accumulated = prefix_cost + piece.cost
-            if accumulated >= state["best_cost"]:
-                state["pruned"] += 1
-                note(
-                    f"prune: {parts_label(prefix)} + S[{start},{k}] "
-                    f"accumulates {accumulated:g} >= {state['best_cost']:g}"
-                )
-                continue
-            explore(
-                k + 1,
-                prefix + [IndexedSubpath(start, k, piece.organization)],
-                accumulated,
-            )
-
-    explore(1, [], 0.0)
-    best_parts = state["best_parts"]
-    assert best_parts is not None
-    return OptimizationResult(
-        configuration=IndexConfiguration(tuple(best_parts)),
-        cost=state["best_cost"],
-        evaluated=state["evaluated"],
-        pruned=state["pruned"],
-        trace=trace,
-    )
+    return BranchAndBoundStrategy().search(matrix, keep_trace=keep_trace)

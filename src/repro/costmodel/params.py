@@ -133,8 +133,15 @@ class PathStatistics:
         if missing:
             raise CostModelError(f"missing ClassStats for scope classes: {missing}")
         self._stats = dict(per_class)
-        # Caches keyed by small tuples; the path length is tiny in practice.
+        # Caches keyed by position; statistics are immutable after
+        # construction, so the per-position hierarchy aggregates that the
+        # cost formulas hammer (every subpath × organization recomputes
+        # them) are memoized.
         self._members_cache: dict[int, tuple[str, ...]] = {}
+        self._total_objects_cache: dict[int, float] = {}
+        self._sum_k_cache: dict[int, float] = {}
+        self._mean_fanout_cache: dict[int, float] = {}
+        self._distinct_union_cache: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # basic accessors (Table 2)
@@ -188,22 +195,40 @@ class PathStatistics:
     # ------------------------------------------------------------------
     def total_objects(self, position: int) -> float:
         """``Σ_j n_{l,j}``: objects across the whole hierarchy at ``l``."""
-        return sum(self.stats_of(name).objects for name in self.members(position))
+        cached = self._total_objects_cache.get(position)
+        if cached is None:
+            cached = sum(
+                self.stats_of(name).objects for name in self.members(position)
+            )
+            self._total_objects_cache[position] = cached
+        return cached
 
     def sum_k(self, position: int) -> float:
         """``Σ_j k_{l,j}``: hierarchy-wide fan-in of one value of ``A_l``."""
-        return sum(self.stats_of(name).k for name in self.members(position))
+        cached = self._sum_k_cache.get(position)
+        if cached is None:
+            cached = sum(
+                self.stats_of(name).k for name in self.members(position)
+            )
+            self._sum_k_cache[position] = cached
+        return cached
 
     def mean_fanout(self, position: int) -> float:
         """Object-weighted mean ``nin`` across the hierarchy at ``l``."""
+        cached = self._mean_fanout_cache.get(position)
+        if cached is not None:
+            return cached
         total = self.total_objects(position)
         if total == 0:
-            return 0.0
-        weighted = sum(
-            self.stats_of(name).objects * self.stats_of(name).fanout
-            for name in self.members(position)
-        )
-        return weighted / total
+            value = 0.0
+        else:
+            weighted = sum(
+                self.stats_of(name).objects * self.stats_of(name).fanout
+                for name in self.members(position)
+            )
+            value = weighted / total
+        self._mean_fanout_cache[position] = value
+        return value
 
     def distinct_union(self, position: int) -> float:
         """Distinct values of ``A_l`` across the whole hierarchy.
@@ -214,13 +239,19 @@ class PathStatistics:
         use the sum of per-class counts (disjoint-worst-case), which is the
         estimate the paper's per-class ``d`` figures support.
         """
+        cached = self._distinct_union_cache.get(position)
+        if cached is not None:
+            return cached
         total = sum(self.stats_of(name).distinct for name in self.members(position))
         if position < self.length:
             cap = self.total_objects(position + 1)
-            return min(total, cap) if cap > 0 else total
-        if self.config.ending_domain_distinct is not None:
-            return min(total, self.config.ending_domain_distinct)
-        return total
+            value = min(total, cap) if cap > 0 else total
+        elif self.config.ending_domain_distinct is not None:
+            value = min(total, self.config.ending_domain_distinct)
+        else:
+            value = total
+        self._distinct_union_cache[position] = value
+        return value
 
     # ------------------------------------------------------------------
     # derived Table 2 quantities
@@ -264,12 +295,14 @@ class PathStatistics:
         fan-in ``Σ_j k``. Clamped at the population of the level above
         (keys are oids of ``C_{position+1}`` objects) when clamping is on.
         """
+        clamp = self.config.clamp_cardinalities
         value = probes
         for level in range(end, position, -1):
             value *= self.sum_k(level)
-            if self.config.clamp_cardinalities:
+            if clamp:
                 cap = self.total_objects(level)
-                value = min(value, cap)
+                if value > cap:
+                    value = cap
         return value
 
     def noid(

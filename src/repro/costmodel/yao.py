@@ -18,8 +18,17 @@ unreasonable (very large ``t``).
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 from repro.errors import CostModelError
+
+try:  # Optional acceleration; the pure-Python loop is the reference.
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
+
+#: Below this many factors the Python loop beats the array round-trip.
+_VECTORIZE_MIN_FACTORS = 512
 
 #: Above this many factors the exact product is replaced by Cardenas.
 _EXACT_LIMIT = 100_000
@@ -32,10 +41,12 @@ def npa(t: float, n: float, m: float) -> float:
     ``t <= 0`` costs nothing; ``t >= n`` touches all ``m`` pages; fewer
     records than pages means every record sits alone (cost ``t``).
     """
-    if any(math.isnan(v) or math.isinf(v) for v in (t, n, m)):
+    # NaN fails every comparison, so one range check catches NaN,
+    # infinities and negatives without a generator round-trip.
+    if not (0.0 <= t < math.inf and 0.0 <= n < math.inf and 0.0 <= m < math.inf):
+        if t < 0 or n < 0 or m < 0:
+            raise CostModelError(f"npa: negative input ({t}, {n}, {m})")
         raise CostModelError(f"npa: non-finite input ({t}, {n}, {m})")
-    if t < 0 or n < 0 or m < 0:
-        raise CostModelError(f"npa: negative input ({t}, {n}, {m})")
     if t == 0 or n == 0 or m == 0:
         return 0.0
     if m >= n:
@@ -49,27 +60,69 @@ def npa(t: float, n: float, m: float) -> float:
     if lower == upper:
         return _npa_integer(int(t), n, m)
     fraction = t - lower
-    low_value = _npa_integer(lower, n, m) if lower > 0 else 0.0
-    high_value = _npa_integer(upper, n, m)
+    low_value, high_value = _npa_pair(lower, n, m)
     return (1.0 - fraction) * low_value + fraction * high_value
 
 
+@lru_cache(maxsize=1 << 16)
 def _npa_integer(t: int, n: float, m: float) -> float:
     if t <= 0:
         return 0.0
     if t > _EXACT_LIMIT:
         return _cardenas(float(t), m)
-    records_per_page = n / m
-    # Product in log space for numerical robustness.
-    log_product = 0.0
-    for i in range(1, t + 1):
-        numerator = n - records_per_page - i + 1
-        denominator = n - i + 1
-        if numerator <= 0 or denominator <= 0:
-            return float(m)
-        log_product += math.log(numerator) - math.log(denominator)
-    value = m * (1.0 - math.exp(log_product))
+    value = m * (1.0 - _untouched_fraction(t, n, m))
     return float(min(max(value, 0.0), m))
+
+
+@lru_cache(maxsize=1 << 16)
+def _npa_pair(lower: int, n: float, m: float) -> tuple[float, float]:
+    """``(npa(lower), npa(lower + 1))`` sharing one product accumulation.
+
+    The interpolation path of :func:`npa` needs both neighbouring integer
+    values; the product at ``lower + 1`` is the product at ``lower`` times
+    one more factor, so computing the pair in a single pass halves the
+    dominant cost of fractional lookups.
+    """
+    upper = lower + 1
+    if lower <= 0:
+        return 0.0, _npa_integer(upper, n, m)
+    if upper > _EXACT_LIMIT:
+        return _npa_integer(lower, n, m), _npa_integer(upper, n, m)
+    product = _untouched_fraction(lower, n, m)
+    low_value = float(min(max(m * (1.0 - product), 0.0), m))
+    numerator = n - n / m - upper + 1
+    if product == 0.0 or numerator <= 0:
+        high_value = float(m)
+    else:
+        product *= numerator / (n - upper + 1)
+        high_value = float(min(max(m * (1.0 - product), 0.0), m))
+    return low_value, high_value
+
+
+def _untouched_fraction(t: int, n: float, m: float) -> float:
+    """``prod_{i=1..t} (n - n/m - i + 1)/(n - i + 1)``: the probability
+    that a given page holds none of the ``t`` retrieved records.
+
+    Every factor lies in (0, 1], so the running product is monotone
+    decreasing and cannot overflow; once it is below double-precision
+    resolution the result is 0 to machine accuracy and the loop stops
+    early. (A closed form via lgamma exists but suffers catastrophic
+    cancellation for large n — four ~n·log(n) terms whose sum is ~t/m.)
+    """
+    available = n - n / m
+    if available - t + 1 <= 0:
+        # A factor of the product is non-positive: every page is touched.
+        return 0.0
+    if _np is not None and t >= _VECTORIZE_MIN_FACTORS:
+        offsets = _np.arange(1.0, t + 1.0)
+        product = float(_np.prod((available + 1.0 - offsets) / (n + 1.0 - offsets)))
+        return product if product >= 1e-18 else 0.0
+    product = 1.0
+    for i in range(1, t + 1):
+        product *= (available - i + 1) / (n - i + 1)
+        if product < 1e-18:
+            return 0.0
+    return product
 
 
 def _cardenas(t: float, m: float) -> float:

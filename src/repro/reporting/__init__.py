@@ -1,5 +1,9 @@
 """Rendering helpers for experiment reports."""
 
-from repro.reporting.tables import ascii_table, comparison_table
+from repro.reporting.tables import (
+    ascii_table,
+    comparison_table,
+    strategy_comparison_table,
+)
 
-__all__ = ["ascii_table", "comparison_table"]
+__all__ = ["ascii_table", "comparison_table", "strategy_comparison_table"]

@@ -1,0 +1,59 @@
+"""Configuration search strategies over a cost matrix.
+
+The Section 5 pipeline separates cost evaluation (``Cost_Matrix`` +
+``Min_Cost``, in :mod:`repro.core.cost_matrix`) from the search over the
+``2^(n-1)`` recombinations. This package holds the search half:
+
+* :mod:`~repro.search.base` — the :class:`SearchStrategy` protocol, the
+  unified :class:`SearchResult`, and the string-keyed strategy registry;
+* :mod:`~repro.search.partitions` — shared partition/split enumeration;
+* :mod:`~repro.search.branch_and_bound` — the paper's ``Opt_Ind_Con``;
+* :mod:`~repro.search.exhaustive` — the full-enumeration oracle;
+* :mod:`~repro.search.dynamic_program` — the O(n²) exact optimum;
+* :mod:`~repro.search.greedy_beam` — anytime near-optimal beam search
+  for long paths.
+
+Quickstart::
+
+    from repro.search import get_strategy
+
+    result = get_strategy("dynamic_program").search(matrix)
+    fast = get_strategy("greedy_beam", width=4).search(matrix)
+"""
+
+from repro.search.base import (
+    SearchResult,
+    SearchStrategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
+from repro.search.branch_and_bound import BranchAndBoundStrategy
+from repro.search.dynamic_program import DynamicProgramStrategy
+from repro.search.exhaustive import ExhaustiveStrategy
+from repro.search.greedy_beam import DEFAULT_WIDTH, GreedyBeamStrategy
+from repro.search.partitions import (
+    blocks_from_mask,
+    enumerate_first_pieces,
+    enumerate_partitions,
+    partition_count,
+    validate_partition,
+)
+
+__all__ = [
+    "DEFAULT_WIDTH",
+    "BranchAndBoundStrategy",
+    "DynamicProgramStrategy",
+    "ExhaustiveStrategy",
+    "GreedyBeamStrategy",
+    "SearchResult",
+    "SearchStrategy",
+    "available_strategies",
+    "blocks_from_mask",
+    "enumerate_first_pieces",
+    "enumerate_partitions",
+    "get_strategy",
+    "partition_count",
+    "register_strategy",
+    "validate_partition",
+]

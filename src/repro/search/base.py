@@ -1,0 +1,155 @@
+"""Strategy protocol, unified result type and the strategy registry.
+
+The paper's Section 5 pipeline separates *cost evaluation* (``Cost_Matrix``
++ ``Min_Cost``) from *search* (``Opt_Ind_Con``). This module gives the
+search half a seam: every searcher implements :class:`SearchStrategy`,
+returns a :class:`SearchResult`, and registers itself under a string name
+so callers can write ``get_strategy("branch_and_bound")`` — or any future
+strategy — without touching the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from repro.core.configuration import IndexConfiguration
+from repro.core.cost_matrix import CostMatrix
+from repro.errors import OptimizerError
+from repro.model.path import Path
+
+
+@dataclass
+class SearchResult:
+    """Unified outcome of any configuration search.
+
+    ``evaluated`` counts the complete candidate configurations whose total
+    cost was computed (the quantity the paper reports: "the procedure
+    found the optimal configuration by exploring 4 index configurations
+    instead of all 8"); ``pruned`` counts branch cuts and beam discards.
+    The dynamic program never costs complete candidates individually, so
+    it reports ``evaluated == pruned == 0`` and its work measure in
+    ``extras["rows_inspected"]``. ``extras`` also carries the exhaustive
+    strategy's ``all_costs`` and the beam strategy's ``width``.
+    """
+
+    configuration: IndexConfiguration
+    cost: float
+    evaluated: int
+    pruned: int
+    trace: list[str] = field(default_factory=list)
+    strategy: str = ""
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def work(self) -> str:
+        """The strategy's work measure, in its own units."""
+        rows = self.extras.get("rows_inspected")
+        if rows is not None:
+            return f"{rows} row lookups"
+        return (
+            f"{self.evaluated} configurations evaluated, "
+            f"{self.pruned} branches pruned"
+        )
+
+    def render(self, path: Path | None = None) -> str:
+        """One-line summary in the paper's notation."""
+        return (
+            f"{self.configuration.render(path)} with processing cost "
+            f"{self.cost:.2f} ({self.work})"
+        )
+
+
+@runtime_checkable
+class SearchStrategy(Protocol):
+    """A configuration searcher over one cost matrix.
+
+    ``name`` is the registry key; ``exact`` declares whether the strategy
+    guarantees the optimum (the parity tests assert it for every exact
+    strategy).
+    """
+
+    name: str
+    exact: bool
+
+    def search(
+        self, matrix: CostMatrix, *, keep_trace: bool = False
+    ) -> SearchResult:
+        """Select a configuration from ``matrix``."""
+        ...
+
+
+def position_cost_bounds(matrix: CostMatrix) -> tuple[list[float], list[float]]:
+    """Per-position lower-bound ingredients shared by pruning strategies.
+
+    Returns ``(cheapest_from, negative_tail)``, both indexed ``1..length``
+    (with two trailing zero sentinels): ``cheapest_from[p]`` is the cost
+    of the cheapest single row starting at ``p``; ``negative_tail[p]`` is
+    ``sum(min(0, cheapest_from[q]) for q in p..length)``. Any set of
+    blocks covering ``p..length`` starts one block at ``p`` (costing at
+    least ``cheapest_from[p]``) and further blocks at distinct positions
+    ``q > p`` (each costing at least ``min(0, cheapest_from[q])``), so
+    ``cheapest_from[p] + negative_tail[p + 1]`` is an admissible remainder
+    bound and ``negative_tail[p]`` alone is an admissible bound that is
+    identically zero on non-negative matrices. Both branch and bound and
+    the greedy beam prune with these; keeping the computation in one
+    place keeps their pruning soundness in sync.
+    """
+    length = matrix.length
+    cheapest_from = [0.0] * (length + 2)
+    for start in range(1, length + 1):
+        cheapest_from[start] = min(
+            matrix.min_cost(start, end).cost
+            for end in range(start, length + 1)
+        )
+    negative_tail = [0.0] * (length + 2)
+    for start in range(length, 0, -1):
+        negative_tail[start] = negative_tail[start + 1] + min(
+            0.0, cheapest_from[start]
+        )
+    return cheapest_from, negative_tail
+
+
+_REGISTRY: dict[str, Callable[..., SearchStrategy]] = {}
+
+
+def register_strategy(
+    name: str,
+) -> Callable[[Callable[..., SearchStrategy]], Callable[..., SearchStrategy]]:
+    """Class decorator: register a strategy factory under ``name``."""
+
+    def decorate(
+        factory: Callable[..., SearchStrategy]
+    ) -> Callable[..., SearchStrategy]:
+        if name in _REGISTRY:
+            raise OptimizerError(f"search strategy {name!r} already registered")
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+def available_strategies() -> tuple[str, ...]:
+    """The registered strategy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_strategy(name: str, **options: Any) -> SearchStrategy:
+    """Instantiate the strategy registered under ``name``.
+
+    Keyword options are forwarded to the strategy constructor (e.g.
+    ``get_strategy("greedy_beam", width=8)``).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_strategies())
+        raise OptimizerError(
+            f"unknown search strategy {name!r} (available: {known})"
+        ) from None
+    try:
+        return factory(**options)
+    except TypeError as error:
+        raise OptimizerError(
+            f"invalid options for search strategy {name!r}: {error}"
+        ) from None

@@ -1,0 +1,134 @@
+"""Greedy beam-search strategy: anytime near-optimal for long paths.
+
+Exhaustive recombination is ``O(2^(n-1))`` and branch and bound has the
+same worst case, so paths of length 20–40 (deep composition hierarchies,
+synthetic stress workloads) need an anytime strategy. The beam keeps the
+``width`` most promising partial partitions, ranked by accumulated cost
+plus an admissible remainder bound (the cheapest single row starting at
+the uncovered position, plus the negative tails of later rows so the
+bound stays valid for literal matrices with negative costs). Partial
+partitions sharing
+the same uncovered position are dominated by the cheapest among them
+(the objective is additive), so only that one enters the beam — with
+``width >=`` path length the beam is therefore exact. ``width`` trades
+speed for closeness to the optimum; the parity tests bound the gap
+against the dynamic program, and ``benchmarks/bench_beam_vs_dp.py``
+measures it.
+"""
+
+from __future__ import annotations
+
+from repro.core.configuration import IndexConfiguration, IndexedSubpath
+from repro.core.cost_matrix import CostMatrix
+from repro.errors import OptimizerError
+from repro.search.base import (
+    SearchResult,
+    position_cost_bounds,
+    register_strategy,
+)
+
+#: Default number of partial partitions kept per expansion level.
+DEFAULT_WIDTH = 8
+
+
+@register_strategy("greedy_beam")
+class GreedyBeamStrategy:
+    """Width-bounded best-first search over partial partitions."""
+
+    name = "greedy_beam"
+    exact = False
+
+    def __init__(self, width: int = DEFAULT_WIDTH) -> None:
+        if width < 1:
+            raise OptimizerError(f"beam width must be positive, got {width}")
+        self.width = width
+
+    def search(
+        self, matrix: CostMatrix, *, keep_trace: bool = False
+    ) -> SearchResult:
+        length = matrix.length
+        trace: list[str] = []
+
+        # remainder_bound[p]: admissible lower bound on covering
+        # p..length — the cheapest first block plus the negative tails of
+        # later positions (zero for the cost model's non-negative
+        # matrices); see :func:`repro.search.base.position_cost_bounds`.
+        cheapest_from, negative_tail = position_cost_bounds(matrix)
+        remainder_bound = [0.0] * (length + 2)
+        for start in range(1, length + 1):
+            remainder_bound[start] = cheapest_from[start] + negative_tail[start + 1]
+
+        best_cost = float("inf")
+        best_parts: tuple[IndexedSubpath, ...] | None = None
+        evaluated = 0
+        pruned = 0
+
+        # A frontier entry: (priority, cost_so_far, next_position, parts).
+        frontier: list[
+            tuple[float, float, int, tuple[IndexedSubpath, ...]]
+        ] = [(remainder_bound[1], 0.0, 1, ())]
+
+        while frontier:
+            successors: list[
+                tuple[float, float, int, tuple[IndexedSubpath, ...]]
+            ] = []
+            for _, cost_so_far, position, parts in frontier:
+                for end in range(position, length + 1):
+                    minimum = matrix.min_cost(position, end)
+                    extended_cost = cost_so_far + minimum.cost
+                    extended = parts + (
+                        IndexedSubpath(position, end, minimum.organization),
+                    )
+                    if end == length:
+                        evaluated += 1
+                        if extended_cost < best_cost:
+                            best_cost = extended_cost
+                            best_parts = extended
+                            if keep_trace:
+                                trace.append(
+                                    f"complete at cost {extended_cost:g} "
+                                    f"-> new best"
+                                )
+                        continue
+                    priority = extended_cost + remainder_bound[end + 1]
+                    if priority >= best_cost:
+                        pruned += 1
+                        continue
+                    successors.append(
+                        (priority, extended_cost, end + 1, extended)
+                    )
+            successors.sort(key=lambda entry: entry[0])
+            # The objective is additive, so of two partial partitions with
+            # the same next uncovered position only the cheaper can ever
+            # win — drop dominated duplicates before they occupy beam
+            # slots (with width >= path length this makes the beam exact).
+            best_per_position: list[
+                tuple[float, float, int, tuple[IndexedSubpath, ...]]
+            ] = []
+            seen_positions: set[int] = set()
+            for entry in successors:
+                if entry[2] in seen_positions:
+                    pruned += 1
+                    continue
+                seen_positions.add(entry[2])
+                best_per_position.append(entry)
+            if len(best_per_position) > self.width:
+                pruned += len(best_per_position) - self.width
+                if keep_trace:
+                    trace.append(
+                        f"beam discards {len(best_per_position) - self.width} "
+                        f"of {len(best_per_position)} partial partitions"
+                    )
+                best_per_position = best_per_position[: self.width]
+            frontier = best_per_position
+
+        assert best_parts is not None
+        return SearchResult(
+            configuration=IndexConfiguration(best_parts),
+            cost=best_cost,
+            evaluated=evaluated,
+            pruned=pruned,
+            trace=trace,
+            strategy=self.name,
+            extras={"width": self.width},
+        )

@@ -1,0 +1,81 @@
+"""Shared partition enumeration for every search strategy.
+
+Section 5 derives the search-space size: a path of length ``n`` has
+``n - 1`` gaps between consecutive classes, each of which either is a
+subpath boundary or is not, hence ``2^(n-1)`` contiguous partitions
+(recombinations). Every strategy in :mod:`repro.search` — and the
+multi-path and storage-budget extensions — enumerates or indexes that
+space through this module instead of hand-rolling its own loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import OptimizerError
+
+Blocks = tuple[tuple[int, int], ...]
+
+
+def partition_count(length: int) -> int:
+    """``2^(length-1)``: the number of contiguous partitions."""
+    if length < 1:
+        raise OptimizerError("path length must be at least 1")
+    return 2 ** (length - 1)
+
+
+def blocks_from_mask(length: int, mask: int) -> Blocks:
+    """The partition selected by one boundary bitmask.
+
+    Bit ``gap - 1`` of ``mask`` set means there is a boundary after
+    position ``gap`` (for ``gap`` in ``1..length-1``).
+    """
+    blocks: list[tuple[int, int]] = []
+    start = 1
+    for gap in range(1, length):
+        if mask & (1 << (gap - 1)):
+            blocks.append((start, gap))
+            start = gap + 1
+    blocks.append((start, length))
+    return tuple(blocks)
+
+
+def enumerate_partitions(length: int) -> Iterator[Blocks]:
+    """All contiguous partitions of positions ``1..length``.
+
+    Yields ``2^(length-1)`` tuples of ``(start, end)`` blocks, in the
+    order induced by the binary boundary masks (mask ``0`` — the whole
+    path — first).
+    """
+    for mask in range(partition_count(length)):
+        yield blocks_from_mask(length, mask)
+
+
+def enumerate_first_pieces(start: int, length: int) -> Iterator[tuple[int, int]]:
+    """The possible first blocks ``(start, k)`` of a partition of
+    ``start..length``, longest first.
+
+    The order matches the paper's ``Opt_Ind_Con`` recursion (split off
+    ``S_{1,n-1}`` before ``S_{1,n-2}`` and so on); the complete remainder
+    ``(start, length)`` is *not* included — strategies treat the unsplit
+    remainder as the base case.
+    """
+    for k in range(length - 1, start - 1, -1):
+        yield (start, k)
+
+
+def validate_partition(length: int, blocks: Blocks) -> None:
+    """Raise :class:`OptimizerError` unless ``blocks`` covers ``1..length``
+    contiguously."""
+    expected = 1
+    for start, end in blocks:
+        if start != expected or end < start:
+            raise OptimizerError(
+                f"blocks {blocks} do not form a contiguous partition of "
+                f"1..{length}"
+            )
+        expected = end + 1
+    if expected != length + 1:
+        raise OptimizerError(
+            f"blocks {blocks} do not cover positions 1..{length}"
+        )

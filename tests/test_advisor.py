@@ -81,6 +81,19 @@ class TestAdvisorOptions:
         assert report.dynprog is None
         assert report.single_index_costs == {}
 
+    def test_no_baselines_single_index_accessors_raise_clearly(
+        self, fig7_stats, fig7_load
+    ):
+        from repro.errors import OptimizerError
+
+        report = advise(fig7_stats, fig7_load, run_baselines=False)
+        with pytest.raises(OptimizerError, match="single-index baselines"):
+            report.best_single_index
+        with pytest.raises(OptimizerError, match="single-index baselines"):
+            report.improvement_factor
+        # The report still renders without the baseline section.
+        assert "optimal:" in report.render()
+
     def test_noindex_extension(self, fig7_stats, fig7_load):
         report = advise(fig7_stats, fig7_load, include_noindex=True)
         assert IndexOrganization.NONE in report.matrix.organizations

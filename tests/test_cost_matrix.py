@@ -110,3 +110,59 @@ class TestComputedMatrix:
     def test_zero_length_rejected(self):
         with pytest.raises(OptimizerError):
             CostMatrix(0, (MX,), {})
+
+    def test_from_values_rejects_mismatched_row_organizations(self):
+        values = {
+            (1, 1): {MX: 1.0, NIX: 2.0},
+            (1, 2): {MX: 1.0, NIX: 2.0},
+            (2, 2): {MX: 1.0, MIX: 2.0},  # MIX instead of NIX
+        }
+        with pytest.raises(OptimizerError, match=r"row \(2, 2\)"):
+            CostMatrix.from_values(2, values)
+
+    def test_from_values_rejects_missing_organization(self):
+        values = {
+            (1, 1): {MX: 1.0, NIX: 2.0},
+            (1, 2): {MX: 1.0, NIX: 2.0},
+            (2, 2): {MX: 1.0},
+        }
+        with pytest.raises(OptimizerError):
+            CostMatrix.from_values(2, values)
+
+    def test_from_values_rejects_empty(self):
+        with pytest.raises(OptimizerError):
+            CostMatrix.from_values(1, {})
+
+    def test_row_index_matches_figure6_order(self, fig6):
+        for expected, (start, end) in enumerate(fig6.rows()):
+            assert fig6.row_index(start, end) == expected
+
+    def test_rows_outside_triangle_rejected(self):
+        values = {
+            (1, 1): {MX: 1.0},
+            (1, 2): {MX: 1.0},
+            (2, 2): {MX: 1.0},
+            (3, 3): {MX: 99.0},  # outside a length-2 matrix
+        }
+        with pytest.raises(OptimizerError, match="outside"):
+            CostMatrix.from_values(2, values)
+
+    def test_tie_resolves_to_earliest_organization(self):
+        values = {(1, 1): {MX: -10.0, MIX: -10.0, NIX: -10.0}}
+        matrix = CostMatrix.from_values(1, values)
+        assert matrix.min_cost(1, 1).organization is MX
+
+    def test_negative_costs_pick_true_minimum(self):
+        values = {(1, 1): {MX: -9.99, MIX: -10.0}}
+        matrix = CostMatrix.from_values(1, values)
+        minimum = matrix.min_cost(1, 1)
+        assert minimum.organization is MIX
+        assert minimum.cost == -10.0
+
+    def test_negative_near_tie_resolves_to_earliest(self):
+        # A 5e-10 relative gap is numerical noise: earliest column wins
+        # regardless of sign (the old relative formula flipped direction
+        # for negative costs and picked the larger value).
+        values = {(1, 1): {MX: -9.999999995, MIX: -10.0}}
+        matrix = CostMatrix.from_values(1, values)
+        assert matrix.min_cost(1, 1).organization is MX

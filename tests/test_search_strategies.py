@@ -1,0 +1,325 @@
+"""Tests for the ``repro.search`` subsystem.
+
+Covers the registry, the unified result type, the shared partition
+enumeration, and — the load-bearing property — parity: every exact
+strategy returns the same optimal cost on randomized synthetic
+statistics/workloads, and the greedy beam stays within a bounded factor
+of the DP optimum.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_matrix import CostMatrix
+from repro.costmodel.params import ClassStats, PathStatistics
+from repro.errors import OptimizerError
+from repro.organizations import IndexOrganization
+from repro.search import (
+    SearchResult,
+    SearchStrategy,
+    available_strategies,
+    blocks_from_mask,
+    enumerate_first_pieces,
+    enumerate_partitions,
+    get_strategy,
+    partition_count,
+    validate_partition,
+)
+from repro.synth import LevelSpec, linear_path_schema
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+MX = IndexOrganization.MX
+MIX = IndexOrganization.MIX
+NIX = IndexOrganization.NIX
+
+EXACT_STRATEGIES = ("branch_and_bound", "exhaustive", "dynamic_program")
+
+
+def synth_inputs(length: int, seed: int) -> tuple[PathStatistics, LoadDistribution]:
+    """Randomized synthetic statistics and workload for one linear path."""
+    rng = random.Random(seed)
+    levels = [
+        LevelSpec(f"L{i}", multi_valued=rng.random() < 0.5)
+        for i in range(length)
+    ]
+    _schema, path = linear_path_schema(levels)
+    per_class = {}
+    objects = rng.randint(1_000, 50_000)
+    for position in range(1, length + 1):
+        name = path.class_at(position)
+        per_class[name] = ClassStats(
+            objects=objects,
+            distinct=max(5, objects // rng.randint(2, 20)),
+            fanout=rng.choice([1, 1, 2, 3]),
+        )
+        objects = max(20, objects // rng.randint(2, 8))
+    stats = PathStatistics(path, per_class)
+    load = LoadDistribution(
+        path,
+        {
+            name: LoadTriplet(
+                query=rng.uniform(0, 0.5),
+                insert=rng.uniform(0, 0.2),
+                delete=rng.uniform(0, 0.2),
+            )
+            for name in path.scope
+        },
+    )
+    return stats, load
+
+
+def synth_matrix(length: int, seed: int) -> CostMatrix:
+    """A cost matrix from randomized synthetic statistics and workload."""
+    return CostMatrix.compute(*synth_inputs(length, seed))
+
+
+class TestRegistry:
+    def test_all_strategies_registered(self):
+        names = available_strategies()
+        for expected in (*EXACT_STRATEGIES, "greedy_beam"):
+            assert expected in names
+
+    def test_get_strategy_unknown_name(self):
+        with pytest.raises(OptimizerError, match="unknown search strategy"):
+            get_strategy("simulated_annealing")
+
+    def test_strategies_satisfy_protocol(self):
+        for name in available_strategies():
+            strategy = get_strategy(name)
+            assert isinstance(strategy, SearchStrategy)
+            assert strategy.name == name
+            assert isinstance(strategy.exact, bool)
+
+    def test_exactness_flags(self):
+        for name in EXACT_STRATEGIES:
+            assert get_strategy(name).exact
+        assert not get_strategy("greedy_beam").exact
+
+    def test_strategy_options_forwarded(self):
+        assert get_strategy("greedy_beam", width=3).width == 3
+        with pytest.raises(OptimizerError):
+            get_strategy("greedy_beam", width=0)
+
+    def test_unknown_strategy_option_named_clearly(self):
+        with pytest.raises(OptimizerError, match="greedy_beam"):
+            get_strategy("greedy_beam", widht=3)  # typo'd option
+        with pytest.raises(OptimizerError, match="branch_and_bound"):
+            get_strategy("branch_and_bound", width=3)  # takes no options
+
+    def test_results_carry_strategy_name(self, fig6):
+        for name in available_strategies():
+            result = get_strategy(name).search(fig6)
+            assert isinstance(result, SearchResult)
+            assert result.strategy == name
+
+
+class TestFigure6AllStrategies:
+    def test_every_exact_strategy_finds_the_paper_optimum(self, fig6):
+        for name in EXACT_STRATEGIES:
+            result = get_strategy(name).search(fig6)
+            assert result.cost == 8.0
+            assert result.configuration.partition() == ((1, 1), (2, 4))
+
+    def test_dp_reports_row_lookups_not_configurations(self, fig6):
+        result = get_strategy("dynamic_program").search(fig6)
+        assert result.evaluated == 0
+        assert result.extras["rows_inspected"] == 10
+        assert "10 row lookups" in result.render()
+        assert "configurations evaluated" not in result.render()
+
+    def test_beam_with_generous_width_matches_on_short_path(self, fig6):
+        result = get_strategy("greedy_beam", width=16).search(fig6)
+        assert result.cost == 8.0
+
+
+class TestStrategyParity:
+    @given(
+        length=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_exact_strategies_agree_on_synth_workloads(self, length, seed):
+        matrix = synth_matrix(length, seed)
+        costs = {
+            name: get_strategy(name).search(matrix).cost
+            for name in EXACT_STRATEGIES
+        }
+        reference = costs["exhaustive"]
+        for name, cost in costs.items():
+            assert cost == pytest.approx(reference), name
+
+    @given(
+        length=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+        width=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_beam_within_bounded_factor_of_dp(self, length, seed, width):
+        matrix = synth_matrix(length, seed)
+        exact = get_strategy("dynamic_program").search(matrix)
+        approx = get_strategy("greedy_beam", width=width).search(matrix)
+        assert approx.cost >= exact.cost - 1e-9
+        assert approx.cost <= 1.5 * exact.cost
+        validate_partition(length, approx.configuration.partition())
+
+    @given(
+        length=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_full_width_beam_exact_even_with_negative_costs(self, length, seed):
+        """The remainder bound must stay admissible for literal matrices
+        with negative entries: at width >= length the beam is exact."""
+        rng = random.Random(seed)
+        values = {
+            (start, end): {
+                MX: rng.uniform(-10, 10),
+                MIX: rng.uniform(-10, 10),
+                NIX: rng.uniform(-10, 10),
+            }
+            for start in range(1, length + 1)
+            for end in range(start, length + 1)
+        }
+        matrix = CostMatrix.from_values(length, values)
+        exact = get_strategy("dynamic_program").search(matrix)
+        beam = get_strategy("greedy_beam", width=length).search(matrix)
+        assert beam.cost == pytest.approx(exact.cost)
+        # Branch and bound must stay exact too: its prune carries the
+        # same negative-tail lower bound.
+        bnb = get_strategy("branch_and_bound").search(matrix)
+        assert bnb.cost == pytest.approx(exact.cost)
+
+    @given(
+        length=st.integers(min_value=1, max_value=7),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_results_are_valid_partitions(self, length, seed):
+        values = {}
+        rng = random.Random(seed)
+        for start in range(1, length + 1):
+            for end in range(start, length + 1):
+                values[(start, end)] = {
+                    MX: rng.uniform(1, 20),
+                    MIX: rng.uniform(1, 20),
+                    NIX: rng.uniform(1, 20),
+                }
+        matrix = CostMatrix.from_values(length, values)
+        for name in available_strategies():
+            result = get_strategy(name).search(matrix)
+            validate_partition(length, result.configuration.partition())
+
+
+class TestLongPaths:
+    def test_beam_handles_length_30_quickly(self):
+        import time
+
+        matrix = synth_matrix(30, seed=5)
+        started = time.perf_counter()
+        result = get_strategy("greedy_beam").search(matrix)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 1.0
+        exact = get_strategy("dynamic_program").search(matrix)
+        assert result.cost <= 1.5 * exact.cost
+
+    def test_beam_widths_all_track_the_optimum(self):
+        # Beam search is not guaranteed monotone in width (the frontier
+        # is ranked by a lower bound, not true completion cost), so only
+        # shape properties that always hold are asserted: never below
+        # the optimum, never far above it at any width.
+        matrix = synth_matrix(20, seed=9)
+        exact = get_strategy("dynamic_program").search(matrix)
+        for width in (1, 8, 32):
+            approx = get_strategy("greedy_beam", width=width).search(matrix)
+            assert approx.cost >= exact.cost - 1e-9
+            assert approx.cost <= 1.5 * exact.cost
+
+
+class TestPartitions:
+    def test_partition_count(self):
+        for length in range(1, 10):
+            assert partition_count(length) == 2 ** (length - 1)
+        with pytest.raises(OptimizerError):
+            partition_count(0)
+
+    def test_blocks_from_mask_roundtrip(self):
+        length = 6
+        seen = set()
+        for mask in range(partition_count(length)):
+            blocks = blocks_from_mask(length, mask)
+            validate_partition(length, blocks)
+            seen.add(blocks)
+        assert len(seen) == partition_count(length)
+        assert list(enumerate_partitions(length)) == [
+            blocks_from_mask(length, mask)
+            for mask in range(partition_count(length))
+        ]
+
+    def test_first_pieces_longest_first(self):
+        pieces = list(enumerate_first_pieces(1, 4))
+        assert pieces == [(1, 3), (1, 2), (1, 1)]
+
+    def test_validate_partition_rejects_gaps(self):
+        with pytest.raises(OptimizerError):
+            validate_partition(4, ((1, 1), (3, 4)))
+        with pytest.raises(OptimizerError):
+            validate_partition(4, ((1, 2),))
+        with pytest.raises(OptimizerError):
+            validate_partition(4, ((1, 2), (3, 4), (5, 5)))
+
+
+class TestAdvisorIntegration:
+    def test_baseline_reuses_primary_result(self, fig7_stats, fig7_load):
+        from repro.core.advisor import advise
+
+        report = advise(fig7_stats, fig7_load, strategy="dynamic_program")
+        assert report.dynprog is report.optimal
+        report = advise(fig7_stats, fig7_load, strategy="exhaustive")
+        assert report.exhaustive is report.optimal
+
+    def test_advise_accepts_strategy_name(self, fig7_stats, fig7_load):
+        default = advise_with(fig7_stats, fig7_load, "branch_and_bound")
+        dp = advise_with(fig7_stats, fig7_load, "dynamic_program")
+        beam = advise_with(fig7_stats, fig7_load, "greedy_beam")
+        assert dp.optimal.cost == pytest.approx(default.optimal.cost)
+        assert beam.optimal.cost >= default.optimal.cost - 1e-9
+        assert beam.optimal.strategy == "greedy_beam"
+
+    def test_long_path_baselines_skip_exhaustive(self):
+        """Baselines on a length-20 path must not attempt the 2^19 sweep."""
+        import time
+
+        from repro.core.advisor import advise
+
+        started = time.perf_counter()
+        report = advise(*synth_inputs(20, seed=3), strategy="greedy_beam")
+        elapsed = time.perf_counter() - started
+        assert elapsed < 5.0
+        assert report.exhaustive is None
+        assert report.dynprog is not None
+        assert report.optimal.cost >= report.dynprog.cost - 1e-9
+        assert report.single_index_costs  # cheap baselines still computed
+
+    def test_advise_rejects_unknown_strategy(self, fig7_stats, fig7_load):
+        from repro.core.advisor import advise
+
+        with pytest.raises(OptimizerError):
+            advise(fig7_stats, fig7_load, strategy="nope")
+
+    def test_legacy_entry_points_still_work(self, fig6):
+        from repro.core.dynprog import dynamic_program
+        from repro.core.exhaustive import exhaustive_search
+        from repro.core.optimizer import optimize
+
+        assert optimize(fig6).cost == 8.0
+        assert exhaustive_search(fig6).cost == 8.0
+        assert dynamic_program(fig6).rows_inspected == 10
+
+
+def advise_with(stats, load, strategy):
+    from repro.core.advisor import advise
+
+    return advise(stats, load, run_baselines=False, strategy=strategy)
