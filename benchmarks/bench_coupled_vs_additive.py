@@ -11,7 +11,7 @@ the winner on the Figure 7 experiment.
 from benchmarks.conftest import write_report
 from repro.core.cost_matrix import CostMatrix
 from repro.core.evaluation import configuration_cost, coupled_configuration_cost
-from repro.core.exhaustive import exhaustive_search
+from repro.search import get_strategy
 from repro.paper import figure7_statistics
 from repro.reporting.tables import ascii_table
 from repro.workload.generator import WorkloadGenerator
@@ -27,16 +27,17 @@ def sweep():
             stats.path, query_weight=3.0, update_weight=1.0, total=1.0
         )
         matrix = CostMatrix.compute(stats, load)
-        result = exhaustive_search(matrix, keep_all=True)
+        result = get_strategy("exhaustive", keep_all=True).search(matrix)
         # Rank all 8 partitions under both evaluations.
         additive = {
-            config.partition(): cost for config, cost in result.all_costs
+            config.partition(): cost
+            for config, cost in result.extras["all_costs"]
         }
         coupled = {
             config.partition(): coupled_configuration_cost(
                 stats, load, config
             ).total
-            for config, _ in result.all_costs
+            for config, _ in result.extras["all_costs"]
         }
         best_additive = min(additive, key=additive.get)
         best_coupled = min(coupled, key=coupled.get)

@@ -8,14 +8,15 @@ evolution 9 → 8, and the final configuration
 """
 
 from benchmarks.conftest import write_report
-from repro.core.optimizer import optimize
+from repro.search import get_strategy
 from repro.organizations import IndexOrganization
 from repro.paper import figure6_matrix
 
 
 def test_fig6_walkthrough(benchmark):
     matrix = figure6_matrix()
-    result = benchmark(lambda: optimize(matrix, keep_trace=True))
+    searcher = get_strategy("branch_and_bound")
+    result = benchmark(lambda: searcher.search(matrix, keep_trace=True))
 
     # --- the facts stated in Section 5's prose ---
     assert result.cost == 8.0

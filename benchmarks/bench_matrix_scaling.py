@@ -1,4 +1,4 @@
-"""Section 5 size claim: the cost matrix has ``3 · n(n+1)/2`` entries.
+"""Section 5 size claim and the PR 2 construction speedups.
 
 "Because in practice a path has rarely a length greater than 7 the
 complexity is determined by the expression 3 * O(n(n+1)/2) which is the
@@ -6,33 +6,36 @@ size of the matrix." The benchmark measures Cost_Matrix computation time
 across path lengths, verifies the entry-count formula, and times a
 dynamic-program search over the array-backed matrix (every ``min_cost``
 is an O(1) read of the precomputed row minima).
+
+``test_construction_speedups`` additionally proves the three PR 2 wins on
+a length-30 path — context hoisting + evaluation caching against a PR 1
+style per-entry build, worker-pool parity, and incremental recompute —
+sharing the measurement code with :mod:`benchmarks.run_all` (which writes
+the machine-readable ``BENCH_costmatrix.json``).
 """
 
 from benchmarks.conftest import write_report
+from benchmarks.run_all import (
+    make_inputs,
+    perturb_ending_insert,
+    time_compute,
+    time_incremental,
+    time_pr1_baseline,
+)
 from repro.core.cost_matrix import CostMatrix
-from repro.costmodel.params import ClassStats, PathStatistics
 from repro.reporting.tables import ascii_table
 from repro.search import get_strategy
-from repro.synth import LevelSpec, linear_path_schema
-from repro.workload.load import LoadDistribution
 
 LENGTHS = [2, 3, 4, 5, 6, 7, 8, 10, 12]
 
+#: Length of the speedup measurements (the ROADMAP's problem size).
+SPEEDUP_LENGTH = 30
 
-def make_inputs(length: int):
-    levels = [LevelSpec(f"L{i}") for i in range(length)]
-    _schema, path = linear_path_schema(levels)
-    per_class = {}
-    objects = 50_000
-    for position in range(1, length + 1):
-        name = path.class_at(position)
-        per_class[name] = ClassStats(
-            objects=objects, distinct=max(10, objects // 5), fanout=1
-        )
-        objects = max(100, objects // 4)
-    stats = PathStatistics(path, per_class)
-    load = LoadDistribution.uniform(path, query=0.2, insert=0.05, delete=0.05)
-    return stats, load
+#: Generous regression floors: the measured speedups are ~6x (hoisting)
+#: and ~12x (incremental) on one 2020s core; the assertions only trip
+#: when a change genuinely loses the evaluation layer, not on CI noise.
+MIN_SERIAL_SPEEDUP = 3.0
+MIN_INCREMENTAL_SPEEDUP = 4.0
 
 
 def test_matrix_entry_count_and_time(benchmark):
@@ -79,3 +82,73 @@ def test_matrix_entry_count_and_time(benchmark):
         title="Cost_Matrix size and computation time (Section 5 complexity claim)",
     )
     write_report("matrix_scaling", report)
+
+
+def test_construction_speedups(benchmark):
+    """The three PR 2 wins at length 30: hoisting, workers, incremental."""
+
+    def measure():
+        baseline_ms = time_pr1_baseline(SPEEDUP_LENGTH)
+        serial_ms = time_compute(SPEEDUP_LENGTH, workers=0)
+        parallel_ms = time_compute(SPEEDUP_LENGTH, workers=2, repeats=1)
+        incremental = time_incremental(SPEEDUP_LENGTH)
+        return baseline_ms, serial_ms, parallel_ms, incremental
+
+    baseline_ms, serial_ms, parallel_ms, incremental = benchmark(measure)
+
+    # Worker output is bit-identical to serial regardless of worker count.
+    stats, load = make_inputs(SPEEDUP_LENGTH)
+    serial_matrix = CostMatrix.compute(stats, load, workers=0)
+    parallel_matrix = CostMatrix.compute(
+        make_inputs(SPEEDUP_LENGTH)[0], load, workers=2
+    )
+    for start, end in serial_matrix.rows():
+        for organization in serial_matrix.organizations:
+            assert parallel_matrix.cost(start, end, organization) == (
+                serial_matrix.cost(start, end, organization)
+            )
+
+    serial_speedup = baseline_ms / serial_ms
+    assert serial_speedup >= MIN_SERIAL_SPEEDUP, (
+        f"hoisting+caching regressed: {serial_speedup:.1f}x vs PR 1 style "
+        f"baseline (floor {MIN_SERIAL_SPEEDUP}x)"
+    )
+    assert incremental["speedup"] >= MIN_INCREMENTAL_SPEEDUP, (
+        f"incremental recompute regressed: {incremental['speedup']:.1f}x "
+        f"vs full recompute (floor {MIN_INCREMENTAL_SPEEDUP}x)"
+    )
+    # The dirty set of a single ending-class insert change is exactly the
+    # rows ending at the last position.
+    assert incremental["dirty_rows"] == SPEEDUP_LENGTH
+
+    report = ascii_table(
+        ["measurement", "ms", "speedup"],
+        [
+            ["PR 1 style per-entry build", f"{baseline_ms:.1f}", "1.0x"],
+            [
+                "serial (hoisting + caching)",
+                f"{serial_ms:.1f}",
+                f"{serial_speedup:.1f}x",
+            ],
+            [
+                "2-worker pool (parity-checked)",
+                f"{parallel_ms:.1f}",
+                f"{baseline_ms / parallel_ms:.1f}x",
+            ],
+            [
+                "full recompute after load change",
+                f"{incremental['full_recompute_ms']:.1f}",
+                "-",
+            ],
+            [
+                "incremental recompute (dirty rows only)",
+                f"{incremental['incremental_ms']:.1f}",
+                f"{incremental['speedup']:.1f}x vs full",
+            ],
+        ],
+        title=(
+            f"Cost_Matrix construction speedups at length {SPEEDUP_LENGTH} "
+            "(PR 2: batched, parallel, incremental)"
+        ),
+    )
+    write_report("matrix_construction_speedups", report)

@@ -12,9 +12,7 @@ import time
 
 from benchmarks.conftest import write_report
 from repro.core.cost_matrix import CostMatrix
-from repro.core.dynprog import dynamic_program
-from repro.core.exhaustive import exhaustive_search
-from repro.core.optimizer import optimize
+from repro.search import get_strategy
 from repro.organizations import IndexOrganization
 from repro.reporting.tables import ascii_table
 
@@ -52,9 +50,9 @@ def sweep():
         bnb_ms = exhaustive_ms = dp_ms = 0.0
         for seed in range(3):
             matrix = random_matrix(length, seed)
-            t1, bnb = timed(lambda: optimize(matrix))
-            t2, full = timed(lambda: exhaustive_search(matrix))
-            t3, dp = timed(lambda: dynamic_program(matrix))
+            t1, bnb = timed(lambda: get_strategy("branch_and_bound").search(matrix))
+            t2, full = timed(lambda: get_strategy("exhaustive").search(matrix))
+            t3, dp = timed(lambda: get_strategy("dynamic_program").search(matrix))
             assert abs(bnb.cost - full.cost) < 1e-9
             assert abs(dp.cost - full.cost) < 1e-9
             bnb_ms += t1

@@ -1,0 +1,219 @@
+"""Cost-matrix performance runner: records the perf trajectory.
+
+Measures the three PR 2 wins on synthetic long paths —
+
+* **hoisting + caching**: serial ``CostMatrix.compute`` against a PR 1
+  style baseline (per-entry evaluation, no shared row context, evaluation
+  caches off);
+* **workers**: the same construction fanned out over a process pool;
+* **incremental**: ``CostMatrix.recompute`` after a single-class load
+  change against a full recompute of the whole matrix —
+
+and writes the numbers to ``benchmarks/results/BENCH_costmatrix.json`` so
+successive PRs can compare machine-readable results instead of prose.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/run_all.py            # full run
+    PYTHONPATH=src:. python benchmarks/run_all.py --smoke    # CI guard
+
+``--smoke`` measures the short lengths only and exits non-zero when the
+length-20 serial build regresses beyond a (generous) absolute threshold,
+so CI catches order-of-magnitude regressions without flaking on machine
+noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+from repro.core.cost_matrix import CostMatrix
+from repro.costmodel.params import ClassStats, CostModelConfig, PathStatistics
+from repro.costmodel.subpath import subpath_processing_cost
+from repro.organizations import CONFIGURABLE_ORGANIZATIONS
+from repro.synth import LevelSpec, linear_path_schema
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+JSON_NAME = "BENCH_costmatrix.json"
+
+#: --smoke fails when the length-20 serial build exceeds this. The build
+#: takes ~70 ms on a 2020s laptop core; 2000 ms only trips on a real
+#: regression (e.g. losing the evaluation caches), not on slow CI.
+SMOKE_SERIAL_LIMIT_MS = 2000.0
+
+FULL_LENGTHS = (20, 30)
+SMOKE_LENGTHS = (10, 20)
+
+
+def make_inputs(length: int, cache_evaluation: bool = True):
+    """The bench_matrix_scaling synthetic world, configurable caching."""
+    levels = [LevelSpec(f"L{i}") for i in range(length)]
+    _schema, path = linear_path_schema(levels)
+    per_class = {}
+    objects = 50_000
+    for position in range(1, length + 1):
+        name = path.class_at(position)
+        per_class[name] = ClassStats(
+            objects=objects, distinct=max(10, objects // 5), fanout=1
+        )
+        objects = max(100, objects // 4)
+    config = CostModelConfig(cache_evaluation=cache_evaluation)
+    stats = PathStatistics(path, per_class, config)
+    load = LoadDistribution.uniform(path, query=0.2, insert=0.05, delete=0.05)
+    return stats, load
+
+
+def time_pr1_baseline(length: int) -> float:
+    """Milliseconds for a PR 1 style build: per-entry, contextless, uncached."""
+    stats, load = make_inputs(length, cache_evaluation=False)
+    started = time.perf_counter()
+    for start in range(1, length + 1):
+        for end in range(start, length + 1):
+            for organization in CONFIGURABLE_ORGANIZATIONS:
+                subpath_processing_cost(stats, load, start, end, organization)
+    return (time.perf_counter() - started) * 1000.0
+
+
+def time_compute(length: int, workers: int | None, repeats: int = 3) -> float:
+    """Best-of-N milliseconds for ``CostMatrix.compute`` on fresh inputs."""
+    best = float("inf")
+    for _ in range(repeats):
+        stats, load = make_inputs(length)
+        started = time.perf_counter()
+        CostMatrix.compute(stats, load, workers=workers)
+        best = min(best, (time.perf_counter() - started) * 1000.0)
+    return best
+
+
+def perturb_ending_insert(stats, load) -> LoadDistribution:
+    """A single-class what-if: bump the ending class's insert frequency."""
+    ending = stats.path.class_at(stats.length)
+    triplets = {}
+    for name, triplet in load.items():
+        if name == ending:
+            triplet = LoadTriplet(
+                query=triplet.query,
+                insert=triplet.insert * 2.0 + 0.01,
+                delete=triplet.delete,
+            )
+        triplets[name] = triplet
+    return LoadDistribution(load.path, triplets)
+
+
+def time_incremental(length: int, repeats: int = 3) -> dict:
+    """Incremental recompute vs full recompute after one load change."""
+    stats, load = make_inputs(length)
+    matrix = CostMatrix.compute(stats, load)
+    new_load = perturb_ending_insert(stats, load)
+    dirty = matrix._dirty_rows(stats, new_load)
+    full_ms = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        full = CostMatrix.compute(stats, new_load)
+        full_ms = min(full_ms, (time.perf_counter() - started) * 1000.0)
+    incremental_ms = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        incremental = matrix.recompute(load=new_load)
+        incremental_ms = min(
+            incremental_ms, (time.perf_counter() - started) * 1000.0
+        )
+    for start, end in full.rows():
+        for organization in full.organizations:
+            assert incremental.cost(start, end, organization) == full.cost(
+                start, end, organization
+            ), "incremental recompute diverged from full compute"
+    return {
+        "full_recompute_ms": round(full_ms, 3),
+        "incremental_ms": round(incremental_ms, 3),
+        "speedup": round(full_ms / incremental_ms, 2) if incremental_ms else None,
+        "dirty_rows": len(dirty) if dirty is not None else None,
+        "total_rows": matrix.row_count(),
+    }
+
+
+def measure(length: int, parallel_workers: int) -> dict:
+    """All three measurements for one path length.
+
+    Order matters and is chronological: the PR 1 baseline runs first
+    (cold), the new serial path second, so shared module-level memo tables
+    (Yao's formula) never favour the baseline.
+    """
+    baseline_ms = time_pr1_baseline(length)
+    serial_ms = time_compute(length, workers=0)
+    parallel_ms = time_compute(length, workers=parallel_workers)
+    result = {
+        "length": length,
+        "rows": length * (length + 1) // 2,
+        "pr1_baseline_ms": round(baseline_ms, 3),
+        "serial_ms": round(serial_ms, 3),
+        "serial_speedup_vs_pr1": round(baseline_ms / serial_ms, 2),
+        "parallel_workers": parallel_workers,
+        "parallel_ms": round(parallel_ms, 3),
+        "parallel_speedup_vs_serial": round(serial_ms / parallel_ms, 2),
+        "incremental": time_incremental(length),
+    }
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short lengths only; non-zero exit on gross serial regression",
+    )
+    parser.add_argument(
+        "--json-path",
+        default=None,
+        help=f"output path (default benchmarks/results/{JSON_NAME})",
+    )
+    arguments = parser.parse_args(argv)
+
+    lengths = SMOKE_LENGTHS if arguments.smoke else FULL_LENGTHS
+    cpu_count = os.cpu_count() or 1
+    # On a single-CPU box a 2-worker pool still exercises the parallel
+    # code path (and the parity guarantee); it just cannot be faster.
+    parallel_workers = max(2, cpu_count)
+
+    measurements = [measure(length, parallel_workers) for length in lengths]
+    report = {
+        "benchmark": "costmatrix",
+        "mode": "smoke" if arguments.smoke else "full",
+        "python": platform.python_version(),
+        "cpu_count": cpu_count,
+        "measurements": measurements,
+    }
+
+    json_path = (
+        pathlib.Path(arguments.json_path)
+        if arguments.json_path
+        else RESULTS_DIR / JSON_NAME
+    )
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {json_path}", file=sys.stderr)
+
+    if arguments.smoke:
+        guard = next(m for m in measurements if m["length"] == 20)
+        if guard["serial_ms"] > SMOKE_SERIAL_LIMIT_MS:
+            print(
+                f"SMOKE FAILURE: length-20 serial build took "
+                f"{guard['serial_ms']:.0f} ms "
+                f"(limit {SMOKE_SERIAL_LIMIT_MS:.0f} ms)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,9 +21,6 @@ from repro.core.advisor import DEFAULT_STRATEGY, AdvisorReport, advise
 from repro.core.budget import BudgetedResult, optimize_with_budget
 from repro.core.configuration import IndexConfiguration, IndexedSubpath
 from repro.core.cost_matrix import CostMatrix
-from repro.core.dynprog import dynamic_program
-from repro.core.exhaustive import enumerate_partitions, exhaustive_search
-from repro.core.optimizer import OptimizationResult, optimize
 from repro.core.planner import Plan, explain_query, explain_update
 from repro.costmodel.params import ClassStats, CostModelConfig, PathStatistics
 from repro.costmodel.subpath import build_model, subpath_processing_cost
@@ -37,6 +34,7 @@ from repro.search import (
     SearchResult,
     SearchStrategy,
     available_strategies,
+    enumerate_partitions,
     get_strategy,
 )
 from repro.storage.sizes import SizeModel
@@ -64,7 +62,6 @@ __all__ = [
     "OID",
     "OODatabase",
     "ObjectInstance",
-    "OptimizationResult",
     "Path",
     "PathStatistics",
     "Plan",
@@ -77,13 +74,10 @@ __all__ = [
     "advise",
     "available_strategies",
     "build_model",
-    "dynamic_program",
     "enumerate_partitions",
-    "exhaustive_search",
     "explain_query",
     "explain_update",
     "get_strategy",
-    "optimize",
     "optimize_with_budget",
     "subpath_processing_cost",
 ]

@@ -44,6 +44,7 @@ def _cmd_advise(arguments: argparse.Namespace) -> int:
         keep_trace=arguments.trace,
         range_selectivity=spec.range_selectivity,
         strategy=arguments.strategy,
+        workers=arguments.workers,
         **strategy_options,
     )
     if arguments.json:
@@ -87,6 +88,7 @@ def _cmd_matrix(arguments: argparse.Namespace) -> int:
         organizations=spec.organizations or CONFIGURABLE_ORGANIZATIONS,
         include_noindex=spec.include_noindex,
         range_selectivity=spec.range_selectivity,
+        workers=arguments.workers,
     )
     print(matrix.render(spec.stats.path))
     return 0
@@ -112,6 +114,19 @@ def _cmd_paper(arguments: argparse.Namespace) -> int:
         for line in report.optimal.trace:
             print("  " + line)
     return 0
+
+
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the cost-matrix construction: "
+            "0 forces serial, omit for auto (parallel on long paths)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -153,12 +168,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="beam width (only valid with --strategy greedy_beam)",
     )
+    _add_workers_argument(advise_parser)
     advise_parser.set_defaults(handler=_cmd_advise)
 
     matrix_parser = commands.add_parser(
         "matrix", help="print the subpath x organization cost matrix"
     )
     matrix_parser.add_argument("spec", help="advisor spec JSON file")
+    _add_workers_argument(matrix_parser)
     matrix_parser.set_defaults(handler=_cmd_matrix)
 
     example_parser = commands.add_parser(

@@ -4,10 +4,9 @@
 * :mod:`~repro.core.cost_matrix` — the ``Cost_Matrix`` and ``Min_Cost``
   procedures of Section 5;
 * :mod:`repro.search` — the pluggable search strategies over the matrix
-  (branch and bound, exhaustive, dynamic program, greedy beam);
-* :mod:`~repro.core.optimizer` / :mod:`~repro.core.exhaustive` /
-  :mod:`~repro.core.dynprog` — deprecated shims kept for the historical
-  import paths of the searchers now living in :mod:`repro.search`;
+  (branch and bound, exhaustive, dynamic program, greedy beam); the
+  pre-PR 1 shims ``core/optimizer``, ``core/exhaustive`` and
+  ``core/dynprog`` are retired and raise a migration ``ImportError``;
 * :mod:`~repro.core.evaluation` — configuration cost evaluation, including
   the exact "coupled" evaluator extension;
 * :mod:`~repro.core.advisor` — the one-call high-level API;
@@ -18,9 +17,6 @@ from repro.core.advisor import DEFAULT_STRATEGY, AdvisorReport, advise
 from repro.core.budget import BudgetedResult, optimize_with_budget
 from repro.core.configuration import IndexConfiguration, IndexedSubpath
 from repro.core.cost_matrix import CostMatrix
-from repro.core.dynprog import dynamic_program
-from repro.core.exhaustive import enumerate_partitions, exhaustive_search
-from repro.core.optimizer import OptimizationResult, optimize
 from repro.core.planner import Plan, PlanStep, explain_query, explain_update
 
 __all__ = [
@@ -30,15 +26,10 @@ __all__ = [
     "DEFAULT_STRATEGY",
     "IndexConfiguration",
     "IndexedSubpath",
-    "OptimizationResult",
     "Plan",
     "PlanStep",
     "advise",
-    "dynamic_program",
-    "enumerate_partitions",
-    "exhaustive_search",
     "explain_query",
     "explain_update",
-    "optimize",
     "optimize_with_budget",
 ]

@@ -136,6 +136,7 @@ def advise(
     keep_trace: bool = False,
     range_selectivity: float | None = None,
     strategy: str = DEFAULT_STRATEGY,
+    workers: int | None = None,
     **strategy_options,
 ) -> AdvisorReport:
     """Select the optimal index configuration for a path.
@@ -165,6 +166,11 @@ def advise(
         :func:`repro.search.available_strategies`); defaults to the
         paper's branch and bound. ``"greedy_beam"`` gives anytime
         near-optimal answers on long paths.
+    workers:
+        Worker processes for the ``Cost_Matrix`` construction (see
+        :meth:`~repro.core.cost_matrix.CostMatrix.compute`): ``None``
+        auto-parallelizes long paths, ``0`` forces serial, ``N`` uses
+        exactly ``N`` processes. The search itself is always in-process.
     strategy_options:
         Extra keyword options for the strategy constructor (e.g.
         ``width=4`` for ``greedy_beam``).
@@ -178,6 +184,7 @@ def advise(
         organizations=organizations,
         include_noindex=include_noindex,
         range_selectivity=range_selectivity,
+        workers=workers,
     )
     optimal = searcher.search(matrix, keep_trace=keep_trace)
     report = AdvisorReport(stats=stats, load=load, matrix=matrix, optimal=optimal)

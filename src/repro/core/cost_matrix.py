@@ -14,14 +14,28 @@ of a dict-of-dicts walk plus a ``min()`` scan.
 A matrix can also be constructed from literal values
 (:meth:`CostMatrix.from_values`), which is how the Figure 6 hypothetical
 matrix and its walkthrough are reproduced.
+
+Construction is the pipeline's bottleneck on long paths, so it is built
+as a fast evaluation layer: per-row shared work (derived load, probe
+fan-in) is hoisted into a :class:`~repro.costmodel.subpath.SubpathContext`
+computed once per row, rows can be fanned out over worker processes
+(:meth:`CostMatrix.compute` with ``workers``), and
+:meth:`CostMatrix.recompute` re-prices only the rows whose inputs actually
+changed for cheap what-if loops over evolving workloads.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 from dataclasses import dataclass
 
 from repro.costmodel.params import PathStatistics
-from repro.costmodel.subpath import SubpathCost, subpath_processing_cost
+from repro.costmodel.subpath import (
+    SubpathContext,
+    SubpathCost,
+    subpath_processing_cost,
+)
 from repro.errors import OptimizerError
 from repro.organizations import (
     CONFIGURABLE_ORGANIZATIONS,
@@ -46,7 +60,83 @@ class RowMinimum:
 #: the earliest organization in column order, matching the paper's
 #: preference and keeping the selected configuration stable under
 #: numerically equivalent reformulations of the cost model.
-_TIE_RELATIVE_TOLERANCE = 1e-9
+TIE_RELATIVE_TOLERANCE = 1e-9
+
+#: Backwards-compatible alias (pre-PR 2 private name).
+_TIE_RELATIVE_TOLERANCE = TIE_RELATIVE_TOLERANCE
+
+#: Shortest path for which ``workers=None`` (auto) parallelizes
+#: construction. Below it the n(n+1)/2 rows are cheap enough that process
+#: startup and input pickling dominate any win.
+PARALLEL_AUTO_MIN_LENGTH = 25
+
+
+def _scan_row_minimum(values: list[float], base: int, width: int) -> tuple[float, int]:
+    """``Min_Cost`` of one dense row: (cost, column) with tie handling.
+
+    A later column only displaces the running minimum when it is strictly
+    smaller beyond the tie tolerance; the symmetric absolute form keeps
+    the comparison direction correct for costs of any sign, so exact and
+    near ties resolve to the earliest organization in column order.
+    """
+    minimum_cost = values[base]
+    minimum_org = 0
+    for column in range(1, width):
+        value = values[base + column]
+        if minimum_cost == float("inf"):
+            # The relative form is indeterminate against an infinite
+            # running minimum; any finite value wins outright.
+            take = value < minimum_cost
+        else:
+            take = minimum_cost - value > TIE_RELATIVE_TOLERANCE * max(
+                abs(value), abs(minimum_cost)
+            )
+        if take:
+            minimum_cost = value
+            minimum_org = column
+    return minimum_cost, minimum_org
+
+
+def _compute_row(
+    stats: PathStatistics,
+    load: LoadDistribution,
+    organizations: tuple[IndexOrganization, ...],
+    start: int,
+    end: int,
+    range_selectivity: float | None,
+) -> dict[IndexOrganization, SubpathCost]:
+    """Price one matrix row: every organization over one shared context."""
+    context = SubpathContext.build(
+        stats, load, start, end, range_selectivity=range_selectivity
+    )
+    return {
+        organization: subpath_processing_cost(
+            stats,
+            load,
+            start,
+            end,
+            organization,
+            range_selectivity=range_selectivity,
+            context=context,
+        )
+        for organization in organizations
+    }
+
+
+def _compute_row_batch(
+    payload: tuple,
+) -> list[tuple[int, int, dict[IndexOrganization, SubpathCost]]]:
+    """Worker entry point: price a batch of rows.
+
+    Top-level so it pickles by reference into worker processes; each row
+    is computed independently, so the result is bit-identical to a serial
+    evaluation of the same rows regardless of batching.
+    """
+    stats, load, organizations, rows, range_selectivity = payload
+    return [
+        (start, end, _compute_row(stats, load, organizations, start, end, range_selectivity))
+        for start, end in rows
+    ]
 
 
 class CostMatrix:
@@ -71,6 +161,11 @@ class CostMatrix:
         self.length = length
         self.organizations = tuple(organizations)
         self._breakdowns = breakdowns or {}
+        # Inputs of a computed matrix (attached by compute()/recompute());
+        # literal matrices keep them None and cannot be recomputed.
+        self._stats: PathStatistics | None = None
+        self._load: LoadDistribution | None = None
+        self._range_selectivity: float | None = None
         self._org_index = {
             organization: index
             for index, organization in enumerate(self.organizations)
@@ -89,29 +184,15 @@ class CostMatrix:
                     raise OptimizerError(f"missing matrix row ({start},{end})")
                 row_position = self.row_index(start, end)
                 base = row_position * width
-                minimum_cost = float("inf")
-                minimum_org = 0
                 for column, organization in enumerate(self.organizations):
                     if organization not in row:
                         raise OptimizerError(
                             f"row ({start},{end}) missing {organization}"
                         )
-                    value = row[organization]
-                    self._values[base + column] = value
-                    if minimum_cost == float("inf"):
-                        take = column == 0 or value < minimum_cost
-                    else:
-                        # Strictly smaller beyond the tie tolerance; the
-                        # symmetric absolute form keeps the comparison
-                        # direction correct for costs of any sign.
-                        take = (
-                            minimum_cost - value
-                            > _TIE_RELATIVE_TOLERANCE
-                            * max(abs(value), abs(minimum_cost))
-                        )
-                    if take:
-                        minimum_cost = value
-                        minimum_org = column
+                    self._values[base + column] = row[organization]
+                minimum_cost, minimum_org = _scan_row_minimum(
+                    self._values, base, width
+                )
                 self._row_min_cost[row_position] = minimum_cost
                 self._row_min_org[row_position] = minimum_org
         extra = set(entries) - set(self.rows())
@@ -132,35 +213,122 @@ class CostMatrix:
         organizations: tuple[IndexOrganization, ...] = CONFIGURABLE_ORGANIZATIONS,
         include_noindex: bool = False,
         range_selectivity: float | None = None,
+        workers: int | None = None,
     ) -> "CostMatrix":
         """The ``Cost_Matrix`` procedure over the analytic cost model.
 
         ``range_selectivity`` switches the workload's queries from
         equality to range predicates with the given selectivity.
+
+        ``workers`` fans the (independent) rows out over a process pool:
+        ``None`` (default) parallelizes automatically on long paths
+        (length ≥ :data:`PARALLEL_AUTO_MIN_LENGTH`, one worker per CPU),
+        ``0`` or ``1`` forces serial evaluation, ``N > 1`` uses exactly
+        ``N`` workers. Every row is priced independently, so the matrix is
+        bit-identical for every worker count.
         """
         if include_noindex and IndexOrganization.NONE not in organizations:
             organizations = tuple(EXTENDED_ORGANIZATIONS)
+        length = stats.length
+        rows = [
+            (start, end)
+            for start in range(1, length + 1)
+            for end in range(start, length + 1)
+        ]
+        row_costs = cls._compute_rows(
+            stats, load, tuple(organizations), rows, range_selectivity, workers
+        )
         entries: dict[tuple[int, int], dict[IndexOrganization, float]] = {}
         breakdowns: dict[tuple[int, int], dict[IndexOrganization, SubpathCost]] = {}
-        length = stats.length
-        for start in range(1, length + 1):
-            for end in range(start, length + 1):
-                row: dict[IndexOrganization, float] = {}
-                row_breakdown: dict[IndexOrganization, SubpathCost] = {}
-                for organization in organizations:
-                    cost = subpath_processing_cost(
-                        stats,
-                        load,
-                        start,
-                        end,
-                        organization,
-                        range_selectivity=range_selectivity,
+        for coordinates, row_breakdown in row_costs.items():
+            entries[coordinates] = {
+                organization: cost.total
+                for organization, cost in row_breakdown.items()
+            }
+            breakdowns[coordinates] = row_breakdown
+        matrix = cls(length, organizations, entries, breakdowns)
+        matrix._stats = stats
+        matrix._load = load
+        matrix._range_selectivity = range_selectivity
+        return matrix
+
+    @staticmethod
+    def _resolve_workers(workers: int | None, row_count: int) -> int:
+        """Number of worker processes to use (1 means in-process serial)."""
+        if workers is None:
+            if row_count < PARALLEL_AUTO_MIN_LENGTH * (PARALLEL_AUTO_MIN_LENGTH + 1) // 2:
+                return 1
+            workers = os.cpu_count() or 1
+        if workers < 0:
+            raise OptimizerError(f"workers must be >= 0, got {workers}")
+        return max(1, min(workers, row_count))
+
+    @classmethod
+    def _compute_rows(
+        cls,
+        stats: PathStatistics,
+        load: LoadDistribution,
+        organizations: tuple[IndexOrganization, ...],
+        rows: list[tuple[int, int]],
+        range_selectivity: float | None,
+        workers: int | None,
+    ) -> dict[tuple[int, int], dict[IndexOrganization, SubpathCost]]:
+        """Price a set of rows, serially or over a process pool.
+
+        The result is keyed by row coordinates, so assembly order is
+        deterministic regardless of how the rows were distributed.
+        """
+        resolved = cls._resolve_workers(workers, len(rows))
+        if resolved > 1:
+            batched = cls._compute_rows_parallel(
+                stats, load, organizations, rows, range_selectivity, resolved
+            )
+            if batched is not None:
+                return batched
+        return {
+            (start, end): _compute_row(
+                stats, load, organizations, start, end, range_selectivity
+            )
+            for start, end in rows
+        }
+
+    @staticmethod
+    def _compute_rows_parallel(
+        stats: PathStatistics,
+        load: LoadDistribution,
+        organizations: tuple[IndexOrganization, ...],
+        rows: list[tuple[int, int]],
+        range_selectivity: float | None,
+        workers: int,
+    ) -> dict[tuple[int, int], dict[IndexOrganization, SubpathCost]] | None:
+        """Fan row batches out over a process pool; ``None`` on failure.
+
+        Rows are striped across batches so each worker sees a mix of
+        short (cheap) and long (expensive) subpaths. Environments that
+        cannot fork/pickle fall back to serial evaluation (returning
+        ``None``) rather than failing the computation.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        batches = [rows[offset::workers] for offset in range(workers)]
+        results: dict[tuple[int, int], dict[IndexOrganization, SubpathCost]] = {}
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _compute_row_batch,
+                        (stats, load, organizations, batch, range_selectivity),
                     )
-                    row[organization] = cost.total
-                    row_breakdown[organization] = cost
-                entries[(start, end)] = row
-                breakdowns[(start, end)] = row_breakdown
-        return cls(length, organizations, entries, breakdowns)
+                    for batch in batches
+                    if batch
+                ]
+                for future in futures:
+                    for start, end, row in future.result():
+                        results[(start, end)] = row
+        except (OSError, BrokenProcessPool, pickle.PicklingError):
+            return None
+        return results
 
     @classmethod
     def from_values(
@@ -187,6 +355,155 @@ class CostMatrix:
                     f"{sorted(str(org) for org in expected)}"
                 )
         return cls(length, organizations, values)
+
+    # ------------------------------------------------------------------
+    # incremental updates
+    # ------------------------------------------------------------------
+    def recompute(
+        self,
+        stats: PathStatistics | None = None,
+        load: LoadDistribution | None = None,
+        *,
+        workers: int | None = 0,
+    ) -> "CostMatrix":
+        """A new matrix under changed inputs, re-pricing only dirty rows.
+
+        ``stats``/``load`` replace the inputs this matrix was computed
+        with (``None`` keeps the old one). The dirty-row analysis is
+        exact: a row is recomputed iff one of its inputs can reach it —
+
+        * a statistics change on a class at position ``p`` touches every
+          row with ``start <= p`` (rows covering ``p`` read its shapes and
+          loads; rows ending before ``p`` read it through the probe-key
+          fan-in chain of the remaining path); rows starting after ``p``
+          never look at it;
+        * a query-frequency change at ``p`` touches rows with
+          ``end >= p`` (the subpath's own derived load, or the upstream
+          mass folded into a later subpath's starting class);
+        * an insert-frequency change at ``p`` touches rows covering ``p``;
+        * a delete-frequency change at ``p`` touches rows covering ``p``
+          plus rows ending at ``p - 1`` (their ``CMD`` term);
+        * a config or hierarchy-membership change falls back to a full
+          recompute.
+
+        Clean rows are copied bit-for-bit, so the result is always
+        entry-for-entry identical to a fresh
+        :meth:`compute` over the new inputs. ``workers`` defaults to ``0``
+        (serial) because dirty sets are typically small; pass ``None`` for
+        the same auto-parallel policy as :meth:`compute`.
+
+        Raises :class:`~repro.errors.OptimizerError` for literal matrices
+        (:meth:`from_values`) and when the new inputs describe a different
+        path.
+        """
+        if self._stats is None or self._load is None:
+            raise OptimizerError(
+                "recompute requires a matrix built by CostMatrix.compute(...); "
+                "literal matrices carry no statistics or workload"
+            )
+        new_stats = stats if stats is not None else self._stats
+        new_load = load if load is not None else self._load
+        if (
+            str(new_stats.path) != str(self._stats.path)
+            or str(new_load.path) != str(new_stats.path)
+        ):
+            raise OptimizerError(
+                "recompute requires inputs for the same path "
+                f"({self._stats.path}); build a fresh matrix for "
+                f"{new_stats.path}"
+            )
+        dirty = self._dirty_rows(new_stats, new_load)
+        if dirty is None:
+            dirty_rows = self.rows()
+        else:
+            dirty_rows = sorted(dirty)
+        recomputed = self._compute_rows(
+            new_stats,
+            new_load,
+            self.organizations,
+            dirty_rows,
+            self._range_selectivity,
+            workers,
+        )
+        # Fast assembly: clean rows are copied as flat-array slices (and
+        # keep their precomputed minima); only the recomputed rows are
+        # written and re-scanned. This keeps the cost of a what-if step
+        # proportional to the dirty set, not the matrix size.
+        width = len(self.organizations)
+        matrix = CostMatrix.__new__(CostMatrix)
+        matrix.length = self.length
+        matrix.organizations = self.organizations
+        matrix._org_index = self._org_index
+        matrix._values = self._values.copy()
+        matrix._row_min_cost = self._row_min_cost.copy()
+        matrix._row_min_org = self._row_min_org.copy()
+        matrix._breakdowns = dict(self._breakdowns)
+        for (start, end), row_breakdown in recomputed.items():
+            row_position = self.row_index(start, end)
+            base = row_position * width
+            for column, organization in enumerate(self.organizations):
+                matrix._values[base + column] = row_breakdown[organization].total
+            minimum_cost, minimum_org = _scan_row_minimum(
+                matrix._values, base, width
+            )
+            matrix._row_min_cost[row_position] = minimum_cost
+            matrix._row_min_org[row_position] = minimum_org
+            matrix._breakdowns[(start, end)] = row_breakdown
+        matrix._stats = new_stats
+        matrix._load = new_load
+        matrix._range_selectivity = self._range_selectivity
+        return matrix
+
+    def _dirty_rows(
+        self, new_stats: PathStatistics, new_load: LoadDistribution
+    ) -> set[tuple[int, int]] | None:
+        """Rows whose inputs changed; ``None`` forces a full recompute."""
+        old_stats = self._stats
+        old_load = self._load
+        length = self.length
+        dirty: set[tuple[int, int]] = set()
+
+        def rows_with_start_at_most(p: int) -> None:
+            for start in range(1, min(p, length) + 1):
+                for end in range(start, length + 1):
+                    dirty.add((start, end))
+
+        def rows_covering(p: int) -> None:
+            for start in range(1, p + 1):
+                for end in range(p, length + 1):
+                    dirty.add((start, end))
+
+        def rows_ending_at_least(p: int) -> None:
+            for end in range(p, length + 1):
+                for start in range(1, end + 1):
+                    dirty.add((start, end))
+
+        if new_stats is not old_stats:
+            if new_stats.config != old_stats.config:
+                return None
+            for position in range(1, length + 1):
+                if new_stats.members(position) != old_stats.members(position):
+                    return None
+            for position in range(1, length + 1):
+                for member in new_stats.members(position):
+                    if new_stats.stats_of(member) != old_stats.stats_of(member):
+                        rows_with_start_at_most(position)
+
+        if new_load is not old_load:
+            for position in range(1, length + 1):
+                for member in old_stats.members(position):
+                    old_triplet = old_load.triplet(member)
+                    new_triplet = new_load.triplet(member)
+                    if new_triplet.query != old_triplet.query:
+                        rows_ending_at_least(position)
+                    if new_triplet.insert != old_triplet.insert:
+                        rows_covering(position)
+                    if new_triplet.delete != old_triplet.delete:
+                        rows_covering(position)
+                        if position >= 2:
+                            for start in range(1, position):
+                                dirty.add((start, position - 1))
+        return dirty
 
     # ------------------------------------------------------------------
     # access
@@ -229,6 +546,33 @@ class CostMatrix:
             cost=self._row_min_cost[row],
             organization=self.organizations[self._row_min_org[row]],
         )
+
+    def ranked_organizations(
+        self, start: int, end: int, limit: int | None = None
+    ) -> tuple[IndexOrganization, ...]:
+        """Organizations of one row in ascending cost order.
+
+        The ranking is the iterated ``Min_Cost`` selection: the same
+        tie-tolerant scan that picks the row minimum is applied
+        repeatedly to the not-yet-ranked columns, so ``ranked[0]`` is
+        always exactly :meth:`min_cost`'s organization and entries within
+        :data:`TIE_RELATIVE_TOLERANCE` resolve to the earliest column —
+        stable across platforms and numerically equivalent
+        reformulations of the cost model. ``limit`` truncates the ranking
+        to the best ``limit`` organizations.
+        """
+        self._check_bounds(start, end)
+        width = len(self.organizations)
+        base = self.row_index(start, end) * width
+        remaining = list(range(width))
+        ordered: list[int] = []
+        while remaining:
+            values = [self._values[base + column] for column in remaining]
+            _, position = _scan_row_minimum(values, 0, len(values))
+            ordered.append(remaining.pop(position))
+        if limit is not None:
+            ordered = ordered[:limit]
+        return tuple(self.organizations[column] for column in ordered)
 
     def rows(self) -> list[tuple[int, int]]:
         """Row coordinates in Figure 6 order."""

@@ -1,44 +1,13 @@
-"""Deprecated shim: the DP baseline now lives in :mod:`repro.search`.
+"""Removed: the DP baseline lives in :mod:`repro.search`.
 
-The interval-partition dynamic program moved to
-:mod:`repro.search.dynamic_program` behind the
-:class:`~repro.search.SearchStrategy` protocol. This module keeps the
-historical entry points — :func:`dynamic_program` and
-:class:`DynamicProgramResult` — working unchanged; new code should use::
-
-    from repro.search import get_strategy
-
-    result = get_strategy("dynamic_program").search(matrix)
+The PR 1 deprecation shim for the pre-``repro.search`` import path has
+been retired. Importing this module fails loudly with migration guidance
+instead of silently re-exporting the searcher.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass
-
-from repro.core.configuration import IndexConfiguration
-from repro.core.cost_matrix import CostMatrix
-from repro.search.dynamic_program import DynamicProgramStrategy
-
-__all__ = ["DynamicProgramResult", "dynamic_program"]
-
-
-@dataclass
-class DynamicProgramResult:
-    """Outcome of the DP optimum computation (legacy result shape)."""
-
-    configuration: IndexConfiguration
-    cost: float
-    rows_inspected: int
-
-
-def dynamic_program(matrix: CostMatrix) -> DynamicProgramResult:
-    """Compute the optimal configuration by interval-partition DP.
-
-    Deprecated alias for the ``dynamic_program`` strategy.
-    """
-    result = DynamicProgramStrategy().search(matrix)
-    return DynamicProgramResult(
-        configuration=result.configuration,
-        cost=result.cost,
-        rows_inspected=result.extras["rows_inspected"],
-    )
+raise ImportError(
+    "repro.core.dynprog was removed: the dynamic program lives in "
+    "repro.search. Replace `dynamic_program(matrix)` with "
+    "`get_strategy('dynamic_program').search(matrix)`; the former "
+    "rows_inspected counter is result.extras['rows_inspected']."
+)

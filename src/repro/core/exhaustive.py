@@ -1,50 +1,15 @@
-"""Deprecated shim: exhaustive search now lives in :mod:`repro.search`.
+"""Removed: exhaustive search lives in :mod:`repro.search`.
 
-The ``2^(n-1)`` full enumeration moved to
-:mod:`repro.search.exhaustive`, and the shared partition enumeration it
-pioneered moved to :mod:`repro.search.partitions`. This module keeps the
-historical entry points — :func:`enumerate_partitions`,
-:func:`exhaustive_search` and :class:`ExhaustiveResult` — working
-unchanged; new code should use::
-
-    from repro.search import enumerate_partitions, get_strategy
-
-    result = get_strategy("exhaustive").search(matrix)
+The PR 1 deprecation shim for the pre-``repro.search`` import path has
+been retired. Importing this module fails loudly with migration guidance
+instead of silently re-exporting the searcher.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass
-
-from repro.core.configuration import IndexConfiguration
-from repro.core.cost_matrix import CostMatrix
-from repro.search.exhaustive import ExhaustiveStrategy
-from repro.search.partitions import enumerate_partitions
-
-__all__ = ["ExhaustiveResult", "enumerate_partitions", "exhaustive_search"]
-
-
-@dataclass
-class ExhaustiveResult:
-    """Outcome of the exhaustive enumeration (legacy result shape)."""
-
-    configuration: IndexConfiguration
-    cost: float
-    evaluated: int
-    all_costs: list[tuple[IndexConfiguration, float]]
-
-
-def exhaustive_search(
-    matrix: CostMatrix, keep_all: bool = False
-) -> ExhaustiveResult:
-    """Evaluate every partition with per-subpath best organizations.
-
-    Deprecated alias for the ``exhaustive`` strategy.
-    """
-    result = ExhaustiveStrategy(keep_all=keep_all).search(matrix)
-    return ExhaustiveResult(
-        configuration=result.configuration,
-        cost=result.cost,
-        evaluated=result.evaluated,
-        all_costs=result.extras["all_costs"],
-    )
+raise ImportError(
+    "repro.core.exhaustive was removed: the full enumeration lives in "
+    "repro.search. Replace `exhaustive_search(matrix)` with "
+    "`get_strategy('exhaustive').search(matrix)` (keep_all via "
+    "get_strategy('exhaustive', keep_all=True); the per-configuration "
+    "costs are in result.extras['all_costs']), and import "
+    "enumerate_partitions from repro.search."
+)

@@ -27,7 +27,7 @@ from repro.core.configuration import IndexConfiguration, IndexedSubpath
 from repro.core.cost_matrix import CostMatrix
 from repro.costmodel.params import PathStatistics
 from repro.errors import OptimizerError
-from repro.organizations import IndexOrganization
+from repro.organizations import CONFIGURABLE_ORGANIZATIONS, IndexOrganization
 from repro.search.partitions import enumerate_partitions
 from repro.workload.load import LoadDistribution
 
@@ -111,10 +111,12 @@ def _candidates_for(
         # Per block: the best `per_row_organizations` organizations.
         options: list[list[IndexedSubpath]] = []
         for start, end in blocks:
-            ranked = sorted(
-                matrix.organizations,
-                key=lambda org: matrix.cost(start, end, org),
-            )[:per_row_organizations]
+            # Tie-tolerant ranking (the Min_Cost tolerance): near-tie
+            # organizations rank by column order, so the candidate pool is
+            # stable across platforms and cost-model reformulations.
+            ranked = matrix.ranked_organizations(
+                start, end, limit=per_row_organizations
+            )
             options.append(
                 [IndexedSubpath(start, end, org) for org in ranked]
             )
@@ -164,6 +166,9 @@ def _joint_cost(selection: tuple[_Candidate, ...]) -> tuple[float, float]:
 def optimize_multipath(
     workloads: list[PathWorkload],
     per_row_organizations: int = 2,
+    matrices: list[CostMatrix] | None = None,
+    organizations: tuple[IndexOrganization, ...] | None = None,
+    workers: int | None = None,
 ) -> MultiPathResult:
     """Jointly select configurations for several related paths.
 
@@ -175,12 +180,46 @@ def optimize_multipath(
         How many of each subpath's best organizations to consider; 1 makes
         sharing only possible when locally optimal, 2 (default) lets a
         slightly worse organization win through sharing.
+    matrices:
+        Precomputed cost matrices, one per workload in order (e.g. from a
+        previous :meth:`CostMatrix.recompute` what-if loop). Each must be
+        a computed matrix (with breakdowns) of the workload's path length;
+        when given, ``organizations`` and ``workers`` are ignored.
+    organizations:
+        Candidate organizations for the computed matrices (default: the
+        paper's MX/MIX/NIX).
+    workers:
+        Worker processes per matrix construction (see
+        :meth:`CostMatrix.compute`).
     """
     if not workloads:
         raise OptimizerError("at least one path is required")
-    matrices = [
-        CostMatrix.compute(w.stats, w.load) for w in workloads
-    ]
+    if matrices is not None:
+        if len(matrices) != len(workloads):
+            raise OptimizerError(
+                f"{len(matrices)} matrices for {len(workloads)} workloads"
+            )
+        for workload, matrix in zip(workloads, matrices):
+            if matrix.length != workload.stats.length:
+                raise OptimizerError(
+                    f"matrix of length {matrix.length} cannot describe "
+                    f"{workload.stats.path} (length {workload.stats.length})"
+                )
+    else:
+        compute_organizations = (
+            organizations
+            if organizations is not None
+            else CONFIGURABLE_ORGANIZATIONS
+        )
+        matrices = [
+            CostMatrix.compute(
+                w.stats,
+                w.load,
+                organizations=compute_organizations,
+                workers=workers,
+            )
+            for w in workloads
+        ]
     candidate_sets = [
         _candidates_for(workload, matrix, per_row_organizations)
         for workload, matrix in zip(workloads, matrices)

@@ -1,31 +1,14 @@
-"""Deprecated shim: ``Opt_Ind_Con`` now lives in :mod:`repro.search`.
+"""Removed: ``Opt_Ind_Con`` lives in :mod:`repro.search`.
 
-The branch-and-bound procedure of Section 5 moved to
-:mod:`repro.search.branch_and_bound` behind the
-:class:`~repro.search.SearchStrategy` protocol. This module keeps the
-historical entry points — :func:`optimize` and ``OptimizationResult`` —
-working unchanged; new code should use::
-
-    from repro.search import get_strategy
-
-    result = get_strategy("branch_and_bound").search(matrix)
+The PR 1 deprecation shim for the pre-``repro.search`` import path has
+been retired. Importing this module fails loudly with migration guidance
+instead of silently re-exporting the searcher.
 """
 
-from __future__ import annotations
-
-from repro.core.cost_matrix import CostMatrix
-from repro.search.base import SearchResult
-from repro.search.branch_and_bound import BranchAndBoundStrategy
-
-#: Deprecated alias: the unified result type of :mod:`repro.search`.
-OptimizationResult = SearchResult
-
-
-def optimize(matrix: CostMatrix, keep_trace: bool = False) -> SearchResult:
-    """Select the optimal index configuration from a cost matrix.
-
-    Deprecated alias for the ``branch_and_bound`` strategy; the trace and
-    the evaluated/pruned counters match the paper's Figure 6 walkthrough
-    exactly.
-    """
-    return BranchAndBoundStrategy().search(matrix, keep_trace=keep_trace)
+raise ImportError(
+    "repro.core.optimizer was removed: the branch-and-bound searcher "
+    "lives in repro.search. Replace `from repro.core.optimizer import "
+    "optimize` with `from repro.search import get_strategy` and call "
+    "get_strategy('branch_and_bound').search(matrix); the former "
+    "OptimizationResult is repro.search.SearchResult."
+)

@@ -32,7 +32,7 @@ import math
 from repro.costmodel.base import SubpathCostModel
 from repro.costmodel.btree_shape import IndexShape, build_shape
 from repro.costmodel.params import PathStatistics
-from repro.costmodel.primitives import cml, cmt, crr, crt
+from repro.costmodel.primitives import cml, crr
 from repro.costmodel.yao import npa
 from repro.organizations import IndexOrganization
 
@@ -44,8 +44,12 @@ class NIXCostModel(SubpathCostModel):
 
     def __init__(self, stats: PathStatistics, start: int, end: int) -> None:
         super().__init__(stats, start, end)
-        self._primary = self._build_primary_shape()
-        self._auxiliary = self._build_auxiliary_shape()
+        self._primary = stats.cached_shape(
+            ("nix_primary", start, end), self._build_primary_shape
+        )
+        self._auxiliary = stats.cached_shape(
+            ("nix_auxiliary", start, end), self._build_auxiliary_shape
+        )
 
     # ------------------------------------------------------------------
     # shapes
@@ -149,7 +153,7 @@ class NIXCostModel(SubpathCostModel):
 
     def query_cost(self, position: int, class_name: str, probes: float = 1.0) -> float:
         self._check_covered(position, class_name)
-        return crt(self._primary, probes, self._partial_pr(position, class_name))
+        return self._crt(self._primary, probes, self._partial_pr(position, class_name))
 
     def hierarchy_query_cost(self, position: int, probes: float = 1.0) -> float:
         """Retrieval w.r.t. a class and its subclasses (larger record share)."""
@@ -163,7 +167,7 @@ class NIXCostModel(SubpathCostModel):
             )
         pages = 1 + math.ceil(share / self.sizes.page_size)
         pr = float(min(pages, self._primary.record_pages))
-        return crt(self._primary, probes, pr)
+        return self._crt(self._primary, probes, pr)
 
     def range_query_cost(
         self,
@@ -192,7 +196,7 @@ class NIXCostModel(SubpathCostModel):
         nin = stats.nin(position, class_name)
         # CSI3: the new object joins the primary records of every ending
         # value it reaches.
-        primary = cmt(
+        primary = self._cmt(
             self._primary,
             stats.ninbar(position, class_name, self.end),
             self.config.pmi_nix,
@@ -202,12 +206,12 @@ class NIXCostModel(SubpathCostModel):
             # parent, and create the object's own 3-tuple.
             own = 1.0 if position > self.start else 0.0
             nar = stats.occupied_members(position + 1, nin)
-            auxiliary = crt(self._auxiliary, nin, 1.0) + crr(
+            auxiliary = self._crt(self._auxiliary, nin, 1.0) + self._crr(
                 self._auxiliary, nar + own, self.config.pm_ax
             )
         elif position > self.start:
             # Ending-class object: no indexed children; only its own 3-tuple.
-            auxiliary = cmt(self._auxiliary, 1.0, self.config.pm_ax)
+            auxiliary = self._cmt(self._auxiliary, 1.0, self.config.pm_ax)
         else:
             auxiliary = 0.0
         return primary + auxiliary
@@ -221,32 +225,54 @@ class NIXCostModel(SubpathCostModel):
         if position < self.end:
             own = 1.0 if position > self.start else 0.0
             nar = stats.occupied_members(position + 1, nin)
-            csd2 = crt(self._auxiliary, nin + own, 1.0) + crr(
+            csd2 = self._crt(self._auxiliary, nin + own, 1.0) + self._crr(
                 self._auxiliary, nar + own, self.config.pm_ax
             )
         elif position > self.start:
-            csd2 = cmt(self._auxiliary, 1.0, self.config.pm_ax)
+            csd2 = self._cmt(self._auxiliary, 1.0, self.config.pm_ax)
         else:
             csd2 = 0.0
 
         # --- step 3a (CS3a): fetch and rewrite the primary records.
-        cs3a = cmt(
+        cs3a = self._cmt(
             self._primary,
             stats.ninbar(position, class_name, self.end),
             self.config.pmd_nix,
         )
 
         # --- steps 3b/3c (CU3bc) and the parent-oid retrieval (SA1/SA2).
+        # The parent fan-in chain at each level depends only on (position,
+        # level) — the subpath start merely truncates the walk — so the
+        # per-level (parents, narp) pairs are memoized across rows.
+        cache = self._memo
+        auxiliary = self._auxiliary
+        auxiliary_id = id(auxiliary)
+        pm_ax = self.config.pm_ax
         cu3bc = 0.0
         parents_total = 0.0
         narp_total = 0.0
         parents = 0.0
+        narp = 0.0
         for level in range(position - 1, self.start, -1):
-            parents = (parents if parents > 0 else 1.0) * stats.sum_k(level)
-            if self.config.clamp_cardinalities:
-                parents = min(parents, stats.total_objects(level))
-            narp = stats.occupied_members(level, parents)
-            cu3bc += crr(self._auxiliary, narp, self.config.pm_ax)
+            pair = cache.get((41, position, level)) if cache is not None else None
+            if pair is None:
+                parents = (parents if parents > 0 else 1.0) * stats.sum_k(level)
+                if self.config.clamp_cardinalities:
+                    parents = min(parents, stats.total_objects(level))
+                narp = stats.occupied_members(level, parents)
+                if cache is not None:
+                    cache[(41, position, level)] = (parents, narp)
+            else:
+                parents, narp = pair
+            if cache is None:
+                cu3bc += crr(auxiliary, narp, pm_ax)
+            else:
+                rewrite_key = (3, auxiliary_id, narp, pm_ax)
+                rewrite = cache.get(rewrite_key)
+                if rewrite is None:
+                    rewrite = crr(auxiliary, narp, pm_ax)
+                    cache[rewrite_key] = rewrite
+                cu3bc += rewrite
             parents_total += parents
             narp_total += narp
         retrieval = 0.0
@@ -276,10 +302,19 @@ class NIXCostModel(SubpathCostModel):
         # — the touched 3-tuples are estimated by the per-class average
         # nested-value counts, and the pages they sit on are fetched and
         # rewritten.
+        cache = self._memo
         touched = 0.0
         for position in range(self.start + 1, self.end + 1):
-            for member in self.stats.members(position):
-                touched += self.stats.ninbar(position, member, self.end)
+            subtotal = (
+                cache.get((40, position, self.end)) if cache is not None else None
+            )
+            if subtotal is None:
+                subtotal = 0.0
+                for member in self.stats.members(position):
+                    subtotal += self.stats.ninbar(position, member, self.end)
+                if cache is not None:
+                    cache[(40, position, self.end)] = subtotal
+            touched += subtotal
         leaf = self._auxiliary.levels[0]
         return 2.0 * npa(min(touched, leaf.records), leaf.records, leaf.pages)
 

@@ -28,7 +28,7 @@ from repro.costmodel.params import PathStatistics
 from repro.costmodel.path_index import PXCostModel
 from repro.errors import CostModelError
 from repro.organizations import IndexOrganization
-from repro.workload.load import LoadDistribution
+from repro.workload.load import LoadDistribution, LoadTriplet
 
 
 _MODEL_CLASSES: dict[IndexOrganization, type[SubpathCostModel]] = {
@@ -61,6 +61,72 @@ def build_model(
     except KeyError:
         raise CostModelError(f"no cost model for organization {organization}") from None
     return model_class(stats, start, end)
+
+
+@dataclass(frozen=True)
+class SubpathContext:
+    """Per-row shared work of the ``Cost_Matrix`` procedure.
+
+    The derived load distribution and the probe fan-in of a subpath depend
+    only on the subpath bounds (and the workload), never on the index
+    organization — yet the naive per-entry evaluation recomputed them for
+    every organization in the row. A context is built once per matrix row
+    and passed to every cost-model evaluation of that row.
+    """
+
+    start: int
+    end: int
+    #: The inputs the context was derived from. Kept so an evaluation can
+    #: reject a context built for a different workload or statistics
+    #: (checked by object identity — the derived quantities are stale for
+    #: any other inputs, and silently using them would mis-price the row).
+    stats: PathStatistics
+    load: LoadDistribution
+    #: Section 3.2 derived load: class name → triplet on this subpath.
+    derived: dict[str, LoadTriplet]
+    #: Equality values fed into the subpath's ending index (the noid chain
+    #: of the remainder of the path; 1.0 when the subpath ends the path).
+    probes: float
+    #: Summed deletion frequency of the class hierarchy following the
+    #: subpath (the multiplier of ``CMD``); 0.0 for path-ending subpaths.
+    following_deletes: float = 0.0
+    #: The range/equality switch the context was built for (contexts are
+    #: workload-specific and must not be reused across selectivities).
+    range_selectivity: float | None = None
+
+    @classmethod
+    def build(
+        cls,
+        stats: PathStatistics,
+        load: LoadDistribution,
+        start: int,
+        end: int,
+        range_selectivity: float | None = None,
+    ) -> "SubpathContext":
+        """Compute the shared per-row quantities for one subpath."""
+        initial = 1.0
+        if range_selectivity is not None:
+            initial = max(1.0, range_selectivity * stats.distinct_union(stats.length))
+        probes = (
+            stats.probe_keys(end, stats.length, initial)
+            if end < stats.length
+            else 1.0
+        )
+        following = 0.0
+        if end < stats.length:
+            following = sum(
+                load.triplet(member).delete for member in stats.members(end + 1)
+            )
+        return cls(
+            start=start,
+            end=end,
+            stats=stats,
+            load=load,
+            derived=load.derived_for_subpath(start, end),
+            probes=probes,
+            following_deletes=following,
+            range_selectivity=range_selectivity,
+        )
 
 
 @dataclass(frozen=True)
@@ -97,6 +163,7 @@ def subpath_processing_cost(
     organization: IndexOrganization,
     model: SubpathCostModel | None = None,
     range_selectivity: float | None = None,
+    context: SubpathContext | None = None,
 ) -> SubpathCost:
     """``PC(S_{start,end}, X)`` under the given full-path workload.
 
@@ -119,6 +186,12 @@ def subpath_processing_cost(
         straightforward", Section 3). The final subpath performs a
         contiguous leaf walk; earlier subpaths are probed with the oid
         fan-in of all matched values.
+    context:
+        A precomputed :class:`SubpathContext` for this row (optional). The
+        ``Cost_Matrix`` procedure builds one per row and shares it across
+        all organizations; it must describe the same bounds and
+        selectivity and the same ``stats``/``load`` objects (checked by
+        identity), otherwise an error is raised.
     """
     if load.path is not stats.path and str(load.path) != str(stats.path):
         raise CostModelError("load distribution and statistics describe different paths")
@@ -133,44 +206,56 @@ def subpath_processing_cost(
     # — a quantity that depends only on the path statistics, never on how
     # the rest of the path is indexed, which is what keeps the subpath
     # costs additive (Proposition 4.2).
-    initial = 1.0
-    if range_selectivity is not None:
-        initial = max(1.0, range_selectivity * stats.distinct_union(stats.length))
-    probes = (
-        stats.probe_keys(end, stats.length, initial)
-        if end < stats.length
-        else 1.0
-    )
-
-    derived = load.derived_for_subpath(start, end)
+    if context is None:
+        context = SubpathContext.build(
+            stats, load, start, end, range_selectivity=range_selectivity
+        )
+    elif (
+        context.start != start
+        or context.end != end
+        or context.range_selectivity != range_selectivity
+    ):
+        raise CostModelError(
+            f"context describes S[{context.start},{context.end}] "
+            f"(selectivity {context.range_selectivity}), not "
+            f"S[{start},{end}] (selectivity {range_selectivity})"
+        )
+    elif context.stats is not stats or context.load is not load:
+        raise CostModelError(
+            "context was built for different statistics or workload "
+            "objects; rebuild it with SubpathContext.build(stats, load, "
+            f"{start}, {end}) for these inputs"
+        )
+    probes = context.probes
+    derived = context.derived
     query = 0.0
     insert = 0.0
     delete = 0.0
+    query_cost = model.query_cost
+    range_query_cost = model.range_query_cost
+    insert_cost = model.insert_cost
+    delete_cost = model.delete_cost
+    range_ending = range_selectivity is not None and end == stats.length
     for position in range(start, end + 1):
         for member in stats.members(position):
             triplet = derived[member]
             if triplet.query:
-                if range_selectivity is not None and end == stats.length:
-                    query += triplet.query * model.range_query_cost(
+                if range_ending:
+                    query += triplet.query * range_query_cost(
                         position, member, range_selectivity
                     )
                 else:
-                    query += triplet.query * model.query_cost(
-                        position, member, probes
-                    )
+                    query += triplet.query * query_cost(position, member, probes)
             if triplet.insert:
-                insert += triplet.insert * model.insert_cost(position, member)
+                insert += triplet.insert * insert_cost(position, member)
             if triplet.delete:
-                delete += triplet.delete * model.delete_cost(position, member)
+                delete += triplet.delete * delete_cost(position, member)
 
     cmd = 0.0
     if end < stats.length:
         per_deletion = model.cmd_cost()
         if per_deletion:
-            following = sum(
-                load.triplet(member).delete for member in stats.members(end + 1)
-            )
-            cmd = following * per_deletion
+            cmd = context.following_deletes * per_deletion
     return SubpathCost(
         organization=model.organization,
         start=start,

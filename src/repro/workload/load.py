@@ -84,6 +84,31 @@ class LoadDistribution:
         self._triplets = {
             name: triplets.get(name, LoadTriplet()) for name in path.scope
         }
+        # Lazy per-position caches for the subpath derivation: the
+        # hierarchy tuples and the running prefix of upstream query mass
+        # (position k holds the summed query frequency of positions 1..k,
+        # accumulated in the same order as the direct loop).
+        self._hierarchies: dict[int, tuple[str, ...]] = {}
+        self._query_prefix: list[float] | None = None
+
+    def _hierarchy_at(self, position: int) -> tuple[str, ...]:
+        cached = self._hierarchies.get(position)
+        if cached is None:
+            cached = tuple(self.path.hierarchy_at(position))
+            self._hierarchies[position] = cached
+        return cached
+
+    def _upstream_query(self, start: int) -> float:
+        """Summed query frequency of all classes at positions ``1..start-1``."""
+        if self._query_prefix is None:
+            prefix = [0.0]
+            running = 0.0
+            for position in range(1, self.path.length + 1):
+                for member in self._hierarchy_at(position):
+                    running += self._triplets[member].query
+                prefix.append(running)
+            self._query_prefix = prefix
+        return self._query_prefix[start - 1]
 
     @classmethod
     def uniform(
@@ -141,13 +166,10 @@ class LoadDistribution:
             )
         derived: dict[str, LoadTriplet] = {}
         for position in range(start, end + 1):
-            for member in self.path.hierarchy_at(position):
+            for member in self._hierarchy_at(position):
                 derived[member] = self._triplets[member]
         if start > 1:
-            upstream = 0.0
-            for position in range(1, start):
-                for member in self.path.hierarchy_at(position):
-                    upstream += self._triplets[member].query
+            upstream = self._upstream_query(start)
             root = self.path.class_at(start)
             triplet = derived[root]
             derived[root] = triplet.with_query(triplet.query + upstream)

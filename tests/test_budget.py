@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.budget import optimize_with_budget
 from repro.core.cost_matrix import CostMatrix
-from repro.core.optimizer import optimize
+from repro.search import get_strategy
 from repro.errors import OptimizerError
 from repro.organizations import EXTENDED_ORGANIZATIONS, IndexOrganization
 
@@ -27,7 +27,7 @@ def fig7_matrix_with_none():
 
 class TestBudgetedSelection:
     def test_generous_budget_matches_unconstrained(self, fig7_matrix):
-        unconstrained = optimize(fig7_matrix)
+        unconstrained = get_strategy("branch_and_bound").search(fig7_matrix)
         budgeted = optimize_with_budget(fig7_matrix, budget_pages=10**9)
         assert budgeted.cost == pytest.approx(unconstrained.cost)
         assert budgeted.cost_of_constraint == pytest.approx(0.0)

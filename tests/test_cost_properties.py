@@ -10,14 +10,24 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.cost_matrix import CostMatrix
-from repro.core.dynprog import dynamic_program
-from repro.core.exhaustive import exhaustive_search
-from repro.core.optimizer import optimize
 from repro.costmodel.params import ClassStats, PathStatistics
 from repro.costmodel.subpath import subpath_processing_cost
 from repro.organizations import CONFIGURABLE_ORGANIZATIONS, IndexOrganization
+from repro.search import get_strategy
 from repro.synth import LevelSpec, linear_path_schema
 from repro.workload.load import LoadDistribution, LoadTriplet
+
+
+def optimize(matrix):
+    return get_strategy("branch_and_bound").search(matrix)
+
+
+def exhaustive_search(matrix):
+    return get_strategy("exhaustive").search(matrix)
+
+
+def dynamic_program(matrix):
+    return get_strategy("dynamic_program").search(matrix)
 
 
 @st.composite

@@ -122,6 +122,30 @@ class TestCLI:
         assert payload["optimal"]["configuration"][0]["organization"] == "NIX"
         assert payload["optimal"]["pruned"] >= 1
 
+    def test_advise_workers_flag(self, capsys, fig7_spec_dict, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(fig7_spec_dict))
+        assert main(["advise", str(path), "--workers", "2", "--json"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert main(["advise", str(path), "--workers", "0", "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        # Deterministic: worker count never changes the answer.
+        assert parallel["optimal"] == serial["optimal"]
+
+    def test_matrix_workers_flag(self, capsys, fig7_spec_dict, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(fig7_spec_dict))
+        assert main(["matrix", str(path), "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert main(["matrix", str(path), "--workers", "0"]) == 0
+        assert parallel == capsys.readouterr().out
+
+    def test_negative_workers_rejected(self, capsys, fig7_spec_dict, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(fig7_spec_dict))
+        assert main(["advise", str(path), "--workers", "-3"]) == 1
+        assert "workers" in capsys.readouterr().err
+
     def test_advise_with_trace(self, capsys, fig7_spec_dict, tmp_path):
         path = tmp_path / "spec.json"
         path.write_text(json.dumps(fig7_spec_dict))

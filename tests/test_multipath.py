@@ -87,3 +87,67 @@ class TestTwoOverlappingPaths:
         narrow = optimize_multipath(workloads, per_row_organizations=1)
         wide = optimize_multipath(workloads, per_row_organizations=2)
         assert wide.total_cost <= narrow.total_cost + 1e-6
+
+
+class TestPrecomputedMatrices:
+    def test_precomputed_matrices_match_internal_computation(self):
+        from repro.core.cost_matrix import CostMatrix
+
+        workloads = [pexa_workload(), pe_workload()]
+        matrices = [
+            CostMatrix.compute(w.stats, w.load) for w in workloads
+        ]
+        reused = optimize_multipath(workloads, matrices=matrices)
+        computed = optimize_multipath(workloads)
+        assert reused.total_cost == pytest.approx(computed.total_cost)
+        assert reused.shared_savings == pytest.approx(computed.shared_savings)
+
+    def test_recomputed_matrices_feed_what_if_loop(self):
+        from repro.core.cost_matrix import CostMatrix
+        from repro.workload.load import LoadDistribution
+
+        workloads = [pexa_workload(), pe_workload()]
+        matrices = [CostMatrix.compute(w.stats, w.load) for w in workloads]
+        # Perturb the first path's workload and reuse its matrix
+        # incrementally instead of recomputing both from scratch.
+        first = workloads[0]
+        new_load = LoadDistribution(
+            first.load.path,
+            {
+                name: (
+                    triplet.scaled(2.0) if name == "Person" else triplet
+                )
+                for name, triplet in first.load.items()
+            },
+        )
+        new_workloads = [PathWorkload(first.stats, new_load), workloads[1]]
+        new_matrices = [matrices[0].recompute(load=new_load), matrices[1]]
+        incremental = optimize_multipath(new_workloads, matrices=new_matrices)
+        fresh = optimize_multipath(new_workloads)
+        assert incremental.total_cost == pytest.approx(fresh.total_cost)
+
+    def test_matrix_count_mismatch_rejected(self):
+        from repro.core.cost_matrix import CostMatrix
+
+        workloads = [pexa_workload(), pe_workload()]
+        matrix = CostMatrix.compute(
+            workloads[0].stats, workloads[0].load
+        )
+        with pytest.raises(OptimizerError, match="matrices"):
+            optimize_multipath(workloads, matrices=[matrix])
+
+    def test_matrix_length_mismatch_rejected(self):
+        from repro.core.cost_matrix import CostMatrix
+
+        workloads = [pexa_workload(), pe_workload()]
+        long_matrix = CostMatrix.compute(
+            workloads[0].stats, workloads[0].load
+        )
+        with pytest.raises(OptimizerError, match="length"):
+            optimize_multipath(workloads, matrices=[long_matrix, long_matrix])
+
+    def test_workers_parameter_accepted(self):
+        workloads = [pexa_workload()]
+        serial = optimize_multipath(workloads, workers=0)
+        parallel = optimize_multipath(workloads, workers=2)
+        assert serial.total_cost == parallel.total_cost

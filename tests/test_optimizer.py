@@ -7,10 +7,20 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.cost_matrix import CostMatrix
-from repro.core.dynprog import dynamic_program
-from repro.core.exhaustive import enumerate_partitions, exhaustive_search
-from repro.core.optimizer import optimize
 from repro.organizations import IndexOrganization
+from repro.search import enumerate_partitions, get_strategy
+
+
+def optimize(matrix, keep_trace=False):
+    return get_strategy("branch_and_bound").search(matrix, keep_trace=keep_trace)
+
+
+def exhaustive_search(matrix, keep_all=False):
+    return get_strategy("exhaustive", keep_all=keep_all).search(matrix)
+
+
+def dynamic_program(matrix):
+    return get_strategy("dynamic_program").search(matrix)
 
 MX = IndexOrganization.MX
 MIX = IndexOrganization.MIX
@@ -155,9 +165,9 @@ class TestExhaustive:
 
     def test_keep_all_returns_every_configuration(self, fig6):
         result = exhaustive_search(fig6, keep_all=True)
-        assert len(result.all_costs) == 8
+        assert len(result.extras["all_costs"]) == 8
         assert result.evaluated == 8
-        costs = sorted(cost for _, cost in result.all_costs)
+        costs = sorted(cost for _, cost in result.extras["all_costs"])
         assert costs[0] == result.cost == 8.0
 
 
@@ -169,9 +179,9 @@ class TestDynamicProgram:
 
     def test_rows_inspected_is_quadratic(self, fig6):
         result = dynamic_program(fig6)
-        assert result.rows_inspected == 10  # n(n+1)/2 for n=4
+        assert result.extras["rows_inspected"] == 10  # n(n+1)/2 for n=4
 
     def test_dp_on_longer_path_is_cheap(self):
         matrix = random_matrix(8, 3)
         result = dynamic_program(matrix)
-        assert result.rows_inspected == 36
+        assert result.extras["rows_inspected"] == 36
