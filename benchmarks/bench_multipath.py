@@ -11,7 +11,7 @@ from benchmarks.conftest import write_report
 from repro.core.multipath import PathWorkload, optimize_multipath
 from repro.costmodel.params import ClassStats, PathStatistics
 from repro.paper import FIGURE7_ROWS, figure7_load, figure7_statistics, pe_path
-from repro.reporting.tables import ascii_table
+from repro.reporting.tables import multipath_table
 from repro.workload.load import LoadDistribution, LoadTriplet
 
 
@@ -40,21 +40,9 @@ def test_multipath_sharing(benchmark):
     assert result.total_cost <= result.independent_cost + 1e-9
     assert result.exact
 
-    rows = [
-        [
-            str(w.stats.path),
-            result.configurations[i].render(w.stats.path),
-        ]
-        for i, w in enumerate(workloads)
-    ]
-    table = ascii_table(["path", "chosen configuration"], rows)
-    lines = [
-        "Multi-path joint optimization (P_exa and P_e share Per.owns.man)",
-        "",
-        table,
-        "",
-        f"independent optima total: {result.independent_cost:.2f}",
-        f"joint optimum:            {result.total_cost:.2f}",
-        f"sharing savings:          {result.shared_savings:.2f}",
-    ]
-    write_report("multipath", "\n".join(lines))
+    report = multipath_table(
+        [w.stats.path for w in workloads],
+        result,
+        title="Multi-path joint optimization (P_exa and P_e share Per.owns.man)",
+    )
+    write_report("multipath", report)

@@ -6,7 +6,11 @@ ICDE 1994): the object-oriented data model, the page-level storage
 simulator with operational SIX/IIX/MX/MIX/NIX indexes, the analytic cost
 models of Section 3, the workload model of Section 3.2, and the
 ``Cost_Matrix`` / ``Min_Cost`` / ``Opt_Ind_Con`` selection algorithm of
-Section 5 with exhaustive and dynamic-programming baselines.
+Section 5 with exhaustive and dynamic-programming baselines — plus the
+Section 6 extensions: beam-backed multi-path joint selection
+(:func:`optimize_multipath`, with an optional ``budget_pages`` storage
+constraint) and single-path budgeted selection
+(:func:`optimize_with_budget`).
 
 Quickstart::
 
@@ -21,6 +25,12 @@ from repro.core.advisor import DEFAULT_STRATEGY, AdvisorReport, advise
 from repro.core.budget import BudgetedResult, optimize_with_budget
 from repro.core.configuration import IndexConfiguration, IndexedSubpath
 from repro.core.cost_matrix import CostMatrix
+from repro.core.multipath import (
+    MultiPathResult,
+    PathWorkload,
+    SharedIndexKey,
+    optimize_multipath,
+)
 from repro.core.planner import Plan, explain_query, explain_update
 from repro.costmodel.params import ClassStats, CostModelConfig, PathStatistics
 from repro.costmodel.subpath import build_model, subpath_processing_cost
@@ -59,14 +69,17 @@ __all__ = [
     "IndexedSubpath",
     "LoadDistribution",
     "LoadTriplet",
+    "MultiPathResult",
     "OID",
     "OODatabase",
     "ObjectInstance",
     "Path",
     "PathStatistics",
+    "PathWorkload",
     "Plan",
     "ReproError",
     "Schema",
+    "SharedIndexKey",
     "SearchResult",
     "SearchStrategy",
     "SizeModel",
@@ -78,6 +91,7 @@ __all__ = [
     "explain_query",
     "explain_update",
     "get_strategy",
+    "optimize_multipath",
     "optimize_with_budget",
     "subpath_processing_cost",
 ]

@@ -5,10 +5,14 @@
     python -m repro advise  SPEC.json [--trace] [--json] [--noindex]
                             [--strategy NAME] [--beam-width N]
     python -m repro matrix  SPEC.json
+    python -m repro multipath SPEC.json [SPEC2.json ...] [--beam-width N]
+                            [--budget-pages P] [--noindex] [--json]
     python -m repro example                # print a template spec
     python -m repro paper   [--trace]      # reproduce Example 5.1
 
-``SPEC.json`` is the advisor-spec document described in :mod:`repro.io`.
+``SPEC.json`` is the advisor-spec document described in :mod:`repro.io`;
+``multipath`` takes one spec per path and selects their configurations
+jointly (shared physical indexes are maintained and stored once).
 """
 
 from __future__ import annotations
@@ -19,9 +23,15 @@ import sys
 
 from repro.core.advisor import DEFAULT_STRATEGY, advise
 from repro.core.cost_matrix import CostMatrix
+from repro.core.multipath import (
+    PathWorkload,
+    optimize_multipath,
+    validate_selection_options,
+)
 from repro.errors import ReproError
 from repro.io import load_spec, spec_to_dict
 from repro.organizations import CONFIGURABLE_ORGANIZATIONS
+from repro.reporting.tables import multipath_table
 from repro.search import available_strategies
 
 
@@ -91,6 +101,73 @@ def _cmd_matrix(arguments: argparse.Namespace) -> int:
         workers=arguments.workers,
     )
     print(matrix.render(spec.stats.path))
+    return 0
+
+
+def _cmd_multipath(arguments: argparse.Namespace) -> int:
+    # Fail on bad flags before the expensive matrix computations.
+    validate_selection_options(
+        arguments.per_row_organizations,
+        arguments.beam_width,
+        arguments.budget_pages,
+    )
+    specs = [load_spec(spec_path) for spec_path in arguments.specs]
+    workloads = [PathWorkload(stats=spec.stats, load=spec.load) for spec in specs]
+    # Each matrix honours its own spec's options; --noindex forces the
+    # zero-storage fallback on every path through the same
+    # include_noindex seam as advise/matrix (note compute's semantics: a
+    # restricted organization list that already contains NONE is kept,
+    # one without NONE is widened to the full extended set), which keeps
+    # tight --budget-pages runs feasible.
+    matrices = [
+        CostMatrix.compute(
+            spec.stats,
+            spec.load,
+            organizations=spec.organizations or CONFIGURABLE_ORGANIZATIONS,
+            include_noindex=arguments.noindex or spec.include_noindex,
+            range_selectivity=spec.range_selectivity,
+            workers=arguments.workers,
+        )
+        for spec in specs
+    ]
+    result = optimize_multipath(
+        workloads,
+        per_row_organizations=arguments.per_row_organizations,
+        matrices=matrices,
+        beam_width=arguments.beam_width,
+        budget_pages=arguments.budget_pages,
+    )
+    paths = [spec.stats.path for spec in specs]
+    if arguments.json:
+        payload = {
+            "paths": [
+                {
+                    "path": str(path),
+                    "configuration": [
+                        {
+                            "subpath": str(path.subpath(a.start, a.end)),
+                            "start": a.start,
+                            "end": a.end,
+                            "organization": str(a.organization),
+                        }
+                        for a in result.configurations[index].assignments
+                    ],
+                }
+                for index, path in enumerate(paths)
+            ],
+            "total_cost": result.total_cost,
+            "independent_cost": result.independent_cost,
+            "shared_savings": result.shared_savings,
+            "storage_pages": result.storage_pages,
+            "budget_pages": result.budget_pages,
+            "unconstrained_cost": result.unconstrained_cost,
+            "exact": result.exact,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        # The table already carries the per-path configurations and the
+        # joint/independent/savings/storage/budget summary.
+        print(multipath_table(paths, result))
     return 0
 
 
@@ -177,6 +254,59 @@ def build_parser() -> argparse.ArgumentParser:
     matrix_parser.add_argument("spec", help="advisor spec JSON file")
     _add_workers_argument(matrix_parser)
     matrix_parser.set_defaults(handler=_cmd_matrix)
+
+    multipath_parser = commands.add_parser(
+        "multipath",
+        help="jointly select configurations for several paths (one spec each)",
+    )
+    multipath_parser.add_argument(
+        "specs", nargs="+", help="advisor spec JSON files, one per path"
+    )
+    multipath_parser.add_argument(
+        "--beam-width",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "candidates kept per path by the k-best beam generator "
+            "(default: exact enumeration for short paths, a width-16 beam "
+            "beyond)"
+        ),
+    )
+    multipath_parser.add_argument(
+        "--budget-pages",
+        type=float,
+        default=None,
+        metavar="P",
+        help=(
+            "storage budget in pages for the union of selected physical "
+            "indexes (shared indexes stored once); omit for unconstrained"
+        ),
+    )
+    multipath_parser.add_argument(
+        "--per-row-organizations",
+        type=int,
+        default=2,
+        metavar="R",
+        help=(
+            "best organizations considered per subpath (default 2); "
+            "ignored with --budget-pages, which always considers every "
+            "organization because the budget couples the choices"
+        ),
+    )
+    multipath_parser.add_argument(
+        "--noindex",
+        action="store_true",
+        help=(
+            "include the NONE organization on every path (keeps tight "
+            "--budget-pages runs feasible)"
+        ),
+    )
+    multipath_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    _add_workers_argument(multipath_parser)
+    multipath_parser.set_defaults(handler=_cmd_multipath)
 
     example_parser = commands.add_parser(
         "example", help="print a template spec (the paper's Figure 7)"

@@ -10,7 +10,12 @@ Because the storage constraint couples the per-subpath organization
 choices (a row minimum may be unaffordable while its runner-up fits), the
 search enumerates partitions *and* per-block organizations exactly —
 feasible throughout the paper's regime ("in practice a path has rarely a
-length greater than 7").
+length greater than 7"). For budgets spanning *several* paths — where the
+shared physical indexes must be stored once — and for long paths beyond
+the exhaustive regime, use
+:func:`repro.core.multipath.optimize_multipath` with ``budget_pages=...``,
+which reuses the same per-subpath storage estimates through its beam
+candidate generator.
 """
 
 from __future__ import annotations

@@ -10,29 +10,66 @@ a set of paths over one schema, each with its own statistics and workload.
 Two paths that select the *identical* physical subpath (the same sequence
 of ``(class, attribute)`` steps) with the same organization share one
 physical index, so its maintenance cost (inserts, deletes, CMD) is paid
-once rather than per path. Query costs are always per path.
+once — and its storage pages are occupied once — rather than per path.
+Query costs are always per path.
 
-The optimizer enumerates, per path, the partitions with per-subpath best
-organizations (plus the runner-up organizations, so sharing can win even
-when it is not locally optimal), then searches the cross product exactly
-when small and greedily otherwise.
+Selection is staged:
+
+1. **Candidate generation per path.** Each path contributes its locally
+   cheapest configurations, with the best ``per_row_organizations``
+   organizations per subpath so sharing can win even when it is not
+   locally optimal. Short paths are enumerated exactly; beyond
+   :data:`EXACT_CANDIDATE_LIMIT` candidates the generator is the k-best
+   beam sweep :func:`repro.search.greedy_beam.top_configurations`
+   (``beam_width`` candidates per path, exact over the space it covers),
+   which keeps many-long-paths joint selection out of the ``2^(n-1)``
+   regime entirely. Passing ``beam_width`` explicitly forces the beam;
+   the exact enumeration is retained as the parity oracle for small
+   instances.
+2. **Joint search across paths.** The cross product of the candidate
+   sets is searched exactly when it is small
+   (:data:`_EXACT_LIMIT` combinations) and by greedy coordinate descent
+   otherwise, with shared physical indexes charged once.
+3. **Storage budget (optional).** ``optimize_multipath(budget_pages=...)``
+   constrains the union of selected physical indexes — priced per
+   :class:`SharedIndexKey` from the cost-model storage estimates, which
+   derive from :class:`repro.storage.sizes.SizeModel` — to a page
+   budget: exact filtered search when the cross product is small, and
+   otherwise a greedy marginal-benefit sweep (best cost-reduction per
+   added page first) whose recorded trajectory is filtered by the
+   budget, so tighter budgets always cost at least as much as looser
+   ones. The budget-free path remains the default (``budget_pages=None``).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.configuration import IndexConfiguration, IndexedSubpath
 from repro.core.cost_matrix import CostMatrix
 from repro.costmodel.params import PathStatistics
 from repro.errors import OptimizerError
 from repro.organizations import CONFIGURABLE_ORGANIZATIONS, IndexOrganization
-from repro.search.partitions import enumerate_partitions
+from repro.search.greedy_beam import top_configurations
+from repro.search.partitions import configuration_count, enumerate_partitions
 from repro.workload.load import LoadDistribution
 
-#: Above this many combinations the search switches to coordinate descent.
+#: Above this many cross-path combinations the joint search switches to
+#: coordinate descent.
 _EXACT_LIMIT = 200_000
+
+#: Largest per-path candidate space (``r·(1+r)^(n-1)``) that is still
+#: enumerated exactly when ``beam_width`` is not forced. Length 10 with
+#: two organizations per row is ~39k candidates; length 11 crosses this
+#: limit and switches to the beam generator.
+EXACT_CANDIDATE_LIMIT = 50_000
+
+#: Candidates kept per path by the beam generator when ``beam_width`` is
+#: not given. Wide enough that coordinate descent has realistic sharing
+#: alternatives to move through, small enough that 8 × length-40 joint
+#: selection stays in the seconds range.
+DEFAULT_BEAM_WIDTH = 16
 
 
 @dataclass(frozen=True)
@@ -41,6 +78,34 @@ class PathWorkload:
 
     stats: PathStatistics
     load: LoadDistribution
+
+
+def validate_selection_options(
+    per_row_organizations: int = 2,
+    beam_width: int | None = None,
+    budget_pages: float | None = None,
+) -> None:
+    """Reject invalid selection options with an :class:`OptimizerError`.
+
+    Shared by :func:`optimize_multipath` and the CLI, which calls it
+    *before* computing the cost matrices so bad flags fail fast (the
+    same fail-before-the-expensive-run convention as ``advise``'s
+    strategy resolution). ``budget_pages`` must be a non-negative real
+    number — NaN is rejected explicitly because every ``storage <=
+    budget`` comparison against it is silently false.
+    """
+    if per_row_organizations < 1:
+        raise OptimizerError(
+            f"organizations per block must be positive, got "
+            f"{per_row_organizations}"
+        )
+    if beam_width is not None and beam_width < 1:
+        raise OptimizerError(f"beam width must be positive, got {beam_width}")
+    if budget_pages is not None and not budget_pages >= 0:
+        raise OptimizerError(
+            f"storage budget must be a non-negative number of pages, got "
+            f"{budget_pages}"
+        )
 
 
 @dataclass(frozen=True)
@@ -53,13 +118,25 @@ class SharedIndexKey:
 
 @dataclass
 class MultiPathResult:
-    """Joint configuration selection outcome."""
+    """Joint configuration selection outcome.
+
+    ``exact`` is ``True`` only when both stages were exhaustive: the
+    candidate sets covered each path's full (organization-limited) space
+    *and* the joint cross product was searched completely.
+    ``storage_pages`` prices the union of selected physical indexes
+    (shared indexes once); ``budget_pages`` echoes the constraint when
+    one was given, with ``unconstrained_cost`` the joint cost the same
+    candidate sets reach without it.
+    """
 
     configurations: list[IndexConfiguration]
     total_cost: float
     shared_savings: float
     independent_cost: float
     exact: bool
+    storage_pages: float = 0.0
+    budget_pages: float | None = None
+    unconstrained_cost: float | None = None
 
     def render(self, workloads: list[PathWorkload]) -> str:
         """Readable multi-path report."""
@@ -72,8 +149,22 @@ class MultiPathResult:
             f"joint cost {self.total_cost:.2f} "
             f"(independent {self.independent_cost:.2f}, "
             f"shared savings {self.shared_savings:.2f}, "
-            f"{'exact' if self.exact else 'greedy'} search)"
+            f"{'exact' if self.exact else 'beam/greedy'} search)"
         )
+        if self.budget_pages is not None:
+            extra = (
+                f" (+{self.total_cost - self.unconstrained_cost:.2f} vs "
+                f"unconstrained)"
+                if self.unconstrained_cost is not None
+                else ""
+            )
+            # Translate pages back to bytes with the fleet's size model so
+            # the budget means something to an administrator.
+            sizes = workloads[0].stats.config.sizes
+            lines.append(
+                f"storage {sizes.describe_pages(self.storage_pages)} of "
+                f"{self.budget_pages:.0f} budget pages{extra}"
+            )
         return "\n".join(lines)
 
 
@@ -90,22 +181,54 @@ def _subpath_key(
 
 @dataclass(frozen=True)
 class _Candidate:
-    """One candidate configuration of one path, with cost split."""
+    """One candidate configuration of one path, with cost and storage split."""
 
     configuration: IndexConfiguration
     query_cost: float
     maintenance: dict[SharedIndexKey, float]
+    storage: dict[SharedIndexKey, float] = field(default_factory=dict)
 
     @property
     def total(self) -> float:
         return self.query_cost + sum(self.maintenance.values())
 
 
-def _candidates_for(
+def _candidate_from_parts(
+    stats: PathStatistics,
+    matrix: CostMatrix,
+    parts: tuple[IndexedSubpath, ...],
+) -> _Candidate:
+    """Price one configuration into its query/maintenance/storage split."""
+    query_cost = 0.0
+    maintenance: dict[SharedIndexKey, float] = {}
+    storage: dict[SharedIndexKey, float] = {}
+    for part in parts:
+        breakdown = matrix.breakdown(part.start, part.end, part.organization)
+        if breakdown is None:
+            raise OptimizerError(
+                "multi-path selection requires a computed cost matrix"
+            )
+        query_cost += breakdown.query
+        key = _subpath_key(stats, part.start, part.end, part.organization)
+        maintenance[key] = (
+            maintenance.get(key, 0.0)
+            + breakdown.insert
+            + breakdown.delete
+            + breakdown.cmd
+        )
+        storage[key] = max(storage.get(key, 0.0), breakdown.storage_pages)
+    return _Candidate(
+        configuration=IndexConfiguration(tuple(parts)),
+        query_cost=query_cost,
+        maintenance=maintenance,
+        storage=storage,
+    )
+
+
+def _candidates_exact(
     workload: PathWorkload, matrix: CostMatrix, per_row_organizations: int
 ) -> list[_Candidate]:
-    """All partitions, each with its best few organizations per subpath."""
-    stats = workload.stats
+    """The parity oracle: all partitions × best organizations per block."""
     candidates: list[_Candidate] = []
     for blocks in enumerate_partitions(matrix.length):
         # Per block: the best `per_row_organizations` organizations.
@@ -121,29 +244,77 @@ def _candidates_for(
                 [IndexedSubpath(start, end, org) for org in ranked]
             )
         for assignment in itertools.product(*options):
-            query_cost = 0.0
-            maintenance: dict[SharedIndexKey, float] = {}
-            for part in assignment:
-                breakdown = matrix.breakdown(part.start, part.end, part.organization)
-                if breakdown is None:
-                    raise OptimizerError(
-                        "multi-path selection requires a computed cost matrix"
-                    )
-                query_cost += breakdown.query
-                key = _subpath_key(stats, part.start, part.end, part.organization)
-                maintenance[key] = (
-                    maintenance.get(key, 0.0)
-                    + breakdown.insert
-                    + breakdown.delete
-                    + breakdown.cmd
-                )
             candidates.append(
-                _Candidate(
-                    configuration=IndexConfiguration(tuple(assignment)),
-                    query_cost=query_cost,
-                    maintenance=maintenance,
-                )
+                _candidate_from_parts(workload.stats, matrix, assignment)
             )
+    return candidates
+
+
+def _candidates_beam(
+    workload: PathWorkload,
+    matrix: CostMatrix,
+    per_row_organizations: int,
+    width: int,
+) -> list[_Candidate]:
+    """Top-``width`` locally cheapest configurations via the k-best sweep."""
+    return [
+        _candidate_from_parts(workload.stats, matrix, parts)
+        for _cost, parts in top_configurations(
+            matrix, count=width, per_row_organizations=per_row_organizations
+        )
+    ]
+
+
+def _storage_matrix(matrix: CostMatrix) -> CostMatrix:
+    """A literal matrix whose entries are storage pages, not costs.
+
+    Budgeted candidate generation runs the same k-best sweep over this
+    matrix to surface the *smallest* configurations of a path (the
+    zero-storage all-``NONE`` fallback among them) — the candidates a
+    cost-ranked beam never proposes but a tight budget needs.
+    """
+    values: dict[tuple[int, int], dict[IndexOrganization, float]] = {}
+    for start, end in matrix.rows():
+        row: dict[IndexOrganization, float] = {}
+        for organization in matrix.organizations:
+            breakdown = matrix.breakdown(start, end, organization)
+            if breakdown is None:
+                raise OptimizerError(
+                    "budget-constrained multi-path selection requires a "
+                    "computed cost matrix"
+                )
+            row[organization] = breakdown.storage_pages
+        values[(start, end)] = row
+    return CostMatrix.from_values(matrix.length, values)
+
+
+def _candidates_budget(
+    workload: PathWorkload,
+    matrix: CostMatrix,
+    width: int,
+) -> list[_Candidate]:
+    """Beam candidates for the budgeted search: cheapest ∪ smallest.
+
+    Two k-best sweeps over every organization per block — one ranked by
+    processing cost, one by storage pages — merged without duplicates.
+    With ``width`` at least the candidate-space size the cost sweep alone
+    already covers the whole space.
+    """
+    organizations = len(matrix.organizations)
+    candidates = [
+        _candidate_from_parts(workload.stats, matrix, parts)
+        for _cost, parts in top_configurations(
+            matrix, count=width, per_row_organizations=organizations
+        )
+    ]
+    seen = {candidate.configuration for candidate in candidates}
+    for _pages, parts in top_configurations(
+        _storage_matrix(matrix), count=width, per_row_organizations=organizations
+    ):
+        candidate = _candidate_from_parts(workload.stats, matrix, parts)
+        if candidate.configuration not in seen:
+            seen.add(candidate.configuration)
+            candidates.append(candidate)
     return candidates
 
 
@@ -163,12 +334,205 @@ def _joint_cost(selection: tuple[_Candidate, ...]) -> tuple[float, float]:
     return query + maintenance, raw - maintenance
 
 
+def _joint_storage(selection: tuple[_Candidate, ...]) -> float:
+    """Pages of the union of physical indexes (shared indexes once)."""
+    merged: dict[SharedIndexKey, float] = {}
+    for candidate in selection:
+        for key, pages in candidate.storage.items():
+            merged[key] = max(merged.get(key, 0.0), pages)
+    return sum(merged.values())
+
+
+def _descend(
+    candidate_sets: list[list[_Candidate]], selection: list[_Candidate]
+) -> list[_Candidate]:
+    """Greedy coordinate descent: re-optimize one path at a time until stable."""
+    improved = True
+    while improved:
+        improved = False
+        for index, candidates in enumerate(candidate_sets):
+            current_cost, _ = _joint_cost(tuple(selection))
+            for candidate in candidates:
+                trial = list(selection)
+                trial[index] = candidate
+                cost, _ = _joint_cost(tuple(trial))
+                if cost < current_cost - 1e-12:
+                    selection = trial
+                    current_cost = cost
+                    improved = True
+    return selection
+
+
+def _select_unconstrained(
+    candidate_sets: list[list[_Candidate]],
+) -> tuple[list[_Candidate], bool]:
+    """Best joint selection, exact for small cross products."""
+    combinations = 1
+    for candidates in candidate_sets:
+        combinations *= len(candidates)
+    if combinations <= _EXACT_LIMIT:
+        best_cost = float("inf")
+        best_selection: tuple[_Candidate, ...] | None = None
+        for selection in itertools.product(*candidate_sets):
+            cost, _ = _joint_cost(selection)
+            if cost < best_cost:
+                best_cost = cost
+                best_selection = selection
+        assert best_selection is not None
+        return list(best_selection), True
+
+    # Start from each path's independent best and descend.
+    selection = [
+        min(candidates, key=lambda candidate: candidate.total)
+        for candidates in candidate_sets
+    ]
+    return _descend(candidate_sets, selection), False
+
+
+def _select_budgeted_exact(
+    candidate_sets: list[list[_Candidate]], budget_pages: float
+) -> tuple[list[_Candidate], list[_Candidate]]:
+    """One exhaustive pass over the cross product, tracking two optima.
+
+    Returns ``(best_feasible, best_overall)`` — the cheapest selection
+    whose physical-index union fits the budget and the cheapest
+    selection outright (for the ``unconstrained_cost`` report) — so the
+    exact budgeted path never walks the product twice.
+    """
+    best_cost = float("inf")
+    best_selection: tuple[_Candidate, ...] | None = None
+    overall_cost = float("inf")
+    overall_selection: tuple[_Candidate, ...] | None = None
+    for selection in itertools.product(*candidate_sets):
+        cost, _ = _joint_cost(selection)
+        if cost < overall_cost:
+            overall_cost = cost
+            overall_selection = selection
+        if cost < best_cost and _joint_storage(selection) <= budget_pages:
+            best_cost = cost
+            best_selection = selection
+    if best_selection is None:
+        raise OptimizerError(
+            f"no joint configuration fits within {budget_pages} pages; "
+            "consider including the NONE organization"
+        )
+    assert overall_selection is not None
+    return list(best_selection), list(overall_selection)
+
+
+def _best_swap(
+    candidate_sets: list[list[_Candidate]],
+    selection: list[_Candidate],
+    rank,
+) -> tuple[tuple, int, _Candidate, float, float] | None:
+    """The best single-path swap under a ranking rule, or ``None``.
+
+    ``rank(trial_cost, trial_storage)`` returns a comparable rank tuple,
+    or ``None`` to reject the move; the highest rank wins. Shared by the
+    sweep's two phases so the swap enumeration cannot drift between
+    them.
+    """
+    best: tuple[tuple, int, _Candidate, float, float] | None = None
+    for index, candidates in enumerate(candidate_sets):
+        for candidate in candidates:
+            if candidate is selection[index]:
+                continue
+            trial = list(selection)
+            trial[index] = candidate
+            trial_cost, _ = _joint_cost(tuple(trial))
+            trial_storage = _joint_storage(tuple(trial))
+            move_rank = rank(trial_cost, trial_storage)
+            if move_rank is None:
+                continue
+            if best is None or move_rank > best[0]:
+                best = (move_rank, index, candidate, trial_cost, trial_storage)
+    return best
+
+
+def _budget_sweep(
+    candidate_sets: list[list[_Candidate]],
+    budget_pages: float,
+    unconstrained: list[_Candidate],
+) -> list[_Candidate]:
+    """Greedy marginal-benefit selection under the budget.
+
+    Two budget-independent phases, every visited selection recorded:
+
+    1. **Storage descent.** From the smallest per-path-footprint
+       selection, repeatedly apply the single-path swap that most
+       shrinks the joint union (ties prefer the smaller cost increase).
+       The per-path start cannot see union effects — two paths may each
+       prefer a private index while a shared key is jointly smaller —
+       so the descent walks toward minimal-union selections tight
+       budgets need.
+    2. **Marginal benefit.** From the descent's end point, repeatedly
+       apply the single-path swap with the best cost reduction per
+       added page (pure cost reductions rank above everything).
+
+    The unconstrained optimum is seeded into the record so generous
+    budgets recover it exactly. The answer is the cheapest recorded
+    selection that fits; nothing recorded depends on the budget, so
+    feasible sets nest as the budget grows and the returned cost
+    degrades monotonically as it tightens.
+    """
+    selection = [
+        min(
+            candidates,
+            key=lambda candidate: (sum(candidate.storage.values()), candidate.total),
+        )
+        for candidates in candidate_sets
+    ]
+    cost, _ = _joint_cost(tuple(selection))
+    storage = _joint_storage(tuple(selection))
+    visited: list[tuple[list[_Candidate], float, float]] = [
+        (list(selection), cost, storage),
+        (
+            list(unconstrained),
+            _joint_cost(tuple(unconstrained))[0],
+            _joint_storage(tuple(unconstrained)),
+        ),
+    ]
+
+    def shrink_rank(trial_cost: float, trial_storage: float):
+        reduction = storage - trial_storage
+        if reduction <= 1e-12:
+            return None
+        return (reduction, cost - trial_cost)
+
+    def benefit_rank(trial_cost: float, trial_storage: float):
+        reduction = cost - trial_cost
+        if reduction <= 1e-12:
+            return None
+        added = trial_storage - storage
+        ratio = float("inf") if added <= 0 else reduction / added
+        return (ratio, reduction)
+
+    for rank in (shrink_rank, benefit_rank):
+        while True:
+            move = _best_swap(candidate_sets, selection, rank)
+            if move is None:
+                break
+            _, index, candidate, cost, storage = move
+            selection[index] = candidate
+            visited.append((list(selection), cost, storage))
+    feasible = [entry for entry in visited if entry[2] <= budget_pages]
+    if not feasible:
+        raise OptimizerError(
+            f"no joint configuration fits within {budget_pages} pages; "
+            "consider including the NONE organization"
+        )
+    best = min(feasible, key=lambda entry: entry[1])
+    return best[0]
+
+
 def optimize_multipath(
     workloads: list[PathWorkload],
     per_row_organizations: int = 2,
     matrices: list[CostMatrix] | None = None,
     organizations: tuple[IndexOrganization, ...] | None = None,
     workers: int | None = None,
+    beam_width: int | None = None,
+    budget_pages: float | None = None,
 ) -> MultiPathResult:
     """Jointly select configurations for several related paths.
 
@@ -191,9 +555,31 @@ def optimize_multipath(
     workers:
         Worker processes per matrix construction (see
         :meth:`CostMatrix.compute`).
+    beam_width:
+        ``None`` (default) enumerates a path's candidates exactly while
+        its ``r·(1+r)^(n-1)`` candidate space stays within
+        :data:`EXACT_CANDIDATE_LIMIT` and falls back to a
+        :data:`DEFAULT_BEAM_WIDTH`-wide k-best beam beyond; an integer
+        forces the beam with that many candidates per path. With
+        ``beam_width`` at least the candidate-space size the beam covers
+        the whole space and matches the exact oracle.
+    budget_pages:
+        Constrain the union of selected physical indexes (shared indexes
+        stored once) to this many pages; ``None`` (default) selects
+        without a storage constraint. Because the constraint couples the
+        per-block organization choices, budgeted generation ranks over
+        *every* organization in the matrix (``per_row_organizations`` is
+        ignored, and the beam adds a storage-ranked sweep so tight
+        budgets keep feasible candidates). Candidates are enumerated
+        exactly only when the downstream filtered cross product is
+        exhaustive as well; otherwise every path uses the capped beam so
+        the greedy sweep stays fast. Include the ``NONE`` organization
+        to guarantee a zero-storage fallback. Tightening the budget
+        never decreases the returned cost.
     """
     if not workloads:
         raise OptimizerError("at least one path is required")
+    validate_selection_options(per_row_organizations, beam_width, budget_pages)
     if matrices is not None:
         if len(matrices) != len(workloads):
             raise OptimizerError(
@@ -220,61 +606,100 @@ def optimize_multipath(
             )
             for w in workloads
         ]
-    candidate_sets = [
-        _candidates_for(workload, matrix, per_row_organizations)
-        for workload, matrix in zip(workloads, matrices)
-    ]
+
+    candidate_sets: list[list[_Candidate]] = []
+    generation_exact = True
+    if budget_pages is None:
+        for workload, matrix in zip(workloads, matrices):
+            space = configuration_count(matrix.length, per_row_organizations)
+            if beam_width is None and space <= EXACT_CANDIDATE_LIMIT:
+                candidate_sets.append(
+                    _candidates_exact(workload, matrix, per_row_organizations)
+                )
+            else:
+                width = (
+                    beam_width if beam_width is not None else DEFAULT_BEAM_WIDTH
+                )
+                candidate_sets.append(
+                    _candidates_beam(
+                        workload, matrix, per_row_organizations, width
+                    )
+                )
+                if width < space:
+                    generation_exact = False
+    else:
+        # A storage budget couples the per-block organization choices (the
+        # affordable option may be any organization, NONE included), so
+        # budgeted generation ranks over every organization in the matrix
+        # — the same widening optimize_with_budget applies — instead of
+        # the cost-ranked best per_row_organizations. The generation mode
+        # is decided globally: exact enumeration only when the downstream
+        # filtered cross product is exhaustive too, because handing tens
+        # of thousands of exact candidates per path to the greedy sweep
+        # multiplies every swap scan for no exactness in return.
+        spaces = [
+            configuration_count(matrix.length, len(matrix.organizations))
+            for matrix in matrices
+        ]
+        product = 1
+        for space in spaces:
+            product *= space
+        if (
+            beam_width is None
+            and max(spaces) <= EXACT_CANDIDATE_LIMIT
+            and product <= _EXACT_LIMIT
+        ):
+            for workload, matrix in zip(workloads, matrices):
+                candidate_sets.append(
+                    _candidates_exact(
+                        workload, matrix, len(matrix.organizations)
+                    )
+                )
+        else:
+            width = beam_width if beam_width is not None else DEFAULT_BEAM_WIDTH
+            for workload, matrix, space in zip(workloads, matrices, spaces):
+                candidate_sets.append(
+                    _candidates_budget(workload, matrix, width)
+                )
+                if width < space:
+                    generation_exact = False
+
     independent = 0.0
     for candidates in candidate_sets:
         independent += min(candidate.total for candidate in candidates)
 
+    if budget_pages is None:
+        selection, product_exact = _select_unconstrained(candidate_sets)
+        cost, savings = _joint_cost(tuple(selection))
+        return MultiPathResult(
+            configurations=[c.configuration for c in selection],
+            total_cost=cost,
+            shared_savings=savings,
+            independent_cost=independent,
+            exact=generation_exact and product_exact,
+            storage_pages=_joint_storage(tuple(selection)),
+        )
+
     combinations = 1
     for candidates in candidate_sets:
         combinations *= len(candidates)
-
     if combinations <= _EXACT_LIMIT:
-        best_cost = float("inf")
-        best_savings = 0.0
-        best_selection: tuple[_Candidate, ...] | None = None
-        for selection in itertools.product(*candidate_sets):
-            cost, savings = _joint_cost(selection)
-            if cost < best_cost:
-                best_cost = cost
-                best_savings = savings
-                best_selection = selection
-        assert best_selection is not None
-        return MultiPathResult(
-            configurations=[c.configuration for c in best_selection],
-            total_cost=best_cost,
-            shared_savings=best_savings,
-            independent_cost=independent,
-            exact=True,
+        selection, unconstrained = _select_budgeted_exact(
+            candidate_sets, budget_pages
         )
-
-    # Greedy coordinate descent: start from each path's independent best,
-    # then re-optimize one path at a time against the others until stable.
-    selection = [
-        min(candidates, key=lambda candidate: candidate.total)
-        for candidates in candidate_sets
-    ]
-    improved = True
-    while improved:
-        improved = False
-        for index, candidates in enumerate(candidate_sets):
-            current_cost, _ = _joint_cost(tuple(selection))
-            for candidate in candidates:
-                trial = list(selection)
-                trial[index] = candidate
-                cost, _ = _joint_cost(tuple(trial))
-                if cost < current_cost - 1e-12:
-                    selection = trial
-                    current_cost = cost
-                    improved = True
+        budget_exact = True
+    else:
+        unconstrained, _ = _select_unconstrained(candidate_sets)
+        selection = _budget_sweep(candidate_sets, budget_pages, unconstrained)
+        budget_exact = False
     cost, savings = _joint_cost(tuple(selection))
     return MultiPathResult(
         configurations=[c.configuration for c in selection],
         total_cost=cost,
         shared_savings=savings,
         independent_cost=independent,
-        exact=False,
+        exact=generation_exact and budget_exact,
+        storage_pages=_joint_storage(tuple(selection)),
+        budget_pages=budget_pages,
+        unconstrained_cost=_joint_cost(tuple(unconstrained))[0],
     )

@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:
+    from repro.core.multipath import MultiPathResult
     from repro.search import SearchResult
 
 
@@ -77,6 +78,43 @@ def strategy_comparison_table(
             row.append(f"{ratio:.4f}x")
         rows.append(row)
     return ascii_table(headers, rows, title=title)
+
+
+def multipath_table(
+    paths: Sequence[object],
+    result: "MultiPathResult",
+    title: str | None = None,
+) -> str:
+    """Per-path configuration table plus the joint-selection summary.
+
+    One row per path of a
+    :class:`~repro.core.multipath.MultiPathResult`; the summary lines
+    report the joint cost against the independent optima, the sharing
+    savings, the union storage footprint, and the budget when one
+    constrained the selection.
+    """
+    rows = [
+        [str(path), result.configurations[index].render(path)]
+        for index, path in enumerate(paths)
+    ]
+    table = ascii_table(["path", "chosen configuration"], rows, title=title)
+    joint_label = "joint optimum:" if result.exact else "joint selection:"
+    lines = [
+        table,
+        "",
+        f"independent optima total: {result.independent_cost:.2f}",
+        f"{joint_label:<26}{result.total_cost:.2f}",
+        f"sharing savings:          {result.shared_savings:.2f}",
+        f"storage pages:            {result.storage_pages:.0f}",
+    ]
+    if result.budget_pages is not None:
+        lines.append(f"budget pages:             {result.budget_pages:.0f}")
+        if result.unconstrained_cost is not None:
+            lines.append(
+                "cost of the budget:       "
+                f"+{result.total_cost - result.unconstrained_cost:.2f}"
+            )
+    return "\n".join(lines)
 
 
 def comparison_table(

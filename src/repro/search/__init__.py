@@ -5,20 +5,29 @@ The Section 5 pipeline separates cost evaluation (``Cost_Matrix`` +
 ``2^(n-1)`` recombinations. This package holds the search half:
 
 * :mod:`~repro.search.base` — the :class:`SearchStrategy` protocol, the
-  unified :class:`SearchResult`, and the string-keyed strategy registry;
-* :mod:`~repro.search.partitions` — shared partition/split enumeration;
+  unified :class:`SearchResult`, and the string-keyed strategy registry
+  (``get_strategy(name, **options)``; register new searchers with
+  ``@register_strategy("name")`` without touching the pipeline);
+* :mod:`~repro.search.partitions` — shared partition/split enumeration
+  and the search-space counting helpers (``partition_count``,
+  ``configuration_count``);
 * :mod:`~repro.search.branch_and_bound` — the paper's ``Opt_Ind_Con``;
 * :mod:`~repro.search.exhaustive` — the full-enumeration oracle;
 * :mod:`~repro.search.dynamic_program` — the O(n²) exact optimum;
 * :mod:`~repro.search.greedy_beam` — anytime near-optimal beam search
-  for long paths.
+  for long paths, plus :func:`~repro.search.greedy_beam.top_configurations`,
+  the exact k-best sweep that feeds per-path candidates to the
+  multi-path selector (:mod:`repro.core.multipath`) and keeps joint
+  selection over many long paths out of the ``2^(n-1)`` regime.
 
 Quickstart::
 
-    from repro.search import get_strategy
+    from repro.search import get_strategy, top_configurations
 
     result = get_strategy("dynamic_program").search(matrix)
     fast = get_strategy("greedy_beam", width=4).search(matrix)
+    candidates = top_configurations(matrix, count=16,
+                                    per_row_organizations=2)
 """
 
 from repro.search.base import (
@@ -31,9 +40,14 @@ from repro.search.base import (
 from repro.search.branch_and_bound import BranchAndBoundStrategy
 from repro.search.dynamic_program import DynamicProgramStrategy
 from repro.search.exhaustive import ExhaustiveStrategy
-from repro.search.greedy_beam import DEFAULT_WIDTH, GreedyBeamStrategy
+from repro.search.greedy_beam import (
+    DEFAULT_WIDTH,
+    GreedyBeamStrategy,
+    top_configurations,
+)
 from repro.search.partitions import (
     blocks_from_mask,
+    configuration_count,
     enumerate_first_pieces,
     enumerate_partitions,
     partition_count,
@@ -50,10 +64,12 @@ __all__ = [
     "SearchStrategy",
     "available_strategies",
     "blocks_from_mask",
+    "configuration_count",
     "enumerate_first_pieces",
     "enumerate_partitions",
     "get_strategy",
     "partition_count",
     "register_strategy",
+    "top_configurations",
     "validate_partition",
 ]

@@ -14,6 +14,13 @@ the same uncovered position are dominated by the cheapest among them
 speed for closeness to the optimum; the parity tests bound the gap
 against the dynamic program, and ``benchmarks/bench_beam_vs_dp.py``
 measures it.
+
+The module also hosts :func:`top_configurations`, the k-best variant of
+the same frontier sweep: instead of one underlined winner it returns the
+``count`` locally cheapest configurations of a path. The multi-path
+selector (:mod:`repro.core.multipath`) uses it as its candidate
+generator, so joint selection over many long paths never enumerates the
+``2^(n-1)`` partition space.
 """
 
 from __future__ import annotations
@@ -29,6 +36,61 @@ from repro.search.base import (
 
 #: Default number of partial partitions kept per expansion level.
 DEFAULT_WIDTH = 8
+
+
+def top_configurations(
+    matrix: CostMatrix,
+    count: int,
+    per_row_organizations: int = 1,
+) -> list[tuple[float, tuple[IndexedSubpath, ...]]]:
+    """The ``count`` cheapest configurations of one path, by local cost.
+
+    A width-``count`` k-best sweep over the partition DAG (nodes are the
+    boundary positions ``0..length``, an edge ``p → e`` is the block
+    ``p+1..e`` priced with one of its ``per_row_organizations`` best
+    organizations from the tie-tolerant :meth:`CostMatrix.ranked_organizations`
+    ranking). Because the objective is additive, the ``count`` cheapest
+    completions through a boundary extend the ``count`` cheapest partials
+    reaching it, so keeping ``count`` partials per boundary is *exact*:
+    the result is the true top-``count`` of the ``r·(1+r)^(n-1)``-sized
+    candidate space (:func:`repro.search.partitions.configuration_count`),
+    and with ``count`` at least that size it is the whole space — the
+    guarantee behind the multi-path beam/oracle parity property.
+
+    Returns ``(cost, blocks)`` pairs in ascending cost order; ties keep
+    generation order (shorter first blocks and earlier organization
+    columns first), so the output is deterministic across platforms.
+    O(n² · r · count · log) time, independent of ``2^(n-1)``.
+    """
+    if count < 1:
+        raise OptimizerError(f"candidate count must be positive, got {count}")
+    if per_row_organizations < 1:
+        raise OptimizerError(
+            f"organizations per block must be positive, got "
+            f"{per_row_organizations}"
+        )
+    length = matrix.length
+    # best[p]: up to `count` cheapest (cost, blocks) covering 1..p.
+    best: list[list[tuple[float, tuple[IndexedSubpath, ...]]]] = [
+        [] for _ in range(length + 1)
+    ]
+    best[0] = [(0.0, ())]
+    for end in range(1, length + 1):
+        pool: list[tuple[float, tuple[IndexedSubpath, ...]]] = []
+        for start in range(1, end + 1):
+            ranked = matrix.ranked_organizations(
+                start, end, limit=per_row_organizations
+            )
+            for organization in ranked:
+                block_cost = matrix.cost(start, end, organization)
+                block = IndexedSubpath(start, end, organization)
+                for prefix_cost, prefix in best[start - 1]:
+                    pool.append((prefix_cost + block_cost, prefix + (block,)))
+        # Stable sort on cost only: IndexOrganization members are not
+        # orderable, and generation order is already deterministic.
+        pool.sort(key=lambda entry: entry[0])
+        best[end] = pool[:count]
+    return best[length]
 
 
 @register_strategy("greedy_beam")

@@ -24,6 +24,27 @@ def partition_count(length: int) -> int:
     return 2 ** (length - 1)
 
 
+def configuration_count(length: int, organizations_per_block: int) -> int:
+    """``r·(1+r)^(length-1)``: configurations with ``r`` choices per block.
+
+    Summing ``r^m`` over the ``C(length-1, m-1)`` partitions with ``m``
+    blocks gives the size of the candidate space the multi-path selector
+    draws from when every block may take any of its ``r`` best
+    organizations. With ``r = 1`` this is :func:`partition_count`; the
+    beam parity property uses it as the width beyond which k-best
+    candidate generation provably covers the whole space.
+    """
+    if length < 1:
+        raise OptimizerError("path length must be at least 1")
+    if organizations_per_block < 1:
+        raise OptimizerError(
+            f"organizations per block must be positive, got "
+            f"{organizations_per_block}"
+        )
+    r = organizations_per_block
+    return r * (1 + r) ** (length - 1)
+
+
 def blocks_from_mask(length: int, mask: int) -> Blocks:
     """The partition selected by one boundary bitmask.
 

@@ -113,3 +113,19 @@ class SizeModel:
         if record_length > self.page_size:
             return record_count * self.pages_for(record_length)
         return max(1.0, record_count / self.records_per_page(record_length))
+
+    def describe_pages(self, pages: float) -> str:
+        """Human-readable page count: ``"1234 pages (4.8 MiB)"``.
+
+        Storage budgets (``optimize_with_budget``,
+        ``optimize_multipath(budget_pages=...)``) are stated in pages
+        because every cost formula is; reports translate them back to
+        bytes so the numbers mean something to an administrator.
+        """
+        if pages < 0:
+            raise StorageError(f"page count cannot be negative: {pages}")
+        size = pages * self.page_size
+        for unit, scale in (("GiB", 2**30), ("MiB", 2**20), ("KiB", 2**10)):
+            if size >= scale:
+                return f"{pages:.0f} pages ({size / scale:.1f} {unit})"
+        return f"{pages:.0f} pages ({size:.0f} B)"

@@ -22,10 +22,12 @@ from repro.search import (
     SearchStrategy,
     available_strategies,
     blocks_from_mask,
+    configuration_count,
     enumerate_first_pieces,
     enumerate_partitions,
     get_strategy,
     partition_count,
+    top_configurations,
     validate_partition,
 )
 from repro.synth import LevelSpec, linear_path_schema
@@ -330,3 +332,70 @@ def advise_with(stats, load, strategy):
     from repro.core.advisor import advise
 
     return advise(stats, load, run_baselines=False, strategy=strategy)
+
+
+class TestTopConfigurations:
+    """The k-best sweep feeding multi-path candidate generation."""
+
+    def test_first_entry_is_the_dp_optimum(self):
+        for seed in range(5):
+            matrix = synth_matrix(6, seed)
+            ranked = top_configurations(matrix, count=4)
+            optimum = get_strategy("dynamic_program").search(matrix)
+            assert ranked[0][0] == pytest.approx(optimum.cost)
+
+    def test_costs_ascend(self):
+        matrix = synth_matrix(6, seed=11)
+        ranked = top_configurations(matrix, count=20, per_row_organizations=2)
+        costs = [cost for cost, _parts in ranked]
+        assert costs == sorted(costs)
+
+    def test_count_at_space_returns_whole_space(self):
+        length = 5
+        matrix = synth_matrix(length, seed=3)
+        space = configuration_count(length, 2)
+        ranked = top_configurations(
+            matrix, count=space + 10, per_row_organizations=2
+        )
+        assert len(ranked) == space
+        # Every returned entry is a valid partition with a distinct
+        # (partition, organizations) signature.
+        signatures = set()
+        for cost, parts in ranked:
+            validate_partition(length, tuple((p.start, p.end) for p in parts))
+            signatures.add(parts)
+            assert cost == pytest.approx(
+                sum(
+                    matrix.cost(p.start, p.end, p.organization) for p in parts
+                )
+            )
+        assert len(signatures) == space
+
+    def test_single_org_space_is_partition_count(self):
+        length = 6
+        matrix = synth_matrix(length, seed=7)
+        ranked = top_configurations(
+            matrix, count=10**6, per_row_organizations=1
+        )
+        assert len(ranked) == partition_count(length)
+
+    def test_validation(self):
+        matrix = synth_matrix(3, seed=0)
+        with pytest.raises(OptimizerError, match="count"):
+            top_configurations(matrix, count=0)
+        with pytest.raises(OptimizerError, match="organizations per block"):
+            top_configurations(matrix, count=4, per_row_organizations=0)
+
+    def test_configuration_count_matches_enumeration(self):
+        # r·(1+r)^(n-1) == sum over partitions of r^blocks.
+        for length in range(1, 8):
+            for r in (1, 2, 3):
+                brute = sum(
+                    r ** len(blocks)
+                    for blocks in enumerate_partitions(length)
+                )
+                assert configuration_count(length, r) == brute
+        with pytest.raises(OptimizerError):
+            configuration_count(0, 1)
+        with pytest.raises(OptimizerError):
+            configuration_count(3, 0)

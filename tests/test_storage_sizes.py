@@ -68,3 +68,22 @@ class TestDerivedQuantities:
     def test_leaf_pages_oversized_records(self):
         sizes = SizeModel(page_size=4096)
         assert sizes.leaf_pages(10, 8192) == pytest.approx(20.0)
+
+
+class TestDescribePages:
+    def test_mib_range(self):
+        sizes = SizeModel(page_size=4096)
+        assert sizes.describe_pages(1024) == "1024 pages (4.0 MiB)"
+
+    def test_gib_range(self):
+        sizes = SizeModel(page_size=4096)
+        assert "GiB" in sizes.describe_pages(2**20)
+
+    def test_small_counts_in_bytes_or_kib(self):
+        sizes = SizeModel(page_size=4096)
+        assert sizes.describe_pages(0) == "0 pages (0 B)"
+        assert "KiB" in sizes.describe_pages(1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(StorageError):
+            SizeModel().describe_pages(-1)

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Documentation guards for CI.
+
+Two checks, both fail-on-regression:
+
+* every Python module under ``src/repro/`` carries a non-empty module
+  docstring (the docs job treats an undocumented module as a build
+  break, not a style nit);
+* every relative Markdown link in ``docs/*.md`` and ``README.md``
+  resolves to an existing file (external ``http(s)``/``mailto`` targets
+  and in-page ``#anchors`` are skipped — the guard is about repository
+  rot, not the internet).
+
+Run locally with ``python tools/check_docs.py``; exits non-zero listing
+every failure.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SOURCE_ROOT = ROOT / "src" / "repro"
+
+#: Inline Markdown links ``[text](target)``; the first character class
+#: excludes pure in-page anchors ``(#...)``.
+LINK = re.compile(r"\[[^\]]*\]\(([^)#\s][^)\s]*)\)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def missing_docstrings() -> list[str]:
+    """Modules under src/repro/ whose module docstring is absent or blank."""
+    failures = []
+    for path in sorted(SOURCE_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        docstring = ast.get_docstring(tree)
+        if not docstring or not docstring.strip():
+            failures.append(str(path.relative_to(ROOT)))
+    return failures
+
+
+def broken_links() -> list[str]:
+    """Relative links in docs/ and README.md that point at nothing."""
+    documents = sorted((ROOT / "docs").glob("*.md"))
+    readme = ROOT / "README.md"
+    if readme.exists():
+        documents.append(readme)
+    failures = []
+    for document in documents:
+        for match in LINK.finditer(document.read_text(encoding="utf-8")):
+            target = match.group(1).strip()
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (document.parent / relative).resolve().exists():
+                failures.append(
+                    f"{document.relative_to(ROOT)}: broken link -> {target}"
+                )
+    return failures
+
+
+def main() -> int:
+    failures = 0
+    undocumented = missing_docstrings()
+    if undocumented:
+        failures += len(undocumented)
+        print("modules without a docstring:", file=sys.stderr)
+        for module in undocumented:
+            print(f"  {module}", file=sys.stderr)
+    broken = broken_links()
+    if broken:
+        failures += len(broken)
+        print("broken documentation links:", file=sys.stderr)
+        for link in broken:
+            print(f"  {link}", file=sys.stderr)
+    if failures:
+        print(f"{failures} documentation failure(s)", file=sys.stderr)
+        return 1
+    print("docs OK: all modules documented, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
