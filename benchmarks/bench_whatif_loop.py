@@ -1,0 +1,271 @@
+"""Drifting-workload what-if loop: session vs rerun-everything.
+
+Simulates the online-advisor scenario the ``repro.whatif`` subsystem was
+built for: a long path whose workload drifts step by step while an
+administrator (or a monitoring loop) re-asks "what is the optimal
+configuration now?" after every step. Two loops answer the same
+perturbation sequence:
+
+* **rerun** — the one-shot pipeline from scratch each step
+  (``CostMatrix.compute`` + a fresh ``dynamic_program`` search);
+* **session** — one :class:`~repro.whatif.AdvisorSession` threading each
+  step's exact dirty-row set through the incremental matrix recompute
+  (with O(1) ``CMD`` patches) and the refinable DP.
+
+Both loops must produce bit-identical per-step costs (asserted), so the
+speedup is pure bookkeeping, not approximation. Two drift shapes are
+measured:
+
+* ``edge`` — drift concentrated on the ending classes (ingest-side
+  churn: new objects and queries arrive at the leaf of the path), the
+  common production pattern and the headline number;
+* ``mixed`` — a uniformly random class/component drifts each step, the
+  adversarial shape (query-frequency changes near the path start dirty
+  most of the matrix).
+
+Workloads come from :class:`repro.workload.generator.WorkloadGenerator`
+and the drift from a seeded PRNG, so every run replays the same
+sequence. Results land in ``benchmarks/results/BENCH_whatif.json``; the
+``--smoke`` mode (CI) runs a short loop and fails only when the edge
+speedup drops below a generous threshold.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/bench_whatif_loop.py           # full
+    PYTHONPATH=src:. python benchmarks/bench_whatif_loop.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import random
+import sys
+import time
+
+from repro.core.cost_matrix import CostMatrix
+from repro.costmodel.params import ClassStats, PathStatistics
+from repro.search import get_strategy
+from repro.synth import LevelSpec, linear_path_schema
+from repro.whatif import AdvisorSession
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+JSON_NAME = "BENCH_whatif.json"
+
+#: The paper-facing target: the session loop must beat rerun-everything
+#: by at least this factor on edge drift at length 30 (the full run).
+FULL_TARGET_SPEEDUP = 5.0
+
+#: CI guard: generous so machine noise never flakes the build, tight
+#: enough to catch losing the incremental path entirely.
+SMOKE_MIN_SPEEDUP = 1.5
+
+FULL_LENGTH = 30
+FULL_STEPS = 200
+SMOKE_LENGTH = 20
+SMOKE_STEPS = 25
+
+
+def make_inputs(length: int, seed: int = 0):
+    """A deep linear path with a generator-drawn mixed base workload."""
+    levels = [LevelSpec(f"L{i}") for i in range(length)]
+    _schema, path = linear_path_schema(levels)
+    per_class = {}
+    objects = 50_000
+    for position in range(1, length + 1):
+        name = path.class_at(position)
+        per_class[name] = ClassStats(
+            objects=objects, distinct=max(10, objects // 5), fanout=1
+        )
+        objects = max(100, objects // 4)
+    stats = PathStatistics(path, per_class)
+    load = WorkloadGenerator(seed).mixed(
+        path, query_weight=2.0, update_weight=1.0, total=1.0
+    )
+    return stats, load
+
+
+def drift_sequence(
+    stats: PathStatistics,
+    base_load: LoadDistribution,
+    steps: int,
+    seed: int,
+    drift: str,
+) -> list[LoadDistribution]:
+    """The per-step loads of a reproducible drifting workload.
+
+    Each step scales one component of one class's triplet by a random
+    factor in ``[0.6, 1.6]`` (a small additive floor keeps zero
+    frequencies drifting too). ``edge`` drift draws the class from the
+    last two path positions; ``mixed`` drift draws it uniformly.
+    """
+    rng = random.Random(seed)
+    path = stats.path
+    length = stats.length
+    loads: list[LoadDistribution] = []
+    current = base_load
+    for _ in range(steps):
+        if drift == "edge":
+            position = rng.choice([length, length, length, length - 1])
+        else:
+            position = rng.randint(1, length)
+        target = rng.choice(stats.members(position))
+        component = rng.choice(["query", "insert", "delete"])
+        factor = rng.uniform(0.6, 1.6)
+        triplets = {}
+        for name, triplet in current.items():
+            if name == target:
+                values = {
+                    "query": triplet.query,
+                    "insert": triplet.insert,
+                    "delete": triplet.delete,
+                }
+                values[component] = values[component] * factor + 1e-4
+                triplet = LoadTriplet(**values)
+            triplets[name] = triplet
+        current = LoadDistribution(path, triplets)
+        loads.append(current)
+    return loads
+
+
+def run_rerun_loop(
+    stats: PathStatistics, loads: list[LoadDistribution]
+) -> tuple[float, list[float]]:
+    """The baseline: full compute + fresh exact search every step."""
+    costs: list[float] = []
+    started = time.perf_counter()
+    for load in loads:
+        matrix = CostMatrix.compute(stats, load, workers=0)
+        costs.append(get_strategy("dynamic_program").search(matrix).cost)
+    return (time.perf_counter() - started) * 1000.0, costs
+
+
+def run_session_loop(
+    stats: PathStatistics,
+    base_load: LoadDistribution,
+    loads: list[LoadDistribution],
+) -> tuple[float, list[float], dict]:
+    """The incremental loop, with per-step work counters from the reports."""
+    session = AdvisorSession(stats, base_load, workers=0)
+    session.advise()  # baseline search outside the timed loop, like rerun
+    costs: list[float] = []
+    recomputed = 0
+    patched = 0
+    relaxed = 0
+    started = time.perf_counter()
+    for load in loads:
+        report = session.apply(load=load)
+        result = session.advise()
+        costs.append(result.cost)
+        recomputed += len(report.recomputed_rows)
+        patched += len(report.patched_rows)
+        relaxed += result.extras.get("relaxed_positions", stats.length)
+    elapsed = (time.perf_counter() - started) * 1000.0
+    steps = max(1, len(loads))
+    counters = {
+        "mean_rows_recomputed": round(recomputed / steps, 2),
+        "mean_rows_patched": round(patched / steps, 2),
+        "mean_positions_relaxed": round(relaxed / steps, 2),
+        "total_rows": session.matrix.row_count(),
+    }
+    return elapsed, costs, counters
+
+
+def measure(length: int, steps: int, drift: str, seed: int = 0) -> dict:
+    """One drift shape end to end, with the bit-identity assertion."""
+    stats, base_load = make_inputs(length, seed=seed)
+    loads = drift_sequence(stats, base_load, steps, seed=seed + 1, drift=drift)
+    rerun_ms, rerun_costs = run_rerun_loop(stats, loads)
+    session_ms, session_costs, counters = run_session_loop(
+        stats, base_load, loads
+    )
+    assert session_costs == rerun_costs, (
+        "session loop diverged from rerun-everything loop"
+    )
+    return {
+        "length": length,
+        "steps": steps,
+        "drift": drift,
+        "rerun_ms": round(rerun_ms, 1),
+        "session_ms": round(session_ms, 1),
+        "rerun_per_step_ms": round(rerun_ms / steps, 3),
+        "session_per_step_ms": round(session_ms / steps, 3),
+        "speedup": round(rerun_ms / session_ms, 2) if session_ms else None,
+        **counters,
+    }
+
+
+def run(smoke: bool) -> dict:
+    """All measurements for one mode."""
+    if smoke:
+        measurements = [
+            measure(SMOKE_LENGTH, SMOKE_STEPS, "edge"),
+            measure(SMOKE_LENGTH, SMOKE_STEPS, "mixed"),
+        ]
+    else:
+        measurements = [
+            measure(FULL_LENGTH, FULL_STEPS, "edge"),
+            measure(FULL_LENGTH, 50, "mixed"),
+        ]
+    return {
+        "benchmark": "whatif",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "target_speedup": FULL_TARGET_SPEEDUP,
+        "measurements": measurements,
+    }
+
+
+def check_smoke(report: dict) -> list[str]:
+    """Smoke failures (empty when the guard passes)."""
+    edge = next(
+        m for m in report["measurements"] if m["drift"] == "edge"
+    )
+    if edge["speedup"] is not None and edge["speedup"] < SMOKE_MIN_SPEEDUP:
+        return [
+            f"edge-drift speedup {edge['speedup']:.2f}x below the "
+            f"{SMOKE_MIN_SPEEDUP:.1f}x smoke threshold"
+        ]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short loop only; non-zero exit when the speedup collapses",
+    )
+    parser.add_argument(
+        "--json-path",
+        default=None,
+        help=f"output path (default benchmarks/results/{JSON_NAME})",
+    )
+    arguments = parser.parse_args(argv)
+
+    report = run(arguments.smoke)
+    json_path = (
+        pathlib.Path(arguments.json_path)
+        if arguments.json_path
+        else RESULTS_DIR / JSON_NAME
+    )
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {json_path}", file=sys.stderr)
+
+    if arguments.smoke:
+        failures = check_smoke(report)
+        for failure in failures:
+            print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,26 +1,28 @@
-"""Cost-matrix performance runner: records the perf trajectory.
+"""Performance runner: records the perf trajectory of the hot loops.
 
-Measures the three PR 2 wins on synthetic long paths —
+Two benchmark families, each with its own machine-readable artifact:
 
-* **hoisting + caching**: serial ``CostMatrix.compute`` against a PR 1
-  style baseline (per-entry evaluation, no shared row context, evaluation
-  caches off);
-* **workers**: the same construction fanned out over a process pool;
-* **incremental**: ``CostMatrix.recompute`` after a single-class load
-  change against a full recompute of the whole matrix —
-
-and writes the numbers to ``benchmarks/results/BENCH_costmatrix.json`` so
-successive PRs can compare machine-readable results instead of prose.
+* **cost matrix** (``BENCH_costmatrix.json``) — the three PR 2 wins on
+  synthetic long paths: serial ``CostMatrix.compute`` against a PR 1
+  style baseline (per-entry evaluation, no shared row context, caches
+  off); the same construction fanned out over a process pool; and
+  ``CostMatrix.recompute`` after a single-class load change against a
+  full recompute;
+* **what-if loop** (``BENCH_whatif.json``, via
+  :mod:`benchmarks.bench_whatif_loop`) — the PR 4 end-to-end win: a
+  drifting-workload loop answered by an incremental
+  :class:`~repro.whatif.AdvisorSession` against rerunning the whole
+  pipeline every step.
 
 Usage::
 
     PYTHONPATH=src:. python benchmarks/run_all.py            # full run
     PYTHONPATH=src:. python benchmarks/run_all.py --smoke    # CI guard
 
-``--smoke`` measures the short lengths only and exits non-zero when the
-length-20 serial build regresses beyond a (generous) absolute threshold,
-so CI catches order-of-magnitude regressions without flaking on machine
-noise.
+``--smoke`` measures short lengths/loops only and exits non-zero when the
+length-20 serial build regresses beyond a (generous) absolute threshold
+or the what-if session loop stops beating the rerun loop, so CI catches
+order-of-magnitude regressions without flaking on machine noise.
 """
 
 from __future__ import annotations
@@ -202,17 +204,32 @@ def main(argv: list[str] | None = None) -> int:
     print(json.dumps(report, indent=2))
     print(f"\nwritten to {json_path}", file=sys.stderr)
 
+    failures: list[str] = []
     if arguments.smoke:
         guard = next(m for m in measurements if m["length"] == 20)
         if guard["serial_ms"] > SMOKE_SERIAL_LIMIT_MS:
-            print(
-                f"SMOKE FAILURE: length-20 serial build took "
-                f"{guard['serial_ms']:.0f} ms "
-                f"(limit {SMOKE_SERIAL_LIMIT_MS:.0f} ms)",
-                file=sys.stderr,
+            failures.append(
+                f"length-20 serial build took {guard['serial_ms']:.0f} ms "
+                f"(limit {SMOKE_SERIAL_LIMIT_MS:.0f} ms)"
             )
-            return 1
-    return 0
+
+    # The what-if loop benchmark writes its own artifact next to this
+    # one (the CI job uploads both) and shares the --smoke contract.
+    from benchmarks import bench_whatif_loop
+
+    whatif_report = bench_whatif_loop.run(arguments.smoke)
+    whatif_path = json_path.parent / bench_whatif_loop.JSON_NAME
+    whatif_path.write_text(
+        json.dumps(whatif_report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(whatif_report, indent=2))
+    print(f"\nwritten to {whatif_path}", file=sys.stderr)
+    if arguments.smoke:
+        failures.extend(bench_whatif_loop.check_smoke(whatif_report))
+
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -9,8 +9,10 @@ models of Section 3, the workload model of Section 3.2, and the
 Section 5 with exhaustive and dynamic-programming baselines — plus the
 Section 6 extensions: beam-backed multi-path joint selection
 (:func:`optimize_multipath`, with an optional ``budget_pages`` storage
-constraint) and single-path budgeted selection
-(:func:`optimize_with_budget`).
+constraint), single-path budgeted selection
+(:func:`optimize_with_budget`), and incremental what-if sessions
+(:class:`AdvisorSession` / :class:`MultiPathSession`) that answer
+perturbation queries without rerunning the pipeline from scratch.
 
 Quickstart::
 
@@ -48,6 +50,7 @@ from repro.search import (
     get_strategy,
 )
 from repro.storage.sizes import SizeModel
+from repro.whatif import AdvisorSession, MultiPathSession, Perturbation
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.load import LoadDistribution, LoadTriplet
 
@@ -55,6 +58,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdvisorReport",
+    "AdvisorSession",
     "AtomicType",
     "Attribute",
     "BudgetedResult",
@@ -70,12 +74,14 @@ __all__ = [
     "LoadDistribution",
     "LoadTriplet",
     "MultiPathResult",
+    "MultiPathSession",
     "OID",
     "OODatabase",
     "ObjectInstance",
     "Path",
     "PathStatistics",
     "PathWorkload",
+    "Perturbation",
     "Plan",
     "ReproError",
     "Schema",

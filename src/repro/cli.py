@@ -6,13 +6,20 @@
                             [--strategy NAME] [--beam-width N]
     python -m repro matrix  SPEC.json
     python -m repro multipath SPEC.json [SPEC2.json ...] [--beam-width N]
-                            [--budget-pages P] [--noindex] [--json]
+                            [--budget-pages P] [--restarts N] [--noindex]
+                            [--json]
+    python -m repro whatif  SPEC.json [--steps STEPS.json]
+                            [--perturb CLASS:COMP*F | CLASS:COMP=V ...]
+                            [--strategy NAME] [--json]
     python -m repro example                # print a template spec
     python -m repro paper   [--trace]      # reproduce Example 5.1
 
 ``SPEC.json`` is the advisor-spec document described in :mod:`repro.io`;
 ``multipath`` takes one spec per path and selects their configurations
-jointly (shared physical indexes are maintained and stored once).
+jointly (shared physical indexes are maintained and stored once);
+``whatif`` drives an incremental :class:`~repro.whatif.AdvisorSession`
+through a perturbation sequence and reports per-step cost and
+configuration changes.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ import sys
 from repro.core.advisor import DEFAULT_STRATEGY, advise
 from repro.core.cost_matrix import CostMatrix
 from repro.core.multipath import (
+    DEFAULT_RESTARTS,
     PathWorkload,
     optimize_multipath,
     validate_selection_options,
@@ -31,8 +39,14 @@ from repro.core.multipath import (
 from repro.errors import ReproError
 from repro.io import load_spec, spec_to_dict
 from repro.organizations import CONFIGURABLE_ORGANIZATIONS
-from repro.reporting.tables import multipath_table
+from repro.reporting.tables import multipath_table, whatif_table
 from repro.search import available_strategies
+from repro.whatif import (
+    DEFAULT_SESSION_STRATEGY,
+    AdvisorSession,
+    Perturbation,
+    parse_steps,
+)
 
 
 def _cmd_advise(arguments: argparse.Namespace) -> int:
@@ -110,6 +124,7 @@ def _cmd_multipath(arguments: argparse.Namespace) -> int:
         arguments.per_row_organizations,
         arguments.beam_width,
         arguments.budget_pages,
+        arguments.restarts,
     )
     specs = [load_spec(spec_path) for spec_path in arguments.specs]
     workloads = [PathWorkload(stats=spec.stats, load=spec.load) for spec in specs]
@@ -136,6 +151,7 @@ def _cmd_multipath(arguments: argparse.Namespace) -> int:
         matrices=matrices,
         beam_width=arguments.beam_width,
         budget_pages=arguments.budget_pages,
+        restarts=arguments.restarts,
     )
     paths = [spec.stats.path for spec in specs]
     if arguments.json:
@@ -168,6 +184,82 @@ def _cmd_multipath(arguments: argparse.Namespace) -> int:
         # The table already carries the per-path configurations and the
         # joint/independent/savings/storage/budget summary.
         print(multipath_table(paths, result))
+    return 0
+
+
+def _cmd_whatif(arguments: argparse.Namespace) -> int:
+    spec = load_spec(arguments.spec)
+    perturbations: list[Perturbation] = []
+    if arguments.steps:
+        with open(arguments.steps, "r", encoding="utf-8") as handle:
+            try:
+                document = json.load(handle)
+            except json.JSONDecodeError as error:
+                print(
+                    f"error: invalid JSON in {arguments.steps}: {error}",
+                    file=sys.stderr,
+                )
+                return 1
+        perturbations.extend(parse_steps(document))
+    perturbations.extend(
+        Perturbation.parse(text) for text in arguments.perturb
+    )
+    if not perturbations:
+        print(
+            "error: no perturbations given (use --steps FILE and/or "
+            "--perturb CLASS:COMPONENT*FACTOR)",
+            file=sys.stderr,
+        )
+        return 1
+    session = AdvisorSession(
+        spec.stats,
+        spec.load,
+        organizations=spec.organizations or CONFIGURABLE_ORGANIZATIONS,
+        include_noindex=spec.include_noindex or arguments.noindex,
+        range_selectivity=spec.range_selectivity,
+        strategy=arguments.strategy,
+        workers=arguments.workers,
+    )
+    steps = session.run(perturbations)
+    path = spec.stats.path
+    if arguments.json:
+        payload = {
+            "path": str(path),
+            "strategy": arguments.strategy,
+            "steps": [
+                {
+                    "step": step.index,
+                    "perturbation": step.description,
+                    "mode": step.report.mode if step.report else None,
+                    "rows_recomputed": (
+                        len(step.report.recomputed_rows) if step.report else None
+                    ),
+                    "rows_patched": (
+                        len(step.report.patched_rows) if step.report else None
+                    ),
+                    "cost": step.cost,
+                    "configuration_changed": step.configuration_changed,
+                    "configuration": [
+                        {
+                            "subpath": str(path.subpath(a.start, a.end)),
+                            "start": a.start,
+                            "end": a.end,
+                            "organization": str(a.organization),
+                        }
+                        for a in step.result.configuration.assignments
+                    ],
+                }
+                for step in steps
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(whatif_table(path, steps, title=f"what-if over {path}"))
+        changes = sum(1 for step in steps if step.configuration_changed)
+        print(
+            f"\n{len(steps) - 1} steps, {changes} configuration changes, "
+            f"final cost {steps[-1].cost:.2f}"
+        )
     return 0
 
 
@@ -303,10 +395,68 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     multipath_parser.add_argument(
+        "--restarts",
+        type=int,
+        default=DEFAULT_RESTARTS,
+        metavar="N",
+        help=(
+            "seeded randomized restarts of the joint coordinate descent "
+            "beyond the exact cross-product limit (default "
+            f"{DEFAULT_RESTARTS}; 0 disables)"
+        ),
+    )
+    multipath_parser.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
     _add_workers_argument(multipath_parser)
     multipath_parser.set_defaults(handler=_cmd_multipath)
+
+    whatif_parser = commands.add_parser(
+        "whatif",
+        help=(
+            "drive an incremental what-if session through a perturbation "
+            "sequence"
+        ),
+    )
+    whatif_parser.add_argument("spec", help="advisor spec JSON file")
+    whatif_parser.add_argument(
+        "--steps",
+        metavar="FILE",
+        help=(
+            "JSON perturbation sequence: a list of steps (or {\"steps\": "
+            "[...]}), each {\"class\": C, \"component\": query|insert|"
+            "delete|objects|distinct|fanout, \"scale\"|\"set\": X}"
+        ),
+    )
+    whatif_parser.add_argument(
+        "--perturb",
+        action="append",
+        default=[],
+        metavar="CLASS:COMP*F|=V",
+        help=(
+            "one perturbation step in flag form, e.g. Division:delete*2 "
+            "or Division:query=0.4 (repeatable; applied after --steps)"
+        ),
+    )
+    whatif_parser.add_argument(
+        "--strategy",
+        choices=available_strategies(),
+        default=DEFAULT_SESSION_STRATEGY,
+        help=(
+            "search strategy for every step (default: the incremental "
+            "dynamic program, which consumes per-step dirty-row sets)"
+        ),
+    )
+    whatif_parser.add_argument(
+        "--noindex",
+        action="store_true",
+        help="also consider leaving subpaths unindexed",
+    )
+    whatif_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    _add_workers_argument(whatif_parser)
+    whatif_parser.set_defaults(handler=_cmd_whatif)
 
     example_parser = commands.add_parser(
         "example", help="print a template spec (the paper's Figure 7)"

@@ -194,9 +194,11 @@ def advise(
             report.exhaustive = optimal
         elif stats.length <= EXHAUSTIVE_BASELINE_MAX_LENGTH:
             report.exhaustive = get_strategy("exhaustive").search(matrix)
+        # Both DP registrations compute the identical exact optimum.
         report.dynprog = (
-            optimal if strategy == "dynamic_program" else
-            get_strategy("dynamic_program").search(matrix)
+            optimal
+            if strategy in ("dynamic_program", "incremental_dynamic_program")
+            else get_strategy("dynamic_program").search(matrix)
         )
         report.single_index_costs = {
             organization: matrix.cost(1, stats.length, organization)

@@ -26,6 +26,7 @@ changed for cheap what-if loops over evolving workloads.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import pickle
 from dataclasses import dataclass
@@ -66,9 +67,75 @@ TIE_RELATIVE_TOLERANCE = 1e-9
 _TIE_RELATIVE_TOLERANCE = TIE_RELATIVE_TOLERANCE
 
 #: Shortest path for which ``workers=None`` (auto) parallelizes
-#: construction. Below it the n(n+1)/2 rows are cheap enough that process
-#: startup and input pickling dominate any win.
+#: construction when worker inputs must be pickled (spawn start method).
+#: Below it the n(n+1)/2 rows are cheap enough that process startup and
+#: input pickling dominate any win.
 PARALLEL_AUTO_MIN_LENGTH = 25
+
+#: The same auto threshold where ``fork`` is the default start method:
+#: workers then inherit the statistics and workload as a read-only module
+#: global at fork time (no per-batch pickling), so the fan-out pays off on
+#: shorter paths.
+PARALLEL_AUTO_MIN_LENGTH_FORK = 20
+
+
+def _fork_context() -> multiprocessing.context.BaseContext | None:
+    """The ``fork`` context where it is the platform default, else ``None``.
+
+    Merely *having* ``fork`` is not enough: macOS supports it but defaults
+    to ``spawn`` because forking a threaded CPython is unsafe there. The
+    fast inherit-inputs path therefore engages only where the platform
+    (or the user, via ``multiprocessing.set_start_method``) already
+    defaults to ``fork``; everywhere else the pickling path applies.
+    """
+    if multiprocessing.get_start_method() != "fork":
+        return None
+    return multiprocessing.get_context("fork")
+
+
+@dataclass(frozen=True)
+class RecomputeReport:
+    """What one :meth:`CostMatrix.recompute` call actually did.
+
+    ``mode`` is ``"incremental"`` when the dirty-row analysis applied and
+    ``"full"`` when the change forced a complete rebuild (the ``reason``
+    says why — e.g. a cost-model config change). ``recomputed_rows`` are
+    the rows re-priced through the cost model; ``patched_rows`` are the
+    rows whose only change was the ``CMD`` term of a following deletion,
+    updated as O(1) per-entry patches from the cached breakdown rates.
+    Sessions and benchmarks assert incrementality from this report instead
+    of inferring it from timings.
+    """
+
+    mode: str
+    reason: str
+    recomputed_rows: tuple[tuple[int, int], ...]
+    patched_rows: tuple[tuple[int, int], ...]
+    total_rows: int
+
+    @property
+    def incremental(self) -> bool:
+        """``True`` when the dirty-row analysis applied."""
+        return self.mode == "incremental"
+
+    @property
+    def dirty_rows(self) -> tuple[tuple[int, int], ...]:
+        """Every row this recompute touched, in Figure 6 row order."""
+        return tuple(sorted({*self.recomputed_rows, *self.patched_rows}))
+
+    @property
+    def dirty_count(self) -> int:
+        """Number of touched rows (re-priced plus patched)."""
+        return len(self.recomputed_rows) + len(self.patched_rows)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if self.mode == "full":
+            return f"full rebuild ({self.reason}): {self.total_rows} rows"
+        return (
+            f"incremental: {len(self.recomputed_rows)} rows re-priced, "
+            f"{len(self.patched_rows)} CMD-patched, of {self.total_rows}"
+        )
 
 
 def _scan_row_minimum(values: list[float], base: int, width: int) -> tuple[float, int]:
@@ -139,6 +206,44 @@ def _compute_row_batch(
     ]
 
 
+#: Worker-process copy of the shared inputs ``(stats, load,
+#: organizations, range_selectivity)``. Populated inside each fork-started
+#: worker by :func:`_init_fork_worker`; never set in the parent process,
+#: so concurrent constructions cannot race on it.
+_FORK_SHARED_INPUTS: tuple | None = None
+
+
+def _init_fork_worker(inputs: tuple) -> None:
+    """Pool initializer run inside each fork-started worker.
+
+    ``inputs`` lives in the parent's memory and reaches the worker
+    through fork inheritance (the ``fork`` start method passes process
+    arguments by memory image, not pickling), so the statistics and
+    workload never cross a pickle boundary. Each pool carries its own
+    inputs via ``initargs``, keeping concurrent constructions isolated.
+    """
+    global _FORK_SHARED_INPUTS
+    _FORK_SHARED_INPUTS = inputs
+
+
+def _compute_row_batch_fork(
+    rows: list[tuple[int, int]],
+) -> list[tuple[int, int, dict[IndexOrganization, SubpathCost]]]:
+    """Fork-worker entry point: price a batch against the inherited inputs.
+
+    Only the row coordinates travel to the worker; statistics and workload
+    come from :data:`_FORK_SHARED_INPUTS`, installed by
+    :func:`_init_fork_worker`. Row results are identical to
+    :func:`_compute_row_batch` because both delegate to the same per-row
+    evaluation.
+    """
+    stats, load, organizations, range_selectivity = _FORK_SHARED_INPUTS
+    return [
+        (start, end, _compute_row(stats, load, organizations, start, end, range_selectivity))
+        for start, end in rows
+    ]
+
+
 class CostMatrix:
     """Subpath × organization processing costs.
 
@@ -166,6 +271,9 @@ class CostMatrix:
         self._stats: PathStatistics | None = None
         self._load: LoadDistribution | None = None
         self._range_selectivity: float | None = None
+        #: What the producing :meth:`recompute` did (``None`` for matrices
+        #: built by :meth:`compute` or :meth:`from_values`).
+        self.recompute_report: RecomputeReport | None = None
         self._org_index = {
             organization: index
             for index, organization in enumerate(self.organizations)
@@ -254,9 +362,20 @@ class CostMatrix:
 
     @staticmethod
     def _resolve_workers(workers: int | None, row_count: int) -> int:
-        """Number of worker processes to use (1 means in-process serial)."""
+        """Number of worker processes to use (1 means in-process serial).
+
+        The auto threshold depends on the start method: fork-started
+        workers inherit their inputs for free, so auto-parallel engages on
+        shorter paths (:data:`PARALLEL_AUTO_MIN_LENGTH_FORK`) than the
+        pickling spawn path (:data:`PARALLEL_AUTO_MIN_LENGTH`).
+        """
         if workers is None:
-            if row_count < PARALLEL_AUTO_MIN_LENGTH * (PARALLEL_AUTO_MIN_LENGTH + 1) // 2:
+            min_length = (
+                PARALLEL_AUTO_MIN_LENGTH_FORK
+                if _fork_context() is not None
+                else PARALLEL_AUTO_MIN_LENGTH
+            )
+            if row_count < min_length * (min_length + 1) // 2:
                 return 1
             workers = os.cpu_count() or 1
         if workers < 0:
@@ -304,24 +423,44 @@ class CostMatrix:
         """Fan row batches out over a process pool; ``None`` on failure.
 
         Rows are striped across batches so each worker sees a mix of
-        short (cheap) and long (expensive) subpaths. Environments that
-        cannot fork/pickle fall back to serial evaluation (returning
-        ``None``) rather than failing the computation.
+        short (cheap) and long (expensive) subpaths. Where ``fork`` is
+        the default start method, the statistics and workload are handed
+        to the workers as a read-only module global inherited at fork
+        time — only row coordinates are pickled, which removes the
+        per-batch input serialization that dominated startup on short
+        paths. Platforms defaulting to ``spawn`` (macOS, Windows) keep
+        the pickling path; environments that cannot fork/pickle at all
+        fall back to serial evaluation (returning ``None``) rather than
+        failing the computation.
         """
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
 
         batches = [rows[offset::workers] for offset in range(workers)]
+        batches = [batch for batch in batches if batch]
         results: dict[tuple[int, int], dict[IndexOrganization, SubpathCost]] = {}
+        context = _fork_context()
+        pool_options: dict = {"max_workers": workers}
+        if context is not None:
+            pool_options.update(
+                mp_context=context,
+                initializer=_init_fork_worker,
+                initargs=((stats, load, organizations, range_selectivity),),
+            )
+            payloads = [(_compute_row_batch_fork, batch) for batch in batches]
+        else:
+            payloads = [
+                (
+                    _compute_row_batch,
+                    (stats, load, organizations, batch, range_selectivity),
+                )
+                for batch in batches
+            ]
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with ProcessPoolExecutor(**pool_options) as pool:
                 futures = [
-                    pool.submit(
-                        _compute_row_batch,
-                        (stats, load, organizations, batch, range_selectivity),
-                    )
-                    for batch in batches
-                    if batch
+                    pool.submit(function, payload)
+                    for function, payload in payloads
                 ]
                 for future in futures:
                     for start, end, row in future.result():
@@ -386,11 +525,20 @@ class CostMatrix:
         * a config or hierarchy-membership change falls back to a full
           recompute.
 
-        Clean rows are copied bit-for-bit, so the result is always
-        entry-for-entry identical to a fresh
-        :meth:`compute` over the new inputs. ``workers`` defaults to ``0``
-        (serial) because dirty sets are typically small; pass ``None`` for
-        the same auto-parallel policy as :meth:`compute`.
+        Rows whose *only* change is the ``CMD`` term of a following
+        deletion are not re-priced through the cost model at all: the
+        cached breakdown carries the per-deletion rate
+        (:attr:`~repro.costmodel.subpath.SubpathCost.cmd_per_deletion`,
+        statistics-only), so they are patched as O(1) per-entry updates.
+        Clean rows are copied bit-for-bit. Either way the result is always
+        entry-for-entry identical to a fresh :meth:`compute` over the new
+        inputs, and its :attr:`recompute_report` records exactly which
+        rows were re-priced, which were patched, and why (so callers can
+        assert incrementality instead of inferring it from timings).
+
+        ``workers`` defaults to ``0`` (serial) because dirty sets are
+        typically small; pass ``None`` for the same auto-parallel policy
+        as :meth:`compute`.
 
         Raises :class:`~repro.errors.OptimizerError` for literal matrices
         (:meth:`from_values`) and when the new inputs describe a different
@@ -412,11 +560,28 @@ class CostMatrix:
                 f"({self._stats.path}); build a fresh matrix for "
                 f"{new_stats.path}"
             )
-        dirty = self._dirty_rows(new_stats, new_load)
-        if dirty is None:
+        classified = self._classify_dirty(new_stats, new_load)
+        if classified is None:
             dirty_rows = self.rows()
+            patch_rows: list[tuple[int, int]] = []
+            report = RecomputeReport(
+                mode="full",
+                reason=self._full_rebuild_reason(new_stats),
+                recomputed_rows=tuple(dirty_rows),
+                patched_rows=(),
+                total_rows=self.row_count(),
+            )
         else:
-            dirty_rows = sorted(dirty)
+            recompute_set, patch_set = classified
+            dirty_rows = sorted(recompute_set)
+            patch_rows = sorted(patch_set)
+            report = RecomputeReport(
+                mode="incremental",
+                reason="statistics/load deltas",
+                recomputed_rows=tuple(dirty_rows),
+                patched_rows=tuple(patch_rows),
+                total_rows=self.row_count(),
+            )
         recomputed = self._compute_rows(
             new_stats,
             new_load,
@@ -427,8 +592,9 @@ class CostMatrix:
         )
         # Fast assembly: clean rows are copied as flat-array slices (and
         # keep their precomputed minima); only the recomputed rows are
-        # written and re-scanned. This keeps the cost of a what-if step
-        # proportional to the dirty set, not the matrix size.
+        # written and re-scanned, and CMD-only rows are patched in place
+        # from the cached per-deletion rates. This keeps the cost of a
+        # what-if step proportional to the dirty set, not the matrix size.
         width = len(self.organizations)
         matrix = CostMatrix.__new__(CostMatrix)
         matrix.length = self.length
@@ -449,19 +615,77 @@ class CostMatrix:
             matrix._row_min_cost[row_position] = minimum_cost
             matrix._row_min_org[row_position] = minimum_org
             matrix._breakdowns[(start, end)] = row_breakdown
+        for start, end in patch_rows:
+            # The CMD multiplier is the summed deletion frequency of the
+            # following hierarchy — the same sum, in the same member
+            # order, as SubpathContext.build, so the patched entries are
+            # bit-identical to a fresh evaluation.
+            following = sum(
+                new_load.triplet(member).delete
+                for member in new_stats.members(end + 1)
+            )
+            old_row = self._breakdowns[(start, end)]
+            row_breakdown = {
+                organization: cost.with_following_deletes(following)
+                for organization, cost in old_row.items()
+            }
+            row_position = self.row_index(start, end)
+            base = row_position * width
+            for column, organization in enumerate(self.organizations):
+                matrix._values[base + column] = row_breakdown[organization].total
+            minimum_cost, minimum_org = _scan_row_minimum(
+                matrix._values, base, width
+            )
+            matrix._row_min_cost[row_position] = minimum_cost
+            matrix._row_min_org[row_position] = minimum_org
+            matrix._breakdowns[(start, end)] = row_breakdown
         matrix._stats = new_stats
         matrix._load = new_load
         matrix._range_selectivity = self._range_selectivity
+        matrix.recompute_report = report
         return matrix
+
+    def _full_rebuild_reason(self, new_stats: PathStatistics) -> str:
+        """Why the dirty-row analysis refused to apply."""
+        old_stats = self._stats
+        if new_stats is not old_stats:
+            if new_stats.config != old_stats.config:
+                return "cost-model config changed"
+            for position in range(1, self.length + 1):
+                if new_stats.members(position) != old_stats.members(position):
+                    return f"hierarchy membership changed at position {position}"
+        return "inputs not analyzable incrementally"
 
     def _dirty_rows(
         self, new_stats: PathStatistics, new_load: LoadDistribution
     ) -> set[tuple[int, int]] | None:
-        """Rows whose inputs changed; ``None`` forces a full recompute."""
+        """Every row whose inputs changed; ``None`` forces a full recompute.
+
+        The union of the re-priced and CMD-patched sets of
+        :meth:`_classify_dirty` (kept as the single-set view the
+        benchmarks and tests reason about).
+        """
+        classified = self._classify_dirty(new_stats, new_load)
+        if classified is None:
+            return None
+        recompute_set, patch_set = classified
+        return recompute_set | patch_set
+
+    def _classify_dirty(
+        self, new_stats: PathStatistics, new_load: LoadDistribution
+    ) -> tuple[set[tuple[int, int]], set[tuple[int, int]]] | None:
+        """Split changed rows into (re-price, CMD-patch); ``None`` = full.
+
+        A row lands in the patch set only when the *sole* way the change
+        reaches it is the following-deletion mass of its ``CMD`` term —
+        any row also dirtied through its own derived load or statistics
+        must go through the cost model again.
+        """
         old_stats = self._stats
         old_load = self._load
         length = self.length
         dirty: set[tuple[int, int]] = set()
+        cmd_candidates: set[tuple[int, int]] = set()
 
         def rows_with_start_at_most(p: int) -> None:
             for start in range(1, min(p, length) + 1):
@@ -502,8 +726,15 @@ class CostMatrix:
                         rows_covering(position)
                         if position >= 2:
                             for start in range(1, position):
-                                dirty.add((start, position - 1))
-        return dirty
+                                cmd_candidates.add((start, position - 1))
+        # A CMD patch reads the cached breakdown; rows without one (never
+        # the case for computed matrices, but cheap to guard) re-price.
+        patch = {
+            row
+            for row in cmd_candidates - dirty
+            if row in self._breakdowns
+        }
+        return dirty | (cmd_candidates - dirty - patch), patch
 
     # ------------------------------------------------------------------
     # access

@@ -29,7 +29,9 @@ Selection is staged:
 2. **Joint search across paths.** The cross product of the candidate
    sets is searched exactly when it is small
    (:data:`_EXACT_LIMIT` combinations) and by greedy coordinate descent
-   otherwise, with shared physical indexes charged once.
+   otherwise — hedged with :data:`DEFAULT_RESTARTS` seeded randomized
+   restarts against its local minima — with shared physical indexes
+   charged once.
 3. **Storage budget (optional).** ``optimize_multipath(budget_pages=...)``
    constrains the union of selected physical indexes — priced per
    :class:`SharedIndexKey` from the cost-model storage estimates, which
@@ -39,11 +41,19 @@ Selection is staged:
    added page first) whose recorded trajectory is filtered by the
    budget, so tighter budgets always cost at least as much as looser
    ones. The budget-free path remains the default (``budget_pages=None``).
+
+For what-if loops, :func:`optimize_multipath` also accepts one
+:class:`~repro.whatif.AdvisorSession` per path (``sessions=``): matrices
+come from the sessions' incremental recomputes, and each path's candidate
+set — including its per-:class:`SharedIndexKey` maintenance and storage
+pricing — is cached on the session and regenerated only when that path's
+dirty version moved.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
 
 from repro.core.configuration import IndexConfiguration, IndexedSubpath
@@ -71,6 +81,13 @@ EXACT_CANDIDATE_LIMIT = 50_000
 #: selection stays in the seconds range.
 DEFAULT_BEAM_WIDTH = 16
 
+#: Seeded randomized restarts of the coordinate descent when the joint
+#: stage runs beyond :data:`_EXACT_LIMIT`. The descent from the
+#: independent optimum can sit in a local minimum of the sharing
+#: landscape; a few random starting selections hedge against it at a cost
+#: linear in the candidate-set sizes.
+DEFAULT_RESTARTS = 4
+
 
 @dataclass(frozen=True)
 class PathWorkload:
@@ -84,6 +101,7 @@ def validate_selection_options(
     per_row_organizations: int = 2,
     beam_width: int | None = None,
     budget_pages: float | None = None,
+    restarts: int | None = None,
 ) -> None:
     """Reject invalid selection options with an :class:`OptimizerError`.
 
@@ -105,6 +123,10 @@ def validate_selection_options(
         raise OptimizerError(
             f"storage budget must be a non-negative number of pages, got "
             f"{budget_pages}"
+        )
+    if restarts is not None and restarts < 0:
+        raise OptimizerError(
+            f"restarts must be non-negative, got {restarts}"
         )
 
 
@@ -318,6 +340,81 @@ def _candidates_budget(
     return candidates
 
 
+def _candidate_descriptors(
+    matrices: list[CostMatrix],
+    per_row_organizations: int,
+    beam_width: int | None,
+    budget_pages: float | None,
+) -> tuple[list[tuple], bool]:
+    """Per-path candidate-generation descriptors plus the exactness flag.
+
+    A descriptor is a hashable tuple fully determining what
+    :func:`_generate_candidates` produces for a path — ``("exact", r)``,
+    ``("beam", r, width)`` or ``("budget_beam", width)`` — which makes it
+    the cache key for session-carried candidate sets: identical
+    descriptor + unchanged matrix (session version) ⇒ identical
+    candidates. The mode decisions are unchanged from the pre-session
+    code paths; only their bookkeeping moved here.
+    """
+    descriptors: list[tuple] = []
+    generation_exact = True
+    if budget_pages is None:
+        for matrix in matrices:
+            space = configuration_count(matrix.length, per_row_organizations)
+            if beam_width is None and space <= EXACT_CANDIDATE_LIMIT:
+                descriptors.append(("exact", per_row_organizations))
+            else:
+                width = (
+                    beam_width if beam_width is not None else DEFAULT_BEAM_WIDTH
+                )
+                descriptors.append(("beam", per_row_organizations, width))
+                if width < space:
+                    generation_exact = False
+    else:
+        # A storage budget couples the per-block organization choices (the
+        # affordable option may be any organization, NONE included), so
+        # budgeted generation ranks over every organization in the matrix
+        # — the same widening optimize_with_budget applies — instead of
+        # the cost-ranked best per_row_organizations. The generation mode
+        # is decided globally: exact enumeration only when the downstream
+        # filtered cross product is exhaustive too, because handing tens
+        # of thousands of exact candidates per path to the greedy sweep
+        # multiplies every swap scan for no exactness in return.
+        spaces = [
+            configuration_count(matrix.length, len(matrix.organizations))
+            for matrix in matrices
+        ]
+        product = 1
+        for space in spaces:
+            product *= space
+        if (
+            beam_width is None
+            and max(spaces) <= EXACT_CANDIDATE_LIMIT
+            and product <= _EXACT_LIMIT
+        ):
+            for matrix in matrices:
+                descriptors.append(("exact", len(matrix.organizations)))
+        else:
+            width = beam_width if beam_width is not None else DEFAULT_BEAM_WIDTH
+            for space in spaces:
+                descriptors.append(("budget_beam", width))
+                if width < space:
+                    generation_exact = False
+    return descriptors, generation_exact
+
+
+def _generate_candidates(
+    workload: PathWorkload, matrix: CostMatrix, descriptor: tuple
+) -> list[_Candidate]:
+    """Produce one path's candidate set for a generation descriptor."""
+    kind = descriptor[0]
+    if kind == "exact":
+        return _candidates_exact(workload, matrix, descriptor[1])
+    if kind == "beam":
+        return _candidates_beam(workload, matrix, descriptor[1], descriptor[2])
+    return _candidates_budget(workload, matrix, descriptor[1])
+
+
 def _joint_cost(selection: tuple[_Candidate, ...]) -> tuple[float, float]:
     """Total joint cost and the sharing savings of one selection."""
     query = sum(candidate.query_cost for candidate in selection)
@@ -365,8 +462,18 @@ def _descend(
 
 def _select_unconstrained(
     candidate_sets: list[list[_Candidate]],
+    restarts: int = DEFAULT_RESTARTS,
+    seed: int = 0,
 ) -> tuple[list[_Candidate], bool]:
-    """Best joint selection, exact for small cross products."""
+    """Best joint selection, exact for small cross products.
+
+    Beyond :data:`_EXACT_LIMIT` combinations the search is coordinate
+    descent from the independent optimum, hedged by ``restarts`` extra
+    descents from selections drawn uniformly at random per path (seeded:
+    the same ``seed`` always explores the same restarts, so results are
+    deterministic). The best of all descents wins; ties keep the
+    independent-optimum descent.
+    """
     combinations = 1
     for candidates in candidate_sets:
         combinations *= len(candidates)
@@ -386,7 +493,17 @@ def _select_unconstrained(
         min(candidates, key=lambda candidate: candidate.total)
         for candidates in candidate_sets
     ]
-    return _descend(candidate_sets, selection), False
+    best_selection = _descend(candidate_sets, selection)
+    best_cost, _ = _joint_cost(tuple(best_selection))
+    rng = random.Random(seed)
+    for _ in range(restarts):
+        start = [rng.choice(candidates) for candidates in candidate_sets]
+        restarted = _descend(candidate_sets, start)
+        cost, _ = _joint_cost(tuple(restarted))
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best_selection = restarted
+    return best_selection, False
 
 
 def _select_budgeted_exact(
@@ -526,13 +643,16 @@ def _budget_sweep(
 
 
 def optimize_multipath(
-    workloads: list[PathWorkload],
+    workloads: list[PathWorkload] | None = None,
     per_row_organizations: int = 2,
     matrices: list[CostMatrix] | None = None,
     organizations: tuple[IndexOrganization, ...] | None = None,
     workers: int | None = None,
     beam_width: int | None = None,
     budget_pages: float | None = None,
+    restarts: int = DEFAULT_RESTARTS,
+    seed: int = 0,
+    sessions: list | None = None,
 ) -> MultiPathResult:
     """Jointly select configurations for several related paths.
 
@@ -576,10 +696,40 @@ def optimize_multipath(
         the greedy sweep stays fast. Include the ``NONE`` organization
         to guarantee a zero-storage fallback. Tightening the budget
         never decreases the returned cost.
+    restarts:
+        Seeded randomized restarts of the coordinate descent when the
+        joint stage runs beyond the exact cross-product limit (default
+        :data:`DEFAULT_RESTARTS`); ``0`` restores the single descent
+        from the independent optimum. Deterministic under a fixed
+        ``seed``; has no effect on exact joint searches.
+    seed:
+        Seed for the restart selections.
+    sessions:
+        One :class:`~repro.whatif.AdvisorSession` per path, instead of
+        ``workloads``/``matrices``. The sessions' current statistics,
+        workloads and incrementally recomputed matrices are used
+        directly, and each path's candidate set is cached on its session
+        keyed by the generation descriptor and the session's dirty
+        version — so a what-if step re-generates candidates (and
+        re-prices their :class:`SharedIndexKey` maintenance/storage
+        splits) only for the paths it actually touched; untouched paths
+        reuse theirs as-is.
     """
+    if sessions is not None:
+        if workloads is not None or matrices is not None:
+            raise OptimizerError(
+                "pass either sessions or workloads/matrices, not both"
+            )
+        workloads = [
+            PathWorkload(stats=session.stats, load=session.load)
+            for session in sessions
+        ]
+        matrices = [session.matrix for session in sessions]
     if not workloads:
         raise OptimizerError("at least one path is required")
-    validate_selection_options(per_row_organizations, beam_width, budget_pages)
+    validate_selection_options(
+        per_row_organizations, beam_width, budget_pages, restarts
+    )
     if matrices is not None:
         if len(matrices) != len(workloads):
             raise OptimizerError(
@@ -607,69 +757,32 @@ def optimize_multipath(
             for w in workloads
         ]
 
+    descriptors, generation_exact = _candidate_descriptors(
+        matrices, per_row_organizations, beam_width, budget_pages
+    )
     candidate_sets: list[list[_Candidate]] = []
-    generation_exact = True
-    if budget_pages is None:
-        for workload, matrix in zip(workloads, matrices):
-            space = configuration_count(matrix.length, per_row_organizations)
-            if beam_width is None and space <= EXACT_CANDIDATE_LIMIT:
-                candidate_sets.append(
-                    _candidates_exact(workload, matrix, per_row_organizations)
-                )
-            else:
-                width = (
-                    beam_width if beam_width is not None else DEFAULT_BEAM_WIDTH
-                )
-                candidate_sets.append(
-                    _candidates_beam(
-                        workload, matrix, per_row_organizations, width
-                    )
-                )
-                if width < space:
-                    generation_exact = False
-    else:
-        # A storage budget couples the per-block organization choices (the
-        # affordable option may be any organization, NONE included), so
-        # budgeted generation ranks over every organization in the matrix
-        # — the same widening optimize_with_budget applies — instead of
-        # the cost-ranked best per_row_organizations. The generation mode
-        # is decided globally: exact enumeration only when the downstream
-        # filtered cross product is exhaustive too, because handing tens
-        # of thousands of exact candidates per path to the greedy sweep
-        # multiplies every swap scan for no exactness in return.
-        spaces = [
-            configuration_count(matrix.length, len(matrix.organizations))
-            for matrix in matrices
-        ]
-        product = 1
-        for space in spaces:
-            product *= space
-        if (
-            beam_width is None
-            and max(spaces) <= EXACT_CANDIDATE_LIMIT
-            and product <= _EXACT_LIMIT
-        ):
-            for workload, matrix in zip(workloads, matrices):
-                candidate_sets.append(
-                    _candidates_exact(
-                        workload, matrix, len(matrix.organizations)
-                    )
-                )
-        else:
-            width = beam_width if beam_width is not None else DEFAULT_BEAM_WIDTH
-            for workload, matrix, space in zip(workloads, matrices, spaces):
-                candidate_sets.append(
-                    _candidates_budget(workload, matrix, width)
-                )
-                if width < space:
-                    generation_exact = False
+    for index, (workload, matrix, descriptor) in enumerate(
+        zip(workloads, matrices, descriptors)
+    ):
+        session = sessions[index] if sessions is not None else None
+        if session is not None:
+            cached = session.candidate_cache.get(descriptor)
+            if cached is not None and cached[0] == session.version:
+                candidate_sets.append(cached[1])
+                continue
+        candidates = _generate_candidates(workload, matrix, descriptor)
+        if session is not None:
+            session.candidate_cache[descriptor] = (session.version, candidates)
+        candidate_sets.append(candidates)
 
     independent = 0.0
     for candidates in candidate_sets:
         independent += min(candidate.total for candidate in candidates)
 
     if budget_pages is None:
-        selection, product_exact = _select_unconstrained(candidate_sets)
+        selection, product_exact = _select_unconstrained(
+            candidate_sets, restarts, seed
+        )
         cost, savings = _joint_cost(tuple(selection))
         return MultiPathResult(
             configurations=[c.configuration for c in selection],
@@ -689,7 +802,7 @@ def optimize_multipath(
         )
         budget_exact = True
     else:
-        unconstrained, _ = _select_unconstrained(candidate_sets)
+        unconstrained, _ = _select_unconstrained(candidate_sets, restarts, seed)
         selection = _budget_sweep(candidate_sets, budget_pages, unconstrained)
         budget_exact = False
     cost, savings = _joint_cost(tuple(selection))

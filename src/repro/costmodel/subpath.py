@@ -16,6 +16,7 @@ the cost-matrix decomposition of Section 5 sound.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.costmodel.base import SubpathCostModel
@@ -138,6 +139,13 @@ class SubpathCost:
     own classes, and the ``CMD`` contribution of deletions on the class
     following the ending attribute. ``storage_pages`` (not part of the
     processing cost) supports budget-constrained selection.
+
+    ``cmd_per_deletion`` is the per-deletion rate behind ``cmd``
+    (``cmd = following_deletes · cmd_per_deletion``). The rate depends on
+    the statistics only, never on the workload, so a delete-frequency
+    what-if can re-derive a row's ``cmd`` — and therefore its total — as
+    an O(1) patch from the cached breakdown instead of re-running the
+    cost model (:meth:`repro.core.cost_matrix.CostMatrix.recompute`).
     """
 
     organization: IndexOrganization
@@ -148,11 +156,27 @@ class SubpathCost:
     delete: float
     cmd: float
     storage_pages: float = 0.0
+    cmd_per_deletion: float = 0.0
 
     @property
     def total(self) -> float:
         """``PC(S, X)``: the value entering the cost matrix."""
         return self.query + self.insert + self.delete + self.cmd
+
+    def with_following_deletes(self, following_deletes: float) -> "SubpathCost":
+        """The same breakdown re-priced under a new following-deletion mass.
+
+        Performs exactly the multiplication :func:`subpath_processing_cost`
+        performs (including the zero-rate guard), so the patched breakdown
+        is bit-identical to a fresh evaluation under the new workload —
+        provided only delete frequencies after this subpath changed.
+        """
+        cmd = 0.0
+        if self.cmd_per_deletion:
+            cmd = following_deletes * self.cmd_per_deletion
+        if cmd == self.cmd:
+            return self
+        return dataclasses.replace(self, cmd=cmd)
 
 
 def subpath_processing_cost(
@@ -252,6 +276,7 @@ def subpath_processing_cost(
                 delete += triplet.delete * delete_cost(position, member)
 
     cmd = 0.0
+    per_deletion = 0.0
     if end < stats.length:
         per_deletion = model.cmd_cost()
         if per_deletion:
@@ -265,4 +290,5 @@ def subpath_processing_cost(
         delete=delete,
         cmd=cmd,
         storage_pages=model.storage_pages(),
+        cmd_per_deletion=per_deletion,
     )

@@ -3,7 +3,15 @@
 from repro.reporting.tables import (
     ascii_table,
     comparison_table,
+    multipath_table,
     strategy_comparison_table,
+    whatif_table,
 )
 
-__all__ = ["ascii_table", "comparison_table", "strategy_comparison_table"]
+__all__ = [
+    "ascii_table",
+    "comparison_table",
+    "multipath_table",
+    "strategy_comparison_table",
+    "whatif_table",
+]

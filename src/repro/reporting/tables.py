@@ -11,6 +11,7 @@ from typing import TYPE_CHECKING, Sequence
 if TYPE_CHECKING:
     from repro.core.multipath import MultiPathResult
     from repro.search import SearchResult
+    from repro.whatif import WhatIfStep
 
 
 def ascii_table(
@@ -115,6 +116,50 @@ def multipath_table(
                 f"+{result.total_cost - result.unconstrained_cost:.2f}"
             )
     return "\n".join(lines)
+
+
+def whatif_table(
+    path: object,
+    steps: Sequence["WhatIfStep"],
+    title: str | None = None,
+) -> str:
+    """Per-step report of a what-if perturbation sequence.
+
+    One row per :class:`~repro.whatif.WhatIfStep`: the perturbation, how
+    much matrix work the step needed (rows re-priced + rows CMD-patched,
+    or ``full`` on a fallback rebuild), the resulting optimal cost and
+    its delta, and the selected configuration — printed only when it
+    changed from the previous step, so drifting-workload reports surface
+    the re-indexing points at a glance.
+    """
+    rows: list[list[object]] = []
+    previous_cost: float | None = None
+    for step in steps:
+        if step.report is None:
+            work = "-"
+        elif step.report.mode == "full":
+            work = f"full ({step.report.total_rows} rows)"
+        else:
+            work = (
+                f"{len(step.report.recomputed_rows)}"
+                f"+{len(step.report.patched_rows)}p"
+                f"/{step.report.total_rows}"
+            )
+        delta = "" if previous_cost is None else f"{step.cost - previous_cost:+.2f}"
+        configuration = (
+            step.result.configuration.render(path)
+            if step.report is None or step.configuration_changed
+            else "(unchanged)"
+        )
+        rows.append(
+            [step.description, work, f"{step.cost:.2f}", delta, configuration]
+        )
+        previous_cost = step.cost
+    return ascii_table(
+        ["step", "dirty rows", "cost", "delta", "configuration"],
+        rows,
+        title=title,
+    )
 
 
 def comparison_table(

@@ -13,7 +13,12 @@ The Section 5 pipeline separates cost evaluation (``Cost_Matrix`` +
   ``configuration_count``);
 * :mod:`~repro.search.branch_and_bound` — the paper's ``Opt_Ind_Con``;
 * :mod:`~repro.search.exhaustive` — the full-enumeration oracle;
-* :mod:`~repro.search.dynamic_program` — the O(n²) exact optimum;
+* :mod:`~repro.search.dynamic_program` — the O(n²) exact optimum, plus
+  its what-if variant ``incremental_dynamic_program`` whose kept
+  ``best``/``choice`` tables are refined against the exact dirty-row set
+  of a :meth:`~repro.core.cost_matrix.CostMatrix.recompute`
+  (:class:`~repro.search.dynamic_program.IncrementalDynamicProgramStrategy`,
+  driven by :class:`repro.whatif.AdvisorSession`);
 * :mod:`~repro.search.greedy_beam` — anytime near-optimal beam search
   for long paths, plus :func:`~repro.search.greedy_beam.top_configurations`,
   the exact k-best sweep that feeds per-path candidates to the
@@ -38,7 +43,10 @@ from repro.search.base import (
     register_strategy,
 )
 from repro.search.branch_and_bound import BranchAndBoundStrategy
-from repro.search.dynamic_program import DynamicProgramStrategy
+from repro.search.dynamic_program import (
+    DynamicProgramStrategy,
+    IncrementalDynamicProgramStrategy,
+)
 from repro.search.exhaustive import ExhaustiveStrategy
 from repro.search.greedy_beam import (
     DEFAULT_WIDTH,
@@ -59,6 +67,7 @@ __all__ = [
     "BranchAndBoundStrategy",
     "DynamicProgramStrategy",
     "ExhaustiveStrategy",
+    "IncrementalDynamicProgramStrategy",
     "GreedyBeamStrategy",
     "SearchResult",
     "SearchStrategy",

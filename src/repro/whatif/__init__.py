@@ -1,0 +1,47 @@
+"""End-to-end incremental what-if: sessions over the advisor pipeline.
+
+The paper's advisor is a one-shot pipeline; this package makes it
+conversational. An :class:`AdvisorSession` owns ``(stats, load, matrix,
+search tables)`` for one path and answers perturbation queries
+(:meth:`~AdvisorSession.apply` / :meth:`~AdvisorSession.advise`)
+incrementally at every layer — matrix rows via exact dirty-row
+recomputation (with O(1) ``CMD`` patches for delete-frequency deltas),
+search via the refinable ``incremental_dynamic_program`` strategy, and
+joint multi-path selection via per-session candidate caching
+(:class:`MultiPathSession`). :class:`Perturbation` is the declarative
+delta format shared by the Python API, the CLI ``whatif`` subcommand and
+the drifting-workload benchmark.
+
+Quickstart::
+
+    from repro.whatif import AdvisorSession, Perturbation
+
+    session = AdvisorSession(stats, load)
+    baseline = session.advise()
+    session.perturb(Perturbation.parse("Division:delete*2"))
+    updated = session.advise()          # == a from-scratch advise, faster
+"""
+
+from repro.whatif.perturbation import (
+    LOAD_COMPONENTS,
+    STATS_COMPONENTS,
+    Perturbation,
+    parse_steps,
+)
+from repro.whatif.session import (
+    DEFAULT_SESSION_STRATEGY,
+    AdvisorSession,
+    MultiPathSession,
+    WhatIfStep,
+)
+
+__all__ = [
+    "AdvisorSession",
+    "DEFAULT_SESSION_STRATEGY",
+    "LOAD_COMPONENTS",
+    "MultiPathSession",
+    "Perturbation",
+    "STATS_COMPONENTS",
+    "WhatIfStep",
+    "parse_steps",
+]

@@ -1,0 +1,212 @@
+"""Declarative perturbations over statistics and workloads.
+
+A what-if question is a small delta against the current inputs: "what if
+``Division`` deletions doubled?", "what if the ending class grew to a
+million objects?". A :class:`Perturbation` captures one such delta in a
+form that can be parsed from the CLI (``Class:component*factor`` /
+``Class:component=value``), from a JSON step document, or constructed
+directly — and applied to an immutable ``(stats, load)`` pair to produce
+the perturbed inputs an :class:`~repro.whatif.AdvisorSession` consumes.
+
+Load components (``query``/``insert``/``delete``) rebuild the
+:class:`~repro.workload.load.LoadDistribution` with one triplet replaced;
+stats components (``objects``/``distinct``/``fanout``) rebuild the
+:class:`~repro.costmodel.params.PathStatistics` with one
+:class:`~repro.costmodel.params.ClassStats` replaced. Both constructions
+go through the normal validating constructors, so a perturbation can
+never produce inputs the cost model would reject at evaluation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.costmodel.params import ClassStats, PathStatistics
+from repro.errors import OptimizerError
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+#: Components that perturb the workload triplet of a class.
+LOAD_COMPONENTS = ("query", "insert", "delete")
+
+#: Components that perturb the class statistics of a class.
+STATS_COMPONENTS = ("objects", "distinct", "fanout")
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """One atomic what-if delta: a class, a component, and a change.
+
+    ``mode`` is ``"scale"`` (multiply the current value by ``value``) or
+    ``"set"`` (replace it). The component determines whether the workload
+    or the statistics change; :attr:`kind` reports which.
+    """
+
+    class_name: str
+    component: str
+    mode: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.component not in LOAD_COMPONENTS + STATS_COMPONENTS:
+            raise OptimizerError(
+                f"unknown perturbation component {self.component!r} "
+                f"(load: {', '.join(LOAD_COMPONENTS)}; "
+                f"stats: {', '.join(STATS_COMPONENTS)})"
+            )
+        if self.mode not in ("scale", "set"):
+            raise OptimizerError(
+                f"perturbation mode must be 'scale' or 'set', got {self.mode!r}"
+            )
+        if not self.value >= 0:
+            raise OptimizerError(
+                f"perturbation value must be a non-negative number, got "
+                f"{self.value}"
+            )
+
+    @property
+    def kind(self) -> str:
+        """``"load"`` or ``"stats"``."""
+        return "load" if self.component in LOAD_COMPONENTS else "stats"
+
+    def describe(self) -> str:
+        """Compact human-readable form (also the CLI flag syntax)."""
+        operator = "*" if self.mode == "scale" else "="
+        return f"{self.class_name}:{self.component}{operator}{self.value:g}"
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def apply(
+        self, stats: PathStatistics, load: LoadDistribution
+    ) -> tuple[PathStatistics, LoadDistribution]:
+        """The perturbed ``(stats, load)`` pair (inputs are immutable).
+
+        Exactly one of the two objects is replaced; the other is returned
+        unchanged (by identity), which is what lets
+        :meth:`~repro.core.cost_matrix.CostMatrix.recompute` skip its
+        dirty analysis for the untouched side.
+        """
+        if self.kind == "load":
+            current = load.triplet(self.class_name)  # validates the class
+            values = {
+                "query": current.query,
+                "insert": current.insert,
+                "delete": current.delete,
+            }
+            values[self.component] = self._updated(values[self.component])
+            triplets = {name: triplet for name, triplet in load.items()}
+            triplets[self.class_name] = LoadTriplet(**values)
+            return stats, LoadDistribution(load.path, triplets)
+        current_stats = stats.stats_of(self.class_name)  # validates the class
+        fields = {
+            "objects": current_stats.objects,
+            "distinct": current_stats.distinct,
+            "fanout": current_stats.fanout,
+        }
+        fields[self.component] = self._updated(fields[self.component])
+        per_class = {
+            member: stats.stats_of(member)
+            for position in range(1, stats.length + 1)
+            for member in stats.members(position)
+        }
+        per_class[self.class_name] = ClassStats(**fields)
+        return PathStatistics(stats.path, per_class, stats.config), load
+
+    def _updated(self, current: float) -> float:
+        return current * self.value if self.mode == "scale" else self.value
+
+    # ------------------------------------------------------------------
+    # parsing
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Perturbation":
+        """Parse the flag syntax ``Class:component*factor`` / ``=value``."""
+        head, separator, tail = text.partition(":")
+        if not separator or not head:
+            raise OptimizerError(
+                f"cannot parse perturbation {text!r}: expected "
+                f"'Class:component*factor' or 'Class:component=value'"
+            )
+        for operator, mode in (("*", "scale"), ("=", "set")):
+            component, found, raw = tail.partition(operator)
+            if found:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    raise OptimizerError(
+                        f"cannot parse perturbation value {raw!r} in {text!r}"
+                    ) from None
+                return cls(
+                    class_name=head, component=component, mode=mode, value=value
+                )
+        raise OptimizerError(
+            f"cannot parse perturbation {text!r}: missing '*' or '='"
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Perturbation":
+        """Parse one JSON step: ``{"class", "component", "scale"|"set"}``."""
+        if not isinstance(data, dict):
+            raise OptimizerError(
+                f"perturbation step must be an object, got {type(data).__name__}"
+            )
+        unknown = set(data) - {"class", "component", "scale", "set"}
+        if unknown:
+            raise OptimizerError(
+                f"unknown perturbation keys: {sorted(unknown)}"
+            )
+        try:
+            class_name = data["class"]
+            component = data["component"]
+        except KeyError as error:
+            raise OptimizerError(
+                f"perturbation step missing required key {error}"
+            ) from None
+        has_scale = "scale" in data
+        has_set = "set" in data
+        if has_scale == has_set:
+            raise OptimizerError(
+                "perturbation step needs exactly one of 'scale' or 'set'"
+            )
+        mode = "scale" if has_scale else "set"
+        raw = data[mode]
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            raise OptimizerError(
+                f"perturbation {mode!r} value must be a number, got {raw!r}"
+            ) from None
+        return cls(
+            class_name=class_name,
+            component=component,
+            mode=mode,
+            value=value,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON step form accepted by :meth:`from_dict`."""
+        return {
+            "class": self.class_name,
+            "component": self.component,
+            self.mode: self.value,
+        }
+
+
+def parse_steps(document: Any) -> list[Perturbation]:
+    """Parse a perturbation-sequence document (the CLI ``--steps`` file).
+
+    Accepts either a bare JSON list of step objects or ``{"steps": [...]}``.
+    """
+    if isinstance(document, dict):
+        if set(document) != {"steps"}:
+            raise OptimizerError(
+                "perturbation document must be a list of steps or "
+                '{"steps": [...]}'
+            )
+        document = document["steps"]
+    if not isinstance(document, list):
+        raise OptimizerError(
+            f"perturbation steps must be a list, got {type(document).__name__}"
+        )
+    return [Perturbation.from_dict(step) for step in document]

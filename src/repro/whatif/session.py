@@ -1,0 +1,302 @@
+"""Stateful what-if sessions: incremental at every pipeline layer.
+
+The one-shot pipeline (``Cost_Matrix`` → ``Min_Cost`` → search) answers a
+single question. An administrator — or an online advisor tracking a
+drifting workload — asks thousands, each differing from the last by a
+small delta. An :class:`AdvisorSession` owns the full pipeline state for
+one path (statistics, workload, cost matrix, search tables) and threads
+the *exact dirty-row set* of every perturbation through all of it:
+
+* the matrix layer re-prices only the rows the delta can reach
+  (:meth:`~repro.core.cost_matrix.CostMatrix.recompute`, with
+  delete-frequency deltas reduced to O(1) per-row ``CMD`` patches);
+* the search layer re-relaxes only the DP positions those rows can
+  reach (``incremental_dynamic_program``'s
+  :meth:`~repro.search.dynamic_program.IncrementalDynamicProgramStrategy.refine`);
+* the multi-path layer regenerates k-best candidates only for paths
+  whose sessions report dirty rows
+  (:func:`~repro.core.multipath.optimize_multipath` with ``sessions=``,
+  orchestrated by :class:`MultiPathSession`).
+
+Every answer is bit-identical to rerunning the whole pipeline from
+scratch on the current inputs — the Hypothesis property in
+``tests/test_whatif_session.py`` pins ``(cost, configuration)`` equality
+for arbitrary supported perturbation sequences under every registered
+exact strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cost_matrix import CostMatrix, RecomputeReport
+from repro.core.multipath import MultiPathResult, PathWorkload, optimize_multipath
+from repro.costmodel.params import PathStatistics
+from repro.errors import OptimizerError
+from repro.organizations import CONFIGURABLE_ORGANIZATIONS, IndexOrganization
+from repro.search import SearchResult, get_strategy
+from repro.whatif.perturbation import Perturbation
+from repro.workload.load import LoadDistribution
+
+#: The session default: the search layer that can consume dirty sets.
+DEFAULT_SESSION_STRATEGY = "incremental_dynamic_program"
+
+
+@dataclass(frozen=True)
+class WhatIfStep:
+    """The outcome of one perturbation step, for reports and tables.
+
+    ``report`` is ``None`` for the baseline step (nothing was applied
+    yet); ``configuration_changed`` compares against the previous step's
+    selected configuration.
+    """
+
+    index: int
+    description: str
+    result: SearchResult
+    report: RecomputeReport | None = None
+    configuration_changed: bool = False
+
+    @property
+    def cost(self) -> float:
+        """The selected configuration's processing cost after the step."""
+        return self.result.cost
+
+
+class AdvisorSession:
+    """Incremental what-if advisor state for one path.
+
+    Parameters mirror :func:`~repro.core.advisor.advise` where they
+    overlap; ``strategy`` defaults to ``incremental_dynamic_program`` so
+    repeated :meth:`advise` calls consume dirty-row sets instead of
+    re-searching from scratch (any registered strategy works — those
+    without a ``refine`` method are simply re-run against the
+    incrementally updated matrix). ``workers`` applies to the initial
+    matrix construction and, by default, to every recompute (dirty sets
+    are small, so ``0``/serial is the right default).
+
+    The session's observable guarantees:
+
+    * :attr:`matrix`, :attr:`stats` and :attr:`load` always describe the
+      inputs after every :meth:`apply` so far;
+    * :meth:`advise` returns exactly what a fresh
+      ``get_strategy(strategy).search(CostMatrix.compute(stats, load))``
+      would return on the current inputs — bit-identical cost and
+      configuration;
+    * :attr:`version` increments whenever an :meth:`apply` actually
+      touched matrix rows, which is what the multi-path candidate cache
+      keys on.
+    """
+
+    def __init__(
+        self,
+        stats: PathStatistics,
+        load: LoadDistribution,
+        *,
+        organizations: tuple[IndexOrganization, ...] = CONFIGURABLE_ORGANIZATIONS,
+        include_noindex: bool = False,
+        range_selectivity: float | None = None,
+        strategy: str = DEFAULT_SESSION_STRATEGY,
+        workers: int | None = 0,
+        **strategy_options,
+    ) -> None:
+        # Resolve the strategy first: a bad name or option must fail
+        # before the expensive matrix construction (advise's convention).
+        self._searcher = get_strategy(strategy, **strategy_options)
+        self.strategy = strategy
+        self.stats = stats
+        self.load = load
+        self._workers = workers
+        self.matrix = CostMatrix.compute(
+            stats,
+            load,
+            organizations=organizations,
+            include_noindex=include_noindex,
+            range_selectivity=range_selectivity,
+            workers=workers,
+        )
+        #: Monotone counter of applies that touched matrix rows.
+        self.version = 0
+        #: Per-descriptor candidate cache managed by
+        #: :func:`~repro.core.multipath.optimize_multipath` (sessions=).
+        self.candidate_cache: dict = {}
+        self.applied_steps = 0
+        self._pending: set[tuple[int, int]] = set()
+        self._pending_full = False
+        self._result: SearchResult | None = None
+
+    # ------------------------------------------------------------------
+    # perturbation
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        stats: PathStatistics | None = None,
+        load: LoadDistribution | None = None,
+        *,
+        workers: int | None = None,
+    ) -> RecomputeReport:
+        """Replace the session inputs and incrementally update the matrix.
+
+        ``stats``/``load`` follow :meth:`CostMatrix.recompute` semantics
+        (``None`` keeps the current object; both describe the same path).
+        Returns the :class:`~repro.core.cost_matrix.RecomputeReport` of
+        the underlying matrix update, so callers can assert how much work
+        the step actually did.
+        """
+        if stats is None and load is None:
+            raise OptimizerError(
+                "apply requires new statistics, a new load, or both"
+            )
+        self.matrix = self.matrix.recompute(
+            stats=stats,
+            load=load,
+            workers=self._workers if workers is None else workers,
+        )
+        report = self.matrix.recompute_report
+        if stats is not None:
+            self.stats = stats
+        if load is not None:
+            self.load = load
+        if report.mode == "full":
+            self._pending_full = True
+            self._pending.clear()
+            self.version += 1
+        elif report.dirty_count:
+            self._pending.update(report.recomputed_rows)
+            self._pending.update(report.patched_rows)
+            self.version += 1
+        self.applied_steps += 1
+        return report
+
+    def perturb(self, perturbation: Perturbation) -> RecomputeReport:
+        """Apply one declarative :class:`Perturbation` to the session."""
+        new_stats, new_load = perturbation.apply(self.stats, self.load)
+        return self.apply(
+            stats=None if new_stats is self.stats else new_stats,
+            load=None if new_load is self.load else new_load,
+        )
+
+    # ------------------------------------------------------------------
+    # answering
+    # ------------------------------------------------------------------
+    def advise(self, *, keep_trace: bool = False) -> SearchResult:
+        """The optimal configuration for the current inputs.
+
+        Incremental at the search layer: with no pending dirty rows the
+        last result is returned as-is; with a dirty set and a strategy
+        that supports ``refine`` only the reachable DP positions are
+        re-relaxed; otherwise the strategy re-runs against the (already
+        incrementally updated) matrix.
+        """
+        if (
+            self._result is not None
+            and not self._pending
+            and not self._pending_full
+        ):
+            if keep_trace and not self._result.trace:
+                # The cached answer was produced without a trace; honor
+                # the request with a full (trace-keeping) search.
+                self._result = self._searcher.search(
+                    self.matrix, keep_trace=True
+                )
+            return self._result
+        if (
+            self._result is not None
+            and not self._pending_full
+            and hasattr(self._searcher, "refine")
+        ):
+            result = self._searcher.refine(
+                self.matrix, frozenset(self._pending), keep_trace=keep_trace
+            )
+        else:
+            result = self._searcher.search(self.matrix, keep_trace=keep_trace)
+        self._pending.clear()
+        self._pending_full = False
+        self._result = result
+        return result
+
+    def run(self, perturbations: list[Perturbation]) -> list[WhatIfStep]:
+        """Drive a perturbation sequence, one :class:`WhatIfStep` each.
+
+        Step 0 is the baseline (current inputs, nothing applied); steps
+        ``1..n`` each apply one perturbation and re-advise.
+        """
+        baseline = self.advise()
+        steps = [WhatIfStep(index=0, description="baseline", result=baseline)]
+        previous = baseline.configuration
+        for index, perturbation in enumerate(perturbations, start=1):
+            report = self.perturb(perturbation)
+            result = self.advise()
+            steps.append(
+                WhatIfStep(
+                    index=index,
+                    description=perturbation.describe(),
+                    result=result,
+                    report=report,
+                    configuration_changed=result.configuration != previous,
+                )
+            )
+            previous = result.configuration
+        return steps
+
+
+class MultiPathSession:
+    """Joint what-if state over several paths.
+
+    Owns one :class:`AdvisorSession` per path and answers
+    :meth:`optimize` through
+    :func:`~repro.core.multipath.optimize_multipath`'s ``sessions=``
+    seam: per-path k-best candidate sets are cached on the sessions and
+    regenerated only for paths whose dirty sets changed, and when *no*
+    session changed since the last call with the same options the cached
+    :class:`~repro.core.multipath.MultiPathResult` is returned without
+    re-running joint selection at all.
+    """
+
+    def __init__(self, sessions: list[AdvisorSession]) -> None:
+        if not sessions:
+            raise OptimizerError("at least one session is required")
+        self.sessions = list(sessions)
+        self._last: tuple[tuple, tuple[int, ...], MultiPathResult] | None = None
+
+    @classmethod
+    def from_workloads(
+        cls, workloads: list[PathWorkload], **session_options
+    ) -> "MultiPathSession":
+        """Build one session per :class:`PathWorkload`."""
+        return cls(
+            [
+                AdvisorSession(workload.stats, workload.load, **session_options)
+                for workload in workloads
+            ]
+        )
+
+    def apply(
+        self,
+        index: int,
+        stats: PathStatistics | None = None,
+        load: LoadDistribution | None = None,
+    ) -> RecomputeReport:
+        """Perturb the inputs of path ``index``."""
+        return self.sessions[index].apply(stats=stats, load=load)
+
+    def perturb(self, index: int, perturbation: Perturbation) -> RecomputeReport:
+        """Apply one declarative perturbation to path ``index``."""
+        return self.sessions[index].perturb(perturbation)
+
+    def optimize(self, **options) -> MultiPathResult:
+        """Joint selection over the current inputs of every path.
+
+        Keyword options are forwarded to
+        :func:`~repro.core.multipath.optimize_multipath` (``beam_width``,
+        ``budget_pages``, ``restarts``, ...).
+        """
+        key = tuple(sorted(options.items()))
+        versions = tuple(session.version for session in self.sessions)
+        if self._last is not None:
+            last_key, last_versions, last_result = self._last
+            if last_key == key and last_versions == versions:
+                return last_result
+        result = optimize_multipath(sessions=self.sessions, **options)
+        self._last = (key, versions, result)
+        return result

@@ -224,6 +224,21 @@ class TestRecompute:
             CostMatrix.compute(new_stats, load),
         )
 
+    def test_report_partitions_the_dirty_union(self):
+        """RecomputeReport's re-priced + patched sets are disjoint and
+        together equal the _dirty_rows union; delete-only changes route
+        the CMD rows through the patch set."""
+        stats, load = make_world()
+        matrix = CostMatrix.compute(stats, load)
+        new_load = perturb_load(load, "L2", "delete", 2.0)
+        union = matrix._dirty_rows(stats, new_load)
+        report = matrix.recompute(load=new_load).recompute_report
+        recomputed = set(report.recomputed_rows)
+        patched = set(report.patched_rows)
+        assert recomputed | patched == union
+        assert not recomputed & patched
+        assert patched == {(s, 2) for s in range(1, 3)}
+
     def test_dirty_rows_are_exact_for_load_changes(self):
         stats, load = make_world()
         matrix = CostMatrix.compute(stats, load)

@@ -37,7 +37,12 @@ MX = IndexOrganization.MX
 MIX = IndexOrganization.MIX
 NIX = IndexOrganization.NIX
 
-EXACT_STRATEGIES = ("branch_and_bound", "exhaustive", "dynamic_program")
+EXACT_STRATEGIES = (
+    "branch_and_bound",
+    "exhaustive",
+    "dynamic_program",
+    "incremental_dynamic_program",
+)
 
 
 def synth_inputs(length: int, seed: int) -> tuple[PathStatistics, LoadDistribution]:
@@ -399,3 +404,65 @@ class TestTopConfigurations:
             configuration_count(0, 1)
         with pytest.raises(OptimizerError):
             configuration_count(3, 0)
+
+
+class TestIncrementalRefine:
+    """The refinable DP: same answers as a fresh run, less work."""
+
+    def test_refine_matches_fresh_dp_over_perturbation_chain(self):
+        from test_matrix_recompute import perturb_load
+
+        stats, load = synth_inputs(8, seed=3)
+        matrix = CostMatrix.compute(stats, load)
+        incremental = get_strategy("incremental_dynamic_program")
+        incremental.search(matrix)
+        for position, component in [(8, "delete"), (2, "query"), (1, "insert")]:
+            load = perturb_load(
+                load, stats.path.class_at(position), component, 2.0
+            )
+            matrix = matrix.recompute(load=load)
+            refined = incremental.refine(
+                matrix, matrix.recompute_report.dirty_rows
+            )
+            fresh = get_strategy("dynamic_program").search(matrix)
+            assert refined.cost == fresh.cost
+            assert refined.configuration == fresh.configuration
+            assert refined.strategy == "incremental_dynamic_program"
+
+    def test_refine_with_empty_dirty_set_is_stable(self):
+        matrix = synth_matrix(5, seed=7)
+        incremental = get_strategy("incremental_dynamic_program")
+        base = incremental.search(matrix)
+        refined = incremental.refine(matrix, frozenset())
+        assert refined.cost == base.cost
+        assert refined.configuration == base.configuration
+        assert refined.extras["rows_inspected"] == 0
+        assert refined.extras["reused_positions"] == matrix.length
+
+    def test_refine_without_tables_degrades_to_search(self):
+        matrix = synth_matrix(4, seed=11)
+        incremental = get_strategy("incremental_dynamic_program")
+        result = incremental.refine(matrix, {(1, 1)})
+        fresh = get_strategy("dynamic_program").search(matrix)
+        assert result.cost == fresh.cost
+        assert result.extras["relaxed_positions"] == matrix.length
+
+    def test_refine_on_new_length_degrades_to_search(self):
+        incremental = get_strategy("incremental_dynamic_program")
+        incremental.search(synth_matrix(4, seed=1))
+        longer = synth_matrix(6, seed=1)
+        result = incremental.refine(longer, {(1, 1)})
+        fresh = get_strategy("dynamic_program").search(longer)
+        assert result.cost == fresh.cost
+        assert result.configuration == fresh.configuration
+
+    def test_refine_inspects_fewer_rows_for_shallow_dirt(self):
+        """A dirty set confined to start positions 1..2 must not re-relax
+        the deep suffix of a long path."""
+        matrix = synth_matrix(12, seed=2)
+        incremental = get_strategy("incremental_dynamic_program")
+        full = incremental.search(matrix)
+        refined = incremental.refine(matrix, {(1, 3), (2, 5)})
+        assert refined.cost == full.cost
+        assert refined.extras["relaxed_positions"] <= 2
+        assert refined.extras["rows_inspected"] < full.extras["rows_inspected"]
