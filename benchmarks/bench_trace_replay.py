@@ -1,0 +1,263 @@
+"""Trace replay: batched ``apply_many`` vs per-event ``apply``.
+
+The ``repro.trace`` subsystem batches every drift window's accumulated
+delta into one :meth:`~repro.whatif.AdvisorSession.apply_many` call, so
+a window that moved k (class, component) frequencies costs **one**
+dirty-set-union matrix recompute instead of k. This benchmark measures
+that win on the production-shaped stream: a long path whose operation
+mass sits on the last two positions (ingest-side churn) drifting window
+by window.
+
+Both loops answer the same windowed delta sequence and re-advise at the
+same points:
+
+* **per-event** — every perturbation of a window's batch applied
+  individually (k recomputes per window), the PR 4 calling convention;
+* **batched** — the whole batch folded through ``apply_many`` (one
+  recompute per window).
+
+Per-step costs and configurations must be bit-identical between the
+loops (asserted), so the speedup is pure bookkeeping. A second
+measurement replays the raw event stream end-to-end through
+:class:`~repro.trace.ContinuousAdvisor` (windowing + drift detection +
+batched application) and records the sustained events/second.
+
+Results land in ``benchmarks/results/BENCH_trace.json``. The full run
+targets a ≥3x batched-over-per-event speedup at path length 30
+(``target_speedup``); ``--smoke`` (CI) runs a shorter stream and fails
+only when the speedup drops below a generous threshold.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/bench_trace_replay.py           # full
+    PYTHONPATH=src:. python benchmarks/bench_trace_replay.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+from benchmarks.bench_whatif_loop import make_inputs
+from repro.trace import ContinuousAdvisor, WindowAggregator, generate_trace
+from repro.whatif import AdvisorSession
+from repro.whatif.perturbation import perturbations_between
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+
+def make_edge_load(stats) -> LoadDistribution:
+    """A base workload shaped like the stream: mass on the last two
+    positions only, so the first window is a drift step, not a reset of
+    every other class's frequency."""
+    path = stats.path
+    triplets = {}
+    for position in (stats.length - 1, stats.length):
+        for member in stats.members(position):
+            triplets[member] = LoadTriplet(query=0.4, insert=0.15, delete=0.1)
+    return LoadDistribution(path, triplets)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+JSON_NAME = "BENCH_trace.json"
+
+#: The paper-facing target: at length 30 the batched replay must beat
+#: the per-event replay by at least this factor (the full run).
+FULL_TARGET_SPEEDUP = 3.0
+
+#: CI guard: generous so machine noise never flakes the build, tight
+#: enough to catch losing the batching win entirely.
+SMOKE_MIN_SPEEDUP = 1.5
+
+FULL_LENGTH = 30
+FULL_EVENTS = 6000
+SMOKE_LENGTH = 20
+SMOKE_EVENTS = 1500
+
+WINDOW = 250
+
+
+def window_batches(stats, base_load, trace, window):
+    """The per-window perturbation batches of a trace, precomputed.
+
+    Each batch is the ``set``-delta from the advisor state *after the
+    previous batch* to the window's estimate — exactly what a replay
+    applies — so both measured loops consume identical inputs.
+    """
+    aggregator = WindowAggregator(stats, window)
+    batches = []
+    current = base_load
+    for snapshot in aggregator.feed(trace):
+        batch = perturbations_between(stats, current, stats, snapshot.load)
+        if not batch:
+            continue
+        current = snapshot.load
+        batches.append(batch)
+    return batches
+
+
+def run_per_event_loop(stats, base_load, batches):
+    """Baseline: one ``apply`` (one recompute) per perturbation."""
+    session = AdvisorSession(stats, base_load, workers=0)
+    session.advise()  # baseline search outside the timed loop
+    outcomes = []
+    started = time.perf_counter()
+    for batch in batches:
+        for perturbation in batch:
+            session.perturb(perturbation)
+        result = session.advise()
+        outcomes.append((result.cost, result.configuration))
+    return (time.perf_counter() - started) * 1000.0, outcomes
+
+
+def run_batched_loop(stats, base_load, batches):
+    """One ``apply_many`` (one dirty-union recompute) per window batch."""
+    session = AdvisorSession(stats, base_load, workers=0)
+    session.advise()
+    outcomes = []
+    started = time.perf_counter()
+    for batch in batches:
+        session.apply_many(batch)
+        result = session.advise()
+        outcomes.append((result.cost, result.configuration))
+    elapsed = (time.perf_counter() - started) * 1000.0
+    assert session.batched_steps == len(batches)
+    return elapsed, outcomes
+
+
+def measure(length: int, events: int, seed: int = 0) -> dict:
+    """One replay comparison end to end, with the bit-identity assertion."""
+    stats, _generated_load = make_inputs(length, seed=seed)
+    base_load = make_edge_load(stats)
+    trace = generate_trace(
+        stats.path,
+        "edge_drift",
+        events,
+        seed=seed + 1,
+        edge_share=1.0,
+        drift_intensity=0.6,
+    )
+    batches = window_batches(stats, base_load, trace, WINDOW)
+    per_event_ms, per_event_outcomes = run_per_event_loop(
+        stats, base_load, batches
+    )
+    batched_ms, batched_outcomes = run_batched_loop(stats, base_load, batches)
+    assert batched_outcomes == per_event_outcomes, (
+        "batched replay diverged from the per-event replay"
+    )
+    perturbations = sum(len(batch) for batch in batches)
+    return {
+        "length": length,
+        "events": events,
+        "window": WINDOW,
+        "batches": len(batches),
+        "perturbations": perturbations,
+        "mean_batch": round(perturbations / max(1, len(batches)), 2),
+        "per_event_ms": round(per_event_ms, 1),
+        "batched_ms": round(batched_ms, 1),
+        "speedup": (
+            round(per_event_ms / batched_ms, 2) if batched_ms else None
+        ),
+    }
+
+
+def measure_continuous(length: int, events: int, seed: int = 0) -> dict:
+    """End-to-end stream consumption through ContinuousAdvisor."""
+    stats, _generated_load = make_inputs(length, seed=seed)
+    base_load = make_edge_load(stats)
+    trace = generate_trace(
+        stats.path,
+        "edge_drift",
+        events,
+        seed=seed + 1,
+        edge_share=1.0,
+        drift_intensity=0.6,
+    )
+    advisor = ContinuousAdvisor(
+        stats,
+        base_load,
+        window=WINDOW,
+        threshold=0.25,
+        hysteresis=2,
+        workers=0,
+    )
+    started = time.perf_counter()
+    advisor.replay(trace)
+    elapsed = (time.perf_counter() - started) * 1000.0
+    return {
+        "length": length,
+        "events": events,
+        "window": WINDOW,
+        "windows": advisor.windows_seen,
+        "windows_held": advisor.windows_held,
+        "readvises": advisor.readvise_count,
+        "elapsed_ms": round(elapsed, 1),
+        "events_per_second": (
+            round(events / (elapsed / 1000.0)) if elapsed else None
+        ),
+    }
+
+
+def run(smoke: bool) -> dict:
+    """All measurements for one mode."""
+    length = SMOKE_LENGTH if smoke else FULL_LENGTH
+    events = SMOKE_EVENTS if smoke else FULL_EVENTS
+    return {
+        "benchmark": "trace",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "target_speedup": FULL_TARGET_SPEEDUP,
+        "measurements": [measure(length, events)],
+        "continuous": measure_continuous(length, events),
+    }
+
+
+def check_smoke(report: dict) -> list[str]:
+    """Smoke failures (empty when the guard passes)."""
+    replay = report["measurements"][0]
+    if replay["speedup"] is not None and replay["speedup"] < SMOKE_MIN_SPEEDUP:
+        return [
+            f"batched replay speedup {replay['speedup']:.2f}x below the "
+            f"{SMOKE_MIN_SPEEDUP:.1f}x smoke threshold"
+        ]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short stream only; non-zero exit when the speedup collapses",
+    )
+    parser.add_argument(
+        "--json-path",
+        default=None,
+        help=f"output path (default benchmarks/results/{JSON_NAME})",
+    )
+    arguments = parser.parse_args(argv)
+
+    report = run(arguments.smoke)
+    json_path = (
+        pathlib.Path(arguments.json_path)
+        if arguments.json_path
+        else RESULTS_DIR / JSON_NAME
+    )
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {json_path}", file=sys.stderr)
+
+    if arguments.smoke:
+        failures = check_smoke(report)
+        for failure in failures:
+            print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

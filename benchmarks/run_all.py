@@ -1,6 +1,6 @@
 """Performance runner: records the perf trajectory of the hot loops.
 
-Two benchmark families, each with its own machine-readable artifact:
+Three benchmark families, each with its own machine-readable artifact:
 
 * **cost matrix** (``BENCH_costmatrix.json``) — the three PR 2 wins on
   synthetic long paths: serial ``CostMatrix.compute`` against a PR 1
@@ -12,7 +12,11 @@ Two benchmark families, each with its own machine-readable artifact:
   :mod:`benchmarks.bench_whatif_loop`) — the PR 4 end-to-end win: a
   drifting-workload loop answered by an incremental
   :class:`~repro.whatif.AdvisorSession` against rerunning the whole
-  pipeline every step.
+  pipeline every step;
+* **trace replay** (``BENCH_trace.json``, via
+  :mod:`benchmarks.bench_trace_replay`) — the PR 5 batching win: a
+  windowed operation-stream replay applying each drift batch through
+  one ``apply_many`` recompute against one recompute per perturbation.
 
 Usage::
 
@@ -213,9 +217,10 @@ def main(argv: list[str] | None = None) -> int:
                 f"(limit {SMOKE_SERIAL_LIMIT_MS:.0f} ms)"
             )
 
-    # The what-if loop benchmark writes its own artifact next to this
-    # one (the CI job uploads both) and shares the --smoke contract.
-    from benchmarks import bench_whatif_loop
+    # The what-if loop and trace-replay benchmarks write their own
+    # artifacts next to this one (the CI job uploads all three) and
+    # share the --smoke contract.
+    from benchmarks import bench_trace_replay, bench_whatif_loop
 
     whatif_report = bench_whatif_loop.run(arguments.smoke)
     whatif_path = json_path.parent / bench_whatif_loop.JSON_NAME
@@ -226,6 +231,16 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\nwritten to {whatif_path}", file=sys.stderr)
     if arguments.smoke:
         failures.extend(bench_whatif_loop.check_smoke(whatif_report))
+
+    trace_report = bench_trace_replay.run(arguments.smoke)
+    trace_path = json_path.parent / bench_trace_replay.JSON_NAME
+    trace_path.write_text(
+        json.dumps(trace_report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(trace_report, indent=2))
+    print(f"\nwritten to {trace_path}", file=sys.stderr)
+    if arguments.smoke:
+        failures.extend(bench_trace_replay.check_smoke(trace_report))
 
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}", file=sys.stderr)

@@ -12,7 +12,9 @@ Section 6 extensions: beam-backed multi-path joint selection
 constraint), single-path budgeted selection
 (:func:`optimize_with_budget`), and incremental what-if sessions
 (:class:`AdvisorSession` / :class:`MultiPathSession`) that answer
-perturbation queries without rerunning the pipeline from scratch.
+perturbation queries without rerunning the pipeline from scratch, and
+continuous trace-driven advising (:class:`ContinuousAdvisor` over
+``repro.trace`` operation streams with windowed drift detection).
 
 Quickstart::
 
@@ -50,6 +52,13 @@ from repro.search import (
     get_strategy,
 )
 from repro.storage.sizes import SizeModel
+from repro.trace import (
+    ContinuousAdvisor,
+    TraceEvent,
+    generate_trace,
+    read_trace,
+    write_trace,
+)
 from repro.whatif import AdvisorSession, MultiPathSession, Perturbation
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.load import LoadDistribution, LoadTriplet
@@ -65,6 +74,7 @@ __all__ = [
     "CONFIGURABLE_ORGANIZATIONS",
     "DEFAULT_STRATEGY",
     "ClassDef",
+    "ContinuousAdvisor",
     "ClassStats",
     "CostMatrix",
     "CostModelConfig",
@@ -89,6 +99,7 @@ __all__ = [
     "SearchResult",
     "SearchStrategy",
     "SizeModel",
+    "TraceEvent",
     "WorkloadGenerator",
     "advise",
     "available_strategies",
@@ -96,8 +107,11 @@ __all__ = [
     "enumerate_partitions",
     "explain_query",
     "explain_update",
+    "generate_trace",
     "get_strategy",
     "optimize_multipath",
     "optimize_with_budget",
+    "read_trace",
     "subpath_processing_cost",
+    "write_trace",
 ]

@@ -11,6 +11,11 @@
     python -m repro whatif  SPEC.json [--steps STEPS.json]
                             [--perturb CLASS:COMP*F | CLASS:COMP=V ...]
                             [--strategy NAME] [--json]
+    python -m repro trace   SPEC.json --regime NAME --events N [--seed S]
+                            [--out FILE]
+    python -m repro replay  SPEC.json --trace FILE --window N [--slide N]
+                            [--threshold X] [--hysteresis K] [--track-stats]
+                            [--rate-scale S] [--strategy NAME] [--json]
     python -m repro example                # print a template spec
     python -m repro paper   [--trace]      # reproduce Example 5.1
 
@@ -19,7 +24,11 @@
 jointly (shared physical indexes are maintained and stored once);
 ``whatif`` drives an incremental :class:`~repro.whatif.AdvisorSession`
 through a perturbation sequence and reports per-step cost and
-configuration changes.
+configuration changes; ``trace`` generates a seeded synthetic operation
+stream (JSONL) for the spec's path, and ``replay`` feeds such a stream
+through a windowed, drift-detected
+:class:`~repro.trace.ContinuousAdvisor` and prints the re-advise
+timeline.
 """
 
 from __future__ import annotations
@@ -39,8 +48,15 @@ from repro.core.multipath import (
 from repro.errors import ReproError
 from repro.io import load_spec, spec_to_dict
 from repro.organizations import CONFIGURABLE_ORGANIZATIONS
-from repro.reporting.tables import multipath_table, whatif_table
+from repro.reporting.tables import multipath_table, replay_table, whatif_table
 from repro.search import available_strategies
+from repro.trace import (
+    TRACE_REGIMES,
+    ContinuousAdvisor,
+    generate_trace,
+    iter_trace,
+    write_trace,
+)
 from repro.whatif import (
     DEFAULT_SESSION_STRATEGY,
     AdvisorSession,
@@ -263,6 +279,88 @@ def _cmd_whatif(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(arguments: argparse.Namespace) -> int:
+    spec = load_spec(arguments.spec)
+    events = generate_trace(
+        spec.stats.path,
+        arguments.regime,
+        arguments.events,
+        seed=arguments.seed,
+        edge_share=arguments.edge_share,
+    )
+    if arguments.out:
+        count = write_trace(events, arguments.out)
+        print(f"{count} events ({arguments.regime}) written to {arguments.out}")
+    else:
+        for event in events:
+            print(json.dumps(event.to_dict(), separators=(",", ":")))
+    return 0
+
+
+def _cmd_replay(arguments: argparse.Namespace) -> int:
+    spec = load_spec(arguments.spec)
+    advisor = ContinuousAdvisor(
+        spec.stats,
+        spec.load,
+        window=arguments.window,
+        slide=arguments.slide,
+        rate_scale=arguments.rate_scale,
+        track_statistics=arguments.track_stats,
+        threshold=arguments.threshold,
+        hysteresis=arguments.hysteresis,
+        organizations=spec.organizations or CONFIGURABLE_ORGANIZATIONS,
+        include_noindex=spec.include_noindex or arguments.noindex,
+        range_selectivity=spec.range_selectivity,
+        strategy=arguments.strategy,
+        workers=arguments.workers,
+    )
+    steps = advisor.replay(iter_trace(arguments.trace))
+    path = spec.stats.path
+    if arguments.json:
+        payload = {
+            "path": str(path),
+            "strategy": arguments.strategy,
+            "window": arguments.window,
+            "events": advisor.events_seen,
+            "windows": advisor.windows_seen,
+            "windows_held": advisor.windows_held,
+            "steps": [
+                {
+                    "step": step.index,
+                    "window": step.window,
+                    "forced": step.forced,
+                    "events_seen": step.events_seen,
+                    "change": step.change,
+                    "perturbations": step.perturbations,
+                    "mode": step.report.mode if step.report else None,
+                    "rows_recomputed": (
+                        len(step.report.recomputed_rows) if step.report else None
+                    ),
+                    "rows_patched": (
+                        len(step.report.patched_rows) if step.report else None
+                    ),
+                    "cost": step.cost,
+                    "configuration_changed": step.configuration_changed,
+                    "configuration": [
+                        {
+                            "subpath": str(path.subpath(a.start, a.end)),
+                            "start": a.start,
+                            "end": a.end,
+                            "organization": str(a.organization),
+                        }
+                        for a in step.result.configuration.assignments
+                    ],
+                }
+                for step in steps
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(replay_table(path, steps, title=f"trace replay over {path}"))
+        print(f"\n{advisor.describe()}")
+    return 0
+
+
 def _cmd_example(arguments: argparse.Namespace) -> int:
     from repro.paper import figure7_load, figure7_statistics
 
@@ -457,6 +555,131 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_argument(whatif_parser)
     whatif_parser.set_defaults(handler=_cmd_whatif)
+
+    trace_parser = commands.add_parser(
+        "trace",
+        help="generate a seeded synthetic operation trace (JSONL) for a spec",
+    )
+    trace_parser.add_argument("spec", help="advisor spec JSON file")
+    trace_parser.add_argument(
+        "--regime",
+        choices=TRACE_REGIMES,
+        default="edge_drift",
+        help="drift regime of the generated stream (default: edge_drift)",
+    )
+    trace_parser.add_argument(
+        "--events",
+        type=int,
+        default=5000,
+        metavar="N",
+        help="number of events to generate (default 5000)",
+    )
+    trace_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="PRNG seed; identical inputs reproduce identical traces",
+    )
+    trace_parser.add_argument(
+        "--edge-share",
+        type=float,
+        default=0.8,
+        metavar="F",
+        help=(
+            "edge_drift only: fraction of event mass on the last two "
+            "path positions (default 0.8)"
+        ),
+    )
+    trace_parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the JSONL trace here (default: stdout)",
+    )
+    trace_parser.set_defaults(handler=_cmd_trace)
+
+    replay_parser = commands.add_parser(
+        "replay",
+        help=(
+            "replay an operation trace through a windowed, drift-detected "
+            "continuous advisor"
+        ),
+    )
+    replay_parser.add_argument("spec", help="advisor spec JSON file")
+    replay_parser.add_argument(
+        "--trace",
+        required=True,
+        metavar="FILE",
+        help="JSONL operation trace (see the 'trace' subcommand)",
+    )
+    replay_parser.add_argument(
+        "--window",
+        type=int,
+        default=200,
+        metavar="N",
+        help="events per aggregation window (default 200)",
+    )
+    replay_parser.add_argument(
+        "--slide",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "events between window snapshots (default: the window size, "
+            "i.e. tumbling windows; smaller values slide)"
+        ),
+    )
+    replay_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        metavar="X",
+        help="relative workload change that counts as drift (default 0.2)",
+    )
+    replay_parser.add_argument(
+        "--hysteresis",
+        type=int,
+        default=2,
+        metavar="K",
+        help=(
+            "consecutive drifting windows required before a re-advise "
+            "(default 2)"
+        ),
+    )
+    replay_parser.add_argument(
+        "--rate-scale",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="multiplier from per-event window shares to load frequencies",
+    )
+    replay_parser.add_argument(
+        "--track-stats",
+        action="store_true",
+        help=(
+            "fold the cumulative insert/delete balance into the class "
+            "statistics (objects drift with the stream)"
+        ),
+    )
+    replay_parser.add_argument(
+        "--strategy",
+        choices=available_strategies(),
+        default=DEFAULT_SESSION_STRATEGY,
+        help=(
+            "search strategy for every re-advise (default: the "
+            "incremental dynamic program)"
+        ),
+    )
+    replay_parser.add_argument(
+        "--noindex",
+        action="store_true",
+        help="also consider leaving subpaths unindexed",
+    )
+    replay_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    _add_workers_argument(replay_parser)
+    replay_parser.set_defaults(handler=_cmd_replay)
 
     example_parser = commands.add_parser(
         "example", help="print a template spec (the paper's Figure 7)"

@@ -47,7 +47,10 @@ For what-if loops, :func:`optimize_multipath` also accepts one
 come from the sessions' incremental recomputes, and each path's candidate
 set — including its per-:class:`SharedIndexKey` maintenance and storage
 pricing — is cached on the session and regenerated only when that path's
-dirty version moved.
+dirty version moved. A caller-owned ``joint_cache`` extends the reuse to
+the joint stage itself: in the descent regime the previously selected
+configurations are kept (re-priced, multi-start descent skipped) while
+they remain a local optimum of the regenerated candidate sets.
 """
 
 from __future__ import annotations
@@ -460,6 +463,59 @@ def _descend(
     return selection
 
 
+def _reuse_joint_selection(
+    joint_cache: dict,
+    cache_key: tuple,
+    candidate_sets: list[list[_Candidate]],
+) -> list[_Candidate] | None:
+    """The cached joint selection re-validated against fresh candidates.
+
+    Maps the previously selected configurations into the regenerated
+    candidate sets (their pricing may have moved with the perturbed
+    matrices) and scans for a single improving single-path swap — the
+    same improvement predicate as the coordinate descent, stopping at
+    the first hit. When no swap improves, the cached selection is still
+    a local optimum of the updated sharing landscape: the mapped
+    selection is returned, the caller skips the multi-start descent
+    entirely, and the ``reuses`` counter records it so tests can assert
+    the reuse happened rather than timing it. Any other outcome
+    (options changed, a selected configuration fell out of its
+    candidate set, a swap improved) returns ``None`` after at most one
+    partial sweep and the full joint stage runs.
+    """
+    entry = joint_cache.get("entry")
+    if entry is None or entry[0] != cache_key:
+        return None
+    previous: list[IndexConfiguration] = entry[1]
+    if len(previous) != len(candidate_sets):
+        return None
+    mapped: list[_Candidate] = []
+    for configuration, candidates in zip(previous, candidate_sets):
+        match = next(
+            (
+                candidate
+                for candidate in candidates
+                if candidate.configuration == configuration
+            ),
+            None,
+        )
+        if match is None:
+            return None
+        mapped.append(match)
+    current_cost, _ = _joint_cost(tuple(mapped))
+    for index, candidates in enumerate(candidate_sets):
+        for candidate in candidates:
+            if candidate is mapped[index]:
+                continue
+            trial = list(mapped)
+            trial[index] = candidate
+            cost, _ = _joint_cost(tuple(trial))
+            if cost < current_cost - 1e-12:
+                return None
+    joint_cache["reuses"] = joint_cache.get("reuses", 0) + 1
+    return mapped
+
+
 def _select_unconstrained(
     candidate_sets: list[list[_Candidate]],
     restarts: int = DEFAULT_RESTARTS,
@@ -653,6 +709,7 @@ def optimize_multipath(
     restarts: int = DEFAULT_RESTARTS,
     seed: int = 0,
     sessions: list | None = None,
+    joint_cache: dict | None = None,
 ) -> MultiPathResult:
     """Jointly select configurations for several related paths.
 
@@ -714,6 +771,18 @@ def optimize_multipath(
         re-prices their :class:`SharedIndexKey` maintenance/storage
         splits) only for the paths it actually touched; untouched paths
         reuse theirs as-is.
+    joint_cache:
+        A caller-owned dict carrying joint-selection reuse state across
+        calls (:class:`~repro.whatif.MultiPathSession` passes its own).
+        In the unbudgeted *descent* regime (cross product beyond the
+        exact limit) the previously selected configurations are mapped
+        into the fresh candidate sets and kept — multi-start descent
+        skipped, ``joint_cache["reuses"]`` incremented — whenever they
+        are still a local optimum, i.e. when only candidates *outside*
+        the selection changed enough to matter; the result is re-priced
+        against the current matrices either way. Exact joint searches
+        and budgeted selections ignore the cache (their answers come
+        from exhaustive scans that cannot be partially reused).
     """
     if sessions is not None:
         if workloads is not None or matrices is not None:
@@ -780,9 +849,33 @@ def optimize_multipath(
         independent += min(candidate.total for candidate in candidates)
 
     if budget_pages is None:
+        combinations = 1
+        for candidates in candidate_sets:
+            combinations *= len(candidates)
+        descent_regime = combinations > _EXACT_LIMIT
+        cache_key = (per_row_organizations, beam_width, restarts, seed)
+        if joint_cache is not None and descent_regime:
+            reused = _reuse_joint_selection(
+                joint_cache, cache_key, candidate_sets
+            )
+            if reused is not None:
+                cost, savings = _joint_cost(tuple(reused))
+                return MultiPathResult(
+                    configurations=[c.configuration for c in reused],
+                    total_cost=cost,
+                    shared_savings=savings,
+                    independent_cost=independent,
+                    exact=False,
+                    storage_pages=_joint_storage(tuple(reused)),
+                )
         selection, product_exact = _select_unconstrained(
             candidate_sets, restarts, seed
         )
+        if joint_cache is not None and descent_regime:
+            joint_cache["entry"] = (
+                cache_key,
+                [candidate.configuration for candidate in selection],
+            )
         cost, savings = _joint_cost(tuple(selection))
         return MultiPathResult(
             configurations=[c.configuration for c in selection],

@@ -277,13 +277,34 @@ class NIXCostModel(SubpathCostModel):
             narp_total += narp
         retrieval = 0.0
         if parents_total > 0 and not self._auxiliary.empty:
-            leaf = self._auxiliary.levels[0]
-            sa1 = npa(min(parents_total, leaf.records), leaf.records, leaf.pages)
-            if self._auxiliary.oversized:
-                sa2 = narp_total
-            else:
-                sa2 = npa(min(narp_total, leaf.records), leaf.records, leaf.pages)
-            retrieval = min(sa1, sa2)
+            # The SA1/SA2 Yao retrievals over the auxiliary leaf profile
+            # are pure functions of (shape, parents_total, narp_total),
+            # and the chain totals repeat across every hierarchy member
+            # of a position and across load-only recomputes — so the
+            # min(SA1, SA2) choice is tabulated in the statistics-owned
+            # memo alongside the other evaluation caches (tag 42).
+            retrieval_key = (
+                (42, auxiliary_id, parents_total, narp_total)
+                if cache is not None
+                else None
+            )
+            retrieval = (
+                cache.get(retrieval_key) if retrieval_key is not None else None
+            )
+            if retrieval is None:
+                leaf = auxiliary.levels[0]
+                sa1 = npa(
+                    min(parents_total, leaf.records), leaf.records, leaf.pages
+                )
+                if auxiliary.oversized:
+                    sa2 = narp_total
+                else:
+                    sa2 = npa(
+                        min(narp_total, leaf.records), leaf.records, leaf.pages
+                    )
+                retrieval = min(sa1, sa2)
+                if retrieval_key is not None:
+                    cache[retrieval_key] = retrieval
         return csd2 + cs3a + cu3bc + retrieval
 
     def cmd_cost(self) -> float:

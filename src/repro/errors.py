@@ -42,3 +42,7 @@ class WorkloadError(ReproError):
 
 class OptimizerError(ReproError):
     """The configuration optimizer was given inconsistent inputs."""
+
+
+class TraceError(ReproError):
+    """An operation trace is malformed (bad event, unreadable JSONL, ...)."""

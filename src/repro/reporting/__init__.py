@@ -4,6 +4,7 @@ from repro.reporting.tables import (
     ascii_table,
     comparison_table,
     multipath_table,
+    replay_table,
     strategy_comparison_table,
     whatif_table,
 )
@@ -12,6 +13,7 @@ __all__ = [
     "ascii_table",
     "comparison_table",
     "multipath_table",
+    "replay_table",
     "strategy_comparison_table",
     "whatif_table",
 ]

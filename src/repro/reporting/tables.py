@@ -11,6 +11,7 @@ from typing import TYPE_CHECKING, Sequence
 if TYPE_CHECKING:
     from repro.core.multipath import MultiPathResult
     from repro.search import SearchResult
+    from repro.trace import ReplayStep
     from repro.whatif import WhatIfStep
 
 
@@ -157,6 +158,83 @@ def whatif_table(
         previous_cost = step.cost
     return ascii_table(
         ["step", "dirty rows", "cost", "delta", "configuration"],
+        rows,
+        title=title,
+    )
+
+
+def replay_table(
+    path: object,
+    steps: Sequence["ReplayStep"],
+    title: str | None = None,
+) -> str:
+    """Timeline of a trace replay's re-advise points.
+
+    One row per :class:`~repro.trace.ReplayStep`: where the step came
+    from (baseline, triggering window, or the end-of-trace flush), the
+    events consumed so far, the drift signal that fired, the batch size
+    handed to ``apply_many`` with the matrix work it caused, the
+    resulting cost and its delta — and the recommended configuration,
+    printed only when it changed, so long replays surface the actual
+    re-indexing points at a glance.
+    """
+    rows: list[list[object]] = []
+    previous_cost: float | None = None
+    for step in steps:
+        if step.window is not None:
+            origin = f"window {step.window}"
+        elif step.forced:
+            origin = "flush"
+        else:
+            origin = "baseline"
+        if step.report is None:
+            work = "-"
+        elif step.report.mode == "full":
+            work = f"full ({step.report.total_rows} rows)"
+        else:
+            work = (
+                f"{len(step.report.recomputed_rows)}"
+                f"+{len(step.report.patched_rows)}p"
+                f"/{step.report.total_rows}"
+            )
+        delta = "" if previous_cost is None else f"{step.cost - previous_cost:+.2f}"
+        configuration = (
+            step.result.configuration.render(path)
+            if step.report is None or step.configuration_changed
+            else "(unchanged)"
+        )
+        if step.report is None:
+            drift = "-"
+        elif step.change > 9.995:
+            # A frequency appearing from (near) zero registers as a huge
+            # but uninformative relative change; cap the display.
+            drift = ">999%"
+        else:
+            drift = f"{step.change:.0%}"
+        rows.append(
+            [
+                origin,
+                step.events_seen,
+                drift,
+                step.perturbations if step.report is not None else "-",
+                work,
+                f"{step.cost:.2f}",
+                delta,
+                configuration,
+            ]
+        )
+        previous_cost = step.cost
+    return ascii_table(
+        [
+            "step",
+            "events",
+            "drift",
+            "batch",
+            "dirty rows",
+            "cost",
+            "delta",
+            "configuration",
+        ],
         rows,
         title=title,
     )

@@ -1,0 +1,67 @@
+"""Continuous trace-driven advising (the ``repro.trace`` subsystem).
+
+Every layer below this one is incremental — matrix recomputes report
+exact dirty sets, the dynamic program refines in place, multi-path
+candidate sets cache per session — but all of it still expected a
+hand-authored workload. This package supplies the missing front door:
+the advisor as a *consumer of operation streams*, the way production
+index managers work.
+
+The pipeline, stage by stage:
+
+* :class:`TraceEvent` + JSONL I/O (:func:`read_trace` /
+  :func:`write_trace`) — the raw stream: queries, insertions and
+  deletions on the path's scope classes, timestamped;
+* :func:`generate_trace` — seeded synthetic streams in four regimes
+  (:data:`TRACE_REGIMES`: stationary, edge-drift, mixed-drift, bursty);
+* :class:`WindowAggregator` — count-based sliding/tumbling windows
+  folding events into :class:`~repro.workload.load.LoadDistribution`
+  estimates (and optional statistics drift);
+* :class:`DriftDetector` — relative-change thresholds with hysteresis,
+  deciding *when* a re-advise is warranted;
+* :class:`ContinuousAdvisor` — drives an incremental
+  :class:`~repro.whatif.AdvisorSession` through batched
+  :meth:`~repro.whatif.AdvisorSession.apply_many` deltas and emits the
+  :class:`ReplayStep` timeline of recommendation changes.
+
+Quickstart::
+
+    from repro.trace import ContinuousAdvisor, generate_trace
+
+    trace = generate_trace(stats.path, "edge_drift", events=5000, seed=7)
+    advisor = ContinuousAdvisor(stats, load, window=200, threshold=0.3)
+    advisor.replay(trace)
+    for step in advisor.steps:
+        print(step.describe())
+
+The CLI front ends are ``python -m repro trace`` (generate a JSONL
+stream) and ``python -m repro replay`` (drive a spec through one).
+"""
+
+from repro.trace.continuous import ContinuousAdvisor, ReplayStep
+from repro.trace.drift import DriftDecision, DriftDetector
+from repro.trace.events import (
+    EVENT_KINDS,
+    TraceEvent,
+    iter_trace,
+    read_trace,
+    write_trace,
+)
+from repro.trace.generate import TRACE_REGIMES, generate_trace
+from repro.trace.window import WindowAggregator, WindowSnapshot
+
+__all__ = [
+    "ContinuousAdvisor",
+    "DriftDecision",
+    "DriftDetector",
+    "EVENT_KINDS",
+    "ReplayStep",
+    "TRACE_REGIMES",
+    "TraceEvent",
+    "WindowAggregator",
+    "WindowSnapshot",
+    "generate_trace",
+    "iter_trace",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,256 @@
+"""Continuous trace-driven advising: stream in, recommendations out.
+
+:class:`ContinuousAdvisor` is the front door the pipeline lacked: it
+consumes a raw operation stream (:class:`~repro.trace.events.TraceEvent`
+by :class:`~repro.trace.events.TraceEvent`), folds it into windowed
+workload estimates (:class:`~repro.trace.window.WindowAggregator`),
+decides when the drift is real
+(:class:`~repro.trace.drift.DriftDetector`), and only then disturbs the
+incremental :class:`~repro.whatif.AdvisorSession` — handing it the
+*accumulated* delta as one batch through
+:meth:`~repro.whatif.AdvisorSession.apply_many`, so a burst of drifting
+windows costs one dirty-set-union recompute and one search refinement,
+not one per event or even one per window.
+
+The guarantee carried over from ``repro.whatif``: at every re-advise
+point the emitted :class:`ReplayStep` result is bit-identical to a
+from-scratch ``advise()`` over the session's current inputs (the
+Hypothesis property in ``tests/test_trace_replay.py`` pins it). Held
+windows change nothing at all — the pending delta is recomputed against
+the session state at each window, so skipping windows never loses
+information, it only defers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.cost_matrix import RecomputeReport
+from repro.costmodel.params import PathStatistics
+from repro.search import SearchResult
+from repro.trace.drift import DriftDecision, DriftDetector
+from repro.trace.events import TraceEvent
+from repro.trace.window import WindowAggregator
+from repro.whatif import AdvisorSession, Perturbation
+from repro.whatif.perturbation import perturbations_between
+from repro.workload.load import LoadDistribution
+
+
+@dataclass(frozen=True)
+class ReplayStep:
+    """One re-advise point of the replay timeline.
+
+    ``index`` 0 is the baseline recommendation before any event;
+    ``window`` is the aggregator window that triggered the step
+    (``None`` for the baseline and for a forced :meth:`~ContinuousAdvisor.flush`);
+    ``perturbations`` is the size of the batch handed to
+    :meth:`~repro.whatif.AdvisorSession.apply_many`; ``report`` is that
+    batch's single :class:`~repro.core.cost_matrix.RecomputeReport`.
+    """
+
+    index: int
+    window: int | None
+    events_seen: int
+    change: float
+    perturbations: int
+    report: RecomputeReport | None
+    result: SearchResult
+    configuration_changed: bool
+    forced: bool = False
+
+    @property
+    def cost(self) -> float:
+        """The recommended configuration's processing cost at this point."""
+        return self.result.cost
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        origin = (
+            "baseline"
+            if self.window is None and not self.forced
+            else ("final flush" if self.forced else f"window {self.window}")
+        )
+        changed = "changed" if self.configuration_changed else "unchanged"
+        return (
+            f"step {self.index} ({origin}, {self.events_seen} events): "
+            f"cost {self.cost:.2f}, configuration {changed}"
+        )
+
+
+class ContinuousAdvisor:
+    """Drive an incremental advisor session from an operation stream.
+
+    Parameters
+    ----------
+    stats / load:
+        The baseline inputs (the load is the advisor's initial workload
+        model; the stream's windowed estimates drift away from it).
+    window / slide / rate_scale / track_statistics:
+        Windowing knobs, see :class:`~repro.trace.window.WindowAggregator`.
+    threshold / hysteresis:
+        Drift knobs, see :class:`~repro.trace.drift.DriftDetector`.
+    session_options:
+        Forwarded to :class:`~repro.whatif.AdvisorSession` (``strategy``,
+        ``organizations``, ``include_noindex``, ``workers``, ...).
+    """
+
+    def __init__(
+        self,
+        stats: PathStatistics,
+        load: LoadDistribution,
+        *,
+        window: int,
+        slide: int | None = None,
+        rate_scale: float = 1.0,
+        track_statistics: bool = False,
+        threshold: float = 0.2,
+        hysteresis: int = 2,
+        **session_options,
+    ) -> None:
+        self.session = AdvisorSession(stats, load, **session_options)
+        self.aggregator = WindowAggregator(
+            stats,
+            window,
+            slide=slide,
+            rate_scale=rate_scale,
+            track_statistics=track_statistics,
+        )
+        self.detector = DriftDetector(threshold=threshold, hysteresis=hysteresis)
+        self.detector.reset(load, stats if track_statistics else None)
+        baseline = self.session.advise()
+        #: The replay timeline: one :class:`ReplayStep` per re-advise.
+        self.steps: list[ReplayStep] = [
+            ReplayStep(
+                index=0,
+                window=None,
+                events_seen=0,
+                change=0.0,
+                perturbations=0,
+                report=None,
+                result=baseline,
+                configuration_changed=False,
+            )
+        ]
+        #: Windows observed without firing (the thrash the detector saved).
+        self.windows_held = 0
+        self._pending: list[Perturbation] = []
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    def push(self, event: TraceEvent) -> ReplayStep | None:
+        """Consume one event; returns a step when it caused a re-advise."""
+        snapshot = self.aggregator.push(event)
+        if snapshot is None:
+            return None
+        decision = self.detector.observe(
+            snapshot.load,
+            snapshot.stats if self.aggregator.track_statistics else None,
+        )
+        # The pending batch always describes "session state -> newest
+        # window" as absolute set-deltas, so it subsumes every held
+        # window before it; holding defers work, never drops it.
+        self._pending = perturbations_between(
+            self.session.stats, self.session.load, snapshot.stats, snapshot.load
+        )
+        if not decision.fired:
+            self.windows_held += 1
+            return None
+        return self._readvise(snapshot.index, decision, forced=False)
+
+    def process(self, events: Iterable[TraceEvent]) -> list[ReplayStep]:
+        """Consume a whole event sequence; returns the new re-advise steps."""
+        steps: list[ReplayStep] = []
+        for event in events:
+            step = self.push(event)
+            if step is not None:
+                steps.append(step)
+        return steps
+
+    def replay(
+        self, events: Iterable[TraceEvent], *, flush: bool = True
+    ) -> list[ReplayStep]:
+        """Full-trace convenience: baseline + :meth:`process` + :meth:`flush`.
+
+        Returns the complete timeline including the baseline step.
+        """
+        self.process(events)
+        if flush:
+            self.flush()
+        return self.steps
+
+    def flush(self) -> ReplayStep | None:
+        """Apply any pending (held) delta now, detector notwithstanding.
+
+        The end-of-trace step: windows the detector held back still
+        carry the newest workload estimate; flushing folds it in so the
+        final recommendation reflects everything the stream said.
+        Returns ``None`` when nothing is pending.
+        """
+        if not self._pending:
+            return None
+        step = self._readvise(None, None, forced=True)
+        self.detector.reset(
+            self.session.load,
+            self.session.stats if self.aggregator.track_statistics else None,
+        )
+        return step
+
+    # ------------------------------------------------------------------
+    # re-advising
+    # ------------------------------------------------------------------
+    def _readvise(
+        self,
+        window: int | None,
+        decision: DriftDecision | None,
+        forced: bool,
+    ) -> ReplayStep | None:
+        if not self._pending:
+            # A fired decision with an empty delta cannot happen (firing
+            # requires a component difference), but guard the seam.
+            return None
+        batch = self._pending
+        self._pending = []
+        report = self.session.apply_many(batch)
+        result = self.session.advise()
+        previous = self.steps[-1].result.configuration
+        step = ReplayStep(
+            index=len(self.steps),
+            window=window,
+            events_seen=self.aggregator.events_seen,
+            change=decision.change if decision is not None else 0.0,
+            perturbations=len(batch),
+            report=report,
+            result=result,
+            configuration_changed=result.configuration != previous,
+            forced=forced,
+        )
+        self.steps.append(step)
+        return step
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def events_seen(self) -> int:
+        """Total events consumed."""
+        return self.aggregator.events_seen
+
+    @property
+    def windows_seen(self) -> int:
+        """Windows the aggregator completed."""
+        return self.aggregator.windows_emitted
+
+    @property
+    def readvise_count(self) -> int:
+        """Re-advise points so far (baseline excluded)."""
+        return len(self.steps) - 1
+
+    def describe(self) -> str:
+        """One-line replay summary."""
+        return (
+            f"{self.events_seen} events, {self.windows_seen} windows "
+            f"({self.windows_held} held), {self.readvise_count} re-advises, "
+            f"current cost {self.steps[-1].cost:.2f}"
+        )

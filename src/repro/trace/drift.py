@@ -1,0 +1,154 @@
+"""Workload-drift detection with hysteresis.
+
+Re-running the advisor on every window would thrash: sampling noise
+alone perturbs the windowed frequency estimates, and every re-advise
+costs a (dirty-set-sized) matrix recompute plus a search refinement. A
+:class:`DriftDetector` decides *when* the drift is real:
+
+* **relative change** — each observed window is compared component by
+  component (per class: query/insert/delete frequencies, and optionally
+  the tracked statistics fields) against the *reference* inputs captured
+  at the last re-advise; the signal is the maximum relative change,
+  ``|new - ref| / max(|ref|, floor)``;
+* **hysteresis** — the signal must exceed ``threshold`` for
+  ``hysteresis`` *consecutive* windows before the detector fires, so a
+  single noisy window cannot trigger a re-advise;
+* **reset on fire** — firing adopts the current inputs as the new
+  reference, so subsequent changes are measured against what the advisor
+  actually knows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.params import PathStatistics
+from repro.errors import TraceError
+from repro.workload.load import LoadDistribution
+
+#: Relative changes against a reference below this floor are measured
+#: against the floor instead, so a frequency appearing out of nowhere
+#: (reference 0) registers as a large but finite change.
+DEFAULT_CHANGE_FLOOR = 1e-9
+
+
+@dataclass(frozen=True)
+class DriftDecision:
+    """Outcome of one window observation."""
+
+    fired: bool
+    change: float
+    streak: int
+    trigger: str | None = None
+
+    def describe(self) -> str:
+        """One-line summary for logs and tables."""
+        state = "re-advise" if self.fired else f"hold (streak {self.streak})"
+        trigger = f" via {self.trigger}" if self.trigger else ""
+        return f"{state}: max change {self.change:.1%}{trigger}"
+
+
+class DriftDetector:
+    """Relative-change drift detection with hysteresis.
+
+    ``threshold`` is the relative change that counts as drift (0.2 =
+    20%); ``hysteresis`` is how many consecutive drifting windows are
+    required before :meth:`observe` fires (1 fires immediately). The
+    reference inputs are set by :meth:`reset` (the advisor's state at
+    the last re-advise) and adopted automatically whenever a decision
+    fires.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.2,
+        hysteresis: int = 2,
+        floor: float = DEFAULT_CHANGE_FLOOR,
+    ) -> None:
+        if not threshold >= 0:
+            raise TraceError(
+                f"drift threshold must be non-negative, got {threshold}"
+            )
+        if hysteresis < 1:
+            raise TraceError(
+                f"hysteresis must be at least 1 window, got {hysteresis}"
+            )
+        if not floor > 0:
+            raise TraceError(f"change floor must be positive, got {floor}")
+        self.threshold = threshold
+        self.hysteresis = hysteresis
+        self.floor = floor
+        self.streak = 0
+        self._reference_load: LoadDistribution | None = None
+        self._reference_stats: PathStatistics | None = None
+
+    def reset(
+        self, load: LoadDistribution, stats: PathStatistics | None = None
+    ) -> None:
+        """Adopt new reference inputs (the advisor's current state)."""
+        self._reference_load = load
+        self._reference_stats = stats
+        self.streak = 0
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def _relative(self, new: float, reference: float) -> float:
+        return abs(new - reference) / max(abs(reference), self.floor)
+
+    def _max_change(
+        self, load: LoadDistribution, stats: PathStatistics | None
+    ) -> tuple[float, str | None]:
+        reference_load = self._reference_load
+        change = 0.0
+        trigger: str | None = None
+        for name, triplet in load.items():
+            reference = reference_load.triplet(name)
+            for component in ("query", "insert", "delete"):
+                value = self._relative(
+                    getattr(triplet, component), getattr(reference, component)
+                )
+                if value > change:
+                    change = value
+                    trigger = f"{name}:{component}"
+        if stats is not None and self._reference_stats is not None:
+            reference_stats = self._reference_stats
+            for position in range(1, stats.length + 1):
+                for member in stats.members(position):
+                    new_stats = stats.stats_of(member)
+                    old_stats = reference_stats.stats_of(member)
+                    for component in ("objects", "distinct", "fanout"):
+                        value = self._relative(
+                            getattr(new_stats, component),
+                            getattr(old_stats, component),
+                        )
+                        if value > change:
+                            change = value
+                            trigger = f"{member}:{component}"
+        return change, trigger
+
+    def observe(
+        self, load: LoadDistribution, stats: PathStatistics | None = None
+    ) -> DriftDecision:
+        """Compare one window against the reference; maybe fire.
+
+        The first observation with no reference set adopts the inputs as
+        the reference and never fires (there is nothing to drift from).
+        """
+        if self._reference_load is None:
+            self.reset(load, stats)
+            return DriftDecision(fired=False, change=0.0, streak=0)
+        change, trigger = self._max_change(load, stats)
+        if change > self.threshold:
+            self.streak += 1
+        else:
+            self.streak = 0
+        if self.streak >= self.hysteresis:
+            decision = DriftDecision(
+                fired=True, change=change, streak=self.streak, trigger=trigger
+            )
+            self.reset(load, stats)
+            return decision
+        return DriftDecision(
+            fired=False, change=change, streak=self.streak, trigger=trigger
+        )

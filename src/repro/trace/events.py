@@ -1,0 +1,130 @@
+"""The operation-stream event model and its JSONL persistence.
+
+A production index manager never sees a hand-authored
+:class:`~repro.workload.load.LoadDistribution`; it sees a *stream* of
+operations — queries against the path's ending attribute with respect to
+some class, and object insertions/deletions on a class — and must mine
+its workload model out of that stream. A :class:`TraceEvent` is one such
+operation: a kind (one of :data:`EVENT_KINDS`, matching the load-triplet
+components ``(α, β, γ)`` of Section 3.2), the scope class it concerns,
+and a timestamp.
+
+Traces are persisted as JSONL (one compact JSON object per line), the
+interchange format the ``python -m repro trace`` / ``replay``
+subcommands read and write. Parsing is strict — an unknown kind, a
+negative or non-finite timestamp, or a malformed line raises
+:class:`~repro.errors.TraceError` with the offending line number — so a
+corrupted trace fails loudly instead of silently skewing the windowed
+workload estimates downstream.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.errors import TraceError
+
+#: Event kinds, aligned with the load-triplet components: a ``query``
+#: against the ending attribute w.r.t. the class, an ``insert`` of an
+#: object of the class, a ``delete`` of an object of the class.
+EVENT_KINDS = ("query", "insert", "delete")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One operation of the stream: kind, scope class, timestamp."""
+
+    timestamp: float
+    kind: str
+    class_name: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise TraceError(
+                f"unknown event kind {self.kind!r} "
+                f"(expected one of {', '.join(EVENT_KINDS)})"
+            )
+        if not isinstance(self.timestamp, (int, float)) or not (
+            0.0 <= float(self.timestamp) < math.inf
+        ):
+            raise TraceError(
+                f"event timestamp must be a finite non-negative number, "
+                f"got {self.timestamp!r}"
+            )
+        if not self.class_name or not isinstance(self.class_name, str):
+            raise TraceError(
+                f"event class name must be a non-empty string, "
+                f"got {self.class_name!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSONL object form accepted by :meth:`from_dict`."""
+        return {"ts": self.timestamp, "kind": self.kind, "class": self.class_name}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "TraceEvent":
+        """Parse one JSONL object: ``{"ts", "kind", "class"}``."""
+        if not isinstance(data, dict):
+            raise TraceError(
+                f"trace event must be an object, got {type(data).__name__}"
+            )
+        unknown = set(data) - {"ts", "kind", "class"}
+        if unknown:
+            raise TraceError(f"unknown trace event keys: {sorted(unknown)}")
+        try:
+            timestamp = data["ts"]
+            kind = data["kind"]
+            class_name = data["class"]
+        except KeyError as error:
+            raise TraceError(
+                f"trace event missing required key {error}"
+            ) from None
+        if isinstance(timestamp, bool) or not isinstance(timestamp, (int, float)):
+            raise TraceError(
+                f"trace event 'ts' must be a number, got {timestamp!r}"
+            )
+        return cls(timestamp=float(timestamp), kind=kind, class_name=class_name)
+
+
+def write_trace(events: Iterable[TraceEvent], path: str | pathlib.Path) -> int:
+    """Write a trace as JSONL; returns the number of events written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_dict(), separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def iter_trace(path: str | pathlib.Path) -> Iterator[TraceEvent]:
+    """Stream the events of a JSONL trace file, strictly validated.
+
+    Blank lines are skipped (a trailing newline is not an event); any
+    other malformed line raises :class:`~repro.errors.TraceError` naming
+    the line number.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as error:
+                raise TraceError(
+                    f"{path}:{number}: invalid JSON: {error.msg}"
+                ) from None
+            try:
+                yield TraceEvent.from_dict(data)
+            except TraceError as error:
+                raise TraceError(f"{path}:{number}: {error}") from None
+
+
+def read_trace(path: str | pathlib.Path) -> list[TraceEvent]:
+    """Load a whole JSONL trace into memory (see :func:`iter_trace`)."""
+    return list(iter_trace(path))

@@ -1,0 +1,184 @@
+"""Seeded synthetic operation-trace generators.
+
+Four workload regimes, each a different answer to "how does a production
+operation stream drift?":
+
+* ``stationary`` — per-(class, kind) event rates drawn once and held for
+  the whole trace; the null hypothesis a drift detector must *not* fire
+  on (beyond sampling noise);
+* ``edge_drift`` — most of the event mass sits on the classes of the
+  last two path positions (ingest-side churn at the leaf of the path,
+  the common production pattern) and *their* rates drift epoch by epoch
+  via a seeded geometric random walk;
+* ``mixed_drift`` — every epoch one uniformly random (class, kind) rate
+  is rescaled, so drift can land anywhere including near the path start
+  (the adversarial shape for incremental recomputation);
+* ``bursty`` — a stationary base interrupted by burst epochs during
+  which one chosen class's rate is multiplied by ``burst_factor``.
+
+All randomness flows through one seeded :class:`random.Random`, so a
+``(path, regime, events, seed)`` tuple always reproduces the same trace
+— the property the replay benchmark and the Hypothesis pinning tests
+rely on. Timestamps advance by seeded exponential gaps, giving a
+Poisson-like arrival process.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import TraceError
+from repro.model.path import Path
+from repro.trace.events import EVENT_KINDS, TraceEvent
+
+#: Registered generator regimes (the ``--regime`` CLI choices).
+TRACE_REGIMES = ("stationary", "edge_drift", "mixed_drift", "bursty")
+
+
+def _class_masses(
+    path: Path, rng: random.Random, edge_share: float | None
+) -> dict[str, float]:
+    """Relative event mass per scope class.
+
+    ``edge_share`` concentrates that fraction of the total mass on the
+    hierarchy members of the last two path positions; ``None`` spreads
+    mass over the whole scope with random proportions.
+    """
+    scope = list(path.scope)
+    raw = {name: rng.random() + 0.05 for name in scope}
+    if edge_share is None:
+        return raw
+    edge_classes = set()
+    for position in range(max(1, path.length - 1), path.length + 1):
+        edge_classes.update(path.hierarchy_at(position))
+    edge_total = sum(raw[name] for name in scope if name in edge_classes)
+    other_total = sum(raw[name] for name in scope if name not in edge_classes)
+    masses = {}
+    for name in scope:
+        if name in edge_classes:
+            masses[name] = edge_share * raw[name] / edge_total
+        elif other_total > 0:
+            masses[name] = (1.0 - edge_share) * raw[name] / other_total
+        else:
+            masses[name] = 0.0
+    return masses
+
+
+def generate_trace(
+    path: Path,
+    regime: str,
+    events: int,
+    seed: int = 0,
+    *,
+    query_weight: float = 2.0,
+    update_weight: float = 1.0,
+    epoch: int | None = None,
+    edge_share: float = 0.8,
+    drift_intensity: float = 0.4,
+    burst_factor: float = 8.0,
+) -> list[TraceEvent]:
+    """A reproducible synthetic operation trace for one path.
+
+    Parameters
+    ----------
+    path:
+        The path whose scope classes the events concern.
+    regime:
+        One of :data:`TRACE_REGIMES`.
+    events:
+        Number of events to generate.
+    seed:
+        PRNG seed; identical inputs yield identical traces.
+    query_weight / update_weight:
+        Relative share of queries vs updates (updates split between
+        inserts and deletes, perturbed per class).
+    epoch:
+        Events per drift epoch (default ``max(1, events // 20)``); the
+        drifting regimes mutate their rates at epoch boundaries.
+    edge_share:
+        ``edge_drift`` only — fraction of the event mass concentrated on
+        the last two path positions (``1.0`` puts everything there,
+        which keeps per-window dirty sets tight).
+    drift_intensity:
+        Magnitude of the per-epoch rate mutations (log-scale spread for
+        the random walks).
+    burst_factor:
+        ``bursty`` only — rate multiplier during burst epochs.
+    """
+    if regime not in TRACE_REGIMES:
+        raise TraceError(
+            f"unknown trace regime {regime!r} "
+            f"(expected one of {', '.join(TRACE_REGIMES)})"
+        )
+    if events < 0:
+        raise TraceError(f"event count must be non-negative, got {events}")
+    if not 0.0 <= edge_share <= 1.0:
+        raise TraceError(f"edge share must be in [0, 1], got {edge_share}")
+    if query_weight < 0 or update_weight < 0 or query_weight + update_weight == 0:
+        raise TraceError(
+            "query/update weights must be non-negative and not both zero"
+        )
+    rng = random.Random(seed)
+    epoch = epoch if epoch is not None else max(1, events // 20)
+    if epoch < 1:
+        raise TraceError(f"epoch length must be positive, got {epoch}")
+
+    masses = _class_masses(
+        path, rng, edge_share if regime == "edge_drift" else None
+    )
+    query_share = query_weight / (query_weight + update_weight)
+    pairs: list[tuple[str, str]] = []
+    weights: list[float] = []
+    for name, mass in masses.items():
+        split = 0.5 * (1.0 + rng.uniform(-0.2, 0.2))
+        pairs.extend((name, kind) for kind in EVENT_KINDS)
+        weights.extend(
+            [
+                mass * query_share,
+                mass * (1.0 - query_share) * split,
+                mass * (1.0 - query_share) * (1.0 - split),
+            ]
+        )
+
+    if not any(weight > 0 for weight in weights):
+        # Reachable via edge_drift with edge_share=0 on a path whose
+        # whole scope is "edge" (length <= 2): nothing can be drawn.
+        raise TraceError(
+            "trace regime parameters leave every event rate at zero "
+            f"({regime!r} with edge_share={edge_share:g} on {path})"
+        )
+
+    edge_classes = set()
+    for position in range(max(1, path.length - 1), path.length + 1):
+        edge_classes.update(path.hierarchy_at(position))
+    burst_target = rng.choice(sorted(path.scope))
+
+    def mutate(epoch_index: int) -> None:
+        if regime == "stationary":
+            return
+        if regime == "edge_drift":
+            # Geometric random walk on the edge classes' rates only.
+            for index, (name, _kind) in enumerate(pairs):
+                if name in edge_classes:
+                    weights[index] *= rng.uniform(
+                        1.0 - drift_intensity, 1.0 + drift_intensity
+                    )
+        elif regime == "mixed_drift":
+            index = rng.randrange(len(pairs))
+            weights[index] *= rng.uniform(0.5, 2.0)
+        elif regime == "bursty":
+            # Odd epochs burst, even epochs restore the calm rates.
+            factor = burst_factor if epoch_index % 2 == 1 else 1.0 / burst_factor
+            for index, (name, _kind) in enumerate(pairs):
+                if name == burst_target:
+                    weights[index] *= factor
+
+    trace: list[TraceEvent] = []
+    timestamp = 0.0
+    for count in range(events):
+        if count and count % epoch == 0:
+            mutate(count // epoch)
+        timestamp += rng.expovariate(1.0)
+        name, kind = rng.choices(pairs, weights=weights, k=1)[0]
+        trace.append(TraceEvent(timestamp=timestamp, kind=kind, class_name=name))
+    return trace

@@ -1,0 +1,206 @@
+"""Windowed aggregation: operation streams → advisor inputs.
+
+A :class:`WindowAggregator` folds a stream of
+:class:`~repro.trace.events.TraceEvent`\\ s into the inputs the advisor
+pipeline consumes: per-window event counts become a
+:class:`~repro.workload.load.LoadDistribution` (frequency = count /
+window size, times ``rate_scale`` — an exact float ratio, so two
+aggregations of the same events are bit-identical), and the cumulative
+insert/delete balance optionally becomes an adjusted
+:class:`~repro.costmodel.params.PathStatistics` (``track_statistics``),
+clamped through the normal validating constructors so a drifting stream
+can never produce inputs the cost model rejects.
+
+Windows are **count-based** (every ``slide`` events the trailing
+``window`` events are summarized), which keeps replay deterministic and
+independent of wall-clock binning: ``slide == window`` gives tumbling
+windows, ``slide < window`` sliding ones.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.costmodel.params import ClassStats, PathStatistics
+from repro.errors import TraceError
+from repro.trace.events import TraceEvent
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """One completed window: its span plus the derived advisor inputs."""
+
+    index: int
+    events: int
+    first_timestamp: float
+    last_timestamp: float
+    load: LoadDistribution
+    stats: PathStatistics
+
+    def describe(self) -> str:
+        """One-line summary for logs and tables."""
+        return (
+            f"window {self.index}: {self.events} events "
+            f"[{self.first_timestamp:.2f}, {self.last_timestamp:.2f}]"
+        )
+
+
+class WindowAggregator:
+    """Folds trace events into per-window ``(load, stats)`` snapshots.
+
+    Parameters
+    ----------
+    stats:
+        The path statistics the stream describes; the path's scope
+        validates event classes, and ``track_statistics`` adjusts a copy
+        per window.
+    window:
+        Events summarized per snapshot.
+    slide:
+        Events between snapshots (default ``window`` — tumbling).
+        Must not exceed ``window``.
+    rate_scale:
+        Multiplier from per-event shares to load frequencies: a class
+        with ``c`` events of one kind in a window gets frequency
+        ``rate_scale * c / window``.
+    track_statistics:
+        When true, the cumulative ``insert - delete`` balance of every
+        class adjusts its ``objects`` count in the emitted statistics
+        (``distinct`` is clamped to stay consistent); when false the
+        original statistics object is passed through untouched.
+    """
+
+    def __init__(
+        self,
+        stats: PathStatistics,
+        window: int,
+        *,
+        slide: int | None = None,
+        rate_scale: float = 1.0,
+        track_statistics: bool = False,
+    ) -> None:
+        if window < 1:
+            raise TraceError(f"window size must be positive, got {window}")
+        slide = window if slide is None else slide
+        if not 1 <= slide <= window:
+            raise TraceError(
+                f"slide must be in 1..window ({window}), got {slide}"
+            )
+        if not rate_scale > 0:
+            raise TraceError(f"rate scale must be positive, got {rate_scale}")
+        self.stats = stats
+        self.path = stats.path
+        self.window = window
+        self.slide = slide
+        self.rate_scale = rate_scale
+        self.track_statistics = track_statistics
+        self._scope = set(self.path.scope)
+        self._events: deque[TraceEvent] = deque(maxlen=window)
+        self._since_emit = 0
+        self._seen = 0
+        self._emitted = 0
+        #: Cumulative insert - delete balance per class (whole stream).
+        self._balance: Counter[str] = Counter()
+
+    @property
+    def events_seen(self) -> int:
+        """Total events pushed so far."""
+        return self._seen
+
+    @property
+    def windows_emitted(self) -> int:
+        """Snapshots produced so far."""
+        return self._emitted
+
+    def push(self, event: TraceEvent) -> WindowSnapshot | None:
+        """Fold one event; returns a snapshot when a window completes.
+
+        The first snapshot is emitted once ``window`` events arrived;
+        subsequent ones every ``slide`` events.
+        """
+        if event.class_name not in self._scope:
+            raise TraceError(
+                f"event class {event.class_name!r} is not in "
+                f"scope({self.path})"
+            )
+        self._events.append(event)
+        self._seen += 1
+        if event.kind == "insert":
+            self._balance[event.class_name] += 1
+        elif event.kind == "delete":
+            self._balance[event.class_name] -= 1
+        self._since_emit += 1
+        if len(self._events) < self.window:
+            return None
+        emit_every = self.window if self._emitted == 0 else self.slide
+        if self._since_emit < emit_every:
+            return None
+        self._since_emit = 0
+        return self._snapshot()
+
+    def feed(self, events: Iterable[TraceEvent]) -> Iterator[WindowSnapshot]:
+        """Push a whole event sequence, yielding completed snapshots."""
+        for event in events:
+            snapshot = self.push(event)
+            if snapshot is not None:
+                yield snapshot
+
+    # ------------------------------------------------------------------
+    # snapshot assembly
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> WindowSnapshot:
+        counts: Counter[tuple[str, str]] = Counter()
+        for event in self._events:
+            counts[(event.class_name, event.kind)] += 1
+        triplets: dict[str, LoadTriplet] = {}
+        for name in self.path.scope:
+            query = counts.get((name, "query"), 0)
+            insert = counts.get((name, "insert"), 0)
+            delete = counts.get((name, "delete"), 0)
+            if query or insert or delete:
+                triplets[name] = LoadTriplet(
+                    query=self.rate_scale * query / self.window,
+                    insert=self.rate_scale * insert / self.window,
+                    delete=self.rate_scale * delete / self.window,
+                )
+        load = LoadDistribution(self.path, triplets)
+        snapshot = WindowSnapshot(
+            index=self._emitted,
+            events=len(self._events),
+            first_timestamp=self._events[0].timestamp,
+            last_timestamp=self._events[-1].timestamp,
+            load=load,
+            stats=self._adjusted_statistics(),
+        )
+        self._emitted += 1
+        return snapshot
+
+    def _adjusted_statistics(self) -> PathStatistics:
+        """Statistics with the cumulative object balance folded in."""
+        if not self.track_statistics or not any(self._balance.values()):
+            return self.stats
+        per_class: dict[str, ClassStats] = {}
+        changed = False
+        for position in range(1, self.stats.length + 1):
+            for member in self.stats.members(position):
+                current = self.stats.stats_of(member)
+                balance = self._balance.get(member, 0)
+                if balance == 0:
+                    per_class[member] = current
+                    continue
+                # Never let a class drop below one object (the advisor's
+                # inputs describe a populated path), and keep distinct
+                # within the validating constructor's bound.
+                objects = max(1.0, current.objects + balance)
+                cap = objects * max(current.fanout, 1.0)
+                distinct = max(1.0, min(current.distinct, cap))
+                per_class[member] = ClassStats(
+                    objects=objects, distinct=distinct, fanout=current.fanout
+                )
+                changed = True
+        if not changed:
+            return self.stats
+        return PathStatistics(self.stats.path, per_class, self.stats.config)

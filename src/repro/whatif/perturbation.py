@@ -193,6 +193,88 @@ class Perturbation:
         }
 
 
+def perturbations_between(
+    old_stats: PathStatistics,
+    old_load: LoadDistribution,
+    new_stats: PathStatistics,
+    new_load: LoadDistribution,
+) -> list[Perturbation]:
+    """The ``set``-mode perturbations turning one input pair into another.
+
+    Compares the two pairs component by component (per scope class:
+    query/insert/delete frequencies and objects/distinct/fanout
+    statistics) and emits one ``set`` perturbation per difference —
+    classes in scope order, per-class component order chosen so every
+    intermediate single-field state passes the validating constructors —
+    so ``apply``-ing the returned list to ``(old_stats, old_load)``
+    reproduces ``(new_stats, new_load)`` value for value.
+    This is how the trace layer turns a windowed workload estimate into
+    a batch for :meth:`~repro.whatif.AdvisorSession.apply_many`. Both
+    pairs must describe the same path.
+    """
+    if str(old_stats.path) != str(new_stats.path):
+        raise OptimizerError(
+            f"cannot diff statistics of different paths "
+            f"({old_stats.path} vs {new_stats.path})"
+        )
+    deltas: list[Perturbation] = []
+    if new_load is not old_load:
+        for name, triplet in new_load.items():
+            old_triplet = old_load.triplet(name)
+            for component in LOAD_COMPONENTS:
+                value = getattr(triplet, component)
+                if value != getattr(old_triplet, component):
+                    deltas.append(
+                        Perturbation(
+                            class_name=name,
+                            component=component,
+                            mode="set",
+                            value=value,
+                        )
+                    )
+    if new_stats is not old_stats:
+        for position in range(1, new_stats.length + 1):
+            for member in new_stats.members(position):
+                current = new_stats.stats_of(member)
+                previous = old_stats.stats_of(member)
+                diffs = {
+                    component: getattr(current, component)
+                    for component in STATS_COMPONENTS
+                    if getattr(current, component) != getattr(previous, component)
+                }
+                if not diffs:
+                    continue
+                # Each set replaces one field through the validating
+                # ClassStats constructor, so the emission order must keep
+                # every intermediate state legal: grow the capacity bound
+                # (fanout, objects) first, move distinct while capacity
+                # is maximal, shrink capacity last.
+                order = [
+                    component
+                    for component in ("fanout", "objects")
+                    if component in diffs
+                    and diffs[component] > getattr(previous, component)
+                ]
+                if "distinct" in diffs:
+                    order.append("distinct")
+                order.extend(
+                    component
+                    for component in ("objects", "fanout")
+                    if component in diffs
+                    and diffs[component] < getattr(previous, component)
+                )
+                deltas.extend(
+                    Perturbation(
+                        class_name=member,
+                        component=component,
+                        mode="set",
+                        value=diffs[component],
+                    )
+                    for component in order
+                )
+    return deltas
+
+
 def parse_steps(document: Any) -> list[Perturbation]:
     """Parse a perturbation-sequence document (the CLI ``--steps`` file).
 

@@ -121,6 +121,8 @@ class AdvisorSession:
         #: :func:`~repro.core.multipath.optimize_multipath` (sessions=).
         self.candidate_cache: dict = {}
         self.applied_steps = 0
+        #: Number of :meth:`apply_many` batches folded so far.
+        self.batched_steps = 0
         self._pending: set[tuple[int, int]] = set()
         self._pending_full = False
         self._result: SearchResult | None = None
@@ -174,6 +176,37 @@ class AdvisorSession:
         return self.apply(
             stats=None if new_stats is self.stats else new_stats,
             load=None if new_load is self.load else new_load,
+        )
+
+    def apply_many(
+        self,
+        perturbations: list[Perturbation],
+        *,
+        workers: int | None = None,
+    ) -> RecomputeReport:
+        """Apply a whole perturbation batch with **one** matrix recompute.
+
+        The perturbations are folded into a single ``(stats, load)``
+        delta first, so the recompute's dirty analysis sees the *union*
+        of their row reaches and prices every touched row exactly once —
+        a bursty drift stream pays one array assembly and one search
+        refinement per batch instead of one per event. The resulting
+        session state (and therefore every subsequent :meth:`advise`)
+        is bit-identical to applying the same perturbations one by one.
+        """
+        items = list(perturbations)
+        if not items:
+            raise OptimizerError(
+                "apply_many requires at least one perturbation"
+            )
+        stats, load = self.stats, self.load
+        for perturbation in items:
+            stats, load = perturbation.apply(stats, load)
+        self.batched_steps += 1
+        return self.apply(
+            stats=None if stats is self.stats else stats,
+            load=None if load is self.load else load,
+            workers=workers,
         )
 
     # ------------------------------------------------------------------
@@ -258,6 +291,10 @@ class MultiPathSession:
             raise OptimizerError("at least one session is required")
         self.sessions = list(sessions)
         self._last: tuple[tuple, tuple[int, ...], MultiPathResult] | None = None
+        # Joint-selection reuse state shared with optimize_multipath: the
+        # last descent-regime selection plus the "reuses" counter that
+        # tests assert on (see optimize_multipath's joint_cache=).
+        self._joint_cache: dict = {}
 
     @classmethod
     def from_workloads(
@@ -284,12 +321,50 @@ class MultiPathSession:
         """Apply one declarative perturbation to path ``index``."""
         return self.sessions[index].perturb(perturbation)
 
+    def apply_many(
+        self, perturbations: dict[int, list[Perturbation]]
+    ) -> dict[int, RecomputeReport]:
+        """Batched perturbations per path, one recompute per touched path.
+
+        ``perturbations`` maps path indexes to perturbation batches; each
+        batch goes through the path session's
+        :meth:`AdvisorSession.apply_many` (one dirty-set-union recompute
+        per path), and untouched paths do no work at all.
+        """
+        reports: dict[int, RecomputeReport] = {}
+        for index, batch in perturbations.items():
+            if not 0 <= index < len(self.sessions):
+                raise OptimizerError(
+                    f"path index {index} out of range for "
+                    f"{len(self.sessions)} sessions"
+                )
+            reports[index] = self.sessions[index].apply_many(batch)
+        return reports
+
+    @property
+    def joint_reuses(self) -> int:
+        """How many :meth:`optimize` calls reused the cached joint selection.
+
+        Counts the descent-regime answers where the previously selected
+        configurations were still a local optimum of the regenerated
+        candidate sets, so the multi-start coordinate descent was skipped
+        entirely (see :func:`~repro.core.multipath.optimize_multipath`'s
+        ``joint_cache``). The incrementality assertion for tests — a
+        counter, not a timing.
+        """
+        return self._joint_cache.get("reuses", 0)
+
     def optimize(self, **options) -> MultiPathResult:
         """Joint selection over the current inputs of every path.
 
         Keyword options are forwarded to
         :func:`~repro.core.multipath.optimize_multipath` (``beam_width``,
-        ``budget_pages``, ``restarts``, ...).
+        ``budget_pages``, ``restarts``, ...). Two layers of reuse apply:
+        identical questions (same options, no session version moved)
+        return the cached :class:`MultiPathResult` outright, and
+        descent-regime joint selections are reused — re-priced against
+        the fresh candidate sets — when they remain locally optimal
+        (:attr:`joint_reuses` counts those).
         """
         key = tuple(sorted(options.items()))
         versions = tuple(session.version for session in self.sessions)
@@ -297,6 +372,8 @@ class MultiPathSession:
             last_key, last_versions, last_result = self._last
             if last_key == key and last_versions == versions:
                 return last_result
-        result = optimize_multipath(sessions=self.sessions, **options)
+        result = optimize_multipath(
+            sessions=self.sessions, joint_cache=self._joint_cache, **options
+        )
         self._last = (key, versions, result)
         return result

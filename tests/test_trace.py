@@ -1,0 +1,355 @@
+"""Tests for the ``repro.trace`` building blocks (PR 5).
+
+Covers the event model and its strict JSONL persistence, the seeded
+trace generators (determinism, regime shapes), the count-based window
+aggregation (exact frequency arithmetic, sliding vs tumbling emission,
+statistics tracking) and the hysteresis drift detector.
+"""
+
+import pytest
+
+from repro.costmodel.params import ClassStats, PathStatistics
+from repro.errors import TraceError
+from repro.synth import LevelSpec, linear_path_schema
+from repro.trace import (
+    EVENT_KINDS,
+    TRACE_REGIMES,
+    DriftDetector,
+    TraceEvent,
+    WindowAggregator,
+    generate_trace,
+    read_trace,
+    write_trace,
+)
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+
+def make_world(length=5, subclasses=(0, 1, 0, 0, 0), objects=20_000):
+    levels = [
+        LevelSpec(f"L{i}", subclasses=subclasses[i % len(subclasses)])
+        for i in range(length)
+    ]
+    _schema, path = linear_path_schema(levels)
+    per_class = {}
+    remaining = objects
+    for position in range(1, length + 1):
+        for member in path.hierarchy_at(position):
+            per_class[member] = ClassStats(
+                objects=remaining, distinct=max(10, remaining // 6), fanout=1.0
+            )
+        remaining = max(50, remaining // 5)
+    stats = PathStatistics(path, per_class)
+    load = LoadDistribution.uniform(path, query=0.3, insert=0.1, delete=0.05)
+    return stats, load
+
+
+class TestTraceEvent:
+    def test_valid_event(self):
+        event = TraceEvent(timestamp=1.5, kind="query", class_name="A")
+        assert event.to_dict() == {"ts": 1.5, "kind": "query", "class": "A"}
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(TraceError, match="kind"):
+            TraceEvent(timestamp=0.0, kind="update", class_name="A")
+
+    def test_rejects_bad_timestamp(self):
+        for timestamp in (-1.0, float("inf"), float("nan")):
+            with pytest.raises(TraceError, match="timestamp"):
+                TraceEvent(timestamp=timestamp, kind="query", class_name="A")
+
+    def test_rejects_empty_class(self):
+        with pytest.raises(TraceError, match="class name"):
+            TraceEvent(timestamp=0.0, kind="query", class_name="")
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(TraceError, match="object"):
+            TraceEvent.from_dict([1, 2])
+        with pytest.raises(TraceError, match="unknown"):
+            TraceEvent.from_dict(
+                {"ts": 0, "kind": "query", "class": "A", "extra": 1}
+            )
+        with pytest.raises(TraceError, match="missing"):
+            TraceEvent.from_dict({"ts": 0, "kind": "query"})
+        with pytest.raises(TraceError, match="number"):
+            TraceEvent.from_dict({"ts": "soon", "kind": "query", "class": "A"})
+        with pytest.raises(TraceError, match="number"):
+            TraceEvent.from_dict({"ts": True, "kind": "query", "class": "A"})
+
+
+class TestTraceJsonl:
+    def test_round_trip(self, tmp_path):
+        events = [
+            TraceEvent(timestamp=float(i), kind=EVENT_KINDS[i % 3], class_name="A")
+            for i in range(10)
+        ]
+        target = tmp_path / "trace.jsonl"
+        assert write_trace(events, target) == 10
+        assert read_trace(target) == events
+
+    def test_blank_lines_skipped(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        target.write_text(
+            '{"ts":0,"kind":"query","class":"A"}\n\n'
+            '{"ts":1,"kind":"insert","class":"B"}\n',
+            encoding="utf-8",
+        )
+        assert len(read_trace(target)) == 2
+
+    def test_malformed_line_names_line_number(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        target.write_text(
+            '{"ts":0,"kind":"query","class":"A"}\nnot json\n', encoding="utf-8"
+        )
+        with pytest.raises(TraceError, match=":2:"):
+            read_trace(target)
+
+    def test_invalid_event_names_line_number(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        target.write_text(
+            '{"ts":0,"kind":"nope","class":"A"}\n', encoding="utf-8"
+        )
+        with pytest.raises(TraceError, match=":1:"):
+            read_trace(target)
+
+
+class TestGenerators:
+    def test_deterministic_under_seed(self):
+        stats, _load = make_world()
+        for regime in TRACE_REGIMES:
+            first = generate_trace(stats.path, regime, 300, seed=7)
+            second = generate_trace(stats.path, regime, 300, seed=7)
+            assert first == second, regime
+            different = generate_trace(stats.path, regime, 300, seed=8)
+            assert first != different, regime
+
+    def test_events_valid_and_timestamps_increase(self):
+        stats, _load = make_world()
+        scope = set(stats.path.scope)
+        for regime in TRACE_REGIMES:
+            trace = generate_trace(stats.path, regime, 200, seed=3)
+            assert len(trace) == 200
+            previous = 0.0
+            for event in trace:
+                assert event.class_name in scope
+                assert event.kind in EVENT_KINDS
+                assert event.timestamp > previous
+                previous = event.timestamp
+
+    def test_edge_share_concentrates_mass(self):
+        stats, _load = make_world()
+        path = stats.path
+        edge = set()
+        for position in (path.length - 1, path.length):
+            edge.update(path.hierarchy_at(position))
+        trace = generate_trace(
+            path, "edge_drift", 500, seed=1, edge_share=1.0
+        )
+        assert all(event.class_name in edge for event in trace)
+
+    def test_rejects_bad_inputs(self):
+        stats, _load = make_world()
+        with pytest.raises(TraceError, match="regime"):
+            generate_trace(stats.path, "chaotic", 10)
+        with pytest.raises(TraceError, match="non-negative"):
+            generate_trace(stats.path, "stationary", -1)
+        with pytest.raises(TraceError, match="edge share"):
+            generate_trace(stats.path, "edge_drift", 10, edge_share=1.5)
+        with pytest.raises(TraceError, match="weights"):
+            generate_trace(
+                stats.path, "stationary", 10, query_weight=0, update_weight=0
+            )
+
+    def test_all_zero_rates_rejected_not_crashed(self):
+        # edge_share=0 on a path whose whole scope is "edge" (length 2)
+        # zeroes every rate; that must be a TraceError, not a raw
+        # ValueError out of random.choices.
+        levels = [LevelSpec("A"), LevelSpec("B")]
+        _schema, path = linear_path_schema(levels)
+        with pytest.raises(TraceError, match="zero"):
+            generate_trace(path, "edge_drift", 10, edge_share=0.0)
+
+    def test_zero_events(self):
+        stats, _load = make_world()
+        assert generate_trace(stats.path, "stationary", 0) == []
+
+
+class TestWindowAggregator:
+    def test_tumbling_counts_are_exact_fractions(self):
+        stats, _load = make_world()
+        start = stats.path.class_at(1)
+        ending = stats.path.class_at(stats.length)
+        aggregator = WindowAggregator(stats, window=4)
+        events = [
+            TraceEvent(1.0, "query", start),
+            TraceEvent(2.0, "query", start),
+            TraceEvent(3.0, "insert", ending),
+            TraceEvent(4.0, "delete", ending),
+        ]
+        snapshots = [s for s in aggregator.feed(events)]
+        assert len(snapshots) == 1
+        snapshot = snapshots[0]
+        assert snapshot.events == 4
+        assert snapshot.load.triplet(start) == LoadTriplet(query=0.5)
+        assert snapshot.load.triplet(ending) == LoadTriplet(
+            insert=0.25, delete=0.25
+        )
+        assert snapshot.first_timestamp == 1.0
+        assert snapshot.last_timestamp == 4.0
+        assert "window 0" in snapshot.describe()
+
+    def test_rate_scale_multiplies(self):
+        stats, _load = make_world()
+        start = stats.path.class_at(1)
+        aggregator = WindowAggregator(stats, window=2, rate_scale=4.0)
+        snapshot = None
+        for event in [
+            TraceEvent(1.0, "query", start),
+            TraceEvent(2.0, "query", start),
+        ]:
+            snapshot = aggregator.push(event) or snapshot
+        assert snapshot.load.triplet(start).query == 4.0
+
+    def test_sliding_emits_every_slide(self):
+        stats, _load = make_world()
+        start = stats.path.class_at(1)
+        aggregator = WindowAggregator(stats, window=4, slide=2)
+        emitted = []
+        for i in range(10):
+            snapshot = aggregator.push(TraceEvent(float(i + 1), "query", start))
+            if snapshot is not None:
+                emitted.append(i + 1)
+        # First at the 4th event, then every 2 events.
+        assert emitted == [4, 6, 8, 10]
+        assert aggregator.windows_emitted == 4
+        assert aggregator.events_seen == 10
+
+    def test_unknown_class_rejected(self):
+        stats, _load = make_world()
+        aggregator = WindowAggregator(stats, window=2)
+        with pytest.raises(TraceError, match="scope"):
+            aggregator.push(TraceEvent(1.0, "query", "Nope"))
+
+    def test_validation(self):
+        stats, _load = make_world()
+        with pytest.raises(TraceError, match="window"):
+            WindowAggregator(stats, window=0)
+        with pytest.raises(TraceError, match="slide"):
+            WindowAggregator(stats, window=2, slide=3)
+        with pytest.raises(TraceError, match="rate scale"):
+            WindowAggregator(stats, window=2, rate_scale=0.0)
+
+    def test_statistics_tracking_adjusts_objects(self):
+        stats, _load = make_world()
+        ending = stats.path.class_at(stats.length)
+        aggregator = WindowAggregator(stats, window=3, track_statistics=True)
+        events = [
+            TraceEvent(1.0, "insert", ending),
+            TraceEvent(2.0, "insert", ending),
+            TraceEvent(3.0, "delete", ending),
+        ]
+        snapshot = [s for s in aggregator.feed(events)][0]
+        assert (
+            snapshot.stats.stats_of(ending).objects
+            == stats.stats_of(ending).objects + 1
+        )
+        # Untouched classes keep their statistics.
+        start = stats.path.class_at(1)
+        assert snapshot.stats.stats_of(start) == stats.stats_of(start)
+
+    def test_statistics_untracked_passthrough(self):
+        stats, _load = make_world()
+        ending = stats.path.class_at(stats.length)
+        aggregator = WindowAggregator(stats, window=2)
+        events = [
+            TraceEvent(1.0, "insert", ending),
+            TraceEvent(2.0, "insert", ending),
+        ]
+        snapshot = [s for s in aggregator.feed(events)][0]
+        assert snapshot.stats is stats
+
+    def test_statistics_never_drop_below_one_object(self):
+        stats, _load = make_world()
+        ending = stats.path.class_at(stats.length)
+        aggregator = WindowAggregator(stats, window=1, track_statistics=True)
+        deletes = int(stats.stats_of(ending).objects) + 50
+        snapshot = None
+        for i in range(deletes):
+            snapshot = aggregator.push(TraceEvent(float(i + 1), "delete", ending))
+        adjusted = snapshot.stats.stats_of(ending)
+        assert adjusted.objects == 1.0
+        assert adjusted.distinct == 1.0
+
+
+class TestDriftDetector:
+    def test_first_observation_adopts_reference(self):
+        stats, load = make_world()
+        detector = DriftDetector(threshold=0.1, hysteresis=1)
+        decision = detector.observe(load)
+        assert not decision.fired
+        assert decision.change == 0.0
+
+    def test_fires_after_hysteresis_consecutive_windows(self):
+        stats, load = make_world()
+        detector = DriftDetector(threshold=0.1, hysteresis=2)
+        detector.reset(load)
+        drifted = load.scaled(2.0)
+        first = detector.observe(drifted)
+        assert not first.fired and first.streak == 1
+        second = detector.observe(drifted)
+        assert second.fired and second.streak == 2
+        assert second.trigger is not None
+        assert "re-advise" in second.describe()
+
+    def test_streak_resets_on_calm_window(self):
+        stats, load = make_world()
+        detector = DriftDetector(threshold=0.1, hysteresis=2)
+        detector.reset(load)
+        assert detector.observe(load.scaled(2.0)).streak == 1
+        assert detector.observe(load).streak == 0
+        assert not detector.observe(load.scaled(2.0)).fired
+
+    def test_reference_resets_on_fire(self):
+        stats, load = make_world()
+        detector = DriftDetector(threshold=0.1, hysteresis=1)
+        detector.reset(load)
+        drifted = load.scaled(2.0)
+        assert detector.observe(drifted).fired
+        # The drifted load is now the reference: observing it again is calm.
+        calm = detector.observe(drifted)
+        assert not calm.fired and calm.change == 0.0
+
+    def test_small_changes_hold(self):
+        stats, load = make_world()
+        detector = DriftDetector(threshold=0.5, hysteresis=1)
+        detector.reset(load)
+        assert not detector.observe(load.scaled(1.2)).fired
+
+    def test_statistics_changes_register(self):
+        stats, load = make_world()
+        detector = DriftDetector(threshold=0.1, hysteresis=1)
+        detector.reset(load, stats)
+        ending = stats.path.class_at(stats.length)
+        per_class = {
+            member: stats.stats_of(member)
+            for position in range(1, stats.length + 1)
+            for member in stats.members(position)
+        }
+        grown = per_class[ending]
+        per_class[ending] = ClassStats(
+            objects=grown.objects * 2,
+            distinct=grown.distinct,
+            fanout=grown.fanout,
+        )
+        new_stats = PathStatistics(stats.path, per_class, stats.config)
+        decision = detector.observe(load, new_stats)
+        assert decision.fired
+        assert decision.trigger == f"{ending}:objects"
+
+    def test_validation(self):
+        with pytest.raises(TraceError, match="threshold"):
+            DriftDetector(threshold=-0.1)
+        with pytest.raises(TraceError, match="hysteresis"):
+            DriftDetector(hysteresis=0)
+        with pytest.raises(TraceError, match="floor"):
+            DriftDetector(floor=0.0)

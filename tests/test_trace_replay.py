@@ -1,0 +1,316 @@
+"""Tests for continuous replay and batched application (PR 5).
+
+The load-bearing properties:
+
+* at **every** re-advise point of a :class:`~repro.trace.ContinuousAdvisor`
+  replay the emitted recommendation is bit-identical to a from-scratch
+  ``advise()`` over the session's current inputs (Hypothesis-pinned over
+  random regimes, windows and thresholds);
+* :meth:`~repro.whatif.AdvisorSession.apply_many` leaves the session in
+  exactly the state a one-by-one ``apply`` sequence produces — one
+  recompute, same matrix, same answers;
+* :func:`~repro.whatif.perturbation.perturbations_between` reproduces
+  any reachable ``(stats, load)`` pair value for value.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_matrix import CostMatrix
+from repro.costmodel.params import ClassStats, PathStatistics
+from repro.errors import OptimizerError
+from repro.search import get_strategy
+from repro.synth import LevelSpec, linear_path_schema
+from repro.trace import ContinuousAdvisor, generate_trace
+from repro.whatif import AdvisorSession, MultiPathSession, Perturbation
+from repro.whatif.perturbation import perturbations_between
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+
+def make_world(length=4, subclasses=(0, 1, 0, 0), prefix="L", objects=20_000):
+    levels = [
+        LevelSpec(f"{prefix}{i}", subclasses=subclasses[i % len(subclasses)])
+        for i in range(length)
+    ]
+    _schema, path = linear_path_schema(levels)
+    per_class = {}
+    remaining = objects
+    for position in range(1, length + 1):
+        for member in path.hierarchy_at(position):
+            per_class[member] = ClassStats(
+                objects=remaining, distinct=max(10, remaining // 6), fanout=1.0
+            )
+        remaining = max(50, remaining // 5)
+    stats = PathStatistics(path, per_class)
+    load = LoadDistribution.uniform(path, query=0.3, insert=0.1, delete=0.05)
+    return stats, load
+
+
+def fresh_result(stats, load, strategy="dynamic_program"):
+    return get_strategy(strategy).search(CostMatrix.compute(stats, load))
+
+
+class TestApplyMany:
+    def test_empty_batch_rejected(self):
+        stats, load = make_world()
+        session = AdvisorSession(stats, load)
+        with pytest.raises(OptimizerError, match="at least one"):
+            session.apply_many([])
+
+    def test_single_report_counts_one_recompute(self):
+        stats, load = make_world()
+        session = AdvisorSession(stats, load)
+        batch = [
+            Perturbation("L1", "insert", "scale", 2.0),
+            Perturbation("L2", "delete", "scale", 3.0),
+            Perturbation("L0", "objects", "scale", 1.5),
+        ]
+        report = session.apply_many(batch)
+        assert session.applied_steps == 1
+        assert session.batched_steps == 1
+        assert report.dirty_count > 0
+
+    def test_batched_state_matches_sequential(self):
+        stats, load = make_world()
+        batched = AdvisorSession(stats, load)
+        sequential = AdvisorSession(stats, load)
+        batch = [
+            Perturbation("L1", "query", "scale", 2.0),
+            Perturbation("L3", "insert", "set", 0.7),
+            Perturbation("L2", "delete", "scale", 0.5),
+            Perturbation("L3", "distinct", "scale", 2.0),
+        ]
+        batched.apply_many(batch)
+        for perturbation in batch:
+            sequential.perturb(perturbation)
+        for start, end in batched.matrix.rows():
+            for organization in batched.matrix.organizations:
+                assert batched.matrix.cost(
+                    start, end, organization
+                ) == sequential.matrix.cost(start, end, organization)
+        batched_answer = batched.advise()
+        sequential_answer = sequential.advise()
+        assert batched_answer.cost == sequential_answer.cost
+        assert batched_answer.configuration == sequential_answer.configuration
+
+    def test_batched_answer_matches_fresh(self):
+        stats, load = make_world()
+        session = AdvisorSession(stats, load)
+        session.apply_many(
+            [
+                Perturbation("L0", "query", "scale", 3.0),
+                Perturbation("L3", "insert", "scale", 4.0),
+            ]
+        )
+        fresh = fresh_result(session.stats, session.load)
+        result = session.advise()
+        assert result.cost == fresh.cost
+        assert result.configuration == fresh.configuration
+
+    def test_multipath_apply_many(self):
+        first = make_world(prefix="A")
+        second = make_world(length=5, subclasses=(0, 0, 2, 0, 0), prefix="B")
+        joint = MultiPathSession(
+            [AdvisorSession(*first), AdvisorSession(*second)]
+        )
+        untouched_version = joint.sessions[1].version
+        reports = joint.apply_many(
+            {0: [Perturbation("A1", "insert", "scale", 2.0)]}
+        )
+        assert set(reports) == {0}
+        assert joint.sessions[0].batched_steps == 1
+        assert joint.sessions[1].version == untouched_version
+        with pytest.raises(OptimizerError, match="out of range"):
+            joint.apply_many({7: [Perturbation("A1", "insert", "scale", 2.0)]})
+
+
+class TestPerturbationsBetween:
+    def test_reproduces_target_values(self):
+        stats, load = make_world()
+        target_load = LoadDistribution(
+            stats.path,
+            {
+                name: LoadTriplet(
+                    query=triplet.query * 2.0,
+                    insert=0.0,
+                    delete=triplet.delete,
+                )
+                for name, triplet in load.items()
+            },
+        )
+        per_class = {
+            member: stats.stats_of(member)
+            for position in range(1, stats.length + 1)
+            for member in stats.members(position)
+        }
+        per_class["L1"] = ClassStats(objects=123.0, distinct=45.0, fanout=1.0)
+        target_stats = PathStatistics(stats.path, per_class, stats.config)
+        deltas = perturbations_between(stats, load, target_stats, target_load)
+        current_stats, current_load = stats, load
+        for perturbation in deltas:
+            current_stats, current_load = perturbation.apply(
+                current_stats, current_load
+            )
+        for name, triplet in target_load.items():
+            assert current_load.triplet(name) == triplet
+        for member in per_class:
+            assert current_stats.stats_of(member) == target_stats.stats_of(member)
+
+    def test_shrinking_objects_below_old_distinct_stays_applicable(self):
+        stats, load = make_world()
+        per_class = {
+            member: stats.stats_of(member)
+            for position in range(1, stats.length + 1)
+            for member in stats.members(position)
+        }
+        # New objects drops below the old distinct count: applying the
+        # objects delta first would violate validation, so the emission
+        # order must move distinct first.
+        per_class["L0"] = ClassStats(objects=20.0, distinct=5.0, fanout=1.0)
+        target_stats = PathStatistics(stats.path, per_class, stats.config)
+        deltas = perturbations_between(stats, load, target_stats, load)
+        current_stats, current_load = stats, load
+        for perturbation in deltas:
+            current_stats, current_load = perturbation.apply(
+                current_stats, current_load
+            )
+        assert current_stats.stats_of("L0") == per_class["L0"]
+
+    def test_identical_pairs_yield_no_deltas(self):
+        stats, load = make_world()
+        assert perturbations_between(stats, load, stats, load) == []
+
+    def test_different_paths_rejected(self):
+        stats, load = make_world()
+        other_stats, _other_load = make_world(prefix="Z")
+        with pytest.raises(OptimizerError, match="different paths"):
+            perturbations_between(stats, load, other_stats, load)
+
+
+class TestContinuousAdvisor:
+    def test_baseline_is_step_zero(self):
+        stats, load = make_world()
+        advisor = ContinuousAdvisor(stats, load, window=50)
+        assert len(advisor.steps) == 1
+        baseline = advisor.steps[0]
+        fresh = fresh_result(stats, load, "incremental_dynamic_program")
+        assert baseline.cost == fresh.cost
+        assert baseline.result.configuration == fresh.configuration
+        assert advisor.readvise_count == 0
+
+    def test_every_readvise_matches_fresh_pipeline(self):
+        stats, load = make_world()
+        trace = generate_trace(stats.path, "mixed_drift", 600, seed=11)
+        advisor = ContinuousAdvisor(
+            stats, load, window=100, slide=50, threshold=0.15, hysteresis=1
+        )
+        fired = 0
+        for event in trace:
+            step = advisor.push(event)
+            if step is None:
+                continue
+            fired += 1
+            fresh = fresh_result(advisor.session.stats, advisor.session.load)
+            assert step.cost == fresh.cost
+            assert step.result.configuration == fresh.configuration
+            assert step.perturbations > 0
+            assert step.report is not None
+        assert fired > 0
+        assert advisor.readvise_count == fired
+        assert "re-advises" in advisor.describe()
+
+    def test_flush_applies_pending_delta(self):
+        stats, load = make_world()
+        trace = generate_trace(stats.path, "edge_drift", 220, seed=2)
+        # A threshold no window can cross: everything is held.
+        advisor = ContinuousAdvisor(
+            stats, load, window=100, threshold=1e12, hysteresis=1
+        )
+        advisor.process(trace)
+        assert advisor.readvise_count == 0
+        assert advisor.windows_held == advisor.windows_seen > 0
+        step = advisor.flush()
+        assert step is not None and step.forced
+        fresh = fresh_result(advisor.session.stats, advisor.session.load)
+        assert step.cost == fresh.cost
+        # Nothing pending afterwards.
+        assert advisor.flush() is None
+
+    def test_replay_convenience_returns_full_timeline(self):
+        stats, load = make_world()
+        trace = generate_trace(stats.path, "bursty", 400, seed=5)
+        advisor = ContinuousAdvisor(
+            stats, load, window=80, threshold=0.2, hysteresis=2
+        )
+        steps = advisor.replay(trace)
+        assert steps is advisor.steps
+        assert steps[0].window is None
+        assert advisor.events_seen == 400
+
+    def test_held_windows_do_not_touch_the_session(self):
+        stats, load = make_world()
+        trace = generate_trace(stats.path, "stationary", 300, seed=4)
+        advisor = ContinuousAdvisor(
+            stats, load, window=60, threshold=1e12, hysteresis=1
+        )
+        version_before = advisor.session.version
+        advisor.process(trace)
+        assert advisor.session.version == version_before
+        assert advisor.session.applied_steps == 0
+
+
+@st.composite
+def replay_worlds(draw):
+    length = draw(st.integers(min_value=2, max_value=4))
+    subclasses = tuple(
+        draw(st.integers(min_value=0, max_value=1)) for _ in range(length)
+    )
+    stats, load = make_world(length=length, subclasses=subclasses)
+    regime = draw(st.sampled_from(["stationary", "edge_drift", "mixed_drift", "bursty"]))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    window = draw(st.sampled_from([40, 60, 100]))
+    threshold = draw(st.sampled_from([0.05, 0.2, 0.5]))
+    hysteresis = draw(st.integers(min_value=1, max_value=2))
+    track = draw(st.booleans())
+    return stats, load, regime, seed, window, threshold, hysteresis, track
+
+
+class TestReplayEqualsFreshAdvise:
+    @given(world=replay_worlds())
+    @settings(max_examples=15, deadline=None)
+    def test_replay_pins_to_from_scratch_advise(self, world):
+        """The tentpole invariant: every re-advise point of a continuous
+        replay is bit-identical to a from-scratch advise on the session's
+        current inputs — including the forced end-of-trace flush."""
+        (
+            stats,
+            load,
+            regime,
+            seed,
+            window,
+            threshold,
+            hysteresis,
+            track,
+        ) = world
+        trace = generate_trace(stats.path, regime, 4 * window, seed=seed)
+        advisor = ContinuousAdvisor(
+            stats,
+            load,
+            window=window,
+            threshold=threshold,
+            hysteresis=hysteresis,
+            track_statistics=track,
+        )
+        for event in trace:
+            step = advisor.push(event)
+            if step is None:
+                continue
+            fresh = fresh_result(advisor.session.stats, advisor.session.load)
+            assert step.cost == fresh.cost
+            assert step.result.configuration == fresh.configuration
+        step = advisor.flush()
+        if step is not None:
+            fresh = fresh_result(advisor.session.stats, advisor.session.load)
+            assert step.cost == fresh.cost
+            assert step.result.configuration == fresh.configuration

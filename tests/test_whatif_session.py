@@ -122,6 +122,81 @@ class TestPerturbation:
             Perturbation("Nope", "query", "scale", 2.0).apply(stats, load)
 
 
+class TestPerturbationEdgeCases:
+    """Round-trip pinning beyond the happy path: zero frequencies,
+    unknown classes, and the ``=v`` vs ``*f`` flag forms."""
+
+    @pytest.mark.parametrize("value", [0.0, 0.25, 1e-3, 7.0, 1e6, 0.5])
+    def test_describe_parse_round_trip_scale_and_set(self, value):
+        for mode in ("scale", "set"):
+            perturbation = Perturbation("Division", "query", mode, value)
+            assert Perturbation.parse(perturbation.describe()) == perturbation
+
+    @pytest.mark.parametrize("value", [0.0, 1e-3, 1e6])
+    def test_dict_round_trip_edge_values(self, value):
+        for mode in ("scale", "set"):
+            perturbation = Perturbation("A", "delete", mode, value)
+            assert Perturbation.from_dict(perturbation.to_dict()) == perturbation
+
+    def test_zero_set_produces_zero_frequency(self):
+        stats, load = make_world()
+        _, new_load = Perturbation("L2", "query", "set", 0.0).apply(stats, load)
+        assert new_load.triplet("L2").query == 0.0
+
+    def test_zero_scale_on_zero_frequency_is_a_noop_apply(self):
+        stats, load = make_world()
+        zero_load = LoadDistribution(stats.path, {})  # all-zero triplets
+        session = AdvisorSession(stats, zero_load)
+        session.advise()
+        report = session.perturb(Perturbation("L2", "query", "scale", 5.0))
+        # 5 x 0 is still 0: nothing is dirty, the version must not move.
+        assert report.dirty_count == 0
+        assert session.version == 0
+
+    def test_scale_zero_and_set_zero_agree(self):
+        stats, load = make_world()
+        _, scaled = Perturbation("L1", "insert", "scale", 0.0).apply(stats, load)
+        _, pinned = Perturbation("L1", "insert", "set", 0.0).apply(stats, load)
+        assert scaled.triplet("L1") == pinned.triplet("L1")
+
+    def test_unknown_class_parses_but_fails_on_apply(self):
+        stats, load = make_world()
+        load_perturbation = Perturbation.parse("Ghost:query*2")
+        with pytest.raises(WorkloadError, match="Ghost"):
+            load_perturbation.apply(stats, load)
+        stats_perturbation = Perturbation.parse("Ghost:objects=10")
+        from repro.errors import CostModelError
+
+        with pytest.raises(CostModelError, match="Ghost"):
+            stats_perturbation.apply(stats, load)
+
+    def test_mixed_operator_forms_rejected(self):
+        for text in ("A:query*2=3", "A:query=", "A:query*", "A:*2", "A:=3"):
+            with pytest.raises(OptimizerError):
+                Perturbation.parse(text)
+
+    def test_set_and_scale_flag_forms_differ(self):
+        scaled = Perturbation.parse("A:query*2")
+        pinned = Perturbation.parse("A:query=2")
+        assert scaled.mode == "scale" and pinned.mode == "set"
+        assert scaled != pinned
+        assert scaled.describe() == "A:query*2"
+        assert pinned.describe() == "A:query=2"
+
+    def test_zero_frequency_session_round_trip_matches_fresh(self):
+        stats, load = make_world()
+        session = AdvisorSession(stats, load)
+        session.perturb(Perturbation("L2", "query", "set", 0.0))
+        session.perturb(Perturbation("L2", "insert", "set", 0.0))
+        session.perturb(Perturbation("L2", "delete", "set", 0.0))
+        fresh = get_strategy("dynamic_program").search(
+            CostMatrix.compute(session.stats, session.load)
+        )
+        result = session.advise()
+        assert result.cost == fresh.cost
+        assert result.configuration == fresh.configuration
+
+
 class TestRecomputeReport:
     def test_compute_carries_no_report(self):
         stats, load = make_world()
@@ -426,6 +501,57 @@ class TestMultiPathSessions:
         assert len(joint.sessions) == 2
         with pytest.raises(OptimizerError):
             MultiPathSession([])
+
+
+class TestJointSelectionReuse:
+    def make_joint(self):
+        (s1, l1) = make_world(length=4, subclasses=(0, 1, 0, 0), prefix="A")
+        (s2, l2) = make_world(
+            length=5, subclasses=(0, 0, 2, 0, 0), prefix="B", objects=30_000
+        )
+        return MultiPathSession([AdvisorSession(s1, l1), AdvisorSession(s2, l2)])
+
+    def test_descent_regime_reuses_locally_optimal_selection(self, monkeypatch):
+        # Force the descent regime so the joint stage is reusable.
+        monkeypatch.setattr(multipath_module, "_EXACT_LIMIT", 1)
+        joint = self.make_joint()
+        first = joint.optimize()
+        assert joint.joint_reuses == 0
+        # A tiny drift re-prices path 0's candidates without moving the
+        # sharing landscape: the cached joint selection must be reused
+        # (counter, not timing) and re-priced against the new matrices.
+        joint.perturb(0, Perturbation("A1", "query", "scale", 1.001))
+        second = joint.optimize()
+        assert joint.joint_reuses == 1
+        assert second.configurations == first.configurations
+        assert second.total_cost != first.total_cost
+        assert not second.exact
+
+    def test_option_change_skips_reuse(self, monkeypatch):
+        monkeypatch.setattr(multipath_module, "_EXACT_LIMIT", 1)
+        joint = self.make_joint()
+        joint.optimize()
+        joint.perturb(0, Perturbation("A1", "query", "scale", 1.001))
+        # Different selection options -> different cache key -> no reuse.
+        joint.optimize(restarts=0)
+        assert joint.joint_reuses == 0
+
+    def test_exact_regime_never_reuses(self):
+        joint = self.make_joint()
+        first = joint.optimize()
+        joint.perturb(0, Perturbation("A1", "query", "scale", 1.5))
+        second = joint.optimize()
+        assert joint.joint_reuses == 0
+        # Exact answers stay pinned to the fresh pipeline.
+        fresh = optimize_multipath(
+            [
+                PathWorkload(joint.sessions[0].stats, joint.sessions[0].load),
+                PathWorkload(joint.sessions[1].stats, joint.sessions[1].load),
+            ]
+        )
+        assert second.total_cost == fresh.total_cost
+        assert second.configurations == fresh.configurations
+        assert first.exact and second.exact
 
 
 class TestRandomizedRestarts:
