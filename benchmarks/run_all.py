@@ -1,6 +1,6 @@
 """Performance runner: records the perf trajectory of the hot loops.
 
-Three benchmark families, each with its own machine-readable artifact:
+Four benchmark families, each with its own machine-readable artifact:
 
 * **cost matrix** (``BENCH_costmatrix.json``) — the three PR 2 wins on
   synthetic long paths: serial ``CostMatrix.compute`` against a PR 1
@@ -16,7 +16,11 @@ Three benchmark families, each with its own machine-readable artifact:
 * **trace replay** (``BENCH_trace.json``, via
   :mod:`benchmarks.bench_trace_replay`) — the PR 5 batching win: a
   windowed operation-stream replay applying each drift batch through
-  one ``apply_many`` recompute against one recompute per perturbation.
+  one ``apply_many`` recompute against one recompute per perturbation;
+* **columnar kernel** (``BENCH_kernel.json``, via
+  :mod:`benchmarks.bench_kernel`) — the PR 6 win: end-to-end matrix
+  builds through the columnar numpy kernel against the legacy per-row
+  evaluator, fresh-state and warm-cache regimes.
 
 Usage::
 
@@ -218,9 +222,9 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     # The what-if loop and trace-replay benchmarks write their own
-    # artifacts next to this one (the CI job uploads all three) and
+    # artifacts next to this one (the CI job uploads all of them) and
     # share the --smoke contract.
-    from benchmarks import bench_trace_replay, bench_whatif_loop
+    from benchmarks import bench_kernel, bench_trace_replay, bench_whatif_loop
 
     whatif_report = bench_whatif_loop.run(arguments.smoke)
     whatif_path = json_path.parent / bench_whatif_loop.JSON_NAME
@@ -241,6 +245,16 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\nwritten to {trace_path}", file=sys.stderr)
     if arguments.smoke:
         failures.extend(bench_trace_replay.check_smoke(trace_report))
+
+    kernel_report = bench_kernel.run(arguments.smoke)
+    kernel_path = json_path.parent / bench_kernel.JSON_NAME
+    kernel_path.write_text(
+        json.dumps(kernel_report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(kernel_report, indent=2))
+    print(f"\nwritten to {kernel_path}", file=sys.stderr)
+    if arguments.smoke:
+        failures.extend(bench_kernel.check_smoke(kernel_report))
 
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}", file=sys.stderr)

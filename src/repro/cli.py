@@ -38,7 +38,7 @@ import json
 import sys
 
 from repro.core.advisor import DEFAULT_STRATEGY, advise
-from repro.core.cost_matrix import CostMatrix
+from repro.core.cost_matrix import KERNELS, CostMatrix
 from repro.core.multipath import (
     DEFAULT_RESTARTS,
     PathWorkload,
@@ -85,6 +85,7 @@ def _cmd_advise(arguments: argparse.Namespace) -> int:
         range_selectivity=spec.range_selectivity,
         strategy=arguments.strategy,
         workers=arguments.workers,
+        kernel=arguments.kernel,
         **strategy_options,
     )
     if arguments.json:
@@ -129,6 +130,7 @@ def _cmd_matrix(arguments: argparse.Namespace) -> int:
         include_noindex=spec.include_noindex,
         range_selectivity=spec.range_selectivity,
         workers=arguments.workers,
+        kernel=arguments.kernel,
     )
     print(matrix.render(spec.stats.path))
     return 0
@@ -158,6 +160,7 @@ def _cmd_multipath(arguments: argparse.Namespace) -> int:
             include_noindex=arguments.noindex or spec.include_noindex,
             range_selectivity=spec.range_selectivity,
             workers=arguments.workers,
+            kernel=arguments.kernel,
         )
         for spec in specs
     ]
@@ -235,6 +238,7 @@ def _cmd_whatif(arguments: argparse.Namespace) -> int:
         range_selectivity=spec.range_selectivity,
         strategy=arguments.strategy,
         workers=arguments.workers,
+        kernel=arguments.kernel,
     )
     steps = session.run(perturbations)
     path = spec.stats.path
@@ -299,20 +303,37 @@ def _cmd_trace(arguments: argparse.Namespace) -> int:
 
 def _cmd_replay(arguments: argparse.Namespace) -> int:
     spec = load_spec(arguments.spec)
+    threshold: float | str = arguments.threshold
+    if threshold != "auto":
+        try:
+            threshold = float(threshold)
+        except ValueError:
+            print(
+                f"error: --threshold must be a number or 'auto', "
+                f"got {arguments.threshold!r}",
+                file=sys.stderr,
+            )
+            return 1
+    window = arguments.window
+    if window is None and arguments.window_seconds is None:
+        window = 200
     advisor = ContinuousAdvisor(
         spec.stats,
         spec.load,
-        window=arguments.window,
+        window=window,
         slide=arguments.slide,
+        window_seconds=arguments.window_seconds,
+        slide_seconds=arguments.slide_seconds,
         rate_scale=arguments.rate_scale,
         track_statistics=arguments.track_stats,
-        threshold=arguments.threshold,
+        threshold=threshold,
         hysteresis=arguments.hysteresis,
         organizations=spec.organizations or CONFIGURABLE_ORGANIZATIONS,
         include_noindex=spec.include_noindex or arguments.noindex,
         range_selectivity=spec.range_selectivity,
         strategy=arguments.strategy,
         workers=arguments.workers,
+        kernel=arguments.kernel,
     )
     steps = advisor.replay(iter_trace(arguments.trace))
     path = spec.stats.path
@@ -320,7 +341,9 @@ def _cmd_replay(arguments: argparse.Namespace) -> int:
         payload = {
             "path": str(path),
             "strategy": arguments.strategy,
-            "window": arguments.window,
+            "window": window,
+            "window_seconds": arguments.window_seconds,
+            "window_mode": advisor.aggregator.mode,
             "events": advisor.events_seen,
             "windows": advisor.windows_seen,
             "windows_held": advisor.windows_held,
@@ -392,6 +415,16 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
         help=(
             "worker processes for the cost-matrix construction: "
             "0 forces serial, omit for auto (parallel on long paths)"
+        ),
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default="auto",
+        help=(
+            "cost-matrix evaluation engine: columnar (numpy, batched), "
+            "legacy (scalar rows), or auto (columnar when numpy is "
+            "available); every kernel builds bit-identical matrices"
         ),
     )
 
@@ -615,9 +648,12 @@ def build_parser() -> argparse.ArgumentParser:
     replay_parser.add_argument(
         "--window",
         type=int,
-        default=200,
+        default=None,
         metavar="N",
-        help="events per aggregation window (default 200)",
+        help=(
+            "events per aggregation window (default 200 unless "
+            "--window-seconds selects pure wall-clock windows)"
+        ),
     )
     replay_parser.add_argument(
         "--slide",
@@ -630,11 +666,35 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     replay_parser.add_argument(
-        "--threshold",
+        "--window-seconds",
         type=float,
-        default=0.2,
+        default=None,
+        metavar="T",
+        help=(
+            "wall-clock window span in trace-timestamp seconds: alone, "
+            "windows are pure wall-clock; with --window, events older "
+            "than T are evicted from the count window (hybrid)"
+        ),
+    )
+    replay_parser.add_argument(
+        "--slide-seconds",
+        type=float,
+        default=None,
+        metavar="T",
+        help=(
+            "timestamp progress between wall-clock snapshots (default: "
+            "the window span, i.e. tumbling; wall-clock mode only)"
+        ),
+    )
+    replay_parser.add_argument(
+        "--threshold",
+        default="0.2",
         metavar="X",
-        help="relative workload change that counts as drift (default 0.2)",
+        help=(
+            "relative workload change that counts as drift (default "
+            "0.2), or 'auto' to scale with window sampling noise "
+            "(~1/sqrt(window))"
+        ),
     )
     replay_parser.add_argument(
         "--hysteresis",

@@ -137,6 +137,7 @@ def advise(
     range_selectivity: float | None = None,
     strategy: str = DEFAULT_STRATEGY,
     workers: int | None = None,
+    kernel: str = "auto",
     **strategy_options,
 ) -> AdvisorReport:
     """Select the optimal index configuration for a path.
@@ -171,6 +172,12 @@ def advise(
         :meth:`~repro.core.cost_matrix.CostMatrix.compute`): ``None``
         auto-parallelizes long paths, ``0`` forces serial, ``N`` uses
         exactly ``N`` processes. The search itself is always in-process.
+    kernel:
+        Evaluation engine for the matrix construction (see
+        :meth:`~repro.core.cost_matrix.CostMatrix.compute`):
+        ``"auto"`` (default) uses the columnar numpy kernel when
+        available, ``"columnar"``/``"legacy"`` force one engine. All
+        kernels produce bit-identical matrices.
     strategy_options:
         Extra keyword options for the strategy constructor (e.g.
         ``width=4`` for ``greedy_beam``).
@@ -185,6 +192,7 @@ def advise(
         include_noindex=include_noindex,
         range_selectivity=range_selectivity,
         workers=workers,
+        kernel=kernel,
     )
     optimal = searcher.search(matrix, keep_trace=keep_trace)
     report = AdvisorReport(stats=stats, load=load, matrix=matrix, optimal=optimal)

@@ -78,6 +78,21 @@ PARALLEL_AUTO_MIN_LENGTH = 25
 #: shorter paths.
 PARALLEL_AUTO_MIN_LENGTH_FORK = 20
 
+#: Auto-parallel threshold when the columnar kernel evaluates the rows.
+#: The kernel's serial throughput is ~5x the legacy evaluator's, so the
+#: path length where process startup amortizes moves out accordingly
+#: (measured crossover on an 8-core host: around length 60).
+PARALLEL_AUTO_MIN_LENGTH_COLUMNAR = 60
+
+#: Smallest row batch for which ``kernel="auto"`` picks the columnar
+#: kernel. Below it (tiny matrices, near-empty recompute dirty sets) the
+#: kernel's fixed batch-building cost exceeds the legacy evaluator's
+#: per-row cost; both produce bit-identical rows, so auto picks by speed.
+KERNEL_AUTO_MIN_ROWS = 8
+
+#: Recognized ``kernel=`` arguments.
+KERNELS = ("auto", "columnar", "legacy")
+
 
 def _fork_context() -> multiprocessing.context.BaseContext | None:
     """The ``fork`` context where it is the platform default, else ``None``.
@@ -190,6 +205,37 @@ def _compute_row(
     }
 
 
+def _evaluate_rows(
+    stats: PathStatistics,
+    load: LoadDistribution,
+    organizations: tuple[IndexOrganization, ...],
+    rows: list[tuple[int, int]],
+    range_selectivity: float | None,
+    kernel: str,
+) -> dict[tuple[int, int], dict[IndexOrganization, SubpathCost]]:
+    """Price rows with the resolved evaluation kernel.
+
+    ``kernel`` is already resolved to ``"columnar"`` or ``"legacy"``. The
+    columnar kernel batches every (row, organization) pair into array
+    operations (:mod:`repro.kernel`); the legacy path walks the rows one
+    at a time through :func:`subpath_processing_cost`. Both produce
+    bit-identical :class:`SubpathCost` rows — the legacy evaluator is the
+    kernel's parity oracle.
+    """
+    if kernel == "columnar":
+        from repro import kernel as columnar
+
+        return columnar.compute_rows(
+            stats, load, organizations, rows, range_selectivity
+        )
+    return {
+        (start, end): _compute_row(
+            stats, load, organizations, start, end, range_selectivity
+        )
+        for start, end in rows
+    }
+
+
 def _compute_row_batch(
     payload: tuple,
 ) -> list[tuple[int, int, dict[IndexOrganization, SubpathCost]]]:
@@ -197,13 +243,13 @@ def _compute_row_batch(
 
     Top-level so it pickles by reference into worker processes; each row
     is computed independently, so the result is bit-identical to a serial
-    evaluation of the same rows regardless of batching.
+    evaluation of the same rows regardless of batching or kernel.
     """
-    stats, load, organizations, rows, range_selectivity = payload
-    return [
-        (start, end, _compute_row(stats, load, organizations, start, end, range_selectivity))
-        for start, end in rows
-    ]
+    stats, load, organizations, rows, range_selectivity, kernel = payload
+    priced = _evaluate_rows(
+        stats, load, organizations, rows, range_selectivity, kernel
+    )
+    return [(start, end, priced[(start, end)]) for start, end in rows]
 
 
 #: Worker-process copy of the shared inputs ``(stats, load,
@@ -231,17 +277,17 @@ def _compute_row_batch_fork(
 ) -> list[tuple[int, int, dict[IndexOrganization, SubpathCost]]]:
     """Fork-worker entry point: price a batch against the inherited inputs.
 
-    Only the row coordinates travel to the worker; statistics and workload
-    come from :data:`_FORK_SHARED_INPUTS`, installed by
-    :func:`_init_fork_worker`. Row results are identical to
-    :func:`_compute_row_batch` because both delegate to the same per-row
-    evaluation.
+    Only the row coordinates travel to the worker; statistics, workload
+    and the resolved kernel come from :data:`_FORK_SHARED_INPUTS`,
+    installed by :func:`_init_fork_worker`. Row results are identical to
+    :func:`_compute_row_batch` because both delegate to the same
+    evaluation seam.
     """
-    stats, load, organizations, range_selectivity = _FORK_SHARED_INPUTS
-    return [
-        (start, end, _compute_row(stats, load, organizations, start, end, range_selectivity))
-        for start, end in rows
-    ]
+    stats, load, organizations, range_selectivity, kernel = _FORK_SHARED_INPUTS
+    priced = _evaluate_rows(
+        stats, load, organizations, rows, range_selectivity, kernel
+    )
+    return [(start, end, priced[(start, end)]) for start, end in rows]
 
 
 class CostMatrix:
@@ -271,6 +317,10 @@ class CostMatrix:
         self._stats: PathStatistics | None = None
         self._load: LoadDistribution | None = None
         self._range_selectivity: float | None = None
+        # The *requested* kernel of the producing compute()/recompute()
+        # ("auto" re-resolves per batch, so small recompute dirty sets
+        # take the legacy path even when full builds go columnar).
+        self._kernel: str = "auto"
         #: What the producing :meth:`recompute` did (``None`` for matrices
         #: built by :meth:`compute` or :meth:`from_values`).
         self.recompute_report: RecomputeReport | None = None
@@ -322,6 +372,7 @@ class CostMatrix:
         include_noindex: bool = False,
         range_selectivity: float | None = None,
         workers: int | None = None,
+        kernel: str = "auto",
     ) -> "CostMatrix":
         """The ``Cost_Matrix`` procedure over the analytic cost model.
 
@@ -330,10 +381,19 @@ class CostMatrix:
 
         ``workers`` fans the (independent) rows out over a process pool:
         ``None`` (default) parallelizes automatically on long paths
-        (length ≥ :data:`PARALLEL_AUTO_MIN_LENGTH`, one worker per CPU),
-        ``0`` or ``1`` forces serial evaluation, ``N > 1`` uses exactly
-        ``N`` workers. Every row is priced independently, so the matrix is
-        bit-identical for every worker count.
+        (length ≥ :data:`PARALLEL_AUTO_MIN_LENGTH`, or
+        :data:`PARALLEL_AUTO_MIN_LENGTH_COLUMNAR` under the columnar
+        kernel, one worker per CPU), ``0`` or ``1`` forces serial
+        evaluation, ``N > 1`` uses exactly ``N`` workers.
+
+        ``kernel`` selects the evaluation engine: ``"columnar"`` batches
+        all (row, organization) pairs into numpy array operations
+        (:mod:`repro.kernel`), ``"legacy"`` walks rows one at a time
+        through the scalar cost model, and ``"auto"`` (default) picks the
+        columnar kernel whenever numpy is importable and the batch is
+        large enough to amortize array construction. Every kernel and
+        worker count produces a bit-identical matrix; only construction
+        speed differs.
         """
         if include_noindex and IndexOrganization.NONE not in organizations:
             organizations = tuple(EXTENDED_ORGANIZATIONS)
@@ -344,7 +404,8 @@ class CostMatrix:
             for end in range(start, length + 1)
         ]
         row_costs = cls._compute_rows(
-            stats, load, tuple(organizations), rows, range_selectivity, workers
+            stats, load, tuple(organizations), rows, range_selectivity, workers,
+            kernel,
         )
         entries: dict[tuple[int, int], dict[IndexOrganization, float]] = {}
         breakdowns: dict[tuple[int, int], dict[IndexOrganization, SubpathCost]] = {}
@@ -358,23 +419,61 @@ class CostMatrix:
         matrix._stats = stats
         matrix._load = load
         matrix._range_selectivity = range_selectivity
+        matrix._kernel = kernel
         return matrix
 
     @staticmethod
-    def _resolve_workers(workers: int | None, row_count: int) -> int:
+    def _resolve_kernel(kernel: str | None, row_count: int) -> str:
+        """The evaluation engine for a batch: ``"columnar"`` or ``"legacy"``.
+
+        ``"auto"`` (or ``None``) picks the columnar kernel when numpy is
+        importable and the batch has at least :data:`KERNEL_AUTO_MIN_ROWS`
+        rows; an explicit ``"columnar"`` raises
+        :class:`~repro.errors.OptimizerError` when numpy is missing
+        instead of silently degrading.
+        """
+        from repro import kernel as columnar
+
+        if kernel is None:
+            kernel = "auto"
+        if kernel not in KERNELS:
+            raise OptimizerError(
+                f"unknown kernel {kernel!r}; expected one of {KERNELS}"
+            )
+        if kernel == "auto":
+            if columnar.is_available() and row_count >= KERNEL_AUTO_MIN_ROWS:
+                return "columnar"
+            return "legacy"
+        if kernel == "columnar" and not columnar.is_available():
+            raise OptimizerError(
+                "kernel='columnar' requires numpy; install it or use "
+                "kernel='auto' to fall back to the legacy evaluator"
+            )
+        return kernel
+
+    @staticmethod
+    def _resolve_workers(
+        workers: int | None, row_count: int, kernel: str = "legacy"
+    ) -> int:
         """Number of worker processes to use (1 means in-process serial).
 
         The auto threshold depends on the start method: fork-started
         workers inherit their inputs for free, so auto-parallel engages on
         shorter paths (:data:`PARALLEL_AUTO_MIN_LENGTH_FORK`) than the
-        pickling spawn path (:data:`PARALLEL_AUTO_MIN_LENGTH`).
+        pickling spawn path (:data:`PARALLEL_AUTO_MIN_LENGTH`). Under the
+        columnar kernel serial evaluation is ~5x faster, so auto-parallel
+        waits for much longer paths
+        (:data:`PARALLEL_AUTO_MIN_LENGTH_COLUMNAR`).
         """
         if workers is None:
-            min_length = (
-                PARALLEL_AUTO_MIN_LENGTH_FORK
-                if _fork_context() is not None
-                else PARALLEL_AUTO_MIN_LENGTH
-            )
+            if kernel == "columnar":
+                min_length = PARALLEL_AUTO_MIN_LENGTH_COLUMNAR
+            else:
+                min_length = (
+                    PARALLEL_AUTO_MIN_LENGTH_FORK
+                    if _fork_context() is not None
+                    else PARALLEL_AUTO_MIN_LENGTH
+                )
             if row_count < min_length * (min_length + 1) // 2:
                 return 1
             workers = os.cpu_count() or 1
@@ -391,25 +490,26 @@ class CostMatrix:
         rows: list[tuple[int, int]],
         range_selectivity: float | None,
         workers: int | None,
+        kernel: str | None = "auto",
     ) -> dict[tuple[int, int], dict[IndexOrganization, SubpathCost]]:
         """Price a set of rows, serially or over a process pool.
 
         The result is keyed by row coordinates, so assembly order is
-        deterministic regardless of how the rows were distributed.
+        deterministic regardless of how the rows were distributed or
+        which kernel priced them.
         """
-        resolved = cls._resolve_workers(workers, len(rows))
+        resolved_kernel = cls._resolve_kernel(kernel, len(rows))
+        resolved = cls._resolve_workers(workers, len(rows), resolved_kernel)
         if resolved > 1:
             batched = cls._compute_rows_parallel(
-                stats, load, organizations, rows, range_selectivity, resolved
+                stats, load, organizations, rows, range_selectivity, resolved,
+                resolved_kernel,
             )
             if batched is not None:
                 return batched
-        return {
-            (start, end): _compute_row(
-                stats, load, organizations, start, end, range_selectivity
-            )
-            for start, end in rows
-        }
+        return _evaluate_rows(
+            stats, load, organizations, rows, range_selectivity, resolved_kernel
+        )
 
     @staticmethod
     def _compute_rows_parallel(
@@ -419,6 +519,7 @@ class CostMatrix:
         rows: list[tuple[int, int]],
         range_selectivity: float | None,
         workers: int,
+        kernel: str = "legacy",
     ) -> dict[tuple[int, int], dict[IndexOrganization, SubpathCost]] | None:
         """Fan row batches out over a process pool; ``None`` on failure.
 
@@ -445,14 +546,16 @@ class CostMatrix:
             pool_options.update(
                 mp_context=context,
                 initializer=_init_fork_worker,
-                initargs=((stats, load, organizations, range_selectivity),),
+                initargs=(
+                    (stats, load, organizations, range_selectivity, kernel),
+                ),
             )
             payloads = [(_compute_row_batch_fork, batch) for batch in batches]
         else:
             payloads = [
                 (
                     _compute_row_batch,
-                    (stats, load, organizations, batch, range_selectivity),
+                    (stats, load, organizations, batch, range_selectivity, kernel),
                 )
                 for batch in batches
             ]
@@ -504,6 +607,7 @@ class CostMatrix:
         load: LoadDistribution | None = None,
         *,
         workers: int | None = 0,
+        kernel: str | None = None,
     ) -> "CostMatrix":
         """A new matrix under changed inputs, re-pricing only dirty rows.
 
@@ -538,7 +642,10 @@ class CostMatrix:
 
         ``workers`` defaults to ``0`` (serial) because dirty sets are
         typically small; pass ``None`` for the same auto-parallel policy
-        as :meth:`compute`.
+        as :meth:`compute`. ``kernel`` defaults to the kernel this matrix
+        was computed with (``"auto"`` re-resolves per dirty set, so a
+        handful of dirty rows re-price through the legacy evaluator while
+        a near-full rebuild goes columnar — either way bit-identically).
 
         Raises :class:`~repro.errors.OptimizerError` for literal matrices
         (:meth:`from_values`) and when the new inputs describe a different
@@ -582,6 +689,7 @@ class CostMatrix:
                 patched_rows=tuple(patch_rows),
                 total_rows=self.row_count(),
             )
+        requested_kernel = kernel if kernel is not None else self._kernel
         recomputed = self._compute_rows(
             new_stats,
             new_load,
@@ -589,6 +697,7 @@ class CostMatrix:
             dirty_rows,
             self._range_selectivity,
             workers,
+            requested_kernel,
         )
         # Fast assembly: clean rows are copied as flat-array slices (and
         # keep their precomputed minima); only the recomputed rows are
@@ -642,6 +751,7 @@ class CostMatrix:
         matrix._stats = new_stats
         matrix._load = new_load
         matrix._range_selectivity = self._range_selectivity
+        matrix._kernel = requested_kernel
         matrix.recompute_report = report
         return matrix
 

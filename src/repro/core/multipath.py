@@ -704,6 +704,7 @@ def optimize_multipath(
     matrices: list[CostMatrix] | None = None,
     organizations: tuple[IndexOrganization, ...] | None = None,
     workers: int | None = None,
+    kernel: str = "auto",
     beam_width: int | None = None,
     budget_pages: float | None = None,
     restarts: int = DEFAULT_RESTARTS,
@@ -725,13 +726,18 @@ def optimize_multipath(
         Precomputed cost matrices, one per workload in order (e.g. from a
         previous :meth:`CostMatrix.recompute` what-if loop). Each must be
         a computed matrix (with breakdowns) of the workload's path length;
-        when given, ``organizations`` and ``workers`` are ignored.
+        when given, ``organizations``, ``workers`` and ``kernel`` are
+        ignored.
     organizations:
         Candidate organizations for the computed matrices (default: the
         paper's MX/MIX/NIX).
     workers:
         Worker processes per matrix construction (see
         :meth:`CostMatrix.compute`).
+    kernel:
+        Evaluation engine per matrix construction (see
+        :meth:`CostMatrix.compute`); every kernel builds bit-identical
+        matrices.
     beam_width:
         ``None`` (default) enumerates a path's candidates exactly while
         its ``r·(1+r)^(n-1)`` candidate space stays within
@@ -822,6 +828,7 @@ def optimize_multipath(
                 w.load,
                 organizations=compute_organizations,
                 workers=workers,
+                kernel=kernel,
             )
             for w in workloads
         ]

@@ -1,0 +1,56 @@
+"""Columnar numpy evaluation kernel for the cost matrix.
+
+``repro.kernel`` computes the full ``Cost_Matrix`` as array operations
+over all (row, organization) pairs at once:
+
+* :class:`~repro.kernel.arrays.StatArrays` lowers
+  :class:`~repro.costmodel.params.PathStatistics` and a workload into
+  contiguous per-position arrays (objects, distinct values, fanouts,
+  probe-key chains, nin-bar chains, occupancy counts, extent pages);
+* :mod:`~repro.kernel.evaluate` applies vectorized CRT/CMT/CRR formulas
+  per organization over all subpath rows, folding the per-row sums in
+  exactly the accumulation order of the legacy evaluator so the resulting
+  matrix is **bit-identical** to
+  :func:`repro.costmodel.subpath.subpath_processing_cost` row by row;
+* :func:`compute_rows` is the drop-in replacement for the legacy serial
+  row loop that :meth:`repro.core.cost_matrix.CostMatrix.compute`
+  dispatches to when ``kernel="columnar"`` resolves.
+
+numpy is optional for the package as a whole: :func:`is_available`
+reports whether the kernel can run, and callers fall back to the legacy
+evaluator (the parity oracle) when it cannot.
+"""
+
+from __future__ import annotations
+
+_NUMPY_AVAILABLE: bool | None = None
+
+
+def is_available() -> bool:
+    """Whether the columnar kernel can run (numpy importable)."""
+    global _NUMPY_AVAILABLE
+    if _NUMPY_AVAILABLE is None:
+        try:  # pragma: no cover - trivially platform dependent
+            import numpy  # noqa: F401
+
+            _NUMPY_AVAILABLE = True
+        except ImportError:
+            _NUMPY_AVAILABLE = False
+    return _NUMPY_AVAILABLE
+
+
+def compute_rows(stats, load, organizations, rows, range_selectivity=None):
+    """Price matrix rows with the columnar kernel.
+
+    Same contract as the legacy serial loop in
+    :meth:`repro.core.cost_matrix.CostMatrix._compute_rows`: returns
+    ``{(start, end): {organization: SubpathCost}}`` for exactly the
+    requested rows. Raises :class:`ImportError` when numpy is missing —
+    callers gate on :func:`is_available`.
+    """
+    from repro.kernel.evaluate import evaluate_rows
+
+    return evaluate_rows(stats, load, organizations, rows, range_selectivity)
+
+
+__all__ = ["is_available", "compute_rows"]

@@ -1,0 +1,750 @@
+"""Batched evaluation of matrix rows: the columnar kernel core.
+
+:func:`evaluate_rows` prices a set of ``Cost_Matrix`` rows for a set of
+organizations in one pass. Rows and their (position, member) entries are
+flattened into index arrays once (:class:`_RowBatch`); each organization
+is then evaluated as a handful of batched CRT/CMT/CRR calls plus
+:func:`~repro.kernel.arrays.fold_segments` accumulations that replay the
+legacy evaluator's left-to-right sums **in the same order**, so every
+matrix value is bit-identical to
+:func:`repro.costmodel.subpath.subpath_processing_cost`.
+
+Masked terms are padded with ``+0.0`` (all accumulators and terms are
+non-negative, so ``x + 0.0`` leaves the bits unchanged) and per-row
+scalar tails (index heights, storage sums) run through the very scalar
+primitives the legacy evaluator uses. Range-predicate rows ending at the
+path's last attribute fall back to the legacy evaluator — they price a
+leaf-walk that is already row-constant and outside the hot loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costmodel.primitives import cml, cmt, crt
+from repro.costmodel.subpath import (
+    SubpathContext,
+    SubpathCost,
+    subpath_processing_cost,
+)
+from repro.kernel.arrays import (
+    ShapeTable,
+    StatArrays,
+    cml_batch,
+    cmt_batch,
+    crr_batch,
+    crt_batch,
+    fold_segments,
+)
+from repro.kernel.yao_vec import npa_array
+from repro.organizations import IndexOrganization
+
+_CANONICAL = {
+    IndexOrganization.SIX: IndexOrganization.MX,
+    IndexOrganization.IIX: IndexOrganization.MIX,
+}
+
+
+def _canonical(organization: IndexOrganization) -> IndexOrganization:
+    return _CANONICAL.get(organization, organization)
+
+
+def evaluate_rows(stats, load, organizations, rows, range_selectivity=None):
+    """Price ``rows`` for every organization; see :func:`repro.kernel.compute_rows`."""
+    organizations = list(organizations)
+    length = stats.length
+    results: dict = {}
+    kernel_rows = []
+    for start, end in rows:
+        if range_selectivity is not None and end == length:
+            # Range-ending rows price a contiguous leaf walk (a different
+            # query primitive); the legacy evaluator stays their oracle.
+            context = SubpathContext.build(
+                stats, load, start, end, range_selectivity=range_selectivity
+            )
+            results[(start, end)] = {
+                organization: subpath_processing_cost(
+                    stats,
+                    load,
+                    start,
+                    end,
+                    organization,
+                    range_selectivity=range_selectivity,
+                    context=context,
+                )
+                for organization in organizations
+            }
+        else:
+            kernel_rows.append((int(start), int(end)))
+    if not kernel_rows:
+        return results
+
+    arrays = StatArrays(stats, load, range_selectivity)
+    batch = _RowBatch(arrays, kernel_rows)
+    # SIX/IIX share MX/MIX's pricing, so each canonical organization is
+    # evaluated once and its per-row SubpathCost objects are reused for
+    # every alias that requested it.
+    costs: dict = {}
+    for organization in organizations:
+        canonical = _canonical(organization)
+        if canonical in costs:
+            continue
+        query, insert, delete, cmd_rate, storage = batch.evaluate(canonical)
+        queries = query.tolist()
+        inserts = insert.tolist()
+        deletes = delete.tolist()
+        rates = cmd_rate.tolist()
+        storages = storage.tolist()
+        built = []
+        for index, (start, end) in enumerate(kernel_rows):
+            per_deletion = rates[index] if end < length else 0.0
+            cmd = 0.0
+            if per_deletion:
+                cmd = arrays.following[end] * per_deletion
+            built.append(
+                SubpathCost(
+                    organization=canonical,
+                    start=start,
+                    end=end,
+                    query=queries[index],
+                    insert=inserts[index],
+                    delete=deletes[index],
+                    cmd=cmd,
+                    storage_pages=storages[index],
+                    cmd_per_deletion=per_deletion,
+                )
+            )
+        costs[canonical] = built
+
+    columns = [
+        (organization, costs[_canonical(organization)])
+        for organization in organizations
+    ]
+    for index, (start, end) in enumerate(kernel_rows):
+        results[(start, end)] = {
+            organization: built[index] for organization, built in columns
+        }
+    return results
+
+
+class _RowBatch:
+    """Index arrays over the batch's rows, (row, position) pairs and
+    (row, position, member) entries, in the legacy iteration order."""
+
+    def __init__(self, arrays: StatArrays, rows: list[tuple[int, int]]) -> None:
+        self.arrays = arrays
+        self.rows = rows
+        a = arrays
+        length = a.length
+        count = len(rows)
+        self.row_count = count
+        self.srow = np.array([r[0] for r in rows], dtype=np.int64)
+        self.erow = np.array([r[1] for r in rows], dtype=np.int64)
+        m_counts = np.array(
+            [0] + [len(a.members[p]) for p in range(1, length + 1)],
+            dtype=np.int64,
+        )
+        self.m_counts = m_counts
+        offset_np = np.array(a.member_offset[: length + 2], dtype=np.int64)
+
+        # -- (row, position) pairs, positions ascending per row --------
+        spans = self.erow - self.srow + 1
+        pair_count = int(spans.sum())
+        self.pair_count = pair_count
+        pair_row = np.repeat(np.arange(count), spans)
+        pair_offsets = np.concatenate(([0], np.cumsum(spans)[:-1]))
+        pair_pos = (
+            np.arange(pair_count) - pair_offsets[pair_row] + self.srow[pair_row]
+        )
+        self.pair_row = pair_row
+        self.pair_pos = pair_pos
+
+        # -- (row, position, member) entries, members in hierarchy order
+        per_pair = m_counts[pair_pos]
+        entry_count = int(per_pair.sum())
+        self.entry_count = entry_count
+        entry_pair = np.repeat(np.arange(pair_count), per_pair)
+        entry_offsets = np.concatenate(([0], np.cumsum(per_pair)[:-1]))
+        within = np.arange(entry_count) - entry_offsets[entry_pair]
+        self.entry_pair = entry_pair
+        self.entry_row = pair_row[entry_pair]
+        self.entry_pos = pair_pos[entry_pair]
+        self.entry_gm = offset_np[self.entry_pos] + within
+        row_entry_counts = np.bincount(
+            self.entry_row, minlength=count
+        ).astype(np.int64)
+        row_entry_offsets = np.concatenate(
+            ([0], np.cumsum(row_entry_counts)[:-1])
+        )
+        self.entry_rank = np.arange(entry_count) - row_entry_offsets[self.entry_row]
+        self.max_entry_rank = int(row_entry_counts.max())
+        self.entry_start = self.srow[self.entry_row]
+        self.entry_end = self.erow[self.entry_row]
+
+        # -- per-entry statistics and derived load ---------------------
+        probes_np = np.array(a.probes)
+        self.probes_row = probes_np[self.erow]
+        self.probes_entry = probes_np[self.entry_end]
+        self.nin_entry = a.nin[self.entry_gm]
+        self.ninbar_entry = a.ninbar[self.entry_gm, self.entry_end]
+        alpha = a.alpha[self.entry_gm].copy()
+        root_gm = np.zeros(length + 1, dtype=np.int64)
+        for position in range(1, length + 1):
+            root = a.stats.path.class_at(position)
+            root_gm[position] = a.member_offset[position] + a.members[
+                position
+            ].index(root)
+        upstream_np = np.array(a.upstream[: length + 2])
+        mask = (
+            (self.entry_pos == self.entry_start)
+            & (self.entry_start > 1)
+            & (self.entry_gm == root_gm[self.entry_pos])
+        )
+        alpha[mask] = alpha[mask] + upstream_np[self.entry_start[mask]]
+        self.alpha_entry = alpha
+        self.beta_entry = a.beta[self.entry_gm]
+        self.gamma_entry = a.gamma[self.entry_gm]
+        self.key_row = np.array(
+            [0] + [a.key_size_at(p) for p in range(1, length + 1)],
+            dtype=np.int64,
+        )[self.erow]
+        self._scan_table: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # shared machinery
+    # ------------------------------------------------------------------
+    def _package(self, unit_q, unit_i, unit_d):
+        """Fold per-entry units into per-row sums in entry-rank order."""
+        count = self.row_count
+        ranks = self.max_entry_rank
+        query = fold_segments(
+            self.alpha_entry * unit_q, self.entry_row, self.entry_rank, count, ranks
+        )
+        insert = fold_segments(
+            self.beta_entry * unit_i, self.entry_row, self.entry_rank, count, ranks
+        )
+        delete = fold_segments(
+            self.gamma_entry * unit_d, self.entry_row, self.entry_rank, count, ranks
+        )
+        return query, insert, delete
+
+    def _storage_walk(self, term) -> np.ndarray:
+        """Per-row storage sums via the shared prefix over positions.
+
+        ``term(position)`` returns the ordered scalar storage terms of one
+        position; rows sharing a start accumulate the same left fold, so
+        the walk extends one running sum per start — the exact partial
+        sums of the legacy per-row loops.
+        """
+        storage = np.zeros(self.row_count)
+        by_start: dict[int, list[int]] = {}
+        for index, (start, end) in enumerate(self.rows):
+            by_start.setdefault(start, []).append(index)
+        term_cache: dict[int, list[float]] = {}
+        for start, indices in by_start.items():
+            indices.sort(key=lambda i: self.rows[i][1])
+            running = 0.0
+            position = start
+            for index in indices:
+                end = self.rows[index][1]
+                while position <= end:
+                    terms = term_cache.get(position)
+                    if terms is None:
+                        terms = term(position)
+                        term_cache[position] = terms
+                    for value in terms:
+                        running += value
+                    position += 1
+                storage[index] = running
+        return storage
+
+    def _scan_costs(self) -> np.ndarray:
+        """``Q[gm, e]``: extent-scan cost of querying member ``gm`` on a
+        subpath ending at ``e`` (the no-index and NX-interior formula)."""
+        if self._scan_table is not None:
+            return self._scan_table
+        a = self.arrays
+        length = a.length
+        count = a.member_count
+        table = np.zeros((count, length + 1))
+        extents = a.extent_pages
+        positions = a.member_position
+        for end in range(1, length + 1):
+            column = table[:, end - 1].copy()
+            for gm in range(a.member_offset[end], a.member_offset[end + 1]):
+                column = column + extents[gm]
+            at_end = positions == end
+            column[at_end] = extents[at_end]
+            column[positions > end] = 0.0
+            table[:, end] = column
+        self._scan_table = table
+        return table
+
+    def evaluate(self, organization: IndexOrganization):
+        method = {
+            IndexOrganization.MX: self.mx,
+            IndexOrganization.MIX: self.mix,
+            IndexOrganization.NIX: self.nix,
+            IndexOrganization.PX: self.px,
+            IndexOrganization.NX: self.nx,
+            IndexOrganization.NONE: self.none,
+        }[organization]
+        return method()
+
+    # ------------------------------------------------------------------
+    # organizations
+    # ------------------------------------------------------------------
+    def mx(self):
+        a = self.arrays
+        config = a.config
+        length = a.length
+        count = a.member_count
+        shapes = [
+            a.mx_shape(int(a.member_position[gm]), name)
+            for gm, name in enumerate(a.member_names)
+        ]
+        ends = sorted({int(end) for end in self.erow})
+        # C[gm, e]: one probe of member gm's index on a row ending at e
+        # (keys[e][e] is the row's probe fan-in, so the ending level and
+        # the interior levels share the table).
+        table_c = np.zeros((count, length + 1))
+        # T[p, e]: the ending + interior levels above a target at p,
+        # accumulated in the legacy's level-descending member order.
+        table_t = np.zeros((length + 2, length + 1))
+        for end in ends:
+            accumulator = 0.0
+            for level in range(end, 0, -1):
+                base = a.member_offset[level]
+                for offset in range(len(a.members[level])):
+                    gm = base + offset
+                    value = crt(shapes[gm], a.keys[level][end], config.pr_mx)
+                    table_c[gm, end] = value
+                    accumulator = accumulator + value
+                table_t[level - 1, end] = accumulator
+        unit_q = (
+            table_t[self.entry_pos, self.entry_end]
+            + table_c[self.entry_gm, self.entry_end]
+        )
+
+        inserts = np.zeros(count)
+        cml_gm = np.zeros(count)
+        for gm in range(count):
+            inserts[gm] = cmt(shapes[gm], a.nin[gm], config.pm_mx)
+            cml_gm[gm] = cml(shapes[gm], config.pm_mx)
+        interior = np.zeros(count)
+        for gm in range(count):
+            position = int(a.member_position[gm])
+            total = inserts[gm]
+            if position > 1:
+                base = a.member_offset[position - 1]
+                for offset in range(len(a.members[position - 1])):
+                    total = total + cml_gm[base + offset]
+            interior[gm] = total
+        unit_i = inserts[self.entry_gm]
+        unit_d = np.where(
+            self.entry_pos > self.entry_start,
+            interior[self.entry_gm],
+            inserts[self.entry_gm],
+        )
+        query, insert, delete = self._package(unit_q, unit_i, unit_d)
+
+        cmd_table = np.zeros(length + 1)
+        for end in ends:
+            total = 0.0
+            base = a.member_offset[end]
+            for offset in range(len(a.members[end])):
+                shape = shapes[base + offset]
+                total += cml(shape, float(shape.record_pages))
+            cmd_table[end] = total
+        cmd_rate = cmd_table[self.erow]
+
+        def storage_terms(position: int) -> list[float]:
+            terms = []
+            base = a.member_offset[position]
+            for offset in range(len(a.members[position])):
+                shape = shapes[base + offset]
+                terms.append(shape.leaf_pages * 1)
+                if shape.oversized:
+                    terms.append(shape.record_count * shape.record_pages)
+            return terms
+
+        storage = self._storage_walk(storage_terms)
+        return query, insert, delete, cmd_rate, storage
+
+    def mix(self):
+        a = self.arrays
+        config = a.config
+        length = a.length
+        shapes = {
+            position: a.mix_shape(position) for position in range(1, length + 1)
+        }
+        ends = sorted({int(end) for end in self.erow})
+        # H[p, e]: levels e down to p, legacy accumulation order.
+        table_h = np.zeros((length + 2, length + 1))
+        for end in ends:
+            accumulator = 0.0
+            for level in range(end, 0, -1):
+                accumulator = accumulator + crt(
+                    shapes[level], a.keys[level][end], config.pr_mix
+                )
+                table_h[level, end] = accumulator
+        unit_q = table_h[self.entry_pos, self.entry_end]
+
+        count = a.member_count
+        inserts = np.zeros(count)
+        for gm in range(count):
+            position = int(a.member_position[gm])
+            inserts[gm] = cmt(shapes[position], a.nin[gm], config.pm_mix)
+        cml_level = np.zeros(length + 1)
+        for position in range(1, length + 1):
+            cml_level[position] = cml(shapes[position], config.pm_mix)
+        interior = inserts + cml_level[
+            np.maximum(a.member_position - 1, 0)
+        ]
+        unit_i = inserts[self.entry_gm]
+        unit_d = np.where(
+            self.entry_pos > self.entry_start,
+            interior[self.entry_gm],
+            inserts[self.entry_gm],
+        )
+        query, insert, delete = self._package(unit_q, unit_i, unit_d)
+
+        cmd_table = np.zeros(length + 1)
+        for end in ends:
+            shape = shapes[end]
+            cmd_table[end] = cml(shape, float(shape.record_pages))
+        cmd_rate = cmd_table[self.erow]
+
+        def storage_terms(position: int) -> list[float]:
+            shape = shapes[position]
+            terms = [shape.leaf_pages]
+            if shape.oversized:
+                terms.append(shape.record_count * shape.record_pages)
+            return terms
+
+        storage = self._storage_walk(storage_terms)
+        return query, insert, delete, cmd_rate, storage
+
+    def none(self):
+        scans = self._scan_costs()
+        unit_q = scans[self.entry_gm, self.entry_end]
+        zeros_entries = np.zeros(self.entry_count)
+        query, insert, delete = self._package(unit_q, zeros_entries, zeros_entries)
+        zeros_rows = np.zeros(self.row_count)
+        return query, insert, delete, zeros_rows, zeros_rows.copy()
+
+    def nx(self):
+        a = self.arrays
+        config = a.config
+        count = self.row_count
+        du_np = np.array(a.distinct_union)
+        roots_per_value = np.zeros(count)
+        for index, (start, end) in enumerate(self.rows):
+            records = a.distinct_union[end]
+            if records <= 0:
+                continue
+            total = 0.0
+            base = a.member_offset[start]
+            for offset in range(len(a.members[start])):
+                gm = base + offset
+                total += a.objects[gm] * a.ninbar[gm, end]
+            roots_per_value[index] = total / records
+        oid = a.sizes.oid_size
+        header = a.sizes.record_header_size
+        key_sizes = self.key_row
+        record_lengths = (
+            float(header) + key_sizes.astype(np.float64)
+        ) + roots_per_value * oid
+        table = ShapeTable.from_params(
+            du_np[self.erow], record_lengths, key_sizes, a.sizes
+        )
+        selector = np.arange(count)
+        crt_rows = crt_batch(table, selector, self.probes_row, config.pr_mx)
+        scans = self._scan_costs()
+        at_start = self.entry_pos == self.entry_start
+        unit_q = np.where(
+            at_start,
+            crt_rows[self.entry_row],
+            scans[self.entry_gm, self.entry_end],
+        )
+        base = cmt_batch(
+            table, self.entry_row, self.ninbar_entry, config.pm_mx
+        )
+        unit_i = base
+        roots = np.array(a.total_objects)[self.entry_start]
+        root_pages = np.array(
+            a.root_extent_pages, dtype=np.float64
+        )[self.entry_start]
+        candidates = self.ninbar_entry * roots_per_value[self.entry_row]
+        revalidation = npa_array(
+            np.minimum(candidates, roots), roots, root_pages
+        )
+        unit_d = np.where(at_start, base, base + revalidation)
+        query, insert, delete = self._package(unit_q, unit_i, unit_d)
+        cmd_rate = cml_batch(table, table.record_pages)
+        return query, insert, delete, cmd_rate, table.storage_pages()
+
+    def px(self):
+        a = self.arrays
+        config = a.config
+        count = self.row_count
+        # Π max(Σ_j k_i, 1) over the subpath — shared prefix per start.
+        instantiations = np.zeros(count)
+        by_start: dict[int, list[int]] = {}
+        for index, (start, end) in enumerate(self.rows):
+            by_start.setdefault(start, []).append(index)
+        for start, indices in by_start.items():
+            indices.sort(key=lambda i: self.rows[i][1])
+            running = 1.0
+            position = start
+            for index in indices:
+                end = self.rows[index][1]
+                while position <= end:
+                    running = running * max(a.sum_k[position], 1.0)
+                    position += 1
+                instantiations[index] = running
+        oid = a.sizes.oid_size
+        header = a.sizes.record_header_size
+        key_sizes = self.key_row
+        tuple_widths = ((self.erow - self.srow + 1) * oid).astype(np.float64)
+        record_lengths = (
+            float(header) + key_sizes.astype(np.float64)
+        ) + instantiations * tuple_widths
+        du_np = np.array(a.distinct_union)
+        table = ShapeTable.from_params(
+            du_np[self.erow], record_lengths, key_sizes, a.sizes
+        )
+        selector = np.arange(count)
+        crt_rows = crt_batch(table, selector, self.probes_row, config.pr_mx)
+        unit_q = crt_rows[self.entry_row]
+        unit_i = cmt_batch(
+            table, self.entry_row, self.ninbar_entry, config.pm_mx
+        )
+        query, insert, delete = self._package(unit_q, unit_i, unit_i)
+        cmd_rate = cml_batch(table, table.record_pages)
+        return query, insert, delete, cmd_rate, table.storage_pages()
+
+    def nix(self):
+        a = self.arrays
+        config = a.config
+        sizes = a.sizes
+        count = self.row_count
+        entries = self.entry_count
+        pairs = self.pair_count
+        length = a.length
+        du_np = np.array(a.distinct_union)
+        cde = sizes.class_directory_entry_size
+        oid = sizes.oid_size
+
+        # -- primary shape: interleaved (directory, oid-list) fold -----
+        entry_sizes = np.array(
+            [0.0] + [float(a.nix_entry_size(p)) for p in range(1, length + 1)]
+        )
+        entry_size = entry_sizes[self.entry_pos]
+        records_entry = du_np[self.entry_end]
+        incidences = a.objects[self.entry_gm] * self.ninbar_entry
+        per_value = np.where(
+            records_entry > 0,
+            incidences / np.where(records_entry > 0, records_entry, 1.0),
+            0.0,
+        )
+        key_sizes = self.key_row
+        base_lengths = (
+            float(sizes.record_header_size) + key_sizes.astype(np.float64)
+        )
+        primary_lengths = fold_segments(
+            np.concatenate((np.full(entries, float(cde)), per_value * entry_size)),
+            np.concatenate((self.entry_row, self.entry_row)),
+            np.concatenate((2 * self.entry_rank, 2 * self.entry_rank + 1)),
+            count,
+            2 * self.max_entry_rank,
+            init=base_lengths,
+        )
+        primary = ShapeTable.from_params(
+            du_np[self.erow], primary_lengths, key_sizes, sizes
+        )
+
+        # -- auxiliary shape: 3-tuples of the non-starting classes -----
+        interior = self.entry_pos > self.entry_start
+        parents_of = np.array(
+            [0.0, 0.0] + [a.sum_k[p - 1] for p in range(2, length + 1)]
+        )
+        head = float(sizes.record_header_size + oid)
+        tuple_lengths = (
+            head + self.ninbar_entry * sizes.pointer_size
+        ) + parents_of[self.entry_pos] * oid
+        aux_rank = self.entry_rank - self.m_counts[self.srow][self.entry_row]
+        counts = a.objects[self.entry_gm]
+        aux_total = fold_segments(
+            counts[interior],
+            self.entry_row[interior],
+            aux_rank[interior],
+            count,
+            self.max_entry_rank,
+        )
+        aux_weighted = fold_segments(
+            (counts * tuple_lengths)[interior],
+            self.entry_row[interior],
+            aux_rank[interior],
+            count,
+            self.max_entry_rank,
+        )
+        has_aux = aux_total != 0.0
+        aux_lengths = np.where(
+            has_aux, aux_weighted / np.where(has_aux, aux_total, 1.0), 0.0
+        )
+        auxiliary = ShapeTable.from_params(
+            np.where(has_aux, aux_total, 0.0),
+            aux_lengths,
+            np.full(count, oid, dtype=np.int64),
+            sizes,
+        )
+
+        # -- retrieval: partial record reads through the directory -----
+        # The probe count is row-constant, so the structural descent runs
+        # once per row; only the oversized correction term ``t · pr``
+        # varies per entry. ``pr = 0`` makes crt_batch return the bare
+        # structural sum (`+ t·0.0` leaves the bits unchanged).
+        selector = np.arange(count)
+        t_row = np.minimum(self.probes_row, primary.record_count)
+        active_row = ~primary.empty & (t_row > 0.0)
+        over_row = primary.oversized & active_row
+        structural_q = crt_batch(primary, selector, self.probes_row, 0.0)
+        if config.pr_nix is not None:
+            partial_pr = np.full(entries, float(config.pr_nix))
+        else:
+            nc_np = np.array(a.nc, dtype=np.float64)
+            share = cde * nc_np[self.entry_pos] + per_value * entry_size
+            pages = 1.0 + np.ceil(share / float(sizes.page_size))
+            partial_pr = np.minimum(pages, primary.record_pages[self.entry_row])
+        unit_q = structural_q[self.entry_row] + np.where(
+            over_row[self.entry_row],
+            t_row[self.entry_row] * partial_pr,
+            0.0,
+        )
+
+        # -- insertion: CSI3 + CSI24 -----------------------------------
+        primary_insert = cmt_batch(
+            primary, self.entry_row, self.ninbar_entry, config.pmi_nix
+        )
+        own = np.where(interior, 1.0, 0.0)
+        nar = a.occupied_next[self.entry_gm]
+        crt_children = crt_batch(auxiliary, self.entry_row, self.nin_entry, 1.0)
+        crr_rewrite = crr_batch(
+            auxiliary, self.entry_row, nar + own, config.pm_ax
+        )
+        # One own tuple per deletion/insertion at the ending class: the
+        # record count is 1 for every entry, so this too is row-level.
+        own_tuple = cmt_batch(
+            auxiliary, selector, np.ones(count), config.pm_ax
+        )[self.entry_row]
+        before_end = self.entry_pos < self.entry_end
+        aux_insert = np.where(
+            before_end,
+            crt_children + crr_rewrite,
+            np.where(interior, own_tuple, 0.0),
+        )
+        unit_i = primary_insert + aux_insert
+
+        # -- deletion: CSD2 + CS3a + CU3bc + min(SA1, SA2) -------------
+        crt_delete = crt_batch(
+            auxiliary, self.entry_row, self.nin_entry + own, 1.0
+        )
+        csd2 = np.where(
+            before_end,
+            crt_delete + crr_rewrite,
+            np.where(interior, own_tuple, 0.0),
+        )
+        cs3a = cmt_batch(
+            primary, self.entry_row, self.ninbar_entry, config.pmd_nix
+        )
+        chain_len = np.maximum(self.pair_pos - self.srow[self.pair_row] - 1, 0)
+        chain_total = int(chain_len.sum())
+        cu3bc = np.zeros(pairs)
+        parents_total = np.zeros(pairs)
+        narp_total = np.zeros(pairs)
+        if chain_total:
+            chain_pair = np.repeat(np.arange(pairs), chain_len)
+            chain_offsets = np.concatenate(([0], np.cumsum(chain_len)[:-1]))
+            chain_rank = np.arange(chain_total) - chain_offsets[chain_pair]
+            chain_level = self.pair_pos[chain_pair] - 1 - chain_rank
+            parents_np = np.array(a.parents)
+            narp_np = np.array(a.narp)
+            chain_position = self.pair_pos[chain_pair]
+            parents_chain = parents_np[chain_position, chain_level]
+            narp_chain = narp_np[chain_position, chain_level]
+            rewrites = crr_batch(
+                auxiliary, self.pair_row[chain_pair], narp_chain, config.pm_ax
+            )
+            max_chain = int(chain_len.max())
+            cu3bc = fold_segments(
+                rewrites, chain_pair, chain_rank, pairs, max_chain
+            )
+            parents_total = fold_segments(
+                parents_chain, chain_pair, chain_rank, pairs, max_chain
+            )
+            narp_total = fold_segments(
+                narp_chain, chain_pair, chain_rank, pairs, max_chain
+            )
+        retrieval = np.zeros(pairs)
+        pair_leaf_records = auxiliary.leaf_records[self.pair_row]
+        pair_leaf_pages = auxiliary.leaf_pages[self.pair_row]
+        active = (parents_total > 0) & ~auxiliary.empty[self.pair_row]
+        if active.any():
+            records = pair_leaf_records[active]
+            pages = pair_leaf_pages[active]
+            sa1 = npa_array(
+                np.minimum(parents_total[active], records), records, pages
+            )
+            oversized = auxiliary.oversized[self.pair_row][active]
+            sa2 = np.where(
+                oversized,
+                narp_total[active],
+                npa_array(
+                    np.minimum(narp_total[active], records), records, pages
+                ),
+            )
+            retrieval[active] = np.minimum(sa1, sa2)
+        unit_d = (
+            (csd2 + cs3a) + cu3bc[self.entry_pair]
+        ) + retrieval[self.entry_pair]
+        query, insert, delete = self._package(unit_q, unit_i, unit_d)
+
+        # -- CMD: whole-record removal plus the delpoint rewrites ------
+        cml_primary = cml_batch(primary, primary.record_pages)
+        pair_interior = self.pair_pos > self.srow[self.pair_row]
+        touched = np.zeros(count)
+        if pair_interior.any():
+            subtotal_np = np.array(a.nix_subtotal)
+            subtotal = subtotal_np[
+                self.pair_pos[pair_interior],
+                self.erow[self.pair_row[pair_interior]],
+            ]
+            delpoint_rank = (
+                self.pair_pos - self.srow[self.pair_row] - 1
+            )[pair_interior]
+            touched = fold_segments(
+                subtotal,
+                self.pair_row[pair_interior],
+                delpoint_rank,
+                count,
+                int(delpoint_rank.max()) + 1,
+            )
+        delpoint = np.zeros(count)
+        occupied = ~auxiliary.empty
+        if occupied.any():
+            records = auxiliary.leaf_records[occupied]
+            pages = auxiliary.leaf_pages[occupied]
+            delpoint[occupied] = 2.0 * npa_array(
+                np.minimum(touched[occupied], records), records, pages
+            )
+        cmd_rate = cml_primary + delpoint
+
+        primary_storage = primary.storage_pages()
+        with_aux = (primary_storage + auxiliary.leaf_pages) + np.where(
+            auxiliary.oversized,
+            auxiliary.record_count * auxiliary.record_pages,
+            0.0,
+        )
+        storage = np.where(auxiliary.empty, primary_storage, with_aux)
+        return query, insert, delete, cmd_rate, storage

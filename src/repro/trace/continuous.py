@@ -28,6 +28,7 @@ from typing import Iterable
 
 from repro.core.cost_matrix import RecomputeReport
 from repro.costmodel.params import PathStatistics
+from repro.errors import TraceError
 from repro.search import SearchResult
 from repro.trace.drift import DriftDecision, DriftDetector
 from repro.trace.events import TraceEvent
@@ -86,13 +87,19 @@ class ContinuousAdvisor:
     stats / load:
         The baseline inputs (the load is the advisor's initial workload
         model; the stream's windowed estimates drift away from it).
-    window / slide / rate_scale / track_statistics:
-        Windowing knobs, see :class:`~repro.trace.window.WindowAggregator`.
+    window / slide / window_seconds / slide_seconds / rate_scale / track_statistics:
+        Windowing knobs, see :class:`~repro.trace.window.WindowAggregator`
+        (count, wall-clock and hybrid window modes).
     threshold / hysteresis:
         Drift knobs, see :class:`~repro.trace.drift.DriftDetector`.
+        ``threshold="auto"`` scales the threshold with the window's
+        sampling noise (:meth:`~repro.trace.drift.DriftDetector.adaptive`,
+        ``~ 1/sqrt(window)``; count and hybrid modes only — a wall-clock
+        window has no fixed event count to scale against).
     session_options:
         Forwarded to :class:`~repro.whatif.AdvisorSession` (``strategy``,
-        ``organizations``, ``include_noindex``, ``workers``, ...).
+        ``organizations``, ``include_noindex``, ``workers``,
+        ``kernel``, ...).
     """
 
     def __init__(
@@ -100,11 +107,13 @@ class ContinuousAdvisor:
         stats: PathStatistics,
         load: LoadDistribution,
         *,
-        window: int,
+        window: int | None = None,
         slide: int | None = None,
+        window_seconds: float | None = None,
+        slide_seconds: float | None = None,
         rate_scale: float = 1.0,
         track_statistics: bool = False,
-        threshold: float = 0.2,
+        threshold: float | str = 0.2,
         hysteresis: int = 2,
         **session_options,
     ) -> None:
@@ -113,10 +122,28 @@ class ContinuousAdvisor:
             stats,
             window,
             slide=slide,
+            window_seconds=window_seconds,
+            slide_seconds=slide_seconds,
             rate_scale=rate_scale,
             track_statistics=track_statistics,
         )
-        self.detector = DriftDetector(threshold=threshold, hysteresis=hysteresis)
+        if threshold == "auto":
+            if window is None:
+                raise TraceError(
+                    "threshold='auto' scales with the count window; "
+                    "wall-clock windows need an explicit threshold"
+                )
+            self.detector = DriftDetector.adaptive(
+                window, hysteresis=hysteresis
+            )
+        elif isinstance(threshold, str):
+            raise TraceError(
+                f"threshold must be a number or 'auto', got {threshold!r}"
+            )
+        else:
+            self.detector = DriftDetector(
+                threshold=threshold, hysteresis=hysteresis
+            )
         self.detector.reset(load, stats if track_statistics else None)
         baseline = self.session.advise()
         #: The replay timeline: one :class:`ReplayStep` per re-advise.

@@ -20,6 +20,7 @@ costs a (dirty-set-sized) matrix recompute plus a search refinement. A
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.costmodel.params import PathStatistics
@@ -30,6 +31,18 @@ from repro.workload.load import LoadDistribution
 #: against the floor instead, so a frequency appearing out of nowhere
 #: (reference 0) registers as a large but finite change.
 DEFAULT_CHANGE_FLOOR = 1e-9
+
+#: Numerator of the adaptive threshold ``noise_scale / sqrt(window)``.
+#: A windowed frequency is a count estimate whose sampling noise shrinks
+#: like ``1/sqrt(window)``, so the drift threshold can shrink with it.
+#: The default anchors the historical fixed threshold: at window 100 the
+#: adaptive threshold is exactly the old 0.2 default.
+DEFAULT_NOISE_SCALE = 2.0
+
+#: Adaptive thresholds never drop below this, however large the window:
+#: real drift smaller than 5% rarely changes the selected configuration,
+#: and chasing it would thrash the session for nothing.
+MIN_ADAPTIVE_THRESHOLD = 0.05
 
 
 @dataclass(frozen=True)
@@ -81,6 +94,42 @@ class DriftDetector:
         self.streak = 0
         self._reference_load: LoadDistribution | None = None
         self._reference_stats: PathStatistics | None = None
+
+    @classmethod
+    def adaptive(
+        cls,
+        window: int,
+        *,
+        noise_scale: float = DEFAULT_NOISE_SCALE,
+        min_threshold: float = MIN_ADAPTIVE_THRESHOLD,
+        hysteresis: int = 2,
+        floor: float = DEFAULT_CHANGE_FLOOR,
+    ) -> "DriftDetector":
+        """A detector whose threshold tracks the window's sampling noise.
+
+        A frequency estimated from ``window`` events carries relative
+        sampling noise on the order of ``1/sqrt(window)``, so a fixed
+        threshold is simultaneously too twitchy for small windows and too
+        numb for large ones. The adaptive threshold is
+        ``max(min_threshold, noise_scale / sqrt(window))`` —
+        with the defaults, window 100 reproduces the historical fixed
+        0.2, window 400 halves it to 0.1, and very large windows bottom
+        out at ``min_threshold``.
+        """
+        if window < 1:
+            raise TraceError(
+                f"adaptive threshold needs a positive window, got {window}"
+            )
+        if not noise_scale > 0:
+            raise TraceError(
+                f"noise scale must be positive, got {noise_scale}"
+            )
+        if not min_threshold >= 0:
+            raise TraceError(
+                f"minimum threshold must be non-negative, got {min_threshold}"
+            )
+        threshold = max(min_threshold, noise_scale / math.sqrt(window))
+        return cls(threshold=threshold, hysteresis=hysteresis, floor=floor)
 
     def reset(
         self, load: LoadDistribution, stats: PathStatistics | None = None

@@ -11,14 +11,28 @@ insert/delete balance optionally becomes an adjusted
 clamped through the normal validating constructors so a drifting stream
 can never produce inputs the cost model rejects.
 
-Windows are **count-based** (every ``slide`` events the trailing
-``window`` events are summarized), which keeps replay deterministic and
-independent of wall-clock binning: ``slide == window`` gives tumbling
-windows, ``slide < window`` sliding ones.
+Three window modes are supported, all deterministic replays of the event
+stream (no reading of real clocks — only event timestamps):
+
+* **count** (``window=``): every ``slide`` events the trailing ``window``
+  events are summarized; ``slide == window`` gives tumbling windows,
+  ``slide < window`` sliding ones.
+* **wall-clock** (``window_seconds=``): every ``slide_seconds`` of
+  event-timestamp progress the events of the trailing ``window_seconds``
+  are summarized, with frequencies per second of window span — the right
+  mode when the stream's *rate* carries the signal (a burst of 1000
+  events in a second should read as a rate spike, not as 10 ordinary
+  count windows).
+* **hybrid** (both): the count cadence and denominator, but events older
+  than ``window_seconds`` are evicted from the trailing window first —
+  in dense traffic it behaves exactly like a count window, while after a
+  lull the estimate only reflects fresh events instead of averaging over
+  an arbitrarily long gap.
 """
 
 from __future__ import annotations
 
+import math
 from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Iterable, Iterator
@@ -58,14 +72,26 @@ class WindowAggregator:
         validates event classes, and ``track_statistics`` adjusts a copy
         per window.
     window:
-        Events summarized per snapshot.
+        Events summarized per snapshot (count and hybrid modes); omit
+        for pure wall-clock windows.
     slide:
         Events between snapshots (default ``window`` — tumbling).
-        Must not exceed ``window``.
+        Must not exceed ``window``. Count and hybrid modes only.
+    window_seconds:
+        Wall-clock span of the trailing window, in event-timestamp
+        seconds. Alone it selects wall-clock mode (frequencies are
+        ``rate_scale * count / window_seconds``); combined with
+        ``window`` it selects hybrid mode (count cadence and
+        denominator, but events older than ``window_seconds`` are
+        evicted before each snapshot).
+    slide_seconds:
+        Timestamp progress between wall-clock snapshots (default
+        ``window_seconds`` — tumbling). Wall-clock mode only.
     rate_scale:
         Multiplier from per-event shares to load frequencies: a class
         with ``c`` events of one kind in a window gets frequency
-        ``rate_scale * c / window``.
+        ``rate_scale * c / window`` (count and hybrid modes) or
+        ``rate_scale * c / window_seconds`` (wall-clock mode).
     track_statistics:
         When true, the cumulative ``insert - delete`` balance of every
         class adjusts its ``objects`` count in the emitted statistics
@@ -76,25 +102,59 @@ class WindowAggregator:
     def __init__(
         self,
         stats: PathStatistics,
-        window: int,
+        window: int | None = None,
         *,
         slide: int | None = None,
         rate_scale: float = 1.0,
         track_statistics: bool = False,
+        window_seconds: float | None = None,
+        slide_seconds: float | None = None,
     ) -> None:
-        if window < 1:
-            raise TraceError(f"window size must be positive, got {window}")
-        slide = window if slide is None else slide
-        if not 1 <= slide <= window:
+        if window is None and window_seconds is None:
             raise TraceError(
-                f"slide must be in 1..window ({window}), got {slide}"
+                "a window is required: pass window= (events), "
+                "window_seconds= (wall clock), or both (hybrid)"
             )
+        if window is not None:
+            if window < 1:
+                raise TraceError(f"window size must be positive, got {window}")
+            slide = window if slide is None else slide
+            if not 1 <= slide <= window:
+                raise TraceError(
+                    f"slide must be in 1..window ({window}), got {slide}"
+                )
+        elif slide is not None:
+            raise TraceError(
+                "slide= (events) requires window=; wall-clock windows "
+                "slide with slide_seconds="
+            )
+        if window_seconds is not None:
+            if not window_seconds > 0:
+                raise TraceError(
+                    f"window_seconds must be positive, got {window_seconds}"
+                )
+            if window is None:
+                slide_seconds = (
+                    window_seconds if slide_seconds is None else slide_seconds
+                )
+                if not 0 < slide_seconds <= window_seconds:
+                    raise TraceError(
+                        f"slide_seconds must be in (0, window_seconds "
+                        f"({window_seconds})], got {slide_seconds}"
+                    )
+            elif slide_seconds is not None:
+                raise TraceError(
+                    "hybrid windows emit on the count cadence; "
+                    "slide_seconds= applies to wall-clock mode only"
+                )
         if not rate_scale > 0:
             raise TraceError(f"rate scale must be positive, got {rate_scale}")
         self.stats = stats
         self.path = stats.path
         self.window = window
         self.slide = slide
+        self.window_seconds = window_seconds
+        self.slide_seconds = slide_seconds
         self.rate_scale = rate_scale
         self.track_statistics = track_statistics
         self._scope = set(self.path.scope)
@@ -102,8 +162,19 @@ class WindowAggregator:
         self._since_emit = 0
         self._seen = 0
         self._emitted = 0
+        # Wall-clock bookkeeping: the stream's high-water timestamp and
+        # the next emission boundary (set by the first event).
+        self._clock = -math.inf
+        self._next_emit: float | None = None
         #: Cumulative insert - delete balance per class (whole stream).
         self._balance: Counter[str] = Counter()
+
+    @property
+    def mode(self) -> str:
+        """``"count"``, ``"wall_clock"`` or ``"hybrid"``."""
+        if self.window is None:
+            return "wall_clock"
+        return "count" if self.window_seconds is None else "hybrid"
 
     @property
     def events_seen(self) -> int:
@@ -118,8 +189,11 @@ class WindowAggregator:
     def push(self, event: TraceEvent) -> WindowSnapshot | None:
         """Fold one event; returns a snapshot when a window completes.
 
-        The first snapshot is emitted once ``window`` events arrived;
-        subsequent ones every ``slide`` events.
+        Count and hybrid modes emit the first snapshot once ``window``
+        events arrived and every ``slide`` events after; wall-clock mode
+        emits when the event timestamps have advanced ``window_seconds``
+        past the first event and every ``slide_seconds`` after (at most
+        one snapshot per event, however far a timestamp jumps).
         """
         if event.class_name not in self._scope:
             raise TraceError(
@@ -133,7 +207,23 @@ class WindowAggregator:
         elif event.kind == "delete":
             self._balance[event.class_name] -= 1
         self._since_emit += 1
-        if len(self._events) < self.window:
+        self._clock = max(self._clock, event.timestamp)
+        if self.window_seconds is not None:
+            # Age out events that left the wall-clock span. The event
+            # just pushed is always within it, so the window stays
+            # non-empty.
+            horizon = self._clock - self.window_seconds
+            while self._events and self._events[0].timestamp <= horizon:
+                self._events.popleft()
+        if self.window is None:
+            if self._next_emit is None:
+                self._next_emit = event.timestamp + self.window_seconds
+            if self._clock < self._next_emit:
+                return None
+            while self._next_emit <= self._clock:
+                self._next_emit += self.slide_seconds
+            return self._snapshot()
+        if self._seen < self.window:
             return None
         emit_every = self.window if self._emitted == 0 else self.slide
         if self._since_emit < emit_every:
@@ -155,6 +245,9 @@ class WindowAggregator:
         counts: Counter[tuple[str, str]] = Counter()
         for event in self._events:
             counts[(event.class_name, event.kind)] += 1
+        # Count and hybrid modes express frequencies per window *slot*,
+        # wall-clock mode per second of window span.
+        denominator = self.window_seconds if self.window is None else self.window
         triplets: dict[str, LoadTriplet] = {}
         for name in self.path.scope:
             query = counts.get((name, "query"), 0)
@@ -162,9 +255,9 @@ class WindowAggregator:
             delete = counts.get((name, "delete"), 0)
             if query or insert or delete:
                 triplets[name] = LoadTriplet(
-                    query=self.rate_scale * query / self.window,
-                    insert=self.rate_scale * insert / self.window,
-                    delete=self.rate_scale * delete / self.window,
+                    query=self.rate_scale * query / denominator,
+                    insert=self.rate_scale * insert / denominator,
+                    delete=self.rate_scale * delete / denominator,
                 )
         load = LoadDistribution(self.path, triplets)
         snapshot = WindowSnapshot(

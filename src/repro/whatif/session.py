@@ -73,7 +73,12 @@ class AdvisorSession:
     without a ``refine`` method are simply re-run against the
     incrementally updated matrix). ``workers`` applies to the initial
     matrix construction and, by default, to every recompute (dirty sets
-    are small, so ``0``/serial is the right default).
+    are small, so ``0``/serial is the right default). ``kernel`` selects
+    the matrix evaluation engine (see :meth:`CostMatrix.compute`) for the
+    initial build and sticks for every recompute — ``"auto"`` (default)
+    builds the full matrix through the columnar numpy kernel when
+    available and re-prices small dirty sets through the legacy
+    evaluator, bit-identically either way.
 
     The session's observable guarantees:
 
@@ -98,6 +103,7 @@ class AdvisorSession:
         range_selectivity: float | None = None,
         strategy: str = DEFAULT_SESSION_STRATEGY,
         workers: int | None = 0,
+        kernel: str = "auto",
         **strategy_options,
     ) -> None:
         # Resolve the strategy first: a bad name or option must fail
@@ -107,6 +113,7 @@ class AdvisorSession:
         self.stats = stats
         self.load = load
         self._workers = workers
+        self._kernel = kernel
         self.matrix = CostMatrix.compute(
             stats,
             load,
@@ -114,6 +121,7 @@ class AdvisorSession:
             include_noindex=include_noindex,
             range_selectivity=range_selectivity,
             workers=workers,
+            kernel=kernel,
         )
         #: Monotone counter of applies that touched matrix rows.
         self.version = 0

@@ -1,0 +1,366 @@
+"""Parity pins for the columnar numpy kernel (PR 6).
+
+The columnar kernel (``repro.kernel``) must be a *bit-identical* drop-in
+for the legacy per-row evaluator — same entry values, same breakdowns,
+same row minima, under every configuration knob the matrix exposes.
+These tests pin that contract with Hypothesis-driven random worlds,
+cover the dirty-row recompute path, the ``npa_array`` primitive against
+its scalar oracle, kernel resolution/validation, and the pure-Python
+fallback when numpy is absent (exercised in a subprocess with a stub
+numpy on the path).
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_matrix import (
+    KERNEL_AUTO_MIN_ROWS,
+    KERNELS,
+    CostMatrix,
+)
+from repro.costmodel.params import ClassStats, CostModelConfig, PathStatistics
+from repro.errors import OptimizerError
+from repro.synth import LevelSpec, linear_path_schema
+from repro.workload.load import LoadDistribution, LoadTriplet
+
+numpy = pytest.importorskip("numpy")
+
+from repro.costmodel.yao import npa  # noqa: E402
+from repro.kernel.yao_vec import npa_array  # noqa: E402
+
+
+def make_world(
+    length=5,
+    subclasses=(0, 1, 0, 2, 0),
+    objects=40_000,
+    fanout=1.0,
+    cache_evaluation=True,
+    query=0.3,
+    insert=0.1,
+    delete=0.05,
+):
+    levels = [
+        LevelSpec(f"L{i}", subclasses=subclasses[i % len(subclasses)])
+        for i in range(length)
+    ]
+    _schema, path = linear_path_schema(levels)
+    per_class = {}
+    remaining = objects
+    for position in range(1, length + 1):
+        for member in path.hierarchy_at(position):
+            per_class[member] = ClassStats(
+                objects=remaining,
+                distinct=max(10, remaining // 6),
+                fanout=fanout,
+            )
+        remaining = max(50, remaining // 5)
+    config = CostModelConfig(cache_evaluation=cache_evaluation)
+    stats = PathStatistics(path, per_class, config)
+    load = LoadDistribution.uniform(
+        path, query=query, insert=insert, delete=delete
+    )
+    return stats, load
+
+
+def assert_matrices_identical(left: CostMatrix, right: CostMatrix) -> None:
+    assert left.length == right.length
+    assert left.organizations == right.organizations
+    for start, end in left.rows():
+        for organization in left.organizations:
+            assert left.cost(start, end, organization) == right.cost(
+                start, end, organization
+            ), (start, end, organization)
+            left_breakdown = left.breakdown(start, end, organization)
+            right_breakdown = right.breakdown(start, end, organization)
+            assert left_breakdown == right_breakdown, (
+                start,
+                end,
+                organization,
+            )
+        left_min = left.min_cost(start, end)
+        right_min = right.min_cost(start, end)
+        assert left_min.cost == right_min.cost
+        assert left_min.organization is right_min.organization
+
+
+def perturb_load(load, class_name, component, factor):
+    triplets = {}
+    for name, triplet in load.items():
+        if name == class_name:
+            values = {
+                "query": triplet.query,
+                "insert": triplet.insert,
+                "delete": triplet.delete,
+            }
+            values[component] = values[component] * factor + 0.01
+            triplet = LoadTriplet(**values)
+        triplets[name] = triplet
+    return LoadDistribution(load.path, triplets)
+
+
+def perturb_stats(stats, class_name, factor):
+    per_class = {}
+    for position in range(1, stats.length + 1):
+        for member in stats.members(position):
+            current = stats.stats_of(member)
+            if member == class_name:
+                current = ClassStats(
+                    objects=current.objects * factor,
+                    distinct=max(1.0, current.distinct * factor),
+                    fanout=current.fanout,
+                )
+            per_class[member] = current
+    return PathStatistics(stats.path, per_class, stats.config)
+
+
+world_strategy = st.fixed_dictionaries(
+    {
+        "length": st.integers(min_value=2, max_value=10),
+        "subclasses": st.tuples(
+            st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)
+        ),
+        "objects": st.sampled_from([900, 25_000, 400_000]),
+        "fanout": st.sampled_from([1.0, 1.5, 4.0]),
+        "cache_evaluation": st.booleans(),
+        "query": st.floats(min_value=0.0, max_value=2.0),
+        "insert": st.floats(min_value=0.0, max_value=1.0),
+        "delete": st.floats(min_value=0.0, max_value=1.0),
+    }
+)
+
+
+class TestColumnarMatchesLegacy:
+    @given(world=world_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_random_worlds_bit_identical(self, world):
+        stats, load = make_world(**world)
+        legacy = CostMatrix.compute(
+            stats, load, include_noindex=True, kernel="legacy"
+        )
+        columnar = CostMatrix.compute(
+            stats, load, include_noindex=True, kernel="columnar"
+        )
+        assert_matrices_identical(legacy, columnar)
+
+    def test_length_40_bit_identical(self):
+        """The benchmark's own shape: every org, all 820 rows."""
+        stats, load = make_world(length=40, objects=400_000)
+        legacy = CostMatrix.compute(
+            stats, load, include_noindex=True, kernel="legacy"
+        )
+        columnar = CostMatrix.compute(
+            stats, load, include_noindex=True, kernel="columnar"
+        )
+        assert_matrices_identical(legacy, columnar)
+
+    @pytest.mark.parametrize("selectivity", [0.05, 0.5, 1.0])
+    def test_range_selectivity_bit_identical(self, selectivity):
+        stats, load = make_world(length=6, subclasses=(0, 2, 0, 1, 0, 0))
+        legacy = CostMatrix.compute(
+            stats,
+            load,
+            range_selectivity=selectivity,
+            include_noindex=True,
+            kernel="legacy",
+        )
+        columnar = CostMatrix.compute(
+            stats,
+            load,
+            range_selectivity=selectivity,
+            include_noindex=True,
+            kernel="columnar",
+        )
+        assert_matrices_identical(legacy, columnar)
+
+    def test_auto_matches_explicit_kernels(self):
+        stats, load = make_world()
+        auto = CostMatrix.compute(stats, load)
+        legacy = CostMatrix.compute(stats, load, kernel="legacy")
+        assert_matrices_identical(auto, legacy)
+
+    def test_columnar_workers_match_serial(self):
+        stats, load = make_world(length=8)
+        serial = CostMatrix.compute(stats, load, workers=0, kernel="columnar")
+        parallel = CostMatrix.compute(
+            make_world(length=8)[0], load, workers=2, kernel="columnar"
+        )
+        assert_matrices_identical(serial, parallel)
+
+
+class TestRecomputeParity:
+    @given(
+        batch=st.lists(
+            st.tuples(
+                st.sampled_from(["L0", "L1", "L2", "L3", "L4"]),
+                st.sampled_from(["query", "insert", "delete", "stats"]),
+                st.floats(min_value=0.25, max_value=4.0),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_perturbation_batches_match_fresh_compute(self, batch):
+        stats, load = make_world()
+        for kernel in ("columnar", "legacy", "auto"):
+            matrix = CostMatrix.compute(stats, load, kernel=kernel)
+            new_stats, new_load = stats, load
+            for class_name, component, factor in batch:
+                if component == "stats":
+                    new_stats = perturb_stats(new_stats, class_name, factor)
+                else:
+                    new_load = perturb_load(
+                        new_load, class_name, component, factor
+                    )
+            recomputed = matrix.recompute(stats=new_stats, load=new_load)
+            fresh = CostMatrix.compute(
+                new_stats, new_load, kernel="legacy"
+            )
+            assert_matrices_identical(recomputed, fresh)
+
+    def test_recompute_kernel_override(self):
+        stats, load = make_world()
+        matrix = CostMatrix.compute(stats, load, kernel="legacy")
+        new_load = perturb_load(load, "L2", "query", 3.0)
+        overridden = matrix.recompute(load=new_load, kernel="columnar")
+        assert_matrices_identical(
+            overridden, CostMatrix.compute(stats, new_load)
+        )
+        # The override sticks for the next recompute.
+        assert overridden._kernel == "columnar"
+
+
+class TestNpaArray:
+    @given(
+        t=st.floats(min_value=0.0, max_value=250_000.0),
+        n=st.floats(min_value=1.0, max_value=1e7),
+        ratio=st.floats(min_value=1.0, max_value=1e4),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_scalar_npa(self, t, n, ratio):
+        m = max(1.0, n / ratio)
+        t = min(t, n)
+        expected = npa(t, n, m)
+        got = npa_array(
+            numpy.array([t]), numpy.array([n]), numpy.array([m])
+        )
+        assert got[0] == expected, (t, n, m)
+
+    def test_grouped_big_region_matches_scalar(self):
+        """Many elements sharing (n, m) with floor(t) >= 64 — the grouped
+        cumprod branch — must reproduce the scalar numpy-product path."""
+        n, m = 500_000.0, 125.0
+        t = numpy.linspace(64.0, 99_999.0, 301)
+        expected = numpy.array([npa(float(v), n, m) for v in t])
+        got = npa_array(t, numpy.full(t.shape, n), numpy.full(t.shape, m))
+        assert (got == expected).all()
+
+    def test_boundary_and_cardenas_regions_match_scalar(self):
+        """floor(t) == 63 (scalar Python loop) and t > exact limit
+        (Cardenas approximation) stay on the scalar fallback."""
+        cases = [
+            (63.0, 10_000.0, 40.0),
+            (63.9, 10_000.0, 40.0),
+            (150_000.0, 1e6, 300.0),
+        ]
+        t, n, m = (numpy.array(column) for column in zip(*cases))
+        expected = numpy.array(
+            [npa(*case) for case in cases]
+        )
+        assert (npa_array(t, n, m) == expected).all()
+
+
+class TestKernelResolution:
+    def test_unknown_kernel_rejected(self):
+        stats, load = make_world(length=2, subclasses=(0, 0))
+        with pytest.raises(OptimizerError, match="unknown kernel"):
+            CostMatrix.compute(stats, load, kernel="simd")
+
+    def test_kernel_names_are_closed(self):
+        assert KERNELS == ("auto", "columnar", "legacy")
+
+    def test_auto_resolution_thresholds(self):
+        resolve = CostMatrix._resolve_kernel
+        assert resolve("auto", KERNEL_AUTO_MIN_ROWS) == "columnar"
+        assert resolve("auto", KERNEL_AUTO_MIN_ROWS - 1) == "legacy"
+        assert resolve(None, KERNEL_AUTO_MIN_ROWS) == "columnar"
+        assert resolve("legacy", 10_000) == "legacy"
+        assert resolve("columnar", 1) == "columnar"
+
+    def test_matrix_remembers_requested_kernel(self):
+        stats, load = make_world(length=3, subclasses=(0, 0, 0))
+        assert CostMatrix.compute(stats, load)._kernel == "auto"
+        assert (
+            CostMatrix.compute(stats, load, kernel="legacy")._kernel
+            == "legacy"
+        )
+
+
+NO_NUMPY_PROBE = textwrap.dedent(
+    """
+    from repro import kernel
+    assert kernel.is_available() is False
+
+    from repro.core.cost_matrix import CostMatrix
+    from repro.costmodel.params import ClassStats, PathStatistics
+    from repro.errors import OptimizerError
+    from repro.synth import LevelSpec, linear_path_schema
+    from repro.workload.load import LoadDistribution
+
+    levels = [LevelSpec(f"L{i}", subclasses=0) for i in range(8)]
+    _schema, path = linear_path_schema(levels)
+    per_class = {}
+    objects = 40_000
+    for position in range(1, 9):
+        for member in path.hierarchy_at(position):
+            per_class[member] = ClassStats(
+                objects=objects, distinct=max(10, objects // 6), fanout=1.0
+            )
+        objects = max(50, objects // 5)
+    stats = PathStatistics(path, per_class)
+    load = LoadDistribution.uniform(path, 0.3, 0.1, 0.05)
+
+    # auto falls back to the legacy evaluator and still computes.
+    matrix = CostMatrix.compute(stats, load, kernel="auto")
+    assert matrix.min_cost(1, 8).cost > 0
+
+    # An explicit columnar request fails loudly, not silently.
+    try:
+        CostMatrix.compute(stats, load, kernel="columnar")
+    except OptimizerError as error:
+        assert "numpy" in str(error)
+    else:
+        raise AssertionError("columnar kernel ran without numpy")
+    print("OK")
+    """
+)
+
+
+class TestNoNumpyFallback:
+    def test_auto_falls_back_without_numpy(self, tmp_path):
+        """Run a probe in a subprocess where ``import numpy`` fails."""
+        stub = tmp_path / "numpy.py"
+        stub.write_text(
+            'raise ImportError("numpy disabled for fallback test")\n'
+        )
+        repo_src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src",
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join([str(tmp_path), repo_src])
+        completed = subprocess.run(
+            [sys.executable, "-c", NO_NUMPY_PROBE],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "OK" in completed.stdout

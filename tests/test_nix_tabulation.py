@@ -59,7 +59,13 @@ class TestRetrievalTabulation:
 
     def test_tabulation_entries_are_written(self):
         stats = make_stats(cache_evaluation=True)
-        CostMatrix.compute(stats, LoadDistribution.uniform(stats.path, 0.3, 0.1, 0.1))
+        # The tabulation lives in the legacy evaluator; the columnar
+        # kernel batches the same estimates without the memo.
+        CostMatrix.compute(
+            stats,
+            LoadDistribution.uniform(stats.path, 0.3, 0.1, 0.1),
+            kernel="legacy",
+        )
         tags = {
             key[0]
             for key in stats._primitive_cache

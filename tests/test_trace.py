@@ -353,3 +353,143 @@ class TestDriftDetector:
             DriftDetector(hysteresis=0)
         with pytest.raises(TraceError, match="floor"):
             DriftDetector(floor=0.0)
+
+
+class TestWallClockWindows:
+    def test_mode_property(self):
+        stats, _load = make_world()
+        assert WindowAggregator(stats, window=4).mode == "count"
+        assert (
+            WindowAggregator(stats, window_seconds=10.0).mode == "wall_clock"
+        )
+        assert (
+            WindowAggregator(stats, window=4, window_seconds=10.0).mode
+            == "hybrid"
+        )
+
+    def test_wall_clock_frequencies_are_rates(self):
+        stats, _load = make_world()
+        start = stats.path.class_at(1)
+        aggregator = WindowAggregator(stats, window_seconds=4.0)
+        snapshot = None
+        for timestamp in (0.0, 1.0, 2.0, 4.0):
+            snapshot = (
+                aggregator.push(TraceEvent(timestamp, "query", start))
+                or snapshot
+            )
+        # 3 events remain in the (0, 4] span (the t=0 event aged out);
+        # frequencies are per second of window span.
+        assert snapshot is not None
+        assert snapshot.events == 3
+        assert snapshot.load.triplet(start).query == 3 / 4.0
+        assert aggregator.windows_emitted == 1
+
+    def test_wall_clock_slide_seconds_cadence(self):
+        stats, _load = make_world()
+        start = stats.path.class_at(1)
+        aggregator = WindowAggregator(
+            stats, window_seconds=4.0, slide_seconds=2.0
+        )
+        emitted = []
+        for timestamp in range(11):
+            snapshot = aggregator.push(
+                TraceEvent(float(timestamp), "query", start)
+            )
+            if snapshot is not None:
+                emitted.append(timestamp)
+        # First at t=4 (window filled), then every 2 seconds of progress.
+        assert emitted == [4, 6, 8, 10]
+
+    def test_wall_clock_timestamp_jump_emits_once(self):
+        stats, _load = make_world()
+        start = stats.path.class_at(1)
+        aggregator = WindowAggregator(
+            stats, window_seconds=1.0, slide_seconds=1.0
+        )
+        assert aggregator.push(TraceEvent(0.0, "query", start)) is None
+        # A jump across many slide boundaries yields one snapshot, and the
+        # next boundary is beyond the jump.
+        assert aggregator.push(TraceEvent(50.0, "query", start)) is not None
+        assert aggregator.push(TraceEvent(50.5, "query", start)) is None
+
+    def test_hybrid_evicts_stale_events(self):
+        stats, _load = make_world()
+        start = stats.path.class_at(1)
+        aggregator = WindowAggregator(stats, window=4, window_seconds=10.0)
+        events = [
+            TraceEvent(0.0, "insert", start),
+            TraceEvent(1.0, "insert", start),
+            TraceEvent(2.0, "query", start),
+            TraceEvent(100.0, "query", start),
+        ]
+        snapshot = None
+        for event in events:
+            snapshot = aggregator.push(event) or snapshot
+        # Count cadence (4th event) but only the fresh event survives the
+        # age-out; the denominator stays the count window.
+        assert snapshot is not None
+        assert snapshot.events == 1
+        assert snapshot.load.triplet(start) == LoadTriplet(query=1 / 4.0)
+
+    def test_hybrid_dense_traffic_matches_count_mode(self):
+        stats, _load = make_world()
+        start = stats.path.class_at(1)
+        count = WindowAggregator(stats, window=3, slide=2)
+        hybrid = WindowAggregator(
+            stats, window=3, slide=2, window_seconds=1000.0
+        )
+        events = [
+            TraceEvent(float(i), ("query", "insert")[i % 2], start)
+            for i in range(9)
+        ]
+        count_snapshots = list(count.feed(events))
+        hybrid_snapshots = list(hybrid.feed(events))
+        assert len(count_snapshots) == len(hybrid_snapshots)
+        for left, right in zip(count_snapshots, hybrid_snapshots):
+            assert left.load.triplet(start) == right.load.triplet(start)
+            assert left.events == right.events
+
+    def test_invalid_combinations_rejected(self):
+        stats, _load = make_world()
+        with pytest.raises(TraceError, match="window is required"):
+            WindowAggregator(stats)
+        with pytest.raises(TraceError, match="slide="):
+            WindowAggregator(stats, window_seconds=5.0, slide=2)
+        with pytest.raises(TraceError, match="slide_seconds"):
+            WindowAggregator(
+                stats, window_seconds=5.0, slide_seconds=6.0
+            )
+        with pytest.raises(TraceError, match="wall-clock mode only"):
+            WindowAggregator(
+                stats, window=4, window_seconds=5.0, slide_seconds=1.0
+            )
+        with pytest.raises(TraceError, match="window_seconds"):
+            WindowAggregator(stats, window_seconds=0.0)
+
+
+class TestAdaptiveThreshold:
+    def test_anchors_historical_default_at_window_100(self):
+        detector = DriftDetector.adaptive(100)
+        assert detector.threshold == 0.2
+
+    def test_shrinks_with_sqrt_window(self):
+        assert DriftDetector.adaptive(400).threshold == 0.1
+        assert DriftDetector.adaptive(25).threshold == 0.4
+
+    def test_bottoms_out_at_minimum(self):
+        detector = DriftDetector.adaptive(1_000_000)
+        assert detector.threshold == 0.05
+
+    def test_custom_scale_and_minimum(self):
+        detector = DriftDetector.adaptive(
+            100, noise_scale=1.0, min_threshold=0.0
+        )
+        assert detector.threshold == 0.1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(TraceError, match="positive window"):
+            DriftDetector.adaptive(0)
+        with pytest.raises(TraceError, match="noise scale"):
+            DriftDetector.adaptive(100, noise_scale=0.0)
+        with pytest.raises(TraceError, match="minimum threshold"):
+            DriftDetector.adaptive(100, min_threshold=-0.1)
