@@ -1,0 +1,258 @@
+"""Resilience overhead: checkpointing and fault-tolerant ingestion.
+
+Two costs of the ``repro.resilience`` layer, measured on the same
+production-shaped stream as ``bench_trace_replay``:
+
+* **checkpoint overhead** — a continuous replay that snapshots the full
+  advisor state (:func:`~repro.resilience.save_advisor`) after every
+  window-sized chunk, versus the same replay without checkpoints. The
+  restored advisor must finish the stream **bit-identically** to the
+  uninterrupted one (asserted, not assumed); the report records the
+  per-checkpoint save cost, the one-shot restore cost, and the file
+  size.
+* **faulty-stream throughput** — sustained events/second when ~1% of
+  the trace lines are corrupted (seeded, via
+  :class:`~repro.resilience.faults.FaultInjector`) and the replay reads
+  through ``iter_trace(on_error="collect")``, versus the clean-stream
+  throughput of the same trace.
+
+Results land in ``benchmarks/results/BENCH_resilience.json``; the
+``--smoke`` guards are deliberately generous (machine noise must never
+flake CI) but catch the failure modes that matter: checkpointing
+becoming pathologically slow, or the tolerant read path collapsing
+ingestion throughput.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/bench_resilience.py           # full
+    PYTHONPATH=src:. python benchmarks/bench_resilience.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import tempfile
+import time
+
+from benchmarks.bench_trace_replay import WINDOW, make_edge_load
+from benchmarks.bench_whatif_loop import make_inputs
+from repro.resilience import restore_advisor, save_advisor
+from repro.resilience.faults import FaultInjector
+from repro.trace import (
+    ContinuousAdvisor,
+    TraceReadReport,
+    generate_trace,
+    iter_trace,
+    write_trace,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+JSON_NAME = "BENCH_resilience.json"
+
+FULL_LENGTH = 30
+FULL_EVENTS = 4000
+SMOKE_LENGTH = 20
+SMOKE_EVENTS = 1500
+
+#: Corrupt ~1 line in 100 of the ingested stream (the injected-fault
+#: rate the ISSUE's throughput comparison is defined against).
+FAULT_RATE = 0.01
+
+#: Smoke guards: a checkpoint snapshot that takes longer than this is
+#: pathological (they are ~10 KB JSONL writes), and the tolerant read
+#: path must keep at least this fraction of clean-stream throughput.
+SMOKE_SAVE_LIMIT_MS = 250.0
+SMOKE_MIN_THROUGHPUT_RATIO = 0.2
+
+
+def make_stream(length: int, events: int, seed: int = 0):
+    stats, _generated = make_inputs(length, seed=seed)
+    base_load = make_edge_load(stats)
+    trace = generate_trace(
+        stats.path,
+        "edge_drift",
+        events,
+        seed=seed + 1,
+        edge_share=1.0,
+        drift_intensity=0.6,
+    )
+    return stats, base_load, trace
+
+
+def advisor_for(stats, base_load) -> ContinuousAdvisor:
+    return ContinuousAdvisor(
+        stats, base_load, window=WINDOW, threshold=0.25, hysteresis=2, workers=0
+    )
+
+
+def measure_checkpoint(length: int, events: int, seed: int = 0) -> dict:
+    """Checkpoint-per-chunk replay vs the same replay without."""
+    stats, base_load, trace = make_stream(length, events, seed)
+
+    clean = advisor_for(stats, base_load)
+    started = time.perf_counter()
+    clean.replay(trace)
+    clean_ms = (time.perf_counter() - started) * 1000.0
+
+    with tempfile.TemporaryDirectory() as scratch:
+        path = pathlib.Path(scratch) / "advisor.ckpt"
+        checkpointed = advisor_for(stats, base_load)
+        save_ms = 0.0
+        saves = 0
+        for offset in range(0, len(trace), WINDOW):
+            checkpointed.process(trace[offset : offset + WINDOW])
+            started = time.perf_counter()
+            save_advisor(checkpointed, path)
+            save_ms += (time.perf_counter() - started) * 1000.0
+            saves += 1
+        checkpointed.flush()
+        checkpoint_bytes = path.stat().st_size
+
+        started = time.perf_counter()
+        restored = restore_advisor(path, stats, base_load)
+        restore_ms = (time.perf_counter() - started) * 1000.0
+        restored.flush()
+
+    # The final checkpoint was taken after the whole stream, so the
+    # restored advisor's timeline must equal the uninterrupted run's.
+    assert [s.to_dict() for s in restored.steps] == [
+        s.to_dict() for s in clean.steps
+    ], "restored replay diverged from the uninterrupted replay"
+
+    return {
+        "length": length,
+        "events": events,
+        "window": WINDOW,
+        "checkpoints": saves,
+        "clean_replay_ms": round(clean_ms, 1),
+        "save_ms_total": round(save_ms, 1),
+        "save_ms_per_checkpoint": round(save_ms / max(1, saves), 2),
+        "restore_ms": round(restore_ms, 2),
+        "checkpoint_bytes": checkpoint_bytes,
+        "overhead_pct": (
+            round(100.0 * save_ms / clean_ms, 1) if clean_ms else None
+        ),
+    }
+
+
+def measure_faulty_throughput(length: int, events: int, seed: int = 0) -> dict:
+    """Events/second over a ~1%-corrupted stream vs the clean stream."""
+    stats, base_load, trace = make_stream(length, events, seed)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        clean_path = pathlib.Path(scratch) / "clean.jsonl"
+        write_trace(trace, clean_path)
+        faulty_path = pathlib.Path(scratch) / "faulty.jsonl"
+        write_trace(trace, faulty_path)
+        corruptions = max(1, int(len(trace) * FAULT_RATE))
+        injected = FaultInjector(seed=seed).corrupt_trace(
+            faulty_path, corruptions=corruptions
+        )
+
+        clean_advisor = advisor_for(stats, base_load)
+        started = time.perf_counter()
+        clean_advisor.replay(iter_trace(clean_path))
+        clean_ms = (time.perf_counter() - started) * 1000.0
+
+        report = TraceReadReport()
+        faulty_advisor = advisor_for(stats, base_load)
+        started = time.perf_counter()
+        faulty_advisor.replay(
+            iter_trace(faulty_path, on_error="collect", report=report)
+        )
+        faulty_ms = (time.perf_counter() - started) * 1000.0
+
+    assert report.skipped_lines == injected, (
+        "tolerant read did not account for every injected corruption"
+    )
+    clean_rate = round(events / (clean_ms / 1000.0)) if clean_ms else None
+    survivors = events - len(injected)
+    faulty_rate = round(survivors / (faulty_ms / 1000.0)) if faulty_ms else None
+    return {
+        "length": length,
+        "events": events,
+        "corrupted_lines": len(injected),
+        "fault_rate": FAULT_RATE,
+        "clean_events_per_second": clean_rate,
+        "faulty_events_per_second": faulty_rate,
+        "throughput_ratio": (
+            round(faulty_rate / clean_rate, 3)
+            if clean_rate and faulty_rate
+            else None
+        ),
+    }
+
+
+def run(smoke: bool) -> dict:
+    """All measurements for one mode."""
+    length = SMOKE_LENGTH if smoke else FULL_LENGTH
+    events = SMOKE_EVENTS if smoke else FULL_EVENTS
+    return {
+        "benchmark": "resilience",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "checkpoint": measure_checkpoint(length, events),
+        "faulty_stream": measure_faulty_throughput(length, events),
+    }
+
+
+def check_smoke(report: dict) -> list[str]:
+    """Smoke failures (empty when the guards pass)."""
+    failures: list[str] = []
+    checkpoint = report["checkpoint"]
+    if checkpoint["save_ms_per_checkpoint"] > SMOKE_SAVE_LIMIT_MS:
+        failures.append(
+            f"checkpoint save took "
+            f"{checkpoint['save_ms_per_checkpoint']:.1f} ms per snapshot "
+            f"(limit {SMOKE_SAVE_LIMIT_MS:.0f} ms)"
+        )
+    faulty = report["faulty_stream"]
+    ratio = faulty["throughput_ratio"]
+    if ratio is not None and ratio < SMOKE_MIN_THROUGHPUT_RATIO:
+        failures.append(
+            f"faulty-stream throughput fell to {ratio:.2f}x of clean "
+            f"(floor {SMOKE_MIN_THROUGHPUT_RATIO:.2f}x)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short stream only; non-zero exit when a guard trips",
+    )
+    parser.add_argument(
+        "--json-path",
+        default=None,
+        help=f"output path (default benchmarks/results/{JSON_NAME})",
+    )
+    arguments = parser.parse_args(argv)
+
+    report = run(arguments.smoke)
+    json_path = (
+        pathlib.Path(arguments.json_path)
+        if arguments.json_path
+        else RESULTS_DIR / JSON_NAME
+    )
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {json_path}", file=sys.stderr)
+
+    if arguments.smoke:
+        failures = check_smoke(report)
+        for failure in failures:
+            print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

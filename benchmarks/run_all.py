@@ -224,7 +224,12 @@ def main(argv: list[str] | None = None) -> int:
     # The what-if loop and trace-replay benchmarks write their own
     # artifacts next to this one (the CI job uploads all of them) and
     # share the --smoke contract.
-    from benchmarks import bench_kernel, bench_trace_replay, bench_whatif_loop
+    from benchmarks import (
+        bench_kernel,
+        bench_resilience,
+        bench_trace_replay,
+        bench_whatif_loop,
+    )
 
     whatif_report = bench_whatif_loop.run(arguments.smoke)
     whatif_path = json_path.parent / bench_whatif_loop.JSON_NAME
@@ -255,6 +260,16 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\nwritten to {kernel_path}", file=sys.stderr)
     if arguments.smoke:
         failures.extend(bench_kernel.check_smoke(kernel_report))
+
+    resilience_report = bench_resilience.run(arguments.smoke)
+    resilience_path = json_path.parent / bench_resilience.JSON_NAME
+    resilience_path.write_text(
+        json.dumps(resilience_report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(resilience_report, indent=2))
+    print(f"\nwritten to {resilience_path}", file=sys.stderr)
+    if arguments.smoke:
+        failures.extend(bench_resilience.check_smoke(resilience_report))
 
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}", file=sys.stderr)

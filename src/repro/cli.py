@@ -53,6 +53,7 @@ from repro.search import available_strategies
 from repro.trace import (
     TRACE_REGIMES,
     ContinuousAdvisor,
+    TraceReadReport,
     generate_trace,
     iter_trace,
     write_trace,
@@ -317,17 +318,7 @@ def _cmd_replay(arguments: argparse.Namespace) -> int:
     window = arguments.window
     if window is None and arguments.window_seconds is None:
         window = 200
-    advisor = ContinuousAdvisor(
-        spec.stats,
-        spec.load,
-        window=window,
-        slide=arguments.slide,
-        window_seconds=arguments.window_seconds,
-        slide_seconds=arguments.slide_seconds,
-        rate_scale=arguments.rate_scale,
-        track_statistics=arguments.track_stats,
-        threshold=threshold,
-        hysteresis=arguments.hysteresis,
+    session_options = dict(
         organizations=spec.organizations or CONFIGURABLE_ORGANIZATIONS,
         include_noindex=spec.include_noindex or arguments.noindex,
         range_selectivity=spec.range_selectivity,
@@ -335,7 +326,45 @@ def _cmd_replay(arguments: argparse.Namespace) -> int:
         workers=arguments.workers,
         kernel=arguments.kernel,
     )
-    steps = advisor.replay(iter_trace(arguments.trace))
+    if arguments.resume:
+        if not arguments.checkpoint:
+            print(
+                "error: --resume requires --checkpoint FILE",
+                file=sys.stderr,
+            )
+            return 1
+        from repro.resilience import restore_advisor
+
+        advisor = restore_advisor(
+            arguments.checkpoint, spec.stats, spec.load, **session_options
+        )
+    else:
+        advisor = ContinuousAdvisor(
+            spec.stats,
+            spec.load,
+            window=window,
+            slide=arguments.slide,
+            window_seconds=arguments.window_seconds,
+            slide_seconds=arguments.slide_seconds,
+            rate_scale=arguments.rate_scale,
+            track_statistics=arguments.track_stats,
+            threshold=threshold,
+            hysteresis=arguments.hysteresis,
+            deadline_ms=arguments.deadline_ms,
+            **session_options,
+        )
+    read_report = TraceReadReport()
+    steps = advisor.replay(
+        iter_trace(
+            arguments.trace,
+            on_error=arguments.on_error,
+            report=read_report,
+        )
+    )
+    if arguments.checkpoint:
+        from repro.resilience import save_advisor
+
+        save_advisor(advisor, arguments.checkpoint)
     path = spec.stats.path
     if arguments.json:
         payload = {
@@ -347,11 +376,19 @@ def _cmd_replay(arguments: argparse.Namespace) -> int:
             "events": advisor.events_seen,
             "windows": advisor.windows_seen,
             "windows_held": advisor.windows_held,
+            "lines_skipped": read_report.skipped_lines,
+            "skip_messages": [
+                message
+                for _number, message in read_report.skipped
+                if message
+            ],
+            "degradations": advisor.degradation.to_dicts(),
             "steps": [
                 {
                     "step": step.index,
                     "window": step.window,
                     "forced": step.forced,
+                    "rung": step.rung,
                     "events_seen": step.events_seen,
                     "change": step.change,
                     "perturbations": step.perturbations,
@@ -381,6 +418,12 @@ def _cmd_replay(arguments: argparse.Namespace) -> int:
     else:
         print(replay_table(path, steps, title=f"trace replay over {path}"))
         print(f"\n{advisor.describe()}")
+        if read_report.skipped:
+            print(f"trace read: {read_report.describe()}")
+        if advisor.degradation:
+            print("degradations:")
+            for line in advisor.degradation.describe().splitlines():
+                print(f"  {line}")
     return 0
 
 
@@ -734,6 +777,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--noindex",
         action="store_true",
         help="also consider leaving subpaths unindexed",
+    )
+    replay_parser.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write a resumable snapshot of the advisor here after the "
+            "replay (and read it first with --resume)"
+        ),
+    )
+    replay_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "restore the advisor from --checkpoint and continue the "
+            "stream from where it left off (bit-identical to an "
+            "uninterrupted run); windowing/drift flags come from the "
+            "checkpoint"
+        ),
+    )
+    replay_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="T",
+        help=(
+            "wall-clock budget per re-advise in milliseconds; on expiry "
+            "the advisor degrades (shrinking greedy beams, then the "
+            "last-known-good configuration) instead of blocking — each "
+            "step reports the rung that answered"
+        ),
+    )
+    replay_parser.add_argument(
+        "--on-error",
+        choices=("raise", "skip", "collect"),
+        default="raise",
+        help=(
+            "malformed trace lines: 'raise' aborts (default), 'skip' "
+            "drops them, 'collect' drops them and reports each parse "
+            "error; skipped line numbers are always reported"
+        ),
     )
     replay_parser.add_argument(
         "--json", action="store_true", help="machine-readable output"

@@ -14,8 +14,9 @@ from dataclasses import dataclass, field
 
 from repro.core.cost_matrix import CostMatrix
 from repro.costmodel.params import PathStatistics
-from repro.errors import OptimizerError
+from repro.errors import DeadlineExceeded, OptimizerError
 from repro.organizations import CONFIGURABLE_ORGANIZATIONS, IndexOrganization
+from repro.resilience.degrade import degraded_search
 from repro.search import SearchResult, get_strategy
 from repro.workload.load import LoadDistribution
 
@@ -138,6 +139,8 @@ def advise(
     strategy: str = DEFAULT_STRATEGY,
     workers: int | None = None,
     kernel: str = "auto",
+    deadline=None,
+    degradation=None,
     **strategy_options,
 ) -> AdvisorReport:
     """Select the optimal index configuration for a path.
@@ -178,6 +181,21 @@ def advise(
         ``"auto"`` (default) uses the columnar numpy kernel when
         available, ``"columnar"``/``"legacy"`` force one engine. All
         kernels produce bit-identical matrices.
+    deadline:
+        An optional :class:`~repro.resilience.Deadline` bounding the
+        search. On expiry the exact strategy is abandoned and the
+        degradation ladder answers instead (shrinking greedy beams; see
+        :func:`repro.resilience.degraded_search`) — the report's
+        ``optimal`` then carries ``extras["degraded"]`` and the rung
+        that produced it. Baselines are skipped once the deadline has
+        expired. The matrix construction itself is never bounded: cost
+        rows are the ground truth every rung prices against.
+    degradation:
+        An optional
+        :class:`~repro.resilience.DegradationReport` collecting a
+        structured record of every fallback taken (deadline rungs,
+        worker-pool serial fallbacks, kernel downgrades). When omitted,
+        deadline fallbacks are still applied — just not recorded.
     strategy_options:
         Extra keyword options for the strategy constructor (e.g.
         ``width=4`` for ``greedy_beam``).
@@ -193,9 +211,38 @@ def advise(
         range_selectivity=range_selectivity,
         workers=workers,
         kernel=kernel,
+        degradation=degradation,
     )
-    optimal = searcher.search(matrix, keep_trace=keep_trace)
+    search_options: dict = {"keep_trace": keep_trace}
+    if deadline is not None:
+        search_options["deadline"] = deadline
+    try:
+        optimal = searcher.search(matrix, **search_options)
+    except DeadlineExceeded as error:
+        if degradation is not None:
+            degradation.record(
+                "advise",
+                "exact_abandoned",
+                "deadline_expired",
+                strategy=strategy,
+                message=str(error),
+            )
+        optimal = degraded_search(
+            matrix,
+            deadline=deadline,
+            degradation=degradation,
+            keep_trace=keep_trace,
+            layer="advise",
+        )
     report = AdvisorReport(stats=stats, load=load, matrix=matrix, optimal=optimal)
+    if run_baselines and deadline is not None and deadline.expired:
+        # The budget is gone: answering beat completeness, and the
+        # skipped baselines must not pass silently.
+        if degradation is not None:
+            degradation.record(
+                "advise", "baselines_skipped", "deadline_expired"
+            )
+        run_baselines = False
     if run_baselines:
         # A baseline that *is* the chosen strategy was already computed.
         if strategy == "exhaustive":

@@ -29,6 +29,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import warnings
 from dataclasses import dataclass
 
 from repro.costmodel.params import PathStatistics
@@ -38,6 +39,7 @@ from repro.costmodel.subpath import (
     subpath_processing_cost,
 )
 from repro.errors import OptimizerError
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, run_with_retry
 from repro.organizations import (
     CONFIGURABLE_ORGANIZATIONS,
     EXTENDED_ORGANIZATIONS,
@@ -106,6 +108,44 @@ def _fork_context() -> multiprocessing.context.BaseContext | None:
     if multiprocessing.get_start_method() != "fork":
         return None
     return multiprocessing.get_context("fork")
+
+
+def _run_pool_once(pool_options: dict, payloads: list) -> dict:
+    """One worker-pool fan-out attempt (the fault-injection seam).
+
+    Kept as a module-level function so the retry loop in
+    :meth:`CostMatrix._compute_rows_parallel` (and the chaos tests, via
+    monkeypatching) can re-run or fail a *single* pool lifecycle without
+    touching batch construction.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    results: dict = {}
+    with ProcessPoolExecutor(**pool_options) as pool:
+        futures = [
+            pool.submit(function, payload) for function, payload in payloads
+        ]
+        for future in futures:
+            for start, end, row in future.result():
+                results[(start, end)] = row
+    return results
+
+
+def _warn_parallel_fallback(reason: str) -> None:
+    """One :class:`RuntimeWarning` per distinct fallback cause.
+
+    Python's default warning filter deduplicates per (message, category,
+    call site), so a long what-if loop that keeps hitting the same broken
+    pool warns once instead of flooding stderr — while the structured
+    cause stays queryable on every affected matrix
+    (:attr:`CostMatrix.parallel_fallback_reason`).
+    """
+    warnings.warn(
+        f"parallel cost-matrix construction fell back to serial "
+        f"evaluation: {reason}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -324,6 +364,11 @@ class CostMatrix:
         #: What the producing :meth:`recompute` did (``None`` for matrices
         #: built by :meth:`compute` or :meth:`from_values`).
         self.recompute_report: RecomputeReport | None = None
+        #: Why a requested parallel construction fell back to serial
+        #: evaluation (``None`` when it ran as requested). Serial results
+        #: are byte-identical, but the *cause* is never swallowed: it is
+        #: recorded here and warned about once per process.
+        self.parallel_fallback_reason: str | None = None
         self._org_index = {
             organization: index
             for index, organization in enumerate(self.organizations)
@@ -373,6 +418,8 @@ class CostMatrix:
         range_selectivity: float | None = None,
         workers: int | None = None,
         kernel: str = "auto",
+        retry_policy=None,
+        degradation=None,
     ) -> "CostMatrix":
         """The ``Cost_Matrix`` procedure over the analytic cost model.
 
@@ -394,6 +441,14 @@ class CostMatrix:
         large enough to amortize array construction. Every kernel and
         worker count produces a bit-identical matrix; only construction
         speed differs.
+
+        ``retry_policy`` (a :class:`~repro.resilience.RetryPolicy`)
+        governs how worker-pool failures are retried before the serial
+        fallback; ``degradation`` (a
+        :class:`~repro.resilience.DegradationReport`) receives one
+        structured event per fallback taken. A serial fallback is also
+        recorded on the result as :attr:`parallel_fallback_reason` and
+        warned about once.
         """
         if include_noindex and IndexOrganization.NONE not in organizations:
             organizations = tuple(EXTENDED_ORGANIZATIONS)
@@ -403,9 +458,9 @@ class CostMatrix:
             for start in range(1, length + 1)
             for end in range(start, length + 1)
         ]
-        row_costs = cls._compute_rows(
+        row_costs, fallback_reason = cls._compute_rows(
             stats, load, tuple(organizations), rows, range_selectivity, workers,
-            kernel,
+            kernel, retry_policy, degradation,
         )
         entries: dict[tuple[int, int], dict[IndexOrganization, float]] = {}
         breakdowns: dict[tuple[int, int], dict[IndexOrganization, SubpathCost]] = {}
@@ -420,17 +475,26 @@ class CostMatrix:
         matrix._load = load
         matrix._range_selectivity = range_selectivity
         matrix._kernel = kernel
+        matrix.parallel_fallback_reason = fallback_reason
+        if fallback_reason is not None:
+            _warn_parallel_fallback(fallback_reason)
         return matrix
 
     @staticmethod
-    def _resolve_kernel(kernel: str | None, row_count: int) -> str:
+    def _resolve_kernel(
+        kernel: str | None, row_count: int, degradation=None
+    ) -> str:
         """The evaluation engine for a batch: ``"columnar"`` or ``"legacy"``.
 
         ``"auto"`` (or ``None``) picks the columnar kernel when numpy is
         importable and the batch has at least :data:`KERNEL_AUTO_MIN_ROWS`
         rows; an explicit ``"columnar"`` raises
         :class:`~repro.errors.OptimizerError` when numpy is missing
-        instead of silently degrading.
+        instead of silently degrading. When a ``degradation`` report is
+        given, an ``auto`` batch large enough for the kernel that lands
+        on the legacy evaluator *because numpy is unavailable* records a
+        ``kernel``-layer event (small batches choosing legacy by speed do
+        not degrade anything).
         """
         from repro import kernel as columnar
 
@@ -441,8 +505,17 @@ class CostMatrix:
                 f"unknown kernel {kernel!r}; expected one of {KERNELS}"
             )
         if kernel == "auto":
-            if columnar.is_available() and row_count >= KERNEL_AUTO_MIN_ROWS:
-                return "columnar"
+            if row_count >= KERNEL_AUTO_MIN_ROWS:
+                if columnar.is_available():
+                    return "columnar"
+                if degradation is not None:
+                    degradation.record(
+                        "kernel",
+                        "legacy_fallback",
+                        "numpy unavailable",
+                        rows=row_count,
+                    )
+                return "legacy"
             return "legacy"
         if kernel == "columnar" and not columnar.is_available():
             raise OptimizerError(
@@ -491,25 +564,45 @@ class CostMatrix:
         range_selectivity: float | None,
         workers: int | None,
         kernel: str | None = "auto",
-    ) -> dict[tuple[int, int], dict[IndexOrganization, SubpathCost]]:
+        retry_policy=None,
+        degradation=None,
+    ) -> tuple[
+        dict[tuple[int, int], dict[IndexOrganization, SubpathCost]],
+        str | None,
+    ]:
         """Price a set of rows, serially or over a process pool.
 
-        The result is keyed by row coordinates, so assembly order is
-        deterministic regardless of how the rows were distributed or
-        which kernel priced them.
+        Returns ``(rows, parallel_fallback_reason)``: the reason is
+        ``None`` unless a requested parallel fan-out failed (after the
+        ``retry_policy`` retries) and the rows were priced serially
+        instead. Row results are keyed by coordinates, so assembly order
+        is deterministic regardless of how the rows were distributed or
+        which kernel priced them. ``degradation`` (a
+        :class:`~repro.resilience.DegradationReport`) receives one event
+        per fallback taken.
         """
-        resolved_kernel = cls._resolve_kernel(kernel, len(rows))
+        resolved_kernel = cls._resolve_kernel(kernel, len(rows), degradation)
         resolved = cls._resolve_workers(workers, len(rows), resolved_kernel)
+        fallback_reason: str | None = None
         if resolved > 1:
-            batched = cls._compute_rows_parallel(
+            batched, fallback_reason = cls._compute_rows_parallel(
                 stats, load, organizations, rows, range_selectivity, resolved,
-                resolved_kernel,
+                resolved_kernel, retry_policy,
             )
             if batched is not None:
-                return batched
-        return _evaluate_rows(
+                return batched, None
+            if degradation is not None:
+                degradation.record(
+                    "matrix",
+                    "serial_fallback",
+                    fallback_reason or "worker pool unavailable",
+                    workers=resolved,
+                    rows=len(rows),
+                )
+        rows_priced = _evaluate_rows(
             stats, load, organizations, rows, range_selectivity, resolved_kernel
         )
+        return rows_priced, fallback_reason
 
     @staticmethod
     def _compute_rows_parallel(
@@ -520,8 +613,12 @@ class CostMatrix:
         range_selectivity: float | None,
         workers: int,
         kernel: str = "legacy",
-    ) -> dict[tuple[int, int], dict[IndexOrganization, SubpathCost]] | None:
-        """Fan row batches out over a process pool; ``None`` on failure.
+        retry_policy=None,
+    ) -> tuple[
+        dict[tuple[int, int], dict[IndexOrganization, SubpathCost]] | None,
+        str | None,
+    ]:
+        """Fan row batches out over a process pool, retrying transients.
 
         Rows are striped across batches so each worker sees a mix of
         short (cheap) and long (expensive) subpaths. Where ``fork`` is
@@ -530,16 +627,20 @@ class CostMatrix:
         time — only row coordinates are pickled, which removes the
         per-batch input serialization that dominated startup on short
         paths. Platforms defaulting to ``spawn`` (macOS, Windows) keep
-        the pickling path; environments that cannot fork/pickle at all
-        fall back to serial evaluation (returning ``None``) rather than
-        failing the computation.
+        the pickling path.
+
+        Pool failures (a broken/killed worker, an unpicklable payload, an
+        OS refusing to fork) are retried under ``retry_policy``
+        (:data:`~repro.resilience.retry.DEFAULT_RETRY_POLICY` when
+        ``None``) with exponential backoff; after the last attempt the
+        caller falls back to serial evaluation. Returns
+        ``(results, None)`` on success and ``(None, reason)`` on
+        failure — the cause is *never* swallowed.
         """
-        from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
 
         batches = [rows[offset::workers] for offset in range(workers)]
         batches = [batch for batch in batches if batch]
-        results: dict[tuple[int, int], dict[IndexOrganization, SubpathCost]] = {}
         context = _fork_context()
         pool_options: dict = {"max_workers": workers}
         if context is not None:
@@ -559,18 +660,20 @@ class CostMatrix:
                 )
                 for batch in batches
             ]
-        try:
-            with ProcessPoolExecutor(**pool_options) as pool:
-                futures = [
-                    pool.submit(function, payload)
-                    for function, payload in payloads
-                ]
-                for future in futures:
-                    for start, end, row in future.result():
-                        results[(start, end)] = row
-        except (OSError, BrokenProcessPool, pickle.PicklingError):
-            return None
-        return results
+        policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        results, attempts, error = run_with_retry(
+            lambda: _run_pool_once(pool_options, payloads),
+            (OSError, BrokenProcessPool, pickle.PicklingError),
+            policy,
+        )
+        if error is None:
+            return results, None
+        reason = (
+            f"{type(error).__name__}: {error}"
+            if str(error)
+            else type(error).__name__
+        )
+        return None, f"{reason} (after {attempts} attempts)"
 
     @classmethod
     def from_values(
@@ -608,6 +711,8 @@ class CostMatrix:
         *,
         workers: int | None = 0,
         kernel: str | None = None,
+        retry_policy=None,
+        degradation=None,
     ) -> "CostMatrix":
         """A new matrix under changed inputs, re-pricing only dirty rows.
 
@@ -690,7 +795,7 @@ class CostMatrix:
                 total_rows=self.row_count(),
             )
         requested_kernel = kernel if kernel is not None else self._kernel
-        recomputed = self._compute_rows(
+        recomputed, fallback_reason = self._compute_rows(
             new_stats,
             new_load,
             self.organizations,
@@ -698,6 +803,8 @@ class CostMatrix:
             self._range_selectivity,
             workers,
             requested_kernel,
+            retry_policy,
+            degradation,
         )
         # Fast assembly: clean rows are copied as flat-array slices (and
         # keep their precomputed minima); only the recomputed rows are
@@ -753,6 +860,9 @@ class CostMatrix:
         matrix._range_selectivity = self._range_selectivity
         matrix._kernel = requested_kernel
         matrix.recompute_report = report
+        matrix.parallel_fallback_reason = fallback_reason
+        if fallback_reason is not None:
+            _warn_parallel_fallback(fallback_reason)
         return matrix
 
     def _full_rebuild_reason(self, new_stats: PathStatistics) -> str:

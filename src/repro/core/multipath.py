@@ -162,6 +162,9 @@ class MultiPathResult:
     storage_pages: float = 0.0
     budget_pages: float | None = None
     unconstrained_cost: float | None = None
+    #: Human-readable records of every deadline fallback taken while
+    #: producing this result (empty when selection ran at full quality).
+    degradations: tuple[str, ...] = ()
 
     def render(self, workloads: list[PathWorkload]) -> str:
         """Readable multi-path report."""
@@ -711,6 +714,8 @@ def optimize_multipath(
     seed: int = 0,
     sessions: list | None = None,
     joint_cache: dict | None = None,
+    deadline=None,
+    degradation=None,
 ) -> MultiPathResult:
     """Jointly select configurations for several related paths.
 
@@ -789,6 +794,21 @@ def optimize_multipath(
         against the current matrices either way. Exact joint searches
         and budgeted selections ignore the cache (their answers come
         from exhaustive scans that cannot be partially reused).
+    deadline:
+        An optional :class:`~repro.resilience.Deadline`. Selection never
+        aborts on expiry — it *degrades*: paths whose candidates are not
+        yet generated (or cached) fall back to a width-1 beam, the
+        unbudgeted joint stage returns the independent per-path optima,
+        and the budgeted sweep is seeded with them instead of the
+        multi-start descent. Every fallback taken is listed in the
+        result's ``degradations`` (and recorded into ``degradation``
+        when one is given), and degraded runs never write the
+        ``joint_cache`` or session candidate caches.
+    degradation:
+        An optional :class:`~repro.resilience.DegradationReport`
+        collecting structured records of every fallback — the deadline
+        rungs here, plus any serial/kernel fallbacks inside the matrix
+        constructions this call triggers.
     """
     if sessions is not None:
         if workloads is not None or matrices is not None:
@@ -829,9 +849,20 @@ def optimize_multipath(
                 organizations=compute_organizations,
                 workers=workers,
                 kernel=kernel,
+                degradation=degradation,
             )
             for w in workloads
         ]
+
+    degradations: list[str] = []
+
+    def degrade(action: str, **detail) -> None:
+        if degradation is not None:
+            degradation.record("multipath", action, "deadline_expired", **detail)
+        rendered = " ".join(f"{key}={value}" for key, value in detail.items())
+        degradations.append(
+            f"{action}: deadline_expired" + (f" {rendered}" if rendered else "")
+        )
 
     descriptors, generation_exact = _candidate_descriptors(
         matrices, per_row_organizations, beam_width, budget_pages
@@ -846,6 +877,22 @@ def optimize_multipath(
             if cached is not None and cached[0] == session.version:
                 candidate_sets.append(cached[1])
                 continue
+        if deadline is not None and deadline.expired:
+            # Out of time before this path's candidates were generated:
+            # a width-1 beam (its single locally cheapest configuration)
+            # keeps the joint stage answerable in O(path length) — and
+            # the degraded set is never stored in the session cache.
+            fallback = (
+                ("budget_beam", 1)
+                if budget_pages is not None
+                else ("beam", per_row_organizations, 1)
+            )
+            degrade("candidates_beam1", path=index)
+            generation_exact = False
+            candidate_sets.append(
+                _generate_candidates(workload, matrix, fallback)
+            )
+            continue
         candidates = _generate_candidates(workload, matrix, descriptor)
         if session is not None:
             session.candidate_cache[descriptor] = (session.version, candidates)
@@ -856,12 +903,31 @@ def optimize_multipath(
         independent += min(candidate.total for candidate in candidates)
 
     if budget_pages is None:
+        if deadline is not None and deadline.expired:
+            # No time for a joint search: each path keeps its independent
+            # optimum (sharing savings may be left on the table, but the
+            # selection is valid and fully priced).
+            selection = [
+                min(candidates, key=lambda candidate: candidate.total)
+                for candidates in candidate_sets
+            ]
+            degrade("joint_independent")
+            cost, savings = _joint_cost(tuple(selection))
+            return MultiPathResult(
+                configurations=[c.configuration for c in selection],
+                total_cost=cost,
+                shared_savings=savings,
+                independent_cost=independent,
+                exact=False,
+                storage_pages=_joint_storage(tuple(selection)),
+                degradations=tuple(degradations),
+            )
         combinations = 1
         for candidates in candidate_sets:
             combinations *= len(candidates)
         descent_regime = combinations > _EXACT_LIMIT
         cache_key = (per_row_organizations, beam_width, restarts, seed)
-        if joint_cache is not None and descent_regime:
+        if joint_cache is not None and descent_regime and not degradations:
             reused = _reuse_joint_selection(
                 joint_cache, cache_key, candidate_sets
             )
@@ -878,7 +944,7 @@ def optimize_multipath(
         selection, product_exact = _select_unconstrained(
             candidate_sets, restarts, seed
         )
-        if joint_cache is not None and descent_regime:
+        if joint_cache is not None and descent_regime and not degradations:
             joint_cache["entry"] = (
                 cache_key,
                 [candidate.configuration for candidate in selection],
@@ -891,18 +957,32 @@ def optimize_multipath(
             independent_cost=independent,
             exact=generation_exact and product_exact,
             storage_pages=_joint_storage(tuple(selection)),
+            degradations=tuple(degradations),
         )
 
     combinations = 1
     for candidates in candidate_sets:
         combinations *= len(candidates)
-    if combinations <= _EXACT_LIMIT:
+    expired = deadline is not None and deadline.expired
+    if combinations <= _EXACT_LIMIT and not expired:
         selection, unconstrained = _select_budgeted_exact(
             candidate_sets, budget_pages
         )
         budget_exact = True
     else:
-        unconstrained, _ = _select_unconstrained(candidate_sets, restarts, seed)
+        if expired:
+            # Feasibility cannot be skipped under a budget, so the sweep
+            # still runs — but seeded with the independent optima instead
+            # of the multi-start coordinate descent.
+            unconstrained = [
+                min(candidates, key=lambda candidate: candidate.total)
+                for candidates in candidate_sets
+            ]
+            degrade("budget_sweep_seeded")
+        else:
+            unconstrained, _ = _select_unconstrained(
+                candidate_sets, restarts, seed
+            )
         selection = _budget_sweep(candidate_sets, budget_pages, unconstrained)
         budget_exact = False
     cost, savings = _joint_cost(tuple(selection))
@@ -915,4 +995,5 @@ def optimize_multipath(
         storage_pages=_joint_storage(tuple(selection)),
         budget_pages=budget_pages,
         unconstrained_cost=_joint_cost(tuple(unconstrained))[0],
+        degradations=tuple(degradations),
     )

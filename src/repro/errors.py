@@ -46,3 +46,20 @@ class OptimizerError(ReproError):
 
 class TraceError(ReproError):
     """An operation trace is malformed (bad event, unreadable JSONL, ...)."""
+
+
+class ResilienceError(ReproError):
+    """A resilience-layer operation (checkpoint, deadline, retry) failed."""
+
+
+class DeadlineExceeded(ResilienceError):
+    """A cooperative search gave up because its deadline expired.
+
+    Raised from the deadline checkpoints inside the search strategies;
+    callers holding a degradation ladder (``AdvisorSession.advise``,
+    ``repro.resilience.degrade``) catch it and fall to the next rung.
+    """
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint file is unreadable, torn, or inconsistent."""

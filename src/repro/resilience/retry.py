@@ -1,0 +1,89 @@
+"""Retry with exponential backoff for transient infrastructure faults.
+
+The worker-pool fan-out in :mod:`repro.core.cost_matrix` can fail for
+reasons that are genuinely transient (a worker killed by the OOM
+killer, a fork raced against interpreter shutdown). A
+:class:`RetryPolicy` describes how many attempts to make and how long
+to back off between them; :func:`run_with_retry` executes an operation
+under a policy and reports what happened instead of deciding for the
+caller.
+
+Sleeping goes through the module-level :func:`_sleep` seam so tests and
+the fault-injection layer can observe (or skip) the backoff without
+real waiting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.errors import ResilienceError
+
+# Patchable seam: tests replace this to assert backoff without waiting.
+_sleep = time.sleep
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts to make and how to back off between them."""
+
+    #: Total attempts, including the first (1 means "no retries").
+    attempts: int = 2
+    #: Delay before the second attempt, in seconds.
+    backoff_seconds: float = 0.05
+    #: Multiplier applied to the delay after each retry.
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ResilienceError(
+                f"retry policy needs at least one attempt, got {self.attempts}"
+            )
+        if self.backoff_seconds < 0.0 or self.multiplier <= 0.0:
+            raise ResilienceError(
+                "retry backoff must be non-negative with a positive multiplier"
+            )
+
+    def delays(self) -> Iterator[float]:
+        """Per-attempt pre-delays: ``0.0`` first, then the backoff ramp."""
+        yield 0.0
+        delay = self.backoff_seconds
+        for _ in range(self.attempts - 1):
+            yield delay
+            delay *= self.multiplier
+
+
+#: Default policy for the worker-pool fan-out: one quick retry. The pool
+#: fallback target (serial evaluation) is always correct, so long ramps
+#: would only delay a guaranteed-good answer.
+DEFAULT_RETRY_POLICY = RetryPolicy(attempts=2, backoff_seconds=0.05)
+
+
+def run_with_retry(
+    operation: Callable[[], Any],
+    exceptions: tuple[type[BaseException], ...],
+    policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> tuple[Any, int, BaseException | None]:
+    """Run ``operation`` under ``policy``; never raises the caught types.
+
+    Returns ``(value, attempts_used, last_error)``: on success
+    ``last_error`` is ``None``; after exhausting the policy ``value`` is
+    ``None`` and ``last_error`` is the final exception. ``on_retry`` is
+    called with ``(attempt_number, error)`` after each failed attempt.
+    Exceptions outside ``exceptions`` propagate unchanged.
+    """
+    last_error: BaseException | None = None
+    attempt = 0
+    for attempt, delay in enumerate(policy.delays(), start=1):
+        if delay > 0.0:
+            _sleep(delay)
+        try:
+            return operation(), attempt, None
+        except exceptions as error:
+            last_error = error
+            if on_retry is not None:
+                on_retry(attempt, error)
+    return None, attempt, last_error

@@ -66,14 +66,22 @@ class SearchStrategy(Protocol):
 
     ``name`` is the registry key; ``exact`` declares whether the strategy
     guarantees the optimum (the parity tests assert it for every exact
-    strategy).
+    strategy). ``deadline`` is an optional
+    :class:`~repro.resilience.Deadline` the strategy checks cooperatively
+    (once per position / frontier level / node), raising
+    :class:`~repro.errors.DeadlineExceeded` when the budget is spent so
+    the degradation ladder above can answer from a cheaper rung.
     """
 
     name: str
     exact: bool
 
     def search(
-        self, matrix: CostMatrix, *, keep_trace: bool = False
+        self,
+        matrix: CostMatrix,
+        *,
+        keep_trace: bool = False,
+        deadline=None,
     ) -> SearchResult:
         """Select a configuration from ``matrix``."""
         ...

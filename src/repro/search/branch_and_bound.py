@@ -30,7 +30,7 @@ class BranchAndBoundStrategy:
     exact = True
 
     def search(
-        self, matrix: CostMatrix, *, keep_trace: bool = False
+        self, matrix: CostMatrix, *, keep_trace: bool = False, deadline=None
     ) -> SearchResult:
         length = matrix.length
         trace: list[str] = []
@@ -70,6 +70,8 @@ class BranchAndBoundStrategy:
         def explore(
             start: int, prefix: list[IndexedSubpath], prefix_cost: float
         ) -> None:
+            if deadline is not None:
+                deadline.check("branch_and_bound")
             # Complete candidate: the prefix plus the unsplit remainder.
             remainder = matrix.min_cost(start, length)
             candidate = prefix + [

@@ -56,12 +56,13 @@ def _relax_position(
 
 
 def _fill_tables(
-    matrix: CostMatrix, keep_trace: bool
+    matrix: CostMatrix, keep_trace: bool, deadline=None
 ) -> tuple[list[float], list[int], int, list[str]]:
     """The full downward sweep: ``(best, choice, rows inspected, trace)``.
 
     Shared by both DP strategies so their relaxation order, tie handling
-    and trace format can never drift apart.
+    and trace format can never drift apart. ``deadline`` (a
+    :class:`~repro.resilience.Deadline`) is checked once per position.
     """
     length = matrix.length
     # best[i] = minimal cost of covering positions i..length;
@@ -71,6 +72,8 @@ def _fill_tables(
     rows = 0
     trace: list[str] = []
     for start in range(length, 0, -1):
+        if deadline is not None:
+            deadline.check("dynamic_program")
         best[start], choice[start], inspected = _relax_position(
             matrix, start, best
         )
@@ -104,9 +107,9 @@ class DynamicProgramStrategy:
     exact = True
 
     def search(
-        self, matrix: CostMatrix, *, keep_trace: bool = False
+        self, matrix: CostMatrix, *, keep_trace: bool = False, deadline=None
     ) -> SearchResult:
-        best, choice, rows, trace = _fill_tables(matrix, keep_trace)
+        best, choice, rows, trace = _fill_tables(matrix, keep_trace, deadline)
         # The DP never costs a complete candidate configuration, so
         # ``evaluated`` stays 0; its work measure is the row-lookup count.
         return SearchResult(
@@ -153,9 +156,9 @@ class IncrementalDynamicProgramStrategy:
         self._choice: list[int] | None = None
 
     def search(
-        self, matrix: CostMatrix, *, keep_trace: bool = False
+        self, matrix: CostMatrix, *, keep_trace: bool = False, deadline=None
     ) -> SearchResult:
-        best, choice, rows, trace = _fill_tables(matrix, keep_trace)
+        best, choice, rows, trace = _fill_tables(matrix, keep_trace, deadline)
         self._length = matrix.length
         self._best = best
         self._choice = choice
@@ -169,6 +172,7 @@ class IncrementalDynamicProgramStrategy:
         dirty_rows,
         *,
         keep_trace: bool = False,
+        deadline=None,
     ) -> SearchResult:
         """Re-solve against ``matrix`` given the rows that changed.
 
@@ -179,16 +183,23 @@ class IncrementalDynamicProgramStrategy:
         dirty sets since the last search). Without usable tables — first
         call, or a different path length — this degrades to a fresh
         :meth:`search`.
+
+        The refinement is *atomic with respect to deadlines*: it works on
+        copies of the stored tables and commits them only on completion,
+        so a :class:`~repro.errors.DeadlineExceeded` raised mid-descent
+        leaves the previous (internally consistent) tables in place and
+        the caller's dirty set still pending — a later unbounded call
+        recovers exactness.
         """
         if (
             self._best is None
             or self._choice is None
             or self._length != matrix.length
         ):
-            return self.search(matrix, keep_trace=keep_trace)
+            return self.search(matrix, keep_trace=keep_trace, deadline=deadline)
         dirty_starts = {start for start, _end in dirty_rows}
-        best = self._best
-        choice = self._choice
+        best = list(self._best)
+        choice = list(self._choice)
         trace: list[str] = []
         rows = 0
         relaxed = 0
@@ -204,6 +215,8 @@ class IncrementalDynamicProgramStrategy:
                         # the stored prefix is already the fresh answer.
                         break
                     continue
+                if deadline is not None:
+                    deadline.check("incremental_dynamic_program.refine")
                 old_value = best[start]
                 value, end, inspected = _relax_position(matrix, start, best)
                 rows += inspected
@@ -218,6 +231,8 @@ class IncrementalDynamicProgramStrategy:
                         f"best({start}) = {value:g} via S[{start},{end}] "
                         f"({marker})"
                     )
+        self._best = best
+        self._choice = choice
         return self._result(
             matrix,
             trace,

@@ -25,7 +25,7 @@ class ExhaustiveStrategy:
         self.keep_all = keep_all
 
     def search(
-        self, matrix: CostMatrix, *, keep_trace: bool = False
+        self, matrix: CostMatrix, *, keep_trace: bool = False, deadline=None
     ) -> SearchResult:
         best_cost = float("inf")
         best: IndexConfiguration | None = None
@@ -33,6 +33,8 @@ class ExhaustiveStrategy:
         trace: list[str] = []
         all_costs: list[tuple[IndexConfiguration, float]] = []
         for blocks in enumerate_partitions(matrix.length):
+            if deadline is not None:
+                deadline.check("exhaustive")
             evaluated += 1
             parts = []
             total = 0.0

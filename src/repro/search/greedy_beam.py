@@ -106,7 +106,7 @@ class GreedyBeamStrategy:
         self.width = width
 
     def search(
-        self, matrix: CostMatrix, *, keep_trace: bool = False
+        self, matrix: CostMatrix, *, keep_trace: bool = False, deadline=None
     ) -> SearchResult:
         length = matrix.length
         trace: list[str] = []
@@ -131,6 +131,11 @@ class GreedyBeamStrategy:
         ] = [(remainder_bound[1], 0.0, 1, ())]
 
         while frontier:
+            # One cooperative deadline check per expansion level: a level
+            # is the natural anytime granule (at most width · length row
+            # lookups), so an expired budget never overruns by more.
+            if deadline is not None:
+                deadline.check("greedy_beam")
             successors: list[
                 tuple[float, float, int, tuple[IndexedSubpath, ...]]
             ] = []

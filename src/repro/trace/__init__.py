@@ -42,7 +42,9 @@ from repro.trace.continuous import ContinuousAdvisor, ReplayStep
 from repro.trace.drift import DriftDecision, DriftDetector
 from repro.trace.events import (
     EVENT_KINDS,
+    ON_ERROR_POLICIES,
     TraceEvent,
+    TraceReadReport,
     iter_trace,
     read_trace,
     write_trace,
@@ -55,9 +57,11 @@ __all__ = [
     "DriftDecision",
     "DriftDetector",
     "EVENT_KINDS",
+    "ON_ERROR_POLICIES",
     "ReplayStep",
     "TRACE_REGIMES",
     "TraceEvent",
+    "TraceReadReport",
     "WindowAggregator",
     "WindowSnapshot",
     "generate_trace",

@@ -23,12 +23,16 @@ information, it only defers it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Any, Iterable
 
+from repro.core.configuration import IndexConfiguration, IndexedSubpath
 from repro.core.cost_matrix import RecomputeReport
 from repro.costmodel.params import PathStatistics
 from repro.errors import TraceError
+from repro.organizations import IndexOrganization
+from repro.resilience import Deadline, DegradationReport
 from repro.search import SearchResult
 from repro.trace.drift import DriftDecision, DriftDetector
 from repro.trace.events import TraceEvent
@@ -36,6 +40,22 @@ from repro.trace.window import WindowAggregator
 from repro.whatif import AdvisorSession, Perturbation
 from repro.whatif.perturbation import perturbations_between
 from repro.workload.load import LoadDistribution
+
+
+def _jsonify(value: Any) -> Any:
+    """A deterministic JSON-safe projection of a result payload.
+
+    Tuples become lists (what a JSON round-trip would do anyway) and
+    anything JSON cannot express becomes its ``str`` — so serialized
+    timelines compare stably between a live run and a checkpoint resume.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    return str(value)
 
 
 @dataclass(frozen=True)
@@ -48,6 +68,9 @@ class ReplayStep:
     ``perturbations`` is the size of the batch handed to
     :meth:`~repro.whatif.AdvisorSession.apply_many`; ``report`` is that
     batch's single :class:`~repro.core.cost_matrix.RecomputeReport`.
+    ``rung`` names the degradation-ladder rung that produced the result:
+    ``"exact"`` in normal operation, ``"greedy_beam:<width>"`` or
+    ``"last_known_good"`` when a deadline forced a fallback.
     """
 
     index: int
@@ -59,6 +82,7 @@ class ReplayStep:
     result: SearchResult
     configuration_changed: bool
     forced: bool = False
+    rung: str = "exact"
 
     @property
     def cost(self) -> float:
@@ -73,9 +97,95 @@ class ReplayStep:
             else ("final flush" if self.forced else f"window {self.window}")
         )
         changed = "changed" if self.configuration_changed else "unchanged"
+        rung = "" if self.rung == "exact" else f", rung {self.rung}"
         return (
             f"step {self.index} ({origin}, {self.events_seen} events): "
-            f"cost {self.cost:.2f}, configuration {changed}"
+            f"cost {self.cost:.2f}, configuration {changed}{rung}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON object form accepted by :meth:`from_dict`.
+
+        Complete enough to resurrect the step bit-identically: the
+        result's configuration is spelled as ``[start, end, org]``
+        triples and float costs ride through JSON's exact ``repr``
+        round-trip for doubles. Checkpoints and the replay CLI both
+        serialize steps through here, so the two never drift apart.
+        """
+        report = None
+        if self.report is not None:
+            report = {
+                "mode": self.report.mode,
+                "reason": self.report.reason,
+                "recomputed_rows": [list(row) for row in self.report.recomputed_rows],
+                "patched_rows": [list(row) for row in self.report.patched_rows],
+                "total_rows": self.report.total_rows,
+            }
+        return {
+            "index": self.index,
+            "window": self.window,
+            "events_seen": self.events_seen,
+            "change": self.change,
+            "perturbations": self.perturbations,
+            "forced": self.forced,
+            "rung": self.rung,
+            "configuration_changed": self.configuration_changed,
+            "report": report,
+            "result": {
+                "configuration": [
+                    [part.start, part.end, part.organization.value]
+                    for part in self.result.configuration.assignments
+                ],
+                "cost": self.result.cost,
+                "evaluated": self.result.evaluated,
+                "pruned": self.result.pruned,
+                "strategy": self.result.strategy,
+                "trace": _jsonify(self.result.trace),
+                "extras": _jsonify(self.result.extras),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ReplayStep":
+        """Rebuild a step from its :meth:`to_dict` form."""
+        report = None
+        if data.get("report") is not None:
+            raw = data["report"]
+            report = RecomputeReport(
+                mode=raw["mode"],
+                reason=raw["reason"],
+                recomputed_rows=tuple(
+                    tuple(row) for row in raw["recomputed_rows"]
+                ),
+                patched_rows=tuple(tuple(row) for row in raw["patched_rows"]),
+                total_rows=raw["total_rows"],
+            )
+        raw_result = data["result"]
+        result = SearchResult(
+            configuration=IndexConfiguration(
+                tuple(
+                    IndexedSubpath(start, end, IndexOrganization(organization))
+                    for start, end, organization in raw_result["configuration"]
+                )
+            ),
+            cost=raw_result["cost"],
+            evaluated=raw_result["evaluated"],
+            pruned=raw_result["pruned"],
+            trace=list(raw_result["trace"]),
+            strategy=raw_result["strategy"],
+            extras=dict(raw_result["extras"]),
+        )
+        return cls(
+            index=data["index"],
+            window=data["window"],
+            events_seen=data["events_seen"],
+            change=data["change"],
+            perturbations=data["perturbations"],
+            report=report,
+            result=result,
+            configuration_changed=data["configuration_changed"],
+            forced=data["forced"],
+            rung=data.get("rung", "exact"),
         )
 
 
@@ -96,6 +206,19 @@ class ContinuousAdvisor:
         sampling noise (:meth:`~repro.trace.drift.DriftDetector.adaptive`,
         ``~ 1/sqrt(window)``; count and hybrid modes only — a wall-clock
         window has no fixed event count to scale against).
+    deadline_ms:
+        Per-re-advise wall-clock budget in milliseconds; ``None``
+        (default) leaves every re-advise exact. When set, each
+        :meth:`~repro.whatif.AdvisorSession.advise` call gets a fresh
+        :class:`~repro.resilience.Deadline` and may answer from the
+        degradation ladder instead of the exact search; the emitted
+        step's ``rung`` says which rung answered.
+    degradation:
+        An optional :class:`~repro.resilience.DegradationReport` shared
+        with the session — every fallback anywhere in the stack
+        (deadline rungs, serial matrix fallbacks, kernel downgrades)
+        lands in it. One is created when omitted; read it at
+        ``advisor.degradation``.
     session_options:
         Forwarded to :class:`~repro.whatif.AdvisorSession` (``strategy``,
         ``organizations``, ``include_noindex``, ``workers``,
@@ -115,9 +238,22 @@ class ContinuousAdvisor:
         track_statistics: bool = False,
         threshold: float | str = 0.2,
         hysteresis: int = 2,
+        deadline_ms: float | None = None,
+        degradation: DegradationReport | None = None,
         **session_options,
     ) -> None:
-        self.session = AdvisorSession(stats, load, **session_options)
+        self.deadline_ms = deadline_ms
+        #: Every fallback taken anywhere in the stack, shared with the
+        #: session (and through it the matrix layer).
+        self.degradation = (
+            degradation if degradation is not None else DegradationReport()
+        )
+        #: The clock deadlines are measured against; tests and the fault
+        #: harness substitute a fake to force deterministic expiry.
+        self._deadline_clock = time.monotonic
+        self.session = AdvisorSession(
+            stats, load, degradation=self.degradation, **session_options
+        )
         self.aggregator = WindowAggregator(
             stats,
             window,
@@ -145,7 +281,7 @@ class ContinuousAdvisor:
                 threshold=threshold, hysteresis=hysteresis
             )
         self.detector.reset(load, stats if track_statistics else None)
-        baseline = self.session.advise()
+        baseline = self._advise()
         #: The replay timeline: one :class:`ReplayStep` per re-advise.
         self.steps: list[ReplayStep] = [
             ReplayStep(
@@ -157,6 +293,7 @@ class ContinuousAdvisor:
                 report=None,
                 result=baseline,
                 configuration_changed=False,
+                rung=baseline.extras.get("rung", "exact"),
             )
         ]
         #: Windows observed without firing (the thrash the detector saved).
@@ -240,7 +377,7 @@ class ContinuousAdvisor:
         batch = self._pending
         self._pending = []
         report = self.session.apply_many(batch)
-        result = self.session.advise()
+        result = self._advise()
         previous = self.steps[-1].result.configuration
         step = ReplayStep(
             index=len(self.steps),
@@ -252,9 +389,20 @@ class ContinuousAdvisor:
             result=result,
             configuration_changed=result.configuration != previous,
             forced=forced,
+            rung=result.extras.get("rung", "exact"),
         )
         self.steps.append(step)
         return step
+
+    def _advise(self) -> SearchResult:
+        """One (possibly deadline-bounded) advise over the session."""
+        if self.deadline_ms is None:
+            return self.session.advise()
+        return self.session.advise(
+            deadline=Deadline.after_ms(
+                self.deadline_ms, clock=self._deadline_clock
+            )
+        )
 
     # ------------------------------------------------------------------
     # bookkeeping

@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import math
 import pathlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 from repro.errors import TraceError
@@ -101,13 +101,76 @@ def write_trace(events: Iterable[TraceEvent], path: str | pathlib.Path) -> int:
     return count
 
 
-def iter_trace(path: str | pathlib.Path) -> Iterator[TraceEvent]:
+#: Valid ``on_error`` policies for :func:`iter_trace`/:func:`read_trace`.
+ON_ERROR_POLICIES = ("raise", "skip", "collect")
+
+
+@dataclass
+class TraceReadReport:
+    """What a tolerant trace read skipped (and, optionally, why).
+
+    Filled in by :func:`iter_trace` under ``on_error="skip"`` or
+    ``"collect"``: ``events`` counts the lines that parsed, ``skipped``
+    holds one ``(line_number, message)`` pair per rejected line (the
+    message is empty under ``"skip"``, the full parse error under
+    ``"collect"``). A replay that silently lost lines is exactly the
+    failure mode this report exists to prevent.
+    """
+
+    events: int = 0
+    skipped: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def skipped_lines(self) -> list[int]:
+        """Just the rejected line numbers, in file order."""
+        return [number for number, _message in self.skipped]
+
+    def describe(self) -> str:
+        """One line: ``"312 events, 2 lines skipped (7, 119)"``."""
+        if not self.skipped:
+            return f"{self.events} events, 0 lines skipped"
+        lines = ", ".join(str(number) for number in self.skipped_lines)
+        return (
+            f"{self.events} events, {len(self.skipped)} "
+            f"line{'s' if len(self.skipped) != 1 else ''} skipped ({lines})"
+        )
+
+
+def iter_trace(
+    path: str | pathlib.Path,
+    *,
+    on_error: str = "raise",
+    report: TraceReadReport | None = None,
+) -> Iterator[TraceEvent]:
     """Stream the events of a JSONL trace file, strictly validated.
 
-    Blank lines are skipped (a trailing newline is not an event); any
-    other malformed line raises :class:`~repro.errors.TraceError` naming
-    the line number.
+    Blank lines are skipped (a trailing newline is not an event). What
+    happens to any *other* malformed line is the ``on_error`` policy:
+
+    * ``"raise"`` (default, unchanged behaviour) — raise
+      :class:`~repro.errors.TraceError` naming the line number;
+    * ``"skip"`` — drop the line, recording its line number in
+      ``report`` when one is given;
+    * ``"collect"`` — like ``"skip"`` but also records the parse error
+      message per line.
+
+    Under a tolerant policy, pass a :class:`TraceReadReport` to learn
+    what was dropped — the generator cannot return it.
     """
+    if on_error not in ON_ERROR_POLICIES:
+        raise TraceError(
+            f"unknown on_error policy {on_error!r} "
+            f"(expected one of {', '.join(ON_ERROR_POLICIES)})"
+        )
+
+    def reject(number: int, message: str) -> None:
+        if on_error == "raise":
+            raise TraceError(message) from None
+        if report is not None:
+            report.skipped.append(
+                (number, message if on_error == "collect" else "")
+            )
+
     with open(path, "r", encoding="utf-8") as handle:
         for number, line in enumerate(handle, start=1):
             text = line.strip()
@@ -116,15 +179,23 @@ def iter_trace(path: str | pathlib.Path) -> Iterator[TraceEvent]:
             try:
                 data = json.loads(text)
             except json.JSONDecodeError as error:
-                raise TraceError(
-                    f"{path}:{number}: invalid JSON: {error.msg}"
-                ) from None
+                reject(number, f"{path}:{number}: invalid JSON: {error.msg}")
+                continue
             try:
-                yield TraceEvent.from_dict(data)
+                event = TraceEvent.from_dict(data)
             except TraceError as error:
-                raise TraceError(f"{path}:{number}: {error}") from None
+                reject(number, f"{path}:{number}: {error}")
+                continue
+            if report is not None:
+                report.events += 1
+            yield event
 
 
-def read_trace(path: str | pathlib.Path) -> list[TraceEvent]:
+def read_trace(
+    path: str | pathlib.Path,
+    *,
+    on_error: str = "raise",
+    report: TraceReadReport | None = None,
+) -> list[TraceEvent]:
     """Load a whole JSONL trace into memory (see :func:`iter_trace`)."""
-    return list(iter_trace(path))
+    return list(iter_trace(path, on_error=on_error, report=report))

@@ -32,8 +32,10 @@ from dataclasses import dataclass, field
 from repro.core.cost_matrix import CostMatrix, RecomputeReport
 from repro.core.multipath import MultiPathResult, PathWorkload, optimize_multipath
 from repro.costmodel.params import PathStatistics
-from repro.errors import OptimizerError
+from repro.errors import DeadlineExceeded, OptimizerError
 from repro.organizations import CONFIGURABLE_ORGANIZATIONS, IndexOrganization
+from repro.resilience.degradation import DegradationReport
+from repro.resilience.degrade import degraded_search
 from repro.search import SearchResult, get_strategy
 from repro.whatif.perturbation import Perturbation
 from repro.workload.load import LoadDistribution
@@ -104,6 +106,8 @@ class AdvisorSession:
         strategy: str = DEFAULT_SESSION_STRATEGY,
         workers: int | None = 0,
         kernel: str = "auto",
+        degradation: DegradationReport | None = None,
+        retry_policy=None,
         **strategy_options,
     ) -> None:
         # Resolve the strategy first: a bad name or option must fail
@@ -114,6 +118,13 @@ class AdvisorSession:
         self.load = load
         self._workers = workers
         self._kernel = kernel
+        #: Every fallback this session (and its matrix updates) takes is
+        #: recorded here; pass a shared report to aggregate across
+        #: sessions (ContinuousAdvisor does).
+        self.degradation = (
+            degradation if degradation is not None else DegradationReport()
+        )
+        self._retry_policy = retry_policy
         self.matrix = CostMatrix.compute(
             stats,
             load,
@@ -122,6 +133,8 @@ class AdvisorSession:
             range_selectivity=range_selectivity,
             workers=workers,
             kernel=kernel,
+            retry_policy=retry_policy,
+            degradation=self.degradation,
         )
         #: Monotone counter of applies that touched matrix rows.
         self.version = 0
@@ -161,6 +174,8 @@ class AdvisorSession:
             stats=stats,
             load=load,
             workers=self._workers if workers is None else workers,
+            retry_policy=self._retry_policy,
+            degradation=self.degradation,
         )
         report = self.matrix.recompute_report
         if stats is not None:
@@ -220,7 +235,9 @@ class AdvisorSession:
     # ------------------------------------------------------------------
     # answering
     # ------------------------------------------------------------------
-    def advise(self, *, keep_trace: bool = False) -> SearchResult:
+    def advise(
+        self, *, keep_trace: bool = False, deadline=None
+    ) -> SearchResult:
         """The optimal configuration for the current inputs.
 
         Incremental at the search layer: with no pending dirty rows the
@@ -228,7 +245,23 @@ class AdvisorSession:
         that supports ``refine`` only the reachable DP positions are
         re-relaxed; otherwise the strategy re-runs against the (already
         incrementally updated) matrix.
+
+        ``deadline`` (a :class:`~repro.resilience.Deadline`) bounds the
+        answer's latency: the exact rung runs under cooperative deadline
+        checks, and on expiry the session degrades along the explicit
+        ladder — ``greedy_beam`` with shrinking widths, then the
+        last-known-good configuration re-priced against the current
+        matrix (see :mod:`repro.resilience.degrade`). A degraded answer
+        carries ``extras["rung"]``/``extras["degraded"]``, is recorded in
+        :attr:`degradation`, and does **not** replace the session's exact
+        state: the dirty set stays pending, so the next unbounded
+        :meth:`advise` recovers exactness. Without a deadline the
+        behaviour (and the bit-identical-to-fresh guarantee) is
+        unchanged.
         """
+        search_options: dict = {"keep_trace": keep_trace}
+        if deadline is not None:
+            search_options["deadline"] = deadline
         if (
             self._result is not None
             and not self._pending
@@ -237,20 +270,46 @@ class AdvisorSession:
             if keep_trace and not self._result.trace:
                 # The cached answer was produced without a trace; honor
                 # the request with a full (trace-keeping) search.
-                self._result = self._searcher.search(
-                    self.matrix, keep_trace=True
-                )
+                try:
+                    self._result = self._searcher.search(
+                        self.matrix, **search_options
+                    )
+                except DeadlineExceeded as error:
+                    self.degradation.record(
+                        "session",
+                        "trace_search_abandoned",
+                        "deadline_expired",
+                        strategy=self.strategy,
+                        message=str(error),
+                    )
             return self._result
-        if (
-            self._result is not None
-            and not self._pending_full
-            and hasattr(self._searcher, "refine")
-        ):
-            result = self._searcher.refine(
-                self.matrix, frozenset(self._pending), keep_trace=keep_trace
+        try:
+            if (
+                self._result is not None
+                and not self._pending_full
+                and hasattr(self._searcher, "refine")
+            ):
+                result = self._searcher.refine(
+                    self.matrix, frozenset(self._pending), **search_options
+                )
+            else:
+                result = self._searcher.search(self.matrix, **search_options)
+        except DeadlineExceeded as error:
+            self.degradation.record(
+                "session",
+                "exact_abandoned",
+                "deadline_expired",
+                strategy=self.strategy,
+                message=str(error),
             )
-        else:
-            result = self._searcher.search(self.matrix, keep_trace=keep_trace)
+            return degraded_search(
+                self.matrix,
+                deadline=deadline,
+                last_known_good=self._result,
+                degradation=self.degradation,
+                keep_trace=keep_trace,
+                layer="session",
+            )
         self._pending.clear()
         self._pending_full = False
         self._result = result
@@ -374,14 +433,19 @@ class MultiPathSession:
         the fresh candidate sets — when they remain locally optimal
         (:attr:`joint_reuses` counts those).
         """
+        # A deadline-bounded call may answer degraded; such results are
+        # neither served from nor stored into the identical-question
+        # cache, so an unbounded follow-up always recomputes exactly.
+        bounded = options.get("deadline") is not None
         key = tuple(sorted(options.items()))
         versions = tuple(session.version for session in self.sessions)
-        if self._last is not None:
+        if not bounded and self._last is not None:
             last_key, last_versions, last_result = self._last
             if last_key == key and last_versions == versions:
                 return last_result
         result = optimize_multipath(
             sessions=self.sessions, joint_cache=self._joint_cache, **options
         )
-        self._last = (key, versions, result)
+        if not bounded:
+            self._last = (key, versions, result)
         return result

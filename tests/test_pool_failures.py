@@ -1,0 +1,195 @@
+"""Worker-pool failure paths: the serial fallback is loud and lossless.
+
+The parallel fan-out in :class:`~repro.core.cost_matrix.CostMatrix` may
+fail for real reasons (a worker OOM-killed, an OS refusing to fork, a
+spawn-only platform hitting an unpicklable payload). The contract under
+test: the failure is retried with backoff, the eventual serial fallback
+produces a **byte-identical** matrix, and the cause is reported three
+ways — :attr:`~repro.core.cost_matrix.CostMatrix.parallel_fallback_reason`,
+a ``RuntimeWarning``, and a structured
+:class:`~repro.resilience.DegradationReport` event. Never silently.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro.core.cost_matrix as cost_matrix_module
+import repro.resilience.retry as retry_module
+from repro.core.cost_matrix import CostMatrix
+from repro.resilience import DegradationReport, RetryPolicy
+from repro.resilience.faults import FaultInjector
+from repro.whatif import AdvisorSession, Perturbation
+from repro.workload.load import LoadDistribution
+
+from test_resilience_checkpoint import make_world
+
+
+@pytest.fixture
+def patched_sleep():
+    """Capture retry backoff naps instead of actually sleeping."""
+    naps: list[float] = []
+    original = retry_module._sleep
+    retry_module._sleep = naps.append
+    try:
+        yield naps
+    finally:
+        retry_module._sleep = original
+
+
+@pytest.fixture
+def raise_from_pool():
+    """Patch the pool seam to always raise a given exception."""
+    original = cost_matrix_module._run_pool_once
+
+    def patch(error: Exception):
+        def failing(pool_options, payloads):
+            raise error
+
+        cost_matrix_module._run_pool_once = failing
+
+    try:
+        yield patch
+    finally:
+        cost_matrix_module._run_pool_once = original
+
+
+class TestSerialFallback:
+    def test_broken_pool_falls_back_byte_identically(self, patched_sleep):
+        stats, load = make_world()
+        serial = CostMatrix.compute(stats, load, workers=0)
+        report = DegradationReport()
+        with FaultInjector(seed=0).broken_pool(times=10):
+            with pytest.warns(RuntimeWarning, match="fell back to serial"):
+                fallen = CostMatrix.compute(
+                    stats, load, workers=2, degradation=report
+                )
+        assert fallen._values == serial._values
+        assert fallen._row_min_cost == serial._row_min_cost
+        reason = fallen.parallel_fallback_reason
+        assert reason is not None
+        assert "BrokenProcessPool" in reason
+        assert "after 2 attempts" in reason
+        assert patched_sleep == [0.05]  # one backoff between two attempts
+
+    def test_fallback_is_recorded_structurally(self):
+        stats, load = make_world()
+        report = DegradationReport()
+        with FaultInjector(seed=0).broken_pool(times=10):
+            with pytest.warns(RuntimeWarning):
+                CostMatrix.compute(stats, load, workers=2, degradation=report)
+        assert report.count(layer="matrix", action="serial_fallback") == 1
+        event = report.events[-1]
+        assert event.detail["workers"] == 2
+        assert event.detail["rows"] == 10  # length-4 path: 4*5/2 rows
+
+    def test_successful_pool_reports_no_fallback(self):
+        stats, load = make_world()
+        matrix = CostMatrix.compute(stats, load, workers=2)
+        assert matrix.parallel_fallback_reason is None
+
+    def test_os_refusing_to_fork(self, raise_from_pool):
+        stats, load = make_world()
+        raise_from_pool(OSError("cannot allocate memory"))
+        serial = CostMatrix.compute(stats, load, workers=0)
+        with pytest.warns(RuntimeWarning):
+            fallen = CostMatrix.compute(stats, load, workers=2)
+        assert fallen._values == serial._values
+        assert "OSError: cannot allocate memory" in (
+            fallen.parallel_fallback_reason or ""
+        )
+
+    def test_spawn_only_platform_pickling_failure(
+        self, raise_from_pool, monkeypatch
+    ):
+        """Simulate macOS/Windows: no fork context, and the pickling
+        path hits an unpicklable payload."""
+        monkeypatch.setattr(cost_matrix_module, "_fork_context", lambda: None)
+        raise_from_pool(pickle.PicklingError("cannot pickle local object"))
+        stats, load = make_world()
+        serial = CostMatrix.compute(stats, load, workers=0)
+        with pytest.warns(RuntimeWarning):
+            fallen = CostMatrix.compute(stats, load, workers=2)
+        assert fallen._values == serial._values
+        assert "PicklingError" in (fallen.parallel_fallback_reason or "")
+
+    def test_spawn_only_platform_still_parallelizes(self, monkeypatch):
+        """Without fork, the pickling path itself is still bit-identical."""
+        monkeypatch.setattr(cost_matrix_module, "_fork_context", lambda: None)
+        stats, load = make_world()
+        parallel = CostMatrix.compute(stats, load, workers=2)
+        serial = CostMatrix.compute(stats, load, workers=0)
+        assert parallel._values == serial._values
+        assert parallel.parallel_fallback_reason is None
+
+
+class TestRetryPolicyPlumbing:
+    def test_custom_policy_controls_the_backoff(self, patched_sleep):
+        stats, load = make_world()
+        policy = RetryPolicy(attempts=3, backoff_seconds=0.01, multiplier=2.0)
+        with FaultInjector(seed=0).broken_pool(times=10):
+            with pytest.warns(RuntimeWarning):
+                fallen = CostMatrix.compute(
+                    stats, load, workers=2, retry_policy=policy
+                )
+        assert patched_sleep == [0.01, 0.02]
+        assert "after 3 attempts" in (fallen.parallel_fallback_reason or "")
+
+    def test_second_attempt_success_needs_no_fallback(self, patched_sleep):
+        stats, load = make_world()
+        with FaultInjector(seed=0).broken_pool(times=1) as crashes:
+            matrix = CostMatrix.compute(stats, load, workers=2)
+        assert crashes[0] == 1
+        assert matrix.parallel_fallback_reason is None
+        assert patched_sleep == [0.05]
+
+
+class TestRecomputeFallback:
+    def test_parallel_recompute_falls_back_byte_identically(self):
+        stats, load = make_world()
+        matrix = CostMatrix.compute(stats, load)
+        triplets = dict(load.items())
+        triplets["L0"] = triplets["L0"].scaled(4.0)
+        scaled = LoadDistribution(load.path, triplets)
+        clean = matrix.recompute(load=scaled, workers=0)
+        report = DegradationReport()
+        with FaultInjector(seed=0).broken_pool(times=10):
+            with pytest.warns(RuntimeWarning):
+                fallen = matrix.recompute(
+                    load=scaled, workers=2, degradation=report
+                )
+        assert fallen._values == clean._values
+        assert "BrokenProcessPool" in (fallen.parallel_fallback_reason or "")
+        assert report.count(layer="matrix", action="serial_fallback") == 1
+
+    def test_session_surfaces_the_fallback(self):
+        """A parallel session keeps answering through pool crashes, and
+        its degradation report says so."""
+        stats, load = make_world()
+        with FaultInjector(seed=0).broken_pool(times=10):
+            with pytest.warns(RuntimeWarning):
+                session = AdvisorSession(stats, load, workers=2)
+                session.advise()
+        reference = AdvisorSession(stats, load).advise()
+        degraded_matrix = session.advise()
+        assert degraded_matrix.cost == reference.cost
+        assert degraded_matrix.configuration == reference.configuration
+        assert session.degradation.count(
+            layer="matrix", action="serial_fallback"
+        ) >= 1
+
+    def test_session_perturbation_survives_pool_crash(self):
+        stats, load = make_world()
+        chaotic = AdvisorSession(stats, load, workers=2)
+        steady = AdvisorSession(stats, load)
+        step = Perturbation("L1", "insert", "scale", 3.0)
+        with FaultInjector(seed=0).broken_pool(times=100):
+            with pytest.warns(RuntimeWarning):
+                chaotic.perturb(step)
+                crashed = chaotic.advise()
+        steady.perturb(step)
+        expected = steady.advise()
+        assert crashed.cost == expected.cost
+        assert crashed.configuration == expected.configuration

@@ -1,0 +1,387 @@
+"""Unit tests for the resilience primitives.
+
+Deadlines, degradation accounting, retry policies and the
+exact → shrinking-beam → last-known-good ladder — each exercised in
+isolation with deterministic fake clocks, no sleeping and no real
+worker pools.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost_matrix import CostMatrix
+from repro.errors import DeadlineExceeded, ResilienceError
+from repro.resilience import (
+    DEFAULT_RETRY_POLICY,
+    Deadline,
+    DegradationReport,
+    RetryPolicy,
+    degraded_search,
+    run_with_retry,
+)
+from repro.resilience.degrade import BEAM_LADDER, LAST_KNOWN_GOOD
+from repro.resilience.faults import FakeClock
+from repro.search import get_strategy
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+class TestDeadline:
+    def test_fresh_deadline_is_not_expired(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert not deadline.expired
+        assert deadline.remaining() == 1.0
+        deadline.check()  # must not raise
+
+    def test_expiry_tracks_the_clock(self):
+        clock = FakeClock()
+        deadline = Deadline(0.5, clock=clock)
+        clock.advance(0.25)
+        assert not deadline.expired
+        assert deadline.elapsed() == 0.25
+        clock.advance(0.25)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_with_label_and_budget(self):
+        clock = FakeClock()
+        deadline = Deadline(0.1, clock=clock)
+        clock.advance(0.2)
+        with pytest.raises(DeadlineExceeded, match="branch_and_bound"):
+            deadline.check("branch_and_bound")
+
+    def test_after_ms_converts_milliseconds(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(250.0, clock=clock)
+        assert deadline.budget_seconds == 0.25
+
+    @pytest.mark.parametrize("budget", [-1.0, float("inf"), float("nan")])
+    def test_invalid_budgets_are_rejected(self, budget):
+        with pytest.raises(ResilienceError):
+            Deadline(budget)
+
+    def test_zero_budget_is_immediately_expired(self):
+        deadline = Deadline(0.0, clock=FakeClock())
+        assert deadline.expired
+
+
+# ----------------------------------------------------------------------
+# DegradationReport
+# ----------------------------------------------------------------------
+class TestDegradationReport:
+    def test_empty_report_is_falsy(self):
+        report = DegradationReport()
+        assert not report
+        assert len(report) == 0
+        assert report.describe() == ""
+
+    def test_record_and_filtered_count(self):
+        report = DegradationReport()
+        report.record("matrix", "serial_fallback", "BrokenProcessPool", rows=3)
+        report.record("session", "greedy_beam", "deadline_expired", width=4)
+        report.record("session", "last_known_good", "deadline_expired")
+        assert bool(report)
+        assert report.count() == 3
+        assert report.count(layer="session") == 2
+        assert report.count(layer="session", action="greedy_beam") == 1
+        assert report.count(layer="kernel") == 0
+
+    def test_describe_carries_layer_action_reason_and_detail(self):
+        report = DegradationReport()
+        report.record("matrix", "serial_fallback", "OSError", workers=2)
+        assert (
+            report.describe()
+            == "[matrix] serial_fallback: OSError workers=2"
+        )
+
+    def test_to_dicts_round_trips_detail(self):
+        report = DegradationReport()
+        report.record("kernel", "legacy_fallback", "numpy unavailable", rows=55)
+        assert report.to_dicts() == [
+            {
+                "layer": "kernel",
+                "action": "legacy_fallback",
+                "reason": "numpy unavailable",
+                "detail": {"rows": 55},
+            }
+        ]
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy / run_with_retry
+# ----------------------------------------------------------------------
+class TestRetry:
+    def test_delays_ramp_exponentially(self):
+        policy = RetryPolicy(attempts=4, backoff_seconds=0.1, multiplier=2.0)
+        assert list(policy.delays()) == [0.0, 0.1, 0.2, 0.4]
+
+    def test_invalid_policies_are_rejected(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(backoff_seconds=-1.0)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(multiplier=0.0)
+
+    def test_success_on_first_attempt_never_sleeps(self, monkeypatch):
+        import repro.resilience.retry as retry_module
+
+        sleeps: list[float] = []
+        monkeypatch.setattr(retry_module, "_sleep", sleeps.append)
+        value, attempts, error = run_with_retry(
+            lambda: 42, (OSError,), DEFAULT_RETRY_POLICY
+        )
+        assert (value, attempts, error) == (42, 1, None)
+        assert sleeps == []
+
+    def test_transient_failure_retries_with_backoff(self, monkeypatch):
+        import repro.resilience.retry as retry_module
+
+        sleeps: list[float] = []
+        monkeypatch.setattr(retry_module, "_sleep", sleeps.append)
+        calls = [0]
+
+        def flaky():
+            calls[0] += 1
+            if calls[0] == 1:
+                raise OSError("transient")
+            return "ok"
+
+        value, attempts, error = run_with_retry(
+            flaky, (OSError,), RetryPolicy(attempts=2, backoff_seconds=0.05)
+        )
+        assert (value, attempts, error) == ("ok", 2, None)
+        assert sleeps == [0.05]
+
+    def test_exhaustion_returns_the_last_error(self, monkeypatch):
+        import repro.resilience.retry as retry_module
+
+        monkeypatch.setattr(retry_module, "_sleep", lambda _delay: None)
+
+        def always_broken():
+            raise OSError("still down")
+
+        value, attempts, error = run_with_retry(
+            always_broken, (OSError,), RetryPolicy(attempts=3)
+        )
+        assert value is None
+        assert attempts == 3
+        assert isinstance(error, OSError)
+
+    def test_unexpected_exceptions_propagate(self):
+        def typo():
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            run_with_retry(typo, (OSError,), DEFAULT_RETRY_POLICY)
+
+    def test_on_retry_hook_sees_every_failure(self, monkeypatch):
+        import repro.resilience.retry as retry_module
+
+        monkeypatch.setattr(retry_module, "_sleep", lambda _delay: None)
+        seen: list[tuple[int, str]] = []
+
+        def always_broken():
+            raise OSError("down")
+
+        run_with_retry(
+            always_broken,
+            (OSError,),
+            RetryPolicy(attempts=2),
+            on_retry=lambda attempt, error: seen.append((attempt, str(error))),
+        )
+        assert seen == [(1, "down"), (2, "down")]
+
+
+# ----------------------------------------------------------------------
+# the degradation ladder
+# ----------------------------------------------------------------------
+class TestDegradedSearch:
+    def test_beam_rung_answers_when_time_remains(self, fig7_stats, fig7_load):
+        matrix = CostMatrix.compute(fig7_stats, fig7_load)
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)  # plenty of time left
+        report = DegradationReport()
+        result = degraded_search(matrix, deadline=deadline, degradation=report)
+        assert result.extras["degraded"] is True
+        assert result.extras["rung"] == f"greedy_beam:{BEAM_LADDER[0]}"
+        assert report.count(action="greedy_beam") == 1
+        # The widest beam matches the exact optimum on the Figure 7 path.
+        exact = get_strategy("dynamic_program").search(matrix)
+        assert result.cost == exact.cost
+
+    def test_last_known_good_rung_reprices_against_current_matrix(
+        self, fig7_stats, fig7_load
+    ):
+        matrix = CostMatrix.compute(fig7_stats, fig7_load)
+        exact = get_strategy("dynamic_program").search(matrix)
+        clock = FakeClock()
+        deadline = Deadline(0.001, clock=clock)
+        clock.advance(1.0)  # expired: every beam rung is skipped
+        report = DegradationReport()
+        result = degraded_search(
+            matrix,
+            deadline=deadline,
+            last_known_good=exact,
+            degradation=report,
+        )
+        assert result.strategy == LAST_KNOWN_GOOD
+        assert result.extras["rung"] == LAST_KNOWN_GOOD
+        assert result.configuration == exact.configuration
+        assert result.cost == exact.cost  # re-priced, same matrix
+        assert report.count(action=LAST_KNOWN_GOOD) == 1
+
+    def test_width_one_overrun_when_nothing_known_good(
+        self, fig7_stats, fig7_load
+    ):
+        matrix = CostMatrix.compute(fig7_stats, fig7_load)
+        clock = FakeClock()
+        deadline = Deadline(0.001, clock=clock)
+        clock.advance(1.0)
+        report = DegradationReport()
+        result = degraded_search(matrix, deadline=deadline, degradation=report)
+        assert result.extras["rung"] == "greedy_beam:1:overrun"
+        assert result.configuration.assignments  # still a real answer
+        assert report.count(action="greedy_beam_overrun") == 1
+
+
+# ----------------------------------------------------------------------
+# deadline threading through the strategies
+# ----------------------------------------------------------------------
+class TestStrategyDeadlines:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "branch_and_bound",
+            "dynamic_program",
+            "incremental_dynamic_program",
+            "greedy_beam",
+            "exhaustive",
+        ],
+    )
+    def test_expired_deadline_interrupts_every_strategy(
+        self, name, fig7_stats, fig7_load
+    ):
+        matrix = CostMatrix.compute(fig7_stats, fig7_load)
+        clock = FakeClock()
+        deadline = Deadline(0.001, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceeded):
+            get_strategy(name).search(matrix, deadline=deadline)
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "branch_and_bound",
+            "dynamic_program",
+            "incremental_dynamic_program",
+            "greedy_beam",
+            "exhaustive",
+        ],
+    )
+    def test_generous_deadline_changes_nothing(
+        self, name, fig7_stats, fig7_load
+    ):
+        matrix = CostMatrix.compute(fig7_stats, fig7_load)
+        unbounded = get_strategy(name).search(matrix)
+        bounded = get_strategy(name).search(
+            matrix, deadline=Deadline(3600.0, clock=FakeClock())
+        )
+        assert bounded.cost == unbounded.cost
+        assert bounded.configuration == unbounded.configuration
+
+    def test_interrupted_refine_leaves_session_consistent(
+        self, fig7_stats, fig7_load
+    ):
+        """A mid-refine expiry must not corrupt the incremental tables."""
+        from repro.whatif import AdvisorSession, Perturbation
+
+        session = AdvisorSession(fig7_stats, fig7_load)
+        exact_baseline = session.advise()
+        perturbation = Perturbation(
+            class_name="Division", component="delete", mode="scale", value=9.0
+        )
+        session.perturb(perturbation)
+        clock = FakeClock()
+        deadline = Deadline(0.001, clock=clock)
+        clock.advance(1.0)
+        degraded = session.advise(deadline=deadline)
+        assert degraded.extras.get("degraded") is True
+        assert session.degradation.count(layer="session") >= 1
+        # The degraded answer did not consume the dirty set: the next
+        # unbounded advise refines it and is bit-identical to a fresh
+        # pipeline run over the current inputs.
+        recovered = session.advise()
+        from repro.core.advisor import advise
+
+        fresh = advise(
+            session.stats,
+            session.load,
+            strategy="dynamic_program",
+            run_baselines=False,
+        )
+        assert recovered.cost == fresh.optimal.cost
+        assert recovered.configuration == fresh.optimal.configuration
+        assert recovered.cost != exact_baseline.cost  # the perturbation bit
+
+
+# ----------------------------------------------------------------------
+# deadline-bounded advise() and optimize_multipath()
+# ----------------------------------------------------------------------
+class TestBoundedPipelines:
+    def test_advise_degrades_and_skips_baselines(self, fig7_stats, fig7_load):
+        from repro.core.advisor import advise
+
+        clock = FakeClock()
+        deadline = Deadline(0.001, clock=clock)
+        clock.advance(1.0)
+        report = DegradationReport()
+        bounded = advise(
+            fig7_stats, fig7_load, deadline=deadline, degradation=report
+        )
+        assert bounded.optimal.extras.get("degraded") is True
+        assert bounded.dynprog is None
+        assert bounded.single_index_costs == {}
+        assert report.count(layer="advise", action="exact_abandoned") == 1
+        assert report.count(layer="advise", action="baselines_skipped") == 1
+
+    def test_multipath_expired_deadline_degrades_every_stage(
+        self, fig7_stats, fig7_load
+    ):
+        from repro.core.multipath import PathWorkload, optimize_multipath
+
+        workloads = [PathWorkload(stats=fig7_stats, load=fig7_load)] * 2
+        clock = FakeClock()
+        deadline = Deadline(0.001, clock=clock)
+        clock.advance(1.0)
+        report = DegradationReport()
+        bounded = optimize_multipath(
+            workloads, deadline=deadline, degradation=report
+        )
+        assert not bounded.exact
+        assert bounded.degradations  # every fallback is listed
+        assert any(
+            "joint_independent" in entry for entry in bounded.degradations
+        )
+        assert report.count(layer="multipath") == len(bounded.degradations)
+        # Degraded selections are still valid, fully priced selections.
+        unbounded = optimize_multipath(workloads)
+        assert bounded.total_cost >= unbounded.total_cost
+        assert unbounded.degradations == ()
+
+    def test_multipath_generous_deadline_is_bit_identical(
+        self, fig7_stats, fig7_load
+    ):
+        from repro.core.multipath import PathWorkload, optimize_multipath
+
+        workloads = [PathWorkload(stats=fig7_stats, load=fig7_load)] * 2
+        unbounded = optimize_multipath(workloads)
+        bounded = optimize_multipath(
+            workloads, deadline=Deadline(3600.0, clock=FakeClock())
+        )
+        assert bounded.total_cost == unbounded.total_cost
+        assert bounded.configurations == unbounded.configurations
+        assert bounded.degradations == ()

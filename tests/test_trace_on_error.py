@@ -1,0 +1,114 @@
+"""``iter_trace``/``read_trace`` tolerant-read policies (``on_error``).
+
+The strict default (``"raise"``) is the pre-existing contract and must
+not move. The tolerant policies exist for long-lived ingestion: a
+process tailing an externally produced trace should not die on one
+mangled line — but it must *account* for every line it dropped, which is
+what :class:`~repro.trace.TraceReadReport` records.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import (
+    TraceReadReport,
+    generate_trace,
+    iter_trace,
+    read_trace,
+    write_trace,
+)
+
+from test_resilience_checkpoint import make_world
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    stats, _load = make_world()
+    events = generate_trace(stats.path, "stationary", 50, seed=2)
+    path = tmp_path / "trace.jsonl"
+    write_trace(events, path)
+    return path, events
+
+
+def mangle(path, line_number, text):
+    lines = path.read_text().splitlines()
+    lines[line_number - 1] = text
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestRaisePolicy:
+    def test_default_raises_with_the_line_number(self, trace_file):
+        path, _events = trace_file
+        mangle(path, 7, "{not json")
+        with pytest.raises(TraceError, match=":7: invalid JSON"):
+            read_trace(path)
+
+    def test_semantic_errors_also_name_the_line(self, trace_file):
+        path, _events = trace_file
+        mangle(path, 9, json.dumps({"ts": 1.0, "kind": "vacuum", "class": "X"}))
+        with pytest.raises(TraceError, match=":9: unknown event kind"):
+            read_trace(path)
+
+    def test_clean_file_round_trips(self, trace_file):
+        path, events = trace_file
+        loaded = read_trace(path)
+        assert [e.to_dict() for e in loaded] == [e.to_dict() for e in events]
+
+    def test_unknown_policy_is_rejected(self, trace_file):
+        path, _events = trace_file
+        with pytest.raises(TraceError, match="unknown on_error policy"):
+            list(iter_trace(path, on_error="ignore"))
+
+
+class TestTolerantPolicies:
+    def test_skip_drops_lines_with_empty_messages(self, trace_file):
+        path, events = trace_file
+        mangle(path, 3, "{not json")
+        mangle(path, 11, json.dumps({"ts": -1.0, "kind": "query", "class": "X"}))
+        report = TraceReadReport()
+        loaded = read_trace(path, on_error="skip", report=report)
+        assert len(loaded) == len(events) - 2
+        assert report.skipped == [(3, ""), (11, "")]
+        assert report.events == len(loaded)
+
+    def test_collect_keeps_the_parse_errors(self, trace_file):
+        path, _events = trace_file
+        mangle(path, 3, "{not json")
+        mangle(path, 11, json.dumps({"ts": -1.0, "kind": "query", "class": "X"}))
+        report = TraceReadReport()
+        read_trace(path, on_error="collect", report=report)
+        assert report.skipped_lines == [3, 11]
+        messages = dict(report.skipped)
+        assert "invalid JSON" in messages[3]
+        assert "timestamp" in messages[11]
+
+    def test_blank_lines_are_not_errors(self, trace_file):
+        path, events = trace_file
+        raw = path.read_text().splitlines()
+        raw.insert(5, "")
+        raw.insert(20, "   ")
+        path.write_text("\n".join(raw) + "\n")
+        report = TraceReadReport()
+        loaded = read_trace(path, on_error="collect", report=report)
+        assert len(loaded) == len(events)
+        assert report.skipped == []
+
+    def test_report_is_optional(self, trace_file):
+        path, events = trace_file
+        mangle(path, 2, "garbage")
+        loaded = read_trace(path, on_error="skip")
+        assert len(loaded) == len(events) - 1
+
+    def test_describe_formats(self):
+        empty = TraceReadReport(events=312)
+        assert empty.describe() == "312 events, 0 lines skipped"
+        partial = TraceReadReport(
+            events=310, skipped=[(7, ""), (119, "bad")]
+        )
+        assert partial.describe() == "310 events, 2 lines skipped (7, 119)"
+        single = TraceReadReport(events=1, skipped=[(4, "")])
+        assert single.describe() == "1 events, 1 line skipped (4)"
