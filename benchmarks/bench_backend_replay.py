@@ -1,0 +1,193 @@
+"""Ground-truth backend: measured vs predicted page I/O across regimes.
+
+The analytic CRT/CMT formulas predict page accesses; the backend
+measures them on real page structures. This benchmark replays one
+seeded trace per drift regime (the same regimes
+:mod:`benchmarks.bench_trace_replay` drives the continuous advisor
+with) against a materialized configuration and records, per regime, the
+predicted and measured totals, their ratio, and the per-(subpath,
+organization) split. A second section runs the calibration suite and
+records the post-fit per-scenario relative errors — the same numbers
+the CI accuracy guard (``python -m repro measure --check``) enforces.
+
+The prediction is held at the *initial* statistics while the stream
+mutates the database, so drifting regimes are expected to sit farther
+from 1.0 than the stationary one; the smoke guard bounds the ratio
+instead of pinning it.
+
+Results land in ``benchmarks/results/BENCH_backend.json``.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/bench_backend_replay.py           # full
+    PYTHONPATH=src:. python benchmarks/bench_backend_replay.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+from repro.backend import replay_trace, run_calibration
+from repro.backend.scenarios import default_scenarios
+from repro.trace import TRACE_REGIMES, generate_trace
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+JSON_NAME = "BENCH_backend.json"
+
+#: Scenario the regime replays run against (fresh world per regime).
+FULL_SCENARIO = "mixed-partition-xlarge"
+SMOKE_SCENARIO = "mixed-partition-large"
+
+FULL_EVENTS = 600
+SMOKE_EVENTS = 200
+
+#: Replay sanity bounds: measured/predicted must stay within this band
+#: for every regime. Wide enough for drifted streams, tight enough to
+#: catch a broken tracker (ratio near 0) or a detached model (>>1).
+RATIO_BOUNDS = (0.4, 2.5)
+
+#: The calibration guard threshold CI enforces.
+CALIBRATION_THRESHOLD = 0.15
+
+
+def scenario_named(name: str):
+    for scenario in default_scenarios():
+        if scenario.name == name:
+            return scenario
+    raise KeyError(name)
+
+
+def measure_regime(scenario_name: str, regime: str, events: int, seed: int) -> dict:
+    """Replay one regime's trace on a fresh copy of the scenario world."""
+    scenario = scenario_named(scenario_name)
+    database, path, stats, configuration = scenario.build()
+    trace = generate_trace(path, regime, events, seed=seed)
+    started = time.perf_counter()
+    report = replay_trace(
+        database, path, configuration, trace, seed=seed + 1, stats=stats
+    )
+    elapsed = (time.perf_counter() - started) * 1000.0
+    return {
+        "regime": regime,
+        "scenario": scenario_name,
+        "events": report.events,
+        "replayed": report.replayed,
+        "skipped": report.skipped,
+        "predicted": round(report.predicted_total, 1),
+        "measured": report.measured_total,
+        "ratio": round(report.ratio, 3),
+        "heap_measured": report.heap_measured,
+        "elapsed_ms": round(elapsed, 1),
+        "parts": [
+            {
+                "label": part.label,
+                "organization": part.organization,
+                "predicted": round(part.predicted, 1),
+                "measured": part.measured,
+            }
+            for part in report.parts
+        ],
+    }
+
+
+def measure_calibration() -> dict:
+    """The accuracy-guard numbers, as the benchmark artifact records them."""
+    started = time.perf_counter()
+    report = run_calibration()
+    elapsed = (time.perf_counter() - started) * 1000.0
+    return {
+        "scenarios": len(report.scenario_errors()),
+        "constants": len(report.constants),
+        "max_relative_error": round(report.max_relative_error, 4),
+        "threshold": CALIBRATION_THRESHOLD,
+        "scenario_errors": {
+            name: round(error, 4)
+            for name, error in sorted(report.scenario_errors().items())
+        },
+        "elapsed_ms": round(elapsed, 1),
+    }
+
+
+def run(smoke: bool) -> dict:
+    """All measurements for one mode."""
+    scenario = SMOKE_SCENARIO if smoke else FULL_SCENARIO
+    events = SMOKE_EVENTS if smoke else FULL_EVENTS
+    return {
+        "benchmark": "backend",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "ratio_bounds": list(RATIO_BOUNDS),
+        "measurements": [
+            measure_regime(scenario, regime, events, seed=17 + i)
+            for i, regime in enumerate(TRACE_REGIMES)
+        ],
+        "calibration": measure_calibration(),
+    }
+
+
+def check_smoke(report: dict) -> list[str]:
+    """Smoke failures (empty when the guard passes)."""
+    failures: list[str] = []
+    low, high = report["ratio_bounds"]
+    for row in report["measurements"]:
+        if not (low <= row["ratio"] <= high):
+            failures.append(
+                f"regime {row['regime']}: measured/predicted ratio "
+                f"{row['ratio']:.3f} outside [{low}, {high}]"
+            )
+        if row["replayed"] == 0:
+            failures.append(f"regime {row['regime']}: no events replayed")
+    calibration = report["calibration"]
+    if calibration["max_relative_error"] > calibration["threshold"]:
+        failures.append(
+            f"calibration max relative error "
+            f"{calibration['max_relative_error']:.3f} exceeds "
+            f"{calibration['threshold']:.2f}"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "short streams; non-zero exit when a replay ratio leaves its "
+            "band or the calibration guard fails"
+        ),
+    )
+    parser.add_argument(
+        "--json-path",
+        default=None,
+        help=f"output path (default benchmarks/results/{JSON_NAME})",
+    )
+    arguments = parser.parse_args(argv)
+
+    report = run(arguments.smoke)
+    json_path = (
+        pathlib.Path(arguments.json_path)
+        if arguments.json_path
+        else RESULTS_DIR / JSON_NAME
+    )
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {json_path}", file=sys.stderr)
+
+    if arguments.smoke:
+        failures = check_smoke(report)
+        for failure in failures:
+            print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

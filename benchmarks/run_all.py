@@ -225,6 +225,7 @@ def main(argv: list[str] | None = None) -> int:
     # artifacts next to this one (the CI job uploads all of them) and
     # share the --smoke contract.
     from benchmarks import (
+        bench_backend_replay,
         bench_kernel,
         bench_resilience,
         bench_trace_replay,
@@ -270,6 +271,16 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\nwritten to {resilience_path}", file=sys.stderr)
     if arguments.smoke:
         failures.extend(bench_resilience.check_smoke(resilience_report))
+
+    backend_report = bench_backend_replay.run(arguments.smoke)
+    backend_path = json_path.parent / bench_backend_replay.JSON_NAME
+    backend_path.write_text(
+        json.dumps(backend_report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(backend_report, indent=2))
+    print(f"\nwritten to {backend_path}", file=sys.stderr)
+    if arguments.smoke:
+        failures.extend(bench_backend_replay.check_smoke(backend_report))
 
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}", file=sys.stderr)

@@ -1,0 +1,165 @@
+"""Materializing an advised configuration as real page structures.
+
+:class:`MaterializedConfiguration` builds the
+:class:`~repro.indexes.manager.ConfigurationIndexSet` of a configuration
+on a :class:`~repro.backend.tracker.PageAccessTracker` instead of a plain
+pager, so every structure's pages are attributed to their
+(subpath, organization) or heap owner, and exposes measured
+``query``/``insert``/``delete`` returning the result *and* the
+:class:`~repro.backend.tracker.OperationIO` of the operation.
+
+This is the ground-truth side of the cost model: what the analytic
+CRT/CMT formulas predict, this measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.tracker import OperationIO, PageAccessTracker
+from repro.core.configuration import IndexConfiguration
+from repro.indexes.manager import ConfigurationIndexSet, part_label
+from repro.model.objects import OID, OODatabase
+from repro.model.path import Path
+from repro.storage.sizes import SizeModel
+
+
+@dataclass(frozen=True)
+class MeasuredOperation:
+    """Result and measured I/O of one backend operation."""
+
+    kind: str
+    oids: frozenset[OID]
+    io: OperationIO
+
+
+class MaterializedConfiguration:
+    """An index configuration as actual page-based structures.
+
+    Parameters
+    ----------
+    database, path, configuration:
+        What to materialize. The database is mutated by inserts/deletes.
+    sizes:
+        Physical constants; defaults to :class:`SizeModel`.
+    layout:
+        ``"btree"`` (the paper's structures) or ``"hash"`` (hash
+        directories plus chained NIX primaries; no range predicates).
+    tracker:
+        Share an existing tracker; a fresh one is created by default.
+    """
+
+    def __init__(
+        self,
+        database: OODatabase,
+        path: Path,
+        configuration: IndexConfiguration,
+        sizes: SizeModel | None = None,
+        layout: str = "btree",
+        tracker: PageAccessTracker | None = None,
+    ) -> None:
+        self.sizes = sizes or SizeModel()
+        self.tracker = tracker or PageAccessTracker(page_size=self.sizes.page_size)
+        self.layout = layout
+        with self.tracker.track("materialize", buffered=False) as build:
+            self.indexes = ConfigurationIndexSet(
+                database,
+                path,
+                configuration,
+                sizes=self.sizes,
+                pager=self.tracker,
+                layout=layout,
+            )
+        assert build.result is not None
+        #: I/O of the bulk build itself (page allocations included).
+        self.build_io: OperationIO = build.result
+
+    @property
+    def database(self) -> OODatabase:
+        """The underlying (mutated) object store."""
+        return self.indexes.database
+
+    @property
+    def path(self) -> Path:
+        """The indexed path."""
+        return self.indexes.path
+
+    @property
+    def configuration(self) -> IndexConfiguration:
+        """The materialized configuration."""
+        return self.indexes.configuration
+
+    # ------------------------------------------------------------------
+    # measured operations
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        value: object,
+        target_class: str,
+        include_subclasses: bool = False,
+        fetch_objects: bool = False,
+    ) -> MeasuredOperation:
+        """Measured equality query against the path's ending attribute."""
+        with self.tracker.track("query") as measurement:
+            oids = self.indexes.query(
+                value,
+                target_class,
+                include_subclasses=include_subclasses,
+                fetch_objects=fetch_objects,
+            )
+        assert measurement.result is not None
+        return MeasuredOperation(
+            kind="query", oids=frozenset(oids), io=measurement.result
+        )
+
+    def range_query(
+        self,
+        low: object,
+        high: object,
+        target_class: str,
+        include_subclasses: bool = False,
+    ) -> MeasuredOperation:
+        """Measured range query (B+-tree layout only)."""
+        with self.tracker.track("range_query") as measurement:
+            oids = self.indexes.range_query(
+                low, high, target_class, include_subclasses=include_subclasses
+            )
+        assert measurement.result is not None
+        return MeasuredOperation(
+            kind="range_query", oids=frozenset(oids), io=measurement.result
+        )
+
+    def insert(self, class_name: str, **values: object) -> MeasuredOperation:
+        """Measured object insertion (index maintenance included)."""
+        with self.tracker.track("insert") as measurement:
+            oid = self.indexes.insert(class_name, **values)
+        assert measurement.result is not None
+        return MeasuredOperation(
+            kind="insert", oids=frozenset((oid,)), io=measurement.result
+        )
+
+    def delete(self, oid: OID) -> MeasuredOperation:
+        """Measured object deletion (index maintenance and CMD included)."""
+        with self.tracker.track("delete") as measurement:
+            self.indexes.delete(oid)
+        assert measurement.result is not None
+        return MeasuredOperation(
+            kind="delete", oids=frozenset((oid,)), io=measurement.result
+        )
+
+    # ------------------------------------------------------------------
+    # storage accounting / verification
+    # ------------------------------------------------------------------
+    def part_labels(self) -> list[str]:
+        """Owner labels of the configuration's parts, in path order."""
+        return [
+            part_label(assignment) for assignment, _ in self.indexes.parts()
+        ]
+
+    def storage_by_owner(self) -> dict[str, int]:
+        """Live pages per owner (index structures and heap extents)."""
+        return self.tracker.owner_live_pages()
+
+    def check_consistency(self) -> None:
+        """Verify every index against the database (uncounted)."""
+        self.indexes.check_consistency()

@@ -1,0 +1,162 @@
+"""The seeded scenario suite behind the calibration accuracy guard.
+
+Each :class:`BackendScenario` pins a synthetic world (schema shape, class
+statistics, seed) and a configuration to materialize. The suite covers
+the paper's five organizations — SIX and IIX on single-class subpaths,
+MX, MIX and NIX on multi-class ones — plus a mixed partition, each at
+three population sizes so the calibration fit sees the size trend, not a
+single point.
+
+Everything is deterministic per scenario: the populated database, the
+derived statistics and therefore both the analytic and the measured side
+of every comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.configuration import IndexConfiguration
+from repro.costmodel.params import ClassStats, CostModelConfig, PathStatistics
+from repro.model.objects import OODatabase
+from repro.model.path import Path
+from repro.organizations import IndexOrganization
+from repro.synth import LevelSpec, linear_path_schema, populate_path_database
+from repro.synth.stats import derive_path_statistics
+
+SIX = IndexOrganization.SIX
+IIX = IndexOrganization.IIX
+MX = IndexOrganization.MX
+MIX = IndexOrganization.MIX
+NIX = IndexOrganization.NIX
+
+
+@dataclass(frozen=True)
+class BackendScenario:
+    """One reproducible measured-vs-analytic comparison world."""
+
+    name: str
+    levels: tuple[LevelSpec, ...]
+    specs: tuple[tuple[str, ClassStats], ...]
+    assignments: tuple[tuple[int, int, IndexOrganization], ...]
+    seed: int
+
+    def build(
+        self, config: CostModelConfig | None = None
+    ) -> tuple[OODatabase, Path, PathStatistics, IndexConfiguration]:
+        """Materialize the scenario's world (fresh database every call)."""
+        schema, path = linear_path_schema(list(self.levels))
+        database = populate_path_database(
+            schema, path, dict(self.specs), seed=self.seed
+        )
+        stats = derive_path_statistics(database, path, config=config)
+        configuration = IndexConfiguration.of(*self.assignments)
+        return database, path, stats, configuration
+
+
+def _two_level(prefix: str, scale: int, subclasses: int = 0) -> tuple:
+    levels = (
+        LevelSpec(f"{prefix}A", subclasses=subclasses, multi_valued=True),
+        LevelSpec(f"{prefix}B", subclasses=subclasses),
+    )
+    specs = [
+        (f"{prefix}A", ClassStats(objects=40 * scale, distinct=18 * scale, fanout=2)),
+        (f"{prefix}B", ClassStats(objects=24 * scale, distinct=10 * scale, fanout=1)),
+    ]
+    for level in ("A", "B"):
+        for sub in range(1, subclasses + 1):
+            specs.append(
+                (
+                    f"{prefix}{level}Sub{sub}",
+                    ClassStats(objects=12 * scale, distinct=6 * scale, fanout=1),
+                )
+            )
+    return levels, tuple(specs)
+
+
+def _three_level(prefix: str, scale: int, subclasses: int = 0) -> tuple:
+    levels = (
+        LevelSpec(f"{prefix}P", multi_valued=True),
+        LevelSpec(f"{prefix}V", subclasses=subclasses),
+        LevelSpec(f"{prefix}D", multi_valued=True),
+    )
+    specs = [
+        (f"{prefix}P", ClassStats(objects=45 * scale, distinct=20 * scale, fanout=2)),
+        (f"{prefix}V", ClassStats(objects=30 * scale, distinct=12 * scale, fanout=1)),
+        (f"{prefix}D", ClassStats(objects=18 * scale, distinct=8 * scale, fanout=2)),
+    ]
+    for sub in range(1, subclasses + 1):
+        specs.append(
+            (
+                f"{prefix}VSub{sub}",
+                ClassStats(objects=15 * scale, distinct=7 * scale, fanout=1),
+            )
+        )
+    return levels, tuple(specs)
+
+
+def default_scenarios() -> list[BackendScenario]:
+    """The suite the CI accuracy guard runs (deterministic, CI-sized)."""
+    scenarios: list[BackendScenario] = []
+    for scale, tag in ((3, "small"), (6, "large"), (9, "xlarge")):
+        levels, specs = _two_level("Q", scale)
+        scenarios.append(
+            BackendScenario(
+                name=f"six-pair-{tag}",
+                levels=levels,
+                specs=specs,
+                assignments=((1, 1, SIX), (2, 2, SIX)),
+                seed=11 + scale,
+            )
+        )
+        levels, specs = _two_level("R", scale, subclasses=2)
+        scenarios.append(
+            BackendScenario(
+                name=f"iix-pair-{tag}",
+                levels=levels,
+                specs=specs,
+                assignments=((1, 1, IIX), (2, 2, IIX)),
+                seed=23 + scale,
+            )
+        )
+        levels, specs = _three_level("M", scale)
+        scenarios.append(
+            BackendScenario(
+                name=f"mx-path-{tag}",
+                levels=levels,
+                specs=specs,
+                assignments=((1, 3, MX),),
+                seed=37 + scale,
+            )
+        )
+        levels, specs = _three_level("X", scale, subclasses=2)
+        scenarios.append(
+            BackendScenario(
+                name=f"mix-path-{tag}",
+                levels=levels,
+                specs=specs,
+                assignments=((1, 3, MIX),),
+                seed=41 + scale,
+            )
+        )
+        levels, specs = _three_level("N", scale, subclasses=1)
+        scenarios.append(
+            BackendScenario(
+                name=f"nix-path-{tag}",
+                levels=levels,
+                specs=specs,
+                assignments=((1, 3, NIX),),
+                seed=53 + scale,
+            )
+        )
+        levels, specs = _three_level("Z", scale, subclasses=1)
+        scenarios.append(
+            BackendScenario(
+                name=f"mixed-partition-{tag}",
+                levels=levels,
+                specs=specs,
+                assignments=((1, 2, NIX), (3, 3, MIX)),
+                seed=67 + scale,
+            )
+        )
+    return scenarios

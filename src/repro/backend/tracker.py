@@ -1,0 +1,173 @@
+"""Page-access tracking with ownership attribution.
+
+:class:`PageAccessTracker` extends the accounting
+:class:`~repro.storage.pager.Pager` with the three things the ground-truth
+backend needs and the plain pager does not provide:
+
+* **allocation/free counters** — structure growth is visible, not just
+  traffic;
+* **ownership** — every page is attributed to the owner label active when
+  it was allocated (``owner("S[1,3]:NIX")`` around index construction and
+  maintenance), so any measured I/O splits by (subpath, organization) and
+  heap extent for free;
+* **per-operation measurement** — :meth:`track` wraps one logical
+  operation and yields an :class:`OperationIO`: total reads/writes, pages
+  allocated and freed, and the per-owner breakdown.
+
+The tracker is a drop-in pager: :class:`~repro.indexes.manager.ConfigurationIndexSet`
+discovers the ``owner`` hook by duck typing and works identically on a
+plain pager.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.storage.pager import AccessStats, Pager
+
+#: Owner label used when no ``owner(...)`` scope is active.
+UNOWNED = "(unowned)"
+
+
+@dataclass(frozen=True)
+class OperationIO:
+    """Measured page I/O of one logical operation."""
+
+    label: str
+    stats: AccessStats
+    allocations: int = 0
+    frees: int = 0
+    by_owner: Mapping[str, AccessStats] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        """Reads plus writes — the paper's single cost metric."""
+        return self.stats.total
+
+
+class PageAccessTracker(Pager):
+    """A pager that attributes page traffic to named owners."""
+
+    def __init__(self, page_size: int = 4096) -> None:
+        super().__init__(page_size)
+        self.allocations = 0
+        self.frees = 0
+        self._owner_stack: list[str] = []
+        self._page_owner: dict[int, str] = {}
+        self._owner_reads: Counter = Counter()
+        self._owner_writes: Counter = Counter()
+        self.operations: list[OperationIO] = []
+
+    # ------------------------------------------------------------------
+    # ownership
+    # ------------------------------------------------------------------
+    @contextmanager
+    def owner(self, label: str) -> Iterator[None]:
+        """Attribute pages allocated inside the block to ``label``."""
+        self._owner_stack.append(label)
+        try:
+            yield
+        finally:
+            self._owner_stack.pop()
+
+    def owner_of(self, page_id: int) -> str:
+        """Owner label of a live page."""
+        return self._page_owner.get(page_id, UNOWNED)
+
+    def owner_live_pages(self) -> dict[str, int]:
+        """Live page count per owner label."""
+        counts: Counter = Counter()
+        for page_id in self._live:
+            counts[self.owner_of(page_id)] += 1
+        return dict(counts)
+
+    def owner_stats(self) -> dict[str, AccessStats]:
+        """Cumulative reads/writes per owner label."""
+        labels = set(self._owner_reads) | set(self._owner_writes)
+        return {
+            label: AccessStats(
+                reads=self._owner_reads[label], writes=self._owner_writes[label]
+            )
+            for label in sorted(labels)
+        }
+
+    # ------------------------------------------------------------------
+    # counted pager interface
+    # ------------------------------------------------------------------
+    def allocate(self) -> int:
+        """Allocate a page, recording the active owner."""
+        page_id = super().allocate()
+        self.allocations += 1
+        if self._owner_stack:
+            self._page_owner[page_id] = self._owner_stack[-1]
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Release a page, dropping its ownership record."""
+        super().free(page_id)
+        self.frees += 1
+        self._page_owner.pop(page_id, None)
+
+    def read(self, page_id: int) -> None:
+        """Record a page read, attributed to the page's owner.
+
+        The buffered-measurement dedup of the base pager applies: a read
+        it swallows is not attributed either.
+        """
+        before = self._reads
+        super().read(page_id)
+        if self._reads != before:
+            self._owner_reads[self.owner_of(page_id)] += 1
+
+    def write(self, page_id: int) -> None:
+        """Record a page write, attributed to the page's owner."""
+        super().write(page_id)
+        self._owner_writes[self.owner_of(page_id)] += 1
+
+    # ------------------------------------------------------------------
+    # per-operation measurement
+    # ------------------------------------------------------------------
+    class _Track:
+        def __init__(self, tracker: "PageAccessTracker", label: str, buffered: bool):
+            self._tracker = tracker
+            self._label = label
+            self._measure = tracker.measure(buffered=buffered)
+            self._allocations = tracker.allocations
+            self._frees = tracker.frees
+            self._reads = Counter(tracker._owner_reads)
+            self._writes = Counter(tracker._owner_writes)
+            self.result: OperationIO | None = None
+
+        def __enter__(self) -> "PageAccessTracker._Track":
+            self._measure.__enter__()
+            return self
+
+        def __exit__(self, *exc_info: object) -> None:
+            self._measure.__exit__(*exc_info)
+            tracker = self._tracker
+            assert self._measure.result is not None
+            by_owner: dict[str, AccessStats] = {}
+            labels = set(tracker._owner_reads) | set(tracker._owner_writes)
+            for label in sorted(labels):
+                delta = AccessStats(
+                    reads=tracker._owner_reads[label] - self._reads[label],
+                    writes=tracker._owner_writes[label] - self._writes[label],
+                )
+                if delta.total:
+                    by_owner[label] = delta
+            self.result = OperationIO(
+                label=self._label,
+                stats=self._measure.result,
+                allocations=tracker.allocations - self._allocations,
+                frees=tracker.frees - self._frees,
+                by_owner=by_owner,
+            )
+            tracker.operations.append(self.result)
+
+    def track(self, label: str, buffered: bool = True) -> "PageAccessTracker._Track":
+        """Measure one named operation (buffered by default, matching the
+        paper's fetch-a-page-once maintenance assumption)."""
+        return PageAccessTracker._Track(self, label, buffered)

@@ -18,6 +18,10 @@
                             [--rate-scale S] [--strategy NAME] [--json]
     python -m repro example                # print a template spec
     python -m repro paper   [--trace]      # reproduce Example 5.1
+    python -m repro measure [--check] [--threshold X] [--report FILE]
+                            [--layout btree|hash] [--json]
+    python -m repro measure --scenario NAME [--trace FILE]
+                            [--regime NAME --events N] [--seed S] [--json]
 
 ``SPEC.json`` is the advisor-spec document described in :mod:`repro.io`;
 ``multipath`` takes one spec per path and selects their configurations
@@ -28,7 +32,10 @@ configuration changes; ``trace`` generates a seeded synthetic operation
 stream (JSONL) for the spec's path, and ``replay`` feeds such a stream
 through a windowed, drift-detected
 :class:`~repro.trace.ContinuousAdvisor` and prints the re-advise
-timeline.
+timeline. ``measure`` is the ground-truth side: it runs the
+:mod:`repro.backend` calibration suite (with ``--check`` as the CI
+accuracy guard) or, with ``--scenario``, replays a trace against real
+page structures and prints measured I/O beside the analytic predictions.
 """
 
 from __future__ import annotations
@@ -449,6 +456,73 @@ def _cmd_paper(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_measure(arguments: argparse.Namespace) -> int:
+    # Imported lazily: the backend pulls in the operational structures,
+    # which the purely analytic subcommands never need.
+    from repro.backend import (
+        default_scenarios,
+        render_backend_replay,
+        render_calibration,
+        replay_trace,
+        run_calibration,
+    )
+    from repro.trace import read_trace
+
+    if arguments.scenario:
+        scenarios = {s.name: s for s in default_scenarios()}
+        if arguments.scenario not in scenarios:
+            print(
+                "error: unknown scenario "
+                f"{arguments.scenario!r}; available: "
+                + ", ".join(sorted(scenarios)),
+                file=sys.stderr,
+            )
+            return 1
+        scenario = scenarios[arguments.scenario]
+        database, path, stats, configuration = scenario.build()
+        if arguments.trace:
+            events = read_trace(arguments.trace)
+        else:
+            events = generate_trace(
+                path, arguments.regime, arguments.events, seed=arguments.seed
+            )
+        report = replay_trace(
+            database,
+            path,
+            configuration,
+            events,
+            seed=arguments.seed,
+            stats=stats,
+            layout=arguments.layout,
+        )
+        if arguments.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(render_backend_replay(report))
+        return 0
+
+    report = run_calibration(layout=arguments.layout)
+    if arguments.report:
+        import pathlib
+
+        pathlib.Path(arguments.report).write_text(report.to_json() + "\n")
+    if arguments.json:
+        print(report.to_json())
+    else:
+        print(render_calibration(report))
+    if arguments.check:
+        failures = report.check(arguments.threshold)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"accuracy guard passed: max relative error "
+            f"{report.max_relative_error:.3f} <= {arguments.threshold:.3f}"
+        )
+    return 0
+
+
 def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -835,6 +909,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     paper_parser.add_argument("--trace", action="store_true")
     paper_parser.set_defaults(handler=_cmd_paper)
+
+    measure_parser = commands.add_parser(
+        "measure",
+        help=(
+            "ground truth: materialize configurations as real page "
+            "structures, measure I/O, calibrate the cost model"
+        ),
+    )
+    measure_parser.add_argument(
+        "--layout",
+        choices=("btree", "hash"),
+        default="btree",
+        help="storage layout for the materialized structures",
+    )
+    measure_parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "fail (exit 1) when any scenario's post-fit relative error "
+            "exceeds --threshold — the CI accuracy guard"
+        ),
+    )
+    measure_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        metavar="X",
+        help="relative-error bound for --check (default 0.15)",
+    )
+    measure_parser.add_argument(
+        "--report",
+        metavar="FILE",
+        default=None,
+        help="write the calibration report (JSON) here",
+    )
+    measure_parser.add_argument(
+        "--scenario",
+        metavar="NAME",
+        default=None,
+        help=(
+            "replay a trace against this seeded scenario instead of "
+            "running the calibration suite"
+        ),
+    )
+    measure_parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="JSONL trace to replay (with --scenario); generated if omitted",
+    )
+    measure_parser.add_argument(
+        "--regime",
+        choices=TRACE_REGIMES,
+        default="stationary",
+        help="regime for the generated trace (without --trace)",
+    )
+    measure_parser.add_argument(
+        "--events",
+        type=int,
+        default=200,
+        metavar="N",
+        help="events to generate (without --trace)",
+    )
+    measure_parser.add_argument(
+        "--seed", type=int, default=0, help="replay / generation seed"
+    )
+    measure_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    measure_parser.set_defaults(handler=_cmd_measure)
     return parser
 
 

@@ -16,8 +16,17 @@ from functools import cached_property
 from repro.errors import IndexError_
 from repro.model.objects import OID, ObjectInstance, OODatabase
 from repro.model.path import Path
+from repro.storage.btree import BPlusTree
+from repro.storage.chains import ChainedRecordStore
+from repro.storage.hashdir import HashDirectory
 from repro.storage.pager import Pager
 from repro.storage.sizes import SizeModel
+
+#: Physical layouts an index context can materialize its structures in.
+#: ``btree`` is the paper's default; ``hash`` swaps equality-only
+#: structures for hash directories and NIX primaries for chained record
+#: stores (range predicates become unsupported).
+LAYOUTS = ("btree", "hash")
 
 
 @dataclass
@@ -36,6 +45,8 @@ class IndexContext:
         The accounting pager shared by all structures of an experiment.
     sizes:
         Physical constants (must match the pager's page size).
+    layout:
+        Physical layout for the index structures (see :data:`LAYOUTS`).
     """
 
     database: OODatabase
@@ -44,6 +55,7 @@ class IndexContext:
     end: int
     pager: Pager
     sizes: SizeModel
+    layout: str = "btree"
 
     def __post_init__(self) -> None:
         if not 1 <= self.start <= self.end <= self.path.length:
@@ -52,6 +64,32 @@ class IndexContext:
             )
         if self.pager.page_size != self.sizes.page_size:
             raise IndexError_("pager and size model disagree on page size")
+        if self.layout not in LAYOUTS:
+            raise IndexError_(
+                f"unknown layout {self.layout!r} (choose from {LAYOUTS})"
+            )
+
+    def make_structure(
+        self, atomic_keys: bool, name: str, chained: bool = False
+    ) -> BPlusTree | HashDirectory | ChainedRecordStore:
+        """Build a keyed page structure in the context's layout.
+
+        ``chained=True`` marks structures holding few large records (NIX
+        primaries): under the hash layout these become
+        :class:`~repro.storage.chains.ChainedRecordStore` instead of a
+        hash directory.
+        """
+        if self.layout == "hash":
+            if chained:
+                return ChainedRecordStore(
+                    self.pager, self.sizes, atomic_keys=atomic_keys, name=name
+                )
+            return HashDirectory(
+                self.pager, self.sizes, atomic_keys=atomic_keys, name=name
+            )
+        return BPlusTree(
+            self.pager, self.sizes, atomic_keys=atomic_keys, name=name
+        )
 
     @cached_property
     def subpath(self) -> Path:

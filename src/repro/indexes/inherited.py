@@ -34,6 +34,7 @@ class InheritedIndex(OperationalIndex):
             atomic_keys=attribute.is_atomic,
             classes=self.classes,
             grouped=True,
+            layout=context.layout,
         )
         for class_name in self.classes:
             for instance in context.database.extent(class_name):

@@ -11,6 +11,7 @@ subpath lookups from the ending attribute backwards.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.core.configuration import IndexConfiguration, IndexedSubpath
@@ -40,6 +41,17 @@ class _Part:
     index: OperationalIndex
 
 
+def part_label(assignment: IndexedSubpath) -> str:
+    """Owner label of one configuration part, e.g. ``"S[1,3]:NIX"``.
+
+    The backend's tracker groups measured page I/O under these labels, so
+    replay reports can show costs per (subpath, organization).
+    """
+    return (
+        f"S[{assignment.start},{assignment.end}]:{assignment.organization.name}"
+    )
+
+
 class ConfigurationIndexSet:
     """All operational structures of one configuration on one database."""
 
@@ -50,6 +62,7 @@ class ConfigurationIndexSet:
         configuration: IndexConfiguration,
         sizes: SizeModel | None = None,
         pager: Pager | None = None,
+        layout: str = "btree",
     ) -> None:
         if configuration.length != path.length:
             raise IndexError_(
@@ -61,15 +74,17 @@ class ConfigurationIndexSet:
         self.configuration = configuration
         self.sizes = sizes or SizeModel()
         self.pager = pager or Pager(page_size=self.sizes.page_size)
+        self.layout = layout
 
         # Heap extents: a page contains objects of only one class.
         self.extents: dict[str, ClassExtent] = {}
         for class_name in path.scope:
-            extent = ClassExtent(
-                self.pager, self.sizes, class_name, self.sizes.object_size
-            )
-            for instance in database.extent(class_name):
-                extent.place(instance.oid)
+            with self._scope(f"heap:{class_name}"):
+                extent = ClassExtent(
+                    self.pager, self.sizes, class_name, self.sizes.object_size
+                )
+                for instance in database.extent(class_name):
+                    extent.place(instance.oid)
             self.extents[class_name] = extent
 
         self._parts: list[_Part] = []
@@ -81,10 +96,21 @@ class ConfigurationIndexSet:
                 end=assignment.end,
                 pager=self.pager,
                 sizes=self.sizes,
+                layout=layout,
             )
-            self._parts.append(
-                _Part(assignment=assignment, index=self._build(context, assignment))
-            )
+            with self._scope(part_label(assignment)):
+                index = self._build(context, assignment)
+            self._parts.append(_Part(assignment=assignment, index=index))
+
+    def _scope(self, label: str):
+        """Attribute page allocations to an owner label, when tracked.
+
+        A plain :class:`~repro.storage.pager.Pager` has no ``owner``
+        hook; the backend's ``PageAccessTracker`` provides one, which
+        splits measured I/O per (subpath, organization) and per heap.
+        """
+        owner = getattr(self.pager, "owner", None)
+        return owner(label) if owner is not None else nullcontext()
 
     def _build(
         self, context: IndexContext, assignment: IndexedSubpath
@@ -218,10 +244,12 @@ class ConfigurationIndexSet:
         """Create an object and maintain every affected structure."""
         oid = self.database.create(class_name, **values)
         instance = self.database.get(oid)
-        self.extents[class_name].place(oid)
+        with self._scope(f"heap:{class_name}"):
+            self.extents[class_name].place(oid)
         for part in self._parts:
             if part.index.covers_class(class_name):
-                part.index.on_insert(instance)
+                with self._scope(part_label(part.assignment)):
+                    part.index.on_insert(instance)
         return oid
 
     def delete(self, oid: OID) -> None:
@@ -230,17 +258,20 @@ class ConfigurationIndexSet:
         position = self._position_of_class(oid.class_name)
         for i, part in enumerate(self._parts):
             if part.assignment.start <= position <= part.assignment.end:
-                part.index.on_delete(instance)
+                with self._scope(part_label(part.assignment)):
+                    part.index.on_delete(instance)
                 # CMD: if the object belongs to the starting class level of
                 # this subpath, the preceding subpath's index holds records
                 # keyed by its oid.
                 if position == part.assignment.start and i > 0:
-                    previous = self._parts[i - 1].index
-                    remove = getattr(previous, "remove_key", None)
+                    previous = self._parts[i - 1]
+                    remove = getattr(previous.index, "remove_key", None)
                     if remove is not None:
-                        remove(oid)
+                        with self._scope(part_label(previous.assignment)):
+                            remove(oid)
                 break
-        self.extents[oid.class_name].remove(oid)
+        with self._scope(f"heap:{oid.class_name}"):
+            self.extents[oid.class_name].remove(oid)
         self.database.delete(oid)
 
     # ------------------------------------------------------------------

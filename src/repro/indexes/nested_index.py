@@ -16,7 +16,6 @@ from collections import Counter
 from repro.errors import IndexError_
 from repro.indexes.base import IndexContext, OperationalIndex
 from repro.model.objects import OID, ObjectInstance
-from repro.storage.btree import BPlusTree
 from repro.storage.heap import ClassExtent
 
 
@@ -29,11 +28,8 @@ class NestedIndex(OperationalIndex):
         super().__init__(context)
         self._extents = extents
         ending_atomic = context.path.attribute_def_at(context.end).is_atomic
-        self._tree = BPlusTree(
-            context.pager,
-            context.sizes,
-            atomic_keys=ending_atomic,
-            name=f"NX({context.subpath})",
+        self._tree = context.make_structure(
+            ending_atomic, f"NX({context.subpath})"
         )
         self._build()
 

@@ -28,7 +28,6 @@ from dataclasses import dataclass, field
 from repro.errors import IndexError_
 from repro.indexes.base import IndexContext, OperationalIndex
 from repro.model.objects import OID, ObjectInstance
-from repro.storage.btree import BPlusTree
 
 #: A primary record: class name -> {oid: numchild}.
 PrimaryRecord = dict[str, dict[OID, int]]
@@ -47,19 +46,15 @@ class NestedInheritedIndex(OperationalIndex):
 
     def __init__(self, context: IndexContext) -> None:
         super().__init__(context)
-        sizes = context.sizes
         ending_atomic = context.path.attribute_def_at(context.end).is_atomic
-        self._primary = BPlusTree(
-            context.pager,
-            sizes,
-            atomic_keys=ending_atomic,
-            name=f"NIX-primary({context.subpath})",
+        # Under the hash layout the primary becomes a chained record
+        # store (few large records, each in its own page chain) and the
+        # auxiliary a hash directory.
+        self._primary = context.make_structure(
+            ending_atomic, f"NIX-primary({context.subpath})", chained=True
         )
-        self._auxiliary = BPlusTree(
-            context.pager,
-            sizes,
-            atomic_keys=False,
-            name=f"NIX-auxiliary({context.subpath})",
+        self._auxiliary = context.make_structure(
+            False, f"NIX-auxiliary({context.subpath})"
         )
         self._build()
 

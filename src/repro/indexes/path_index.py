@@ -14,7 +14,6 @@ from __future__ import annotations
 from repro.errors import IndexError_
 from repro.indexes.base import IndexContext, OperationalIndex
 from repro.model.objects import OID, ObjectInstance
-from repro.storage.btree import BPlusTree
 
 #: A stored record: a sorted tuple of instantiation tuples.
 Instantiation = tuple[OID, ...]
@@ -26,11 +25,8 @@ class PathIndex(OperationalIndex):
     def __init__(self, context: IndexContext) -> None:
         super().__init__(context)
         ending_atomic = context.path.attribute_def_at(context.end).is_atomic
-        self._tree = BPlusTree(
-            context.pager,
-            context.sizes,
-            atomic_keys=ending_atomic,
-            name=f"PX({context.subpath})",
+        self._tree = context.make_structure(
+            ending_atomic, f"PX({context.subpath})"
         )
         self._build()
 

@@ -47,6 +47,7 @@ class SimpleIndex(OperationalIndex):
             atomic_keys=attribute.is_atomic,
             classes=[self.class_name],
             grouped=False,
+            layout=context.layout,
         )
         for instance in context.database.extent(self.class_name):
             self._load(instance)

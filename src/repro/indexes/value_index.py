@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.errors import IndexError_
 from repro.model.objects import OID
 from repro.storage.btree import BPlusTree
+from repro.storage.hashdir import HashDirectory
 from repro.storage.pager import Pager
 from repro.storage.sizes import SizeModel
 
@@ -36,6 +37,10 @@ class ValueIndex:
     grouped:
         ``True`` for inherited indexes: records carry a per-class
         directory (entry overhead per class present in the record).
+    layout:
+        ``"btree"`` (default) or ``"hash"`` — the hash layout swaps the
+        B+-tree for a :class:`~repro.storage.hashdir.HashDirectory` and
+        loses range-predicate support.
     """
 
     def __init__(
@@ -46,13 +51,19 @@ class ValueIndex:
         atomic_keys: bool,
         classes: list[str],
         grouped: bool = False,
+        layout: str = "btree",
     ) -> None:
         self._sizes = sizes
         self._name = name
         self._classes = set(classes)
         self._grouped = grouped
         self._key_size = sizes.key_size(atomic=atomic_keys)
-        self.tree = BPlusTree(pager, sizes, atomic_keys=atomic_keys, name=name)
+        if layout == "hash":
+            self.tree: BPlusTree | HashDirectory = HashDirectory(
+                pager, sizes, atomic_keys=atomic_keys, name=name
+            )
+        else:
+            self.tree = BPlusTree(pager, sizes, atomic_keys=atomic_keys, name=name)
 
     # ------------------------------------------------------------------
     # geometry

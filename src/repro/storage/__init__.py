@@ -13,12 +13,27 @@ provides:
   longer than a page;
 * :class:`~repro.storage.heap.ClassExtent` — heap files packing the objects
   of a single class (the paper assumes a page contains objects of only one
-  class).
+  class);
+* :class:`~repro.storage.hashdir.HashDirectory` and
+  :class:`~repro.storage.chains.ChainedRecordStore` — alternative
+  equality-only layouts (hash directory with chained bucket pages; one
+  dedicated page chain per record) used by the ground-truth backend's
+  ``layout="hash"`` mode.
 """
 
 from repro.storage.btree import BPlusTree
+from repro.storage.chains import ChainedRecordStore
+from repro.storage.hashdir import HashDirectory
 from repro.storage.heap import ClassExtent
 from repro.storage.pager import AccessStats, Pager
 from repro.storage.sizes import SizeModel
 
-__all__ = ["AccessStats", "BPlusTree", "ClassExtent", "Pager", "SizeModel"]
+__all__ = [
+    "AccessStats",
+    "BPlusTree",
+    "ChainedRecordStore",
+    "ClassExtent",
+    "HashDirectory",
+    "Pager",
+    "SizeModel",
+]

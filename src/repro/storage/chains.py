@@ -1,0 +1,259 @@
+"""A chained-record store: every record in its own page chain.
+
+The paper's NIX primary index packs records into B+-tree leaves with
+overflow chains for oversized records. :class:`ChainedRecordStore` is the
+alternative layout where *every* record occupies a dedicated chain of
+pages and the keys live in a linear chain of directory pages, in arrival
+order. Locating a key reads the directory chain up to the page holding
+it; retrieving the record then reads its chain. This trades the
+logarithmic descent of the tree for a layout whose per-record cost is
+exact (no sharing of leaf pages between records) — cheap for large
+records such as NIX primary records, expensive for many small ones.
+
+Direct-pointer access (``search_direct``/``update_direct``) reads or
+rewrites only the record's chain, modeling the stored physical pointers
+of the NIX 3-tuples.
+
+Range scans are unsupported (the directory is not key-ordered) and raise
+:class:`~repro.errors.StorageError`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.storage.pager import Pager
+from repro.storage.sizes import SizeModel
+
+
+class _DirectoryPage:
+    __slots__ = ("page_id", "keys")
+
+    def __init__(self, page_id: int):
+        self.page_id = page_id
+        self.keys: list[object] = []
+
+
+class _Chain:
+    __slots__ = ("value", "size", "pages")
+
+    def __init__(self, value: object, size: int, pages: list[int]):
+        self.value = value
+        self.size = size
+        self.pages = pages
+
+
+class ChainedRecordStore:
+    """Keyed records stored as dedicated page chains.
+
+    Implements the counted-access method subset of
+    :class:`~repro.storage.btree.BPlusTree` that the operational indexes
+    use, so it can serve as the NIX primary structure under the backend's
+    chained layout.
+    """
+
+    def __init__(
+        self,
+        pager: Pager,
+        sizes: SizeModel,
+        atomic_keys: bool = True,
+        name: str = "chains",
+    ) -> None:
+        self._pager = pager
+        self._sizes = sizes
+        self._name = name
+        entry_size = sizes.key_size(atomic_keys) + sizes.pointer_size
+        self._capacity = max(1, sizes.page_size // entry_size)
+        self._directory: list[_DirectoryPage] = [_DirectoryPage(pager.allocate())]
+        self._chains: dict[object, _Chain] = {}
+
+    # ------------------------------------------------------------------
+    # public geometry
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Identifier given at construction."""
+        return self._name
+
+    @property
+    def height(self) -> int:
+        """Access depth: the directory level plus the record level."""
+        return 2
+
+    @property
+    def record_count(self) -> int:
+        """Number of stored records."""
+        return len(self._chains)
+
+    def leaf_page_count(self) -> int:
+        """Number of directory pages."""
+        return len(self._directory)
+
+    def node_count(self) -> int:
+        """Directory pages plus record-chain pages."""
+        return len(self._directory) + sum(
+            len(chain.pages) for chain in self._chains.values()
+        )
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(self, key: object, partial_pages: int | None = None) -> object | None:
+        """Counted probe: directory pages up to the holder, then the chain."""
+        found = False
+        for page in self._directory:
+            self._pager.read(page.page_id)
+            if key in page.keys:
+                found = True
+                break
+        if not found:
+            return None
+        chain = self._chains[key]
+        for page_id in self._chain_slice(chain, partial_pages):
+            self._pager.read(page_id)
+        return chain.value
+
+    def search_direct(self, key: object, partial_pages: int | None = None) -> object | None:
+        """Retrieve through a direct pointer: only the chain is charged."""
+        chain = self._chains.get(key)
+        if chain is None:
+            return None
+        for page_id in self._chain_slice(chain, partial_pages):
+            self._pager.read(page_id)
+        return chain.value
+
+    def update_direct(self, key: object, value: object, size: int) -> None:
+        """Rewrite a record through a direct pointer (chain pages only)."""
+        if size <= 0:
+            raise StorageError(f"{self._name}: record size must be positive")
+        chain = self._chains.get(key)
+        if chain is None:
+            raise StorageError(f"{self._name}: direct update of missing key {key!r}")
+        self._replace_chain(chain, value, size)
+
+    def contains(self, key: object) -> bool:
+        """Uncounted membership test."""
+        return key in self._chains
+
+    def get(self, key: object) -> object | None:
+        """Uncounted lookup."""
+        chain = self._chains.get(key)
+        return chain.value if chain is not None else None
+
+    def range_scan(self, low: object, high: object) -> list[tuple[object, object]]:
+        """Unsupported: the directory is not key-ordered."""
+        raise StorageError(
+            f"{self._name}: chained layout does not support range scans"
+        )
+
+    # ------------------------------------------------------------------
+    # modification
+    # ------------------------------------------------------------------
+    def insert(self, key: object, value: object, size: int) -> None:
+        """Insert a new record; raises if the key already exists.
+
+        Reads the whole directory chain (the duplicate check), writes the
+        directory page receiving the key, then allocates and writes the
+        record's chain.
+        """
+        if size <= 0:
+            raise StorageError(f"{self._name}: record size must be positive")
+        target: _DirectoryPage | None = None
+        for page in self._directory:
+            self._pager.read(page.page_id)
+            if key in page.keys:
+                raise StorageError(f"{self._name}: duplicate key {key!r}")
+            if target is None and len(page.keys) < self._capacity:
+                target = page
+        if target is None:
+            target = _DirectoryPage(self._pager.allocate())
+            self._directory.append(target)
+        target.keys.append(key)
+        self._pager.write(target.page_id)
+        pages = self._pager.allocate_many(max(1, self._sizes.pages_for(size)))
+        for page_id in pages:
+            self._pager.write(page_id)
+        self._chains[key] = _Chain(value=value, size=size, pages=pages)
+
+    def update(self, key: object, value: object, size: int) -> None:
+        """Replace the record under an existing key (counted probe)."""
+        if size <= 0:
+            raise StorageError(f"{self._name}: record size must be positive")
+        for page in self._directory:
+            self._pager.read(page.page_id)
+            if key in page.keys:
+                self._replace_chain(self._chains[key], value, size)
+                return
+        raise StorageError(f"{self._name}: update of missing key {key!r}")
+
+    def upsert(self, key: object, value: object, size: int) -> None:
+        """Insert or update, whichever applies."""
+        if self.contains(key):
+            self.update(key, value, size)
+        else:
+            self.insert(key, value, size)
+
+    def delete(self, key: object) -> object:
+        """Remove a record, returning its value; raises if absent."""
+        for index, page in enumerate(self._directory):
+            self._pager.read(page.page_id)
+            if key in page.keys:
+                chain = self._chains.pop(key)
+                for page_id in chain.pages:
+                    self._pager.free(page_id)
+                page.keys.remove(key)
+                self._pager.write(page.page_id)
+                if not page.keys and len(self._directory) > 1:
+                    self._directory.pop(index)
+                    self._pager.free(page.page_id)
+                return chain.value
+        raise StorageError(f"{self._name}: delete of missing key {key!r}")
+
+    # ------------------------------------------------------------------
+    # uncounted iteration / verification
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[tuple[object, object]]:
+        """All records in directory order, without touching the counters."""
+        for page in self._directory:
+            for key in page.keys:
+                yield key, self._chains[key].value
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; raises :class:`StorageError`."""
+        seen: set[object] = set()
+        for page in self._directory:
+            if len(page.keys) > self._capacity:
+                raise StorageError(f"{self._name}: directory page over capacity")
+            for key in page.keys:
+                if key in seen:
+                    raise StorageError(f"{self._name}: duplicate key {key!r}")
+                if key not in self._chains:
+                    raise StorageError(f"{self._name}: dangling directory key")
+                seen.add(key)
+        if seen != set(self._chains):
+            raise StorageError(f"{self._name}: directory does not match chains")
+        for chain in self._chains.values():
+            if len(chain.pages) != max(1, self._sizes.pages_for(chain.size)):
+                raise StorageError(f"{self._name}: chain length drifted")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _replace_chain(self, chain: _Chain, value: object, size: int) -> None:
+        needed = max(1, self._sizes.pages_for(size))
+        if needed != len(chain.pages):
+            for page_id in chain.pages:
+                self._pager.free(page_id)
+            chain.pages = self._pager.allocate_many(needed)
+        chain.value = value
+        chain.size = size
+        for page_id in chain.pages:
+            self._pager.write(page_id)
+
+    def _chain_slice(self, chain: _Chain, partial_pages: int | None) -> list[int]:
+        if partial_pages is None:
+            return chain.pages
+        if partial_pages < 0:
+            raise StorageError("partial_pages must be non-negative")
+        return chain.pages[:partial_pages]

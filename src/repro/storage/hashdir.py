@@ -1,0 +1,380 @@
+"""A page-based hash directory with chained bucket pages.
+
+The paper's cost formulas assume B+-trees, but its page-access accounting
+applies to any page-structured organization. :class:`HashDirectory` is an
+alternative *layout* for the equality-only structures of the operational
+indexes: a fixed directory of hash buckets (one directory entry per
+bucket, packed into directory pages) where each bucket is a chain of
+record pages. Equality lookups cost one directory-page read plus the
+bucket-chain walk; records longer than a page spill into dedicated
+overflow pages exactly like B+-tree leaf records, so the ``pr``/``pm``
+partial-retrieval semantics carry over unchanged.
+
+Range scans are unsupported by construction — hashing destroys key order —
+and raise :class:`~repro.errors.StorageError`, which is how the backend
+surfaces "this layout cannot serve range predicates".
+
+The bucket function is deterministic across processes (CRC-32 of the
+key's ``repr``), so page layouts — and therefore measured page counts —
+are reproducible for a given operation sequence.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.storage.pager import Pager
+from repro.storage.sizes import SizeModel
+
+
+def bucket_hash(key: object, bucket_count: int) -> int:
+    """Deterministic bucket assignment (stable across processes)."""
+    return zlib.crc32(repr(key).encode("utf-8")) % bucket_count
+
+
+class _Record:
+    __slots__ = ("value", "size", "overflow_pages")
+
+    def __init__(self, value: object, size: int, overflow_pages: list[int]):
+        self.value = value
+        self.size = size
+        self.overflow_pages = overflow_pages
+
+
+class _BucketPage:
+    __slots__ = ("page_id", "keys", "records", "next_page")
+
+    def __init__(self, page_id: int):
+        self.page_id = page_id
+        self.keys: list[object] = []
+        self.records: list[_Record] = []
+        self.next_page: _BucketPage | None = None
+
+
+class HashDirectory:
+    """A hash directory with the B+-tree's counted-access interface.
+
+    Implements the method subset the operational indexes use
+    (``search``/``search_direct``/``update_direct``/``insert``/``update``/
+    ``upsert``/``delete``/``contains``/``get``/``items``), so it can stand
+    in for :class:`~repro.storage.btree.BPlusTree` wherever only equality
+    probes are needed.
+
+    Parameters
+    ----------
+    pager, sizes:
+        Accounting substrate and physical constants.
+    atomic_keys:
+        Whether keys are atomic attribute values or oids (affects the
+        stub size of spilled records, as in the B+-tree).
+    name:
+        Identifier for error messages.
+    bucket_count:
+        Number of hash buckets; the directory occupies
+        ``ceil(bucket_count / entries_per_page)`` pages.
+    """
+
+    def __init__(
+        self,
+        pager: Pager,
+        sizes: SizeModel,
+        atomic_keys: bool = True,
+        name: str = "hashdir",
+        bucket_count: int = 64,
+    ) -> None:
+        if bucket_count <= 0:
+            raise StorageError("bucket count must be positive")
+        self._pager = pager
+        self._sizes = sizes
+        self._name = name
+        self._leaf_budget = sizes.page_size - sizes.record_header_size
+        self._stub_size = sizes.key_size(atomic_keys) + sizes.pointer_size
+        self._bucket_count = bucket_count
+        entries_per_page = max(1, sizes.page_size // sizes.pointer_size)
+        directory_pages = math.ceil(bucket_count / entries_per_page)
+        self._directory_pages = pager.allocate_many(directory_pages)
+        self._directory_of = [
+            self._directory_pages[bucket // entries_per_page]
+            for bucket in range(bucket_count)
+        ]
+        self._buckets: list[_BucketPage | None] = [None] * bucket_count
+        self._record_count = 0
+
+    # ------------------------------------------------------------------
+    # public geometry
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Identifier given at construction."""
+        return self._name
+
+    @property
+    def height(self) -> int:
+        """Access depth: one directory level plus the bucket level."""
+        return 2
+
+    @property
+    def record_count(self) -> int:
+        """Number of stored records (distinct keys)."""
+        return self._record_count
+
+    def leaf_page_count(self) -> int:
+        """Number of bucket pages currently allocated."""
+        return sum(1 for _ in self._iter_pages())
+
+    def node_count(self) -> int:
+        """Directory plus bucket pages, overflow excluded."""
+        return len(self._directory_pages) + self.leaf_page_count()
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(self, key: object, partial_pages: int | None = None) -> object | None:
+        """Counted equality probe: directory page, bucket chain, overflow."""
+        bucket = bucket_hash(key, self._bucket_count)
+        self._pager.read(self._directory_of[bucket])
+        page = self._buckets[bucket]
+        while page is not None:
+            self._pager.read(page.page_id)
+            if key in page.keys:
+                record = page.records[page.keys.index(key)]
+                for page_id in self._overflow_slice(record, partial_pages):
+                    self._pager.read(page_id)
+                return record.value
+            page = page.next_page
+        return None
+
+    def search_direct(self, key: object, partial_pages: int | None = None) -> object | None:
+        """Retrieve through a direct pointer: only the holding page and
+        the record's overflow pages are charged, not the directory."""
+        located = self._locate(key)
+        if located is None:
+            return None
+        page, index = located
+        self._pager.read(page.page_id)
+        record = page.records[index]
+        for page_id in self._overflow_slice(record, partial_pages):
+            self._pager.read(page_id)
+        return record.value
+
+    def update_direct(self, key: object, value: object, size: int) -> None:
+        """Rewrite a record through a direct pointer (no directory walk)."""
+        if size <= 0:
+            raise StorageError(f"{self._name}: record size must be positive")
+        located = self._locate(key)
+        if located is None:
+            raise StorageError(f"{self._name}: direct update of missing key {key!r}")
+        page, index = located
+        self._free_overflow(page.records[index])
+        record = self._make_record(value, size)
+        page.records[index] = record
+        for page_id in record.overflow_pages:
+            self._pager.write(page_id)
+        self._pager.write(page.page_id)
+        self._fix_overfull(bucket_hash(key, self._bucket_count))
+
+    def contains(self, key: object) -> bool:
+        """Uncounted membership test."""
+        return self._locate(key) is not None
+
+    def get(self, key: object) -> object | None:
+        """Uncounted lookup."""
+        located = self._locate(key)
+        if located is None:
+            return None
+        page, index = located
+        return page.records[index].value
+
+    def range_scan(self, low: object, high: object) -> list[tuple[object, object]]:
+        """Unsupported: hashing destroys key order."""
+        raise StorageError(
+            f"{self._name}: hash layout does not support range scans"
+        )
+
+    # ------------------------------------------------------------------
+    # modification
+    # ------------------------------------------------------------------
+    def insert(self, key: object, value: object, size: int) -> None:
+        """Insert a new record; raises if the key already exists.
+
+        Counts the directory-page read and the full bucket-chain walk (the
+        duplicate check every hash insert performs), then the page write.
+        """
+        if size <= 0:
+            raise StorageError(f"{self._name}: record size must be positive")
+        bucket = bucket_hash(key, self._bucket_count)
+        self._pager.read(self._directory_of[bucket])
+        weight = self._stub_size if size > self._leaf_budget else size
+        target: _BucketPage | None = None
+        tail: _BucketPage | None = None
+        page = self._buckets[bucket]
+        while page is not None:
+            self._pager.read(page.page_id)
+            if key in page.keys:
+                raise StorageError(f"{self._name}: duplicate key {key!r}")
+            if target is None and self._page_weight(page) + weight <= self._leaf_budget:
+                target = page
+            tail = page
+            page = page.next_page
+        if target is None:
+            target = _BucketPage(self._pager.allocate())
+            if tail is None:
+                self._buckets[bucket] = target
+            else:
+                tail.next_page = target
+                self._pager.write(tail.page_id)
+        record = self._make_record(value, size)
+        target.keys.append(key)
+        target.records.append(record)
+        self._record_count += 1
+        self._pager.write(target.page_id)
+
+    def update(self, key: object, value: object, size: int) -> None:
+        """Replace the record under an existing key (counted probe)."""
+        if size <= 0:
+            raise StorageError(f"{self._name}: record size must be positive")
+        bucket = bucket_hash(key, self._bucket_count)
+        self._pager.read(self._directory_of[bucket])
+        page = self._buckets[bucket]
+        while page is not None:
+            self._pager.read(page.page_id)
+            if key in page.keys:
+                index = page.keys.index(key)
+                self._free_overflow(page.records[index])
+                record = self._make_record(value, size)
+                page.records[index] = record
+                for page_id in record.overflow_pages:
+                    self._pager.write(page_id)
+                self._pager.write(page.page_id)
+                self._fix_overfull(bucket)
+                return
+            page = page.next_page
+        raise StorageError(f"{self._name}: update of missing key {key!r}")
+
+    def upsert(self, key: object, value: object, size: int) -> None:
+        """Insert or update, whichever applies."""
+        if self.contains(key):
+            self.update(key, value, size)
+        else:
+            self.insert(key, value, size)
+
+    def delete(self, key: object) -> object:
+        """Remove a record, returning its value; raises if absent."""
+        bucket = bucket_hash(key, self._bucket_count)
+        self._pager.read(self._directory_of[bucket])
+        previous: _BucketPage | None = None
+        page = self._buckets[bucket]
+        while page is not None:
+            self._pager.read(page.page_id)
+            if key in page.keys:
+                index = page.keys.index(key)
+                record = page.records.pop(index)
+                page.keys.pop(index)
+                self._record_count -= 1
+                self._free_overflow(record)
+                self._pager.write(page.page_id)
+                if not page.keys:
+                    if previous is None:
+                        self._buckets[bucket] = page.next_page
+                    else:
+                        previous.next_page = page.next_page
+                        self._pager.write(previous.page_id)
+                    self._pager.free(page.page_id)
+                return record.value
+            previous = page
+            page = page.next_page
+        raise StorageError(f"{self._name}: delete of missing key {key!r}")
+
+    # ------------------------------------------------------------------
+    # uncounted iteration / verification
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[tuple[object, object]]:
+        """All records in bucket order, without touching the counters."""
+        for page in self._iter_pages():
+            yield from zip(page.keys, (record.value for record in page.records))
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; raises :class:`StorageError`."""
+        seen: set[object] = set()
+        count = 0
+        for bucket, head in enumerate(self._buckets):
+            page = head
+            while page is not None:
+                if len(page.keys) != len(page.records):
+                    raise StorageError(f"{self._name}: malformed bucket page")
+                if not page.keys:
+                    raise StorageError(f"{self._name}: empty bucket page kept")
+                if len(page.keys) > 1 and self._page_weight(page) > self._leaf_budget:
+                    raise StorageError(f"{self._name}: bucket page over budget")
+                for key in page.keys:
+                    if bucket_hash(key, self._bucket_count) != bucket:
+                        raise StorageError(f"{self._name}: key in wrong bucket")
+                    if key in seen:
+                        raise StorageError(f"{self._name}: duplicate key {key!r}")
+                    seen.add(key)
+                    count += 1
+                page = page.next_page
+        if count != self._record_count:
+            raise StorageError(f"{self._name}: record count drifted")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _iter_pages(self) -> Iterator[_BucketPage]:
+        for head in self._buckets:
+            page = head
+            while page is not None:
+                yield page
+                page = page.next_page
+
+    def _locate(self, key: object) -> tuple[_BucketPage, int] | None:
+        page = self._buckets[bucket_hash(key, self._bucket_count)]
+        while page is not None:
+            if key in page.keys:
+                return page, page.keys.index(key)
+            page = page.next_page
+        return None
+
+    def _make_record(self, value: object, size: int) -> _Record:
+        overflow: list[int] = []
+        if size > self._leaf_budget:
+            overflow = self._pager.allocate_many(self._sizes.pages_for(size))
+            for page_id in overflow:
+                self._pager.write(page_id)
+        return _Record(value=value, size=size, overflow_pages=overflow)
+
+    def _free_overflow(self, record: _Record) -> None:
+        for page_id in record.overflow_pages:
+            self._pager.free(page_id)
+        record.overflow_pages = []
+
+    def _overflow_slice(self, record: _Record, partial_pages: int | None) -> list[int]:
+        if partial_pages is None:
+            return record.overflow_pages
+        if partial_pages < 0:
+            raise StorageError("partial_pages must be non-negative")
+        return record.overflow_pages[:partial_pages]
+
+    def _record_weight(self, record: _Record) -> int:
+        return self._stub_size if record.overflow_pages else record.size
+
+    def _page_weight(self, page: _BucketPage) -> int:
+        return sum(self._record_weight(record) for record in page.records)
+
+    def _fix_overfull(self, bucket: int) -> None:
+        """Spill grown records to the next chain page (write both pages)."""
+        page = self._buckets[bucket]
+        while page is not None:
+            while len(page.keys) > 1 and self._page_weight(page) > self._leaf_budget:
+                key = page.keys.pop()
+                record = page.records.pop()
+                if page.next_page is None:
+                    page.next_page = _BucketPage(self._pager.allocate())
+                page.next_page.keys.append(key)
+                page.next_page.records.append(record)
+                self._pager.write(page.page_id)
+                self._pager.write(page.next_page.page_id)
+            page = page.next_page

@@ -4,9 +4,24 @@ The paper's evaluation is purely analytic. This package adds the check the
 paper could not run: build a database whose statistics match the model
 inputs, execute real queries/inserts/deletes through the operational
 indexes, count actual page accesses, and compare against the Section 3
-formulas.
+formulas — both the per-operation costs and the ``storage_pages`` space
+estimates.
 """
 
-from repro.validate.compare import ValidationRow, validate_configuration
+from repro.validate.compare import (
+    StorageRow,
+    ValidationRow,
+    render_storage,
+    render_validation,
+    validate_configuration,
+    validate_storage,
+)
 
-__all__ = ["ValidationRow", "validate_configuration"]
+__all__ = [
+    "StorageRow",
+    "ValidationRow",
+    "render_storage",
+    "render_validation",
+    "validate_configuration",
+    "validate_storage",
+]

@@ -1,9 +1,14 @@
 """Measured-vs-analytic comparison harness.
 
 :func:`validate_configuration` executes sampled operations through the
-operational indexes of a configuration and reports, per
-``(operation, class)``, the measured mean page accesses next to the
-analytic expectation from the Section 3 cost models.
+operational indexes of a configuration — materialized on the backend's
+:class:`~repro.backend.tracker.PageAccessTracker`, so the measured side
+is the same owner-attributed page accounting the replay and calibration
+machinery uses — and reports, per ``(operation, class)``, the measured
+mean page accesses next to the analytic expectation from the Section 3
+cost models. :func:`validate_storage` does the same for space: each
+part's ``storage_pages`` estimate against the pages its structures
+actually hold.
 
 Both sides count logical page fetches and rewrites; the analytic side is
 an *expectation* over uniformly distributed values while the measured side
@@ -16,12 +21,13 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.backend.materialize import MaterializedConfiguration
 from repro.core.configuration import IndexConfiguration
 from repro.core.evaluation import per_class_analytic_costs
 from repro.costmodel.params import CostModelConfig, PathStatistics
+from repro.costmodel.subpath import build_model
 from repro.errors import ReproError
-from repro.indexes.executor import PathQueryExecutor
-from repro.indexes.manager import ConfigurationIndexSet
+from repro.indexes.manager import part_label
 from repro.model.objects import OID, OODatabase
 from repro.model.path import Path
 from repro.synth.stats import derive_path_statistics
@@ -86,10 +92,9 @@ def validate_configuration(
     config = config or CostModelConfig()
     stats = stats or derive_path_statistics(database, path, config=config)
     analytic = per_class_analytic_costs(stats, configuration)
-    indexes = ConfigurationIndexSet(
+    backend = MaterializedConfiguration(
         database, path, configuration, sizes=config.sizes
     )
-    executor = PathQueryExecutor(indexes)
     rng = random.Random(seed)
     values = _ending_values(database, path)
     if not values:
@@ -103,7 +108,7 @@ def validate_configuration(
             probe_values = [values[rng.randrange(len(values))] for _ in range(samples)]
             total = 0
             for value in probe_values:
-                total += executor.query(value, member).stats.total
+                total += backend.query(value, member).io.total
             rows.append(
                 ValidationRow(
                     operation="query",
@@ -116,7 +121,7 @@ def validate_configuration(
     if include_updates:
         rows.extend(
             _validate_updates(
-                database, path, executor, analytic, rng, samples
+                database, path, backend, analytic, rng, samples
             )
         )
     return rows
@@ -125,7 +130,7 @@ def validate_configuration(
 def _validate_updates(
     database: OODatabase,
     path: Path,
-    executor: PathQueryExecutor,
+    backend: MaterializedConfiguration,
     analytic: dict[tuple[int, str], dict[str, float]],
     rng: random.Random,
     samples: int,
@@ -144,7 +149,7 @@ def _validate_updates(
             for _ in range(samples):
                 extent = list(database.extent(member))
                 victim = extent[rng.randrange(len(extent))]
-                delete_total += executor.delete(victim.oid).stats.total
+                delete_total += backend.delete(victim.oid).io.total
                 delete_count += 1
             rows.append(
                 ValidationRow(
@@ -182,7 +187,7 @@ def _validate_updates(
                         kwargs[name] = value
                 if not usable:
                     continue
-                insert_total += executor.insert(member, **kwargs).stats.total
+                insert_total += backend.insert(member, **kwargs).io.total
                 insert_count += 1
             if insert_count:
                 rows.append(
@@ -205,5 +210,76 @@ def render_validation(rows: list[ValidationRow]) -> str:
         lines.append(
             f"{row.operation:<10} {row.class_name:<16} "
             f"{row.analytic:>10.2f} {row.measured:>10.2f} {row.ratio:>7.2f}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class StorageRow:
+    """One part's analytic vs materialized page footprint."""
+
+    label: str
+    organization: str
+    analytic: float
+    measured: int
+
+    @property
+    def ratio(self) -> float:
+        """measured / analytic (``inf`` when the estimate is zero)."""
+        if self.analytic == 0:
+            return float("inf") if self.measured else 1.0
+        return self.measured / self.analytic
+
+
+def validate_storage(
+    database: OODatabase,
+    path: Path,
+    configuration: IndexConfiguration,
+    config: CostModelConfig | None = None,
+    stats: PathStatistics | None = None,
+    layout: str = "btree",
+) -> list[StorageRow]:
+    """Compare each part's ``storage_pages`` estimate to real pages held.
+
+    The configuration is materialized on a tracker, which attributes
+    every allocated page to its owning part (or heap extent); the
+    returned rows pair that live page count with the Section 3.4 storage
+    estimate of the part's model. Because ownership is keyed by
+    :func:`~repro.indexes.manager.part_label`, two configurations
+    sharing a subpath assignment (the shared-NIX-primary case of the
+    pruning lemmas) report under the same label and can be compared
+    directly.
+    """
+    config = config or CostModelConfig()
+    stats = stats or derive_path_statistics(database, path, config=config)
+    backend = MaterializedConfiguration(
+        database, path, configuration, sizes=config.sizes, layout=layout
+    )
+    live = backend.storage_by_owner()
+    rows: list[StorageRow] = []
+    for part in configuration.assignments:
+        model = build_model(stats, part.start, part.end, part.organization)
+        label = part_label(part)
+        rows.append(
+            StorageRow(
+                label=label,
+                organization=part.organization.name,
+                analytic=model.storage_pages(),
+                measured=live.get(label, 0),
+            )
+        )
+    return rows
+
+
+def render_storage(rows: list[StorageRow]) -> str:
+    """ASCII table of the storage comparison."""
+    header = (
+        f"{'part':<18} {'org':<5} {'analytic':>10} {'measured':>9} {'ratio':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.label:<18} {row.organization:<5} "
+            f"{row.analytic:>10.1f} {row.measured:>9} {row.ratio:>7.2f}"
         )
     return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Tests for the measured-I/O calibration fit and its CI accuracy guard."""
+
+import pytest
+
+from repro.backend.calibrate import (
+    IDENTITY,
+    CalibrationReport,
+    ConstantFit,
+    ScenarioMeasurement,
+    calibrate,
+    constant_name,
+    measure_scenarios,
+    operation_organization,
+    render_calibration,
+    run_calibration,
+)
+from repro.backend.scenarios import default_scenarios
+from repro.errors import ReproError
+
+THRESHOLD = 0.15
+
+
+@pytest.fixture(scope="module")
+def report() -> CalibrationReport:
+    """One full calibration run, shared by the accuracy tests."""
+    return run_calibration()
+
+
+class TestDeterminism:
+    def test_measurements_are_bit_identical_across_runs(self):
+        first = measure_scenarios(query_samples=3, update_samples=2)
+        second = measure_scenarios(query_samples=3, update_samples=2)
+        assert first == second
+
+    def test_fit_is_deterministic(self):
+        rows = measure_scenarios(query_samples=3, update_samples=2)
+        first = calibrate(rows)
+        second = calibrate(rows)
+        assert first.constants == second.constants
+        assert first.scenario_errors() == second.scenario_errors()
+
+    def test_scenarios_rebuild_identically(self):
+        scenario = default_scenarios()[0]
+        db1, path1, stats1, _ = scenario.build()
+        db2, path2, stats2, _ = scenario.build()
+        for member in path1.scope:
+            assert {i.oid for i in db1.extent(member)} == {
+                i.oid for i in db2.extent(member)
+            }
+
+
+class TestAccuracyGuard:
+    def test_suite_covers_all_five_organizations(self, report):
+        organizations = {row.organization for row in report.measurements}
+        for needle in ("six", "iix", "mx", "mix", "nix"):
+            assert any(needle in org for org in organizations), needle
+
+    def test_every_scenario_within_threshold(self, report):
+        errors = report.scenario_errors()
+        assert len(errors) == len(default_scenarios())
+        for scenario, error in errors.items():
+            assert error <= THRESHOLD, f"{scenario}: {error:.3f}"
+
+    def test_check_passes_with_fitted_constants(self, report):
+        assert report.check(THRESHOLD) == []
+        assert report.max_relative_error <= THRESHOLD
+
+    def test_tampered_constants_fail_the_guard(self, report):
+        tampered = {
+            name: ConstantFit(
+                name=fit.name,
+                scale=fit.scale * 3.0,
+                offset=fit.offset,
+                samples=fit.samples,
+                residual=fit.residual,
+            )
+            for name, fit in report.constants.items()
+        }
+        failures = report.check(THRESHOLD, constants=tampered)
+        assert failures, "tripled constants must trip the accuracy guard"
+        assert all("exceeds threshold" in failure for failure in failures)
+
+    def test_identity_constants_are_worse_than_fit(self, report):
+        fitted = max(report.scenario_errors().values())
+        identity = max(
+            report.scenario_errors(
+                {name: IDENTITY for name in report.constants}
+            ).values()
+        )
+        assert fitted <= identity
+
+    def test_report_roundtrips_to_json(self, report):
+        import json
+
+        data = json.loads(report.to_json())
+        assert data["max_relative_error"] == pytest.approx(
+            report.max_relative_error
+        )
+        assert set(data["constants"]) == set(report.constants)
+        assert len(data["measurements"]) == len(report.measurements)
+
+    def test_render_mentions_every_constant(self, report):
+        text = render_calibration(report)
+        for name in report.constants:
+            assert name in text
+
+
+class TestFitMechanics:
+    def _row(self, analytic, measured, samples=4, scenario="s", op="query"):
+        return ScenarioMeasurement(
+            scenario=scenario,
+            organization="nix3.d0",
+            operation=op,
+            class_name="A",
+            position=1,
+            analytic=analytic,
+            measured=measured,
+            samples=samples,
+        )
+
+    def test_exact_affine_relation_recovered(self):
+        rows = [self._row(x, 2.0 * x + 1.0) for x in (1.0, 2.0, 4.0)]
+        fit = calibrate(rows).constants[constant_name("nix3.d0", "query")]
+        assert fit.scale == pytest.approx(2.0)
+        assert fit.offset == pytest.approx(1.0)
+        assert fit.residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_constant_analytic_column_gets_ratio_fit(self):
+        rows = [self._row(2.0, 3.0), self._row(2.0, 3.0)]
+        fit = calibrate(rows).constants[constant_name("nix3.d0", "query")]
+        assert fit.apply(2.0) == pytest.approx(3.0)
+        assert fit.offset == 0.0
+
+    def test_zero_analytic_column_gets_measured_mean_offset(self):
+        rows = [self._row(0.0, 3.0), self._row(0.0, 5.0)]
+        fit = calibrate(rows).constants[constant_name("nix3.d0", "query")]
+        assert fit.scale == 1.0
+        assert fit.apply(0.0) == pytest.approx(4.0)
+
+    def test_negative_slope_falls_back_to_ratio(self):
+        rows = [self._row(1.0, 5.0), self._row(5.0, 1.0)]
+        fit = calibrate(rows).constants[constant_name("nix3.d0", "query")]
+        assert fit.scale >= 0.0
+
+    def test_empty_measurements_rejected(self):
+        with pytest.raises(ReproError):
+            calibrate([])
+
+    def test_unknown_key_uses_identity(self):
+        rows = [self._row(2.0, 3.0)]
+        report = calibrate(rows)
+        foreign = self._row(2.0, 3.0)
+        object.__setattr__(foreign, "organization", "mx9.d9")
+        assert report.predicted(foreign) == pytest.approx(2.0)
+
+
+class TestOperationOrganization:
+    PARTS = [(1, 2, "NIX"), (3, 3, "MIX")]
+
+    def test_query_includes_tail_chain(self):
+        assert (
+            operation_organization(self.PARTS, 1, "query") == "nix2+mix1.d0"
+        )
+        assert (
+            operation_organization(self.PARTS, 2, "query") == "nix2+mix1.d1"
+        )
+        assert operation_organization(self.PARTS, 3, "query") == "mix1.d0"
+
+    def test_delete_at_subpath_start_includes_cmd(self):
+        assert (
+            operation_organization(self.PARTS, 3, "delete")
+            == "mix1.d0+cmd-nix2"
+        )
+        assert operation_organization(self.PARTS, 2, "delete") == "nix2.d1"
+
+    def test_insert_is_own_part_only(self):
+        assert operation_organization(self.PARTS, 3, "insert") == "mix1.d0"

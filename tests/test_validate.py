@@ -89,3 +89,52 @@ class TestUpdateValidation:
             validate_configuration(
                 database, path, IndexConfiguration.whole_path(2, NIX)
             )
+
+
+class TestStorageValidation:
+    def test_nix_storage_within_factor_two(self):
+        from repro.validate.compare import render_storage, validate_storage
+
+        _schema, path, database, _specs = make_small_synth(seed=5)
+        rows = validate_storage(
+            database, path, IndexConfiguration.whole_path(3, NIX)
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.organization == "NIX"
+        assert row.measured > 0
+        assert row.analytic > 0
+        assert 0.4 <= row.ratio <= 2.5, f"{row.label}: {row.ratio}"
+        assert row.label in render_storage(rows)
+
+    def test_every_organization_measured(self):
+        from repro.validate.compare import validate_storage
+
+        _schema, path, database, _specs = make_small_synth(seed=7)
+        rows = validate_storage(
+            database, path, IndexConfiguration.of((1, 1, MX), (2, 3, NIX))
+        )
+        assert [row.organization for row in rows] == ["MX", "NIX"]
+        for row in rows:
+            assert row.measured > 0
+            assert 0.3 <= row.ratio <= 3.0, f"{row.label}: {row.ratio}"
+
+    def test_shared_nix_primary_same_pages(self):
+        """Configurations sharing a subpath assignment materialize the
+        shared part to the same page count — the premise behind comparing
+        partitions that differ only elsewhere (shared NIX primaries)."""
+        from repro.validate.compare import validate_storage
+
+        _schema, path, database, _specs = make_small_synth(seed=3)
+        first = validate_storage(
+            database, path, IndexConfiguration.of((1, 1, MX), (2, 3, NIX))
+        )
+        _schema2, path2, database2, _specs2 = make_small_synth(seed=3)
+        second = validate_storage(
+            database2, path2, IndexConfiguration.of((1, 1, MIX), (2, 3, NIX))
+        )
+        shared_first = [r for r in first if r.label == "S[2,3]:NIX"]
+        shared_second = [r for r in second if r.label == "S[2,3]:NIX"]
+        assert shared_first and shared_second
+        assert shared_first[0].measured == shared_second[0].measured
+        assert shared_first[0].analytic == shared_second[0].analytic
