@@ -7,19 +7,27 @@ few hundred vectorized passes. The legacy evaluator stays as the parity
 oracle — the two are bit-identical entry by entry (asserted here on
 every run, and property-pinned in ``tests/test_kernel_parity.py``).
 
-Two timing regimes, because the legacy path leans on memo tables:
+Three timing regimes, because the legacy path leans on memo tables:
 
 * **fresh** (the primary metric) — every repeat builds a new
   ``PathStatistics`` world *and* clears the module-level Yao memo
   tables, the first-build cost a caller actually pays on new inputs;
 * **warm** — same statistics object rebuilt with hot caches, the floor
-  for repeated builds inside one process.
+  for repeated builds inside one process; since PR 9 the columnar side
+  hits the persistent ``StatArrays`` lowering cache and must beat warm
+  legacy by :data:`WARM_MIN_SPEEDUP`;
+* **dirty_slice** (PR 9) — a deterministic edge-drift recompute chain:
+  each step re-prices only its dirty rows, columnar as an array-slice
+  evaluation over the cached (workload-patched) lowering, legacy as the
+  scalar per-row loop.
 
 Results land in ``benchmarks/results/BENCH_kernel.json``. The full run
 targets the PR acceptance bar: columnar >= 5x legacy on fresh serial
-builds at length 40. ``--smoke`` runs length 20 and fails only when the
-columnar kernel stops beating legacy at all (or numpy is missing, in
-which case the smoke run degrades to a fallback check and passes).
+builds at length 40. ``--smoke`` runs length 20 and fails when the
+columnar kernel stops beating legacy on fresh builds, the warm rebuild
+drops below the persistent-lowering floor, or the dirty-slice chain
+degrades to the scalar path (or numpy is missing, in which case the
+smoke run degrades to a fallback check and passes).
 
 Usage::
 
@@ -42,7 +50,7 @@ from repro.core.cost_matrix import CostMatrix
 from repro.costmodel import yao
 from repro.costmodel.params import ClassStats, CostModelConfig, PathStatistics
 from repro.synth import LevelSpec, linear_path_schema
-from repro.workload.load import LoadDistribution
+from repro.workload.load import LoadDistribution, LoadTriplet
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 JSON_NAME = "BENCH_kernel.json"
@@ -54,6 +62,19 @@ FULL_TARGET_SPEEDUP = 5.0
 #: CI guard: generous so machine noise never flakes the build, tight
 #: enough to catch the kernel silently degrading to scalar fallbacks.
 SMOKE_MIN_SPEEDUP = 1.5
+
+#: PR 9 acceptance: warm rebuilds must hit the persistent StatArrays
+#: lowering cache and beat warm legacy builds by at least this factor
+#: (guarded in smoke too — a cache regression shows up immediately).
+WARM_MIN_SPEEDUP = 3.0
+
+#: CI guard for the dirty-slice recompute chain: columnar slices over
+#: cached/patched lowerings must beat the legacy per-row loop. Generous
+#: (measured ~3x on edge drift) so noise never flakes the build.
+DIRTY_MIN_SPEEDUP = 1.3
+
+#: Steps in the deterministic dirty-slice drift chain.
+DIRTY_STEPS = 25
 
 FULL_LENGTH = 40
 SMOKE_LENGTH = 20
@@ -111,6 +132,51 @@ def time_builds(length: int, kernel_name: str, fresh: bool) -> dict:
     }
 
 
+def drift_loads(stats, base_load, steps: int):
+    """Deterministic edge drift: the ending classes' query frequencies
+    oscillate step by step (the ingest-side what-if pattern), so every
+    run re-prices the same dirty-row slices."""
+    path = stats.path
+    edge = {path.class_at(stats.length), path.class_at(stats.length - 1)}
+    loads = []
+    current = base_load
+    for step in range(1, steps + 1):
+        factor = 1.0 + 0.1 * (step % 5)
+        triplets = {}
+        for name, triplet in current.items():
+            if name in edge:
+                triplet = LoadTriplet(
+                    query=triplet.query * factor + 1e-4,
+                    insert=triplet.insert,
+                    delete=triplet.delete,
+                )
+            triplets[name] = triplet
+        current = LoadDistribution(path, triplets)
+        loads.append(current)
+    return loads
+
+
+def time_dirty_slice(length: int, kernel_name: str) -> dict:
+    """One deterministic recompute chain: total milliseconds plus the
+    kernel-slice row counter summed over every step's report."""
+    stats, load = make_inputs(length)
+    loads = drift_loads(stats, load, DIRTY_STEPS)
+    matrix = CostMatrix.compute(
+        stats, load, include_noindex=True, workers=0, kernel=kernel_name
+    )
+    sliced = 0
+    started = time.perf_counter()
+    for step_load in loads:
+        matrix = matrix.recompute(load=step_load, workers=0)
+        sliced += matrix.recompute_report.kernel_slice_rows
+    elapsed = (time.perf_counter() - started) * 1000.0
+    return {
+        "total_ms": round(elapsed, 3),
+        "steps": DIRTY_STEPS,
+        "kernel_slice_rows": sliced,
+    }
+
+
 def assert_parity(length: int) -> None:
     """Bit-identity of the two kernels on this benchmark's world."""
     stats, load = make_inputs(length)
@@ -159,6 +225,14 @@ def run(smoke: bool) -> dict:
         timings["speedup"] = round(
             timings["legacy"]["best_ms"] / timings["columnar"]["best_ms"], 2
         )
+    dirty = {
+        "legacy": time_dirty_slice(length, "legacy"),
+        "columnar": time_dirty_slice(length, "columnar"),
+    }
+    dirty["speedup"] = round(
+        dirty["legacy"]["total_ms"] / dirty["columnar"]["total_ms"], 2
+    )
+    report["dirty_slice"] = dirty
     return report
 
 
@@ -174,6 +248,23 @@ def check_smoke(report: dict) -> list[str]:
         failures.append(
             f"columnar kernel speedup {speedup:.2f}x on fresh length-"
             f"{report['length']} builds (smoke floor {SMOKE_MIN_SPEEDUP}x)"
+        )
+    warm = report["warm"]["speedup"]
+    if warm < WARM_MIN_SPEEDUP:
+        failures.append(
+            f"warm-rebuild speedup {warm:.2f}x below the persistent-"
+            f"lowering floor ({WARM_MIN_SPEEDUP}x)"
+        )
+    dirty = report["dirty_slice"]
+    if dirty["speedup"] < DIRTY_MIN_SPEEDUP:
+        failures.append(
+            f"dirty-slice recompute speedup {dirty['speedup']:.2f}x below "
+            f"the smoke floor ({DIRTY_MIN_SPEEDUP}x)"
+        )
+    if dirty["columnar"]["kernel_slice_rows"] == 0:
+        failures.append(
+            "columnar dirty-slice chain priced zero rows on the kernel "
+            "(fell back to the legacy evaluator)"
         )
     return failures
 

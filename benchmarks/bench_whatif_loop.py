@@ -23,11 +23,17 @@ measured:
   adversarial shape (query-frequency changes near the path start dirty
   most of the matrix).
 
+The session loop is measured twice — **kernel-on** (dirty slices priced
+by the columnar kernel through the persistent-lowering cache) and
+**kernel-off** (the legacy scalar evaluator) — with their ratio recorded
+as ``kernel_session_speedup``; all three loops must agree bit-for-bit.
+
 Workloads come from :class:`repro.workload.generator.WorkloadGenerator`
 and the drift from a seeded PRNG, so every run replays the same
 sequence. Results land in ``benchmarks/results/BENCH_whatif.json``; the
 ``--smoke`` mode (CI) runs a short loop and fails only when the edge
-speedup drops below a generous threshold.
+speedup (or the kernel-on/kernel-off ratio) drops below a generous
+threshold.
 
 Usage::
 
@@ -45,6 +51,7 @@ import random
 import sys
 import time
 
+from repro import kernel as columnar_kernel
 from repro.core.cost_matrix import CostMatrix
 from repro.costmodel.params import ClassStats, PathStatistics
 from repro.search import get_strategy
@@ -63,6 +70,16 @@ FULL_TARGET_SPEEDUP = 5.0
 #: CI guard: generous so machine noise never flakes the build, tight
 #: enough to catch losing the incremental path entirely.
 SMOKE_MIN_SPEEDUP = 1.5
+
+#: PR 9 target: the kernel-on session loop (dirty slices priced on the
+#: columnar kernel through cached/patched lowerings) must beat the
+#: kernel-off (legacy evaluator) session loop by this factor at the
+#: full length.
+KERNEL_SESSION_TARGET = 2.0
+
+#: CI guard for the kernel-on/kernel-off ratio — generous for noise,
+#: tight enough to catch the dirty-slice path degrading to scalar.
+KERNEL_SESSION_SMOKE_MIN = 1.3
 
 FULL_LENGTH = 30
 FULL_STEPS = 200
@@ -148,14 +165,16 @@ def run_session_loop(
     stats: PathStatistics,
     base_load: LoadDistribution,
     loads: list[LoadDistribution],
+    kernel: str = "auto",
 ) -> tuple[float, list[float], dict]:
     """The incremental loop, with per-step work counters from the reports."""
-    session = AdvisorSession(stats, base_load, workers=0)
+    session = AdvisorSession(stats, base_load, workers=0, kernel=kernel)
     session.advise()  # baseline search outside the timed loop, like rerun
     costs: list[float] = []
     recomputed = 0
     patched = 0
     relaxed = 0
+    sliced = 0
     started = time.perf_counter()
     for load in loads:
         report = session.apply(load=load)
@@ -163,12 +182,14 @@ def run_session_loop(
         costs.append(result.cost)
         recomputed += len(report.recomputed_rows)
         patched += len(report.patched_rows)
+        sliced += report.kernel_slice_rows
         relaxed += result.extras.get("relaxed_positions", stats.length)
     elapsed = (time.perf_counter() - started) * 1000.0
     steps = max(1, len(loads))
     counters = {
         "mean_rows_recomputed": round(recomputed / steps, 2),
         "mean_rows_patched": round(patched / steps, 2),
+        "mean_kernel_slice_rows": round(sliced / steps, 2),
         "mean_positions_relaxed": round(relaxed / steps, 2),
         "total_rows": session.matrix.row_count(),
     }
@@ -176,25 +197,49 @@ def run_session_loop(
 
 
 def measure(length: int, steps: int, drift: str, seed: int = 0) -> dict:
-    """One drift shape end to end, with the bit-identity assertion."""
+    """One drift shape end to end, with the bit-identity assertions.
+
+    The session loop runs twice — kernel-on (columnar dirty slices over
+    cached/patched lowerings) and kernel-off (legacy evaluator) — and
+    both must reproduce the rerun loop's per-step costs exactly;
+    ``session_ms`` keeps its historical meaning (the session at its best
+    available engine) and ``kernel_session_speedup`` records the
+    kernel-on/kernel-off ratio. Without numpy only the kernel-off loop
+    runs and the kernel fields stay ``None``.
+    """
     stats, base_load = make_inputs(length, seed=seed)
     loads = drift_sequence(stats, base_load, steps, seed=seed + 1, drift=drift)
     rerun_ms, rerun_costs = run_rerun_loop(stats, loads)
-    session_ms, session_costs, counters = run_session_loop(
-        stats, base_load, loads
+    off_ms, off_costs, off_counters = run_session_loop(
+        stats, base_load, loads, kernel="legacy"
     )
-    assert session_costs == rerun_costs, (
-        "session loop diverged from rerun-everything loop"
+    assert off_costs == rerun_costs, (
+        "kernel-off session loop diverged from rerun-everything loop"
     )
+    if columnar_kernel.is_available():
+        session_ms, session_costs, counters = run_session_loop(
+            stats, base_load, loads, kernel="columnar"
+        )
+        assert session_costs == rerun_costs, (
+            "kernel-on session loop diverged from rerun-everything loop"
+        )
+        kernel_speedup = (
+            round(off_ms / session_ms, 2) if session_ms else None
+        )
+    else:
+        session_ms, counters = off_ms, off_counters
+        kernel_speedup = None
     return {
         "length": length,
         "steps": steps,
         "drift": drift,
         "rerun_ms": round(rerun_ms, 1),
         "session_ms": round(session_ms, 1),
+        "session_kernel_off_ms": round(off_ms, 1),
         "rerun_per_step_ms": round(rerun_ms / steps, 3),
         "session_per_step_ms": round(session_ms / steps, 3),
         "speedup": round(rerun_ms / session_ms, 2) if session_ms else None,
+        "kernel_session_speedup": kernel_speedup,
         **counters,
     }
 
@@ -215,22 +260,32 @@ def run(smoke: bool) -> dict:
         "benchmark": "whatif",
         "mode": "smoke" if smoke else "full",
         "python": platform.python_version(),
+        "numpy_available": columnar_kernel.is_available(),
         "target_speedup": FULL_TARGET_SPEEDUP,
+        "kernel_session_target": KERNEL_SESSION_TARGET,
         "measurements": measurements,
     }
 
 
 def check_smoke(report: dict) -> list[str]:
     """Smoke failures (empty when the guard passes)."""
+    failures = []
     edge = next(
         m for m in report["measurements"] if m["drift"] == "edge"
     )
     if edge["speedup"] is not None and edge["speedup"] < SMOKE_MIN_SPEEDUP:
-        return [
+        failures.append(
             f"edge-drift speedup {edge['speedup']:.2f}x below the "
             f"{SMOKE_MIN_SPEEDUP:.1f}x smoke threshold"
-        ]
-    return []
+        )
+    kernel_speedup = edge.get("kernel_session_speedup")
+    if kernel_speedup is not None and kernel_speedup < KERNEL_SESSION_SMOKE_MIN:
+        failures.append(
+            f"kernel-on session loop only {kernel_speedup:.2f}x over "
+            f"kernel-off on edge drift (smoke floor "
+            f"{KERNEL_SESSION_SMOKE_MIN:.1f}x)"
+        )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:

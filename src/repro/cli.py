@@ -493,7 +493,7 @@ def _cmd_measure(arguments: argparse.Namespace) -> int:
             events,
             seed=arguments.seed,
             stats=stats,
-            layout=arguments.layout,
+            layout=arguments.layout or "btree",
         )
         if arguments.json:
             print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -501,25 +501,47 @@ def _cmd_measure(arguments: argparse.Namespace) -> int:
             print(render_backend_replay(report))
         return 0
 
-    report = run_calibration(layout=arguments.layout)
+    # Without --layout every layout is calibrated and guarded on its
+    # own: a single aggregate fit hides a layout sitting just under the
+    # threshold behind a tighter one (the hash fit's 0.145 is invisible
+    # next to the btree fit's 0.06).
+    layouts = (arguments.layout,) if arguments.layout else ("btree", "hash")
+    reports = {layout: run_calibration(layout=layout) for layout in layouts}
+    if len(reports) == 1:
+        payload = next(iter(reports.values())).to_json()
+    else:
+        payload = json.dumps(
+            {layout: report.to_dict() for layout, report in reports.items()},
+            indent=2,
+            sort_keys=True,
+        )
     if arguments.report:
         import pathlib
 
-        pathlib.Path(arguments.report).write_text(report.to_json() + "\n")
+        pathlib.Path(arguments.report).write_text(payload + "\n")
     if arguments.json:
-        print(report.to_json())
+        print(payload)
     else:
-        print(render_calibration(report))
+        for layout, report in reports.items():
+            if len(reports) > 1:
+                print(f"== layout: {layout} ==")
+            print(render_calibration(report))
     if arguments.check:
-        failures = report.check(arguments.threshold)
-        for failure in failures:
-            print(f"FAIL: {failure}", file=sys.stderr)
-        if failures:
+        failed = False
+        for layout, report in reports.items():
+            failures = report.check(arguments.threshold)
+            for failure in failures:
+                print(f"FAIL [{layout}]: {failure}", file=sys.stderr)
+            if failures:
+                failed = True
+                continue
+            print(
+                f"accuracy guard passed [{layout}]: max relative error "
+                f"{report.max_relative_error:.3f} <= "
+                f"{arguments.threshold:.3f}"
+            )
+        if failed:
             return 1
-        print(
-            f"accuracy guard passed: max relative error "
-            f"{report.max_relative_error:.3f} <= {arguments.threshold:.3f}"
-        )
     return 0
 
 
@@ -920,8 +942,11 @@ def build_parser() -> argparse.ArgumentParser:
     measure_parser.add_argument(
         "--layout",
         choices=("btree", "hash"),
-        default="btree",
-        help="storage layout for the materialized structures",
+        default=None,
+        help=(
+            "storage layout for the materialized structures; omit to "
+            "calibrate (and --check) every layout separately"
+        ),
     )
     measure_parser.add_argument(
         "--check",

@@ -160,6 +160,13 @@ class RecomputeReport:
     updated as O(1) per-entry patches from the cached breakdown rates.
     Sessions and benchmarks assert incrementality from this report instead
     of inferring it from timings.
+
+    ``kernel_slice_rows`` counts the re-priced rows that went through the
+    columnar kernel as an array-slice re-evaluation; when it is zero even
+    though rows were re-priced, ``kernel_fallback_reason`` says why the
+    legacy evaluator was chosen instead (requested explicitly, numpy
+    missing, a dirty set too small to amortize a fresh lowering, …) — so
+    tests assert the kernel path structurally, never from timings.
     """
 
     mode: str
@@ -167,11 +174,18 @@ class RecomputeReport:
     recomputed_rows: tuple[tuple[int, int], ...]
     patched_rows: tuple[tuple[int, int], ...]
     total_rows: int
+    kernel_slice_rows: int = 0
+    kernel_fallback_reason: str | None = None
 
     @property
     def incremental(self) -> bool:
         """``True`` when the dirty-row analysis applied."""
         return self.mode == "incremental"
+
+    @property
+    def kernel_sliced(self) -> bool:
+        """``True`` when re-priced rows went through the columnar kernel."""
+        return self.kernel_slice_rows > 0
 
     @property
     def dirty_rows(self) -> tuple[tuple[int, int], ...]:
@@ -185,11 +199,21 @@ class RecomputeReport:
 
     def describe(self) -> str:
         """One-line human-readable summary."""
+        if self.kernel_slice_rows:
+            engine = f" ({self.kernel_slice_rows} kernel-sliced)"
+        elif self.kernel_fallback_reason:
+            engine = f" (legacy: {self.kernel_fallback_reason})"
+        else:
+            engine = ""
         if self.mode == "full":
-            return f"full rebuild ({self.reason}): {self.total_rows} rows"
+            return (
+                f"full rebuild ({self.reason}): {self.total_rows} rows"
+                f"{engine}"
+            )
         return (
-            f"incremental: {len(self.recomputed_rows)} rows re-priced, "
-            f"{len(self.patched_rows)} CMD-patched, of {self.total_rows}"
+            f"incremental: {len(self.recomputed_rows)} rows re-priced"
+            f"{engine}, {len(self.patched_rows)} CMD-patched, "
+            f"of {self.total_rows}"
         )
 
 
@@ -252,6 +276,7 @@ def _evaluate_rows(
     rows: list[tuple[int, int]],
     range_selectivity: float | None,
     kernel: str,
+    arrays=None,
 ) -> dict[tuple[int, int], dict[IndexOrganization, SubpathCost]]:
     """Price rows with the resolved evaluation kernel.
 
@@ -260,13 +285,16 @@ def _evaluate_rows(
     operations (:mod:`repro.kernel`); the legacy path walks the rows one
     at a time through :func:`subpath_processing_cost`. Both produce
     bit-identical :class:`SubpathCost` rows — the legacy evaluator is the
-    kernel's parity oracle.
+    kernel's parity oracle. ``arrays`` optionally hands the columnar
+    kernel a pre-lowered (or workload-patched)
+    :class:`~repro.kernel.arrays.StatArrays` for these exact inputs.
     """
     if kernel == "columnar":
         from repro import kernel as columnar
 
         return columnar.compute_rows(
-            stats, load, organizations, rows, range_selectivity
+            stats, load, organizations, rows, range_selectivity,
+            arrays=arrays,
         )
     return {
         (start, end): _compute_row(
@@ -293,9 +321,11 @@ def _compute_row_batch(
 
 
 #: Worker-process copy of the shared inputs ``(stats, load,
-#: organizations, range_selectivity)``. Populated inside each fork-started
-#: worker by :func:`_init_fork_worker`; never set in the parent process,
-#: so concurrent constructions cannot race on it.
+#: organizations, range_selectivity, kernel, arrays)`` — ``arrays`` is the
+#: parent's columnar lowering (or ``None``), lowered once and inherited by
+#: every worker instead of re-lowered per batch. Populated inside each
+#: fork-started worker by :func:`_init_fork_worker`; never set in the
+#: parent process, so concurrent constructions cannot race on it.
 _FORK_SHARED_INPUTS: tuple | None = None
 
 
@@ -317,15 +347,18 @@ def _compute_row_batch_fork(
 ) -> list[tuple[int, int, dict[IndexOrganization, SubpathCost]]]:
     """Fork-worker entry point: price a batch against the inherited inputs.
 
-    Only the row coordinates travel to the worker; statistics, workload
-    and the resolved kernel come from :data:`_FORK_SHARED_INPUTS`,
-    installed by :func:`_init_fork_worker`. Row results are identical to
-    :func:`_compute_row_batch` because both delegate to the same
-    evaluation seam.
+    Only the row coordinates travel to the worker; statistics, workload,
+    the resolved kernel and the parent's columnar lowering come from
+    :data:`_FORK_SHARED_INPUTS`, installed by :func:`_init_fork_worker`.
+    Row results are identical to :func:`_compute_row_batch` because both
+    delegate to the same evaluation seam.
     """
-    stats, load, organizations, range_selectivity, kernel = _FORK_SHARED_INPUTS
+    stats, load, organizations, range_selectivity, kernel, arrays = (
+        _FORK_SHARED_INPUTS
+    )
     priced = _evaluate_rows(
-        stats, load, organizations, rows, range_selectivity, kernel
+        stats, load, organizations, rows, range_selectivity, kernel,
+        arrays=arrays,
     )
     return [(start, end, priced[(start, end)]) for start, end in rows]
 
@@ -482,13 +515,17 @@ class CostMatrix:
 
     @staticmethod
     def _resolve_kernel(
-        kernel: str | None, row_count: int, degradation=None
+        kernel: str | None, row_count: int, degradation=None,
+        cached_arrays: bool = False,
     ) -> str:
         """The evaluation engine for a batch: ``"columnar"`` or ``"legacy"``.
 
         ``"auto"`` (or ``None``) picks the columnar kernel when numpy is
         importable and the batch has at least :data:`KERNEL_AUTO_MIN_ROWS`
-        rows; an explicit ``"columnar"`` raises
+        rows — or, with ``cached_arrays``, for *any* batch size: when a
+        cached/patched lowering already exists the kernel's fixed
+        batch-building cost is gone, so even single-row dirty slices win.
+        An explicit ``"columnar"`` raises
         :class:`~repro.errors.OptimizerError` when numpy is missing
         instead of silently degrading. When a ``degradation`` report is
         given, an ``auto`` batch large enough for the kernel that lands
@@ -505,7 +542,7 @@ class CostMatrix:
                 f"unknown kernel {kernel!r}; expected one of {KERNELS}"
             )
         if kernel == "auto":
-            if row_count >= KERNEL_AUTO_MIN_ROWS:
+            if row_count >= KERNEL_AUTO_MIN_ROWS or cached_arrays:
                 if columnar.is_available():
                     return "columnar"
                 if degradation is not None:
@@ -566,6 +603,8 @@ class CostMatrix:
         kernel: str | None = "auto",
         retry_policy=None,
         degradation=None,
+        arrays=None,
+        kernel_report: dict | None = None,
     ) -> tuple[
         dict[tuple[int, int], dict[IndexOrganization, SubpathCost]],
         str | None,
@@ -580,14 +619,45 @@ class CostMatrix:
         which kernel priced them. ``degradation`` (a
         :class:`~repro.resilience.DegradationReport`) receives one event
         per fallback taken.
+
+        ``arrays`` is an optional pre-lowered columnar
+        :class:`~repro.kernel.arrays.StatArrays` for exactly these inputs
+        (it also tips ``kernel="auto"`` toward the kernel for small
+        batches). ``kernel_report``, when given, receives the resolved
+        engine and how many rows it priced — the structured trace the
+        :class:`RecomputeReport` kernel counters are built from.
         """
-        resolved_kernel = cls._resolve_kernel(kernel, len(rows), degradation)
+        resolved_kernel = cls._resolve_kernel(
+            kernel, len(rows), degradation, cached_arrays=arrays is not None
+        )
         resolved = cls._resolve_workers(workers, len(rows), resolved_kernel)
+        if kernel_report is not None:
+            kernel_report["kernel"] = resolved_kernel
+            if resolved_kernel == "columnar":
+                # Mirror the kernel's own routing: with a range predicate,
+                # rows ending at the path's last attribute price through
+                # the legacy oracle (see repro.kernel.evaluate).
+                if range_selectivity is not None:
+                    length = stats.length
+                    kernel_report["kernel_rows"] = sum(
+                        1 for _, end in rows if end != length
+                    )
+                else:
+                    kernel_report["kernel_rows"] = len(rows)
+            else:
+                kernel_report["kernel_rows"] = 0
         fallback_reason: str | None = None
         if resolved > 1:
+            if arrays is None and resolved_kernel == "columnar":
+                # Shared worker lowering: lower once in the parent so
+                # fork-started workers inherit the arrays by memory image
+                # instead of each re-lowering its own copy.
+                from repro import kernel as columnar
+
+                arrays = columnar.lower(stats, load, range_selectivity)
             batched, fallback_reason = cls._compute_rows_parallel(
                 stats, load, organizations, rows, range_selectivity, resolved,
-                resolved_kernel, retry_policy,
+                resolved_kernel, retry_policy, arrays,
             )
             if batched is not None:
                 return batched, None
@@ -600,7 +670,8 @@ class CostMatrix:
                     rows=len(rows),
                 )
         rows_priced = _evaluate_rows(
-            stats, load, organizations, rows, range_selectivity, resolved_kernel
+            stats, load, organizations, rows, range_selectivity,
+            resolved_kernel, arrays=arrays,
         )
         return rows_priced, fallback_reason
 
@@ -614,6 +685,7 @@ class CostMatrix:
         workers: int,
         kernel: str = "legacy",
         retry_policy=None,
+        arrays=None,
     ) -> tuple[
         dict[tuple[int, int], dict[IndexOrganization, SubpathCost]] | None,
         str | None,
@@ -622,12 +694,15 @@ class CostMatrix:
 
         Rows are striped across batches so each worker sees a mix of
         short (cheap) and long (expensive) subpaths. Where ``fork`` is
-        the default start method, the statistics and workload are handed
-        to the workers as a read-only module global inherited at fork
-        time — only row coordinates are pickled, which removes the
-        per-batch input serialization that dominated startup on short
-        paths. Platforms defaulting to ``spawn`` (macOS, Windows) keep
-        the pickling path.
+        the default start method, the statistics, workload and the
+        parent's columnar lowering (``arrays``) are handed to the workers
+        as a read-only module global inherited at fork time — only row
+        coordinates are pickled, which removes the per-batch input
+        serialization that dominated startup on short paths and the
+        per-worker re-lowering under the columnar kernel. Platforms
+        defaulting to ``spawn`` (macOS, Windows) keep the pickling path,
+        where each worker lowers its own arrays (numpy buffers are
+        cheaper to rebuild than to ship).
 
         Pool failures (a broken/killed worker, an unpicklable payload, an
         OS refusing to fork) are retried under ``retry_policy``
@@ -648,7 +723,10 @@ class CostMatrix:
                 mp_context=context,
                 initializer=_init_fork_worker,
                 initargs=(
-                    (stats, load, organizations, range_selectivity, kernel),
+                    (
+                        stats, load, organizations, range_selectivity,
+                        kernel, arrays,
+                    ),
                 ),
             )
             payloads = [(_compute_row_batch_fork, batch) for batch in batches]
@@ -748,9 +826,15 @@ class CostMatrix:
         ``workers`` defaults to ``0`` (serial) because dirty sets are
         typically small; pass ``None`` for the same auto-parallel policy
         as :meth:`compute`. ``kernel`` defaults to the kernel this matrix
-        was computed with (``"auto"`` re-resolves per dirty set, so a
-        handful of dirty rows re-price through the legacy evaluator while
-        a near-full rebuild goes columnar — either way bit-identically).
+        was computed with. Dirty sets route through the columnar kernel
+        as array-slice re-evaluations whenever a cached lowering of the
+        old inputs exists (a workload-only drift patches it in place, so
+        even single-row dirty sets win); without one, ``"auto"``
+        re-resolves per dirty set — a handful of dirty rows re-price
+        through the legacy evaluator while a near-full rebuild goes
+        columnar. Either way the result is bit-identical, and the
+        report's ``kernel_slice_rows``/``kernel_fallback_reason`` record
+        which engine actually priced the slice.
 
         Raises :class:`~repro.errors.OptimizerError` for literal matrices
         (:meth:`from_values`) and when the new inputs describe a different
@@ -776,25 +860,19 @@ class CostMatrix:
         if classified is None:
             dirty_rows = self.rows()
             patch_rows: list[tuple[int, int]] = []
-            report = RecomputeReport(
-                mode="full",
-                reason=self._full_rebuild_reason(new_stats),
-                recomputed_rows=tuple(dirty_rows),
-                patched_rows=(),
-                total_rows=self.row_count(),
-            )
+            mode = "full"
+            reason = self._full_rebuild_reason(new_stats)
         else:
             recompute_set, patch_set = classified
             dirty_rows = sorted(recompute_set)
             patch_rows = sorted(patch_set)
-            report = RecomputeReport(
-                mode="incremental",
-                reason="statistics/load deltas",
-                recomputed_rows=tuple(dirty_rows),
-                patched_rows=tuple(patch_rows),
-                total_rows=self.row_count(),
-            )
+            mode = "incremental"
+            reason = "statistics/load deltas"
         requested_kernel = kernel if kernel is not None else self._kernel
+        arrays, kernel_fallback = self._kernel_slice_arrays(
+            requested_kernel, new_stats, new_load, len(dirty_rows)
+        )
+        kernel_report: dict = {}
         recomputed, fallback_reason = self._compute_rows(
             new_stats,
             new_load,
@@ -805,6 +883,26 @@ class CostMatrix:
             requested_kernel,
             retry_policy,
             degradation,
+            arrays=arrays,
+            kernel_report=kernel_report,
+        )
+        kernel_slice_rows = int(kernel_report.get("kernel_rows", 0))
+        if kernel_fallback is None and dirty_rows and kernel_slice_rows == 0:
+            if kernel_report.get("kernel") == "columnar":
+                kernel_fallback = (
+                    "all dirty rows end at the path's last attribute under "
+                    "a range predicate (legacy oracle)"
+                )
+            else:
+                kernel_fallback = "legacy evaluator selected"
+        report = RecomputeReport(
+            mode=mode,
+            reason=reason,
+            recomputed_rows=tuple(dirty_rows),
+            patched_rows=tuple(patch_rows),
+            total_rows=self.row_count(),
+            kernel_slice_rows=kernel_slice_rows,
+            kernel_fallback_reason=kernel_fallback,
         )
         # Fast assembly: clean rows are copied as flat-array slices (and
         # keep their precomputed minima); only the recomputed rows are
@@ -864,6 +962,61 @@ class CostMatrix:
         if fallback_reason is not None:
             _warn_parallel_fallback(fallback_reason)
         return matrix
+
+    def _kernel_slice_arrays(
+        self,
+        requested_kernel: str | None,
+        new_stats: PathStatistics,
+        new_load: LoadDistribution,
+        dirty_count: int,
+    ) -> tuple[object | None, str | None]:
+        """The lowering for a kernel dirty-slice, or why legacy runs.
+
+        Returns ``(arrays, fallback_reason)``. ``arrays`` is a columnar
+        :class:`~repro.kernel.arrays.StatArrays` for the *new* inputs:
+        the cached lowering itself when nothing relevant drifted, a
+        workload patch of it when only the load changed, or ``None``.
+        ``fallback_reason`` is set exactly when the legacy evaluator will
+        price the slice — it feeds
+        :attr:`RecomputeReport.kernel_fallback_reason`.
+
+        With ``arrays=None`` and no fallback reason the decision is left
+        to :meth:`_resolve_kernel` with the usual size threshold (the
+        kernel then lowers fresh arrays for the new inputs and caches
+        them for the *next* recompute).
+        """
+        from repro import kernel as columnar
+
+        if dirty_count == 0:
+            return None, None
+        if requested_kernel == "legacy":
+            return None, "legacy kernel requested"
+        if not columnar.is_available():
+            if requested_kernel == "columnar":
+                # _resolve_kernel raises the structured error downstream.
+                return None, None
+            return None, "numpy unavailable"
+        arrays = None
+        if new_stats is self._stats:
+            base = columnar.cached_lowering(
+                self._stats, self._load, self._range_selectivity
+            )
+            if base is not None:
+                if new_load is self._load:
+                    arrays = base
+                else:
+                    arrays = columnar.patch_lowering(base, new_load)
+        if (
+            arrays is None
+            and requested_kernel == "auto"
+            and dirty_count < KERNEL_AUTO_MIN_ROWS
+        ):
+            return None, (
+                f"dirty set of {dirty_count} rows below the kernel "
+                f"threshold ({KERNEL_AUTO_MIN_ROWS}) with no cached "
+                f"lowering"
+            )
+        return arrays, None
 
     def _full_rebuild_reason(self, new_stats: PathStatistics) -> str:
         """Why the dirty-row analysis refused to apply."""

@@ -253,11 +253,107 @@ def _candidate_from_parts(
     )
 
 
+#: Candidate batches below this size are priced by the scalar loop —
+#: the batched pricer's array setup costs more than it saves there.
+_BATCH_PRICING_MIN = 16
+
+
+def _price_candidates(
+    stats: PathStatistics,
+    matrix: CostMatrix,
+    parts_list: list[tuple[IndexedSubpath, ...]],
+) -> list[_Candidate]:
+    """Price a whole candidate set in one batched kernel evaluation.
+
+    :func:`_candidate_from_parts` re-derived as array operations: every
+    distinct ``(start, end, organization)`` triple across the set is
+    looked up and :class:`SharedIndexKey`-built exactly once, and the
+    per-candidate query sums run through one
+    :func:`repro.kernel.arrays.fold_segments` call whose segmented fold
+    replays the scalar ``+=`` accumulation order — so the batched prices
+    are bit-identical to the per-candidate loop, which stays on as the
+    small-set fast path and the no-numpy fallback.
+    """
+    from repro import kernel
+
+    if len(parts_list) < _BATCH_PRICING_MIN or not kernel.is_available():
+        return [
+            _candidate_from_parts(stats, matrix, parts)
+            for parts in parts_list
+        ]
+    import numpy as np
+
+    from repro.kernel.arrays import fold_segments
+
+    # One breakdown lookup and one key construction per distinct triple
+    # (candidate sets repeat each block's ranked organizations across
+    # hundreds of partitions — the scalar loop re-prices every repeat).
+    triples: dict[tuple[int, int, IndexOrganization], tuple] = {}
+    for parts in parts_list:
+        for part in parts:
+            triple = (part.start, part.end, part.organization)
+            if triple in triples:
+                continue
+            breakdown = matrix.breakdown(*triple)
+            if breakdown is None:
+                raise OptimizerError(
+                    "multi-path selection requires a computed cost matrix"
+                )
+            triples[triple] = (
+                breakdown.query,
+                ((0.0 + breakdown.insert) + breakdown.delete)
+                + breakdown.cmd,
+                breakdown.storage_pages,
+                _subpath_key(stats, *triple),
+            )
+
+    counts = [len(parts) for parts in parts_list]
+    entry_count = sum(counts)
+    values = np.empty(entry_count)
+    segment = np.empty(entry_count, dtype=np.int64)
+    rank = np.empty(entry_count, dtype=np.int64)
+    position = 0
+    for index, parts in enumerate(parts_list):
+        for offset, part in enumerate(parts):
+            values[position] = triples[
+                (part.start, part.end, part.organization)
+            ][0]
+            segment[position] = index
+            rank[position] = offset
+            position += 1
+    query_costs = fold_segments(
+        values, segment, rank, len(parts_list), max(counts, default=0)
+    )
+
+    candidates: list[_Candidate] = []
+    for index, parts in enumerate(parts_list):
+        maintenance: dict[SharedIndexKey, float] = {}
+        storage: dict[SharedIndexKey, float] = {}
+        for part in parts:
+            _query, upkeep, pages, key = triples[
+                (part.start, part.end, part.organization)
+            ]
+            # Blocks of one candidate partition the path, so each key
+            # appears once — plain assignment matches the scalar
+            # accumulate/max exactly.
+            maintenance[key] = upkeep
+            storage[key] = pages
+        candidates.append(
+            _Candidate(
+                configuration=IndexConfiguration(tuple(parts)),
+                query_cost=float(query_costs[index]),
+                maintenance=maintenance,
+                storage=storage,
+            )
+        )
+    return candidates
+
+
 def _candidates_exact(
     workload: PathWorkload, matrix: CostMatrix, per_row_organizations: int
 ) -> list[_Candidate]:
     """The parity oracle: all partitions × best organizations per block."""
-    candidates: list[_Candidate] = []
+    assignments: list[tuple[IndexedSubpath, ...]] = []
     for blocks in enumerate_partitions(matrix.length):
         # Per block: the best `per_row_organizations` organizations.
         options: list[list[IndexedSubpath]] = []
@@ -271,11 +367,8 @@ def _candidates_exact(
             options.append(
                 [IndexedSubpath(start, end, org) for org in ranked]
             )
-        for assignment in itertools.product(*options):
-            candidates.append(
-                _candidate_from_parts(workload.stats, matrix, assignment)
-            )
-    return candidates
+        assignments.extend(itertools.product(*options))
+    return _price_candidates(workload.stats, matrix, assignments)
 
 
 def _candidates_beam(
@@ -285,12 +378,16 @@ def _candidates_beam(
     width: int,
 ) -> list[_Candidate]:
     """Top-``width`` locally cheapest configurations via the k-best sweep."""
-    return [
-        _candidate_from_parts(workload.stats, matrix, parts)
-        for _cost, parts in top_configurations(
-            matrix, count=width, per_row_organizations=per_row_organizations
-        )
-    ]
+    return _price_candidates(
+        workload.stats,
+        matrix,
+        [
+            parts
+            for _cost, parts in top_configurations(
+                matrix, count=width, per_row_organizations=per_row_organizations
+            )
+        ],
+    )
 
 
 def _storage_matrix(matrix: CostMatrix) -> CostMatrix:
@@ -329,21 +426,23 @@ def _candidates_budget(
     already covers the whole space.
     """
     organizations = len(matrix.organizations)
-    candidates = [
-        _candidate_from_parts(workload.stats, matrix, parts)
+    assignments = [
+        tuple(parts)
         for _cost, parts in top_configurations(
             matrix, count=width, per_row_organizations=organizations
         )
     ]
-    seen = {candidate.configuration for candidate in candidates}
+    # Dedupe by parts (configuration identity) *before* pricing, so the
+    # storage sweep's overlap with the cost sweep is never priced twice.
+    seen = set(assignments)
     for _pages, parts in top_configurations(
         _storage_matrix(matrix), count=width, per_row_organizations=organizations
     ):
-        candidate = _candidate_from_parts(workload.stats, matrix, parts)
-        if candidate.configuration not in seen:
-            seen.add(candidate.configuration)
-            candidates.append(candidate)
-    return candidates
+        assignment = tuple(parts)
+        if assignment not in seen:
+            seen.add(assignment)
+            assignments.append(assignment)
+    return _price_candidates(workload.stats, matrix, assignments)
 
 
 def _candidate_descriptors(

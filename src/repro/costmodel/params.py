@@ -162,6 +162,9 @@ class PathStatistics:
         self._occupied_cache: dict[tuple[int, float], float] = {}
         self._shape_cache: dict[tuple, object] = {}
         self._primitive_cache: dict[tuple, float] = {}
+        # Persistent columnar lowerings (repro.kernel.arrays.StatArrays)
+        # keyed by workload identity; bounded, managed by the kernel.
+        self._stat_arrays_cache: list = []
 
     def __getstate__(self) -> dict:
         """Pickle support for parallel ``Cost_Matrix`` workers.
@@ -176,6 +179,7 @@ class PathStatistics:
         state["_occupied_cache"] = {}
         state["_shape_cache"] = {}
         state["_primitive_cache"] = {}
+        state["_stat_arrays_cache"] = []
         return state
 
     # ------------------------------------------------------------------

@@ -39,18 +39,69 @@ def is_available() -> bool:
     return _NUMPY_AVAILABLE
 
 
-def compute_rows(stats, load, organizations, rows, range_selectivity=None):
+def compute_rows(
+    stats, load, organizations, rows, range_selectivity=None, arrays=None
+):
     """Price matrix rows with the columnar kernel.
 
     Same contract as the legacy serial loop in
     :meth:`repro.core.cost_matrix.CostMatrix._compute_rows`: returns
     ``{(start, end): {organization: SubpathCost}}`` for exactly the
-    requested rows. Raises :class:`ImportError` when numpy is missing —
-    callers gate on :func:`is_available`.
+    requested rows. ``arrays`` optionally supplies a pre-lowered (or
+    workload-patched) :class:`~repro.kernel.arrays.StatArrays` for these
+    inputs. Raises :class:`ImportError` when numpy is missing — callers
+    gate on :func:`is_available`.
     """
     from repro.kernel.evaluate import evaluate_rows
 
-    return evaluate_rows(stats, load, organizations, rows, range_selectivity)
+    return evaluate_rows(
+        stats, load, organizations, rows, range_selectivity, arrays=arrays
+    )
 
 
-__all__ = ["is_available", "compute_rows"]
+def lower(stats, load, range_selectivity=None):
+    """The lowered :class:`StatArrays` for (stats, load), cache-backed.
+
+    Used to lower once in the parent before a fork fan-out and to warm
+    the persistent cache ahead of session loops. Requires numpy.
+    """
+    from repro.kernel.arrays import get_stat_arrays
+
+    return get_stat_arrays(stats, load, range_selectivity)
+
+
+def cached_lowering(stats, load, range_selectivity=None):
+    """The cached lowering for exactly (stats, load), or ``None``.
+
+    Never lowers: a cheap probe for the dirty-slice recompute path,
+    which only pays for a workload patch when a base lowering already
+    exists. Requires numpy.
+    """
+    from repro.kernel.arrays import find_cached_arrays
+
+    return find_cached_arrays(stats, load, range_selectivity)
+
+
+def patch_lowering(arrays, load):
+    """Re-key a lowering to a drifted workload and retain it.
+
+    Shares every stats-derived table of ``arrays`` by reference and
+    rebuilds only the load-derived columns (see
+    :meth:`~repro.kernel.arrays.StatArrays.patched`); the patched
+    lowering joins the persistent cache so consecutive what-if steps
+    chain patches instead of re-lowering. Requires numpy.
+    """
+    from repro.kernel.arrays import remember_stat_arrays
+
+    patched = arrays.patched(load)
+    remember_stat_arrays(patched)
+    return patched
+
+
+__all__ = [
+    "is_available",
+    "compute_rows",
+    "lower",
+    "cached_lowering",
+    "patch_lowering",
+]

@@ -22,6 +22,14 @@ operands — so batched results are bit-identical to scalar calls.
 per-segment term lists **sequentially in rank order** (padding with the
 fold identity, which never perturbs float bits), reproducing the legacy
 evaluator's left-to-right accumulation chains exactly.
+
+Lowerings persist: :func:`get_stat_arrays` keeps a bounded cache of
+:class:`StatArrays` on the statistics object (gated by
+``config.cache_evaluation``), and :meth:`StatArrays.patched` derives the
+arrays for a drifted workload from an existing lowering by patching only
+the load-derived columns — the stats-derived tables, including the
+per-organization probe/insert tables that accumulate in ``_tables``, are
+shared by reference across the patch chain.
 """
 
 from __future__ import annotations
@@ -475,6 +483,105 @@ class StatArrays:
                     subtotal += self.ninbar[base + offset, end]
                 self.nix_subtotal[position][end] = subtotal
 
+        # -- cross-call caches ------------------------------------------
+        # _tables holds stats-derived, row-independent tables (per-end
+        # probe columns, insert/interior vectors, storage term lists,
+        # the extent-scan table); patched clones share it by reference.
+        # _units memoizes per-(organization, rows) evaluation units —
+        # per-entry probe/insert/delete costs plus per-row CMD rates and
+        # storage sums — which are statistics-only (the workload enters
+        # the formulas exclusively through the frequency folds), so
+        # patched clones share it by reference too. Bounded FIFO.
+        # _results memoizes full evaluate() outputs per (organization,
+        # rows) — load-dependent, so every clone starts its own dict.
+        self._tables: dict = {}
+        self._units: dict = {}
+        self._results: dict = {}
+
+    # ------------------------------------------------------------------
+    # cross-call caches and workload patching
+    # ------------------------------------------------------------------
+    def cached_table(self, key, build):
+        """Row-independent table memo (stats-derived values only).
+
+        Entries must depend on nothing but the statistics, the physical
+        configuration and ``range_selectivity`` — :meth:`patched` clones
+        share this dict by reference, so a load-dependent entry here
+        would leak stale costs across workloads.
+        """
+        table = self._tables.get(key)
+        if table is None:
+            table = build()
+            self._tables[key] = table
+        return table
+
+    def cached_units(self, key, build):
+        """Per-(organization, rows) evaluation-unit memo, bounded FIFO.
+
+        Same statistics-only contract as :meth:`cached_table` — the
+        cached arrays are the pre-fold units of one organization over
+        one row set, reused verbatim under any drifted workload. Kept
+        apart from ``_tables`` so eviction never drops the small
+        per-end columns that every row set shares.
+        """
+        units = self._units.get(key)
+        if units is None:
+            units = build()
+            if len(self._units) >= _UNITS_CACHE_LIMIT:
+                self._units.pop(next(iter(self._units)))
+            self._units[key] = units
+        return units
+
+    def cached_result(self, organization, rows_key):
+        """A memoized ``evaluate`` output for identical (org, rows)."""
+        return self._results.get((organization, rows_key))
+
+    def store_result(self, organization, rows_key, value) -> None:
+        """Memoize one ``evaluate`` output (bounded, FIFO eviction)."""
+        if len(self._results) >= _RESULT_CACHE_LIMIT:
+            self._results.pop(next(iter(self._results)))
+        self._results[(organization, rows_key)] = value
+
+    def patched(self, load: LoadDistribution) -> "StatArrays":
+        """The lowering for the same statistics under a drifted workload.
+
+        Every stats-derived field — including the accumulated ``_tables``
+        and ``_units`` memos — is shared by reference; only the
+        load-derived columns are
+        rebuilt: α/β/γ are patched at the member slots whose triplets
+        moved, then the upstream-query and following-deletion chains are
+        re-derived through the workload's own accessors, so every value
+        is the very float a from-scratch lowering would produce.
+        """
+        clone = StatArrays.__new__(StatArrays)
+        clone.__dict__.update(self.__dict__)
+        clone.load = load
+        clone._results = {}
+        alpha = self.alpha.copy()
+        beta = self.beta.copy()
+        gamma = self.gamma.copy()
+        for gm, name in enumerate(self.member_names):
+            triplet = load.triplet(name)
+            alpha[gm] = triplet.query
+            beta[gm] = triplet.insert
+            gamma[gm] = triplet.delete
+        clone.alpha = alpha
+        clone.beta = beta
+        clone.gamma = gamma
+        length = self.length
+        upstream = [0.0] * (length + 2)
+        for start in range(1, length + 1):
+            upstream[start] = load._upstream_query(start)
+        clone.upstream = upstream
+        following = [0.0] * (length + 1)
+        for end in range(1, length):
+            following[end] = sum(
+                load.triplet(member).delete
+                for member in self.members[end + 1]
+            )
+        clone.following = following
+        return clone
+
     # ------------------------------------------------------------------
     # geometry helpers (mirroring SubpathCostModel)
     # ------------------------------------------------------------------
@@ -537,3 +644,73 @@ class StatArrays:
             )
 
         return stats.cached_shape(("mix", position), build)
+
+
+# ----------------------------------------------------------------------
+# persistent lowering cache (lives on the statistics object)
+# ----------------------------------------------------------------------
+# A handful of entries covers the real access patterns: a session loop
+# patches one lowering per step (the previous step's entry is the hit),
+# and a what-if explorer toggles between a few candidate workloads.
+_ARRAYS_CACHE_LIMIT = 4
+# evaluate() outputs per (organization, rows) tuple; warm rebuilds of the
+# same matrix hit one entry per canonical organization.
+_RESULT_CACHE_LIMIT = 32
+_UNITS_CACHE_LIMIT = 64
+
+
+def _stats_cache(stats: PathStatistics) -> list | None:
+    """The bounded lowering cache on ``stats``, or None when disabled."""
+    if not stats.config.cache_evaluation:
+        return None
+    cache = getattr(stats, "_stat_arrays_cache", None)
+    if cache is None:
+        # Statistics unpickled from pre-cache checkpoints lack the slot.
+        cache = []
+        stats._stat_arrays_cache = cache
+    return cache
+
+
+def find_cached_arrays(
+    stats: PathStatistics,
+    load: LoadDistribution,
+    range_selectivity: float | None = None,
+) -> StatArrays | None:
+    """The cached lowering for exactly (stats, load, selectivity), if any."""
+    cache = _stats_cache(stats)
+    if cache is None:
+        return None
+    for arrays in reversed(cache):
+        if arrays.load is load and arrays.range_selectivity == range_selectivity:
+            return arrays
+    return None
+
+
+def remember_stat_arrays(arrays: StatArrays) -> None:
+    """Retain one lowering in its statistics object's bounded cache."""
+    cache = _stats_cache(arrays.stats)
+    if cache is None:
+        return
+    cache.append(arrays)
+    if len(cache) > _ARRAYS_CACHE_LIMIT:
+        del cache[: len(cache) - _ARRAYS_CACHE_LIMIT]
+
+
+def get_stat_arrays(
+    stats: PathStatistics,
+    load: LoadDistribution,
+    range_selectivity: float | None = None,
+) -> StatArrays:
+    """The lowering for (stats, load), via the persistent cache.
+
+    Identity of the workload object is the cache key — a drifted load is
+    a *new* object, for which :meth:`StatArrays.patched` (reached through
+    the recompute path) is the cheap route. With
+    ``config.cache_evaluation`` off every call lowers afresh.
+    """
+    found = find_cached_arrays(stats, load, range_selectivity)
+    if found is not None:
+        return found
+    arrays = StatArrays(stats, load, range_selectivity)
+    remember_stat_arrays(arrays)
+    return arrays

@@ -35,6 +35,7 @@ from repro.kernel.arrays import (
     crr_batch,
     crt_batch,
     fold_segments,
+    get_stat_arrays,
 )
 from repro.kernel.yao_vec import npa_array
 from repro.organizations import IndexOrganization
@@ -49,8 +50,15 @@ def _canonical(organization: IndexOrganization) -> IndexOrganization:
     return _CANONICAL.get(organization, organization)
 
 
-def evaluate_rows(stats, load, organizations, rows, range_selectivity=None):
-    """Price ``rows`` for every organization; see :func:`repro.kernel.compute_rows`."""
+def evaluate_rows(
+    stats, load, organizations, rows, range_selectivity=None, arrays=None
+):
+    """Price ``rows`` for every organization; see :func:`repro.kernel.compute_rows`.
+
+    ``arrays`` short-circuits the lowering: callers holding a (possibly
+    patched) :class:`StatArrays` for exactly these inputs pass it in;
+    otherwise the persistent cache on ``stats`` is consulted.
+    """
     organizations = list(organizations)
     length = stats.length
     results: dict = {}
@@ -79,17 +87,26 @@ def evaluate_rows(stats, load, organizations, rows, range_selectivity=None):
     if not kernel_rows:
         return results
 
-    arrays = StatArrays(stats, load, range_selectivity)
-    batch = _RowBatch(arrays, kernel_rows)
+    if arrays is None:
+        arrays = get_stat_arrays(stats, load, range_selectivity)
+    rows_key = tuple(kernel_rows)
+    batch = None
     # SIX/IIX share MX/MIX's pricing, so each canonical organization is
     # evaluated once and its per-row SubpathCost objects are reused for
-    # every alias that requested it.
+    # every alias that requested it. Identical (organization, rows)
+    # requests against a persistent lowering replay the memoized arrays.
     costs: dict = {}
     for organization in organizations:
         canonical = _canonical(organization)
         if canonical in costs:
             continue
-        query, insert, delete, cmd_rate, storage = batch.evaluate(canonical)
+        cached = arrays.cached_result(canonical, rows_key)
+        if cached is None:
+            if batch is None:
+                batch = _RowBatch(arrays, kernel_rows)
+            cached = batch.evaluate(canonical)
+            arrays.store_result(canonical, rows_key, cached)
+        query, insert, delete, cmd_rate, storage = cached
         queries = query.tolist()
         inserts = insert.tolist()
         deletes = delete.tolist()
@@ -134,6 +151,7 @@ class _RowBatch:
     def __init__(self, arrays: StatArrays, rows: list[tuple[int, int]]) -> None:
         self.arrays = arrays
         self.rows = rows
+        self.rows_key = tuple(rows)
         a = arrays
         length = a.length
         count = len(rows)
@@ -208,7 +226,6 @@ class _RowBatch:
             [0] + [a.key_size_at(p) for p in range(1, length + 1)],
             dtype=np.int64,
         )[self.erow]
-        self._scan_table: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # shared machinery
@@ -260,9 +277,11 @@ class _RowBatch:
 
     def _scan_costs(self) -> np.ndarray:
         """``Q[gm, e]``: extent-scan cost of querying member ``gm`` on a
-        subpath ending at ``e`` (the no-index and NX-interior formula)."""
-        if self._scan_table is not None:
-            return self._scan_table
+        subpath ending at ``e`` (the no-index and NX-interior formula).
+        Stats-only, so it persists in the lowering's table cache."""
+        return self.arrays.cached_table("scan", self._build_scan_table)
+
+    def _build_scan_table(self) -> np.ndarray:
         a = self.arrays
         length = a.length
         count = a.member_count
@@ -277,10 +296,20 @@ class _RowBatch:
             column[at_end] = extents[at_end]
             column[positions > end] = 0.0
             table[:, end] = column
-        self._scan_table = table
         return table
 
     def evaluate(self, organization: IndexOrganization):
+        """Price this batch's rows for one canonical organization.
+
+        The per-entry units (one probe / one insertion / one deletion of
+        one hierarchy member) and the per-row CMD rates and storage sums
+        are **statistics-only** — the workload enters the cost formulas
+        exclusively through the final α/β/γ frequency folds. They are
+        therefore memoized per (organization, rows) in the lowering's
+        shared table cache, which patched clones carry across workload
+        drifts: a warm dirty-slice re-evaluation pays only the three
+        frequency folds below.
+        """
         method = {
             IndexOrganization.MX: self.mx,
             IndexOrganization.MIX: self.mix,
@@ -289,20 +318,20 @@ class _RowBatch:
             IndexOrganization.NX: self.nx,
             IndexOrganization.NONE: self.none,
         }[organization]
-        return method()
+        unit_q, unit_i, unit_d, cmd_rate, storage = self.arrays.cached_units(
+            (organization, self.rows_key), method
+        )
+        query, insert, delete = self._package(unit_q, unit_i, unit_d)
+        return query, insert, delete, cmd_rate, storage
 
     # ------------------------------------------------------------------
     # organizations
     # ------------------------------------------------------------------
     def mx(self):
         a = self.arrays
-        config = a.config
         length = a.length
         count = a.member_count
-        shapes = [
-            a.mx_shape(int(a.member_position[gm]), name)
-            for gm, name in enumerate(a.member_names)
-        ]
+        shapes = a.cached_table("mx_shapes", self._mx_shapes)
         ends = sorted({int(end) for end in self.erow})
         # C[gm, e]: one probe of member gm's index on a row ending at e
         # (keys[e][e] is the row's probe fan-in, so the ending level and
@@ -311,21 +340,80 @@ class _RowBatch:
         # T[p, e]: the ending + interior levels above a target at p,
         # accumulated in the legacy's level-descending member order.
         table_t = np.zeros((length + 2, length + 1))
+        cmd_table = np.zeros(length + 1)
         for end in ends:
-            accumulator = 0.0
-            for level in range(end, 0, -1):
-                base = a.member_offset[level]
-                for offset in range(len(a.members[level])):
-                    gm = base + offset
-                    value = crt(shapes[gm], a.keys[level][end], config.pr_mx)
-                    table_c[gm, end] = value
-                    accumulator = accumulator + value
-                table_t[level - 1, end] = accumulator
+            c_col, t_col, cmd = a.cached_table(
+                ("mx", end), lambda e=end: self._mx_column(shapes, e)
+            )
+            table_c[:, end] = c_col
+            table_t[:, end] = t_col
+            cmd_table[end] = cmd
         unit_q = (
             table_t[self.entry_pos, self.entry_end]
             + table_c[self.entry_gm, self.entry_end]
         )
 
+        inserts, interior = a.cached_table(
+            "mx_inserts", lambda: self._mx_inserts(shapes)
+        )
+        unit_i = inserts[self.entry_gm]
+        unit_d = np.where(
+            self.entry_pos > self.entry_start,
+            interior[self.entry_gm],
+            inserts[self.entry_gm],
+        )
+        cmd_rate = cmd_table[self.erow]
+
+        def storage_terms(position: int) -> list[float]:
+            def build() -> list[float]:
+                terms = []
+                base = a.member_offset[position]
+                for offset in range(len(a.members[position])):
+                    shape = shapes[base + offset]
+                    terms.append(shape.leaf_pages * 1)
+                    if shape.oversized:
+                        terms.append(shape.record_count * shape.record_pages)
+                return terms
+
+            return a.cached_table(("mx_storage", position), build)
+
+        storage = self._storage_walk(storage_terms)
+        return unit_q, unit_i, unit_d, cmd_rate, storage
+
+    def _mx_shapes(self) -> list:
+        a = self.arrays
+        return [
+            a.mx_shape(int(a.member_position[gm]), name)
+            for gm, name in enumerate(a.member_names)
+        ]
+
+    def _mx_column(self, shapes, end: int):
+        """One end's (C column, T column, CMD rate) — the exact scalar
+        loop of the legacy evaluator, level-descending member order."""
+        a = self.arrays
+        config = a.config
+        c_col = np.zeros(a.member_count)
+        t_col = np.zeros(a.length + 2)
+        accumulator = 0.0
+        for level in range(end, 0, -1):
+            base = a.member_offset[level]
+            for offset in range(len(a.members[level])):
+                gm = base + offset
+                value = crt(shapes[gm], a.keys[level][end], config.pr_mx)
+                c_col[gm] = value
+                accumulator = accumulator + value
+            t_col[level - 1] = accumulator
+        cmd = 0.0
+        base = a.member_offset[end]
+        for offset in range(len(a.members[end])):
+            shape = shapes[base + offset]
+            cmd += cml(shape, float(shape.record_pages))
+        return c_col, t_col, cmd
+
+    def _mx_inserts(self, shapes):
+        a = self.arrays
+        config = a.config
+        count = a.member_count
         inserts = np.zeros(count)
         cml_gm = np.zeros(count)
         for gm in range(count):
@@ -340,98 +428,89 @@ class _RowBatch:
                 for offset in range(len(a.members[position - 1])):
                     total = total + cml_gm[base + offset]
             interior[gm] = total
+        return inserts, interior
+
+    def mix(self):
+        a = self.arrays
+        length = a.length
+        shapes = a.cached_table("mix_shapes", self._mix_shapes)
+        ends = sorted({int(end) for end in self.erow})
+        # H[p, e]: levels e down to p, legacy accumulation order.
+        table_h = np.zeros((length + 2, length + 1))
+        cmd_table = np.zeros(length + 1)
+        for end in ends:
+            h_col, cmd = a.cached_table(
+                ("mix", end), lambda e=end: self._mix_column(shapes, e)
+            )
+            table_h[:, end] = h_col
+            cmd_table[end] = cmd
+        unit_q = table_h[self.entry_pos, self.entry_end]
+
+        inserts, interior = a.cached_table(
+            "mix_inserts", lambda: self._mix_inserts(shapes)
+        )
         unit_i = inserts[self.entry_gm]
         unit_d = np.where(
             self.entry_pos > self.entry_start,
             interior[self.entry_gm],
             inserts[self.entry_gm],
         )
-        query, insert, delete = self._package(unit_q, unit_i, unit_d)
-
-        cmd_table = np.zeros(length + 1)
-        for end in ends:
-            total = 0.0
-            base = a.member_offset[end]
-            for offset in range(len(a.members[end])):
-                shape = shapes[base + offset]
-                total += cml(shape, float(shape.record_pages))
-            cmd_table[end] = total
         cmd_rate = cmd_table[self.erow]
 
         def storage_terms(position: int) -> list[float]:
-            terms = []
-            base = a.member_offset[position]
-            for offset in range(len(a.members[position])):
-                shape = shapes[base + offset]
-                terms.append(shape.leaf_pages * 1)
+            def build() -> list[float]:
+                shape = shapes[position]
+                terms = [shape.leaf_pages]
                 if shape.oversized:
                     terms.append(shape.record_count * shape.record_pages)
-            return terms
+                return terms
+
+            return a.cached_table(("mix_storage", position), build)
 
         storage = self._storage_walk(storage_terms)
-        return query, insert, delete, cmd_rate, storage
+        return unit_q, unit_i, unit_d, cmd_rate, storage
 
-    def mix(self):
+    def _mix_shapes(self) -> dict:
+        a = self.arrays
+        return {
+            position: a.mix_shape(position)
+            for position in range(1, a.length + 1)
+        }
+
+    def _mix_column(self, shapes, end: int):
+        """One end's (H column, CMD rate), legacy accumulation order."""
         a = self.arrays
         config = a.config
-        length = a.length
-        shapes = {
-            position: a.mix_shape(position) for position in range(1, length + 1)
-        }
-        ends = sorted({int(end) for end in self.erow})
-        # H[p, e]: levels e down to p, legacy accumulation order.
-        table_h = np.zeros((length + 2, length + 1))
-        for end in ends:
-            accumulator = 0.0
-            for level in range(end, 0, -1):
-                accumulator = accumulator + crt(
-                    shapes[level], a.keys[level][end], config.pr_mix
-                )
-                table_h[level, end] = accumulator
-        unit_q = table_h[self.entry_pos, self.entry_end]
+        h_col = np.zeros(a.length + 2)
+        accumulator = 0.0
+        for level in range(end, 0, -1):
+            accumulator = accumulator + crt(
+                shapes[level], a.keys[level][end], config.pr_mix
+            )
+            h_col[level] = accumulator
+        shape = shapes[end]
+        return h_col, cml(shape, float(shape.record_pages))
 
+    def _mix_inserts(self, shapes):
+        a = self.arrays
+        config = a.config
         count = a.member_count
         inserts = np.zeros(count)
         for gm in range(count):
             position = int(a.member_position[gm])
             inserts[gm] = cmt(shapes[position], a.nin[gm], config.pm_mix)
-        cml_level = np.zeros(length + 1)
-        for position in range(1, length + 1):
+        cml_level = np.zeros(a.length + 1)
+        for position in range(1, a.length + 1):
             cml_level[position] = cml(shapes[position], config.pm_mix)
-        interior = inserts + cml_level[
-            np.maximum(a.member_position - 1, 0)
-        ]
-        unit_i = inserts[self.entry_gm]
-        unit_d = np.where(
-            self.entry_pos > self.entry_start,
-            interior[self.entry_gm],
-            inserts[self.entry_gm],
-        )
-        query, insert, delete = self._package(unit_q, unit_i, unit_d)
-
-        cmd_table = np.zeros(length + 1)
-        for end in ends:
-            shape = shapes[end]
-            cmd_table[end] = cml(shape, float(shape.record_pages))
-        cmd_rate = cmd_table[self.erow]
-
-        def storage_terms(position: int) -> list[float]:
-            shape = shapes[position]
-            terms = [shape.leaf_pages]
-            if shape.oversized:
-                terms.append(shape.record_count * shape.record_pages)
-            return terms
-
-        storage = self._storage_walk(storage_terms)
-        return query, insert, delete, cmd_rate, storage
+        interior = inserts + cml_level[np.maximum(a.member_position - 1, 0)]
+        return inserts, interior
 
     def none(self):
         scans = self._scan_costs()
         unit_q = scans[self.entry_gm, self.entry_end]
         zeros_entries = np.zeros(self.entry_count)
-        query, insert, delete = self._package(unit_q, zeros_entries, zeros_entries)
         zeros_rows = np.zeros(self.row_count)
-        return query, insert, delete, zeros_rows, zeros_rows.copy()
+        return unit_q, zeros_entries, zeros_entries, zeros_rows, zeros_rows.copy()
 
     def nx(self):
         a = self.arrays
@@ -480,9 +559,8 @@ class _RowBatch:
             np.minimum(candidates, roots), roots, root_pages
         )
         unit_d = np.where(at_start, base, base + revalidation)
-        query, insert, delete = self._package(unit_q, unit_i, unit_d)
         cmd_rate = cml_batch(table, table.record_pages)
-        return query, insert, delete, cmd_rate, table.storage_pages()
+        return unit_q, unit_i, unit_d, cmd_rate, table.storage_pages()
 
     def px(self):
         a = self.arrays
@@ -520,9 +598,8 @@ class _RowBatch:
         unit_i = cmt_batch(
             table, self.entry_row, self.ninbar_entry, config.pm_mx
         )
-        query, insert, delete = self._package(unit_q, unit_i, unit_i)
         cmd_rate = cml_batch(table, table.record_pages)
-        return query, insert, delete, cmd_rate, table.storage_pages()
+        return unit_q, unit_i, unit_i, cmd_rate, table.storage_pages()
 
     def nix(self):
         a = self.arrays
@@ -708,7 +785,6 @@ class _RowBatch:
         unit_d = (
             (csd2 + cs3a) + cu3bc[self.entry_pair]
         ) + retrieval[self.entry_pair]
-        query, insert, delete = self._package(unit_q, unit_i, unit_d)
 
         # -- CMD: whole-record removal plus the delpoint rewrites ------
         cml_primary = cml_batch(primary, primary.record_pages)
@@ -747,4 +823,4 @@ class _RowBatch:
             0.0,
         )
         storage = np.where(auxiliary.empty, primary_storage, with_aux)
-        return query, insert, delete, cmd_rate, storage
+        return unit_q, unit_i, unit_d, cmd_rate, storage

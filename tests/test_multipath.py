@@ -491,3 +491,64 @@ class TestStorageBudget:
         )
         text = result.render(workloads)
         assert "budget pages" in text
+
+
+class TestBatchedPricing:
+    """The batched candidate pricer must be bit-identical to the scalar
+    per-candidate loop it replaces (PR 9) — same query folds, same
+    per-key maintenance/storage splits, same candidate order."""
+
+    @staticmethod
+    def _snapshot(candidates):
+        return [
+            (c.configuration, c.query_cost, c.maintenance, c.storage)
+            for c in candidates
+        ]
+
+    @pytest.mark.parametrize("generator", ["exact", "beam", "budget"])
+    def test_batched_matches_scalar_pricing(self, generator, monkeypatch):
+        pytest.importorskip("numpy")
+        from repro.core import multipath as mp
+
+        workload = synthetic_workload(7)
+        matrix = CostMatrix.compute(
+            workload.stats,
+            workload.load,
+            organizations=EXTENDED_ORGANIZATIONS,
+        )
+        run = {
+            "exact": lambda: mp._candidates_exact(workload, matrix, 2),
+            "beam": lambda: mp._candidates_beam(workload, matrix, 2, 16),
+            "budget": lambda: mp._candidates_budget(workload, matrix, 16),
+        }[generator]
+        batched = self._snapshot(run())
+        monkeypatch.setattr(mp, "_BATCH_PRICING_MIN", 10**9)
+        scalar = self._snapshot(run())
+        assert batched == scalar
+
+    def test_small_sets_and_missing_numpy_use_the_scalar_path(self):
+        """Below the batching threshold the scalar loop prices directly
+        (no numpy import), so candidate generation works without it."""
+        from repro.core import multipath as mp
+
+        workload = synthetic_workload(3)
+        matrix = CostMatrix.compute(workload.stats, workload.load)
+        candidates = mp._candidates_beam(workload, matrix, 1, 2)
+        assert 0 < len(candidates) <= 2
+        for candidate in candidates:
+            assert candidate.total == candidate.query_cost + sum(
+                candidate.maintenance.values()
+            )
+
+    def test_joint_selection_unchanged_by_batching(self, monkeypatch):
+        pytest.importorskip("numpy")
+        from repro.core import multipath as mp
+
+        workloads = [synthetic_workload(6), synthetic_workload(6, scale=2.0)]
+        batched = optimize_multipath(workloads)
+        monkeypatch.setattr(mp, "_BATCH_PRICING_MIN", 10**9)
+        scalar = optimize_multipath(workloads)
+        assert batched.configurations == scalar.configurations
+        assert batched.total_cost == scalar.total_cost
+        assert batched.shared_savings == scalar.shared_savings
+        assert batched.storage_pages == scalar.storage_pages
