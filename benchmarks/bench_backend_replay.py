@@ -32,6 +32,7 @@ import platform
 import sys
 import time
 
+from benchmarks.env_meta import environment_metadata
 from repro.backend import replay_trace, run_calibration
 from repro.backend.scenarios import default_scenarios
 from repro.trace import TRACE_REGIMES, generate_trace
@@ -121,6 +122,7 @@ def run(smoke: bool) -> dict:
         "benchmark": "backend",
         "mode": "smoke" if smoke else "full",
         "python": platform.python_version(),
+        "environment": environment_metadata(),
         "ratio_bounds": list(RATIO_BOUNDS),
         "measurements": [
             measure_regime(scenario, regime, events, seed=17 + i)

@@ -45,6 +45,7 @@ import statistics
 import sys
 import time
 
+from benchmarks.env_meta import environment_metadata
 from repro import kernel
 from repro.core.cost_matrix import CostMatrix
 from repro.costmodel import yao
@@ -199,6 +200,7 @@ def run(smoke: bool) -> dict:
         "benchmark": "kernel",
         "mode": "smoke" if smoke else "full",
         "python": platform.python_version(),
+        "environment": environment_metadata(),
         "numpy_available": kernel.is_available(),
         "length": length,
         "rows": length * (length + 1) // 2,

@@ -20,6 +20,7 @@ import platform
 import time
 
 from benchmarks.conftest import RESULTS_DIR, write_report
+from benchmarks.env_meta import environment_metadata
 from repro.core.cost_matrix import CostMatrix
 from repro.core.multipath import PathWorkload, optimize_multipath
 from repro.costmodel.params import ClassStats, PathStatistics
@@ -218,6 +219,7 @@ def test_multipath_scaling(benchmark):
         "benchmark": "multipath",
         "python": platform.python_version(),
         "cpu_count": os.cpu_count() or 1,
+        "environment": environment_metadata(),
         "fleet_limit_s": FLEET_LIMIT_SECONDS,
         "measurements": [
             {k: v for k, v in entry.items() if not k.startswith("_")}

@@ -39,6 +39,7 @@ import tempfile
 import time
 
 from benchmarks.bench_trace_replay import WINDOW, make_edge_load
+from benchmarks.env_meta import environment_metadata
 from benchmarks.bench_whatif_loop import make_inputs
 from repro.resilience import restore_advisor, save_advisor
 from repro.resilience.faults import FaultInjector
@@ -195,6 +196,7 @@ def run(smoke: bool) -> dict:
         "benchmark": "resilience",
         "mode": "smoke" if smoke else "full",
         "python": platform.python_version(),
+        "environment": environment_metadata(),
         "checkpoint": measure_checkpoint(length, events),
         "faulty_stream": measure_faulty_throughput(length, events),
     }

@@ -43,6 +43,7 @@ import sys
 import time
 
 from benchmarks.bench_whatif_loop import make_inputs
+from benchmarks.env_meta import environment_metadata
 from repro.trace import ContinuousAdvisor, WindowAggregator, generate_trace
 from repro.whatif import AdvisorSession
 from repro.whatif.perturbation import perturbations_between
@@ -208,6 +209,7 @@ def run(smoke: bool) -> dict:
         "benchmark": "trace",
         "mode": "smoke" if smoke else "full",
         "python": platform.python_version(),
+        "environment": environment_metadata(),
         "target_speedup": FULL_TARGET_SPEEDUP,
         "measurements": [measure(length, events)],
         "continuous": measure_continuous(length, events),

@@ -51,6 +51,7 @@ import random
 import sys
 import time
 
+from benchmarks.env_meta import environment_metadata
 from repro import kernel as columnar_kernel
 from repro.core.cost_matrix import CostMatrix
 from repro.costmodel.params import ClassStats, PathStatistics
@@ -260,6 +261,7 @@ def run(smoke: bool) -> dict:
         "benchmark": "whatif",
         "mode": "smoke" if smoke else "full",
         "python": platform.python_version(),
+        "environment": environment_metadata(),
         "numpy_available": columnar_kernel.is_available(),
         "target_speedup": FULL_TARGET_SPEEDUP,
         "kernel_session_target": KERNEL_SESSION_TARGET,

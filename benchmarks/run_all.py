@@ -43,6 +43,7 @@ import platform
 import sys
 import time
 
+from benchmarks.env_meta import environment_metadata
 from repro.core.cost_matrix import CostMatrix
 from repro.costmodel.params import ClassStats, CostModelConfig, PathStatistics
 from repro.costmodel.subpath import subpath_processing_cost
@@ -199,6 +200,7 @@ def main(argv: list[str] | None = None) -> int:
         "mode": "smoke" if arguments.smoke else "full",
         "python": platform.python_version(),
         "cpu_count": cpu_count,
+        "environment": environment_metadata(),
         "measurements": measurements,
     }
 
@@ -227,6 +229,7 @@ def main(argv: list[str] | None = None) -> int:
     from benchmarks import (
         bench_backend_replay,
         bench_kernel,
+        bench_obs,
         bench_resilience,
         bench_trace_replay,
         bench_whatif_loop,
@@ -281,6 +284,16 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\nwritten to {backend_path}", file=sys.stderr)
     if arguments.smoke:
         failures.extend(bench_backend_replay.check_smoke(backend_report))
+
+    obs_report = bench_obs.run(arguments.smoke)
+    obs_path = json_path.parent / bench_obs.JSON_NAME
+    obs_path.write_text(
+        json.dumps(obs_report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(obs_report, indent=2))
+    print(f"\nwritten to {obs_path}", file=sys.stderr)
+    if arguments.smoke:
+        failures.extend(bench_obs.check_smoke(obs_report))
 
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}", file=sys.stderr)

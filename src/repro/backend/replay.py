@@ -248,6 +248,7 @@ def replay_trace(
     config: CostModelConfig | None = None,
     stats: PathStatistics | None = None,
     layout: str = "btree",
+    recorder=None,
 ) -> BackendReplayReport:
     """Execute a trace on real page structures and compare to the model.
 
@@ -271,14 +272,23 @@ def replay_trace(
         exactly what the report is for.
     layout:
         Storage layout for the materialized structures.
+    recorder:
+        An optional :class:`~repro.obs.Recorder`: the replay runs under
+        a ``backend.replay`` span (materialization under
+        ``backend.materialize``), with ``backend.replay.events`` and
+        ``backend.replay.skipped`` counters.
     """
+    from repro.obs.recorder import resolve_recorder
+
+    recorder = resolve_recorder(recorder)
     config = config or CostModelConfig()
     stats = stats or derive_path_statistics(database, path, config=config)
     analytic = per_class_analytic_costs(stats, configuration)
     split = per_part_analytic_costs(stats, configuration)
-    backend = MaterializedConfiguration(
-        database, path, configuration, sizes=config.sizes, layout=layout
-    )
+    with recorder.span("backend.materialize", layout=layout):
+        backend = MaterializedConfiguration(
+            database, path, configuration, sizes=config.sizes, layout=layout
+        )
     tracker = backend.tracker
     owner_before = {
         label: io.total for label, io in tracker.owner_stats().items()
@@ -313,48 +323,52 @@ def replay_trace(
         replayed += 1
 
     total_events = 0
-    for event in events:
-        total_events += 1
-        class_name = event.class_name
-        if class_name not in position_of:
-            skipped += 1
-            continue
-        if event.kind == "query":
-            if values_dirty:
-                values = ending_values(database, path)
-                values_dirty = False
-            if not values:
+    with recorder.span("backend.replay", layout=layout, seed=seed) as span:
+        for event in events:
+            total_events += 1
+            class_name = event.class_name
+            if class_name not in position_of:
                 skipped += 1
                 continue
-            value = values[rng.randrange(len(values))]
-            measured = backend.query(value, class_name)
-            account("query", class_name, measured.io.total)
-        elif event.kind == "insert":
-            extent = list(database.extent(class_name))
-            if not extent:
-                skipped += 1
-                continue
-            template = extent[rng.randrange(len(extent))]
-            kwargs = clone_kwargs(database, template)
-            if kwargs is None:
-                skipped += 1
-                continue
-            measured = backend.insert(class_name, **kwargs)
-            account("insert", class_name, measured.io.total)
-            if class_name in ending_hierarchy:
-                values_dirty = True
-        elif event.kind == "delete":
-            extent = list(database.extent(class_name))
-            if not extent:
-                skipped += 1
-                continue
-            victim = extent[rng.randrange(len(extent))]
-            measured = backend.delete(victim.oid)
-            account("delete", class_name, measured.io.total)
-            if class_name in ending_hierarchy:
-                values_dirty = True
-        else:  # pragma: no cover - TraceEvent validates kinds
-            raise ReproError(f"unknown event kind {event.kind!r}")
+            if event.kind == "query":
+                if values_dirty:
+                    values = ending_values(database, path)
+                    values_dirty = False
+                if not values:
+                    skipped += 1
+                    continue
+                value = values[rng.randrange(len(values))]
+                measured = backend.query(value, class_name)
+                account("query", class_name, measured.io.total)
+            elif event.kind == "insert":
+                extent = list(database.extent(class_name))
+                if not extent:
+                    skipped += 1
+                    continue
+                template = extent[rng.randrange(len(extent))]
+                kwargs = clone_kwargs(database, template)
+                if kwargs is None:
+                    skipped += 1
+                    continue
+                measured = backend.insert(class_name, **kwargs)
+                account("insert", class_name, measured.io.total)
+                if class_name in ending_hierarchy:
+                    values_dirty = True
+            elif event.kind == "delete":
+                extent = list(database.extent(class_name))
+                if not extent:
+                    skipped += 1
+                    continue
+                victim = extent[rng.randrange(len(extent))]
+                measured = backend.delete(victim.oid)
+                account("delete", class_name, measured.io.total)
+                if class_name in ending_hierarchy:
+                    values_dirty = True
+            else:  # pragma: no cover - TraceEvent validates kinds
+                raise ReproError(f"unknown event kind {event.kind!r}")
+        span.note(events=total_events, replayed=replayed, skipped=skipped)
+    recorder.counter("backend.replay.events").add(total_events)
+    recorder.counter("backend.replay.skipped").add(skipped)
 
     owner_after = {
         label: io.total for label, io in tracker.owner_stats().items()

@@ -54,6 +54,7 @@ from repro.core.multipath import (
 )
 from repro.errors import ReproError
 from repro.io import load_spec, spec_to_dict
+from repro.obs import Recorder, stats_table, write_profile
 from repro.organizations import CONFIGURABLE_ORGANIZATIONS
 from repro.reporting.tables import multipath_table, replay_table, whatif_table
 from repro.search import available_strategies
@@ -73,6 +74,38 @@ from repro.whatif import (
 )
 
 
+def _recorder_for(arguments: argparse.Namespace) -> Recorder | None:
+    """A live :class:`~repro.obs.Recorder` when profiling was requested.
+
+    ``None`` (no ``--profile`` and no ``--stats``) keeps every
+    instrumented call on the zero-overhead null-recorder path.
+    """
+    if getattr(arguments, "profile", None) or getattr(
+        arguments, "stats", False
+    ):
+        return Recorder()
+    return None
+
+
+def _finish_profile(
+    recorder: Recorder | None, arguments: argparse.Namespace
+) -> None:
+    """Write/print the requested profile outputs after a command ran."""
+    if recorder is None:
+        return
+    if getattr(arguments, "stats", False):
+        print()
+        print(stats_table(recorder))
+    profile = getattr(arguments, "profile", None)
+    if profile:
+        write_profile(
+            recorder,
+            profile,
+            meta={"command": arguments.command},
+        )
+        print(f"profile written to {profile}", file=sys.stderr)
+
+
 def _cmd_advise(arguments: argparse.Namespace) -> int:
     spec = load_spec(arguments.spec)
     strategy_options = {}
@@ -84,6 +117,7 @@ def _cmd_advise(arguments: argparse.Namespace) -> int:
             )
             return 1
         strategy_options["width"] = arguments.beam_width
+    recorder = _recorder_for(arguments)
     report = advise(
         spec.stats,
         spec.load,
@@ -94,6 +128,7 @@ def _cmd_advise(arguments: argparse.Namespace) -> int:
         strategy=arguments.strategy,
         workers=arguments.workers,
         kernel=arguments.kernel,
+        recorder=recorder,
         **strategy_options,
     )
     if arguments.json:
@@ -126,6 +161,7 @@ def _cmd_advise(arguments: argparse.Namespace) -> int:
             print()
             for line in report.optimal.trace:
                 print("  " + line)
+    _finish_profile(recorder, arguments)
     return 0
 
 
@@ -160,6 +196,7 @@ def _cmd_multipath(arguments: argparse.Namespace) -> int:
     # restricted organization list that already contains NONE is kept,
     # one without NONE is widened to the full extended set), which keeps
     # tight --budget-pages runs feasible.
+    recorder = _recorder_for(arguments)
     matrices = [
         CostMatrix.compute(
             spec.stats,
@@ -169,6 +206,7 @@ def _cmd_multipath(arguments: argparse.Namespace) -> int:
             range_selectivity=spec.range_selectivity,
             workers=arguments.workers,
             kernel=arguments.kernel,
+            recorder=recorder,
         )
         for spec in specs
     ]
@@ -179,6 +217,7 @@ def _cmd_multipath(arguments: argparse.Namespace) -> int:
         beam_width=arguments.beam_width,
         budget_pages=arguments.budget_pages,
         restarts=arguments.restarts,
+        recorder=recorder,
     )
     paths = [spec.stats.path for spec in specs]
     if arguments.json:
@@ -211,6 +250,7 @@ def _cmd_multipath(arguments: argparse.Namespace) -> int:
         # The table already carries the per-path configurations and the
         # joint/independent/savings/storage/budget summary.
         print(multipath_table(paths, result))
+    _finish_profile(recorder, arguments)
     return 0
 
 
@@ -238,6 +278,7 @@ def _cmd_whatif(arguments: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    recorder = _recorder_for(arguments)
     session = AdvisorSession(
         spec.stats,
         spec.load,
@@ -247,6 +288,7 @@ def _cmd_whatif(arguments: argparse.Namespace) -> int:
         strategy=arguments.strategy,
         workers=arguments.workers,
         kernel=arguments.kernel,
+        recorder=recorder,
     )
     steps = session.run(perturbations)
     path = spec.stats.path
@@ -264,6 +306,14 @@ def _cmd_whatif(arguments: argparse.Namespace) -> int:
                     ),
                     "rows_patched": (
                         len(step.report.patched_rows) if step.report else None
+                    ),
+                    "kernel_slice_rows": (
+                        step.report.kernel_slice_rows if step.report else None
+                    ),
+                    "kernel_fallback_reason": (
+                        step.report.kernel_fallback_reason
+                        if step.report
+                        else None
                     ),
                     "cost": step.cost,
                     "configuration_changed": step.configuration_changed,
@@ -288,6 +338,17 @@ def _cmd_whatif(arguments: argparse.Namespace) -> int:
             f"\n{len(steps) - 1} steps, {changes} configuration changes, "
             f"final cost {steps[-1].cost:.2f}"
         )
+        fallbacks = {
+            step.report.kernel_fallback_reason
+            for step in steps
+            if step.report is not None
+            and step.report.kernel_fallback_reason is not None
+        }
+        if fallbacks:
+            print(
+                "kernel fallbacks: " + ", ".join(sorted(fallbacks))
+            )
+    _finish_profile(recorder, arguments)
     return 0
 
 
@@ -325,6 +386,7 @@ def _cmd_replay(arguments: argparse.Namespace) -> int:
     window = arguments.window
     if window is None and arguments.window_seconds is None:
         window = 200
+    recorder = _recorder_for(arguments)
     session_options = dict(
         organizations=spec.organizations or CONFIGURABLE_ORGANIZATIONS,
         include_noindex=spec.include_noindex or arguments.noindex,
@@ -332,6 +394,7 @@ def _cmd_replay(arguments: argparse.Namespace) -> int:
         strategy=arguments.strategy,
         workers=arguments.workers,
         kernel=arguments.kernel,
+        recorder=recorder,
     )
     if arguments.resume:
         if not arguments.checkpoint:
@@ -431,6 +494,7 @@ def _cmd_replay(arguments: argparse.Namespace) -> int:
             print("degradations:")
             for line in advisor.degradation.describe().splitlines():
                 print(f"  {line}")
+    _finish_profile(recorder, arguments)
     return 0
 
 
@@ -486,6 +550,7 @@ def _cmd_measure(arguments: argparse.Namespace) -> int:
             events = generate_trace(
                 path, arguments.regime, arguments.events, seed=arguments.seed
             )
+        recorder = _recorder_for(arguments)
         report = replay_trace(
             database,
             path,
@@ -494,11 +559,13 @@ def _cmd_measure(arguments: argparse.Namespace) -> int:
             seed=arguments.seed,
             stats=stats,
             layout=arguments.layout or "btree",
+            recorder=recorder,
         )
         if arguments.json:
             print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
         else:
             print(render_backend_replay(report))
+        _finish_profile(recorder, arguments)
         return 0
 
     # Without --layout every layout is calibrated and guarded on its
@@ -542,6 +609,10 @@ def _cmd_measure(arguments: argparse.Namespace) -> int:
             )
         if failed:
             return 1
+    # The calibration path records nothing yet; an explicitly requested
+    # profile is still honored (as an empty document) rather than
+    # silently dropped.
+    _finish_profile(_recorder_for(arguments), arguments)
     return 0
 
 
@@ -564,6 +635,27 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
             "cost-matrix evaluation engine: columnar (numpy, batched), "
             "legacy (scalar rows), or auto (columnar when numpy is "
             "available); every kernel builds bit-identical matrices"
+        ),
+    )
+
+
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        default=None,
+        help=(
+            "record tracing spans and metrics for the whole run and "
+            "write a Chrome trace-event JSON profile (open in Perfetto "
+            "or chrome://tracing) to FILE"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "print the recorded span timings and metric counters as an "
+            "ASCII table after the command output"
         ),
     )
 
@@ -608,6 +700,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="beam width (only valid with --strategy greedy_beam)",
     )
     _add_workers_argument(advise_parser)
+    _add_profile_argument(advise_parser)
     advise_parser.set_defaults(handler=_cmd_advise)
 
     matrix_parser = commands.add_parser(
@@ -679,6 +772,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     _add_workers_argument(multipath_parser)
+    _add_profile_argument(multipath_parser)
     multipath_parser.set_defaults(handler=_cmd_multipath)
 
     whatif_parser = commands.add_parser(
@@ -726,6 +820,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     _add_workers_argument(whatif_parser)
+    _add_profile_argument(whatif_parser)
     whatif_parser.set_defaults(handler=_cmd_whatif)
 
     trace_parser = commands.add_parser(
@@ -919,6 +1014,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     _add_workers_argument(replay_parser)
+    _add_profile_argument(replay_parser)
     replay_parser.set_defaults(handler=_cmd_replay)
 
     example_parser = commands.add_parser(
@@ -1003,6 +1099,7 @@ def build_parser() -> argparse.ArgumentParser:
     measure_parser.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+    _add_profile_argument(measure_parser)
     measure_parser.set_defaults(handler=_cmd_measure)
     return parser
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.core.cost_matrix import CostMatrix
 from repro.costmodel.params import PathStatistics
 from repro.errors import DeadlineExceeded, OptimizerError
+from repro.obs.recorder import resolve_recorder
 from repro.organizations import CONFIGURABLE_ORGANIZATIONS, IndexOrganization
 from repro.resilience.degrade import degraded_search
 from repro.search import SearchResult, get_strategy
@@ -141,6 +142,7 @@ def advise(
     kernel: str = "auto",
     deadline=None,
     degradation=None,
+    recorder=None,
     **strategy_options,
 ) -> AdvisorReport:
     """Select the optimal index configuration for a path.
@@ -196,6 +198,11 @@ def advise(
         structured record of every fallback taken (deadline rungs,
         worker-pool serial fallbacks, kernel downgrades). When omitted,
         deadline fallbacks are still applied — just not recorded.
+    recorder:
+        An optional :class:`~repro.obs.Recorder` collecting tracing
+        spans and metrics for the whole pipeline (matrix build, kernel
+        lowering/fold, search, baselines). ``None`` (the default) means
+        no recording and effectively zero overhead.
     strategy_options:
         Extra keyword options for the strategy constructor (e.g.
         ``width=4`` for ``greedy_beam``).
@@ -203,60 +210,81 @@ def advise(
     # Resolve the strategy first: a bad name or option must fail before
     # the expensive cost-model run, not after.
     searcher = get_strategy(strategy, **strategy_options)
-    matrix = CostMatrix.compute(
-        stats,
-        load,
-        organizations=organizations,
-        include_noindex=include_noindex,
-        range_selectivity=range_selectivity,
-        workers=workers,
-        kernel=kernel,
-        degradation=degradation,
-    )
-    search_options: dict = {"keep_trace": keep_trace}
-    if deadline is not None:
-        search_options["deadline"] = deadline
-    try:
-        optimal = searcher.search(matrix, **search_options)
-    except DeadlineExceeded as error:
-        if degradation is not None:
-            degradation.record(
-                "advise",
-                "exact_abandoned",
-                "deadline_expired",
-                strategy=strategy,
-                message=str(error),
-            )
-        optimal = degraded_search(
-            matrix,
-            deadline=deadline,
+    recorder = resolve_recorder(recorder)
+    with recorder.span("advise", strategy=strategy, length=stats.length):
+        recorder.counter("advise.calls").add()
+        matrix = CostMatrix.compute(
+            stats,
+            load,
+            organizations=organizations,
+            include_noindex=include_noindex,
+            range_selectivity=range_selectivity,
+            workers=workers,
+            kernel=kernel,
             degradation=degradation,
-            keep_trace=keep_trace,
-            layer="advise",
+            recorder=recorder,
         )
-    report = AdvisorReport(stats=stats, load=load, matrix=matrix, optimal=optimal)
-    if run_baselines and deadline is not None and deadline.expired:
-        # The budget is gone: answering beat completeness, and the
-        # skipped baselines must not pass silently.
-        if degradation is not None:
-            degradation.record(
-                "advise", "baselines_skipped", "deadline_expired"
+        search_options: dict = {"keep_trace": keep_trace}
+        if deadline is not None:
+            search_options["deadline"] = deadline
+        if recorder.enabled:
+            # Only forwarded when recording: third-party strategies
+            # registered before this keyword existed keep working.
+            search_options["recorder"] = recorder
+        try:
+            optimal = searcher.search(matrix, **search_options)
+        except DeadlineExceeded as error:
+            if degradation is not None:
+                degradation.record(
+                    "advise",
+                    "exact_abandoned",
+                    "deadline_expired",
+                    strategy=strategy,
+                    message=str(error),
+                )
+            optimal = degraded_search(
+                matrix,
+                deadline=deadline,
+                degradation=degradation,
+                keep_trace=keep_trace,
+                layer="advise",
+                recorder=recorder,
             )
-        run_baselines = False
-    if run_baselines:
-        # A baseline that *is* the chosen strategy was already computed.
-        if strategy == "exhaustive":
-            report.exhaustive = optimal
-        elif stats.length <= EXHAUSTIVE_BASELINE_MAX_LENGTH:
-            report.exhaustive = get_strategy("exhaustive").search(matrix)
-        # Both DP registrations compute the identical exact optimum.
-        report.dynprog = (
-            optimal
-            if strategy in ("dynamic_program", "incremental_dynamic_program")
-            else get_strategy("dynamic_program").search(matrix)
+        report = AdvisorReport(
+            stats=stats, load=load, matrix=matrix, optimal=optimal
         )
-        report.single_index_costs = {
-            organization: matrix.cost(1, stats.length, organization)
-            for organization in matrix.organizations
-        }
+        if run_baselines and deadline is not None and deadline.expired:
+            # The budget is gone: answering beat completeness, and the
+            # skipped baselines must not pass silently.
+            if degradation is not None:
+                degradation.record(
+                    "advise", "baselines_skipped", "deadline_expired"
+                )
+            run_baselines = False
+        if run_baselines:
+            with recorder.span("advise.baselines", length=stats.length):
+                baseline_options: dict = {}
+                if recorder.enabled:
+                    baseline_options["recorder"] = recorder
+                # A baseline that *is* the chosen strategy was already
+                # computed.
+                if strategy == "exhaustive":
+                    report.exhaustive = optimal
+                elif stats.length <= EXHAUSTIVE_BASELINE_MAX_LENGTH:
+                    report.exhaustive = get_strategy("exhaustive").search(
+                        matrix, **baseline_options
+                    )
+                # Both DP registrations compute the identical exact optimum.
+                report.dynprog = (
+                    optimal
+                    if strategy
+                    in ("dynamic_program", "incremental_dynamic_program")
+                    else get_strategy("dynamic_program").search(
+                        matrix, **baseline_options
+                    )
+                )
+                report.single_index_costs = {
+                    organization: matrix.cost(1, stats.length, organization)
+                    for organization in matrix.organizations
+                }
     return report

@@ -39,6 +39,7 @@ from repro.costmodel.subpath import (
     subpath_processing_cost,
 )
 from repro.errors import OptimizerError
+from repro.obs.recorder import NULL_RECORDER, Recorder, resolve_recorder
 from repro.resilience.retry import DEFAULT_RETRY_POLICY, run_with_retry
 from repro.organizations import (
     CONFIGURABLE_ORGANIZATIONS,
@@ -110,25 +111,33 @@ def _fork_context() -> multiprocessing.context.BaseContext | None:
     return multiprocessing.get_context("fork")
 
 
-def _run_pool_once(pool_options: dict, payloads: list) -> dict:
+def _run_pool_once(pool_options: dict, payloads: list) -> tuple[dict, list]:
     """One worker-pool fan-out attempt (the fault-injection seam).
 
     Kept as a module-level function so the retry loop in
     :meth:`CostMatrix._compute_rows_parallel` (and the chaos tests, via
     monkeypatching) can re-run or fail a *single* pool lifecycle without
     touching batch construction.
+
+    Returns ``(results, profiles)``: the priced rows keyed by
+    coordinates, plus one observability profile (or ``None``) per batch
+    in submission order — the deterministic order the parent uses to
+    assign worker ``tid``\\ s when merging them into its recorder.
     """
     from concurrent.futures import ProcessPoolExecutor
 
     results: dict = {}
+    profiles: list = []
     with ProcessPoolExecutor(**pool_options) as pool:
         futures = [
             pool.submit(function, payload) for function, payload in payloads
         ]
         for future in futures:
-            for start, end, row in future.result():
+            batch, profile = future.result()
+            for start, end, row in batch:
                 results[(start, end)] = row
-    return results
+            profiles.append(profile)
+    return results, profiles
 
 
 def _warn_parallel_fallback(reason: str) -> None:
@@ -277,6 +286,7 @@ def _evaluate_rows(
     range_selectivity: float | None,
     kernel: str,
     arrays=None,
+    recorder=NULL_RECORDER,
 ) -> dict[tuple[int, int], dict[IndexOrganization, SubpathCost]]:
     """Price rows with the resolved evaluation kernel.
 
@@ -288,44 +298,83 @@ def _evaluate_rows(
     kernel's parity oracle. ``arrays`` optionally hands the columnar
     kernel a pre-lowered (or workload-patched)
     :class:`~repro.kernel.arrays.StatArrays` for these exact inputs.
+
+    With an enabled ``recorder`` the columnar path splits into
+    ``kernel.lower`` / ``kernel.fold`` spans (the explicit ``lower`` is
+    the same cache-backed lookup the kernel performs internally, so
+    timing it changes nothing) and the lowering-cache probe lands on the
+    ``kernel.lowering_cache.*`` counters; every batch adds its size to
+    ``matrix.rows_priced``.
     """
+    recorder.counter("matrix.rows_priced").add(len(rows))
     if kernel == "columnar":
         from repro import kernel as columnar
 
-        return columnar.compute_rows(
-            stats, load, organizations, rows, range_selectivity,
-            arrays=arrays,
-        )
-    return {
-        (start, end): _compute_row(
-            stats, load, organizations, start, end, range_selectivity
-        )
-        for start, end in rows
-    }
+        if recorder.enabled and arrays is None:
+            cached = columnar.cached_lowering(stats, load, range_selectivity)
+            if cached is not None:
+                recorder.counter("kernel.lowering_cache.hits").add()
+                arrays = cached
+            else:
+                recorder.counter("kernel.lowering_cache.misses").add()
+                with recorder.span("kernel.lower", rows=len(rows)):
+                    arrays = columnar.lower(stats, load, range_selectivity)
+        with recorder.span("kernel.fold", rows=len(rows)):
+            return columnar.compute_rows(
+                stats, load, organizations, rows, range_selectivity,
+                arrays=arrays,
+            )
+    with recorder.span("matrix.legacy_eval", rows=len(rows)):
+        return {
+            (start, end): _compute_row(
+                stats, load, organizations, start, end, range_selectivity
+            )
+            for start, end in rows
+        }
 
 
 def _compute_row_batch(
     payload: tuple,
-) -> list[tuple[int, int, dict[IndexOrganization, SubpathCost]]]:
+) -> tuple[
+    list[tuple[int, int, dict[IndexOrganization, SubpathCost]]],
+    dict | None,
+]:
     """Worker entry point: price a batch of rows.
 
     Top-level so it pickles by reference into worker processes; each row
     is computed independently, so the result is bit-identical to a serial
     evaluation of the same rows regardless of batching or kernel.
+
+    ``payload[-1]`` (``record``) asks the worker to run its batch under
+    a private :class:`~repro.obs.Recorder` and ship the serialized
+    profile back beside the rows; the parent merges it under a
+    deterministic worker ``tid``. With ``record`` false the profile slot
+    is ``None`` and instrumentation costs nothing.
     """
-    stats, load, organizations, rows, range_selectivity, kernel = payload
-    priced = _evaluate_rows(
-        stats, load, organizations, rows, range_selectivity, kernel
+    stats, load, organizations, rows, range_selectivity, kernel, record = (
+        payload
     )
-    return [(start, end, priced[(start, end)]) for start, end in rows]
+    recorder = Recorder() if record else NULL_RECORDER
+    with recorder.span("matrix.worker_batch", rows=len(rows)):
+        priced = _evaluate_rows(
+            stats, load, organizations, rows, range_selectivity, kernel,
+            recorder=recorder,
+        )
+    profile = recorder.profile() if record else None
+    return (
+        [(start, end, priced[(start, end)]) for start, end in rows],
+        profile,
+    )
 
 
 #: Worker-process copy of the shared inputs ``(stats, load,
-#: organizations, range_selectivity, kernel, arrays)`` — ``arrays`` is the
-#: parent's columnar lowering (or ``None``), lowered once and inherited by
-#: every worker instead of re-lowered per batch. Populated inside each
-#: fork-started worker by :func:`_init_fork_worker`; never set in the
-#: parent process, so concurrent constructions cannot race on it.
+#: organizations, range_selectivity, kernel, arrays, record)`` —
+#: ``arrays`` is the parent's columnar lowering (or ``None``), lowered
+#: once and inherited by every worker instead of re-lowered per batch;
+#: ``record`` asks workers to ship observability profiles back with
+#: their rows. Populated inside each fork-started worker by
+#: :func:`_init_fork_worker`; never set in the parent process, so
+#: concurrent constructions cannot race on it.
 _FORK_SHARED_INPUTS: tuple | None = None
 
 
@@ -344,23 +393,33 @@ def _init_fork_worker(inputs: tuple) -> None:
 
 def _compute_row_batch_fork(
     rows: list[tuple[int, int]],
-) -> list[tuple[int, int, dict[IndexOrganization, SubpathCost]]]:
+) -> tuple[
+    list[tuple[int, int, dict[IndexOrganization, SubpathCost]]],
+    dict | None,
+]:
     """Fork-worker entry point: price a batch against the inherited inputs.
 
     Only the row coordinates travel to the worker; statistics, workload,
-    the resolved kernel and the parent's columnar lowering come from
-    :data:`_FORK_SHARED_INPUTS`, installed by :func:`_init_fork_worker`.
-    Row results are identical to :func:`_compute_row_batch` because both
-    delegate to the same evaluation seam.
+    the resolved kernel, the parent's columnar lowering and the
+    ``record`` flag come from :data:`_FORK_SHARED_INPUTS`, installed by
+    :func:`_init_fork_worker`. Row results are identical to
+    :func:`_compute_row_batch` because both delegate to the same
+    evaluation seam.
     """
-    stats, load, organizations, range_selectivity, kernel, arrays = (
+    stats, load, organizations, range_selectivity, kernel, arrays, record = (
         _FORK_SHARED_INPUTS
     )
-    priced = _evaluate_rows(
-        stats, load, organizations, rows, range_selectivity, kernel,
-        arrays=arrays,
+    recorder = Recorder() if record else NULL_RECORDER
+    with recorder.span("matrix.worker_batch", rows=len(rows)):
+        priced = _evaluate_rows(
+            stats, load, organizations, rows, range_selectivity, kernel,
+            arrays=arrays, recorder=recorder,
+        )
+    profile = recorder.profile() if record else None
+    return (
+        [(start, end, priced[(start, end)]) for start, end in rows],
+        profile,
     )
-    return [(start, end, priced[(start, end)]) for start, end in rows]
 
 
 class CostMatrix:
@@ -453,6 +512,7 @@ class CostMatrix:
         kernel: str = "auto",
         retry_policy=None,
         degradation=None,
+        recorder=None,
     ) -> "CostMatrix":
         """The ``Cost_Matrix`` procedure over the analytic cost model.
 
@@ -482,41 +542,55 @@ class CostMatrix:
         structured event per fallback taken. A serial fallback is also
         recorded on the result as :attr:`parallel_fallback_reason` and
         warned about once.
+
+        ``recorder`` (a :class:`~repro.obs.Recorder`; ``None`` means the
+        no-op :data:`~repro.obs.NULL_RECORDER`) wraps the build in a
+        ``matrix.build`` span with ``kernel.lower``/``kernel.fold``
+        children and absorbs per-worker profiles from parallel fan-outs.
         """
         if include_noindex and IndexOrganization.NONE not in organizations:
             organizations = tuple(EXTENDED_ORGANIZATIONS)
+        recorder = resolve_recorder(recorder)
         length = stats.length
         rows = [
             (start, end)
             for start in range(1, length + 1)
             for end in range(start, length + 1)
         ]
-        row_costs, fallback_reason = cls._compute_rows(
-            stats, load, tuple(organizations), rows, range_selectivity, workers,
-            kernel, retry_policy, degradation,
-        )
-        entries: dict[tuple[int, int], dict[IndexOrganization, float]] = {}
-        breakdowns: dict[tuple[int, int], dict[IndexOrganization, SubpathCost]] = {}
-        for coordinates, row_breakdown in row_costs.items():
-            entries[coordinates] = {
-                organization: cost.total
-                for organization, cost in row_breakdown.items()
-            }
-            breakdowns[coordinates] = row_breakdown
-        matrix = cls(length, organizations, entries, breakdowns)
+        recorder.counter("matrix.builds").add()
+        with recorder.span(
+            "matrix.build", length=length, rows=len(rows), kernel=kernel
+        ):
+            row_costs, fallback_reason = cls._compute_rows(
+                stats, load, tuple(organizations), rows, range_selectivity,
+                workers, kernel, retry_policy, degradation,
+                recorder=recorder,
+            )
+            entries: dict[tuple[int, int], dict[IndexOrganization, float]] = {}
+            breakdowns: dict[
+                tuple[int, int], dict[IndexOrganization, SubpathCost]
+            ] = {}
+            for coordinates, row_breakdown in row_costs.items():
+                entries[coordinates] = {
+                    organization: cost.total
+                    for organization, cost in row_breakdown.items()
+                }
+                breakdowns[coordinates] = row_breakdown
+            matrix = cls(length, organizations, entries, breakdowns)
         matrix._stats = stats
         matrix._load = load
         matrix._range_selectivity = range_selectivity
         matrix._kernel = kernel
         matrix.parallel_fallback_reason = fallback_reason
         if fallback_reason is not None:
+            recorder.counter("matrix.parallel_fallbacks").add()
             _warn_parallel_fallback(fallback_reason)
         return matrix
 
     @staticmethod
     def _resolve_kernel(
         kernel: str | None, row_count: int, degradation=None,
-        cached_arrays: bool = False,
+        cached_arrays: bool = False, recorder=NULL_RECORDER,
     ) -> str:
         """The evaluation engine for a batch: ``"columnar"`` or ``"legacy"``.
 
@@ -545,6 +619,10 @@ class CostMatrix:
             if row_count >= KERNEL_AUTO_MIN_ROWS or cached_arrays:
                 if columnar.is_available():
                     return "columnar"
+                recorder.counter(
+                    "resilience.degradations", layer="kernel",
+                    action="legacy_fallback",
+                ).add()
                 if degradation is not None:
                     degradation.record(
                         "kernel",
@@ -605,6 +683,7 @@ class CostMatrix:
         degradation=None,
         arrays=None,
         kernel_report: dict | None = None,
+        recorder=NULL_RECORDER,
     ) -> tuple[
         dict[tuple[int, int], dict[IndexOrganization, SubpathCost]],
         str | None,
@@ -626,9 +705,13 @@ class CostMatrix:
         batches). ``kernel_report``, when given, receives the resolved
         engine and how many rows it priced — the structured trace the
         :class:`RecomputeReport` kernel counters are built from.
+        ``recorder`` (already resolved; never ``None``) receives the
+        evaluation spans and, on parallel builds, the per-worker
+        profiles merged under ``tid`` 1..n in submission order.
         """
         resolved_kernel = cls._resolve_kernel(
-            kernel, len(rows), degradation, cached_arrays=arrays is not None
+            kernel, len(rows), degradation, cached_arrays=arrays is not None,
+            recorder=recorder,
         )
         resolved = cls._resolve_workers(workers, len(rows), resolved_kernel)
         if kernel_report is not None:
@@ -654,13 +737,28 @@ class CostMatrix:
                 # instead of each re-lowering its own copy.
                 from repro import kernel as columnar
 
-                arrays = columnar.lower(stats, load, range_selectivity)
-            batched, fallback_reason = cls._compute_rows_parallel(
-                stats, load, organizations, rows, range_selectivity, resolved,
-                resolved_kernel, retry_policy, arrays,
-            )
+                with recorder.span("kernel.lower", rows=len(rows)):
+                    arrays = columnar.lower(stats, load, range_selectivity)
+            with recorder.span(
+                "matrix.pool", workers=resolved, rows=len(rows)
+            ):
+                batched, profiles, attempts, fallback_reason = (
+                    cls._compute_rows_parallel(
+                        stats, load, organizations, rows, range_selectivity,
+                        resolved, resolved_kernel, retry_policy, arrays,
+                        record=recorder.enabled,
+                    )
+                )
+            if attempts > 1:
+                recorder.counter("matrix.pool.retries").add(attempts - 1)
             if batched is not None:
+                for index, profile in enumerate(profiles or ()):
+                    recorder.absorb(profile, tid=index + 1)
                 return batched, None
+            recorder.counter(
+                "resilience.degradations", layer="matrix",
+                action="serial_fallback",
+            ).add()
             if degradation is not None:
                 degradation.record(
                     "matrix",
@@ -671,7 +769,7 @@ class CostMatrix:
                 )
         rows_priced = _evaluate_rows(
             stats, load, organizations, rows, range_selectivity,
-            resolved_kernel, arrays=arrays,
+            resolved_kernel, arrays=arrays, recorder=recorder,
         )
         return rows_priced, fallback_reason
 
@@ -686,8 +784,11 @@ class CostMatrix:
         kernel: str = "legacy",
         retry_policy=None,
         arrays=None,
+        record: bool = False,
     ) -> tuple[
         dict[tuple[int, int], dict[IndexOrganization, SubpathCost]] | None,
+        list | None,
+        int,
         str | None,
     ]:
         """Fan row batches out over a process pool, retrying transients.
@@ -708,8 +809,10 @@ class CostMatrix:
         OS refusing to fork) are retried under ``retry_policy``
         (:data:`~repro.resilience.retry.DEFAULT_RETRY_POLICY` when
         ``None``) with exponential backoff; after the last attempt the
-        caller falls back to serial evaluation. Returns
-        ``(results, None)`` on success and ``(None, reason)`` on
+        caller falls back to serial evaluation. ``record`` asks each
+        worker to ship an observability profile back beside its rows.
+        Returns ``(results, profiles, attempts, reason)``: ``reason`` is
+        ``None`` on success, ``results``/``profiles`` are ``None`` on
         failure — the cause is *never* swallowed.
         """
         from concurrent.futures.process import BrokenProcessPool
@@ -725,7 +828,7 @@ class CostMatrix:
                 initargs=(
                     (
                         stats, load, organizations, range_selectivity,
-                        kernel, arrays,
+                        kernel, arrays, record,
                     ),
                 ),
             )
@@ -734,24 +837,28 @@ class CostMatrix:
             payloads = [
                 (
                     _compute_row_batch,
-                    (stats, load, organizations, batch, range_selectivity, kernel),
+                    (
+                        stats, load, organizations, batch, range_selectivity,
+                        kernel, record,
+                    ),
                 )
                 for batch in batches
             ]
         policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
-        results, attempts, error = run_with_retry(
+        outcome, attempts, error = run_with_retry(
             lambda: _run_pool_once(pool_options, payloads),
             (OSError, BrokenProcessPool, pickle.PicklingError),
             policy,
         )
         if error is None:
-            return results, None
+            results, profiles = outcome
+            return results, profiles, attempts, None
         reason = (
             f"{type(error).__name__}: {error}"
             if str(error)
             else type(error).__name__
         )
-        return None, f"{reason} (after {attempts} attempts)"
+        return None, None, attempts, f"{reason} (after {attempts} attempts)"
 
     @classmethod
     def from_values(
@@ -791,6 +898,7 @@ class CostMatrix:
         kernel: str | None = None,
         retry_policy=None,
         degradation=None,
+        recorder=None,
     ) -> "CostMatrix":
         """A new matrix under changed inputs, re-pricing only dirty rows.
 
@@ -856,6 +964,7 @@ class CostMatrix:
                 f"({self._stats.path}); build a fresh matrix for "
                 f"{new_stats.path}"
             )
+        recorder = resolve_recorder(recorder)
         classified = self._classify_dirty(new_stats, new_load)
         if classified is None:
             dirty_rows = self.rows()
@@ -869,23 +978,31 @@ class CostMatrix:
             mode = "incremental"
             reason = "statistics/load deltas"
         requested_kernel = kernel if kernel is not None else self._kernel
-        arrays, kernel_fallback = self._kernel_slice_arrays(
-            requested_kernel, new_stats, new_load, len(dirty_rows)
-        )
-        kernel_report: dict = {}
-        recomputed, fallback_reason = self._compute_rows(
-            new_stats,
-            new_load,
-            self.organizations,
-            dirty_rows,
-            self._range_selectivity,
-            workers,
-            requested_kernel,
-            retry_policy,
-            degradation,
-            arrays=arrays,
-            kernel_report=kernel_report,
-        )
+        with recorder.span(
+            "matrix.recompute",
+            mode=mode,
+            dirty=len(dirty_rows),
+            patched=len(patch_rows),
+        ):
+            arrays, kernel_fallback = self._kernel_slice_arrays(
+                requested_kernel, new_stats, new_load, len(dirty_rows),
+                recorder=recorder,
+            )
+            kernel_report: dict = {}
+            recomputed, fallback_reason = self._compute_rows(
+                new_stats,
+                new_load,
+                self.organizations,
+                dirty_rows,
+                self._range_selectivity,
+                workers,
+                requested_kernel,
+                retry_policy,
+                degradation,
+                arrays=arrays,
+                kernel_report=kernel_report,
+                recorder=recorder,
+            )
         kernel_slice_rows = int(kernel_report.get("kernel_rows", 0))
         if kernel_fallback is None and dirty_rows and kernel_slice_rows == 0:
             if kernel_report.get("kernel") == "columnar":
@@ -895,6 +1012,16 @@ class CostMatrix:
                 )
             else:
                 kernel_fallback = "legacy evaluator selected"
+        recorder.counter("matrix.recomputes").add()
+        recorder.counter("matrix.recompute.rows_repriced").add(len(dirty_rows))
+        recorder.counter("matrix.recompute.rows_patched").add(len(patch_rows))
+        recorder.counter("matrix.recompute.kernel_slice_rows").add(
+            kernel_slice_rows
+        )
+        if kernel_fallback is not None and dirty_rows:
+            recorder.counter(
+                "matrix.kernel_fallback", reason=kernel_fallback
+            ).add()
         report = RecomputeReport(
             mode=mode,
             reason=reason,
@@ -960,6 +1087,7 @@ class CostMatrix:
         matrix.recompute_report = report
         matrix.parallel_fallback_reason = fallback_reason
         if fallback_reason is not None:
+            recorder.counter("matrix.parallel_fallbacks").add()
             _warn_parallel_fallback(fallback_reason)
         return matrix
 
@@ -969,6 +1097,7 @@ class CostMatrix:
         new_stats: PathStatistics,
         new_load: LoadDistribution,
         dirty_count: int,
+        recorder=NULL_RECORDER,
     ) -> tuple[object | None, str | None]:
         """The lowering for a kernel dirty-slice, or why legacy runs.
 
@@ -1002,10 +1131,14 @@ class CostMatrix:
                 self._stats, self._load, self._range_selectivity
             )
             if base is not None:
+                recorder.counter("kernel.lowering_cache.hits").add()
                 if new_load is self._load:
                     arrays = base
                 else:
-                    arrays = columnar.patch_lowering(base, new_load)
+                    with recorder.span("kernel.patch_lowering"):
+                        arrays = columnar.patch_lowering(base, new_load)
+            else:
+                recorder.counter("kernel.lowering_cache.misses").add()
         if (
             arrays is None
             and requested_kernel == "auto"

@@ -63,6 +63,7 @@ from repro.core.configuration import IndexConfiguration, IndexedSubpath
 from repro.core.cost_matrix import CostMatrix
 from repro.costmodel.params import PathStatistics
 from repro.errors import OptimizerError
+from repro.obs.recorder import NULL_RECORDER, resolve_recorder
 from repro.organizations import CONFIGURABLE_ORGANIZATIONS, IndexOrganization
 from repro.search.greedy_beam import top_configurations
 from repro.search.partitions import configuration_count, enumerate_partitions
@@ -815,6 +816,7 @@ def optimize_multipath(
     joint_cache: dict | None = None,
     deadline=None,
     degradation=None,
+    recorder=None,
 ) -> MultiPathResult:
     """Jointly select configurations for several related paths.
 
@@ -908,7 +910,54 @@ def optimize_multipath(
         collecting structured records of every fallback — the deadline
         rungs here, plus any serial/kernel fallbacks inside the matrix
         constructions this call triggers.
+    recorder:
+        An optional :class:`~repro.obs.Recorder` collecting tracing
+        spans (``multipath.optimize`` > ``multipath.candidates`` /
+        ``multipath.joint``) and metrics (candidate-cache hits, joint
+        reuses) for this selection and the matrix builds it triggers.
     """
+    recorder = resolve_recorder(recorder)
+    with recorder.span("multipath.optimize") as span:
+        result = _optimize_multipath(
+            workloads,
+            per_row_organizations,
+            matrices,
+            organizations,
+            workers,
+            kernel,
+            beam_width,
+            budget_pages,
+            restarts,
+            seed,
+            sessions,
+            joint_cache,
+            deadline,
+            degradation,
+            recorder,
+        )
+        span.note(paths=len(result.configurations), exact=result.exact)
+    recorder.counter("multipath.optimizations").add()
+    return result
+
+
+def _optimize_multipath(
+    workloads,
+    per_row_organizations,
+    matrices,
+    organizations,
+    workers,
+    kernel,
+    beam_width,
+    budget_pages,
+    restarts,
+    seed,
+    sessions,
+    joint_cache,
+    deadline,
+    degradation,
+    recorder=NULL_RECORDER,
+) -> MultiPathResult:
+    """The selection pipeline behind :func:`optimize_multipath`."""
     if sessions is not None:
         if workloads is not None or matrices is not None:
             raise OptimizerError(
@@ -949,6 +998,7 @@ def optimize_multipath(
                 workers=workers,
                 kernel=kernel,
                 degradation=degradation,
+                recorder=recorder,
             )
             for w in workloads
         ]
@@ -967,35 +1017,46 @@ def optimize_multipath(
         matrices, per_row_organizations, beam_width, budget_pages
     )
     candidate_sets: list[list[_Candidate]] = []
-    for index, (workload, matrix, descriptor) in enumerate(
-        zip(workloads, matrices, descriptors)
-    ):
-        session = sessions[index] if sessions is not None else None
-        if session is not None:
-            cached = session.candidate_cache.get(descriptor)
-            if cached is not None and cached[0] == session.version:
-                candidate_sets.append(cached[1])
+    with recorder.span("multipath.candidates", paths=len(workloads)):
+        for index, (workload, matrix, descriptor) in enumerate(
+            zip(workloads, matrices, descriptors)
+        ):
+            session = sessions[index] if sessions is not None else None
+            if session is not None:
+                cached = session.candidate_cache.get(descriptor)
+                if cached is not None and cached[0] == session.version:
+                    recorder.counter("multipath.candidate_cache_hits").add()
+                    candidate_sets.append(cached[1])
+                    continue
+            if deadline is not None and deadline.expired:
+                # Out of time before this path's candidates were
+                # generated: a width-1 beam (its single locally cheapest
+                # configuration) keeps the joint stage answerable in
+                # O(path length) — and the degraded set is never stored
+                # in the session cache.
+                fallback = (
+                    ("budget_beam", 1)
+                    if budget_pages is not None
+                    else ("beam", per_row_organizations, 1)
+                )
+                degrade("candidates_beam1", path=index)
+                recorder.counter(
+                    "resilience.degradations",
+                    layer="multipath",
+                    action="candidates_beam1",
+                ).add()
+                generation_exact = False
+                candidate_sets.append(
+                    _generate_candidates(workload, matrix, fallback)
+                )
                 continue
-        if deadline is not None and deadline.expired:
-            # Out of time before this path's candidates were generated:
-            # a width-1 beam (its single locally cheapest configuration)
-            # keeps the joint stage answerable in O(path length) — and
-            # the degraded set is never stored in the session cache.
-            fallback = (
-                ("budget_beam", 1)
-                if budget_pages is not None
-                else ("beam", per_row_organizations, 1)
-            )
-            degrade("candidates_beam1", path=index)
-            generation_exact = False
-            candidate_sets.append(
-                _generate_candidates(workload, matrix, fallback)
-            )
-            continue
-        candidates = _generate_candidates(workload, matrix, descriptor)
-        if session is not None:
-            session.candidate_cache[descriptor] = (session.version, candidates)
-        candidate_sets.append(candidates)
+            candidates = _generate_candidates(workload, matrix, descriptor)
+            if session is not None:
+                session.candidate_cache[descriptor] = (
+                    session.version,
+                    candidates,
+                )
+            candidate_sets.append(candidates)
 
     independent = 0.0
     for candidates in candidate_sets:
@@ -1011,6 +1072,11 @@ def optimize_multipath(
                 for candidates in candidate_sets
             ]
             degrade("joint_independent")
+            recorder.counter(
+                "resilience.degradations",
+                layer="multipath",
+                action="joint_independent",
+            ).add()
             cost, savings = _joint_cost(tuple(selection))
             return MultiPathResult(
                 configurations=[c.configuration for c in selection],
@@ -1031,6 +1097,7 @@ def optimize_multipath(
                 joint_cache, cache_key, candidate_sets
             )
             if reused is not None:
+                recorder.counter("multipath.joint_reuses").add()
                 cost, savings = _joint_cost(tuple(reused))
                 return MultiPathResult(
                     configurations=[c.configuration for c in reused],
@@ -1040,9 +1107,12 @@ def optimize_multipath(
                     exact=False,
                     storage_pages=_joint_storage(tuple(reused)),
                 )
-        selection, product_exact = _select_unconstrained(
-            candidate_sets, restarts, seed
-        )
+        with recorder.span(
+            "multipath.joint", combinations=combinations, budgeted=False
+        ):
+            selection, product_exact = _select_unconstrained(
+                candidate_sets, restarts, seed
+            )
         if joint_cache is not None and descent_regime and not degradations:
             joint_cache["entry"] = (
                 cache_key,
@@ -1063,27 +1133,37 @@ def optimize_multipath(
     for candidates in candidate_sets:
         combinations *= len(candidates)
     expired = deadline is not None and deadline.expired
-    if combinations <= _EXACT_LIMIT and not expired:
-        selection, unconstrained = _select_budgeted_exact(
-            candidate_sets, budget_pages
-        )
-        budget_exact = True
-    else:
-        if expired:
-            # Feasibility cannot be skipped under a budget, so the sweep
-            # still runs — but seeded with the independent optima instead
-            # of the multi-start coordinate descent.
-            unconstrained = [
-                min(candidates, key=lambda candidate: candidate.total)
-                for candidates in candidate_sets
-            ]
-            degrade("budget_sweep_seeded")
-        else:
-            unconstrained, _ = _select_unconstrained(
-                candidate_sets, restarts, seed
+    with recorder.span(
+        "multipath.joint", combinations=combinations, budgeted=True
+    ):
+        if combinations <= _EXACT_LIMIT and not expired:
+            selection, unconstrained = _select_budgeted_exact(
+                candidate_sets, budget_pages
             )
-        selection = _budget_sweep(candidate_sets, budget_pages, unconstrained)
-        budget_exact = False
+            budget_exact = True
+        else:
+            if expired:
+                # Feasibility cannot be skipped under a budget, so the
+                # sweep still runs — but seeded with the independent
+                # optima instead of the multi-start coordinate descent.
+                unconstrained = [
+                    min(candidates, key=lambda candidate: candidate.total)
+                    for candidates in candidate_sets
+                ]
+                degrade("budget_sweep_seeded")
+                recorder.counter(
+                    "resilience.degradations",
+                    layer="multipath",
+                    action="budget_sweep_seeded",
+                ).add()
+            else:
+                unconstrained, _ = _select_unconstrained(
+                    candidate_sets, restarts, seed
+                )
+            selection = _budget_sweep(
+                candidate_sets, budget_pages, unconstrained
+            )
+            budget_exact = False
     cost, savings = _joint_cost(tuple(selection))
     return MultiPathResult(
         configurations=[c.configuration for c in selection],

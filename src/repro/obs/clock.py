@@ -1,0 +1,24 @@
+"""The injectable timing seam: the single blessed ``perf_counter`` site.
+
+Every span duration in :mod:`repro.obs` comes from a ``clock`` — any
+zero-argument callable returning monotonically non-decreasing seconds.
+Production recorders default to :func:`default_clock` (the only place in
+``src/repro`` allowed to call :func:`time.perf_counter`; the guard in
+``tools/check_docs.py`` enforces that), while deterministic tests inject
+:class:`repro.resilience.FakeClock`, whose ``advance()`` steps virtual
+time by exact amounts so two identical runs export byte-identical
+profiles.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: Signature every recorder clock must satisfy.
+Clock = Callable[[], float]
+
+
+def default_clock() -> float:
+    """Monotonic seconds for span timing (the one sanctioned call site)."""
+    return time.perf_counter()

@@ -128,13 +128,17 @@ def whatif_table(
 
     One row per :class:`~repro.whatif.WhatIfStep`: the perturbation, how
     much matrix work the step needed (rows re-priced + rows CMD-patched,
-    or ``full`` on a fallback rebuild), the resulting optimal cost and
-    its delta, and the selected configuration — printed only when it
-    changed from the previous step, so drifting-workload reports surface
-    the re-indexing points at a glance.
+    or ``full`` on a fallback rebuild — with ``kN`` marking the ``N``
+    rows the columnar kernel re-priced as one dirty slice and ``!`` a
+    step whose kernel slice fell back to the legacy evaluator), the
+    resulting optimal cost and its delta, and the selected configuration
+    — printed only when it changed from the previous step, so
+    drifting-workload reports surface the re-indexing points at a
+    glance.
     """
     rows: list[list[object]] = []
     previous_cost: float | None = None
+    fallback_reasons: set[str] = set()
     for step in steps:
         if step.report is None:
             work = "-"
@@ -146,6 +150,11 @@ def whatif_table(
                 f"+{len(step.report.patched_rows)}p"
                 f"/{step.report.total_rows}"
             )
+            if step.report.kernel_slice_rows:
+                work += f" k{step.report.kernel_slice_rows}"
+            if step.report.kernel_fallback_reason is not None:
+                work += "!"
+                fallback_reasons.add(step.report.kernel_fallback_reason)
         delta = "" if previous_cost is None else f"{step.cost - previous_cost:+.2f}"
         configuration = (
             step.result.configuration.render(path)
@@ -156,11 +165,16 @@ def whatif_table(
             [step.description, work, f"{step.cost:.2f}", delta, configuration]
         )
         previous_cost = step.cost
-    return ascii_table(
+    table = ascii_table(
         ["step", "dirty rows", "cost", "delta", "configuration"],
         rows,
         title=title,
     )
+    if fallback_reasons:
+        table += "\n! kernel slice fell back to the legacy evaluator: " + (
+            ", ".join(sorted(fallback_reasons))
+        )
+    return table
 
 
 def replay_table(

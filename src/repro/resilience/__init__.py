@@ -45,6 +45,7 @@ __all__ = [
     "DegradationEvent",
     "DegradationReport",
     "DEFAULT_RETRY_POLICY",
+    "FakeClock",
     "FaultInjector",
     "ResilienceError",
     "RetryPolicy",
@@ -71,6 +72,7 @@ _LAZY = {
     "save_multipath": ("repro.resilience.checkpoint", "save_multipath"),
     "restore_multipath": ("repro.resilience.checkpoint", "restore_multipath"),
     "FaultInjector": ("repro.resilience.faults", "FaultInjector"),
+    "FakeClock": ("repro.resilience.faults", "FakeClock"),
 }
 
 

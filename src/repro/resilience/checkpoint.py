@@ -569,6 +569,14 @@ def restore_advisor(
     advisor.degradation = report
     advisor._deadline_clock = time.monotonic
     advisor.session = session
+    # The recorder travels through session_options into the restored
+    # session; the advisor shares it (and re-resolves its hot-path
+    # counters) exactly as __init__ would.
+    advisor.recorder = session.recorder
+    advisor._events_counter = advisor.recorder.counter("replay.events")
+    advisor._windows_counter = advisor.recorder.counter("replay.windows")
+    advisor._held_counter = advisor.recorder.counter("replay.windows_held")
+    advisor._readvises_counter = advisor.recorder.counter("replay.readvises")
     advisor.aggregator = aggregator
     advisor.detector = detector
     advisor.steps = steps

@@ -51,30 +51,46 @@ def degraded_search(
     keep_trace: bool = False,
     layer: str = "session",
     reason: str = "deadline_expired",
+    recorder=None,
 ) -> SearchResult:
     """Answer from the cheapest rung that fits the remaining budget.
 
     Called after the exact rung already raised
     :class:`~repro.errors.DeadlineExceeded`. Always returns a result.
+    The winning rung also lands on the ``resilience.degradations``
+    counter of ``recorder`` (a :class:`~repro.obs.Recorder`), labeled by
+    layer and rung.
     """
+    from repro.obs.recorder import resolve_recorder
+
+    recorder = resolve_recorder(recorder)
+
+    def count_rung(rung: str) -> None:
+        recorder.counter(
+            "resilience.degradations", layer=layer, action=rung
+        ).add()
+
     for width in BEAM_LADDER:
         if deadline.expired:
             break
         try:
             result = GreedyBeamStrategy(width=width).search(
-                matrix, keep_trace=keep_trace, deadline=deadline
+                matrix, keep_trace=keep_trace, deadline=deadline,
+                recorder=recorder,
             )
         except DeadlineExceeded:
             continue
         rung = f"greedy_beam:{width}"
         result.extras["rung"] = rung
         result.extras["degraded"] = True
+        count_rung(rung)
         if degradation is not None:
             degradation.record(layer, "greedy_beam", reason, width=width)
         return result
 
     if last_known_good is not None:
         cost = reprice_configuration(matrix, last_known_good.configuration)
+        count_rung(LAST_KNOWN_GOOD)
         if degradation is not None:
             degradation.record(layer, LAST_KNOWN_GOOD, reason)
         return SearchResult(
@@ -90,9 +106,12 @@ def degraded_search(
     # No previous answer to fall back on: the bottom rung must run to
     # completion even though the budget is spent. Width 1 is the
     # cheapest complete sweep the registry offers.
-    result = GreedyBeamStrategy(width=1).search(matrix, keep_trace=keep_trace)
+    result = GreedyBeamStrategy(width=1).search(
+        matrix, keep_trace=keep_trace, recorder=recorder
+    )
     result.extras["rung"] = "greedy_beam:1:overrun"
     result.extras["degraded"] = True
+    count_rung("greedy_beam:1:overrun")
     if degradation is not None:
         degradation.record(
             layer, "greedy_beam_overrun", reason, width=1

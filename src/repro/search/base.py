@@ -17,6 +17,7 @@ from repro.core.configuration import IndexConfiguration
 from repro.core.cost_matrix import CostMatrix
 from repro.errors import OptimizerError
 from repro.model.path import Path
+from repro.obs.recorder import resolve_recorder  # noqa: F401  (re-export)
 
 
 @dataclass
@@ -71,6 +72,10 @@ class SearchStrategy(Protocol):
     (once per position / frontier level / node), raising
     :class:`~repro.errors.DeadlineExceeded` when the budget is spent so
     the degradation ladder above can answer from a cheaper rung.
+    ``recorder`` (a :class:`~repro.obs.Recorder`; ``None`` means the
+    no-op default) wraps the run in a ``search.<name>`` span and folds
+    the evaluated/pruned work counters into the metrics registry —
+    every registered strategy accepts it.
     """
 
     name: str
@@ -82,9 +87,34 @@ class SearchStrategy(Protocol):
         *,
         keep_trace: bool = False,
         deadline=None,
+        recorder=None,
     ) -> SearchResult:
         """Select a configuration from ``matrix``."""
         ...
+
+
+def record_search(recorder, result: SearchResult) -> SearchResult:
+    """Fold a finished :class:`SearchResult` into ``recorder``'s metrics.
+
+    One ``search.searches`` tick plus the strategy's own work measure
+    (``search.evaluated``/``search.pruned``, and
+    ``search.rows_inspected`` for the dynamic programs), all labeled by
+    strategy name. Returns the result unchanged so strategies can
+    ``return record_search(recorder, result)``.
+    """
+    if recorder.enabled:
+        strategy = result.strategy
+        recorder.counter("search.searches", strategy=strategy).add()
+        recorder.counter("search.evaluated", strategy=strategy).add(
+            result.evaluated
+        )
+        recorder.counter("search.pruned", strategy=strategy).add(result.pruned)
+        rows = result.extras.get("rows_inspected")
+        if rows is not None:
+            recorder.counter("search.rows_inspected", strategy=strategy).add(
+                rows
+            )
+    return result
 
 
 def position_cost_bounds(matrix: CostMatrix) -> tuple[list[float], list[float]]:

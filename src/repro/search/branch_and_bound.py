@@ -17,7 +17,9 @@ from repro.core.cost_matrix import CostMatrix
 from repro.search.base import (
     SearchResult,
     position_cost_bounds,
+    record_search,
     register_strategy,
+    resolve_recorder,
 )
 from repro.search.partitions import enumerate_first_pieces
 
@@ -30,6 +32,20 @@ class BranchAndBoundStrategy:
     exact = True
 
     def search(
+        self,
+        matrix: CostMatrix,
+        *,
+        keep_trace: bool = False,
+        deadline=None,
+        recorder=None,
+    ) -> SearchResult:
+        recorder = resolve_recorder(recorder)
+        with recorder.span(f"search.{self.name}", length=matrix.length) as span:
+            result = self._search(matrix, keep_trace=keep_trace, deadline=deadline)
+            span.note(evaluated=result.evaluated, pruned=result.pruned)
+        return record_search(recorder, result)
+
+    def _search(
         self, matrix: CostMatrix, *, keep_trace: bool = False, deadline=None
     ) -> SearchResult:
         length = matrix.length

@@ -29,7 +29,12 @@ from __future__ import annotations
 
 from repro.core.configuration import IndexConfiguration, IndexedSubpath
 from repro.core.cost_matrix import CostMatrix
-from repro.search.base import SearchResult, register_strategy
+from repro.search.base import (
+    SearchResult,
+    record_search,
+    register_strategy,
+    resolve_recorder,
+)
 
 
 def _relax_position(
@@ -107,6 +112,20 @@ class DynamicProgramStrategy:
     exact = True
 
     def search(
+        self,
+        matrix: CostMatrix,
+        *,
+        keep_trace: bool = False,
+        deadline=None,
+        recorder=None,
+    ) -> SearchResult:
+        recorder = resolve_recorder(recorder)
+        with recorder.span(f"search.{self.name}", length=matrix.length) as span:
+            result = self._search(matrix, keep_trace=keep_trace, deadline=deadline)
+            span.note(rows_inspected=result.extras["rows_inspected"])
+        return record_search(recorder, result)
+
+    def _search(
         self, matrix: CostMatrix, *, keep_trace: bool = False, deadline=None
     ) -> SearchResult:
         best, choice, rows, trace = _fill_tables(matrix, keep_trace, deadline)
@@ -156,6 +175,22 @@ class IncrementalDynamicProgramStrategy:
         self._choice: list[int] | None = None
 
     def search(
+        self,
+        matrix: CostMatrix,
+        *,
+        keep_trace: bool = False,
+        deadline=None,
+        recorder=None,
+    ) -> SearchResult:
+        recorder = resolve_recorder(recorder)
+        with recorder.span(f"search.{self.name}", length=matrix.length) as span:
+            result = self._fresh_search(
+                matrix, keep_trace=keep_trace, deadline=deadline
+            )
+            span.note(rows_inspected=result.extras["rows_inspected"])
+        return record_search(recorder, result)
+
+    def _fresh_search(
         self, matrix: CostMatrix, *, keep_trace: bool = False, deadline=None
     ) -> SearchResult:
         best, choice, rows, trace = _fill_tables(matrix, keep_trace, deadline)
@@ -173,6 +208,7 @@ class IncrementalDynamicProgramStrategy:
         *,
         keep_trace: bool = False,
         deadline=None,
+        recorder=None,
     ) -> SearchResult:
         """Re-solve against ``matrix`` given the rows that changed.
 
@@ -191,12 +227,36 @@ class IncrementalDynamicProgramStrategy:
         the caller's dirty set still pending — a later unbounded call
         recovers exactness.
         """
+        recorder = resolve_recorder(recorder)
         if (
             self._best is None
             or self._choice is None
             or self._length != matrix.length
         ):
-            return self.search(matrix, keep_trace=keep_trace, deadline=deadline)
+            return self.search(
+                matrix, keep_trace=keep_trace, deadline=deadline,
+                recorder=recorder,
+            )
+        with recorder.span(
+            f"search.{self.name}.refine",
+            length=matrix.length,
+            dirty=len(set(dirty_rows)),
+        ) as span:
+            result = self._refine_tables(
+                matrix, dirty_rows, keep_trace=keep_trace, deadline=deadline
+            )
+            span.note(rows_inspected=result.extras["rows_inspected"])
+        return record_search(recorder, result)
+
+    def _refine_tables(
+        self,
+        matrix: CostMatrix,
+        dirty_rows,
+        *,
+        keep_trace: bool = False,
+        deadline=None,
+    ) -> SearchResult:
+        """The table-reusing descent behind :meth:`refine`."""
         dirty_starts = {start for start, _end in dirty_rows}
         best = list(self._best)
         choice = list(self._choice)

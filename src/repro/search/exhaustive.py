@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from repro.core.configuration import IndexConfiguration, IndexedSubpath
 from repro.core.cost_matrix import CostMatrix
-from repro.search.base import SearchResult, register_strategy
+from repro.search.base import (
+    SearchResult,
+    record_search,
+    register_strategy,
+    resolve_recorder,
+)
 from repro.search.partitions import enumerate_partitions
 
 
@@ -25,6 +30,20 @@ class ExhaustiveStrategy:
         self.keep_all = keep_all
 
     def search(
+        self,
+        matrix: CostMatrix,
+        *,
+        keep_trace: bool = False,
+        deadline=None,
+        recorder=None,
+    ) -> SearchResult:
+        recorder = resolve_recorder(recorder)
+        with recorder.span(f"search.{self.name}", length=matrix.length) as span:
+            result = self._search(matrix, keep_trace=keep_trace, deadline=deadline)
+            span.note(evaluated=result.evaluated)
+        return record_search(recorder, result)
+
+    def _search(
         self, matrix: CostMatrix, *, keep_trace: bool = False, deadline=None
     ) -> SearchResult:
         best_cost = float("inf")

@@ -31,7 +31,9 @@ from repro.errors import OptimizerError
 from repro.search.base import (
     SearchResult,
     position_cost_bounds,
+    record_search,
     register_strategy,
+    resolve_recorder,
 )
 
 #: Default number of partial partitions kept per expansion level.
@@ -106,6 +108,22 @@ class GreedyBeamStrategy:
         self.width = width
 
     def search(
+        self,
+        matrix: CostMatrix,
+        *,
+        keep_trace: bool = False,
+        deadline=None,
+        recorder=None,
+    ) -> SearchResult:
+        recorder = resolve_recorder(recorder)
+        with recorder.span(
+            f"search.{self.name}", length=matrix.length, width=self.width
+        ) as span:
+            result = self._search(matrix, keep_trace=keep_trace, deadline=deadline)
+            span.note(evaluated=result.evaluated, pruned=result.pruned)
+        return record_search(recorder, result)
+
+    def _search(
         self, matrix: CostMatrix, *, keep_trace: bool = False, deadline=None
     ) -> SearchResult:
         length = matrix.length

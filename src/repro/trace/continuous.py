@@ -31,6 +31,7 @@ from repro.core.configuration import IndexConfiguration, IndexedSubpath
 from repro.core.cost_matrix import RecomputeReport
 from repro.costmodel.params import PathStatistics
 from repro.errors import TraceError
+from repro.obs.recorder import resolve_recorder
 from repro.organizations import IndexOrganization
 from repro.resilience import Deadline, DegradationReport
 from repro.search import SearchResult
@@ -225,6 +226,13 @@ class ContinuousAdvisor:
         (deadline rungs, serial matrix fallbacks, kernel downgrades)
         lands in it. One is created when omitted; read it at
         ``advisor.degradation``.
+    recorder:
+        An optional :class:`~repro.obs.Recorder` shared with the
+        session: stream counters (``replay.events``, ``replay.windows``,
+        ``replay.windows_held``, ``replay.readvises``, per-rung
+        ``replay.rung``) plus the session's spans land in one profile.
+        The hot push path pays one pre-resolved counter ``add`` per
+        event; with the default ``None`` that is a no-op call.
     session_options:
         Forwarded to :class:`~repro.whatif.AdvisorSession` (``strategy``,
         ``organizations``, ``include_noindex``, ``workers``,
@@ -246,6 +254,7 @@ class ContinuousAdvisor:
         hysteresis: int = 2,
         deadline_ms: float | None = None,
         degradation: DegradationReport | None = None,
+        recorder=None,
         **session_options,
     ) -> None:
         self.deadline_ms = deadline_ms
@@ -254,11 +263,24 @@ class ContinuousAdvisor:
         self.degradation = (
             degradation if degradation is not None else DegradationReport()
         )
+        #: Tracing spans and metrics, shared with the session.
+        self.recorder = resolve_recorder(recorder)
+        # Counters on the per-event hot path are resolved once here, so
+        # push() pays one bound-method call per event instead of a
+        # registry lookup (a no-op singleton when recording is off).
+        self._events_counter = self.recorder.counter("replay.events")
+        self._windows_counter = self.recorder.counter("replay.windows")
+        self._held_counter = self.recorder.counter("replay.windows_held")
+        self._readvises_counter = self.recorder.counter("replay.readvises")
         #: The clock deadlines are measured against; tests and the fault
         #: harness substitute a fake to force deterministic expiry.
         self._deadline_clock = time.monotonic
         self.session = AdvisorSession(
-            stats, load, degradation=self.degradation, **session_options
+            stats,
+            load,
+            degradation=self.degradation,
+            recorder=self.recorder,
+            **session_options,
         )
         self.aggregator = WindowAggregator(
             stats,
@@ -311,9 +333,11 @@ class ContinuousAdvisor:
     # ------------------------------------------------------------------
     def push(self, event: TraceEvent) -> ReplayStep | None:
         """Consume one event; returns a step when it caused a re-advise."""
+        self._events_counter.add()
         snapshot = self.aggregator.push(event)
         if snapshot is None:
             return None
+        self._windows_counter.add()
         decision = self.detector.observe(
             snapshot.load,
             snapshot.stats if self.aggregator.track_statistics else None,
@@ -326,6 +350,7 @@ class ContinuousAdvisor:
         )
         if not decision.fired:
             self.windows_held += 1
+            self._held_counter.add()
             return None
         return self._readvise(snapshot.index, decision, forced=False)
 
@@ -382,8 +407,11 @@ class ContinuousAdvisor:
             return None
         batch = self._pending
         self._pending = []
-        report = self.session.apply_many(batch)
-        result = self._advise()
+        with self.recorder.span(
+            "replay.readvise", batch=len(batch), forced=forced
+        ):
+            report = self.session.apply_many(batch)
+            result = self._advise()
         previous = self.steps[-1].result.configuration
         step = ReplayStep(
             index=len(self.steps),
@@ -397,6 +425,9 @@ class ContinuousAdvisor:
             forced=forced,
             rung=result.extras.get("rung", "exact"),
         )
+        self._readvises_counter.add()
+        if step.rung != "exact":
+            self.recorder.counter("replay.rung", rung=step.rung).add()
         self.steps.append(step)
         return step
 

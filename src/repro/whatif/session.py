@@ -33,6 +33,7 @@ from repro.core.cost_matrix import CostMatrix, RecomputeReport
 from repro.core.multipath import MultiPathResult, PathWorkload, optimize_multipath
 from repro.costmodel.params import PathStatistics
 from repro.errors import DeadlineExceeded, OptimizerError
+from repro.obs.recorder import resolve_recorder
 from repro.organizations import CONFIGURABLE_ORGANIZATIONS, IndexOrganization
 from repro.resilience.degradation import DegradationReport
 from repro.resilience.degrade import degraded_search
@@ -108,6 +109,7 @@ class AdvisorSession:
         kernel: str = "auto",
         degradation: DegradationReport | None = None,
         retry_policy=None,
+        recorder=None,
         **strategy_options,
     ) -> None:
         # Resolve the strategy first: a bad name or option must fail
@@ -125,6 +127,10 @@ class AdvisorSession:
             degradation if degradation is not None else DegradationReport()
         )
         self._retry_policy = retry_policy
+        #: Tracing spans and metrics for every session operation; a
+        #: :class:`~repro.obs.Recorder` shared across sessions profiles
+        #: them into one timeline (ContinuousAdvisor does).
+        self.recorder = resolve_recorder(recorder)
         self.matrix = CostMatrix.compute(
             stats,
             load,
@@ -135,6 +141,7 @@ class AdvisorSession:
             kernel=kernel,
             retry_policy=retry_policy,
             degradation=self.degradation,
+            recorder=self.recorder,
         )
         #: Monotone counter of applies that touched matrix rows.
         self.version = 0
@@ -170,13 +177,16 @@ class AdvisorSession:
             raise OptimizerError(
                 "apply requires new statistics, a new load, or both"
             )
-        self.matrix = self.matrix.recompute(
-            stats=stats,
-            load=load,
-            workers=self._workers if workers is None else workers,
-            retry_policy=self._retry_policy,
-            degradation=self.degradation,
-        )
+        with self.recorder.span("session.apply"):
+            self.matrix = self.matrix.recompute(
+                stats=stats,
+                load=load,
+                workers=self._workers if workers is None else workers,
+                retry_policy=self._retry_policy,
+                degradation=self.degradation,
+                recorder=self.recorder,
+            )
+        self.recorder.counter("whatif.applied_steps").add()
         report = self.matrix.recompute_report
         if stats is not None:
             self.stats = stats
@@ -222,15 +232,17 @@ class AdvisorSession:
             raise OptimizerError(
                 "apply_many requires at least one perturbation"
             )
-        stats, load = self.stats, self.load
-        for perturbation in items:
-            stats, load = perturbation.apply(stats, load)
-        self.batched_steps += 1
-        return self.apply(
-            stats=None if stats is self.stats else stats,
-            load=None if load is self.load else load,
-            workers=workers,
-        )
+        with self.recorder.span("session.apply_many", batch=len(items)):
+            stats, load = self.stats, self.load
+            for perturbation in items:
+                stats, load = perturbation.apply(stats, load)
+            self.batched_steps += 1
+            self.recorder.counter("whatif.batched_steps").add()
+            return self.apply(
+                stats=None if stats is self.stats else stats,
+                load=None if load is self.load else load,
+                workers=workers,
+            )
 
     # ------------------------------------------------------------------
     # answering
@@ -262,58 +274,71 @@ class AdvisorSession:
         search_options: dict = {"keep_trace": keep_trace}
         if deadline is not None:
             search_options["deadline"] = deadline
-        if (
-            self._result is not None
-            and not self._pending
-            and not self._pending_full
+        if self.recorder.enabled:
+            # Only forwarded when recording: third-party strategies
+            # registered before this keyword existed keep working.
+            search_options["recorder"] = self.recorder
+        with self.recorder.span(
+            "session.advise", dirty=len(self._pending)
         ):
-            if keep_trace and not self._result.trace:
-                # The cached answer was produced without a trace; honor
-                # the request with a full (trace-keeping) search.
-                try:
-                    self._result = self._searcher.search(
-                        self.matrix, **search_options
-                    )
-                except DeadlineExceeded as error:
-                    self.degradation.record(
-                        "session",
-                        "trace_search_abandoned",
-                        "deadline_expired",
-                        strategy=self.strategy,
-                        message=str(error),
-                    )
-            return self._result
-        try:
             if (
                 self._result is not None
+                and not self._pending
                 and not self._pending_full
-                and hasattr(self._searcher, "refine")
             ):
-                result = self._searcher.refine(
-                    self.matrix, frozenset(self._pending), **search_options
+                if keep_trace and not self._result.trace:
+                    # The cached answer was produced without a trace;
+                    # honor the request with a full (trace-keeping)
+                    # search.
+                    try:
+                        self._result = self._searcher.search(
+                            self.matrix, **search_options
+                        )
+                    except DeadlineExceeded as error:
+                        self.degradation.record(
+                            "session",
+                            "trace_search_abandoned",
+                            "deadline_expired",
+                            strategy=self.strategy,
+                            message=str(error),
+                        )
+                else:
+                    self.recorder.counter("whatif.advise_cache_hits").add()
+                return self._result
+            try:
+                if (
+                    self._result is not None
+                    and not self._pending_full
+                    and hasattr(self._searcher, "refine")
+                ):
+                    result = self._searcher.refine(
+                        self.matrix, frozenset(self._pending), **search_options
+                    )
+                else:
+                    result = self._searcher.search(
+                        self.matrix, **search_options
+                    )
+            except DeadlineExceeded as error:
+                self.degradation.record(
+                    "session",
+                    "exact_abandoned",
+                    "deadline_expired",
+                    strategy=self.strategy,
+                    message=str(error),
                 )
-            else:
-                result = self._searcher.search(self.matrix, **search_options)
-        except DeadlineExceeded as error:
-            self.degradation.record(
-                "session",
-                "exact_abandoned",
-                "deadline_expired",
-                strategy=self.strategy,
-                message=str(error),
-            )
-            return degraded_search(
-                self.matrix,
-                deadline=deadline,
-                last_known_good=self._result,
-                degradation=self.degradation,
-                keep_trace=keep_trace,
-                layer="session",
-            )
-        self._pending.clear()
-        self._pending_full = False
-        self._result = result
-        return result
+                return degraded_search(
+                    self.matrix,
+                    deadline=deadline,
+                    last_known_good=self._result,
+                    degradation=self.degradation,
+                    keep_trace=keep_trace,
+                    layer="session",
+                    recorder=self.recorder,
+                )
+            self._pending.clear()
+            self._pending_full = False
+            self._result = result
+            return result
 
     def run(self, perturbations: list[Perturbation]) -> list[WhatIfStep]:
         """Drive a perturbation sequence, one :class:`WhatIfStep` each.
@@ -353,10 +378,16 @@ class MultiPathSession:
     re-running joint selection at all.
     """
 
-    def __init__(self, sessions: list[AdvisorSession]) -> None:
+    def __init__(
+        self, sessions: list[AdvisorSession], *, recorder=None
+    ) -> None:
         if not sessions:
             raise OptimizerError("at least one session is required")
         self.sessions = list(sessions)
+        #: Tracing spans and metrics for the joint layer; per-path work
+        #: is recorded by each session's own recorder (pass the same
+        #: instance everywhere for one merged timeline).
+        self.recorder = resolve_recorder(recorder)
         self._last: tuple[tuple, tuple[int, ...], MultiPathResult] | None = None
         # Joint-selection reuse state shared with optimize_multipath: the
         # last descent-regime selection plus the "reuses" counter that
@@ -367,12 +398,17 @@ class MultiPathSession:
     def from_workloads(
         cls, workloads: list[PathWorkload], **session_options
     ) -> "MultiPathSession":
-        """Build one session per :class:`PathWorkload`."""
+        """Build one session per :class:`PathWorkload`.
+
+        A ``recorder`` among the options is shared: every path session
+        and the joint layer record into the same timeline.
+        """
         return cls(
             [
                 AdvisorSession(workload.stats, workload.load, **session_options)
                 for workload in workloads
-            ]
+            ],
+            recorder=session_options.get("recorder"),
         )
 
     def apply(
@@ -442,9 +478,13 @@ class MultiPathSession:
         if not bounded and self._last is not None:
             last_key, last_versions, last_result = self._last
             if last_key == key and last_versions == versions:
+                self.recorder.counter("whatif.optimize_cache_hits").add()
                 return last_result
         result = optimize_multipath(
-            sessions=self.sessions, joint_cache=self._joint_cache, **options
+            sessions=self.sessions,
+            joint_cache=self._joint_cache,
+            recorder=self.recorder,
+            **options,
         )
         if not bounded:
             self._last = (key, versions, result)

@@ -1,0 +1,268 @@
+"""End-to-end observability: the recorder threaded through the pipeline.
+
+What PR 10 promises and these tests pin:
+
+* ``advise`` under a :class:`~repro.obs.Recorder` produces the span tree
+  the taxonomy in ``docs/OBSERVABILITY.md`` documents — ``advise`` at
+  the root, the matrix build and every search nested inside it — and
+  the core counters;
+* worker-parallel matrix builds merge worker profiles into the parent:
+  worker spans land on their own ``tid`` lanes and the merged
+  ``matrix.rows_priced`` total equals the serial build's;
+* the what-if session, multipath optimizer, continuous advisor and the
+  ground-truth backend all record under their documented names;
+* the CLI ``--profile`` flag writes a file that
+  ``tools/check_trace.py`` validates (the same gate the ``obs`` CI job
+  runs), and two ``FakeClock``-driven runs export byte for byte.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.advisor import advise
+from repro.core.cost_matrix import CostMatrix
+from repro.core.multipath import PathWorkload, optimize_multipath
+from repro.costmodel.params import ClassStats, PathStatistics
+from repro.io import spec_to_dict
+from repro.obs import Recorder, dumps_profile, profile_document
+from repro.paper import figure7_load, figure7_statistics
+from repro.resilience import FakeClock
+from repro.synth import LevelSpec, linear_path_schema, populate_path_database
+from repro.trace import ContinuousAdvisor, generate_trace
+from repro.whatif import AdvisorSession, Perturbation
+from repro.workload.load import LoadDistribution
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_trace", ROOT / "tools" / "check_trace.py"
+)
+check_trace = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_trace)
+
+
+def make_world(length=5, objects=40_000):
+    levels = [
+        LevelSpec(f"L{i}", subclasses=(0, 1, 0, 2, 0)[i % 5])
+        for i in range(length)
+    ]
+    _schema, path = linear_path_schema(levels)
+    per_class = {}
+    count = objects
+    for position in range(1, length + 1):
+        for member in path.hierarchy_at(position):
+            per_class[member] = ClassStats(
+                objects=count, distinct=max(5, count // 4), fanout=1.0
+            )
+        count = max(50, count // 3)
+    stats = PathStatistics(path, per_class)
+    load = LoadDistribution.uniform(path, query=0.2, insert=0.1, delete=0.05)
+    return stats, load
+
+
+def span_names(recorder):
+    return [span["name"] for span in recorder.spans]
+
+
+class TestAdviseSpans:
+    def test_nested_span_tree_and_counters(self):
+        stats, load = make_world()
+        recorder = Recorder()
+        advise(stats, load, recorder=recorder)
+        names = span_names(recorder)
+        assert "advise" in names
+        assert "matrix.build" in names
+        assert any(name.startswith("search.") for name in names)
+        root = next(s for s in recorder.spans if s["name"] == "advise")
+        build = next(s for s in recorder.spans if s["name"] == "matrix.build")
+        assert root["depth"] == 0
+        assert build["depth"] > 0
+        counters = recorder.profile()["metrics"]["counters"]
+        assert counters["advise.calls"] == 1
+        assert counters["matrix.builds"] == 1
+        assert counters["matrix.rows_priced"] == stats.length * (
+            stats.length + 1
+        ) // 2
+
+    def test_default_recorder_records_nothing(self):
+        stats, load = make_world(length=4)
+        result = advise(stats, load)
+        assert result.optimal.cost > 0
+
+
+class TestWorkerAggregation:
+    def test_parallel_build_merges_worker_profiles(self):
+        stats, load = make_world(length=8)
+        serial = Recorder()
+        CostMatrix.compute(stats, load, workers=0, recorder=serial)
+        parallel = Recorder()
+        CostMatrix.compute(stats, load, workers=2, recorder=parallel)
+        serial_rows = serial.profile()["metrics"]["counters"][
+            "matrix.rows_priced"
+        ]
+        parallel_rows = parallel.profile()["metrics"]["counters"][
+            "matrix.rows_priced"
+        ]
+        assert serial_rows == parallel_rows == 36
+        worker_tids = {s["tid"] for s in parallel.spans if s["tid"] != 0}
+        assert worker_tids, "no worker spans were absorbed"
+        assert any(
+            s["name"] == "matrix.worker_batch" and s["tid"] in worker_tids
+            for s in parallel.spans
+        )
+        # Worker lanes render distinctly in the Chrome trace.
+        document = profile_document(parallel)
+        assert check_trace.validate(document) == []
+
+
+class TestSessionSpans:
+    def test_apply_and_advise_record(self):
+        stats, load = make_world()
+        recorder = Recorder()
+        session = AdvisorSession(stats, load, recorder=recorder)
+        new_stats, new_load = Perturbation("L4", "query", "scale", 2.0).apply(
+            stats, load
+        )
+        session.apply(new_stats, new_load)
+        session.advise()
+        session.advise()  # cached
+        names = span_names(recorder)
+        assert "session.apply" in names
+        assert "session.advise" in names
+        counters = recorder.profile()["metrics"]["counters"]
+        assert counters["whatif.applied_steps"] == 1
+        assert counters["whatif.advise_cache_hits"] == 1
+        assert counters["matrix.recomputes"] == 1
+
+
+class TestMultipathSpans:
+    def test_optimize_records(self):
+        stats_a, load_a = make_world(length=4)
+        stats_b, load_b = make_world(length=3)
+        recorder = Recorder()
+        optimize_multipath(
+            [
+                PathWorkload(stats_a, load_a),
+                PathWorkload(stats_b, load_b),
+            ],
+            recorder=recorder,
+        )
+        names = span_names(recorder)
+        assert "multipath.optimize" in names
+        assert "multipath.candidates" in names
+        assert "multipath.joint" in names
+        counters = recorder.profile()["metrics"]["counters"]
+        assert counters["multipath.optimizations"] == 1
+
+
+class TestReplaySpans:
+    def test_continuous_advisor_counts_events(self):
+        stats, load = make_world()
+        recorder = Recorder()
+        advisor = ContinuousAdvisor(
+            stats,
+            load,
+            window=40,
+            slide=20,
+            threshold=0.1,
+            hysteresis=1,
+            recorder=recorder,
+        )
+        trace = generate_trace(stats.path, "mixed_drift", 200, seed=3)
+        for event in trace:
+            advisor.push(event)
+        counters = recorder.profile()["metrics"]["counters"]
+        assert counters["replay.events"] == 200
+        assert counters["replay.windows"] >= 1
+        if advisor.readvise_count:
+            assert counters["replay.readvises"] == advisor.readvise_count
+            assert "replay.readvise" in span_names(recorder)
+
+
+class TestBackendSpans:
+    def test_replay_trace_records(self):
+        from repro.backend import replay_trace
+        from repro.core.configuration import IndexConfiguration
+        from repro.organizations import IndexOrganization
+
+        schema, path = linear_path_schema(
+            [LevelSpec("P"), LevelSpec("V"), LevelSpec("D")]
+        )
+        specs = {
+            "P": ClassStats(objects=30, distinct=15, fanout=2),
+            "V": ClassStats(objects=20, distinct=8, fanout=1),
+            "D": ClassStats(objects=12, distinct=5, fanout=2),
+        }
+        database = populate_path_database(schema, path, specs, seed=7)
+        events = generate_trace(path, "stationary", 30, seed=1)
+        recorder = Recorder()
+        replay_trace(
+            database,
+            path,
+            IndexConfiguration.whole_path(3, IndexOrganization.NIX),
+            events,
+            recorder=recorder,
+        )
+        names = span_names(recorder)
+        assert "backend.materialize" in names
+        assert "backend.replay" in names
+        counters = recorder.profile()["metrics"]["counters"]
+        assert counters["backend.replay.events"] == 30
+
+
+class TestDeterministicExport:
+    def run_once(self):
+        stats, load = make_world()
+        recorder = Recorder(FakeClock())
+        advise(stats, load, recorder=recorder)
+        return dumps_profile(recorder, meta={"command": "advise"})
+
+    def test_fake_clock_profiles_are_byte_identical(self):
+        assert self.run_once() == self.run_once()
+
+
+class TestCliProfile:
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        document = spec_to_dict(figure7_statistics(), figure7_load())
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        return str(path)
+
+    def test_advise_profile_validates(self, spec_path, tmp_path, capsys):
+        profile = tmp_path / "profile.json"
+        code = cli_main(
+            ["advise", spec_path, "--profile", str(profile), "--stats"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "observability stats" in output
+        document = json.loads(profile.read_text(encoding="utf-8"))
+        assert document["meta"] == {"command": "advise"}
+        failures = check_trace.validate(
+            document, required_spans=("advise", "matrix.build")
+        )
+        assert failures == []
+
+    def test_whatif_profile_validates(self, spec_path, tmp_path):
+        profile = tmp_path / "profile.json"
+        code = cli_main(
+            [
+                "whatif",
+                spec_path,
+                "--perturb",
+                "Division:delete*2",
+                "--profile",
+                str(profile),
+            ]
+        )
+        assert code == 0
+        document = json.loads(profile.read_text(encoding="utf-8"))
+        failures = check_trace.validate(
+            document, required_spans=("session.apply", "session.advise")
+        )
+        assert failures == []

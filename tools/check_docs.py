@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Documentation guards for CI.
+"""Documentation and timing-seam guards for CI.
 
-Two checks, both fail-on-regression:
+Three checks, all fail-on-regression:
 
 * every Python module under ``src/repro/`` carries a non-empty module
   docstring (the docs job treats an undocumented module as a build
@@ -9,7 +9,12 @@ Two checks, both fail-on-regression:
 * every relative Markdown link in ``docs/*.md`` and ``README.md``
   resolves to an existing file (external ``http(s)``/``mailto`` targets
   and in-page ``#anchors`` are skipped — the guard is about repository
-  rot, not the internet).
+  rot, not the internet);
+* no module under ``src/repro/`` calls ``time.time()`` or
+  ``time.perf_counter()`` directly except ``repro/obs/clock.py`` — all
+  timing goes through the injectable clock seam so ``FakeClock`` can
+  drive deterministic span tests (``time.monotonic`` for deadlines is
+  deliberately not banned; it measures elapsed wall budget, not spans).
 
 Run locally with ``python tools/check_docs.py``; exits non-zero listing
 every failure.
@@ -40,6 +45,47 @@ def missing_docstrings() -> list[str]:
         docstring = ast.get_docstring(tree)
         if not docstring or not docstring.strip():
             failures.append(str(path.relative_to(ROOT)))
+    return failures
+
+
+#: The one module allowed to touch the wall clock for span timing.
+CLOCK_SEAM = SOURCE_ROOT / "obs" / "clock.py"
+
+#: ``time`` attributes whose direct use bypasses the clock seam.
+BANNED_TIME_ATTRIBUTES = frozenset({"time", "perf_counter"})
+
+
+def bare_time_calls() -> list[str]:
+    """Direct ``time.time``/``time.perf_counter`` uses outside the seam.
+
+    Flags attribute references on the ``time`` module and ``from time
+    import time/perf_counter`` aliases, found by AST walk so strings and
+    comments never false-positive.
+    """
+    failures = []
+    for path in sorted(SOURCE_ROOT.rglob("*.py")):
+        if path == CLOCK_SEAM:
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        relative = str(path.relative_to(ROOT))
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "time"
+                and node.attr in BANNED_TIME_ATTRIBUTES
+            ):
+                failures.append(
+                    f"{relative}:{node.lineno}: time.{node.attr} bypasses "
+                    "repro.obs.clock"
+                )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in BANNED_TIME_ATTRIBUTES:
+                        failures.append(
+                            f"{relative}:{node.lineno}: from time import "
+                            f"{alias.name} bypasses repro.obs.clock"
+                        )
     return failures
 
 
@@ -79,10 +125,19 @@ def main() -> int:
         print("broken documentation links:", file=sys.stderr)
         for link in broken:
             print(f"  {link}", file=sys.stderr)
+    timing = bare_time_calls()
+    if timing:
+        failures += len(timing)
+        print("wall-clock calls outside the clock seam:", file=sys.stderr)
+        for call in timing:
+            print(f"  {call}", file=sys.stderr)
     if failures:
         print(f"{failures} documentation failure(s)", file=sys.stderr)
         return 1
-    print("docs OK: all modules documented, all links resolve")
+    print(
+        "docs OK: all modules documented, all links resolve, "
+        "timing stays behind repro.obs.clock"
+    )
     return 0
 
 

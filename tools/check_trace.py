@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Chrome-trace profile validator for CI.
+
+The ``obs`` CI job runs an instrumented ``advise --profile`` and feeds
+the output through this script, so a profile the CLI claims is
+Perfetto-loadable actually is. Checks, all fail-on-regression:
+
+* the document carries the ``traceEvents``/``metrics``/``meta`` shape
+  :func:`repro.obs.export.profile_document` promises;
+* every ``ph: "X"`` complete event has numeric non-negative
+  ``ts``/``dur`` and integer ``pid``/``tid``;
+* metadata is complete: one ``process_name`` event, plus a
+  ``thread_name`` event for every thread lane that complete events use;
+* within each ``(pid, tid)`` lane spans strictly nest — any pair of
+  complete events is either disjoint or one contains the other, never
+  partially overlapping (the tree Perfetto renders is real, not an
+  artifact of the viewer);
+* every span name passed via ``--require`` appears (the CI job pins the
+  pipeline's load-bearing spans so a silently unplugged recorder fails
+  the build rather than producing an empty-but-valid trace).
+
+Importable as ``check_trace.validate(document, required_spans=...)`` —
+``tests/test_obs_pipeline.py`` reuses it on in-process profiles.
+
+Usage::
+
+    python tools/check_trace.py profile.json --require advise \\
+        --require matrix.build
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: Span timestamps are rounded to 3 decimal microseconds on export;
+#: containment checks allow double that so rounding never fails a trace.
+EPSILON_US = 0.002
+
+
+def _check_shape(document: object) -> list[str]:
+    if not isinstance(document, dict):
+        return ["profile document is not a JSON object"]
+    failures = []
+    if not isinstance(document.get("traceEvents"), list):
+        failures.append("missing or non-list 'traceEvents'")
+    for key in ("metrics", "meta"):
+        if not isinstance(document.get(key), dict):
+            failures.append(f"missing or non-object '{key}'")
+    return failures
+
+
+def _check_events(events: list) -> list[str]:
+    failures = []
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            failures.append(f"traceEvents[{index}] is not an object")
+            continue
+        label = f"traceEvents[{index}] ({event.get('name', '?')!r})"
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                failures.append(f"{label}: missing '{key}'")
+        for key in ("pid", "tid"):
+            if key in event and not isinstance(event[key], int):
+                failures.append(f"{label}: '{key}' is not an integer")
+        if event.get("ph") == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    failures.append(
+                        f"{label}: '{key}' must be a non-negative number, "
+                        f"got {value!r}"
+                    )
+    return failures
+
+
+def _check_metadata(events: list) -> list[str]:
+    failures = []
+    meta_events = [e for e in events if isinstance(e, dict) and e.get("ph") == "M"]
+    if not any(e.get("name") == "process_name" for e in meta_events):
+        failures.append("no 'process_name' metadata event")
+    named_tids = {
+        e.get("tid") for e in meta_events if e.get("name") == "thread_name"
+    }
+    used_tids = {
+        e.get("tid")
+        for e in events
+        if isinstance(e, dict) and e.get("ph") == "X"
+    }
+    for tid in sorted(used_tids - named_tids, key=repr):
+        failures.append(f"thread {tid!r} has complete events but no thread_name")
+    return failures
+
+
+def _check_nesting(events: list) -> list[str]:
+    failures = []
+    lanes: dict[tuple, list[dict]] = {}
+    for event in events:
+        if (
+            isinstance(event, dict)
+            and event.get("ph") == "X"
+            and isinstance(event.get("ts"), (int, float))
+            and isinstance(event.get("dur"), (int, float))
+        ):
+            lanes.setdefault((event["pid"], event["tid"]), []).append(event)
+    for (pid, tid), lane in sorted(lanes.items()):
+        # Longest-first at equal start times, so a parent precedes the
+        # children it contains and the stack sweep below sees the tree
+        # in pre-order.
+        lane.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: list[dict] = []
+        for event in lane:
+            start, end = event["ts"], event["ts"] + event["dur"]
+            while stack and start >= stack[-1]["ts"] + stack[-1]["dur"] - EPSILON_US:
+                stack.pop()
+            if stack and end > stack[-1]["ts"] + stack[-1]["dur"] + EPSILON_US:
+                failures.append(
+                    f"lane pid={pid} tid={tid}: span "
+                    f"{event['name']!r} [{start}, {end}] partially overlaps "
+                    f"{stack[-1]['name']!r} — spans must nest"
+                )
+                continue
+            stack.append(event)
+    return failures
+
+
+def validate(document: object, required_spans: tuple = ()) -> list[str]:
+    """Every problem found in one exported profile document."""
+    failures = _check_shape(document)
+    if failures:
+        return failures
+    events = document["traceEvents"]
+    failures.extend(_check_events(events))
+    failures.extend(_check_metadata(events))
+    failures.extend(_check_nesting(events))
+    present = {
+        e.get("name")
+        for e in events
+        if isinstance(e, dict) and e.get("ph") == "X"
+    }
+    for name in required_spans:
+        if name not in present:
+            failures.append(f"required span {name!r} not present in the trace")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("profile", help="profile JSON written by --profile")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="SPAN",
+        help="span name that must appear (repeatable)",
+    )
+    arguments = parser.parse_args(argv)
+    try:
+        document = json.loads(
+            pathlib.Path(arguments.profile).read_text(encoding="utf-8")
+        )
+    except (OSError, ValueError) as error:
+        print(f"cannot read profile: {error}", file=sys.stderr)
+        return 1
+    failures = validate(document, tuple(arguments.require))
+    if failures:
+        for failure in failures:
+            print(f"TRACE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    spans = sum(
+        1
+        for e in document["traceEvents"]
+        if isinstance(e, dict) and e.get("ph") == "X"
+    )
+    print(f"trace OK: {spans} spans, nesting and metadata valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
